@@ -1,0 +1,160 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! AQM vs plain tail drop, the rejected-request cache, and the delayed
+//! forwarding timeout. Each ablation runs the scenario where the mechanism
+//! matters and reports a domain metric through Criterion's wall-clock lens
+//! (the simulation does strictly more work when a mechanism degrades, so
+//! regressions surface as slowdowns) while the eprintln-ed counters make
+//! the domain effect inspectable.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idem_bench::mini_scenario;
+use idem_harness::scenario::{clients_for_factor, CrashPlan};
+use idem_harness::Protocol;
+use std::hint::black_box;
+
+fn group_of(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group
+}
+
+/// AQM vs tail drop under the condition where it matters: overload with
+/// only f+1 replicas after a leader crash (paper Section 7.7).
+fn aqm_vs_tail_drop(c: &mut Criterion) {
+    let mut group = group_of(c);
+    for protocol in [Protocol::idem(), Protocol::idem_no_aqm()] {
+        group.bench_function(format!("crash_overload_{}", protocol.name()), |b| {
+            b.iter(|| {
+                let s = mini_scenario(protocol.clone(), 100).with_crash(CrashPlan {
+                    replica: 0,
+                    at: Duration::from_millis(150),
+                });
+                black_box(s.run().metrics.successes)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Rejected-request cache on vs off: without the cache, requests rejected
+/// locally but committed globally must be fetched/forwarded.
+fn rejected_cache(c: &mut Criterion) {
+    let mut group = group_of(c);
+    for (label, capacity) in [("cache_default", None), ("cache_off", Some(0usize))] {
+        let protocol = match Protocol::idem_with_rt(10) {
+            Protocol::Idem { mut config, client } => {
+                if let Some(cap) = capacity {
+                    config.rejected_cache_capacity = cap;
+                }
+                Protocol::Idem { config, client }
+            }
+            _ => unreachable!(),
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let r = mini_scenario(protocol.clone(), clients_for_factor(2.0)).run();
+                let forwards: u64 = r.idem_stats.iter().map(|s| s.forwards_sent).sum();
+                let fetches: u64 = r.idem_stats.iter().map(|s| s.fetches_sent).sum();
+                black_box((r.metrics.successes, forwards + fetches))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Forward-timeout sweep: shorter timeouts recover single-replica accepts
+/// faster but forward more.
+fn forward_timeout(c: &mut Criterion) {
+    let mut group = group_of(c);
+    for timeout_ms in [2u64, 10, 50] {
+        let protocol = match Protocol::idem_with_rt(10) {
+            Protocol::Idem { config, client } => Protocol::Idem {
+                config: config.with_forward_timeout(Duration::from_millis(timeout_ms)),
+                client,
+            },
+            _ => unreachable!(),
+        };
+        group.bench_function(format!("forward_timeout_{timeout_ms}ms"), |b| {
+            b.iter(|| {
+                black_box(
+                    mini_scenario(protocol.clone(), clients_for_factor(2.0))
+                        .run()
+                        .metrics
+                        .successes,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Implicit GC versus eager checkpointing: vary the checkpoint interval to
+/// show the message-free window motion carries the load.
+fn checkpoint_interval(c: &mut Criterion) {
+    let mut group = group_of(c);
+    for interval in [32u64, 128, 512] {
+        let protocol = match Protocol::idem() {
+            Protocol::Idem { mut config, client } => {
+                config.checkpoint_interval = interval;
+                Protocol::Idem { config, client }
+            }
+            _ => unreachable!(),
+        };
+        group.bench_function(format!("checkpoint_every_{interval}"), |b| {
+            b.iter(|| {
+                black_box(
+                    mini_scenario(protocol.clone(), clients_for_factor(1.0))
+                        .run()
+                        .metrics
+                        .successes,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Cost-aware acceptance vs plain AQM under a write-heavy workload with
+/// large values: the cost-aware policy sheds the expensive writes first.
+fn cost_aware_acceptance(c: &mut Criterion) {
+    use idem_kv::WorkloadSpec;
+    let mut group = group_of(c);
+    for (label, policy) in [
+        ("acceptance_aqm", idem_core::AcceptancePolicy::ActiveQueue),
+        (
+            "acceptance_cost_aware",
+            idem_core::AcceptancePolicy::CostAware {
+                reference_size: 100,
+            },
+        ),
+    ] {
+        let protocol = match Protocol::idem() {
+            Protocol::Idem { config, client } => Protocol::Idem {
+                config: config.with_acceptance(policy),
+                client,
+            },
+            _ => unreachable!(),
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut s = mini_scenario(protocol.clone(), clients_for_factor(4.0));
+                s.workload = WorkloadSpec::write_only(400);
+                black_box(s.run().metrics.rejections)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    aqm_vs_tail_drop,
+    rejected_cache,
+    forward_timeout,
+    checkpoint_interval,
+    cost_aware_acceptance,
+);
+criterion_main!(ablations);

@@ -1,0 +1,170 @@
+//! One benchmark per table/figure of the paper's evaluation.
+//!
+//! Each benchmark runs a miniaturized version of the corresponding
+//! experiment — same protocols, same load shape, shortened duration — so
+//! `cargo bench` exercises every reproduction end-to-end and tracks its
+//! simulation cost over time. The full-scale numbers are produced by
+//! `cargo run --release -p idem-harness --bin repro`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idem_bench::{mini_scenario, run_mini};
+use idem_harness::scenario::{clients_for_factor, CrashPlan};
+use idem_harness::Protocol;
+use std::hint::black_box;
+
+fn bench_config(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group
+}
+
+/// Figure 2: Paxos under overload (4x the baseline load).
+fn fig2_paxos_overload(c: &mut Criterion) {
+    let mut group = bench_config(c);
+    group.bench_function("fig2_paxos_overload", |b| {
+        b.iter(|| black_box(run_mini(Protocol::paxos(), clients_for_factor(4.0))));
+    });
+    group.finish();
+}
+
+/// Figure 3: Paxos_LBR with a leader crash mid-run.
+fn fig3_lbr_crash(c: &mut Criterion) {
+    let mut group = bench_config(c);
+    group.bench_function("fig3_lbr_crash", |b| {
+        b.iter(|| {
+            let s = mini_scenario(Protocol::paxos_lbr(30), clients_for_factor(2.0)).with_crash(
+                CrashPlan {
+                    replica: 0,
+                    at: Duration::from_millis(200),
+                },
+            );
+            black_box(s.run().metrics.rejections)
+        });
+    });
+    group.finish();
+}
+
+/// Figure 6: the four-system comparison at 2x load.
+fn fig6_comparison(c: &mut Criterion) {
+    let mut group = bench_config(c);
+    for protocol in [
+        Protocol::idem(),
+        Protocol::idem_no_pr(),
+        Protocol::paxos(),
+        Protocol::smart(),
+    ] {
+        group.bench_function(format!("fig6_{}", protocol.name()), |b| {
+            b.iter(|| black_box(run_mini(protocol.clone(), clients_for_factor(2.0))));
+        });
+    }
+    group.finish();
+}
+
+/// Figure 7: reject behaviour at 8x load.
+fn fig7_rejects(c: &mut Criterion) {
+    let mut group = bench_config(c);
+    group.bench_function("fig7_rejects_8x", |b| {
+        b.iter(|| {
+            let r = mini_scenario(Protocol::idem(), clients_for_factor(8.0)).run();
+            black_box(r.metrics.rejections)
+        });
+    });
+    group.finish();
+}
+
+/// Table 1: traffic accounting of IDEM vs IDEM_noPR.
+fn table1_overhead(c: &mut Criterion) {
+    let mut group = bench_config(c);
+    for protocol in [Protocol::idem(), Protocol::idem_no_pr()] {
+        group.bench_function(format!("table1_{}", protocol.name()), |b| {
+            b.iter(|| {
+                let r = mini_scenario(protocol.clone(), clients_for_factor(1.0)).run();
+                black_box(r.total_traffic_bytes())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Figure 8: the reject-threshold sweep at 4x load.
+fn fig8_threshold(c: &mut Criterion) {
+    let mut group = bench_config(c);
+    for rt in [20u32, 50, 75] {
+        group.bench_function(format!("fig8_rt{rt}"), |b| {
+            b.iter(|| black_box(run_mini(Protocol::idem_with_rt(rt), clients_for_factor(4.0))));
+        });
+    }
+    group.finish();
+}
+
+/// Figure 9a: misconfigured threshold (RT = 100) at 6x load.
+fn fig9a_misconfig(c: &mut Criterion) {
+    let mut group = bench_config(c);
+    group.bench_function("fig9a_rt100_6x", |b| {
+        b.iter(|| black_box(run_mini(Protocol::idem_with_rt(100), clients_for_factor(6.0))));
+    });
+    group.finish();
+}
+
+/// Figure 9b: extreme load (14x).
+fn fig9b_extreme(c: &mut Criterion) {
+    let mut group = bench_config(c);
+    group.bench_function("fig9b_14x", |b| {
+        b.iter(|| black_box(run_mini(Protocol::idem(), clients_for_factor(14.0))));
+    });
+    group.finish();
+}
+
+/// Figure 10: leader crash on IDEM vs IDEM_noAQM in overload.
+fn fig10_crash(c: &mut Criterion) {
+    let mut group = bench_config(c);
+    for protocol in [Protocol::idem(), Protocol::idem_no_aqm()] {
+        group.bench_function(format!("fig10_leader_crash_{}", protocol.name()), |b| {
+            b.iter(|| {
+                let s = mini_scenario(protocol.clone(), 100).with_crash(CrashPlan {
+                    replica: 0,
+                    at: Duration::from_millis(200),
+                });
+                black_box(s.run().metrics.successes)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Figure 10d: reject availability across a leader crash, IDEM vs LBR.
+fn fig10d_reject_crash(c: &mut Criterion) {
+    let mut group = bench_config(c);
+    for protocol in [Protocol::idem(), Protocol::paxos_lbr(30)] {
+        group.bench_function(format!("fig10d_{}", protocol.name()), |b| {
+            b.iter(|| {
+                let s = mini_scenario(protocol.clone(), clients_for_factor(2.0)).with_crash(
+                    CrashPlan {
+                        replica: 0,
+                        at: Duration::from_millis(200),
+                    },
+                );
+                black_box(s.run().metrics.rejections)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig2_paxos_overload,
+    fig3_lbr_crash,
+    fig6_comparison,
+    fig7_rejects,
+    table1_overhead,
+    fig8_threshold,
+    fig9a_misconfig,
+    fig9b_extreme,
+    fig10_crash,
+    fig10d_reject_crash,
+);
+criterion_main!(figures);

@@ -1,0 +1,188 @@
+//! Microbenchmarks of the hot data structures.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idem_common::{ClientId, OpNumber, QuorumTracker, ReplicaId, RequestId, SeqNumber, SeqWindow, StateMachine};
+use idem_core::acceptance::{AcceptancePolicy, AcceptanceTest, AqmConfig};
+use idem_kv::{Command, KvStore, Workload, WorkloadSpec, Zipfian};
+use idem_metrics::Histogram;
+use idem_simnet::SimTime;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn histogram_record(c: &mut Criterion) {
+    c.bench_function("micro/histogram_record", |b| {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(x % 10_000_000));
+        });
+    });
+}
+
+fn histogram_percentile(c: &mut Criterion) {
+    let mut h = Histogram::new();
+    let mut x = 1u64;
+    for _ in 0..100_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        h.record(x % 10_000_000);
+    }
+    c.bench_function("micro/histogram_percentile", |b| {
+        b.iter(|| black_box(h.percentile(black_box(99.0))));
+    });
+}
+
+fn acceptance_test(c: &mut Criterion) {
+    let test = AcceptanceTest::new(AcceptancePolicy::ActiveQueue, 50, AqmConfig::default());
+    let now = SimTime::ZERO + Duration::from_secs(3);
+    let mut op = 0u64;
+    c.bench_function("micro/acceptance_aqm", |b| {
+        b.iter(|| {
+            op += 1;
+            let id = RequestId::new(ClientId((op % 200) as u32), OpNumber(op));
+            black_box(test.accepts(id, black_box(40), now, 199))
+        });
+    });
+}
+
+fn quorum_tracker(c: &mut Criterion) {
+    c.bench_function("micro/quorum_tracker", |b| {
+        b.iter(|| {
+            let mut t = QuorumTracker::new(2);
+            t.record(ReplicaId(0));
+            t.record(ReplicaId(1));
+            black_box(t.reached())
+        });
+    });
+}
+
+fn seq_window_cycle(c: &mut Criterion) {
+    c.bench_function("micro/seq_window_insert_advance", |b| {
+        let mut w: SeqWindow<u64> = SeqWindow::new(300);
+        let mut sqn = 0u64;
+        b.iter(|| {
+            w.insert(SeqNumber(sqn), sqn);
+            if sqn >= 150 {
+                black_box(w.advance_to(SeqNumber(sqn - 149)));
+            }
+            sqn += 1;
+        });
+    });
+}
+
+fn zipfian_sample(c: &mut Criterion) {
+    let mut z = Zipfian::new(10_000, 0.99);
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("micro/zipfian_sample", |b| {
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+}
+
+fn workload_next(c: &mut Criterion) {
+    let mut w = Workload::new(WorkloadSpec::update_heavy(), 1);
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("micro/workload_next_command", |b| {
+        b.iter(|| black_box(w.next_command(&mut rng)));
+    });
+}
+
+fn kv_execute(c: &mut Criterion) {
+    let mut store = KvStore::new();
+    let mut key = 0u64;
+    c.bench_function("micro/kv_execute_update", |b| {
+        b.iter(|| {
+            key = (key + 1) % 10_000;
+            let cmd = Command::Update {
+                key,
+                value: vec![0u8; 100],
+            }
+            .encode();
+            black_box(store.execute(&cmd))
+        });
+    });
+}
+
+fn kv_snapshot(c: &mut Criterion) {
+    let mut store = KvStore::new();
+    for key in 0..10_000u64 {
+        store.execute(
+            &Command::Update {
+                key,
+                value: vec![0u8; 100],
+            }
+            .encode(),
+        );
+    }
+    c.bench_function("micro/kv_snapshot_10k", |b| {
+        b.iter(|| black_box(store.snapshot().len()));
+    });
+}
+
+fn command_roundtrip(c: &mut Criterion) {
+    let cmd = Command::Update {
+        key: 42,
+        value: vec![0u8; 100],
+    };
+    c.bench_function("micro/command_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = black_box(&cmd).encode();
+            black_box(Command::decode(&bytes).unwrap())
+        });
+    });
+}
+
+fn simnet_event_throughput(c: &mut Criterion) {
+    use idem_simnet::{Context, Node, NodeId, Simulation, Wire};
+
+    #[derive(Clone)]
+    struct Ping(u64);
+    impl Wire for Ping {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+    struct Bouncer;
+    impl Node<Ping> for Bouncer {
+        fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, msg: Ping) {
+            ctx.charge(Duration::from_nanos(100));
+            ctx.send(from, Ping(msg.0 + 1));
+        }
+    }
+    struct Kick(NodeId);
+    impl Node<Ping> for Kick {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.send(self.0, Ping(0));
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, msg: Ping) {
+            ctx.send(from, Ping(msg.0 + 1));
+        }
+    }
+    c.bench_function("micro/simnet_10k_events", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<Ping> = Simulation::new(1);
+            let a = sim.add_node(Box::new(Bouncer));
+            sim.add_node(Box::new(Kick(a)));
+            sim.run_for(Duration::from_millis(550)); // ≈10k round trips at 110 µs
+            black_box(sim.events_processed())
+        });
+    });
+}
+
+criterion_group!(
+    micro,
+    histogram_record,
+    histogram_percentile,
+    acceptance_test,
+    quorum_tracker,
+    seq_window_cycle,
+    zipfian_sample,
+    workload_next,
+    kv_execute,
+    kv_snapshot,
+    command_roundtrip,
+    simnet_event_throughput,
+);
+criterion_main!(micro);

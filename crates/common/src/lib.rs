@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Shared vocabulary for the IDEM replication suite.
+//!
+//! This crate defines the identifiers, request/reply envelope types, and
+//! small protocol-agnostic abstractions (quorum arithmetic, sliding
+//! sequence-number windows, the replicated [`StateMachine`] trait) that are
+//! used by every protocol implementation in the workspace:
+//!
+//! * `idem-core` — the IDEM protocol itself,
+//! * `idem-paxos` — the steady-leader Paxos baseline (plus leader-based
+//!   rejection),
+//! * `idem-smart` — the BFT-SMaRt-inspired batching baseline.
+//!
+//! Everything here is either plain data or a small protocol-agnostic
+//! interface (the [`driver`] module), so the protocol crates stay testable
+//! in isolation.
+//!
+//! # Example
+//!
+//! ```
+//! use idem_common::{ClientId, OpNumber, RequestId, Request};
+//!
+//! let id = RequestId::new(ClientId(7), OpNumber(42));
+//! let req = Request::new(id, b"SET k v".to_vec());
+//! assert_eq!(req.id.client, ClientId(7));
+//! assert!(req.wire_size() > 8);
+//! ```
+
+pub mod app;
+pub mod directory;
+pub mod driver;
+pub mod ids;
+pub mod quorum;
+pub mod request;
+pub mod window;
+
+pub use app::{CostModel, FixedCost, StateMachine};
+pub use directory::Directory;
+pub use driver::{ClientApp, OperationOutcome, OutcomeKind};
+pub use ids::{ClientId, OpNumber, ReplicaId, RequestId, SeqNumber, View};
+pub use quorum::{QuorumSet, QuorumTracker};
+pub use request::{Reply, Request};
+pub use window::SeqWindow;

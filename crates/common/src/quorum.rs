@@ -1,0 +1,203 @@
+//! Quorum arithmetic and vote tracking.
+//!
+//! Crash-fault-tolerant protocols in this suite run with `n = 2f + 1`
+//! replicas and use majority (`f + 1`) quorums for agreement, and IDEM
+//! additionally uses `f + 1` REQUIRE endorsements before a proposal
+//! (Section 4.3 of the paper).
+
+use crate::ids::ReplicaId;
+
+/// Static description of the replica group size and fault threshold.
+///
+/// # Example
+/// ```
+/// use idem_common::QuorumSet;
+/// let q = QuorumSet::for_faults(1);
+/// assert_eq!(q.n(), 3);
+/// assert_eq!(q.f(), 1);
+/// assert_eq!(q.majority(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuorumSet {
+    n: u32,
+    f: u32,
+}
+
+impl QuorumSet {
+    /// Creates the minimal group tolerating `f` crash faults: `n = 2f + 1`.
+    pub fn for_faults(f: u32) -> QuorumSet {
+        QuorumSet { n: 2 * f + 1, f }
+    }
+
+    /// Creates a group of explicit size `n`, tolerating `f = (n - 1) / 2`
+    /// crashes.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn for_replicas(n: u32) -> QuorumSet {
+        assert!(n > 0, "replica group must not be empty");
+        QuorumSet { n, f: (n - 1) / 2 }
+    }
+
+    /// Total number of replicas `n`.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of tolerated crash faults `f`.
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+
+    /// Size of a majority quorum, `f + 1` for `n = 2f + 1`.
+    pub fn majority(&self) -> u32 {
+        self.f + 1
+    }
+
+    /// Number of responses after which a client enters the *ambivalence*
+    /// state if all of them are REJECTs: `n - f` (Section 5.3).
+    pub fn ambivalence(&self) -> u32 {
+        self.n - self.f
+    }
+
+    /// Iterates over all replica ids in the group.
+    pub fn replicas(&self) -> impl Iterator<Item = ReplicaId> {
+        (0..self.n).map(ReplicaId)
+    }
+}
+
+/// Tracks distinct votes from replicas towards a quorum threshold.
+///
+/// Duplicate votes from the same replica are ignored, which is essential
+/// under retransmission over fair-loss links.
+///
+/// # Example
+/// ```
+/// use idem_common::{QuorumTracker, ReplicaId};
+/// let mut t = QuorumTracker::new(2);
+/// assert!(!t.record(ReplicaId(0)));
+/// assert!(!t.record(ReplicaId(0))); // duplicate: no progress
+/// assert!(t.record(ReplicaId(2)));  // threshold reached
+/// assert!(t.reached());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuorumTracker {
+    threshold: u32,
+    voters: u64,
+}
+
+impl QuorumTracker {
+    /// Creates a tracker that reports completion once `threshold` distinct
+    /// replicas have voted.
+    ///
+    /// Replica ids must be below 64, which comfortably covers the
+    /// data-center deployments the paper targets (`f ≤ 2`, so `n ≤ 5`).
+    pub fn new(threshold: u32) -> QuorumTracker {
+        QuorumTracker {
+            threshold,
+            voters: 0,
+        }
+    }
+
+    /// Records a vote. Returns `true` exactly when this vote causes the
+    /// threshold to be reached (so the caller can take the transition action
+    /// once).
+    ///
+    /// # Panics
+    /// Panics if `from` is 64 or larger.
+    pub fn record(&mut self, from: ReplicaId) -> bool {
+        assert!(from.0 < 64, "QuorumTracker supports replica ids < 64");
+        let before = self.count();
+        self.voters |= 1u64 << from.0;
+        let after = self.count();
+        after != before && after == self.threshold
+    }
+
+    /// Whether the threshold has been reached.
+    pub fn reached(&self) -> bool {
+        self.count() >= self.threshold
+    }
+
+    /// Number of distinct votes recorded.
+    pub fn count(&self) -> u32 {
+        self.voters.count_ones()
+    }
+
+    /// Whether the given replica has voted.
+    pub fn contains(&self, from: ReplicaId) -> bool {
+        from.0 < 64 && self.voters & (1u64 << from.0) != 0
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_group_sizes() {
+        assert_eq!(QuorumSet::for_faults(0).n(), 1);
+        assert_eq!(QuorumSet::for_faults(1).n(), 3);
+        assert_eq!(QuorumSet::for_faults(2).n(), 5);
+    }
+
+    #[test]
+    fn for_replicas_derives_f() {
+        assert_eq!(QuorumSet::for_replicas(3).f(), 1);
+        assert_eq!(QuorumSet::for_replicas(4).f(), 1);
+        assert_eq!(QuorumSet::for_replicas(5).f(), 2);
+    }
+
+    #[test]
+    fn ambivalence_threshold_matches_paper() {
+        // n=3, f=1: client enters ambivalence at n-f = 2 rejects.
+        let q = QuorumSet::for_faults(1);
+        assert_eq!(q.ambivalence(), 2);
+        let q = QuorumSet::for_faults(2);
+        assert_eq!(q.ambivalence(), 3);
+    }
+
+    #[test]
+    fn replicas_iterates_group() {
+        let ids: Vec<_> = QuorumSet::for_faults(1).replicas().collect();
+        assert_eq!(ids, vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]);
+    }
+
+    #[test]
+    fn tracker_ignores_duplicates() {
+        let mut t = QuorumTracker::new(2);
+        assert!(!t.record(ReplicaId(1)));
+        assert!(!t.record(ReplicaId(1)));
+        assert_eq!(t.count(), 1);
+        assert!(!t.reached());
+        assert!(t.record(ReplicaId(0)));
+        assert!(t.reached());
+        // further votes don't re-trigger the transition
+        assert!(!t.record(ReplicaId(2)));
+        assert_eq!(t.count(), 3);
+    }
+
+    #[test]
+    fn tracker_contains_reports_voters() {
+        let mut t = QuorumTracker::new(3);
+        t.record(ReplicaId(5));
+        assert!(t.contains(ReplicaId(5)));
+        assert!(!t.contains(ReplicaId(4)));
+    }
+
+    #[test]
+    fn zero_threshold_is_immediately_reached() {
+        let t = QuorumTracker::new(0);
+        assert!(t.reached());
+    }
+
+    #[test]
+    #[should_panic(expected = "replica ids < 64")]
+    fn tracker_rejects_large_ids() {
+        QuorumTracker::new(1).record(ReplicaId(64));
+    }
+}

@@ -1,0 +1,239 @@
+//! A sliding window of consensus instances keyed by sequence number.
+//!
+//! IDEM (Section 4.4) and the Paxos baseline both execute multiple consensus
+//! instances in parallel inside a fixed-size window `[low, low + size)`.
+//! [`SeqWindow`] owns the per-instance state and implements the window
+//! motion / garbage-collection arithmetic; the *policy* of when the window
+//! may move (IDEM's implicit GC, Paxos' checkpoint-driven GC) lives in the
+//! protocol crates.
+
+use std::collections::BTreeMap;
+
+use crate::ids::SeqNumber;
+
+/// Fixed-size sliding window over sequence-numbered slots.
+///
+/// # Example
+/// ```
+/// use idem_common::{SeqNumber, SeqWindow};
+/// let mut w: SeqWindow<&'static str> = SeqWindow::new(4);
+/// assert!(w.contains(SeqNumber(0)));
+/// assert!(!w.contains(SeqNumber(4)));
+/// w.insert(SeqNumber(1), "a");
+/// let dropped = w.advance_to(SeqNumber(2));
+/// assert_eq!(dropped, vec![(SeqNumber(1), "a")]);
+/// assert!(w.contains(SeqNumber(5)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqWindow<T> {
+    low: SeqNumber,
+    size: u64,
+    slots: BTreeMap<u64, T>,
+}
+
+impl<T> SeqWindow<T> {
+    /// Creates a window `[0, size)`.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn new(size: u64) -> SeqWindow<T> {
+        assert!(size > 0, "window size must be positive");
+        SeqWindow {
+            low: SeqNumber(0),
+            size,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Lowest sequence number currently inside the window.
+    pub fn low(&self) -> SeqNumber {
+        self.low
+    }
+
+    /// One past the highest sequence number inside the window.
+    pub fn high(&self) -> SeqNumber {
+        SeqNumber(self.low.0 + self.size)
+    }
+
+    /// Window capacity.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Whether `sqn` falls inside the current window bounds.
+    pub fn contains(&self, sqn: SeqNumber) -> bool {
+        sqn >= self.low && sqn < self.high()
+    }
+
+    /// Whether `sqn` lies below the window (already garbage-collected).
+    pub fn is_stale(&self, sqn: SeqNumber) -> bool {
+        sqn < self.low
+    }
+
+    /// Whether `sqn` lies above the window (the replica is lagging and needs
+    /// a checkpoint to catch up).
+    pub fn is_ahead(&self, sqn: SeqNumber) -> bool {
+        sqn >= self.high()
+    }
+
+    /// Inserts (or replaces) the slot for `sqn`, returning the previous
+    /// value if any.
+    ///
+    /// # Panics
+    /// Panics if `sqn` is outside the window; callers must check
+    /// [`contains`](Self::contains) first — out-of-window instances must be
+    /// handled by protocol policy (ignore stale, fetch checkpoint if ahead),
+    /// never silently stored.
+    pub fn insert(&mut self, sqn: SeqNumber, value: T) -> Option<T> {
+        assert!(
+            self.contains(sqn),
+            "sequence number {sqn} outside window [{}, {})",
+            self.low,
+            self.high()
+        );
+        self.slots.insert(sqn.0, value)
+    }
+
+    /// Returns a reference to the slot for `sqn`, if occupied.
+    pub fn get(&self, sqn: SeqNumber) -> Option<&T> {
+        self.slots.get(&sqn.0)
+    }
+
+    /// Returns a mutable reference to the slot for `sqn`, if occupied.
+    pub fn get_mut(&mut self, sqn: SeqNumber) -> Option<&mut T> {
+        self.slots.get_mut(&sqn.0)
+    }
+
+    /// Removes and returns the slot for `sqn`.
+    pub fn remove(&mut self, sqn: SeqNumber) -> Option<T> {
+        self.slots.remove(&sqn.0)
+    }
+
+    /// Advances the window start to `new_low`, removing and returning every
+    /// occupied slot below it (in ascending order). A no-op if `new_low` is
+    /// not beyond the current start.
+    pub fn advance_to(&mut self, new_low: SeqNumber) -> Vec<(SeqNumber, T)> {
+        if new_low <= self.low {
+            return Vec::new();
+        }
+        let mut dropped = Vec::new();
+        let keys: Vec<u64> = self
+            .slots
+            .range(..new_low.0)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in keys {
+            if let Some(v) = self.slots.remove(&k) {
+                dropped.push((SeqNumber(k), v));
+            }
+        }
+        self.low = new_low;
+        dropped
+    }
+
+    /// Iterates over occupied slots in ascending sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = (SeqNumber, &T)> {
+        self.slots.iter().map(|(&k, v)| (SeqNumber(k), v))
+    }
+
+    /// Iterates mutably over occupied slots in ascending sequence order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (SeqNumber, &mut T)> {
+        self.slots.iter_mut().map(|(&k, v)| (SeqNumber(k), v))
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_window_spans_zero_to_size() {
+        let w: SeqWindow<u32> = SeqWindow::new(8);
+        assert_eq!(w.low(), SeqNumber(0));
+        assert_eq!(w.high(), SeqNumber(8));
+        assert!(w.contains(SeqNumber(0)));
+        assert!(w.contains(SeqNumber(7)));
+        assert!(!w.contains(SeqNumber(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_size_window_is_rejected() {
+        let _: SeqWindow<u32> = SeqWindow::new(0);
+    }
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let mut w = SeqWindow::new(4);
+        assert_eq!(w.insert(SeqNumber(2), "x"), None);
+        assert_eq!(w.insert(SeqNumber(2), "y"), Some("x"));
+        assert_eq!(w.get(SeqNumber(2)), Some(&"y"));
+        assert_eq!(w.get(SeqNumber(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside window")]
+    fn insert_outside_window_panics() {
+        let mut w = SeqWindow::new(4);
+        w.insert(SeqNumber(4), 1u8);
+    }
+
+    #[test]
+    fn advance_drops_old_slots_in_order() {
+        let mut w = SeqWindow::new(8);
+        for i in 0..5 {
+            w.insert(SeqNumber(i), i);
+        }
+        let dropped = w.advance_to(SeqNumber(3));
+        assert_eq!(
+            dropped,
+            vec![
+                (SeqNumber(0), 0),
+                (SeqNumber(1), 1),
+                (SeqNumber(2), 2)
+            ]
+        );
+        assert_eq!(w.low(), SeqNumber(3));
+        assert_eq!(w.high(), SeqNumber(11));
+        assert!(w.is_stale(SeqNumber(2)));
+        assert!(w.contains(SeqNumber(10)));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn advance_backwards_is_noop() {
+        let mut w: SeqWindow<u8> = SeqWindow::new(4);
+        w.advance_to(SeqNumber(2));
+        assert!(w.advance_to(SeqNumber(1)).is_empty());
+        assert_eq!(w.low(), SeqNumber(2));
+    }
+
+    #[test]
+    fn ahead_detection() {
+        let mut w: SeqWindow<u8> = SeqWindow::new(4);
+        w.advance_to(SeqNumber(10));
+        assert!(w.is_ahead(SeqNumber(14)));
+        assert!(!w.is_ahead(SeqNumber(13)));
+        assert!(w.is_stale(SeqNumber(9)));
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let mut w = SeqWindow::new(8);
+        w.insert(SeqNumber(5), 'b');
+        w.insert(SeqNumber(1), 'a');
+        w.insert(SeqNumber(7), 'c');
+        let got: Vec<_> = w.iter().map(|(s, &c)| (s.0, c)).collect();
+        assert_eq!(got, vec![(1, 'a'), (5, 'b'), (7, 'c')]);
+    }
+}

@@ -1,0 +1,399 @@
+//! The acceptance test: IDEM's local, per-replica admission decision
+//! (paper Section 5.1).
+//!
+//! The test does not need to be deterministic, but the default
+//! active-queue-management variant deliberately *correlates* decisions
+//! across replicas: the random draw for a request is produced by a
+//! pseudo-random function seeded with the request id
+//! ([`RequestId::stable_hash`]), so all replicas draw the same number and —
+//! given similar load estimates — reach the same verdict. The paper shows
+//! (Section 7.7) that this markedly stabilizes behaviour when only `f + 1`
+//! replicas remain.
+
+use std::time::Duration;
+
+use idem_common::{ClientId, RequestId};
+use idem_simnet::SimTime;
+
+/// Parameters of the active-queue-management acceptance test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AqmConfig {
+    /// Fraction of the reject threshold at which probabilistic dropping
+    /// starts (the paper uses 60 %).
+    pub start_fraction: f64,
+    /// Length of one prioritization time slice (the paper uses 2 s).
+    pub slice: Duration,
+}
+
+impl Default for AqmConfig {
+    fn default() -> AqmConfig {
+        AqmConfig {
+            start_fraction: 0.6,
+            slice: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The admission policy a replica applies to fresh client requests.
+///
+/// Forwarded requests bypass the test entirely (Section 4.3: a replica
+/// accepts relayed requests "regardless of the current load").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AcceptancePolicy {
+    /// Accept everything — the `IDEM_noPR` baseline of the evaluation.
+    AlwaysAccept,
+    /// Accept while fewer than the reject threshold requests are active —
+    /// plain tail drop, the `IDEM_noAQM` ablation.
+    TailDrop,
+    /// Tail drop for the currently prioritized client group, probabilistic
+    /// early drop (`p = r_now / r`) for everyone else — IDEM's default.
+    #[default]
+    ActiveQueue,
+    /// Like [`ActiveQueue`](AcceptancePolicy::ActiveQueue), but the drop
+    /// probability is additionally scaled by the request's estimated
+    /// resource cost (its payload size relative to `reference_size`), so
+    /// expensive requests are shed first under pressure. This implements
+    /// one of the "further options" sketched in paper Section 5.1.
+    CostAware {
+        /// Payload size at which a request is considered averagely
+        /// expensive; smaller requests are shed later, larger ones earlier.
+        reference_size: usize,
+    },
+}
+
+/// The full acceptance test, combining policy, threshold and AQM
+/// parameters.
+///
+/// # Example
+/// ```
+/// use idem_core::acceptance::{AcceptanceTest, AcceptancePolicy, AqmConfig};
+/// use idem_common::{ClientId, OpNumber, RequestId};
+/// use idem_simnet::SimTime;
+///
+/// let test = AcceptanceTest::new(AcceptancePolicy::TailDrop, 50, AqmConfig::default());
+/// let id = RequestId::new(ClientId(0), OpNumber(1));
+/// assert!(test.accepts(id, 49, SimTime::ZERO, 1));
+/// assert!(!test.accepts(id, 50, SimTime::ZERO, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptanceTest {
+    policy: AcceptancePolicy,
+    threshold: u32,
+    aqm: AqmConfig,
+}
+
+impl AcceptanceTest {
+    /// Creates a test with the given policy, reject threshold `r`, and AQM
+    /// parameters (ignored unless the policy is
+    /// [`AcceptancePolicy::ActiveQueue`]).
+    pub fn new(policy: AcceptancePolicy, threshold: u32, aqm: AqmConfig) -> AcceptanceTest {
+        AcceptanceTest {
+            policy,
+            threshold,
+            aqm,
+        }
+    }
+
+    /// The configured reject threshold `r`.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> AcceptancePolicy {
+        self.policy
+    }
+
+    /// The prioritization group a client belongs to: groups pack at most
+    /// `r` clients each (Section 5.1).
+    pub fn group_of(&self, client: ClientId) -> u32 {
+        client.0 / self.threshold.max(1)
+    }
+
+    /// The group prioritized during the time slice containing `now`, given
+    /// `group_count` groups. Groups take turns round-robin, so every client
+    /// is prioritized regularly (the fairness argument of Theorem 6.4).
+    pub fn prioritized_group(&self, now: SimTime, group_count: u32) -> u32 {
+        if group_count <= 1 {
+            return 0;
+        }
+        let slice_ns = self.aqm.slice.as_nanos() as u64;
+        ((now.as_nanos() / slice_ns.max(1)) % u64::from(group_count)) as u32
+    }
+
+    /// Runs the acceptance test for request `id` given `r_now` currently
+    /// active requests at this replica and `max_client` the highest client
+    /// id observed so far (used to derive the number of prioritization
+    /// groups).
+    ///
+    /// Returns `true` to accept, `false` to reject.
+    pub fn accepts(&self, id: RequestId, r_now: u32, now: SimTime, max_client: u32) -> bool {
+        self.accepts_request(id, 0, r_now, f64::from(r_now), now, max_client)
+    }
+
+    /// Like [`accepts`](Self::accepts), but with a separately smoothed load
+    /// estimate for the probabilistic branch. Replicas feed an
+    /// exponentially smoothed `r_now` here: the slow-moving estimate is
+    /// nearly identical across replicas, so together with the id-keyed PRF
+    /// the early-drop verdicts become near-unanimous (Section 7.7's
+    /// stability effect), while the instantaneous `r_now` still enforces
+    /// the hard threshold.
+    pub fn accepts_with_estimate(
+        &self,
+        id: RequestId,
+        r_now: u32,
+        load_estimate: f64,
+        now: SimTime,
+        max_client: u32,
+    ) -> bool {
+        self.accepts_request(id, 0, r_now, load_estimate, now, max_client)
+    }
+
+    /// The most general entry point: additionally receives the request's
+    /// payload size, which the [`AcceptancePolicy::CostAware`] policy uses
+    /// as its resource-cost estimate (ignored by the other policies).
+    pub fn accepts_request(
+        &self,
+        id: RequestId,
+        payload_size: usize,
+        r_now: u32,
+        load_estimate: f64,
+        now: SimTime,
+        max_client: u32,
+    ) -> bool {
+        match self.policy {
+            AcceptancePolicy::AlwaysAccept => true,
+            AcceptancePolicy::TailDrop => r_now < self.threshold,
+            AcceptancePolicy::ActiveQueue | AcceptancePolicy::CostAware { .. } => {
+                if r_now >= self.threshold {
+                    return false;
+                }
+                let start = (f64::from(self.threshold) * self.aqm.start_fraction) as u32;
+                if r_now < start && load_estimate < f64::from(start) {
+                    return true;
+                }
+                let group_count = (max_client / self.threshold.max(1)) + 1;
+                let prioritized = self.prioritized_group(now, group_count);
+                if self.group_of(id.client) == prioritized {
+                    // Prioritized clients get plain tail drop (already
+                    // passed the r_now < threshold check above).
+                    return true;
+                }
+                // Non-prioritized clients: early drop with a probability
+                // that grows with load, drawn from a PRF keyed by the
+                // request id so all replicas draw the same number. Two
+                // refinements maximize cross-replica unanimity (the goal of
+                // Section 5.1, whose stabilizing effect Section 7.7
+                // demonstrates):
+                //  * the probability ramps to 1.0 at 90 % of the threshold,
+                //    so in sustained overload the *correlated* probabilistic
+                //    branch performs the rejection and the uncorrelated
+                //    hard cap is rarely reached;
+                //  * the probability is quantized to coarse steps, so
+                //    replicas whose load estimates differ by a few requests
+                //    still compute the same p and reach the same verdict.
+                let start_f = f64::from(self.threshold) * self.aqm.start_fraction;
+                let full = f64::from(self.threshold) * 0.9;
+                let load = load_estimate.max(f64::from(r_now));
+                let mut raw = ((load - start_f) / (full - start_f).max(1.0)).clamp(0.0, 1.0);
+                if let AcceptancePolicy::CostAware { reference_size } = self.policy {
+                    // Expensive requests are shed earlier: scale the drop
+                    // probability by the payload size relative to the
+                    // reference ("estimated resource costs", Section 5.1).
+                    let weight =
+                        (payload_size as f64 / reference_size.max(1) as f64).clamp(0.25, 4.0);
+                    raw = (raw * weight).clamp(0.0, 1.0);
+                }
+                let p = (raw * 8.0).floor() / 8.0;
+                let u = (id.stable_hash() >> 11) as f64 / (1u64 << 53) as f64;
+                u >= p
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idem_common::OpNumber;
+
+    fn id(client: u32, op: u64) -> RequestId {
+        RequestId::new(ClientId(client), OpNumber(op))
+    }
+
+    fn aqm_test(threshold: u32) -> AcceptanceTest {
+        AcceptanceTest::new(AcceptancePolicy::ActiveQueue, threshold, AqmConfig::default())
+    }
+
+    #[test]
+    fn always_accept_ignores_load() {
+        let t = AcceptanceTest::new(AcceptancePolicy::AlwaysAccept, 1, AqmConfig::default());
+        assert!(t.accepts(id(0, 0), u32::MAX, SimTime::ZERO, 1000));
+    }
+
+    #[test]
+    fn tail_drop_binary_threshold() {
+        let t = AcceptanceTest::new(AcceptancePolicy::TailDrop, 10, AqmConfig::default());
+        for r_now in 0..10 {
+            assert!(t.accepts(id(0, r_now as u64), r_now, SimTime::ZERO, 0));
+        }
+        assert!(!t.accepts(id(0, 99), 10, SimTime::ZERO, 0));
+        assert!(!t.accepts(id(0, 99), 11, SimTime::ZERO, 0));
+    }
+
+    #[test]
+    fn aqm_accepts_everything_below_start_fraction() {
+        let t = aqm_test(50); // start at 30
+        for r_now in 0..30 {
+            for c in 0..200 {
+                assert!(t.accepts(id(c, 7), r_now, SimTime::ZERO, 199));
+            }
+        }
+    }
+
+    #[test]
+    fn aqm_rejects_everything_at_threshold() {
+        let t = aqm_test(50);
+        for c in 0..200 {
+            assert!(!t.accepts(id(c, 7), 50, SimTime::ZERO, 199));
+        }
+    }
+
+    #[test]
+    fn aqm_prioritized_group_always_passes_tail_drop() {
+        let t = aqm_test(50);
+        // max_client 149 → 3 groups; at time 0 group 0 is prioritized.
+        for c in 0..50 {
+            assert!(
+                t.accepts(id(c, 3), 45, SimTime::ZERO, 149),
+                "prioritized client {c} must be accepted below threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn aqm_non_prioritized_drop_rate_tracks_load() {
+        // The drop probability ramps from 0 at the AQM start fraction
+        // (60 % of RT) to 1 at 90 % of RT.
+        let t = aqm_test(50);
+        // Clients 50..100 are group 1 (not prioritized at time 0).
+        let count_accepted = |r_now: u32| {
+            (0..1000u64)
+                .filter(|&op| t.accepts(id(60, op), r_now, SimTime::ZERO, 149))
+                .count()
+        };
+        let at_start = count_accepted(30); // p = 0 → everyone accepted
+        let mid_ramp = count_accepted(38); // p ≈ 0.5 → ~half accepted
+        let at_full = count_accepted(45); // p = 1 → everyone rejected
+        assert_eq!(at_start, 1000, "no early drop at the ramp start");
+        assert!(
+            (350..=650).contains(&mid_ramp),
+            "accept rate mid-ramp was {mid_ramp}/1000"
+        );
+        assert_eq!(at_full, 0, "full drop at 90% of the threshold");
+    }
+
+    #[test]
+    fn aqm_decision_is_identical_across_replicas() {
+        // Two replicas with the same load estimate must agree on every
+        // request — the PRF is keyed by the request id alone.
+        let a = aqm_test(50);
+        let b = aqm_test(50);
+        for c in 0..100 {
+            for op in 0..50 {
+                let r = id(c, op);
+                assert_eq!(
+                    a.accepts(r, 40, SimTime::ZERO, 99),
+                    b.accepts(r, 40, SimTime::ZERO, 99)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prioritized_group_rotates_over_time_slices() {
+        let t = aqm_test(50);
+        let slice = AqmConfig::default().slice;
+        let g0 = t.prioritized_group(SimTime::ZERO, 3);
+        let g1 = t.prioritized_group(SimTime::ZERO + slice, 3);
+        let g2 = t.prioritized_group(SimTime::ZERO + slice * 2, 3);
+        let g3 = t.prioritized_group(SimTime::ZERO + slice * 3, 3);
+        assert_eq!(vec![g0, g1, g2], vec![0, 1, 2]);
+        assert_eq!(g3, 0, "rotation wraps around");
+    }
+
+    #[test]
+    fn every_group_is_prioritized_regularly() {
+        // Fairness: over one full rotation each of the 4 groups gets
+        // exactly one slice.
+        let t = aqm_test(10);
+        let slice = AqmConfig::default().slice;
+        let mut seen = [false; 4];
+        for i in 0..4u32 {
+            let g = t.prioritized_group(SimTime::ZERO + slice * i, 4);
+            seen[g as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn group_packing_respects_threshold() {
+        let t = aqm_test(50);
+        assert_eq!(t.group_of(ClientId(0)), 0);
+        assert_eq!(t.group_of(ClientId(49)), 0);
+        assert_eq!(t.group_of(ClientId(50)), 1);
+        assert_eq!(t.group_of(ClientId(149)), 2);
+    }
+
+    #[test]
+    fn cost_aware_sheds_large_requests_first() {
+        let t = AcceptanceTest::new(
+            AcceptancePolicy::CostAware { reference_size: 100 },
+            50,
+            AqmConfig::default(),
+        );
+        // Mid-ramp load; client 60 is not prioritized at time 0.
+        let accepted = |size: usize| {
+            (0..1000u64)
+                .filter(|&op| {
+                    t.accepts_request(id(60, op), size, 38, 38.0, SimTime::ZERO, 149)
+                })
+                .count()
+        };
+        let small = accepted(25); // quarter-weight requests
+        let medium = accepted(100); // reference weight
+        let large = accepted(400); // four times the reference
+        assert!(
+            small > medium && medium > large,
+            "acceptance must fall with request size: {small} / {medium} / {large}"
+        );
+        assert_eq!(large, 0, "4x-cost requests at mid-ramp are fully shed");
+    }
+
+    #[test]
+    fn cost_aware_matches_aqm_for_reference_size() {
+        let aqm = aqm_test(50);
+        let cost = AcceptanceTest::new(
+            AcceptancePolicy::CostAware { reference_size: 100 },
+            50,
+            AqmConfig::default(),
+        );
+        for op in 0..500u64 {
+            let r = id(60, op);
+            assert_eq!(
+                aqm.accepts_request(r, 100, 40, 40.0, SimTime::ZERO, 149),
+                cost.accepts_request(r, 100, 40, 40.0, SimTime::ZERO, 149),
+                "reference-size requests behave exactly like plain AQM"
+            );
+        }
+    }
+
+    #[test]
+    fn single_group_degrades_to_tail_drop() {
+        let t = aqm_test(50);
+        // Only clients 0..50 exist → one group → everyone prioritized.
+        for c in 0..50 {
+            assert!(t.accepts(id(c, 1), 49, SimTime::ZERO, 49));
+        }
+    }
+}

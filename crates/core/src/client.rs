@@ -1,0 +1,409 @@
+//! The IDEM client: request submission, reject handling (pessimistic /
+//! optimistic), backoff, and retransmission (paper Sections 4.1 and 5.3).
+
+use std::time::Duration;
+
+use idem_common::{Directory, OpNumber, QuorumSet, QuorumTracker, Request, RequestId};
+use idem_simnet::{Context, Node, NodeId, SimTime, TimerId};
+use rand::Rng;
+
+pub use idem_common::driver::{ClientApp, OperationOutcome, OutcomeKind};
+
+use crate::messages::IdemMessage;
+
+/// How a client reacts once it has collected `n − f` REJECTs (the
+/// *ambivalence* state of Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectHandling {
+    /// Abort immediately on the `n − f`th reject, minimizing rejection
+    /// latency.
+    Pessimistic,
+    /// Wait up to the given grace period for a late reply (or the remaining
+    /// rejects) before aborting — trades rejection latency for success
+    /// rate. The paper's evaluation uses 5 ms.
+    Optimistic(Duration),
+}
+
+/// Client-side protocol configuration.
+///
+/// # Example
+/// ```
+/// use idem_core::{ClientConfig, RejectHandling};
+/// use idem_common::QuorumSet;
+/// use std::time::Duration;
+/// let cfg = ClientConfig::for_quorum(QuorumSet::for_faults(1))
+///     .with_reject_handling(RejectHandling::Pessimistic);
+/// assert_eq!(cfg.reject_handling, RejectHandling::Pessimistic);
+/// assert_eq!(cfg.backoff, (Duration::from_millis(50), Duration::from_millis(100)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// The replica group accessed.
+    pub quorum: QuorumSet,
+    /// Reaction to the ambivalence state.
+    pub reject_handling: RejectHandling,
+    /// Uniform random delay before the next operation after an abort
+    /// (load regulation, Section 7.1: 50–100 ms).
+    pub backoff: (Duration, Duration),
+    /// Retransmission interval for unanswered requests (fair-loss links).
+    pub retransmit_interval: Duration,
+    /// Fixed delay before this client starts issuing operations (e.g. to
+    /// model clients joining mid-run, like a login storm).
+    pub start_delay: Duration,
+    /// The first operation is additionally delayed by a uniform random
+    /// amount up to this, decorrelating client start times.
+    pub start_stagger: Duration,
+    /// Closed-loop think time between a success and the next operation.
+    pub think_time: Duration,
+}
+
+impl ClientConfig {
+    /// The paper's client setup for the given group: optimistic handling
+    /// with a 5 ms grace period, 50–100 ms backoff.
+    pub fn for_quorum(quorum: QuorumSet) -> ClientConfig {
+        ClientConfig {
+            quorum,
+            reject_handling: RejectHandling::Optimistic(Duration::from_millis(5)),
+            backoff: (Duration::from_millis(50), Duration::from_millis(100)),
+            retransmit_interval: Duration::from_millis(200),
+            start_delay: Duration::ZERO,
+            start_stagger: Duration::from_millis(10),
+            think_time: Duration::ZERO,
+        }
+    }
+
+    /// Returns a copy with different reject handling.
+    #[must_use]
+    pub fn with_reject_handling(mut self, handling: RejectHandling) -> ClientConfig {
+        self.reject_handling = handling;
+        self
+    }
+
+    /// Returns a copy with a different post-abort backoff range.
+    #[must_use]
+    pub fn with_backoff(mut self, min: Duration, max: Duration) -> ClientConfig {
+        assert!(min <= max, "backoff range must be ordered");
+        self.backoff = (min, max);
+        self
+    }
+
+    /// Returns a copy with a different start stagger.
+    #[must_use]
+    pub fn with_start_stagger(mut self, stagger: Duration) -> ClientConfig {
+        self.start_stagger = stagger;
+        self
+    }
+
+    /// Returns a copy with a fixed start delay (the client joins the
+    /// system only after this much time).
+    #[must_use]
+    pub fn with_start_delay(mut self, delay: Duration) -> ClientConfig {
+        self.start_delay = delay;
+        self
+    }
+
+    /// Returns a copy with a different think time.
+    #[must_use]
+    pub fn with_think_time(mut self, think: Duration) -> ClientConfig {
+        self.think_time = think;
+        self
+    }
+}
+
+/// Counters of one client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct ClientStats {
+    pub issued: u64,
+    pub successes: u64,
+    pub rejected_ambivalent: u64,
+    pub rejected_final: u64,
+    pub retransmissions: u64,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    id: RequestId,
+    command: Vec<u8>,
+    issued_at: SimTime,
+    rejects: QuorumTracker,
+    optimistic_timer: Option<TimerId>,
+    retransmit_timer: TimerId,
+}
+
+/// An IDEM client node: closed-loop operation issuing with the reject
+/// semantics of Section 5.3.
+pub struct IdemClient {
+    cfg: ClientConfig,
+    id: idem_common::ClientId,
+    dir: Directory<NodeId>,
+    app: Box<dyn ClientApp>,
+    next_op: OpNumber,
+    current: Option<InFlight>,
+    stats: ClientStats,
+    stopped: bool,
+}
+
+impl IdemClient {
+    /// Creates a client with identity `id`, driven by `app`.
+    pub fn new(
+        cfg: ClientConfig,
+        id: idem_common::ClientId,
+        dir: Directory<NodeId>,
+        app: Box<dyn ClientApp>,
+    ) -> IdemClient {
+        IdemClient {
+            cfg,
+            id,
+            dir,
+            app,
+            next_op: OpNumber(1),
+            current: None,
+            stats: ClientStats::default(),
+            stopped: false,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// This client's identity.
+    pub fn client_id(&self) -> idem_common::ClientId {
+        self.id
+    }
+
+    /// Whether the client has stopped issuing operations (its
+    /// [`ClientApp::next_command`] returned `None`).
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Read access to the driving application.
+    pub fn app(&self) -> &dyn ClientApp {
+        &*self.app
+    }
+
+    fn issue_next(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        debug_assert!(self.current.is_none(), "one pending request at a time");
+        let Some(command) = self.app.next_command(ctx.rng()) else {
+            self.stopped = true;
+            return;
+        };
+        let id = RequestId::new(self.id, self.next_op);
+        self.next_op = self.next_op.next();
+        self.stats.issued += 1;
+        let req = Request::new(id, command.clone());
+        let replicas: Vec<NodeId> = self.dir.replica_addrs().to_vec();
+        ctx.multicast(replicas, IdemMessage::Request(req));
+        let retransmit_timer = ctx.set_timer(
+            self.cfg.retransmit_interval,
+            IdemMessage::RetransmitTimer(id.op),
+        );
+        self.current = Some(InFlight {
+            id,
+            command,
+            issued_at: ctx.now(),
+            rejects: QuorumTracker::new(self.cfg.quorum.n()),
+            optimistic_timer: None,
+            retransmit_timer,
+        });
+    }
+
+    fn finish(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        kind: OutcomeKind,
+        result: Option<Vec<u8>>,
+    ) {
+        let flight = self.current.take().expect("operation in flight");
+        ctx.cancel_timer(flight.retransmit_timer);
+        if let Some(t) = flight.optimistic_timer {
+            ctx.cancel_timer(t);
+        }
+        let outcome = OperationOutcome {
+            id: flight.id,
+            kind,
+            latency: ctx.now().saturating_since(flight.issued_at),
+            completed_at: ctx.now(),
+            result,
+        };
+        match kind {
+            OutcomeKind::Success => self.stats.successes += 1,
+            OutcomeKind::RejectedAmbivalent => self.stats.rejected_ambivalent += 1,
+            OutcomeKind::RejectedFinal => self.stats.rejected_final += 1,
+        }
+        self.app.on_outcome(&outcome);
+        match kind {
+            OutcomeKind::Success => {
+                if self.cfg.think_time.is_zero() {
+                    self.issue_next(ctx);
+                } else {
+                    ctx.set_timer(self.cfg.think_time, IdemMessage::BackoffTimer);
+                }
+            }
+            OutcomeKind::RejectedAmbivalent | OutcomeKind::RejectedFinal => {
+                // The service is overloaded: regulate pressure by delaying
+                // the next operation (Section 7.1).
+                let (min, max) = self.cfg.backoff;
+                let delay = if max > min {
+                    let span = (max - min).as_nanos() as u64;
+                    min + Duration::from_nanos(ctx.rng().gen_range(0..=span))
+                } else {
+                    min
+                };
+                ctx.set_timer(delay, IdemMessage::BackoffTimer);
+            }
+        }
+    }
+
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        id: RequestId,
+        result: Vec<u8>,
+    ) {
+        let matches = self.current.as_ref().is_some_and(|f| f.id == id);
+        if matches {
+            self.finish(ctx, OutcomeKind::Success, Some(result));
+        }
+    }
+
+    fn handle_reject(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId, id: RequestId) {
+        let Some(replica) = self.dir.replica_of(from) else {
+            return;
+        };
+        let Some(flight) = self.current.as_mut() else {
+            return;
+        };
+        if flight.id != id {
+            return;
+        }
+        flight.rejects.record(replica);
+        let count = flight.rejects.count();
+        let n = self.cfg.quorum.n();
+        let ambivalence = self.cfg.quorum.ambivalence();
+        if count >= n {
+            // Failure state: conclusively rejected by every replica.
+            self.finish(ctx, OutcomeKind::RejectedFinal, None);
+        } else if count >= ambivalence {
+            match self.cfg.reject_handling {
+                RejectHandling::Pessimistic => {
+                    self.finish(ctx, OutcomeKind::RejectedAmbivalent, None);
+                }
+                RejectHandling::Optimistic(grace) => {
+                    if flight.optimistic_timer.is_none() {
+                        let timer =
+                            ctx.set_timer(grace, IdemMessage::OptimisticTimer(id.op));
+                        self.current
+                            .as_mut()
+                            .expect("in flight")
+                            .optimistic_timer = Some(timer);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_optimistic_timer(&mut self, ctx: &mut Context<'_, IdemMessage>, op: OpNumber) {
+        let matches = self.current.as_ref().is_some_and(|f| f.id.op == op);
+        if matches {
+            self.finish(ctx, OutcomeKind::RejectedAmbivalent, None);
+        }
+    }
+
+    fn handle_retransmit_timer(&mut self, ctx: &mut Context<'_, IdemMessage>, op: OpNumber) {
+        let Some(flight) = self.current.as_mut() else {
+            return;
+        };
+        if flight.id.op != op {
+            return;
+        }
+        self.stats.retransmissions += 1;
+        let req = Request::new(flight.id, flight.command.clone());
+        let timer = ctx.set_timer(
+            self.cfg.retransmit_interval,
+            IdemMessage::RetransmitTimer(op),
+        );
+        self.current.as_mut().expect("in flight").retransmit_timer = timer;
+        let replicas: Vec<NodeId> = self.dir.replica_addrs().to_vec();
+        ctx.multicast(replicas, IdemMessage::Request(req));
+    }
+}
+
+impl Node<IdemMessage> for IdemClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        let stagger = self.cfg.start_stagger.as_nanos() as u64;
+        let jitter = if stagger == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(ctx.rng().gen_range(0..=stagger))
+        };
+        let delay = self.cfg.start_delay + jitter;
+        if delay.is_zero() {
+            self.issue_next(ctx);
+        } else {
+            ctx.set_timer(delay, IdemMessage::BackoffTimer);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId, msg: IdemMessage) {
+        match msg {
+            IdemMessage::Reply(reply) => self.handle_reply(ctx, reply.id, reply.result),
+            IdemMessage::Reject(id) => self.handle_reject(ctx, from, id),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, IdemMessage>, _id: TimerId, msg: IdemMessage) {
+        match msg {
+            IdemMessage::BackoffTimer => {
+                if self.current.is_none() && !self.stopped {
+                    self.issue_next(ctx);
+                }
+            }
+            IdemMessage::OptimisticTimer(op) => self.handle_optimistic_timer(ctx, op),
+            IdemMessage::RetransmitTimer(op) => self.handle_retransmit_timer(ctx, op),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builder_round_trips() {
+        let cfg = ClientConfig::for_quorum(QuorumSet::for_faults(2))
+            .with_reject_handling(RejectHandling::Pessimistic)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(2))
+            .with_start_stagger(Duration::ZERO)
+            .with_think_time(Duration::from_micros(5));
+        assert_eq!(cfg.quorum.n(), 5);
+        assert_eq!(cfg.reject_handling, RejectHandling::Pessimistic);
+        assert_eq!(cfg.backoff.0, Duration::from_millis(1));
+        assert_eq!(cfg.think_time, Duration::from_micros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff range must be ordered")]
+    fn backoff_range_must_be_ordered() {
+        let _ = ClientConfig::for_quorum(QuorumSet::for_faults(1))
+            .with_backoff(Duration::from_millis(5), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let cfg = ClientConfig::for_quorum(QuorumSet::for_faults(1));
+        assert_eq!(
+            cfg.reject_handling,
+            RejectHandling::Optimistic(Duration::from_millis(5))
+        );
+        assert_eq!(
+            cfg.backoff,
+            (Duration::from_millis(50), Duration::from_millis(100))
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! IDEM protocol configuration.
+
+use std::time::Duration;
+
+use idem_common::{FixedCost, QuorumSet};
+
+use crate::acceptance::AcceptancePolicy;
+
+/// Configuration of an IDEM replica group.
+///
+/// Defaults mirror the evaluation setup of the paper (Section 7.1):
+/// reject threshold `RT = 50`, active queue management with 2 s time
+/// slices, a 10 ms forward timeout, and a 1.5 s progress (view-change)
+/// timeout.
+///
+/// # Example
+/// ```
+/// use idem_core::{AcceptancePolicy, IdemConfig};
+/// let cfg = IdemConfig::for_faults(1)
+///     .with_reject_threshold(75)
+///     .with_acceptance(AcceptancePolicy::TailDrop);
+/// assert_eq!(cfg.quorum.n(), 3);
+/// assert_eq!(cfg.reject_threshold, 75);
+/// assert_eq!(cfg.r_max(), 225);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdemConfig {
+    /// Replica group size / fault threshold.
+    pub quorum: QuorumSet,
+    /// `r`, the maximum number of concurrently accepted client-issued
+    /// requests per replica (the *reject threshold* of Section 7.5).
+    pub reject_threshold: u32,
+    /// The acceptance test variant (Section 5.1).
+    pub acceptance: AcceptancePolicy,
+    /// Size of the parallel consensus window; must be at least
+    /// [`r_max`](IdemConfig::r_max) for implicit garbage collection to be
+    /// sound (Theorem 6.1).
+    pub window_size: u64,
+    /// A checkpoint is taken every this many executed instances.
+    pub checkpoint_interval: u64,
+    /// Delay before an accepted-but-unexecuted request is forwarded to the
+    /// other replicas (Section 5.2, "delayed forwarding").
+    pub forward_timeout: Duration,
+    /// View-change timeout: if no execution progress happens for this long
+    /// while requests are pending, the replica abandons the current view.
+    pub progress_timeout: Duration,
+    /// Capacity of the recently-rejected request cache (Section 5.2).
+    pub rejected_cache_capacity: usize,
+    /// CPU cost charged per received protocol message.
+    pub message_cost: FixedCost,
+}
+
+impl IdemConfig {
+    /// Creates the default configuration for a group tolerating `f`
+    /// crashes (`n = 2f + 1` replicas).
+    pub fn for_faults(f: u32) -> IdemConfig {
+        let quorum = QuorumSet::for_faults(f);
+        let reject_threshold = 50;
+        let r_max = u64::from(quorum.n()) * u64::from(reject_threshold);
+        IdemConfig {
+            quorum,
+            reject_threshold,
+            acceptance: AcceptancePolicy::default(),
+            window_size: 2 * r_max,
+            checkpoint_interval: 128,
+            forward_timeout: Duration::from_millis(10),
+            progress_timeout: Duration::from_millis(1500),
+            rejected_cache_capacity: 4 * reject_threshold as usize,
+            message_cost: FixedCost::new(Duration::from_micros(2), Duration::ZERO),
+        }
+    }
+
+    /// `r_max = n × r`: the system-wide bound on concurrently active
+    /// requests (Section 4.3).
+    pub fn r_max(&self) -> u64 {
+        u64::from(self.quorum.n()) * u64::from(self.reject_threshold)
+    }
+
+    /// Returns a copy with a different reject threshold, keeping the window
+    /// sized at twice the new `r_max` and the cache at four times the
+    /// threshold.
+    #[must_use]
+    pub fn with_reject_threshold(mut self, rt: u32) -> IdemConfig {
+        self.reject_threshold = rt;
+        self.window_size = 2 * self.r_max();
+        self.rejected_cache_capacity = 4 * rt as usize;
+        self
+    }
+
+    /// Returns a copy with a different acceptance policy.
+    #[must_use]
+    pub fn with_acceptance(mut self, policy: AcceptancePolicy) -> IdemConfig {
+        self.acceptance = policy;
+        self
+    }
+
+    /// Returns a copy with a different forward timeout.
+    #[must_use]
+    pub fn with_forward_timeout(mut self, t: Duration) -> IdemConfig {
+        self.forward_timeout = t;
+        self
+    }
+
+    /// Returns a copy with a different progress (view-change) timeout.
+    #[must_use]
+    pub fn with_progress_timeout(mut self, t: Duration) -> IdemConfig {
+        self.progress_timeout = t;
+        self
+    }
+
+    /// Returns a copy with a different per-message CPU cost model.
+    #[must_use]
+    pub fn with_message_cost(mut self, cost: FixedCost) -> IdemConfig {
+        self.message_cost = cost;
+        self
+    }
+
+    /// Validates the invariants the protocol relies on.
+    ///
+    /// # Panics
+    /// Panics if `window_size < r_max` (would break implicit GC,
+    /// Theorem 6.1), if the reject threshold is zero, or if the checkpoint
+    /// interval is zero.
+    pub fn validate(&self) {
+        assert!(self.reject_threshold > 0, "reject threshold must be positive");
+        assert!(
+            self.window_size >= self.r_max(),
+            "window size {} smaller than r_max {}; implicit GC would be unsound",
+            self.window_size,
+            self.r_max()
+        );
+        assert!(
+            self.checkpoint_interval > 0,
+            "checkpoint interval must be positive"
+        );
+    }
+}
+
+impl Default for IdemConfig {
+    /// The paper's standard setup: `f = 1` (three replicas), `RT = 50`.
+    fn default() -> IdemConfig {
+        IdemConfig::for_faults(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let cfg = IdemConfig::default();
+        assert_eq!(cfg.quorum.n(), 3);
+        assert_eq!(cfg.reject_threshold, 50);
+        assert_eq!(cfg.r_max(), 150);
+        assert_eq!(cfg.forward_timeout, Duration::from_millis(10));
+        cfg.validate();
+    }
+
+    #[test]
+    fn with_reject_threshold_rescales_window_and_cache() {
+        let cfg = IdemConfig::for_faults(1).with_reject_threshold(20);
+        assert_eq!(cfg.r_max(), 60);
+        assert_eq!(cfg.window_size, 120);
+        assert_eq!(cfg.rejected_cache_capacity, 80);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "implicit GC would be unsound")]
+    fn validate_rejects_small_window() {
+        let mut cfg = IdemConfig::default();
+        cfg.window_size = cfg.r_max() - 1;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reject threshold must be positive")]
+    fn validate_rejects_zero_threshold() {
+        let mut cfg = IdemConfig::default();
+        cfg.reject_threshold = 0;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,1231 @@
+//! The IDEM replica: acceptance test, agreement, forwarding, implicit
+//! garbage collection, checkpointing, and view changes (paper Sections 4–5).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use idem_common::{
+    ClientId, Directory, QuorumTracker, Reply, Request, RequestId, SeqNumber, SeqWindow,
+    StateMachine, View,
+};
+use idem_common::app::CostModel;
+use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
+
+use crate::acceptance::AcceptanceTest;
+use crate::config::IdemConfig;
+use crate::messages::{CheckpointData, ClientRecord, IdemMessage, WindowEntry};
+
+/// Reserved client id for no-op requests proposed to fill sequence gaps
+/// after a view change.
+pub const NOOP_CLIENT: ClientId = ClientId(u32::MAX);
+
+fn noop_id(sqn: SeqNumber) -> RequestId {
+    RequestId::new(NOOP_CLIENT, idem_common::OpNumber(sqn.0))
+}
+
+/// Observable protocol counters of one replica.
+///
+/// These make the internal mechanisms testable: e.g. the Table 1
+/// reproduction asserts that `forwards_sent` stays negligible thanks to the
+/// rejected-request cache, and the view-change tests assert on
+/// `view_changes_completed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct ReplicaStats {
+    pub requests_received: u64,
+    pub duplicates: u64,
+    pub rejected: u64,
+    pub accepted_client: u64,
+    pub accepted_forward: u64,
+    pub proposals_sent: u64,
+    pub commits_sent: u64,
+    pub executed: u64,
+    pub replies_sent: u64,
+    pub forwards_sent: u64,
+    pub fetches_sent: u64,
+    pub fetches_served: u64,
+    pub rejected_cache_hits: u64,
+    pub checkpoints_taken: u64,
+    pub checkpoints_installed: u64,
+    pub view_changes_started: u64,
+    pub view_changes_completed: u64,
+    pub noops_proposed: u64,
+    pub gc_advances: u64,
+    pub stalls: u64,
+}
+
+/// Bounded FIFO cache of recently rejected requests (Section 5.2): a
+/// rejected request might still be accepted elsewhere and get committed, in
+/// which case having the body cached avoids a forward.
+#[derive(Debug, Default)]
+struct RejectedCache {
+    capacity: usize,
+    order: VecDeque<RequestId>,
+    map: BTreeMap<RequestId, Request>,
+}
+
+impl RejectedCache {
+    fn new(capacity: usize) -> RejectedCache {
+        RejectedCache {
+            capacity,
+            order: VecDeque::new(),
+            map: BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, req: Request) {
+        if self.capacity == 0 || self.map.contains_key(&req.id) {
+            return;
+        }
+        self.order.push_back(req.id);
+        self.map.insert(req.id, req);
+        while self.map.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+    }
+
+    fn get(&self, id: &RequestId) -> Option<&Request> {
+        self.map.get(id)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// One consensus instance inside the window.
+#[derive(Debug, Clone)]
+struct Instance {
+    id: RequestId,
+    view: View,
+    votes: QuorumTracker,
+    committed: bool,
+    executed: bool,
+    fetch_sent: bool,
+    source: idem_common::ReplicaId,
+}
+
+/// An IDEM replica, implementing [`Node`] over [`IdemMessage`].
+///
+/// Construct with [`IdemReplica::new`] and install into a
+/// [`Simulation`](idem_simnet::Simulation); see the crate-level example.
+pub struct IdemReplica {
+    cfg: IdemConfig,
+    me: idem_common::ReplicaId,
+    dir: Directory<NodeId>,
+    app: Box<dyn StateMachine>,
+    test: AcceptanceTest,
+
+    view: View,
+    /// Pending view-change target (`Some` while between views).
+    vc_target: Option<View>,
+    /// Latest `ViewChange` window summary per (target view, sender).
+    vc_store: BTreeMap<u64, BTreeMap<u32, Vec<WindowEntry>>>,
+
+    window: SeqWindow<Instance>,
+    next_propose: SeqNumber,
+    next_exec: SeqNumber,
+    /// Set when GC overtook local execution; cleared by checkpoint install.
+    stalled: bool,
+
+    /// Accepted, not-yet-executed request ids (`r_now = active.len()`).
+    active: BTreeSet<RequestId>,
+    /// Bodies of accepted requests not yet pruned by a checkpoint.
+    store: BTreeMap<RequestId, Request>,
+    rejected_cache: RejectedCache,
+    /// Leader: REQUIRE endorsements per request id.
+    require_votes: BTreeMap<RequestId, QuorumTracker>,
+    /// Leader: ids already bound to a sequence number.
+    proposed: BTreeMap<RequestId, SeqNumber>,
+    /// Require-quorum reached while the window was full.
+    pending_proposals: VecDeque<RequestId>,
+
+    /// Highest executed op + cached reply per client (duplicate handling).
+    last_executed: BTreeMap<u32, (idem_common::OpNumber, Vec<u8>)>,
+    checkpoint: Option<CheckpointData>,
+
+    forward_timers: BTreeMap<RequestId, TimerId>,
+    progress_timer: Option<TimerId>,
+    /// Evidence that a view below our pending view-change target is still
+    /// live (f+1 distinct senders): a rejoining partitioned replica must
+    /// abandon its solo view change and fall back in.
+    rejoin_votes: Option<(View, QuorumTracker)>,
+
+    max_client_seen: u32,
+    /// Exponentially smoothed `r_now` (time constant ≈20 ms) feeding the
+    /// AQM probability so replicas compute near-identical drop rates.
+    load_estimate: f64,
+    load_estimate_at: SimTime,
+    stats: ReplicaStats,
+}
+
+impl IdemReplica {
+    /// Creates a replica with identity `me`, the cluster address book, and
+    /// the application to replicate.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`IdemConfig::validate`]).
+    pub fn new(
+        cfg: IdemConfig,
+        me: idem_common::ReplicaId,
+        dir: Directory<NodeId>,
+        app: Box<dyn StateMachine>,
+    ) -> IdemReplica {
+        cfg.validate();
+        let test = AcceptanceTest::new(
+            cfg.acceptance,
+            cfg.reject_threshold,
+            crate::acceptance::AqmConfig::default(),
+        );
+        IdemReplica {
+            window: SeqWindow::new(cfg.window_size),
+            rejected_cache: RejectedCache::new(cfg.rejected_cache_capacity),
+            cfg,
+            me,
+            dir,
+            app,
+            test,
+            view: View(0),
+            vc_target: None,
+            vc_store: BTreeMap::new(),
+            next_propose: SeqNumber(0),
+            next_exec: SeqNumber(0),
+            stalled: false,
+            active: BTreeSet::new(),
+            store: BTreeMap::new(),
+            require_votes: BTreeMap::new(),
+            proposed: BTreeMap::new(),
+            pending_proposals: VecDeque::new(),
+            last_executed: BTreeMap::new(),
+            checkpoint: None,
+            forward_timers: BTreeMap::new(),
+            progress_timer: None,
+            rejoin_votes: None,
+            max_client_seen: 0,
+            load_estimate: 0.0,
+            load_estimate_at: SimTime::ZERO,
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> &ReplicaStats {
+        &self.stats
+    }
+
+    /// The view this replica currently operates in.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Whether this replica is between views (view change in progress).
+    pub fn in_view_change(&self) -> bool {
+        self.vc_target.is_some()
+    }
+
+    /// Number of currently active (accepted, unexecuted) requests: the
+    /// `r_now` of the acceptance test.
+    pub fn active_requests(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Next sequence number to execute.
+    pub fn next_exec(&self) -> SeqNumber {
+        self.next_exec
+    }
+
+    /// Read access to the replicated application (for state comparison in
+    /// tests).
+    pub fn app(&self) -> &dyn StateMachine {
+        &*self.app
+    }
+
+    /// Number of entries currently held in the rejected-request cache.
+    pub fn rejected_cache_len(&self) -> usize {
+        self.rejected_cache.len()
+    }
+
+    /// Highest executed operation number for `client`, if any.
+    pub fn last_executed_op(&self, client: ClientId) -> Option<idem_common::OpNumber> {
+        self.last_executed.get(&client.0).map(|(op, _)| *op)
+    }
+
+    // ---------------------------------------------------------------- roles
+
+    fn n(&self) -> u32 {
+        self.cfg.quorum.n()
+    }
+
+    fn majority(&self) -> u32 {
+        self.cfg.quorum.majority()
+    }
+
+    /// The view whose leader currently receives REQUIREs: the pending
+    /// view-change target if any, the entered view otherwise.
+    fn effective_view(&self) -> View {
+        self.vc_target.unwrap_or(self.view)
+    }
+
+    fn leader_of(&self, v: View) -> idem_common::ReplicaId {
+        v.leader(self.n())
+    }
+
+    fn is_leader(&self) -> bool {
+        self.vc_target.is_none() && self.leader_of(self.view) == self.me
+    }
+
+    fn leader_node(&self) -> NodeId {
+        self.dir.replica(self.leader_of(self.effective_view()))
+    }
+
+    fn peers(&self) -> Vec<NodeId> {
+        let me = self.dir.replica(self.me);
+        self.dir
+            .replica_addrs()
+            .iter()
+            .copied()
+            .filter(|&n| n != me)
+            .collect()
+    }
+
+    fn executed_already(&self, id: RequestId) -> bool {
+        self.last_executed
+            .get(&id.client.0)
+            .is_some_and(|(op, _)| *op >= id.op)
+    }
+
+    // ------------------------------------------------------- request intake
+
+    fn handle_request(&mut self, ctx: &mut Context<'_, IdemMessage>, req: Request) {
+        self.stats.requests_received += 1;
+        self.max_client_seen = self.max_client_seen.max(req.id.client.0);
+        let id = req.id;
+
+        if self.executed_already(id) {
+            self.stats.duplicates += 1;
+            // Retransmission of a completed operation. In the normal case
+            // only the leader replies, but a retransmission means the
+            // client never saw that reply (lost message or crashed leader),
+            // so *any* replica may answer from its reply cache — execution
+            // is deterministic, all caches agree.
+            if let Some((op, reply)) = self.last_executed.get(&id.client.0) {
+                if *op == id.op {
+                    let msg = IdemMessage::Reply(Reply::new(id, reply.clone()));
+                    self.stats.replies_sent += 1;
+                    ctx.send(self.dir.client(id.client), msg);
+                }
+            }
+            return;
+        }
+
+        if self.active.contains(&id) || self.proposed.contains_key(&id) {
+            // Retransmission of an in-flight request (e.g. across a view
+            // change): make sure the body is stored and the current leader
+            // knows we vouch for it.
+            self.stats.duplicates += 1;
+            self.store.entry(id).or_insert(req);
+            let leader = self.leader_node();
+            ctx.send(leader, IdemMessage::Require(id));
+            return;
+        }
+
+        // The acceptance test (Section 5.1).
+        let r_now = self.active.len() as u32;
+        let estimate = self.update_load_estimate(ctx.now(), r_now);
+        if !self.test.accepts_request(
+            id,
+            req.command.len(),
+            r_now,
+            estimate,
+            ctx.now(),
+            self.max_client_seen,
+        ) {
+            self.stats.rejected += 1;
+            let client = self.dir.client(id.client);
+            self.rejected_cache.insert(req);
+            ctx.send(client, IdemMessage::Reject(id));
+            return;
+        }
+
+        self.stats.accepted_client += 1;
+        self.accept(ctx, req);
+    }
+
+    /// Common accept path for client-received and forwarded requests.
+    fn accept(&mut self, ctx: &mut Context<'_, IdemMessage>, req: Request) {
+        let id = req.id;
+        self.active.insert(id);
+        self.store.insert(id, req);
+        let leader = self.leader_node();
+        ctx.send(leader, IdemMessage::Require(id));
+        let timer = ctx.set_timer(self.cfg.forward_timeout, IdemMessage::ForwardTimer(id));
+        if let Some(old) = self.forward_timers.insert(id, timer) {
+            ctx.cancel_timer(old);
+        }
+        self.ensure_progress_timer(ctx);
+    }
+
+    /// Advances the exponentially smoothed load estimate to `now`.
+    fn update_load_estimate(&mut self, now: SimTime, r_now: u32) -> f64 {
+        const TAU_NS: f64 = 20_000_000.0; // 20 ms time constant
+        let dt = now.saturating_since(self.load_estimate_at).as_nanos() as f64;
+        let w = (-dt / TAU_NS).exp();
+        self.load_estimate = w * self.load_estimate + (1.0 - w) * f64::from(r_now);
+        self.load_estimate_at = now;
+        self.load_estimate
+    }
+
+    fn handle_forward(&mut self, ctx: &mut Context<'_, IdemMessage>, req: Request) {
+        let id = req.id;
+        self.max_client_seen = self.max_client_seen.max(id.client.0);
+        if self.executed_already(id) {
+            return;
+        }
+        if self.active.contains(&id) {
+            self.store.entry(id).or_insert(req);
+            return;
+        }
+        // Forwarded requests are accepted regardless of load (Section 4.3).
+        self.stats.accepted_forward += 1;
+        self.accept(ctx, req);
+        // A forward may answer an outstanding fetch: retry execution.
+        self.try_execute(ctx);
+    }
+
+    fn handle_fetch(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId, id: RequestId) {
+        let body = self
+            .store
+            .get(&id)
+            .or_else(|| self.rejected_cache.get(&id))
+            .cloned();
+        if let Some(req) = body {
+            self.stats.fetches_served += 1;
+            ctx.send(from, IdemMessage::Forward(req));
+        }
+    }
+
+    fn handle_forward_timer(&mut self, ctx: &mut Context<'_, IdemMessage>, id: RequestId) {
+        self.forward_timers.remove(&id);
+        if !self.active.contains(&id) || self.executed_already(id) {
+            return;
+        }
+        // Delayed forwarding (Section 5.2): the request is still live after
+        // the timeout, so relay it to everyone and re-endorse it with the
+        // current leader, then re-arm.
+        if let Some(req) = self.store.get(&id).cloned() {
+            self.stats.forwards_sent += 1;
+            let peers = self.peers();
+            ctx.multicast(peers, IdemMessage::Forward(req));
+            let leader = self.leader_node();
+            ctx.send(leader, IdemMessage::Require(id));
+            let timer = ctx.set_timer(self.cfg.forward_timeout, IdemMessage::ForwardTimer(id));
+            self.forward_timers.insert(id, timer);
+        }
+    }
+
+    // ---------------------------------------------------------- agreement
+
+    fn handle_require(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        from: NodeId,
+        id: RequestId,
+    ) {
+        let Some(from_replica) = self.dir.replica_of(from) else {
+            return;
+        };
+        if self.executed_already(id) {
+            return;
+        }
+        if let Some(&sqn) = self.proposed.get(&id) {
+            // Already bound: retransmit the proposal to the endorser, which
+            // may have missed it.
+            if let Some(inst) = self.window.get(sqn) {
+                if inst.id == id && from != ctx.id() {
+                    let view = inst.view;
+                    ctx.send(from, IdemMessage::Propose { id, sqn, view });
+                }
+            }
+            return;
+        }
+        let majority = self.majority();
+        let votes = self
+            .require_votes
+            .entry(id)
+            .or_insert_with(|| QuorumTracker::new(majority));
+        if votes.record(from_replica) {
+            self.try_propose(ctx, id);
+        }
+    }
+
+    fn try_propose(&mut self, ctx: &mut Context<'_, IdemMessage>, id: RequestId) {
+        if !self.is_leader() {
+            // Keep the endorsements; they are drained if we become leader.
+            return;
+        }
+        if self.proposed.contains_key(&id) || self.executed_already(id) {
+            self.require_votes.remove(&id);
+            return;
+        }
+        if self.next_propose >= self.window.high() {
+            self.pending_proposals.push_back(id);
+            return;
+        }
+        let sqn = self.next_propose.max(self.window.low());
+        self.next_propose = sqn.next();
+        self.bind_and_propose(ctx, id, sqn);
+        self.maybe_advance_window(ctx, sqn);
+        self.try_execute(ctx);
+    }
+
+    /// Installs an instance at `sqn` led by this replica in the current
+    /// view and multicasts the proposal.
+    fn bind_and_propose(&mut self, ctx: &mut Context<'_, IdemMessage>, id: RequestId, sqn: SeqNumber) {
+        let mut votes = QuorumTracker::new(self.majority());
+        let committed = votes.record(self.me) || votes.reached();
+        let executed = self.executed_already(id);
+        let inst = Instance {
+            id,
+            view: self.view,
+            votes,
+            committed,
+            executed,
+            fetch_sent: false,
+            source: self.me,
+        };
+        self.window.insert(sqn, inst);
+        self.proposed.insert(id, sqn);
+        self.require_votes.remove(&id);
+        self.stats.proposals_sent += 1;
+        let view = self.view;
+        let peers = self.peers();
+        ctx.multicast(peers, IdemMessage::Propose { id, sqn, view });
+    }
+
+    fn view_acceptable(&self, v: View) -> bool {
+        match self.vc_target {
+            Some(t) => v >= t,
+            None => v >= self.view,
+        }
+    }
+
+    /// A partitioned replica that unilaterally demanded a view change must
+    /// rejoin the old view when it reconnects and observes that view still
+    /// making progress at `f + 1` distinct replicas (nobody else will help
+    /// complete its solo view change).
+    fn observe_live_view(&mut self, ctx: &mut Context<'_, IdemMessage>, v: View, sender: idem_common::ReplicaId) -> bool {
+        let Some(target) = self.vc_target else {
+            return false;
+        };
+        if v < self.view || v >= target {
+            return false;
+        }
+        match &mut self.rejoin_votes {
+            Some((lv, votes)) if *lv == v => {
+                votes.record(sender);
+                if votes.reached() {
+                    self.rejoin_votes = None;
+                    self.vc_target = None;
+                    self.view = v;
+                    self.vc_store.retain(|&t, _| t > v.0);
+                    self.reset_progress_timer(ctx);
+                    return true;
+                }
+            }
+            _ => {
+                let mut votes = QuorumTracker::new(self.majority());
+                votes.record(sender);
+                self.rejoin_votes = Some((v, votes));
+            }
+        }
+        false
+    }
+
+    /// Adopts a higher (or pending-target) view upon evidence that it is
+    /// operational, and re-endorses live requests with its leader.
+    fn enter_view_as_follower(&mut self, ctx: &mut Context<'_, IdemMessage>, v: View) {
+        if v > self.view || self.vc_target == Some(v) {
+            self.view = v;
+            self.vc_target = None;
+            self.vc_store.retain(|&t, _| t > v.0);
+            // Re-endorse everything still live so the new leader can
+            // propose requests whose REQUIREs died with the old leader.
+            let leader = self.dir.replica(self.leader_of(v));
+            let live: Vec<RequestId> = self
+                .active
+                .iter()
+                .copied()
+                .filter(|id| !self.executed_already(*id))
+                .collect();
+            for id in live {
+                ctx.send(leader, IdemMessage::Require(id));
+            }
+        }
+    }
+
+    fn handle_propose(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        from: NodeId,
+        id: RequestId,
+        sqn: SeqNumber,
+        view: View,
+    ) {
+        let Some(sender) = self.dir.replica_of(from) else {
+            return;
+        };
+        if !self.view_acceptable(view) {
+            if self.leader_of(view) == sender {
+                self.observe_live_view(ctx, view, sender);
+            }
+            return;
+        }
+        if self.leader_of(view) != sender {
+            return;
+        }
+        if view > self.view || self.vc_target == Some(view) {
+            self.enter_view_as_follower(ctx, view);
+        }
+        if self.window.is_stale(sqn) {
+            return;
+        }
+        if self.window.is_ahead(sqn) {
+            // We are lagging far behind; ask the leader for a checkpoint.
+            ctx.send(from, IdemMessage::CheckpointRequest);
+            return;
+        }
+        let replace = match self.window.get(sqn) {
+            Some(existing) => view > existing.view,
+            None => true,
+        };
+        if replace {
+            let mut votes = QuorumTracker::new(self.majority());
+            votes.record(sender); // the leader's proposal counts as a commit
+            votes.record(self.me);
+            let committed = votes.reached();
+            let executed = self
+                .window
+                .get(sqn)
+                .is_some_and(|i| i.executed && i.id == id)
+                || self.executed_already(id);
+            self.window.insert(
+                sqn,
+                Instance {
+                    id,
+                    view,
+                    votes,
+                    committed,
+                    executed,
+                    fetch_sent: false,
+                    source: sender,
+                },
+            );
+        } else {
+            let inst = self.window.get_mut(sqn).expect("checked above");
+            if inst.view == view && inst.id == id {
+                inst.votes.record(sender);
+                inst.votes.record(self.me);
+                if inst.votes.reached() {
+                    inst.committed = true;
+                }
+            }
+        }
+        self.stats.commits_sent += 1;
+        let peers = self.peers();
+        ctx.multicast(peers, IdemMessage::Commit { id, sqn, view });
+        self.maybe_advance_window(ctx, sqn);
+        self.try_execute(ctx);
+    }
+
+    fn handle_commit(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        from: NodeId,
+        id: RequestId,
+        sqn: SeqNumber,
+        view: View,
+    ) {
+        let Some(sender) = self.dir.replica_of(from) else {
+            return;
+        };
+        if !self.view_acceptable(view) {
+            self.observe_live_view(ctx, view, sender);
+            return;
+        }
+        if view > self.view || self.vc_target == Some(view) {
+            // f+1 replicas saw the new leader's proposal; safe to follow.
+            self.enter_view_as_follower(ctx, view);
+        }
+        if self.window.is_stale(sqn) {
+            return;
+        }
+        if self.window.is_ahead(sqn) {
+            ctx.send(from, IdemMessage::CheckpointRequest);
+            return;
+        }
+        let leader = self.leader_of(view);
+        match self.window.get_mut(sqn) {
+            Some(inst) if inst.view == view && inst.id == id => {
+                inst.votes.record(sender);
+                // A commit proves the sender saw the leader's proposal.
+                inst.votes.record(leader);
+                if inst.votes.reached() {
+                    inst.committed = true;
+                }
+            }
+            Some(_) => {} // different binding; ignore
+            None => {
+                // Commit arrived before the proposal: create the instance
+                // from the commit's information.
+                let mut votes = QuorumTracker::new(self.majority());
+                votes.record(sender);
+                votes.record(self.leader_of(view));
+                let committed = votes.reached();
+                let executed = self.executed_already(id);
+                self.window.insert(
+                    sqn,
+                    Instance {
+                        id,
+                        view,
+                        votes,
+                        committed,
+                        executed,
+                        fetch_sent: false,
+                        source: sender,
+                    },
+                );
+            }
+        }
+        self.maybe_advance_window(ctx, sqn);
+        self.try_execute(ctx);
+    }
+
+    // ---------------------------------------------------------- execution
+
+    fn try_execute(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        let mut progressed = false;
+        loop {
+            if self.stalled {
+                break;
+            }
+            if self.window.is_stale(self.next_exec) {
+                // GC overtook us; only a checkpoint can resynchronize.
+                self.enter_stall(ctx);
+                break;
+            }
+            let Some(inst) = self.window.get(self.next_exec) else {
+                break;
+            };
+            if !inst.committed {
+                break;
+            }
+            let id = inst.id;
+            if inst.executed {
+                self.next_exec = self.next_exec.next();
+                self.after_execute(ctx);
+                progressed = true;
+                continue;
+            }
+            if id.client == NOOP_CLIENT {
+                self.window
+                    .get_mut(self.next_exec)
+                    .expect("present")
+                    .executed = true;
+                self.next_exec = self.next_exec.next();
+                self.after_execute(ctx);
+                progressed = true;
+                continue;
+            }
+            if self.executed_already(id) {
+                // Duplicate binding across views: consume without re-running
+                // the application.
+                self.window
+                    .get_mut(self.next_exec)
+                    .expect("present")
+                    .executed = true;
+                self.finish_request(ctx, id);
+                self.next_exec = self.next_exec.next();
+                self.after_execute(ctx);
+                progressed = true;
+                continue;
+            }
+            let body = self
+                .store
+                .get(&id)
+                .or_else(|| {
+                    if self.rejected_cache.get(&id).is_some() {
+                        self.rejected_cache.get(&id)
+                    } else {
+                        None
+                    }
+                })
+                .cloned();
+            let Some(req) = body else {
+                // Committed id whose body we never saw: fetch it
+                // (Section 5.2, request fetching).
+                let source = inst.source;
+                let already = inst.fetch_sent;
+                if !already {
+                    self.window
+                        .get_mut(self.next_exec)
+                        .expect("present")
+                        .fetch_sent = true;
+                    self.stats.fetches_sent += 1;
+                    let target = self.dir.replica(source);
+                    ctx.send(target, IdemMessage::Fetch(id));
+                }
+                break;
+            };
+            if self.rejected_cache.get(&id).is_some() && !self.store.contains_key(&id) {
+                self.stats.rejected_cache_hits += 1;
+            }
+            // Execute.
+            let cost = self.app.execution_cost(&req.command);
+            ctx.charge(cost);
+            let result = self.app.execute(&req.command);
+            self.stats.executed += 1;
+            self.last_executed
+                .insert(id.client.0, (id.op, result.clone()));
+            if self.is_leader() {
+                self.stats.replies_sent += 1;
+                let client = self.dir.client(id.client);
+                ctx.send(client, IdemMessage::Reply(Reply::new(id, result)));
+            }
+            self.window
+                .get_mut(self.next_exec)
+                .expect("present")
+                .executed = true;
+            self.finish_request(ctx, id);
+            self.next_exec = self.next_exec.next();
+            self.after_execute(ctx);
+            progressed = true;
+        }
+        if progressed {
+            self.reset_progress_timer(ctx);
+            self.drain_pending_proposals(ctx);
+        }
+    }
+
+    /// Releases the active slot and leader bookkeeping of a finished request.
+    fn finish_request(&mut self, ctx: &mut Context<'_, IdemMessage>, id: RequestId) {
+        self.active.remove(&id);
+        self.require_votes.remove(&id);
+        if let Some(timer) = self.forward_timers.remove(&id) {
+            ctx.cancel_timer(timer);
+        }
+    }
+
+    /// Post-execution bookkeeping: periodic checkpointing.
+    fn after_execute(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        if self.next_exec.0 % self.cfg.checkpoint_interval == 0 {
+            self.take_checkpoint(ctx);
+        }
+    }
+
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        let snapshot = self.app.snapshot();
+        // Snapshot serialization costs CPU like handling a message of the
+        // same size.
+        ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
+        let clients = self
+            .last_executed
+            .iter()
+            .map(|(&cid, (op, reply))| ClientRecord {
+                client: ClientId(cid),
+                last_op: *op,
+                reply: reply.clone(),
+            })
+            .collect();
+        self.checkpoint = Some(CheckpointData {
+            next_exec: self.next_exec,
+            snapshot,
+            clients,
+        });
+        self.stats.checkpoints_taken += 1;
+        // Bodies of requests covered by a stable checkpoint can be pruned
+        // (the proof of Theorem 6.2 relies on exactly this rule).
+        let last = &self.last_executed;
+        self.store
+            .retain(|id, _| !last.get(&id.client.0).is_some_and(|(op, _)| *op >= id.op));
+    }
+
+    fn handle_checkpoint_request(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId) {
+        if let Some(cp) = self.checkpoint.clone() {
+            ctx.send(from, IdemMessage::Checkpoint(cp));
+        }
+    }
+
+    fn handle_checkpoint(&mut self, ctx: &mut Context<'_, IdemMessage>, data: CheckpointData) {
+        if data.next_exec <= self.next_exec {
+            return;
+        }
+        ctx.charge(self.cfg.message_cost.message_cost(data.snapshot.len()));
+        self.app.restore(&data.snapshot);
+        self.last_executed = data
+            .clients
+            .iter()
+            .map(|c| (c.client.0, (c.last_op, c.reply.clone())))
+            .collect();
+        self.next_exec = data.next_exec;
+        let dropped = self.window.advance_to(data.next_exec);
+        for (_, inst) in dropped {
+            self.proposed.remove(&inst.id);
+        }
+        // Release active slots of requests the checkpoint proves executed.
+        let last = &self.last_executed;
+        let done: Vec<RequestId> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|id| last.get(&id.client.0).is_some_and(|(op, _)| *op >= id.op))
+            .collect();
+        for id in done {
+            self.finish_request(ctx, id);
+        }
+        self.stalled = false;
+        self.stats.checkpoints_installed += 1;
+        self.checkpoint = Some(data);
+        self.next_propose = self.next_propose.max(self.next_exec);
+        self.try_execute(ctx);
+    }
+
+    fn enter_stall(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        if self.stalled {
+            return;
+        }
+        self.stalled = true;
+        self.stats.stalls += 1;
+        let leader = self.leader_node();
+        ctx.send(leader, IdemMessage::CheckpointRequest);
+    }
+
+    // -------------------------------------------------------- implicit GC
+
+    /// Implicit garbage collection (Section 4.4 / Theorem 6.1): observing
+    /// instance `sqn` proves that `f + 1` replicas executed everything up
+    /// to `sqn − r_max`, so the window may advance there.
+    fn maybe_advance_window(&mut self, ctx: &mut Context<'_, IdemMessage>, sqn: SeqNumber) {
+        let r_max = self.cfg.r_max();
+        if sqn.0 + 1 <= r_max {
+            return;
+        }
+        let new_low = SeqNumber(sqn.0 + 1 - r_max);
+        if new_low <= self.window.low() {
+            return;
+        }
+        let dropped = self.window.advance_to(new_low);
+        if !dropped.is_empty() || new_low > self.next_exec {
+            self.stats.gc_advances += 1;
+        }
+        for (s, inst) in dropped {
+            self.proposed.remove(&inst.id);
+            self.require_votes.remove(&inst.id);
+            if !inst.executed && s >= self.next_exec {
+                // We discarded instances we had not executed: state transfer
+                // is now required.
+                self.enter_stall(ctx);
+            }
+        }
+        if self.window.is_stale(self.next_exec) {
+            self.enter_stall(ctx);
+        }
+        self.next_propose = self.next_propose.max(self.window.low());
+        self.drain_pending_proposals(ctx);
+    }
+
+    fn drain_pending_proposals(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        while self.is_leader()
+            && !self.pending_proposals.is_empty()
+            && self.next_propose < self.window.high()
+        {
+            let id = self.pending_proposals.pop_front().expect("non-empty");
+            if self.proposed.contains_key(&id) || self.executed_already(id) {
+                continue;
+            }
+            let sqn = self.next_propose.max(self.window.low());
+            self.next_propose = sqn.next();
+            self.bind_and_propose(ctx, id, sqn);
+        }
+    }
+
+    // -------------------------------------------------------- view change
+
+    fn ensure_progress_timer(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        if self.progress_timer.is_none() {
+            self.progress_timer =
+                Some(ctx.set_timer(self.cfg.progress_timeout, IdemMessage::ProgressTimer));
+        }
+    }
+
+    fn has_pending_work(&self) -> bool {
+        !self.active.is_empty()
+            || self
+                .window
+                .get(self.next_exec)
+                .is_some_and(|inst| inst.committed)
+    }
+
+    fn reset_progress_timer(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        if let Some(timer) = self.progress_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        if self.has_pending_work() {
+            self.ensure_progress_timer(ctx);
+        }
+    }
+
+    fn handle_progress_timer(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        self.progress_timer = None;
+        if !self.has_pending_work() {
+            return;
+        }
+        // No execution progress while work is pending: assume the leader of
+        // the effective view crashed (Section 4.5).
+        let target = self.effective_view().next();
+        self.start_view_change(ctx, target);
+    }
+
+    fn window_summary(&self) -> Vec<WindowEntry> {
+        self.window
+            .iter()
+            .map(|(sqn, inst)| WindowEntry {
+                sqn,
+                id: inst.id,
+                view: inst.view,
+            })
+            .collect()
+    }
+
+    fn start_view_change(&mut self, ctx: &mut Context<'_, IdemMessage>, target: View) {
+        if target <= self.view || self.vc_target.is_some_and(|t| t >= target) {
+            return;
+        }
+        self.vc_target = Some(target);
+        self.stats.view_changes_started += 1;
+        let summary = self.window_summary();
+        self.vc_store
+            .entry(target.0)
+            .or_default()
+            .insert(self.me.0, summary.clone());
+        let peers = self.peers();
+        ctx.multicast(
+            peers,
+            IdemMessage::ViewChange {
+                target,
+                window: summary,
+            },
+        );
+        // Safeguard: if this view change does not complete, escalate.
+        self.ensure_progress_timer(ctx);
+        self.check_new_view(ctx, target);
+    }
+
+    fn handle_view_change(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        from: NodeId,
+        target: View,
+        window: Vec<WindowEntry>,
+    ) {
+        let Some(sender) = self.dir.replica_of(from) else {
+            return;
+        };
+        if target <= self.view {
+            return;
+        }
+        self.vc_store
+            .entry(target.0)
+            .or_default()
+            .insert(sender.0, window);
+        // Joining rule: f+1 replicas demanding the change is proof the view
+        // is dead even if our own timer has not fired yet.
+        let senders = self.vc_store[&target.0].len() as u32;
+        if senders >= self.majority() && self.vc_target.map_or(true, |t| t < target) {
+            self.start_view_change(ctx, target);
+        }
+        self.check_new_view(ctx, target);
+    }
+
+    fn check_new_view(&mut self, ctx: &mut Context<'_, IdemMessage>, target: View) {
+        if self.leader_of(target) != self.me || self.vc_target != Some(target) {
+            return;
+        }
+        let Some(msgs) = self.vc_store.get(&target.0) else {
+            return;
+        };
+        if (msgs.len() as u32) < self.majority() {
+            return;
+        }
+        self.enter_new_view(ctx, target);
+    }
+
+    fn enter_new_view(&mut self, ctx: &mut Context<'_, IdemMessage>, target: View) {
+        self.view = target;
+        self.vc_target = None;
+        self.stats.view_changes_completed += 1;
+
+        // Merge the f+1 window summaries: per sequence number, the binding
+        // from the highest view wins (Paxos-style).
+        let msgs = self.vc_store.remove(&target.0).unwrap_or_default();
+        self.vc_store.retain(|&t, _| t > target.0);
+        let mut merged: BTreeMap<u64, WindowEntry> = BTreeMap::new();
+        for window in msgs.values() {
+            for &entry in window {
+                if self.window.is_stale(entry.sqn) {
+                    continue;
+                }
+                match merged.get(&entry.sqn.0) {
+                    Some(existing) if existing.view >= entry.view => {}
+                    _ => {
+                        merged.insert(entry.sqn.0, entry);
+                    }
+                }
+            }
+        }
+
+        let max_sqn = merged.keys().next_back().copied();
+        if let Some(max) = max_sqn {
+            // Re-propose every merged binding and plug the gaps with no-ops
+            // so execution cannot stall on a hole.
+            for s in self.window.low().0..=max {
+                let sqn = SeqNumber(s);
+                if self.window.is_ahead(sqn) {
+                    break; // far-ahead entries: rely on checkpoint catch-up
+                }
+                let entry = merged.get(&s).copied();
+                let id = match entry {
+                    Some(e) => e.id,
+                    None => {
+                        self.stats.noops_proposed += 1;
+                        noop_id(sqn)
+                    }
+                };
+                let executed = self
+                    .window
+                    .get(sqn)
+                    .is_some_and(|i| i.executed && i.id == id);
+                let mut votes = QuorumTracker::new(self.majority());
+                votes.record(self.me);
+                self.window.insert(
+                    sqn,
+                    Instance {
+                        id,
+                        view: target,
+                        votes,
+                        committed: executed,
+                        executed,
+                        fetch_sent: false,
+                        source: self.me,
+                    },
+                );
+                self.proposed.insert(id, sqn);
+                self.stats.proposals_sent += 1;
+                let peers = self.peers();
+                ctx.multicast(peers, IdemMessage::Propose { id, sqn, view: target });
+            }
+            self.next_propose = self.next_propose.max(SeqNumber(max + 1));
+        }
+        self.next_propose = self.next_propose.max(self.window.low()).max(self.next_exec);
+
+        // Propose requests whose REQUIRE quorum formed during the change.
+        let ready: Vec<RequestId> = self
+            .require_votes
+            .iter()
+            .filter(|(_, votes)| votes.reached())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ready {
+            self.try_propose(ctx, id);
+        }
+        self.reset_progress_timer(ctx);
+        self.try_execute(ctx);
+    }
+}
+
+impl Node<IdemMessage> for IdemReplica {
+    fn on_message(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId, msg: IdemMessage) {
+        ctx.charge(self.cfg.message_cost.message_cost(msg.wire_size()));
+        match msg {
+            IdemMessage::Request(req) => self.handle_request(ctx, req),
+            IdemMessage::Require(id) => self.handle_require(ctx, from, id),
+            IdemMessage::Propose { id, sqn, view } => {
+                self.handle_propose(ctx, from, id, sqn, view)
+            }
+            IdemMessage::Commit { id, sqn, view } => {
+                self.handle_commit(ctx, from, id, sqn, view)
+            }
+            IdemMessage::Forward(req) => self.handle_forward(ctx, req),
+            IdemMessage::Fetch(id) => self.handle_fetch(ctx, from, id),
+            IdemMessage::ViewChange { target, window } => {
+                self.handle_view_change(ctx, from, target, window)
+            }
+            IdemMessage::CheckpointRequest => self.handle_checkpoint_request(ctx, from),
+            IdemMessage::Checkpoint(data) => self.handle_checkpoint(ctx, data),
+            // Client-side messages and timer payloads are never addressed
+            // to replicas.
+            IdemMessage::Reject(_)
+            | IdemMessage::Reply(_)
+            | IdemMessage::ForwardTimer(_)
+            | IdemMessage::ProgressTimer
+            | IdemMessage::OptimisticTimer(_)
+            | IdemMessage::BackoffTimer
+            | IdemMessage::RetransmitTimer(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, IdemMessage>, _id: TimerId, msg: IdemMessage) {
+        match msg {
+            IdemMessage::ForwardTimer(id) => self.handle_forward_timer(ctx, id),
+            IdemMessage::ProgressTimer => self.handle_progress_timer(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idem_common::OpNumber;
+
+    fn rid(c: u32, op: u64) -> RequestId {
+        RequestId::new(ClientId(c), OpNumber(op))
+    }
+
+    #[test]
+    fn rejected_cache_is_bounded_fifo() {
+        let mut cache = RejectedCache::new(3);
+        for i in 0..5 {
+            cache.insert(Request::new(rid(0, i), vec![i as u8]));
+        }
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&rid(0, 0)).is_none());
+        assert!(cache.get(&rid(0, 1)).is_none());
+        assert!(cache.get(&rid(0, 2)).is_some());
+        assert!(cache.get(&rid(0, 4)).is_some());
+    }
+
+    #[test]
+    fn rejected_cache_deduplicates() {
+        let mut cache = RejectedCache::new(2);
+        cache.insert(Request::new(rid(0, 1), vec![1]));
+        cache.insert(Request::new(rid(0, 1), vec![1]));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn rejected_cache_zero_capacity_stores_nothing() {
+        let mut cache = RejectedCache::new(0);
+        cache.insert(Request::new(rid(0, 1), vec![1]));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn noop_ids_are_unique_per_sequence_number() {
+        assert_ne!(noop_id(SeqNumber(1)), noop_id(SeqNumber(2)));
+        assert_eq!(noop_id(SeqNumber(1)).client, NOOP_CLIENT);
+    }
+}

@@ -1,0 +1,456 @@
+//! Protocol-level tests of IDEM running on the simulator: agreement,
+//! rejection, crashes and view changes, forwarding, garbage collection,
+//! and replica state consistency.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use idem_common::app::NullApp;
+use idem_common::{ClientId, Directory, QuorumSet, ReplicaId, StateMachine};
+use idem_core::{
+    AcceptancePolicy, ClientApp, ClientConfig, IdemClient, IdemConfig, IdemMessage, IdemReplica,
+    OperationOutcome, OutcomeKind, RejectHandling,
+};
+use idem_kv::{KvStore, Workload, WorkloadSpec};
+use idem_simnet::{NodeId, Simulation};
+use rand::rngs::SmallRng;
+
+/// Shared log of all outcomes across clients.
+type Outcomes = Rc<RefCell<Vec<OperationOutcome>>>;
+
+/// Closed-loop client app issuing YCSB commands forever (or up to a cap).
+struct LoopApp {
+    workload: Workload,
+    outcomes: Outcomes,
+    remaining: Option<u64>,
+}
+
+impl ClientApp for LoopApp {
+    fn next_command(&mut self, rng: &mut SmallRng) -> Option<Vec<u8>> {
+        if let Some(rem) = &mut self.remaining {
+            if *rem == 0 {
+                return None;
+            }
+            *rem -= 1;
+        }
+        Some(self.workload.next_command(rng))
+    }
+
+    fn on_outcome(&mut self, outcome: &OperationOutcome) {
+        self.outcomes.borrow_mut().push(outcome.clone());
+    }
+}
+
+struct Cluster {
+    sim: Simulation<IdemMessage>,
+    replicas: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    outcomes: Outcomes,
+}
+
+fn build_cluster(cfg: IdemConfig, client_cfg: ClientConfig, n_clients: u32, seed: u64) -> Cluster {
+    build_cluster_with(cfg, client_cfg, n_clients, seed, None)
+}
+
+fn build_cluster_with(
+    cfg: IdemConfig,
+    client_cfg: ClientConfig,
+    n_clients: u32,
+    seed: u64,
+    ops_per_client: Option<u64>,
+) -> Cluster {
+    let mut sim: Simulation<IdemMessage> = Simulation::new(seed);
+    let n = cfg.quorum.n();
+    let replicas: Vec<NodeId> = (0..n).map(|_| sim.reserve_node()).collect();
+    let clients: Vec<NodeId> = (0..n_clients).map(|_| sim.reserve_node()).collect();
+    let dir = Directory::new(replicas.clone(), clients.clone());
+    for (i, &node) in replicas.iter().enumerate() {
+        let replica = IdemReplica::new(
+            cfg.clone(),
+            ReplicaId(i as u32),
+            dir.clone(),
+            Box::new(KvStore::new()),
+        );
+        sim.install_node(node, Box::new(replica));
+    }
+    let outcomes: Outcomes = Rc::new(RefCell::new(Vec::new()));
+    for (i, &node) in clients.iter().enumerate() {
+        let app = LoopApp {
+            workload: Workload::new(WorkloadSpec::update_heavy(), i as u64),
+            outcomes: outcomes.clone(),
+            remaining: ops_per_client,
+        };
+        let client = IdemClient::new(client_cfg, ClientId(i as u32), dir.clone(), Box::new(app));
+        sim.install_node(node, Box::new(client));
+    }
+    Cluster {
+        sim,
+        replicas,
+        clients,
+        outcomes,
+    }
+}
+
+fn successes(outcomes: &Outcomes) -> usize {
+    outcomes
+        .borrow()
+        .iter()
+        .filter(|o| o.kind == OutcomeKind::Success)
+        .count()
+}
+
+fn rejections(outcomes: &Outcomes) -> usize {
+    outcomes
+        .borrow()
+        .iter()
+        .filter(|o| o.kind != OutcomeKind::Success)
+        .count()
+}
+
+#[test]
+fn low_load_all_operations_succeed() {
+    let mut c = build_cluster_with(
+        IdemConfig::for_faults(1),
+        ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+        4,
+        1,
+        Some(50),
+    );
+    c.sim.run_for(Duration::from_secs(5));
+    assert_eq!(successes(&c.outcomes), 4 * 50);
+    assert_eq!(rejections(&c.outcomes), 0);
+}
+
+#[test]
+fn five_replica_group_works() {
+    let mut c = build_cluster_with(
+        IdemConfig::for_faults(2),
+        ClientConfig::for_quorum(QuorumSet::for_faults(2)),
+        3,
+        2,
+        Some(30),
+    );
+    c.sim.run_for(Duration::from_secs(5));
+    assert_eq!(successes(&c.outcomes), 90);
+}
+
+#[test]
+fn replicas_converge_to_identical_state() {
+    let mut c = build_cluster_with(
+        IdemConfig::for_faults(1),
+        ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+        8,
+        3,
+        Some(100),
+    );
+    c.sim.run_for(Duration::from_secs(10));
+    assert_eq!(successes(&c.outcomes), 800);
+    let digests: Vec<u64> = c
+        .replicas
+        .iter()
+        .map(|&r| {
+            c.sim
+                .node_as::<IdemReplica>(r)
+                .unwrap()
+                .app()
+                .snapshot()
+        })
+        .map(|snap| {
+            let mut kv = KvStore::new();
+            kv.restore(&snap);
+            kv.digest()
+        })
+        .collect();
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[1], digests[2]);
+}
+
+#[test]
+fn overload_produces_rejections_and_bounds_active_requests() {
+    // Tiny reject threshold + many clients ⇒ the acceptance test must kick
+    // in and the active set must stay bounded by the threshold.
+    let cfg = IdemConfig::for_faults(1).with_reject_threshold(5);
+    let mut c = build_cluster(
+        cfg,
+        ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+        40,
+        4,
+    );
+    c.sim.run_for(Duration::from_secs(5));
+    assert!(rejections(&c.outcomes) > 0, "no rejections under overload");
+    assert!(successes(&c.outcomes) > 0, "service starved completely");
+    for &r in &c.replicas {
+        let replica = c.sim.node_as::<IdemReplica>(r).unwrap();
+        assert!(replica.stats().rejected > 0);
+    }
+}
+
+#[test]
+fn no_pr_variant_never_rejects() {
+    let cfg = IdemConfig::for_faults(1)
+        .with_reject_threshold(5)
+        .with_acceptance(AcceptancePolicy::AlwaysAccept);
+    let mut c = build_cluster(
+        cfg,
+        ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+        40,
+        5,
+    );
+    c.sim.run_for(Duration::from_secs(3));
+    assert_eq!(rejections(&c.outcomes), 0);
+    for &r in &c.replicas {
+        assert_eq!(c.sim.node_as::<IdemReplica>(r).unwrap().stats().rejected, 0);
+    }
+}
+
+#[test]
+fn leader_crash_triggers_view_change_and_service_resumes() {
+    let mut c = build_cluster(
+        IdemConfig::for_faults(1),
+        ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+        4,
+        6,
+    );
+    c.sim.run_for(Duration::from_secs(2));
+    let before = successes(&c.outcomes);
+    assert!(before > 0);
+    // Replica 0 leads view 0.
+    let leader = c.replicas[0];
+    c.sim.crash_now(leader);
+    c.sim.run_for(Duration::from_secs(8));
+    let after = successes(&c.outcomes);
+    assert!(
+        after > before + 100,
+        "service did not resume after leader crash: {before} -> {after}"
+    );
+    for &r in &c.replicas[1..] {
+        let replica = c.sim.node_as::<IdemReplica>(r).unwrap();
+        assert!(replica.view().0 >= 1, "replica stuck in view 0");
+        assert!(!replica.in_view_change(), "replica stuck mid view change");
+    }
+}
+
+#[test]
+fn follower_crash_does_not_interrupt_service() {
+    let mut c = build_cluster(
+        IdemConfig::for_faults(1),
+        ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+        4,
+        7,
+    );
+    c.sim.run_for(Duration::from_secs(2));
+    let before = successes(&c.outcomes);
+    c.sim.crash_now(c.replicas[2]); // follower in view 0
+    c.sim.run_for(Duration::from_secs(3));
+    let after = successes(&c.outcomes);
+    assert!(after > before + 100, "throughput collapsed: {before} -> {after}");
+    // No view change should have been necessary.
+    let r0 = c.sim.node_as::<IdemReplica>(c.replicas[0]).unwrap();
+    assert_eq!(r0.view().0, 0);
+}
+
+#[test]
+fn repeated_leader_crashes_are_survivable_with_f2() {
+    let mut c = build_cluster(
+        IdemConfig::for_faults(2),
+        ClientConfig::for_quorum(QuorumSet::for_faults(2)),
+        3,
+        8,
+    );
+    c.sim.run_for(Duration::from_secs(2));
+    c.sim.crash_now(c.replicas[0]);
+    c.sim.run_for(Duration::from_secs(5));
+    let mid = successes(&c.outcomes);
+    c.sim.crash_now(c.replicas[1]); // leader of view 1
+    c.sim.run_for(Duration::from_secs(8));
+    let after = successes(&c.outcomes);
+    assert!(after > mid + 50, "second view change failed: {mid} -> {after}");
+    for &r in &c.replicas[2..] {
+        assert!(c.sim.node_as::<IdemReplica>(r).unwrap().view().0 >= 2);
+    }
+}
+
+#[test]
+fn rejections_continue_during_leader_crash() {
+    // The paper's headline robustness property (Fig. 10d): reject
+    // notifications keep flowing while the view change runs.
+    let cfg = IdemConfig::for_faults(1).with_reject_threshold(4);
+    let mut c = build_cluster(
+        cfg,
+        ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+        40,
+        9,
+    );
+    c.sim.run_for(Duration::from_secs(2));
+    let rejects_before = rejections(&c.outcomes);
+    c.sim.crash_now(c.replicas[0]);
+    // Observe only the view-change window (timeout is 1.5 s).
+    c.sim.run_for(Duration::from_millis(1200));
+    let rejects_during = rejections(&c.outcomes);
+    assert!(
+        rejects_during > rejects_before + 20,
+        "rejects stalled during view change: {rejects_before} -> {rejects_during}"
+    );
+}
+
+#[test]
+fn forwarding_recovers_bodies_blocked_between_client_and_replica() {
+    // Client 0 cannot reach replica 2: replica 2 will commit ids it has no
+    // body for and must fetch/receive forwards.
+    let mut c = build_cluster_with(
+        IdemConfig::for_faults(1),
+        ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+        1,
+        10,
+        Some(100),
+    );
+    let client = c.clients[0];
+    let r2 = c.replicas[2];
+    c.sim.network_mut().block(client, r2);
+    c.sim.run_for(Duration::from_secs(20));
+    assert_eq!(successes(&c.outcomes), 100);
+    let replica2 = c.sim.node_as::<IdemReplica>(r2).unwrap();
+    // Replica 2 executed everything despite never hearing from the client.
+    assert_eq!(replica2.stats().executed, 100);
+    assert_eq!(replica2.stats().requests_received, 0);
+    let got_bodies =
+        replica2.stats().fetches_sent + replica2.stats().accepted_forward;
+    assert!(got_bodies > 0, "bodies must arrive via fetch or forward");
+}
+
+#[test]
+fn lossy_network_still_makes_progress() {
+    let mut sim_cfg = idem_simnet::Network::new(
+        idem_simnet::LinkSpec::new(Duration::from_micros(100), Duration::from_micros(50))
+            .with_drop_prob(0.05),
+    );
+    sim_cfg.set_loopback(Duration::from_micros(1));
+    let mut sim: Simulation<IdemMessage> = Simulation::with_network(11, sim_cfg);
+    let replicas: Vec<NodeId> = (0..3).map(|_| sim.reserve_node()).collect();
+    let clients: Vec<NodeId> = (0..2).map(|_| sim.reserve_node()).collect();
+    let dir = Directory::new(replicas.clone(), clients.clone());
+    for (i, &node) in replicas.iter().enumerate() {
+        sim.install_node(
+            node,
+            Box::new(IdemReplica::new(
+                IdemConfig::for_faults(1),
+                ReplicaId(i as u32),
+                dir.clone(),
+                Box::new(NullApp::default()),
+            )),
+        );
+    }
+    let outcomes: Outcomes = Rc::new(RefCell::new(Vec::new()));
+    for (i, &node) in clients.iter().enumerate() {
+        let app = LoopApp {
+            workload: Workload::new(WorkloadSpec::update_heavy(), i as u64),
+            outcomes: outcomes.clone(),
+            remaining: Some(50),
+        };
+        sim.install_node(
+            node,
+            Box::new(IdemClient::new(
+                ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+                ClientId(i as u32),
+                dir.clone(),
+                Box::new(app),
+            )),
+        );
+    }
+    sim.run_for(Duration::from_secs(30));
+    assert_eq!(
+        outcomes
+            .borrow()
+            .iter()
+            .filter(|o| o.kind == OutcomeKind::Success)
+            .count(),
+        100,
+        "message loss must be masked by retransmission/forwarding"
+    );
+}
+
+#[test]
+fn garbage_collection_advances_window_without_checkpoint_messages() {
+    let mut c = build_cluster_with(
+        IdemConfig::for_faults(1),
+        ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+        8,
+        12,
+        Some(200),
+    );
+    c.sim.run_for(Duration::from_secs(20));
+    assert_eq!(successes(&c.outcomes), 1600);
+    for &r in &c.replicas {
+        let replica = c.sim.node_as::<IdemReplica>(r).unwrap();
+        assert!(
+            replica.stats().gc_advances > 0,
+            "implicit GC never advanced the window"
+        );
+        assert!(replica.stats().checkpoints_taken > 0);
+        // Nobody should have needed state transfer in a healthy run.
+        assert_eq!(replica.stats().checkpoints_installed, 0);
+        assert_eq!(replica.stats().stalls, 0);
+    }
+}
+
+#[test]
+fn no_duplicate_execution_under_retransmission() {
+    // Aggressive retransmission: duplicates must be filtered.
+    let client_cfg = ClientConfig {
+        retransmit_interval: Duration::from_millis(1),
+        ..ClientConfig::for_quorum(QuorumSet::for_faults(1))
+    };
+    let mut c = build_cluster_with(IdemConfig::for_faults(1), client_cfg, 2, 13, Some(100));
+    c.sim.run_for(Duration::from_secs(10));
+    assert_eq!(successes(&c.outcomes), 200);
+    for &r in &c.replicas {
+        let replica = c.sim.node_as::<IdemReplica>(r).unwrap();
+        // Each replica executes each operation exactly once.
+        assert_eq!(replica.stats().executed, 200);
+    }
+}
+
+#[test]
+fn pessimistic_clients_abort_faster_than_optimistic() {
+    let run = |handling: RejectHandling, seed: u64| {
+        let cfg = IdemConfig::for_faults(1).with_reject_threshold(3);
+        let client_cfg =
+            ClientConfig::for_quorum(QuorumSet::for_faults(1)).with_reject_handling(handling);
+        let mut c = build_cluster(cfg, client_cfg, 30, seed);
+        c.sim.run_for(Duration::from_secs(5));
+        let outcomes = c.outcomes.borrow();
+        let rejected: Vec<Duration> = outcomes
+            .iter()
+            .filter(|o| o.kind != OutcomeKind::Success)
+            .map(|o| o.latency)
+            .collect();
+        assert!(!rejected.is_empty());
+        rejected.iter().sum::<Duration>() / rejected.len() as u32
+    };
+    let pessimistic = run(RejectHandling::Pessimistic, 14);
+    let optimistic = run(RejectHandling::Optimistic(Duration::from_millis(5)), 14);
+    assert!(
+        pessimistic < optimistic,
+        "pessimistic {pessimistic:?} should beat optimistic {optimistic:?}"
+    );
+}
+
+#[test]
+fn deterministic_replay_with_same_seed() {
+    let run = |seed: u64| {
+        let mut c = build_cluster_with(
+            IdemConfig::for_faults(1),
+            ClientConfig::for_quorum(QuorumSet::for_faults(1)),
+            5,
+            seed,
+            Some(60),
+        );
+        c.sim.run_for(Duration::from_secs(5));
+        let events = c.sim.events_processed();
+        let bytes = c.sim.traffic().total_bytes();
+        (events, bytes, successes(&c.outcomes))
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42).1, run(43).1, "different seeds should differ in jitter");
+}

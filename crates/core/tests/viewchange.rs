@@ -1,0 +1,240 @@
+//! Targeted view-change and state-transfer scenarios for IDEM: sequence
+//! gaps across the change, repeated changes, checkpoint-based catch-up of
+//! isolated replicas, and behaviour when the crashed replica was mid-pipeline.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use idem_common::driver::{ClientApp, OperationOutcome, OutcomeKind};
+use idem_common::{ClientId, Directory, QuorumSet, ReplicaId};
+use idem_core::{ClientConfig, IdemClient, IdemConfig, IdemMessage, IdemReplica};
+use idem_kv::{KvStore, Workload, WorkloadSpec};
+use idem_simnet::{NodeId, Simulation};
+use rand::rngs::SmallRng;
+
+type Outcomes = Rc<RefCell<Vec<OperationOutcome>>>;
+
+struct App {
+    workload: Workload,
+    outcomes: Outcomes,
+    remaining: Option<u64>,
+}
+
+impl ClientApp for App {
+    fn next_command(&mut self, rng: &mut SmallRng) -> Option<Vec<u8>> {
+        if let Some(rem) = &mut self.remaining {
+            if *rem == 0 {
+                return None;
+            }
+            *rem -= 1;
+        }
+        Some(self.workload.next_command(rng))
+    }
+    fn on_outcome(&mut self, outcome: &OperationOutcome) {
+        self.outcomes.borrow_mut().push(outcome.clone());
+    }
+}
+
+struct Cluster {
+    sim: Simulation<IdemMessage>,
+    replicas: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    outcomes: Outcomes,
+}
+
+fn cluster(cfg: IdemConfig, n_clients: u32, ops: Option<u64>, seed: u64) -> Cluster {
+    let mut sim: Simulation<IdemMessage> = Simulation::new(seed);
+    let replicas: Vec<NodeId> = (0..cfg.quorum.n()).map(|_| sim.reserve_node()).collect();
+    let clients: Vec<NodeId> = (0..n_clients).map(|_| sim.reserve_node()).collect();
+    let dir = Directory::new(replicas.clone(), clients.clone());
+    for (i, &node) in replicas.iter().enumerate() {
+        sim.install_node(
+            node,
+            Box::new(IdemReplica::new(
+                cfg.clone(),
+                ReplicaId(i as u32),
+                dir.clone(),
+                Box::new(KvStore::new()),
+            )),
+        );
+    }
+    let outcomes: Outcomes = Rc::new(RefCell::new(Vec::new()));
+    for (i, &node) in clients.iter().enumerate() {
+        sim.install_node(
+            node,
+            Box::new(IdemClient::new(
+                ClientConfig::for_quorum(cfg.quorum),
+                ClientId(i as u32),
+                dir.clone(),
+                Box::new(App {
+                    workload: Workload::new(WorkloadSpec::update_heavy(), i as u64),
+                    outcomes: outcomes.clone(),
+                    remaining: ops,
+                }),
+            )),
+        );
+    }
+    Cluster {
+        sim,
+        replicas,
+        clients,
+        outcomes,
+    }
+}
+
+fn successes(outcomes: &Outcomes) -> usize {
+    outcomes
+        .borrow()
+        .iter()
+        .filter(|o| o.kind == OutcomeKind::Success)
+        .count()
+}
+
+fn digest(sim: &Simulation<IdemMessage>, node: NodeId) -> u64 {
+    let snap = sim.node_as::<IdemReplica>(node).unwrap().app().snapshot();
+    let mut kv = KvStore::new();
+    idem_common::StateMachine::restore(&mut kv, &snap);
+    kv.digest()
+}
+
+#[test]
+fn mid_pipeline_leader_crash_preserves_agreement() {
+    // Crash the leader at many different instants; survivors must always
+    // converge to a common state and keep serving. Sweeping the crash time
+    // probes crashes between REQUIRE/PROPOSE/COMMIT/execute stages.
+    for offset_us in [0u64, 137, 251, 389, 512, 777] {
+        // Bounded clients so the system quiesces before state comparison
+        // (under live load the replicas legitimately trail each other by
+        // the commits still in flight).
+        let mut c = cluster(IdemConfig::for_faults(1), 4, Some(800), 100 + offset_us);
+        c.sim
+            .run_for(Duration::from_millis(200) + Duration::from_micros(offset_us));
+        c.sim.crash_now(c.replicas[0]);
+        c.sim.run_for(Duration::from_secs(30));
+        assert_eq!(
+            successes(&c.outcomes),
+            3200,
+            "service stalled for crash at +{offset_us}µs"
+        );
+        let d1 = digest(&c.sim, c.replicas[1]);
+        let d2 = digest(&c.sim, c.replicas[2]);
+        assert_eq!(d1, d2, "divergence after crash at +{offset_us}µs");
+        let r1 = c.sim.node_as::<IdemReplica>(c.replicas[1]).unwrap();
+        assert!(r1.view().0 >= 1);
+    }
+}
+
+#[test]
+fn view_change_with_client_load_continues_from_merged_window() {
+    let mut c = cluster(IdemConfig::for_faults(1), 8, Some(400), 7);
+    c.sim.run_for(Duration::from_secs(1));
+    c.sim.crash_now(c.replicas[0]);
+    c.sim.run_for(Duration::from_secs(40));
+    // All 3200 operations complete despite the crash (clients retransmit
+    // through the view change; the new leader re-proposes merged entries).
+    assert_eq!(successes(&c.outcomes), 3200);
+    let d1 = digest(&c.sim, c.replicas[1]);
+    let d2 = digest(&c.sim, c.replicas[2]);
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn noop_gap_filling_is_exercised_by_partitioned_leader() {
+    // Partition the leader from one follower briefly so some proposals
+    // reach only part of the group, then crash the leader: the merged
+    // window can contain gaps that must be filled with no-ops.
+    let mut c = cluster(IdemConfig::for_faults(1), 6, None, 9);
+    c.sim.run_for(Duration::from_secs(1));
+    let (r0, r2) = (c.replicas[0], c.replicas[2]);
+    c.sim.network_mut().block(r0, r2);
+    c.sim.run_for(Duration::from_millis(50));
+    c.sim.crash_now(r0);
+    c.sim.network_mut().heal();
+    c.sim.run_for(Duration::from_secs(8));
+    let d1 = digest(&c.sim, c.replicas[1]);
+    let d2 = digest(&c.sim, c.replicas[2]);
+    assert_eq!(d1, d2, "survivors diverged after gap-filled view change");
+    assert!(successes(&c.outcomes) > 1000);
+}
+
+#[test]
+fn isolated_replica_catches_up_by_checkpoint() {
+    // Isolate a follower long enough that implicit GC at the others moves
+    // the window past its execution frontier; on heal it must stall, fetch
+    // a checkpoint, and resynchronize.
+    let cfg = IdemConfig::for_faults(1);
+    let mut c = cluster(cfg, 20, None, 11);
+    c.sim.run_for(Duration::from_secs(1));
+    let r2 = c.replicas[2];
+    let others: Vec<NodeId> = c
+        .replicas
+        .iter()
+        .chain(c.clients.iter())
+        .copied()
+        .filter(|&n| n != r2)
+        .collect();
+    c.sim.network_mut().partition(&[r2], &others);
+    c.sim.run_for(Duration::from_secs(2));
+    c.sim.network_mut().heal();
+    c.sim.run_for(Duration::from_secs(10));
+    let lagger = c.sim.node_as::<IdemReplica>(r2).unwrap();
+    assert!(
+        lagger.stats().checkpoints_installed > 0,
+        "expected checkpoint-based catch-up, stats: {:?}",
+        lagger.stats()
+    );
+    // Under continuing load the frontiers trail each other by the commits
+    // still in flight; "caught up" means within a handful of instances of
+    // the healthy majority, instead of the ~70k instances it missed.
+    let healthy = c
+        .sim
+        .node_as::<IdemReplica>(c.replicas[0])
+        .unwrap()
+        .next_exec();
+    let behind = healthy.0.saturating_sub(lagger.next_exec().0);
+    assert!(behind < 500, "still {behind} instances behind after heal");
+}
+
+#[test]
+fn five_replica_group_survives_minority_partition() {
+    let cfg = IdemConfig::for_faults(2);
+    let mut c = cluster(cfg, 4, Some(200), 13);
+    c.sim.run_for(Duration::from_secs(1));
+    // Partition two replicas (a tolerable minority) away.
+    let minority = [c.replicas[3], c.replicas[4]];
+    let rest: Vec<NodeId> = c
+        .replicas
+        .iter()
+        .take(3)
+        .chain(c.clients.iter())
+        .copied()
+        .collect();
+    c.sim.network_mut().partition(&minority, &rest);
+    c.sim.run_for(Duration::from_secs(5));
+    c.sim.network_mut().heal();
+    c.sim.run_for(Duration::from_secs(30));
+    assert_eq!(successes(&c.outcomes), 800);
+    let d0 = digest(&c.sim, c.replicas[0]);
+    for &r in &c.replicas[1..] {
+        assert_eq!(digest(&c.sim, r), d0, "replica {r} diverged");
+    }
+}
+
+#[test]
+fn client_sees_reply_not_duplicate_execution_across_view_change() {
+    // A client whose request was executed right before the crash (but whose
+    // reply died with the leader) must get the cached reply, not a second
+    // execution.
+    let mut c = cluster(IdemConfig::for_faults(1), 2, Some(500), 17);
+    c.sim.run_for(Duration::from_secs(1));
+    c.sim.crash_now(c.replicas[0]);
+    c.sim.run_for(Duration::from_secs(30));
+    assert_eq!(successes(&c.outcomes), 1000);
+    let r1 = c.sim.node_as::<IdemReplica>(c.replicas[1]).unwrap();
+    let r2 = c.sim.node_as::<IdemReplica>(c.replicas[2]).unwrap();
+    // Executions are bounded by issued operations: no double execution.
+    assert!(r1.stats().executed <= 1000);
+    assert!(r2.stats().executed <= 1000);
+    assert_eq!(digest(&c.sim, c.replicas[1]), digest(&c.sim, c.replicas[2]));
+}

@@ -1,0 +1,1 @@
+//! Binaries live in the top-level `examples/` directory.

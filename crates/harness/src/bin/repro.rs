@@ -1,0 +1,109 @@
+//! Regenerates the tables and figures of the IDEM paper's evaluation.
+//!
+//! Usage:
+//! ```text
+//! repro <experiment>... [--full] [--out DIR]
+//!
+//! experiments: fig2 fig3 fig6 fig7 table1 fig8 fig9a fig9b fig10 fig10d
+//!              all calibrate
+//! --full       paper-scale run lengths and repetitions (default: quick)
+//! --out DIR    also write the CSV series under DIR (default: results/)
+//! ```
+
+use std::time::{Duration, Instant};
+
+use idem_harness::experiments::{self, Effort};
+use idem_harness::report::ExperimentReport;
+use idem_harness::scenario::Scenario;
+use idem_harness::Protocol;
+
+const ALL: [&str; 11] = [
+    "fig2", "fig3", "fig6", "fig7", "table1", "fig8", "fig9a", "fig9b", "fig10", "fig10d",
+    "strategies",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+    let mut wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+        .cloned()
+        .collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    let effort = if full { Effort::full() } else { Effort::quick() };
+    eprintln!(
+        "running {} experiment(s), {} mode, CSVs under {}/",
+        wanted.len(),
+        if full { "full (paper-scale)" } else { "quick" },
+        out_dir
+    );
+    for name in &wanted {
+        let start = Instant::now();
+        let report = match name.as_str() {
+            "fig2" => experiments::fig2::run(effort),
+            "fig3" => experiments::fig3::run(effort),
+            "fig6" => experiments::fig6::run(effort),
+            "fig7" => experiments::fig7::run(effort),
+            "table1" => experiments::table1::run(effort),
+            "fig8" => experiments::fig8::run(effort),
+            "fig9a" => experiments::fig9::run_misconfigured(effort),
+            "fig9b" => experiments::fig9::run_extreme(effort),
+            "fig10" => experiments::fig10::run(effort),
+            "fig10d" => experiments::fig10d::run(effort),
+            "strategies" => experiments::strategies::run(effort),
+            "calibrate" => {
+                calibrate();
+                continue;
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'; known: {ALL:?} all calibrate");
+                std::process::exit(2);
+            }
+        };
+        emit(&report, &out_dir);
+        eprintln!("[{name} done in {:.1?}]\n", start.elapsed());
+    }
+}
+
+fn emit(report: &ExperimentReport, out_dir: &str) {
+    println!("{}", report.to_text());
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        for (file, content) in &report.csv {
+            let path = format!("{out_dir}/{file}");
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Prints the raw saturation curve of IDEM_noPR — used to pick cost-model
+/// constants so that the cluster saturates in the paper's ballpark.
+fn calibrate() {
+    println!("calibration: IDEM_noPR saturation curve (and IDEM at RT=50)");
+    for protocol in [Protocol::idem_no_pr(), Protocol::idem()] {
+        for clients in [5u32, 10, 25, 50, 75, 100, 150, 200] {
+            let mut s = Scenario::new(protocol.clone(), clients, Duration::from_secs(3));
+            s.warmup = Duration::from_secs(1);
+            let r = s.run();
+            println!(
+                "{:10} clients={:4}  tput={:8.0} req/s  lat={:6.3} ms  std={:6.3}  rejects/s={:7.0}",
+                r.name,
+                clients,
+                r.metrics.throughput,
+                r.metrics.latency_mean_ms,
+                r.metrics.latency_std_ms,
+                r.metrics.reject_throughput,
+            );
+        }
+    }
+}

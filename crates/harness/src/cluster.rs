@@ -1,0 +1,515 @@
+//! Protocol-generic cluster construction on top of the simulator.
+
+use std::time::Duration;
+
+use idem_common::{ClientId, Directory, ReplicaId};
+use idem_core::{IdemClient, IdemMessage, IdemReplica};
+use idem_kv::{KvStore, Workload, WorkloadSpec};
+use idem_paxos::{PaxosClient, PaxosMessage, PaxosReplica};
+use idem_simnet::{LinkSpec, Network, NodeId, SimTime, Simulation};
+use idem_smart::{SmartClient, SmartMessage, SmartReplica};
+
+use crate::recorder::{Recorder, RecorderHandle, RecordingApp};
+
+/// Per-operation execution cost of the replicated key-value store,
+/// calibrated so a three-replica cluster saturates around the paper's
+/// ≈43–46 k req/s. The bulk of the CPU cost sits in ordering + execution —
+/// the same place as in the paper's Java prototype — so that the
+/// accepted-but-unexecuted backlog (what the acceptance test measures)
+/// actually grows under overload.
+pub const KV_EXEC_COST: Duration = Duration::from_micros(20);
+
+/// Per-message CPU handling cost (ingest, deserialization). Deliberately
+/// small relative to [`KV_EXEC_COST`]: request ingest must not be the
+/// bottleneck, or requests would queue *before* the acceptance test.
+pub const MESSAGE_COST: Duration = Duration::from_nanos(500);
+
+/// The data-center network model used by all experiments: 100 µs base
+/// one-way latency plus up to 50 µs jitter, lossless.
+pub fn experiment_network() -> Network {
+    Network::new(LinkSpec::new(
+        Duration::from_micros(100),
+        Duration::from_micros(50),
+    ))
+}
+
+/// The system under test: which protocol, with which configurations.
+#[derive(Debug, Clone)]
+pub enum Protocol {
+    /// IDEM (or one of its ablation variants, via the embedded config).
+    Idem {
+        /// Replica-side configuration.
+        config: idem_core::IdemConfig,
+        /// Client-side configuration.
+        client: idem_core::ClientConfig,
+    },
+    /// The Paxos baseline (plain or LBR, via the reject policy).
+    Paxos {
+        /// Replica-side configuration.
+        config: idem_paxos::PaxosConfig,
+        /// Client-side configuration.
+        client: idem_paxos::PaxosClientConfig,
+    },
+    /// The BFT-SMaRt-style batching baseline.
+    Smart {
+        /// Replica-side configuration.
+        config: idem_smart::SmartConfig,
+        /// Client-side configuration.
+        client: idem_smart::SmartClientConfig,
+    },
+}
+
+impl Protocol {
+    /// IDEM with the paper's default setup (`f = 1`, RT = 50, AQM,
+    /// optimistic clients).
+    pub fn idem() -> Protocol {
+        Protocol::Idem {
+            config: idem_core::IdemConfig::for_faults(1)
+                .with_message_cost(idem_common::FixedCost::new(MESSAGE_COST, Duration::ZERO)),
+            client: idem_core::ClientConfig::for_quorum(idem_common::QuorumSet::for_faults(1)),
+        }
+    }
+
+    /// IDEM with a non-default reject threshold.
+    pub fn idem_with_rt(rt: u32) -> Protocol {
+        match Protocol::idem() {
+            Protocol::Idem { config, client } => Protocol::Idem {
+                config: config.with_reject_threshold(rt),
+                client,
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// `IDEM_noPR`: rejection disabled.
+    pub fn idem_no_pr() -> Protocol {
+        match Protocol::idem() {
+            Protocol::Idem { config, client } => Protocol::Idem {
+                config: config.with_acceptance(idem_core::AcceptancePolicy::AlwaysAccept),
+                client,
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// `IDEM_noAQM`: plain tail drop instead of active queue management.
+    pub fn idem_no_aqm() -> Protocol {
+        match Protocol::idem() {
+            Protocol::Idem { config, client } => Protocol::Idem {
+                config: config.with_acceptance(idem_core::AcceptancePolicy::TailDrop),
+                client,
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// Plain Paxos (unbounded queues).
+    pub fn paxos() -> Protocol {
+        Protocol::Paxos {
+            config: idem_paxos::PaxosConfig::for_faults(1)
+                .with_message_cost(idem_common::FixedCost::new(MESSAGE_COST, Duration::ZERO)),
+            client: idem_paxos::PaxosClientConfig::default(),
+        }
+    }
+
+    /// Paxos with leader-based rejection at the given threshold.
+    pub fn paxos_lbr(threshold: u32) -> Protocol {
+        Protocol::Paxos {
+            config: idem_paxos::PaxosConfig::for_faults(1)
+                .with_message_cost(idem_common::FixedCost::new(MESSAGE_COST, Duration::ZERO))
+                .with_reject_policy(idem_paxos::RejectPolicy::LeaderBased { threshold }),
+            client: idem_paxos::PaxosClientConfig::default(),
+        }
+    }
+
+    /// The BFT-SMaRt-style baseline.
+    pub fn smart() -> Protocol {
+        Protocol::Smart {
+            config: idem_smart::SmartConfig::for_faults(1)
+                .with_message_cost(idem_common::FixedCost::new(MESSAGE_COST, Duration::ZERO)),
+            client: idem_smart::SmartClientConfig::default(),
+        }
+    }
+
+    /// Human-readable system name as used in the paper's plots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Idem { config, .. } => match config.acceptance {
+                idem_core::AcceptancePolicy::AlwaysAccept => "IDEM_noPR",
+                idem_core::AcceptancePolicy::TailDrop => "IDEM_noAQM",
+                idem_core::AcceptancePolicy::ActiveQueue => "IDEM",
+                idem_core::AcceptancePolicy::CostAware { .. } => "IDEM_costaware",
+            },
+            Protocol::Paxos { config, .. } => match config.reject_policy {
+                idem_paxos::RejectPolicy::Never => "Paxos",
+                idem_paxos::RejectPolicy::LeaderBased { .. } => "Paxos_LBR",
+            },
+            Protocol::Smart { .. } => "BFT-SMaRt",
+        }
+    }
+
+    /// Number of replicas this protocol instance runs with.
+    pub fn replica_count(&self) -> u32 {
+        match self {
+            Protocol::Idem { config, .. } => config.quorum.n(),
+            Protocol::Paxos { config, .. } => config.quorum.n(),
+            Protocol::Smart { config, .. } => config.quorum.n(),
+        }
+    }
+}
+
+enum ClusterSim {
+    Idem(Simulation<IdemMessage>),
+    Paxos(Simulation<PaxosMessage>),
+    Smart(Simulation<SmartMessage>),
+}
+
+/// A running cluster: simulator, node ids, and the shared recorder.
+pub struct ClusterHandles {
+    sim: ClusterSim,
+    /// Replica node ids, indexed by [`ReplicaId`].
+    pub replicas: Vec<NodeId>,
+    /// Client node ids, indexed by [`ClientId`].
+    pub clients: Vec<NodeId>,
+    /// The shared outcome recorder.
+    pub recorder: RecorderHandle,
+}
+
+/// Cluster construction parameters beyond the protocol choice.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Number of closed-loop clients.
+    pub clients: u32,
+    /// The YCSB workload each client issues.
+    pub workload: WorkloadSpec,
+    /// RNG seed (fully determines the run).
+    pub seed: u64,
+    /// Outcomes completing before this are excluded from metrics.
+    pub warmup: Duration,
+    /// Time-series bin width.
+    pub bin_width: Duration,
+    /// Per-client cap on issued operations (`None` = unbounded).
+    pub ops_per_client: Option<u64>,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> ClusterOptions {
+        ClusterOptions {
+            clients: 50,
+            workload: WorkloadSpec::update_heavy(),
+            seed: 1,
+            warmup: Duration::from_secs(1),
+            bin_width: Duration::from_millis(250),
+            ops_per_client: None,
+        }
+    }
+}
+
+/// Builds a cluster of the given protocol with closed-loop YCSB clients.
+pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandles {
+    let recorder = RecorderHandle::new(Recorder::new(opts.warmup, opts.bin_width));
+    let n = protocol.replica_count();
+    let make_app = |i: u32, recorder: &RecorderHandle| {
+        let app = RecordingApp::new(
+            Workload::new(opts.workload, u64::from(i)),
+            recorder.clone(),
+            opts.seed.wrapping_mul(1000).wrapping_add(u64::from(i)),
+        );
+        match opts.ops_per_client {
+            Some(limit) => app.with_limit(limit),
+            None => app,
+        }
+    };
+    match protocol {
+        Protocol::Idem { config, client } => {
+            let mut sim: Simulation<IdemMessage> =
+                Simulation::with_network(opts.seed, experiment_network());
+            let replicas: Vec<NodeId> = (0..n).map(|_| sim.reserve_node()).collect();
+            let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
+            let dir = Directory::new(replicas.clone(), clients.clone());
+            for (i, &node) in replicas.iter().enumerate() {
+                sim.install_node(
+                    node,
+                    Box::new(IdemReplica::new(
+                        config.clone(),
+                        ReplicaId(i as u32),
+                        dir.clone(),
+                        Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
+                    )),
+                );
+            }
+            for (i, &node) in clients.iter().enumerate() {
+                sim.install_node(
+                    node,
+                    Box::new(IdemClient::new(
+                        *client,
+                        ClientId(i as u32),
+                        dir.clone(),
+                        Box::new(make_app(i as u32, &recorder)),
+                    )),
+                );
+            }
+            ClusterHandles {
+                sim: ClusterSim::Idem(sim),
+                replicas,
+                clients,
+                recorder,
+            }
+        }
+        Protocol::Paxos { config, client } => {
+            let mut sim: Simulation<PaxosMessage> =
+                Simulation::with_network(opts.seed, experiment_network());
+            let replicas: Vec<NodeId> = (0..n).map(|_| sim.reserve_node()).collect();
+            let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
+            let dir = Directory::new(replicas.clone(), clients.clone());
+            for (i, &node) in replicas.iter().enumerate() {
+                sim.install_node(
+                    node,
+                    Box::new(PaxosReplica::new(
+                        config.clone(),
+                        ReplicaId(i as u32),
+                        dir.clone(),
+                        Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
+                    )),
+                );
+            }
+            for (i, &node) in clients.iter().enumerate() {
+                sim.install_node(
+                    node,
+                    Box::new(PaxosClient::new(
+                        *client,
+                        ClientId(i as u32),
+                        dir.clone(),
+                        Box::new(make_app(i as u32, &recorder)),
+                    )),
+                );
+            }
+            ClusterHandles {
+                sim: ClusterSim::Paxos(sim),
+                replicas,
+                clients,
+                recorder,
+            }
+        }
+        Protocol::Smart { config, client } => {
+            let mut sim: Simulation<SmartMessage> =
+                Simulation::with_network(opts.seed, experiment_network());
+            let replicas: Vec<NodeId> = (0..n).map(|_| sim.reserve_node()).collect();
+            let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
+            let dir = Directory::new(replicas.clone(), clients.clone());
+            for (i, &node) in replicas.iter().enumerate() {
+                sim.install_node(
+                    node,
+                    Box::new(SmartReplica::new(
+                        config.clone(),
+                        ReplicaId(i as u32),
+                        dir.clone(),
+                        Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
+                    )),
+                );
+            }
+            for (i, &node) in clients.iter().enumerate() {
+                sim.install_node(
+                    node,
+                    Box::new(SmartClient::new(
+                        *client,
+                        ClientId(i as u32),
+                        dir.clone(),
+                        Box::new(make_app(i as u32, &recorder)),
+                    )),
+                );
+            }
+            ClusterHandles {
+                sim: ClusterSim::Smart(sim),
+                replicas,
+                clients,
+                recorder,
+            }
+        }
+    }
+}
+
+impl ClusterHandles {
+    /// Runs the simulation forward by `d` of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        match &mut self.sim {
+            ClusterSim::Idem(sim) => sim.run_for(d),
+            ClusterSim::Paxos(sim) => sim.run_for(d),
+            ClusterSim::Smart(sim) => sim.run_for(d),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        match &self.sim {
+            ClusterSim::Idem(sim) => sim.now(),
+            ClusterSim::Paxos(sim) => sim.now(),
+            ClusterSim::Smart(sim) => sim.now(),
+        }
+    }
+
+    /// Crashes the replica with the given index immediately.
+    pub fn crash_replica(&mut self, index: usize) {
+        let node = self.replicas[index];
+        match &mut self.sim {
+            ClusterSim::Idem(sim) => sim.crash_now(node),
+            ClusterSim::Paxos(sim) => sim.crash_now(node),
+            ClusterSim::Smart(sim) => sim.crash_now(node),
+        }
+    }
+
+    /// Total bytes sent on links where at least one endpoint is a client.
+    pub fn client_traffic_bytes(&self) -> u64 {
+        let replica_max = self.replicas.len() as u32;
+        let is_replica = move |n: NodeId| n.0 < replica_max;
+        self.with_traffic(|t| t.bytes_matching(|f, to| !is_replica(f) || !is_replica(to)))
+    }
+
+    /// Total bytes sent between replicas.
+    pub fn replica_traffic_bytes(&self) -> u64 {
+        let replica_max = self.replicas.len() as u32;
+        let is_replica = move |n: NodeId| n.0 < replica_max;
+        self.with_traffic(|t| t.bytes_matching(|f, to| is_replica(f) && is_replica(to)))
+    }
+
+    /// Total bytes sent on all links.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.with_traffic(idem_simnet::Traffic::total_bytes)
+    }
+
+    /// Total messages sent on all links.
+    pub fn total_messages(&self) -> u64 {
+        self.with_traffic(idem_simnet::Traffic::total_messages)
+    }
+
+    fn with_traffic<R>(&self, f: impl FnOnce(&idem_simnet::Traffic) -> R) -> R {
+        match &self.sim {
+            ClusterSim::Idem(sim) => f(sim.traffic()),
+            ClusterSim::Paxos(sim) => f(sim.traffic()),
+            ClusterSim::Smart(sim) => f(sim.traffic()),
+        }
+    }
+
+    /// IDEM replica stats (None when running a baseline protocol).
+    pub fn idem_stats(&self, index: usize) -> Option<idem_core::ReplicaStats> {
+        match &self.sim {
+            ClusterSim::Idem(sim) => sim
+                .node_as::<IdemReplica>(self.replicas[index])
+                .map(|r| *r.stats()),
+            _ => None,
+        }
+    }
+
+    /// Paxos replica stats (None when running another protocol).
+    pub fn paxos_stats(&self, index: usize) -> Option<idem_paxos::PaxosReplicaStats> {
+        match &self.sim {
+            ClusterSim::Paxos(sim) => sim
+                .node_as::<PaxosReplica>(self.replicas[index])
+                .map(|r| *r.stats()),
+            _ => None,
+        }
+    }
+
+    /// SMaRt replica stats (None when running another protocol).
+    pub fn smart_stats(&self, index: usize) -> Option<idem_smart::SmartReplicaStats> {
+        match &self.sim {
+            ClusterSim::Smart(sim) => sim
+                .node_as::<SmartReplica>(self.replicas[index])
+                .map(|r| *r.stats()),
+            _ => None,
+        }
+    }
+
+    /// Digest of the replicated key-value store of the replica at `index`,
+    /// for cross-replica state-equality assertions.
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    pub fn app_digest(&self, index: usize) -> u64 {
+        let snapshot = match &self.sim {
+            ClusterSim::Idem(sim) => sim
+                .node_as::<IdemReplica>(self.replicas[index])
+                .expect("replica type")
+                .app()
+                .snapshot(),
+            ClusterSim::Paxos(sim) => sim
+                .node_as::<PaxosReplica>(self.replicas[index])
+                .expect("replica type")
+                .app()
+                .snapshot(),
+            ClusterSim::Smart(sim) => sim
+                .node_as::<SmartReplica>(self.replicas[index])
+                .expect("replica type")
+                .app()
+                .snapshot(),
+        };
+        let mut kv = KvStore::new();
+        idem_common::StateMachine::restore(&mut kv, &snapshot);
+        kv.digest()
+    }
+
+    /// Number of events processed so far (for performance reporting).
+    pub fn events_processed(&self) -> u64 {
+        match &self.sim {
+            ClusterSim::Idem(sim) => sim.events_processed(),
+            ClusterSim::Paxos(sim) => sim.events_processed(),
+            ClusterSim::Smart(sim) => sim.events_processed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names_match_paper_labels() {
+        assert_eq!(Protocol::idem().name(), "IDEM");
+        assert_eq!(Protocol::idem_no_pr().name(), "IDEM_noPR");
+        assert_eq!(Protocol::idem_no_aqm().name(), "IDEM_noAQM");
+        assert_eq!(Protocol::paxos().name(), "Paxos");
+        assert_eq!(Protocol::paxos_lbr(50).name(), "Paxos_LBR");
+        assert_eq!(Protocol::smart().name(), "BFT-SMaRt");
+    }
+
+    #[test]
+    fn idem_with_rt_adjusts_threshold() {
+        match Protocol::idem_with_rt(75) {
+            Protocol::Idem { config, .. } => assert_eq!(config.reject_threshold, 75),
+            _ => panic!("wrong protocol"),
+        }
+    }
+
+    #[test]
+    fn small_cluster_runs_and_records() {
+        let opts = ClusterOptions {
+            clients: 2,
+            warmup: Duration::ZERO,
+            ops_per_client: Some(10),
+            ..ClusterOptions::default()
+        };
+        for protocol in [Protocol::idem(), Protocol::paxos(), Protocol::smart()] {
+            let mut cluster = build_cluster(&protocol, &opts);
+            cluster.run_for(Duration::from_secs(3));
+            let successes = cluster.recorder.with(Recorder::successes);
+            assert_eq!(successes, 20, "{} lost operations", protocol.name());
+            assert!(cluster.total_traffic_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn traffic_split_covers_total() {
+        let opts = ClusterOptions {
+            clients: 2,
+            warmup: Duration::ZERO,
+            ops_per_client: Some(5),
+            ..ClusterOptions::default()
+        };
+        let mut cluster = build_cluster(&Protocol::idem(), &opts);
+        cluster.run_for(Duration::from_secs(2));
+        assert_eq!(
+            cluster.client_traffic_bytes() + cluster.replica_traffic_bytes(),
+            cluster.total_traffic_bytes()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 2: behaviour of existing replication protocols under load.
+//!
+//! The paper drives Paxos with increasing closed-loop client counts and
+//! shows two service tiers: low, stable latency until saturation (the
+//! "good tier"), then a latency explosion (the "bad tier") with more than
+//! 600 % of the normal latency at 4× overload.
+
+use crate::cluster::Protocol;
+use crate::experiments::{measure_factor, Effort};
+use crate::report::{fmt_kreq, fmt_ms, render_csv, render_table, ExperimentReport};
+
+/// The client-load factors swept (1.0 = 50 clients = saturation).
+pub const FACTORS: [f64; 7] = [0.2, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
+
+/// Runs the experiment.
+pub fn run(effort: Effort) -> ExperimentReport {
+    let protocol = Protocol::paxos();
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut normal_latency = f64::NAN;
+    let mut overload_latency = f64::NAN;
+    for &factor in &FACTORS {
+        let m = measure_factor(&protocol, factor, effort);
+        if factor == 0.5 {
+            normal_latency = m.latency_mean_ms;
+        }
+        if factor == 4.0 {
+            overload_latency = m.latency_mean_ms;
+        }
+        rows.push(vec![
+            format!("{factor}x"),
+            fmt_kreq(m.throughput),
+            fmt_ms(m.latency_mean_ms),
+            fmt_ms(m.latency_std_ms),
+            fmt_ms(m.latency_p99_ms),
+        ]);
+        csv_rows.push(vec![
+            factor.to_string(),
+            m.throughput.to_string(),
+            m.latency_mean_ms.to_string(),
+            m.latency_std_ms.to_string(),
+            m.latency_p99_ms.to_string(),
+        ]);
+    }
+    let blowup = 100.0 * overload_latency / normal_latency;
+    let body = format!(
+        "{}\nlatency at 4x overload = {:.0}% of normal-case (0.5x) latency (paper: >600%)\n",
+        render_table(
+            &["load", "tput [req/s]", "lat [ms]", "std [ms]", "p99 [ms]"],
+            &rows,
+        ),
+        blowup
+    );
+    ExperimentReport {
+        title: "Figure 2 — Paxos under increasing load (two service tiers)".into(),
+        paper_claim: "latency is low and stable until saturation (~43k req/s), then \
+                      escalates to >600% of normal once the load exceeds the saturation point"
+            .into(),
+        body,
+        csv: vec![(
+            "fig2_paxos.csv".into(),
+            render_csv(
+                &["load_factor", "throughput", "latency_ms", "std_ms", "p99_ms"],
+                &csv_rows,
+            ),
+        )],
+    }
+}

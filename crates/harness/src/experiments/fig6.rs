@@ -1,0 +1,80 @@
+//! Figure 6: performance comparison under increasing request load.
+//!
+//! IDEM, IDEM_noPR, Paxos and BFT-SMaRt are driven with increasing client
+//! counts. The baselines (and IDEM_noPR) show the latency explosion past
+//! saturation; IDEM's latency plateaus around 1.3 ms once the rejection
+//! mechanism engages (~43 k req/s at RT = 50).
+
+use crate::cluster::Protocol;
+use crate::experiments::{measure_factor, Effort};
+use crate::report::{fmt_kreq, fmt_ms, render_csv, render_table, ExperimentReport};
+
+/// The client-load factors swept.
+pub const FACTORS: [f64; 7] = [0.2, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
+
+/// The systems compared.
+pub fn systems() -> Vec<Protocol> {
+    vec![
+        Protocol::idem(),
+        Protocol::idem_no_pr(),
+        Protocol::paxos(),
+        Protocol::smart(),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(effort: Effort) -> ExperimentReport {
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut idem_peak_latency: f64 = 0.0;
+    let mut worst_baseline_latency: f64 = 0.0;
+    for protocol in systems() {
+        for &factor in &FACTORS {
+            let m = measure_factor(&protocol, factor, effort);
+            if protocol.name() == "IDEM" {
+                idem_peak_latency = idem_peak_latency.max(m.latency_mean_ms);
+            } else if protocol.name() != "IDEM_noPR" {
+                worst_baseline_latency = worst_baseline_latency.max(m.latency_mean_ms);
+            }
+            rows.push(vec![
+                protocol.name().to_string(),
+                format!("{factor}x"),
+                fmt_kreq(m.throughput),
+                fmt_ms(m.latency_mean_ms),
+                fmt_ms(m.latency_std_ms),
+            ]);
+            csv_rows.push(vec![
+                protocol.name().to_string(),
+                factor.to_string(),
+                m.throughput.to_string(),
+                m.latency_mean_ms.to_string(),
+                m.latency_std_ms.to_string(),
+            ]);
+        }
+    }
+    let body = format!(
+        "{}\nIDEM peak latency {} ms vs worst baseline latency {} ms \
+         (paper: IDEM plateaus ~1.3 ms, baselines explode)\n",
+        render_table(
+            &["system", "load", "tput [req/s]", "lat [ms]", "std [ms]"],
+            &rows,
+        ),
+        fmt_ms(idem_peak_latency),
+        fmt_ms(worst_baseline_latency),
+    );
+    ExperimentReport {
+        title: "Figure 6 — protocol comparison under increasing load".into(),
+        paper_claim: "Paxos and BFT-SMaRt escalate past saturation; IDEM_noPR matches IDEM \
+                      below the threshold; IDEM's latency plateaus (~1.3 ms) once rejection \
+                      engages at ~43k req/s"
+            .into(),
+        body,
+        csv: vec![(
+            "fig6_comparison.csv".into(),
+            render_csv(
+                &["system", "load_factor", "throughput", "latency_ms", "std_ms"],
+                &csv_rows,
+            ),
+        )],
+    }
+}

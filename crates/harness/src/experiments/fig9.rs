@@ -1,0 +1,88 @@
+//! Figure 9: IDEM under disruptive conditions — misconfigured threshold
+//! (9a) and extreme load (9b).
+
+use crate::cluster::Protocol;
+use crate::experiments::{measure_factor, Effort};
+use crate::report::{fmt_kreq, fmt_ms, render_csv, render_table, ExperimentReport};
+
+/// Load factors of the misconfiguration experiment (Figure 9a).
+pub const MISCONFIG_FACTORS: [f64; 5] = [1.0, 2.0, 4.0, 6.0, 8.0];
+/// Load factors of the extreme-load experiment (Figure 9b).
+pub const EXTREME_FACTORS: [f64; 5] = [2.0, 4.0, 6.0, 10.0, 14.0];
+/// The deliberately excessive reject threshold of Figure 9a.
+pub const MISCONFIG_RT: u32 = 100;
+
+/// Runs Figure 9a: reject threshold far above what the system can handle.
+pub fn run_misconfigured(effort: Effort) -> ExperimentReport {
+    let protocol = Protocol::idem_with_rt(MISCONFIG_RT);
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &factor in &MISCONFIG_FACTORS {
+        let m = measure_factor(&protocol, factor, effort);
+        rows.push(vec![
+            format!("{factor}x"),
+            fmt_kreq(m.throughput),
+            fmt_ms(m.latency_mean_ms),
+            fmt_ms(m.latency_std_ms),
+        ]);
+        csv_rows.push(vec![
+            factor.to_string(),
+            m.throughput.to_string(),
+            m.latency_mean_ms.to_string(),
+            m.latency_std_ms.to_string(),
+        ]);
+    }
+    let body = render_table(&["load", "tput [req/s]", "lat [ms]", "std [ms]"], &rows);
+    ExperimentReport {
+        title: format!("Figure 9a — misconfigured reject threshold (RT = {MISCONFIG_RT})"),
+        paper_claim: "latency rises into overload before rejection engages (~2 ms), then the \
+                      increase slows markedly; no state-of-the-art-style explosion even at 8x"
+            .into(),
+        body,
+        csv: vec![(
+            "fig9a_misconfigured.csv".into(),
+            render_csv(
+                &["load_factor", "throughput", "latency_ms", "std_ms"],
+                &csv_rows,
+            ),
+        )],
+    }
+}
+
+/// Runs Figure 9b: extreme overload up to 14× the baseline client load.
+pub fn run_extreme(effort: Effort) -> ExperimentReport {
+    let protocol = Protocol::idem();
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &factor in &EXTREME_FACTORS {
+        let m = measure_factor(&protocol, factor, effort);
+        rows.push(vec![
+            format!("{factor}x"),
+            fmt_kreq(m.throughput),
+            fmt_ms(m.latency_mean_ms),
+            fmt_ms(m.latency_std_ms),
+        ]);
+        csv_rows.push(vec![
+            factor.to_string(),
+            m.throughput.to_string(),
+            m.latency_mean_ms.to_string(),
+            m.latency_std_ms.to_string(),
+        ]);
+    }
+    let body = render_table(&["load", "tput [req/s]", "lat [ms]", "std [ms]"], &rows);
+    ExperimentReport {
+        title: "Figure 9b — extreme load (up to 14x baseline)".into(),
+        paper_claim: "throughput stays stable into medium overload, then decreases (≈55% of \
+                      peak at 14x) as rejected clients back off, while latency stays low \
+                      (≈0.9–1.3 ms) — no latency explosion"
+            .into(),
+        body,
+        csv: vec![(
+            "fig9b_extreme.csv".into(),
+            render_csv(
+                &["load_factor", "throughput", "latency_ms", "std_ms"],
+                &csv_rows,
+            ),
+        )],
+    }
+}

@@ -1,0 +1,176 @@
+//! One reproducible experiment per table/figure of the paper's evaluation.
+//!
+//! Every experiment returns an [`ExperimentReport`](crate::report::ExperimentReport)
+//! holding a paper-style text table plus CSV series for plotting. All
+//! experiments accept an [`Effort`] that scales run length: `quick` for CI
+//! and iteration, `full` for paper-scale runs. Beyond the paper's own
+//! figures, [`strategies`] quantifies the Section 5.3 client spectrum.
+
+pub mod fig10;
+pub mod fig10d;
+pub mod fig2;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod strategies;
+pub mod table1;
+
+use std::time::Duration;
+
+use crate::recorder::RunMetrics;
+use crate::scenario::{clients_for_factor, Scenario};
+use crate::Protocol;
+
+/// Run-length / repetition preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Effort {
+    /// Measured duration per run.
+    pub duration: Duration,
+    /// Warmup excluded from metrics.
+    pub warmup: Duration,
+    /// Independent repetitions averaged per data point (the paper uses 3).
+    pub repetitions: u32,
+    /// Target successful operations for fixed-count experiments (Table 1).
+    pub fixed_requests: u64,
+}
+
+impl Effort {
+    /// Small runs for CI and iteration: 3 s measured, one repetition.
+    pub fn quick() -> Effort {
+        Effort {
+            duration: Duration::from_secs(3),
+            warmup: Duration::from_secs(1),
+            repetitions: 1,
+            fixed_requests: 50_000,
+        }
+    }
+
+    /// Paper-scale runs: 20 s measured, three repetitions, 1 M requests
+    /// for Table 1.
+    pub fn full() -> Effort {
+        Effort {
+            duration: Duration::from_secs(20),
+            warmup: Duration::from_secs(2),
+            repetitions: 3,
+            fixed_requests: 1_000_000,
+        }
+    }
+}
+
+/// Averages metrics across repetitions (throughputs and latencies are
+/// arithmetic means; counts summed then divided).
+pub(crate) fn average(metrics: &[RunMetrics]) -> RunMetrics {
+    let n = metrics.len().max(1) as f64;
+    let sum = |f: fn(&RunMetrics) -> f64| metrics.iter().map(f).sum::<f64>() / n;
+    RunMetrics {
+        successes: (metrics.iter().map(|m| m.successes).sum::<u64>() as f64 / n) as u64,
+        rejections: (metrics.iter().map(|m| m.rejections).sum::<u64>() as f64 / n) as u64,
+        rejections_final: (metrics.iter().map(|m| m.rejections_final).sum::<u64>() as f64 / n)
+            as u64,
+        throughput: sum(|m| m.throughput),
+        reject_throughput: sum(|m| m.reject_throughput),
+        latency_mean_ms: sum(|m| m.latency_mean_ms),
+        latency_std_ms: sum(|m| m.latency_std_ms),
+        latency_p50_ms: sum(|m| m.latency_p50_ms),
+        latency_p99_ms: sum(|m| m.latency_p99_ms),
+        reject_latency_mean_ms: sum(|m| m.reject_latency_mean_ms),
+        reject_latency_std_ms: sum(|m| m.reject_latency_std_ms),
+    }
+}
+
+/// Runs `protocol` at the given client-load factor, averaged over the
+/// effort's repetitions.
+pub(crate) fn measure_factor(protocol: &Protocol, factor: f64, effort: Effort) -> RunMetrics {
+    let clients = clients_for_factor(factor);
+    let metrics: Vec<RunMetrics> = (0..effort.repetitions)
+        .map(|rep| {
+            let mut scenario =
+                Scenario::new(protocol.clone(), clients, effort.duration).with_seed(1000 + rep as u64);
+            scenario.warmup = effort.warmup;
+            scenario.run().metrics
+        })
+        .collect();
+    average(&metrics)
+}
+
+/// Longest stretch (seconds) without any rejection after `after_s`,
+/// computed over a reject time series — the "reject downtime" of
+/// Figures 3 and 10d.
+pub(crate) fn reject_downtime_s(
+    series: &[(f64, f64)],
+    bin_s: f64,
+    after_s: f64,
+    end_s: f64,
+) -> f64 {
+    // Collect times of bins with at least one rejection.
+    let mut last = after_s;
+    let mut max_gap: f64 = 0.0;
+    for &(t, rate) in series {
+        if t < after_s {
+            continue;
+        }
+        if rate > 0.0 {
+            max_gap = max_gap.max(t - last);
+            last = t + bin_s;
+        }
+    }
+    max_gap.max(end_s - last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_of_identical_metrics_is_identity() {
+        let m = RunMetrics {
+            successes: 10,
+            rejections: 2,
+            rejections_final: 1,
+            throughput: 100.0,
+            reject_throughput: 5.0,
+            latency_mean_ms: 1.5,
+            latency_std_ms: 0.2,
+            latency_p50_ms: 1.4,
+            latency_p99_ms: 3.0,
+            reject_latency_mean_ms: 1.2,
+            reject_latency_std_ms: 0.6,
+        };
+        let avg = average(&[m, m, m]);
+        assert_eq!(avg.successes, 10);
+        assert_eq!(avg.throughput, 100.0);
+        assert_eq!(avg.latency_mean_ms, 1.5);
+    }
+
+    #[test]
+    fn downtime_detects_gap_after_crash() {
+        // Rejections at 0.0–1.0 s, silence 1.0–5.0 s, rejections resume.
+        let mut series = Vec::new();
+        for i in 0..4 {
+            series.push((i as f64 * 0.25, 10.0));
+        }
+        for i in 4..20 {
+            series.push((i as f64 * 0.25, 0.0));
+        }
+        for i in 20..24 {
+            series.push((i as f64 * 0.25, 10.0));
+        }
+        let downtime = reject_downtime_s(&series, 0.25, 0.5, 6.0);
+        assert!((downtime - 4.0).abs() < 0.3, "downtime was {downtime}");
+    }
+
+    #[test]
+    fn downtime_is_small_for_continuous_rejection() {
+        let series: Vec<(f64, f64)> = (0..40).map(|i| (i as f64 * 0.25, 5.0)).collect();
+        let downtime = reject_downtime_s(&series, 0.25, 1.0, 10.0);
+        assert!(downtime < 0.5, "downtime was {downtime}");
+    }
+
+    #[test]
+    fn efforts_differ_in_scale() {
+        assert!(Effort::full().duration > Effort::quick().duration);
+        assert!(Effort::full().fixed_requests > Effort::quick().fixed_requests);
+    }
+}

@@ -1,0 +1,107 @@
+//! Supplementary experiment: the client reject-handling spectrum of paper
+//! Section 5.3.
+//!
+//! Pessimistic clients abort on the `n − f`th reject, minimizing rejection
+//! latency; optimistic clients wait a grace period for a late reply,
+//! trading rejection latency for operation success rate. The paper
+//! describes the trade-off qualitatively; this experiment quantifies it on
+//! our substrate across grace periods.
+
+use std::time::Duration;
+
+use idem_core::RejectHandling;
+
+use crate::cluster::Protocol;
+use crate::experiments::Effort;
+use crate::report::{fmt_kreq, fmt_ms, fmt_pct, render_csv, render_table, ExperimentReport};
+use crate::scenario::{clients_for_factor, Scenario};
+
+/// Overload factor the comparison runs at.
+pub const LOAD_FACTOR: f64 = 4.0;
+
+/// The strategies compared: pessimistic, plus optimistic with increasing
+/// grace periods (the paper's evaluation uses 5 ms).
+pub fn strategies() -> Vec<(&'static str, RejectHandling)> {
+    vec![
+        ("pessimistic", RejectHandling::Pessimistic),
+        (
+            "optimistic 2ms",
+            RejectHandling::Optimistic(Duration::from_millis(2)),
+        ),
+        (
+            "optimistic 5ms",
+            RejectHandling::Optimistic(Duration::from_millis(5)),
+        ),
+        (
+            "optimistic 15ms",
+            RejectHandling::Optimistic(Duration::from_millis(15)),
+        ),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(effort: Effort) -> ExperimentReport {
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (label, handling) in strategies() {
+        let protocol = match Protocol::idem() {
+            Protocol::Idem { config, client } => Protocol::Idem {
+                config,
+                client: client.with_reject_handling(handling),
+            },
+            _ => unreachable!(),
+        };
+        let mut scenario = Scenario::new(
+            protocol,
+            clients_for_factor(LOAD_FACTOR),
+            effort.duration,
+        );
+        scenario.warmup = effort.warmup;
+        let m = scenario.run().metrics;
+        rows.push(vec![
+            label.to_string(),
+            fmt_kreq(m.throughput),
+            fmt_pct(m.reject_share_percent()),
+            fmt_ms(m.reject_latency_mean_ms),
+            fmt_ms(m.latency_mean_ms),
+        ]);
+        csv_rows.push(vec![
+            label.to_string(),
+            m.throughput.to_string(),
+            m.reject_share_percent().to_string(),
+            m.reject_latency_mean_ms.to_string(),
+            m.latency_mean_ms.to_string(),
+        ]);
+    }
+    let body = render_table(
+        &[
+            "strategy",
+            "tput [req/s]",
+            "reject share",
+            "rej lat [ms]",
+            "reply lat [ms]",
+        ],
+        &rows,
+    );
+    ExperimentReport {
+        title: "Extra — client reject-handling spectrum (Section 5.3)".into(),
+        paper_claim: "pessimistic clients minimize rejection latency; optimistic clients \
+                      trade higher rejection latency for a better operation success rate \
+                      (fewer aborts), with the grace period as the knob"
+            .into(),
+        body,
+        csv: vec![(
+            "extra_strategies.csv".into(),
+            render_csv(
+                &[
+                    "strategy",
+                    "throughput",
+                    "reject_share_pct",
+                    "reject_latency_ms",
+                    "reply_latency_ms",
+                ],
+                &csv_rows,
+            ),
+        )],
+    }
+}

@@ -1,0 +1,210 @@
+//! Plain-text table / CSV rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned plain-text table with a header row.
+///
+/// # Example
+/// ```
+/// use idem_harness::report::render_table;
+/// let out = render_table(
+///     &["system", "tput"],
+///     &[vec!["IDEM".into(), "43k".into()], vec!["Paxos".into(), "41k".into()]],
+/// );
+/// assert!(out.contains("system"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let write_row = |cells: &[String], out: &mut String| {
+        let line = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ");
+        let _ = writeln!(out, "{}", line.trim_end());
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    write_row(&header_cells, &mut out);
+    let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    write_row(&rule, &mut out);
+    for row in rows {
+        write_row(row, &mut out);
+    }
+    out
+}
+
+/// Renders rows as CSV (no quoting; experiment values never contain commas).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+/// Formats a requests-per-second value the way the paper quotes it
+/// ("43.1k req/s").
+pub fn fmt_kreq(v: f64) -> String {
+    format!("{:.1}k", v / 1000.0)
+}
+
+/// Formats a latency in milliseconds with two decimals.
+pub fn fmt_ms(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a byte count in gigabytes with two decimals (Table 1 units).
+pub fn fmt_gb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e9)
+}
+
+/// Formats a percentage with one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Renders a series as a unicode sparkline (one block character per
+/// sample, scaled to the series maximum). NaN samples render as spaces.
+///
+/// # Example
+/// ```
+/// use idem_harness::report::sparkline;
+/// let s = sparkline(&[0.0, 1.0, 2.0, 4.0, 8.0]);
+/// assert_eq!(s.chars().count(), 5);
+/// assert!(s.ends_with('█'));
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if max <= 0.0 {
+                BLOCKS[0]
+            } else {
+                let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+                BLOCKS[idx]
+            }
+        })
+        .collect()
+}
+
+/// Downsamples a `(t, value)` series to at most `width` points by
+/// averaging buckets, returning just the values (for sparklines).
+pub fn downsample(series: &[(f64, f64)], width: usize) -> Vec<f64> {
+    if series.is_empty() || width == 0 {
+        return Vec::new();
+    }
+    let chunk = series.len().div_ceil(width);
+    series
+        .chunks(chunk)
+        .map(|c| c.iter().map(|(_, v)| *v).sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// A rendered experiment: title, paper-style table(s), CSV artifacts.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment label, e.g. "Figure 6".
+    pub title: String,
+    /// The claim from the paper this experiment checks.
+    pub paper_claim: String,
+    /// Rendered plain-text tables.
+    pub body: String,
+    /// `(file name, content)` CSV artifacts for plotting.
+    pub csv: Vec<(String, String)>,
+}
+
+impl ExperimentReport {
+    /// Renders the complete report as text.
+    pub fn to_text(&self) -> String {
+        format!(
+            "== {} ==\npaper: {}\n\n{}",
+            self.title, self.paper_claim, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let out = render_table(
+            &["a", "long_header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all rows align on the right edge of each column
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[2].ends_with("2"));
+    }
+
+    #[test]
+    fn csv_renders_rows() {
+        let out = render_csv(&["x", "y"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(out, "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_kreq(43_120.0), "43.1k");
+        assert_eq!(fmt_ms(1.276), "1.28");
+        assert_eq!(fmt_gb(3_260_000_000), "3.26");
+        assert_eq!(fmt_pct(10.04), "10.0%");
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let s = sparkline(&[0.0, 4.0, 8.0]);
+        assert_eq!(s, "▁▅█");
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        assert_eq!(sparkline(&[f64::NAN, 1.0]), " █");
+    }
+
+    #[test]
+    fn downsample_buckets_by_mean() {
+        let series: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64)).collect();
+        let d = downsample(&series, 5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], 0.5);
+        assert_eq!(d[4], 8.5);
+        assert!(downsample(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn report_text_includes_claim() {
+        let r = ExperimentReport {
+            title: "Figure X".into(),
+            paper_claim: "something holds".into(),
+            body: "table".into(),
+            csv: Vec::new(),
+        };
+        let text = r.to_text();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("something holds"));
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration test files live in the top-level `tests/` directory.

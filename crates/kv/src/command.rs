@@ -1,0 +1,225 @@
+//! Binary command encoding for the key-value store.
+//!
+//! Commands travel through the replication protocols as opaque byte
+//! strings; this module defines the (hand-rolled, dependency-free) framing.
+//!
+//! Layout:
+//!
+//! ```text
+//! GET:    [0x01][key: u64 LE]
+//! UPDATE: [0x02][key: u64 LE][value bytes...]
+//! DELETE: [0x03][key: u64 LE]
+//! SCAN:   [0x04][key: u64 LE][count: u32 LE]
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+const TAG_GET: u8 = 0x01;
+const TAG_UPDATE: u8 = 0x02;
+const TAG_DELETE: u8 = 0x03;
+const TAG_SCAN: u8 = 0x04;
+
+/// A decoded key-value store command.
+///
+/// # Example
+/// ```
+/// use idem_kv::Command;
+/// let cmd = Command::Update { key: 7, value: vec![1, 2, 3] };
+/// let bytes = cmd.encode();
+/// assert_eq!(Command::decode(&bytes).unwrap(), cmd);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Read the value of `key`.
+    Get {
+        /// The key to read.
+        key: u64,
+    },
+    /// Write `value` under `key`, replacing any previous value.
+    Update {
+        /// The key to write.
+        key: u64,
+        /// The value bytes.
+        value: Vec<u8>,
+    },
+    /// Remove `key`.
+    Delete {
+        /// The key to remove.
+        key: u64,
+    },
+    /// Read up to `count` consecutive keys starting at `start`.
+    Scan {
+        /// First key of the range.
+        start: u64,
+        /// Maximum number of keys to return.
+        count: u32,
+    },
+}
+
+impl Command {
+    /// Encodes the command into its wire representation.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Command::Get { key } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_GET);
+                out.extend_from_slice(&key.to_le_bytes());
+                out
+            }
+            Command::Update { key, value } => {
+                let mut out = Vec::with_capacity(9 + value.len());
+                out.push(TAG_UPDATE);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(value);
+                out
+            }
+            Command::Delete { key } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_DELETE);
+                out.extend_from_slice(&key.to_le_bytes());
+                out
+            }
+            Command::Scan { start, count } => {
+                let mut out = Vec::with_capacity(13);
+                out.push(TAG_SCAN);
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes a command from its wire representation.
+    ///
+    /// # Errors
+    /// Returns [`DecodeCommandError`] if the buffer is truncated or carries
+    /// an unknown tag.
+    pub fn decode(bytes: &[u8]) -> Result<Command, DecodeCommandError> {
+        let (&tag, rest) = bytes.split_first().ok_or(DecodeCommandError::Empty)?;
+        let key = |r: &[u8]| -> Result<u64, DecodeCommandError> {
+            let raw: [u8; 8] = r
+                .get(..8)
+                .ok_or(DecodeCommandError::Truncated)?
+                .try_into()
+                .expect("8-byte slice");
+            Ok(u64::from_le_bytes(raw))
+        };
+        match tag {
+            TAG_GET => Ok(Command::Get { key: key(rest)? }),
+            TAG_UPDATE => Ok(Command::Update {
+                key: key(rest)?,
+                value: rest.get(8..).unwrap_or_default().to_vec(),
+            }),
+            TAG_DELETE => Ok(Command::Delete { key: key(rest)? }),
+            TAG_SCAN => {
+                let start = key(rest)?;
+                let raw: [u8; 4] = rest
+                    .get(8..12)
+                    .ok_or(DecodeCommandError::Truncated)?
+                    .try_into()
+                    .expect("4-byte slice");
+                Ok(Command::Scan {
+                    start,
+                    count: u32::from_le_bytes(raw),
+                })
+            }
+            other => Err(DecodeCommandError::UnknownTag(other)),
+        }
+    }
+
+    /// Whether the command mutates state (relevant for read-only
+    /// optimizations and for workload accounting).
+    pub fn is_write(&self) -> bool {
+        matches!(self, Command::Update { .. } | Command::Delete { .. })
+    }
+}
+
+/// Error decoding a [`Command`] from bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeCommandError {
+    /// The buffer was empty.
+    Empty,
+    /// The buffer ended before the fixed-size fields.
+    Truncated,
+    /// The leading tag byte is not a known command.
+    UnknownTag(u8),
+}
+
+impl fmt::Display for DecodeCommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeCommandError::Empty => write!(f, "empty command buffer"),
+            DecodeCommandError::Truncated => write!(f, "truncated command buffer"),
+            DecodeCommandError::UnknownTag(t) => write!(f, "unknown command tag {t:#04x}"),
+        }
+    }
+}
+
+impl Error for DecodeCommandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let cmds = [
+            Command::Get { key: 42 },
+            Command::Update {
+                key: u64::MAX,
+                value: vec![0xAB; 100],
+            },
+            Command::Update {
+                key: 0,
+                value: Vec::new(),
+            },
+            Command::Delete { key: 7 },
+            Command::Scan {
+                start: 10,
+                count: 5,
+            },
+        ];
+        for cmd in cmds {
+            assert_eq!(Command::decode(&cmd.encode()).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Command::decode(&[]), Err(DecodeCommandError::Empty));
+        assert_eq!(
+            Command::decode(&[TAG_GET, 1, 2]),
+            Err(DecodeCommandError::Truncated)
+        );
+        assert_eq!(
+            Command::decode(&[0x7F, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(DecodeCommandError::UnknownTag(0x7F))
+        );
+        assert_eq!(
+            Command::decode(&[TAG_SCAN, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2]),
+            Err(DecodeCommandError::Truncated)
+        );
+    }
+
+    #[test]
+    fn is_write_classification() {
+        assert!(!Command::Get { key: 1 }.is_write());
+        assert!(!Command::Scan { start: 1, count: 2 }.is_write());
+        assert!(Command::Update {
+            key: 1,
+            value: vec![]
+        }
+        .is_write());
+        assert!(Command::Delete { key: 1 }.is_write());
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_concise() {
+        assert_eq!(DecodeCommandError::Empty.to_string(), "empty command buffer");
+        assert_eq!(
+            DecodeCommandError::UnknownTag(0xFF).to_string(),
+            "unknown command tag 0xff"
+        );
+    }
+}

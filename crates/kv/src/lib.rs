@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Key-value store application and YCSB-style workload generation.
+//!
+//! The paper evaluates IDEM "using the YCSB benchmark with an update-heavy
+//! workload" on a replicated key-value store (Section 7.1). This crate
+//! provides both halves:
+//!
+//! * [`KvStore`] — a deterministic in-memory key-value state machine with a
+//!   compact binary command encoding and snapshot/restore support for
+//!   protocol checkpointing.
+//! * [`Workload`] — a YCSB-style operation generator with zipfian or
+//!   uniform key selection and a configurable read/update mix
+//!   ([`WorkloadSpec`]); the default spec mirrors YCSB's update-heavy
+//!   workload A (50 % reads / 50 % updates, zipfian keys).
+//!
+//! # Example
+//!
+//! ```
+//! use idem_kv::{KvStore, Workload, WorkloadSpec};
+//! use idem_common::StateMachine;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut store = KvStore::new();
+//! let mut workload = Workload::new(WorkloadSpec::update_heavy(), 1);
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! for _ in 0..100 {
+//!     let cmd = workload.next_command(&mut rng);
+//!     let _result = store.execute(&cmd);
+//! }
+//! assert!(!store.is_empty());
+//! ```
+
+pub mod command;
+pub mod store;
+pub mod ycsb;
+
+pub use command::{Command, DecodeCommandError};
+pub use store::KvStore;
+pub use ycsb::{KeyDistribution, Workload, WorkloadSpec, Zipfian};

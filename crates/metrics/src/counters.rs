@@ -1,0 +1,162 @@
+//! Named monotonic counters.
+//!
+//! Used by the experiment harness for message and byte accounting (the data
+//! behind Table 1 of the paper) and by protocol implementations to expose
+//! internals (forwards sent, fetches issued, cache hits) that the
+//! overhead-ablation tests assert on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single monotonic counter.
+///
+/// # Example
+/// ```
+/// use idem_metrics::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.increment();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    pub fn increment(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A collection of counters addressed by static name.
+///
+/// Names are `&'static str` on purpose: counter names are part of a crate's
+/// observable surface and should be declared as constants, not formatted at
+/// runtime.
+///
+/// # Example
+/// ```
+/// use idem_metrics::CounterSet;
+/// let mut set = CounterSet::new();
+/// set.add("forwards", 2);
+/// set.increment("fetches");
+/// assert_eq!(set.value("forwards"), 2);
+/// assert_eq!(set.value("fetches"), 1);
+/// assert_eq!(set.value("unknown"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counters: BTreeMap<&'static str, Counter>,
+}
+
+impl CounterSet {
+    /// Creates an empty set.
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    /// Adds `n` to the named counter, creating it if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        self.counters.entry(name).or_default().add(n);
+    }
+
+    /// Adds one to the named counter, creating it if absent.
+    pub fn increment(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of the named counter; 0 if it was never touched.
+    pub fn value(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, Counter::value)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, v)| (k, v.value()))
+    }
+
+    /// Merges another set into this one, summing counters with equal names.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (name, value) in other.iter() {
+            self.add(name, value);
+        }
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter exists.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.add(10);
+        c.add(5);
+        c.increment();
+        assert_eq!(c.value(), 16);
+        assert_eq!(c.to_string(), "16");
+    }
+
+    #[test]
+    fn set_creates_on_demand() {
+        let mut s = CounterSet::new();
+        assert_eq!(s.value("x"), 0);
+        s.increment("x");
+        assert_eq!(s.value("x"), 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_merge_sums_by_name() {
+        let mut a = CounterSet::new();
+        a.add("m", 1);
+        a.add("only_a", 7);
+        let mut b = CounterSet::new();
+        b.add("m", 2);
+        b.add("only_b", 3);
+        a.merge(&b);
+        assert_eq!(a.value("m"), 3);
+        assert_eq!(a.value("only_a"), 7);
+        assert_eq!(a.value("only_b"), 3);
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut s = CounterSet::new();
+        s.increment("zz");
+        s.increment("aa");
+        let names: Vec<_> = s.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["aa", "zz"]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Streaming summary statistics.
+
+/// Welford's online algorithm for numerically stable mean and variance.
+///
+/// Unlike [`crate::Histogram`], this keeps no distribution — only count,
+/// mean and M2 — so it is the right tool for cheap per-bin summary values
+/// (e.g. the per-second average latency of the Figure 10 timelines).
+///
+/// # Example
+/// ```
+/// use idem_metrics::Welford;
+/// let mut w = Welford::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.record(v);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.stddev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 if empty.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation, or 0 if empty.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel
+    /// combination).
+    ///
+    /// # Example
+    /// ```
+    /// use idem_metrics::Welford;
+    /// let mut a = Welford::new();
+    /// a.record(1.0);
+    /// let mut b = Welford::new();
+    /// b.record(3.0);
+    /// a.merge(&b);
+    /// assert!((a.mean() - 2.0).abs() < 1e-12);
+    /// ```
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reports_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn single_value_has_zero_variance() {
+        let mut w = Welford::new();
+        w.record(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let values = [1.5, 2.5, -3.0, 4.25, 100.0, 0.0, 7.0];
+        let mut seq = Welford::new();
+        for &v in &values {
+            seq.record(v);
+        }
+        let (left, right) = values.split_at(3);
+        let mut a = Welford::new();
+        for &v in left {
+            a.record(v);
+        }
+        let mut b = Welford::new();
+        for &v in right {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-10);
+        assert!((a.variance() - seq.variance()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.record(5.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn stability_under_large_offsets() {
+        // Classic catastrophic-cancellation case for naive sum-of-squares.
+        let mut w = Welford::new();
+        for v in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            w.record(v);
+        }
+        assert!((w.mean() - (1e9 + 10.0)).abs() < 1e-3);
+        assert!((w.variance() - 22.5).abs() < 1e-3);
+    }
+}

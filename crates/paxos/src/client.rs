@@ -1,0 +1,302 @@
+//! The Paxos client: leader-directed submission with timeout-based
+//! failover.
+//!
+//! The structural difference to IDEM's client is what drives the Figure 3 /
+//! 10d contrast: a Paxos client only talks to its *presumed leader*, so
+//! after a leader crash it must burn one or more client-side timeouts
+//! probing replicas before its requests (and, under LBR, its rejection
+//! notifications) flow again.
+
+use std::time::Duration;
+
+use idem_common::driver::{ClientApp, OperationOutcome, OutcomeKind};
+use idem_common::{Directory, OpNumber, QuorumSet, Request, RequestId};
+use idem_simnet::{Context, Node, NodeId, SimTime, TimerId};
+use rand::Rng;
+
+use crate::messages::PaxosMessage;
+
+/// Paxos client configuration.
+///
+/// # Example
+/// ```
+/// use idem_paxos::PaxosClientConfig;
+/// use std::time::Duration;
+/// let cfg = PaxosClientConfig::default().with_request_timeout(Duration::from_millis(500));
+/// assert_eq!(cfg.request_timeout, Duration::from_millis(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaxosClientConfig {
+    /// The replica group accessed.
+    pub quorum: QuorumSet,
+    /// How long to wait for a reply before assuming the presumed leader is
+    /// unreachable and probing the next replica.
+    pub request_timeout: Duration,
+    /// Uniform random delay before the next operation after an LBR
+    /// rejection (same load regulation as IDEM clients).
+    pub backoff: (Duration, Duration),
+    /// Uniform random delay of the first operation.
+    pub start_stagger: Duration,
+    /// Closed-loop think time after a success.
+    pub think_time: Duration,
+}
+
+impl Default for PaxosClientConfig {
+    /// `f = 1`, 1 s request timeout, 50–100 ms backoff.
+    fn default() -> PaxosClientConfig {
+        PaxosClientConfig {
+            quorum: QuorumSet::for_faults(1),
+            request_timeout: Duration::from_secs(1),
+            backoff: (Duration::from_millis(50), Duration::from_millis(100)),
+            start_stagger: Duration::from_millis(10),
+            think_time: Duration::ZERO,
+        }
+    }
+}
+
+impl PaxosClientConfig {
+    /// Returns a copy with a different request timeout.
+    #[must_use]
+    pub fn with_request_timeout(mut self, t: Duration) -> PaxosClientConfig {
+        self.request_timeout = t;
+        self
+    }
+
+    /// Returns a copy with a different quorum.
+    #[must_use]
+    pub fn with_quorum(mut self, quorum: QuorumSet) -> PaxosClientConfig {
+        self.quorum = quorum;
+        self
+    }
+
+    /// Returns a copy with a different start stagger.
+    #[must_use]
+    pub fn with_start_stagger(mut self, stagger: Duration) -> PaxosClientConfig {
+        self.start_stagger = stagger;
+        self
+    }
+}
+
+/// Counters of one Paxos client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct PaxosClientStats {
+    pub issued: u64,
+    pub successes: u64,
+    pub rejected: u64,
+    pub timeouts: u64,
+    pub failovers: u64,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    id: RequestId,
+    command: Vec<u8>,
+    issued_at: SimTime,
+    timeout_timer: TimerId,
+}
+
+/// A Paxos client node.
+pub struct PaxosClient {
+    cfg: PaxosClientConfig,
+    id: idem_common::ClientId,
+    dir: Directory<NodeId>,
+    app: Box<dyn ClientApp>,
+    next_op: OpNumber,
+    current: Option<InFlight>,
+    /// Index into the replica list of the replica currently presumed to
+    /// lead.
+    presumed_leader: u32,
+    stats: PaxosClientStats,
+    stopped: bool,
+}
+
+impl PaxosClient {
+    /// Creates a client with identity `id`, driven by `app`.
+    pub fn new(
+        cfg: PaxosClientConfig,
+        id: idem_common::ClientId,
+        dir: Directory<NodeId>,
+        app: Box<dyn ClientApp>,
+    ) -> PaxosClient {
+        PaxosClient {
+            cfg,
+            id,
+            dir,
+            app,
+            next_op: OpNumber(1),
+            current: None,
+            presumed_leader: 0,
+            stats: PaxosClientStats::default(),
+            stopped: false,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &PaxosClientStats {
+        &self.stats
+    }
+
+    /// Which replica this client currently believes to be the leader.
+    pub fn presumed_leader(&self) -> idem_common::ReplicaId {
+        idem_common::ReplicaId(self.presumed_leader)
+    }
+
+    /// Whether the client has stopped issuing operations.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    fn leader_node(&self) -> NodeId {
+        self.dir
+            .replica(idem_common::ReplicaId(self.presumed_leader))
+    }
+
+    fn issue_next(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        debug_assert!(self.current.is_none(), "one pending request at a time");
+        let Some(command) = self.app.next_command(ctx.rng()) else {
+            self.stopped = true;
+            return;
+        };
+        let id = RequestId::new(self.id, self.next_op);
+        self.next_op = self.next_op.next();
+        self.stats.issued += 1;
+        let req = Request::new(id, command.clone());
+        let leader = self.leader_node();
+        ctx.send(leader, PaxosMessage::Request(req));
+        let timeout_timer =
+            ctx.set_timer(self.cfg.request_timeout, PaxosMessage::ClientTimeout(id.op));
+        self.current = Some(InFlight {
+            id,
+            command,
+            issued_at: ctx.now(),
+            timeout_timer,
+        });
+    }
+
+    fn finish(
+        &mut self,
+        ctx: &mut Context<'_, PaxosMessage>,
+        kind: OutcomeKind,
+        result: Option<Vec<u8>>,
+    ) {
+        let flight = self.current.take().expect("operation in flight");
+        ctx.cancel_timer(flight.timeout_timer);
+        let outcome = OperationOutcome {
+            id: flight.id,
+            kind,
+            latency: ctx.now().saturating_since(flight.issued_at),
+            completed_at: ctx.now(),
+            result,
+        };
+        match kind {
+            OutcomeKind::Success => self.stats.successes += 1,
+            _ => self.stats.rejected += 1,
+        }
+        self.app.on_outcome(&outcome);
+        match kind {
+            OutcomeKind::Success => {
+                if self.cfg.think_time.is_zero() {
+                    self.issue_next(ctx);
+                } else {
+                    ctx.set_timer(self.cfg.think_time, PaxosMessage::BackoffTimer);
+                }
+            }
+            _ => {
+                let (min, max) = self.cfg.backoff;
+                let delay = if max > min {
+                    let span = (max - min).as_nanos() as u64;
+                    min + Duration::from_nanos(ctx.rng().gen_range(0..=span))
+                } else {
+                    min
+                };
+                ctx.set_timer(delay, PaxosMessage::BackoffTimer);
+            }
+        }
+    }
+
+    fn handle_timeout(&mut self, ctx: &mut Context<'_, PaxosMessage>, op: OpNumber) {
+        let Some(flight) = self.current.as_ref() else {
+            return;
+        };
+        if flight.id.op != op {
+            return;
+        }
+        // No answer from the presumed leader: probe the next replica
+        // (round-robin failover) and retransmit.
+        self.stats.timeouts += 1;
+        self.stats.failovers += 1;
+        self.presumed_leader = (self.presumed_leader + 1) % self.cfg.quorum.n();
+        let flight = self.current.as_mut().expect("in flight");
+        let req = Request::new(flight.id, flight.command.clone());
+        let timer = ctx.set_timer(self.cfg.request_timeout, PaxosMessage::ClientTimeout(op));
+        flight.timeout_timer = timer;
+        let leader = self.leader_node();
+        ctx.send(leader, PaxosMessage::Request(req));
+    }
+}
+
+impl Node<PaxosMessage> for PaxosClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        let stagger = self.cfg.start_stagger.as_nanos() as u64;
+        if stagger == 0 {
+            self.issue_next(ctx);
+        } else {
+            let delay = Duration::from_nanos(ctx.rng().gen_range(0..=stagger));
+            ctx.set_timer(delay, PaxosMessage::BackoffTimer);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, PaxosMessage>, from: NodeId, msg: PaxosMessage) {
+        match msg {
+            PaxosMessage::Reply(reply) => {
+                let matches = self.current.as_ref().is_some_and(|f| f.id == reply.id);
+                if matches {
+                    // Remember who answered: that replica leads.
+                    if let Some(r) = self.dir.replica_of(from) {
+                        self.presumed_leader = r.0;
+                    }
+                    self.finish(ctx, OutcomeKind::Success, Some(reply.result));
+                }
+            }
+            PaxosMessage::Reject(id) => {
+                let matches = self.current.as_ref().is_some_and(|f| f.id == id);
+                if matches {
+                    if let Some(r) = self.dir.replica_of(from) {
+                        self.presumed_leader = r.0;
+                    }
+                    self.finish(ctx, OutcomeKind::RejectedFinal, None);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>, _id: TimerId, msg: PaxosMessage) {
+        match msg {
+            PaxosMessage::ClientTimeout(op) => self.handle_timeout(ctx, op),
+            PaxosMessage::BackoffTimer => {
+                if self.current.is_none() && !self.stopped {
+                    self.issue_next(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders() {
+        let cfg = PaxosClientConfig::default()
+            .with_request_timeout(Duration::from_millis(250))
+            .with_quorum(QuorumSet::for_faults(2))
+            .with_start_stagger(Duration::ZERO);
+        assert_eq!(cfg.request_timeout, Duration::from_millis(250));
+        assert_eq!(cfg.quorum.n(), 5);
+        assert_eq!(cfg.start_stagger, Duration::ZERO);
+    }
+}

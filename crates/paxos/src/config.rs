@@ -1,0 +1,131 @@
+//! Paxos baseline configuration.
+
+use std::time::Duration;
+
+use idem_common::{FixedCost, QuorumSet};
+
+/// Rejection behaviour of the Paxos leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RejectPolicy {
+    /// Plain Paxos: queue everything, never reject (unbounded queues).
+    #[default]
+    Never,
+    /// Leader-based rejection (Paxos_LBR, paper Section 3.3): the leader
+    /// rejects incoming requests while more than the given number of
+    /// requests are queued or in flight.
+    LeaderBased {
+        /// Maximum leader load (queued + proposed-unexecuted requests)
+        /// before rejection starts.
+        threshold: u32,
+    },
+}
+
+/// Configuration of a Paxos replica group.
+///
+/// # Example
+/// ```
+/// use idem_paxos::{PaxosConfig, RejectPolicy};
+/// let cfg = PaxosConfig::for_faults(1)
+///     .with_reject_policy(RejectPolicy::LeaderBased { threshold: 150 });
+/// assert_eq!(cfg.quorum.n(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PaxosConfig {
+    /// Replica group size / fault threshold.
+    pub quorum: QuorumSet,
+    /// Leader rejection behaviour.
+    pub reject_policy: RejectPolicy,
+    /// Number of consensus instances proposed concurrently.
+    pub window_size: u64,
+    /// A checkpoint is taken every this many executed instances; the
+    /// instance window is garbage-collected up to the checkpoint.
+    pub checkpoint_interval: u64,
+    /// View-change timeout: no execution progress for this long while work
+    /// is pending makes a replica abandon the view.
+    pub progress_timeout: Duration,
+    /// CPU cost charged per received protocol message.
+    pub message_cost: FixedCost,
+}
+
+impl PaxosConfig {
+    /// Default configuration for a group tolerating `f` crashes.
+    pub fn for_faults(f: u32) -> PaxosConfig {
+        PaxosConfig {
+            quorum: QuorumSet::for_faults(f),
+            reject_policy: RejectPolicy::Never,
+            window_size: 256,
+            checkpoint_interval: 128,
+            progress_timeout: Duration::from_millis(1500),
+            message_cost: FixedCost::new(Duration::from_micros(2), Duration::ZERO),
+        }
+    }
+
+    /// Returns a copy with a different rejection policy.
+    #[must_use]
+    pub fn with_reject_policy(mut self, policy: RejectPolicy) -> PaxosConfig {
+        self.reject_policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different progress (view-change) timeout.
+    #[must_use]
+    pub fn with_progress_timeout(mut self, t: Duration) -> PaxosConfig {
+        self.progress_timeout = t;
+        self
+    }
+
+    /// Returns a copy with a different per-message CPU cost model.
+    #[must_use]
+    pub fn with_message_cost(mut self, cost: FixedCost) -> PaxosConfig {
+        self.message_cost = cost;
+        self
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    /// Panics if the window or checkpoint interval is zero.
+    pub fn validate(&self) {
+        assert!(self.window_size > 0, "window size must be positive");
+        assert!(
+            self.checkpoint_interval > 0,
+            "checkpoint interval must be positive"
+        );
+    }
+}
+
+impl Default for PaxosConfig {
+    fn default() -> PaxosConfig {
+        PaxosConfig::for_faults(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let cfg = PaxosConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.reject_policy, RejectPolicy::Never);
+    }
+
+    #[test]
+    fn lbr_policy_round_trips() {
+        let cfg = PaxosConfig::for_faults(1)
+            .with_reject_policy(RejectPolicy::LeaderBased { threshold: 42 });
+        assert_eq!(
+            cfg.reject_policy,
+            RejectPolicy::LeaderBased { threshold: 42 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_rejected() {
+        let mut cfg = PaxosConfig::default();
+        cfg.window_size = 0;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,745 @@
+//! The Paxos baseline replica.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use idem_common::{
+    ClientId, Directory, QuorumTracker, Reply, Request, RequestId, SeqNumber, SeqWindow,
+    StateMachine, View,
+};
+use idem_common::app::CostModel;
+use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
+
+use crate::config::{PaxosConfig, RejectPolicy};
+use crate::messages::{PaxosMessage, PaxosWindowEntry};
+
+/// Reserved client id for gap-filling no-op requests.
+pub const NOOP_CLIENT: ClientId = ClientId(u32::MAX);
+
+fn noop_request(sqn: SeqNumber) -> Request {
+    Request::new(
+        RequestId::new(NOOP_CLIENT, idem_common::OpNumber(sqn.0)),
+        Vec::new(),
+    )
+}
+
+/// Observable counters of one Paxos replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct PaxosReplicaStats {
+    pub requests_received: u64,
+    pub requests_forwarded_to_leader: u64,
+    pub duplicates: u64,
+    pub rejected: u64,
+    pub proposals_sent: u64,
+    pub accepts_sent: u64,
+    pub executed: u64,
+    pub replies_sent: u64,
+    pub checkpoints_taken: u64,
+    pub checkpoints_installed: u64,
+    pub view_changes_started: u64,
+    pub view_changes_completed: u64,
+    pub noops_proposed: u64,
+    /// Peak length of the leader's pending-request queue — the quantity
+    /// that grows without bound under overload in plain Paxos.
+    pub max_queue_len: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    request: Request,
+    view: View,
+    votes: QuorumTracker,
+    committed: bool,
+    executed: bool,
+}
+
+/// A Paxos replica implementing [`Node`] over [`PaxosMessage`].
+pub struct PaxosReplica {
+    cfg: PaxosConfig,
+    me: idem_common::ReplicaId,
+    dir: Directory<NodeId>,
+    app: Box<dyn StateMachine>,
+
+    view: View,
+    vc_target: Option<View>,
+    vc_store: BTreeMap<u64, BTreeMap<u32, Vec<PaxosWindowEntry>>>,
+
+    window: SeqWindow<Instance>,
+    next_propose: SeqNumber,
+    next_exec: SeqNumber,
+    stalled: bool,
+
+    /// Leader: requests awaiting a window slot. Unbounded by design in
+    /// plain Paxos.
+    queue: VecDeque<Request>,
+    /// Ids queued or in flight, for duplicate suppression.
+    inflight: BTreeMap<RequestId, ()>,
+
+    last_executed: BTreeMap<u32, (idem_common::OpNumber, Vec<u8>)>,
+    checkpoint: Option<(SeqNumber, Vec<u8>, Vec<(u32, idem_common::OpNumber, Vec<u8>)>)>,
+
+    progress_timer: Option<TimerId>,
+    /// Evidence that a view below our pending view-change target is still
+    /// live (f+1 distinct senders): used by rejoining partitioned replicas.
+    rejoin_votes: Option<(View, QuorumTracker)>,
+    /// Client requests relayed to the leader since the last local
+    /// execution progress — evidence of a dead leader even when this
+    /// follower holds no protocol work itself.
+    forwarded_since_progress: u64,
+    stats: PaxosReplicaStats,
+}
+
+impl PaxosReplica {
+    /// Creates a replica with identity `me`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(
+        cfg: PaxosConfig,
+        me: idem_common::ReplicaId,
+        dir: Directory<NodeId>,
+        app: Box<dyn StateMachine>,
+    ) -> PaxosReplica {
+        cfg.validate();
+        PaxosReplica {
+            window: SeqWindow::new(cfg.window_size),
+            cfg,
+            me,
+            dir,
+            app,
+            view: View(0),
+            vc_target: None,
+            vc_store: BTreeMap::new(),
+            next_propose: SeqNumber(0),
+            next_exec: SeqNumber(0),
+            stalled: false,
+            queue: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            last_executed: BTreeMap::new(),
+            checkpoint: None,
+            progress_timer: None,
+            rejoin_votes: None,
+            forwarded_since_progress: 0,
+            stats: PaxosReplicaStats::default(),
+        }
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> &PaxosReplicaStats {
+        &self.stats
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Current leader-queue length (only meaningful on the leader).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Next sequence number to execute.
+    pub fn next_exec(&self) -> SeqNumber {
+        self.next_exec
+    }
+
+    /// Read access to the replicated application.
+    pub fn app(&self) -> &dyn StateMachine {
+        &*self.app
+    }
+
+    fn n(&self) -> u32 {
+        self.cfg.quorum.n()
+    }
+
+    fn majority(&self) -> u32 {
+        self.cfg.quorum.majority()
+    }
+
+    fn effective_view(&self) -> View {
+        self.vc_target.unwrap_or(self.view)
+    }
+
+    fn leader_of(&self, v: View) -> idem_common::ReplicaId {
+        v.leader(self.n())
+    }
+
+    fn is_leader(&self) -> bool {
+        self.vc_target.is_none() && self.leader_of(self.view) == self.me
+    }
+
+    fn peers(&self) -> Vec<NodeId> {
+        let me = self.dir.replica(self.me);
+        self.dir
+            .replica_addrs()
+            .iter()
+            .copied()
+            .filter(|&n| n != me)
+            .collect()
+    }
+
+    fn executed_already(&self, id: RequestId) -> bool {
+        self.last_executed
+            .get(&id.client.0)
+            .is_some_and(|(op, _)| *op >= id.op)
+    }
+
+    /// The leader's current load: queued plus proposed-but-unexecuted
+    /// requests. This is what LBR's threshold applies to.
+    fn leader_load(&self) -> u64 {
+        self.queue.len() as u64 + self.next_propose.0.saturating_sub(self.next_exec.0)
+    }
+
+    // ------------------------------------------------------------ requests
+
+    fn handle_request(&mut self, ctx: &mut Context<'_, PaxosMessage>, req: Request) {
+        self.stats.requests_received += 1;
+        let id = req.id;
+        if self.executed_already(id) {
+            self.stats.duplicates += 1;
+            if let Some((op, reply)) = self.last_executed.get(&id.client.0) {
+                if *op == id.op {
+                    self.stats.replies_sent += 1;
+                    let client = self.dir.client(id.client);
+                    ctx.send(client, PaxosMessage::Reply(Reply::new(id, reply.clone())));
+                }
+            }
+            return;
+        }
+        if !self.is_leader() {
+            // Misdirected request (stale leader knowledge at the client):
+            // relay it to the current leader and watch for progress — if
+            // the leader is dead this is our evidence that work is stuck.
+            self.stats.requests_forwarded_to_leader += 1;
+            self.forwarded_since_progress += 1;
+            let leader = self.dir.replica(self.leader_of(self.effective_view()));
+            ctx.send(leader, PaxosMessage::Request(req));
+            self.ensure_progress_timer(ctx);
+            return;
+        }
+        if self.inflight.contains_key(&id) {
+            self.stats.duplicates += 1;
+            return;
+        }
+        if let RejectPolicy::LeaderBased { threshold } = self.cfg.reject_policy {
+            if self.leader_load() >= u64::from(threshold) {
+                self.stats.rejected += 1;
+                let client = self.dir.client(id.client);
+                ctx.send(client, PaxosMessage::Reject(id));
+                return;
+            }
+        }
+        self.inflight.insert(id, ());
+        self.queue.push_back(req);
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len() as u64);
+        self.ensure_progress_timer(ctx);
+        self.drain_queue(ctx);
+    }
+
+    fn drain_queue(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        while self.is_leader()
+            && !self.queue.is_empty()
+            && self.next_propose < self.window.high()
+        {
+            let req = self.queue.pop_front().expect("non-empty");
+            let sqn = self.next_propose.max(self.window.low());
+            self.next_propose = sqn.next();
+            self.propose_at(ctx, sqn, req);
+        }
+    }
+
+    fn propose_at(&mut self, ctx: &mut Context<'_, PaxosMessage>, sqn: SeqNumber, req: Request) {
+        let mut votes = QuorumTracker::new(self.majority());
+        votes.record(self.me);
+        let committed = votes.reached();
+        let executed = self.executed_already(req.id);
+        self.window.insert(
+            sqn,
+            Instance {
+                request: req.clone(),
+                view: self.view,
+                votes,
+                committed,
+                executed,
+            },
+        );
+        self.stats.proposals_sent += 1;
+        let view = self.view;
+        let peers = self.peers();
+        ctx.multicast(
+            peers,
+            PaxosMessage::Propose {
+                sqn,
+                view,
+                request: req,
+            },
+        );
+        self.try_execute(ctx);
+    }
+
+    // ----------------------------------------------------------- agreement
+
+    fn view_acceptable(&self, v: View) -> bool {
+        match self.vc_target {
+            Some(t) => v >= t,
+            None => v >= self.view,
+        }
+    }
+
+    /// Rejoin a still-live lower view after a failed solo view change
+    /// (e.g. when reconnecting from a partition).
+    fn observe_live_view(&mut self, ctx: &mut Context<'_, PaxosMessage>, v: View, sender: idem_common::ReplicaId) {
+        let Some(target) = self.vc_target else {
+            return;
+        };
+        if v < self.view || v >= target {
+            return;
+        }
+        match &mut self.rejoin_votes {
+            Some((lv, votes)) if *lv == v => {
+                votes.record(sender);
+                if votes.reached() {
+                    self.rejoin_votes = None;
+                    self.vc_target = None;
+                    self.view = v;
+                    self.vc_store.retain(|&t, _| t > v.0);
+                    self.reset_progress_timer(ctx);
+                }
+            }
+            _ => {
+                let mut votes = QuorumTracker::new(self.majority());
+                votes.record(sender);
+                self.rejoin_votes = Some((v, votes));
+            }
+        }
+    }
+
+    fn enter_view_as_follower(&mut self, v: View) {
+        if v > self.view || self.vc_target == Some(v) {
+            self.view = v;
+            self.vc_target = None;
+            self.vc_store.retain(|&t, _| t > v.0);
+            // Queued requests at a follower are meaningless; clients
+            // retransmit to the new leader themselves. The in-flight set is
+            // reset with it — execution-level duplicate suppression via
+            // `last_executed` still holds.
+            self.queue.clear();
+            self.inflight.clear();
+        }
+    }
+
+    fn handle_propose(
+        &mut self,
+        ctx: &mut Context<'_, PaxosMessage>,
+        from: NodeId,
+        sqn: SeqNumber,
+        view: View,
+        request: Request,
+    ) {
+        let Some(sender) = self.dir.replica_of(from) else {
+            return;
+        };
+        if !self.view_acceptable(view) {
+            if self.leader_of(view) == sender {
+                self.observe_live_view(ctx, view, sender);
+            }
+            return;
+        }
+        if self.leader_of(view) != sender {
+            return;
+        }
+        if view > self.view || self.vc_target == Some(view) {
+            self.enter_view_as_follower(view);
+        }
+        if self.window.is_stale(sqn) {
+            return;
+        }
+        if self.window.is_ahead(sqn) {
+            ctx.send(from, PaxosMessage::CheckpointRequest);
+            return;
+        }
+        let replace = match self.window.get(sqn) {
+            Some(existing) => view > existing.view,
+            None => true,
+        };
+        let id = request.id;
+        if replace {
+            let mut votes = QuorumTracker::new(self.majority());
+            votes.record(sender);
+            votes.record(self.me);
+            let committed = votes.reached();
+            let executed = self
+                .window
+                .get(sqn)
+                .is_some_and(|i| i.executed && i.request.id == id)
+                || self.executed_already(id);
+            self.window.insert(
+                sqn,
+                Instance {
+                    request,
+                    view,
+                    votes,
+                    committed,
+                    executed,
+                },
+            );
+        } else if let Some(inst) = self.window.get_mut(sqn) {
+            if inst.view == view {
+                inst.votes.record(sender);
+                inst.votes.record(self.me);
+                if inst.votes.reached() {
+                    inst.committed = true;
+                }
+            }
+        }
+        self.stats.accepts_sent += 1;
+        let peers = self.peers();
+        ctx.multicast(peers, PaxosMessage::Accept { sqn, view, id });
+        self.ensure_progress_timer(ctx);
+        self.try_execute(ctx);
+    }
+
+    fn handle_accept(
+        &mut self,
+        ctx: &mut Context<'_, PaxosMessage>,
+        from: NodeId,
+        sqn: SeqNumber,
+        view: View,
+        id: RequestId,
+    ) {
+        let Some(sender) = self.dir.replica_of(from) else {
+            return;
+        };
+        if !self.view_acceptable(view) {
+            self.observe_live_view(ctx, view, sender);
+            return;
+        }
+        if view > self.view || self.vc_target == Some(view) {
+            self.enter_view_as_follower(view);
+        }
+        if self.window.is_stale(sqn) || self.window.is_ahead(sqn) {
+            return;
+        }
+        let leader = self.leader_of(view);
+        if let Some(inst) = self.window.get_mut(sqn) {
+            if inst.view == view && inst.request.id == id {
+                inst.votes.record(sender);
+                inst.votes.record(leader);
+                if inst.votes.reached() {
+                    inst.committed = true;
+                }
+            }
+        }
+        // An accept for an instance we have no proposal for cannot be acted
+        // on: Paxos bodies only come from the leader; the view-change /
+        // checkpoint paths recover such cases.
+        self.try_execute(ctx);
+    }
+
+    // ----------------------------------------------------------- execution
+
+    fn try_execute(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        let mut progressed = false;
+        loop {
+            if self.stalled || self.window.is_stale(self.next_exec) {
+                break;
+            }
+            let Some(inst) = self.window.get(self.next_exec) else {
+                break;
+            };
+            if !inst.committed {
+                break;
+            }
+            let req = inst.request.clone();
+            let already = inst.executed
+                || req.id.client == NOOP_CLIENT
+                || self.executed_already(req.id);
+            if !already {
+                let cost = self.app.execution_cost(&req.command);
+                ctx.charge(cost);
+                let result = self.app.execute(&req.command);
+                self.stats.executed += 1;
+                self.last_executed
+                    .insert(req.id.client.0, (req.id.op, result.clone()));
+                if self.is_leader() {
+                    self.stats.replies_sent += 1;
+                    let client = self.dir.client(req.id.client);
+                    ctx.send(client, PaxosMessage::Reply(Reply::new(req.id, result)));
+                }
+            }
+            self.inflight.remove(&req.id);
+            self.window
+                .get_mut(self.next_exec)
+                .expect("present")
+                .executed = true;
+            self.next_exec = self.next_exec.next();
+            if self.next_exec.0 % self.cfg.checkpoint_interval == 0 {
+                self.take_checkpoint(ctx);
+            }
+            progressed = true;
+        }
+        if progressed {
+            self.reset_progress_timer(ctx);
+            self.drain_queue(ctx);
+        }
+    }
+
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        let snapshot = self.app.snapshot();
+        ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
+        let clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)> = self
+            .last_executed
+            .iter()
+            .map(|(&cid, (op, reply))| (cid, *op, reply.clone()))
+            .collect();
+        self.checkpoint = Some((self.next_exec, snapshot, clients));
+        self.stats.checkpoints_taken += 1;
+        // GC: drop executed instances covered by the checkpoint.
+        self.window.advance_to(self.next_exec);
+        self.next_propose = self.next_propose.max(self.window.low());
+    }
+
+    fn handle_checkpoint_request(&mut self, ctx: &mut Context<'_, PaxosMessage>, from: NodeId) {
+        if let Some((next_exec, snapshot, clients)) = self.checkpoint.clone() {
+            ctx.send(
+                from,
+                PaxosMessage::Checkpoint {
+                    next_exec,
+                    snapshot,
+                    clients,
+                },
+            );
+        }
+    }
+
+    fn handle_checkpoint(
+        &mut self,
+        ctx: &mut Context<'_, PaxosMessage>,
+        next_exec: SeqNumber,
+        snapshot: Vec<u8>,
+        clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)>,
+    ) {
+        if next_exec <= self.next_exec {
+            return;
+        }
+        ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
+        self.app.restore(&snapshot);
+        self.last_executed = clients
+            .iter()
+            .map(|(cid, op, reply)| (*cid, (*op, reply.clone())))
+            .collect();
+        self.next_exec = next_exec;
+        self.window.advance_to(next_exec);
+        self.next_propose = self.next_propose.max(self.window.low());
+        self.stalled = false;
+        self.stats.checkpoints_installed += 1;
+        self.checkpoint = Some((next_exec, snapshot, clients));
+        self.try_execute(ctx);
+    }
+
+    // --------------------------------------------------------- view change
+
+    fn ensure_progress_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        if self.progress_timer.is_none() {
+            self.progress_timer =
+                Some(ctx.set_timer(self.cfg.progress_timeout, PaxosMessage::ProgressTimer));
+        }
+    }
+
+    fn has_pending_work(&self) -> bool {
+        !self.queue.is_empty()
+            || self
+                .window
+                .get(self.next_exec)
+                .is_some()
+    }
+
+    fn reset_progress_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        if let Some(timer) = self.progress_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        self.forwarded_since_progress = 0;
+        if self.has_pending_work() {
+            self.ensure_progress_timer(ctx);
+        }
+    }
+
+    fn handle_progress_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        self.progress_timer = None;
+        let suspicious =
+            self.has_pending_work() || self.forwarded_since_progress > 0 || self.vc_target.is_some();
+        self.forwarded_since_progress = 0;
+        if !suspicious {
+            return;
+        }
+        let target = self.effective_view().next();
+        self.start_view_change(ctx, target);
+    }
+
+    fn window_summary(&self) -> Vec<PaxosWindowEntry> {
+        self.window
+            .iter()
+            .map(|(sqn, inst)| PaxosWindowEntry {
+                sqn,
+                view: inst.view,
+                request: inst.request.clone(),
+            })
+            .collect()
+    }
+
+    fn start_view_change(&mut self, ctx: &mut Context<'_, PaxosMessage>, target: View) {
+        if target <= self.view || self.vc_target.is_some_and(|t| t >= target) {
+            return;
+        }
+        self.vc_target = Some(target);
+        self.stats.view_changes_started += 1;
+        let summary = self.window_summary();
+        self.vc_store
+            .entry(target.0)
+            .or_default()
+            .insert(self.me.0, summary.clone());
+        let peers = self.peers();
+        ctx.multicast(
+            peers,
+            PaxosMessage::ViewChange {
+                target,
+                window: summary,
+            },
+        );
+        self.ensure_progress_timer(ctx);
+        self.check_new_view(ctx, target);
+    }
+
+    fn handle_view_change(
+        &mut self,
+        ctx: &mut Context<'_, PaxosMessage>,
+        from: NodeId,
+        target: View,
+        window: Vec<PaxosWindowEntry>,
+    ) {
+        let Some(sender) = self.dir.replica_of(from) else {
+            return;
+        };
+        if target <= self.view {
+            return;
+        }
+        self.vc_store
+            .entry(target.0)
+            .or_default()
+            .insert(sender.0, window);
+        let senders = self.vc_store[&target.0].len() as u32;
+        if senders >= self.majority() && self.vc_target.map_or(true, |t| t < target) {
+            self.start_view_change(ctx, target);
+        }
+        self.check_new_view(ctx, target);
+    }
+
+    fn check_new_view(&mut self, ctx: &mut Context<'_, PaxosMessage>, target: View) {
+        if self.leader_of(target) != self.me || self.vc_target != Some(target) {
+            return;
+        }
+        let Some(msgs) = self.vc_store.get(&target.0) else {
+            return;
+        };
+        if (msgs.len() as u32) < self.majority() {
+            return;
+        }
+        self.enter_new_view(ctx, target);
+    }
+
+    fn enter_new_view(&mut self, ctx: &mut Context<'_, PaxosMessage>, target: View) {
+        self.view = target;
+        self.vc_target = None;
+        self.stats.view_changes_completed += 1;
+        let msgs = self.vc_store.remove(&target.0).unwrap_or_default();
+        self.vc_store.retain(|&t, _| t > target.0);
+
+        let mut merged: BTreeMap<u64, PaxosWindowEntry> = BTreeMap::new();
+        for window in msgs.into_values() {
+            for entry in window {
+                if self.window.is_stale(entry.sqn) {
+                    continue;
+                }
+                match merged.get(&entry.sqn.0) {
+                    Some(existing) if existing.view >= entry.view => {}
+                    _ => {
+                        merged.insert(entry.sqn.0, entry);
+                    }
+                }
+            }
+        }
+        if let Some(&max) = merged.keys().next_back() {
+            for s in self.window.low().0..=max {
+                let sqn = SeqNumber(s);
+                if self.window.is_ahead(sqn) {
+                    break;
+                }
+                let req = match merged.remove(&s) {
+                    Some(entry) => entry.request,
+                    None => {
+                        self.stats.noops_proposed += 1;
+                        noop_request(sqn)
+                    }
+                };
+                self.propose_at(ctx, sqn, req);
+            }
+            self.next_propose = self.next_propose.max(SeqNumber(max + 1));
+        }
+        self.next_propose = self.next_propose.max(self.window.low()).max(self.next_exec);
+        self.reset_progress_timer(ctx);
+        self.drain_queue(ctx);
+        self.try_execute(ctx);
+    }
+}
+
+impl Node<PaxosMessage> for PaxosReplica {
+    fn on_message(&mut self, ctx: &mut Context<'_, PaxosMessage>, from: NodeId, msg: PaxosMessage) {
+        ctx.charge(self.cfg.message_cost.message_cost(msg.wire_size()));
+        match msg {
+            PaxosMessage::Request(req) => self.handle_request(ctx, req),
+            PaxosMessage::Propose { sqn, view, request } => {
+                self.handle_propose(ctx, from, sqn, view, request)
+            }
+            PaxosMessage::Accept { sqn, view, id } => {
+                self.handle_accept(ctx, from, sqn, view, id)
+            }
+            PaxosMessage::ViewChange { target, window } => {
+                self.handle_view_change(ctx, from, target, window)
+            }
+            PaxosMessage::CheckpointRequest => self.handle_checkpoint_request(ctx, from),
+            PaxosMessage::Checkpoint {
+                next_exec,
+                snapshot,
+                clients,
+            } => self.handle_checkpoint(ctx, next_exec, snapshot, clients),
+            PaxosMessage::Reply(_)
+            | PaxosMessage::Reject(_)
+            | PaxosMessage::ProgressTimer
+            | PaxosMessage::ClientTimeout(_)
+            | PaxosMessage::BackoffTimer => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>, _id: TimerId, msg: PaxosMessage) {
+        if msg == PaxosMessage::ProgressTimer {
+            self.handle_progress_timer(ctx);
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_requests_are_empty_and_unique() {
+        let a = noop_request(SeqNumber(1));
+        let b = noop_request(SeqNumber(2));
+        assert_ne!(a.id, b.id);
+        assert!(a.command.is_empty());
+        assert_eq!(a.id.client, NOOP_CLIENT);
+    }
+}

@@ -1,0 +1,145 @@
+//! The event heap.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::{NodeId, TimerId};
+use crate::time::SimTime;
+
+/// What a scheduled event does when it fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver `msg` from `from` to `to`.
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    /// Fire timer `id` at `node` with payload `msg`.
+    Timer { node: NodeId, id: TimerId, msg: M },
+    /// Crash `node`.
+    Crash { node: NodeId },
+    /// Drain the per-node backlog of `node` once its processor is free.
+    Wake { node: NodeId },
+}
+
+/// A scheduled event. Ordering is `(time, seq)`: seq is a global
+/// monotonically increasing tiebreaker that preserves scheduling order among
+/// simultaneous events, making runs fully deterministic.
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Min-heap of events ordered by `(time, seq)`.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Pushes an event.
+    pub fn push(&mut self, ev: Event<M>) {
+        self.heap.push(ev);
+    }
+
+    /// The time of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest event if it fires at or before `limit`.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<Event<M>> {
+        if self.next_time()? <= limit {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no event is pending.
+    #[allow(dead_code)] // used by tests and kept for API symmetry with len()
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time_ns: u64, seq: u64) -> Event<()> {
+        Event {
+            time: SimTime::from_nanos(time_ns),
+            seq,
+            kind: EventKind::Crash { node: NodeId(0) },
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::default();
+        q.push(ev(30, 0));
+        q.push(ev(10, 1));
+        q.push(ev(20, 2));
+        let limit = SimTime::from_nanos(100);
+        assert_eq!(q.pop_before(limit).unwrap().time, SimTime::from_nanos(10));
+        assert_eq!(q.pop_before(limit).unwrap().time, SimTime::from_nanos(20));
+        assert_eq!(q.pop_before(limit).unwrap().time, SimTime::from_nanos(30));
+        assert!(q.pop_before(limit).is_none());
+    }
+
+    #[test]
+    fn seq_breaks_ties_fifo() {
+        let mut q = EventQueue::default();
+        q.push(ev(10, 5));
+        q.push(ev(10, 2));
+        q.push(ev(10, 9));
+        let limit = SimTime::from_nanos(10);
+        assert_eq!(q.pop_before(limit).unwrap().seq, 2);
+        assert_eq!(q.pop_before(limit).unwrap().seq, 5);
+        assert_eq!(q.pop_before(limit).unwrap().seq, 9);
+    }
+
+    #[test]
+    fn pop_before_respects_limit() {
+        let mut q = EventQueue::default();
+        q.push(ev(50, 0));
+        assert!(q.pop_before(SimTime::from_nanos(49)).is_none());
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_before(SimTime::from_nanos(50)).is_some());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! The network model: link latency, jitter, loss, and partitions.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::node::NodeId;
+
+/// Latency/loss characteristics of a point-to-point link.
+///
+/// Sampled delay is `base + U(0, jitter)`; each message is independently
+/// dropped with probability `drop_prob`, modelling the fair-loss links of
+/// the paper's system model (Section 2.1).
+///
+/// # Example
+/// ```
+/// use idem_simnet::LinkSpec;
+/// use std::time::Duration;
+/// let lan = LinkSpec::new(Duration::from_micros(80), Duration::from_micros(40));
+/// assert_eq!(lan.base(), Duration::from_micros(80));
+/// let lossy = lan.with_drop_prob(0.01);
+/// assert!((lossy.drop_prob() - 0.01).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    base: Duration,
+    jitter: Duration,
+    drop_prob: f64,
+}
+
+impl LinkSpec {
+    /// Creates a lossless link with the given base latency and jitter.
+    pub fn new(base: Duration, jitter: Duration) -> LinkSpec {
+        LinkSpec {
+            base,
+            jitter,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Returns a copy with the given independent drop probability.
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `0.0 ..= 1.0`.
+    #[must_use]
+    pub fn with_drop_prob(mut self, p: f64) -> LinkSpec {
+        assert!((0.0..=1.0).contains(&p), "drop probability in 0..=1");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Base one-way latency.
+    pub fn base(&self) -> Duration {
+        self.base
+    }
+
+    /// Maximum additional uniform jitter.
+    pub fn jitter(&self) -> Duration {
+        self.jitter
+    }
+
+    /// Independent per-message drop probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// Samples the one-way delay for one message, or `None` if the message
+    /// is lost.
+    pub fn sample(&self, rng: &mut SmallRng) -> Option<Duration> {
+        if self.drop_prob > 0.0 && rng.gen::<f64>() < self.drop_prob {
+            return None;
+        }
+        let jitter_ns = self.jitter.as_nanos() as u64;
+        let extra = if jitter_ns == 0 {
+            0
+        } else {
+            rng.gen_range(0..=jitter_ns)
+        };
+        Some(self.base + Duration::from_nanos(extra))
+    }
+}
+
+impl Default for LinkSpec {
+    /// A data-center-grade default: 100 µs base, 50 µs jitter, no loss.
+    fn default() -> LinkSpec {
+        LinkSpec::new(Duration::from_micros(100), Duration::from_micros(50))
+    }
+}
+
+/// The full network: a default link plus per-pair overrides, directional
+/// blocking for partitions, and loopback delay.
+#[derive(Debug, Clone)]
+pub struct Network {
+    default: LinkSpec,
+    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
+    blocked: HashSet<(NodeId, NodeId)>,
+    loopback: Duration,
+}
+
+impl Default for Network {
+    fn default() -> Network {
+        Network::new(LinkSpec::default())
+    }
+}
+
+impl Network {
+    /// Creates a network where every link uses `default`.
+    pub fn new(default: LinkSpec) -> Network {
+        Network {
+            default,
+            overrides: HashMap::new(),
+            blocked: HashSet::new(),
+            loopback: Duration::from_micros(1),
+        }
+    }
+
+    /// Overrides the link from `from` to `to` (one direction).
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        self.overrides.insert((from, to), spec);
+    }
+
+    /// The spec in effect from `from` to `to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkSpec {
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// Blocks the directed link `from → to` (messages silently dropped).
+    pub fn block(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Unblocks the directed link `from → to`.
+    pub fn unblock(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.remove(&(from, to));
+    }
+
+    /// Blocks both directions between every node in `a` and every node in
+    /// `b`, creating a partition between the two groups.
+    pub fn partition(&mut self, a: &[NodeId], b: &[NodeId]) {
+        for &x in a {
+            for &y in b {
+                self.block(x, y);
+                self.block(y, x);
+            }
+        }
+    }
+
+    /// Removes all blocking, healing any partition.
+    pub fn heal(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Whether the directed link `from → to` is currently blocked.
+    pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.blocked.contains(&(from, to))
+    }
+
+    /// The loopback (self-send) delay.
+    pub fn loopback(&self) -> Duration {
+        self.loopback
+    }
+
+    /// Sets the loopback (self-send) delay.
+    pub fn set_loopback(&mut self, d: Duration) {
+        self.loopback = d;
+    }
+
+    /// Samples the delivery delay for a message `from → to`, or `None` if
+    /// the message is lost or the link is blocked.
+    pub fn sample(&self, rng: &mut SmallRng, from: NodeId, to: NodeId) -> Option<Duration> {
+        if from == to {
+            return Some(self.loopback);
+        }
+        if self.is_blocked(from, to) {
+            return None;
+        }
+        self.link(from, to).sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn sample_within_base_plus_jitter() {
+        let spec = LinkSpec::new(Duration::from_micros(100), Duration::from_micros(50));
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = spec.sample(&mut r).expect("lossless link");
+            assert!(d >= Duration::from_micros(100));
+            assert!(d <= Duration::from_micros(150));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_constant() {
+        let spec = LinkSpec::new(Duration::from_micros(10), Duration::ZERO);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(spec.sample(&mut r), Some(Duration::from_micros(10)));
+        }
+    }
+
+    #[test]
+    fn drop_probability_is_roughly_respected() {
+        let spec = LinkSpec::new(Duration::ZERO, Duration::ZERO).with_drop_prob(0.3);
+        let mut r = rng();
+        let dropped = (0..10_000).filter(|_| spec.sample(&mut r).is_none()).count();
+        assert!((2_500..3_500).contains(&dropped), "dropped {dropped}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_drop_prob_rejected() {
+        let _ = LinkSpec::default().with_drop_prob(1.5);
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let mut net = Network::new(LinkSpec::new(Duration::from_micros(100), Duration::ZERO));
+        let fast = LinkSpec::new(Duration::from_micros(1), Duration::ZERO);
+        net.set_link(NodeId(0), NodeId(1), fast);
+        assert_eq!(net.link(NodeId(0), NodeId(1)), fast);
+        // Only one direction was overridden.
+        assert_eq!(
+            net.link(NodeId(1), NodeId(0)).base(),
+            Duration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn blocking_drops_messages() {
+        let mut net = Network::default();
+        let mut r = rng();
+        net.block(NodeId(0), NodeId(1));
+        assert_eq!(net.sample(&mut r, NodeId(0), NodeId(1)), None);
+        assert!(net.sample(&mut r, NodeId(1), NodeId(0)).is_some());
+        net.unblock(NodeId(0), NodeId(1));
+        assert!(net.sample(&mut r, NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_and_heals() {
+        let mut net = Network::default();
+        let mut r = rng();
+        net.partition(&[NodeId(0), NodeId(1)], &[NodeId(2)]);
+        assert!(net.is_blocked(NodeId(0), NodeId(2)));
+        assert!(net.is_blocked(NodeId(2), NodeId(1)));
+        assert!(!net.is_blocked(NodeId(0), NodeId(1)));
+        net.heal();
+        assert!(net.sample(&mut r, NodeId(0), NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn loopback_bypasses_blocking() {
+        let mut net = Network::default();
+        net.block(NodeId(3), NodeId(3));
+        let mut r = rng();
+        assert_eq!(net.sample(&mut r, NodeId(3), NodeId(3)), Some(net.loopback()));
+    }
+}

@@ -1,0 +1,174 @@
+//! The node (actor) abstraction and its interaction surface.
+
+use std::any::Any;
+use std::fmt;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+
+use crate::sim::Core;
+use crate::time::SimTime;
+
+/// Identifier of a node inside one [`Simulation`](crate::Simulation).
+///
+/// Node ids are assigned densely in registration order by
+/// [`Simulation::add_node`](crate::Simulation::add_node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's position as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle for a pending timer, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// Object-safe downcasting support, blanket-implemented for every `'static`
+/// type so that [`Node`] implementors get it for free.
+///
+/// The experiment harness and tests use this to inspect protocol state after
+/// a run via [`Simulation::node_as`](crate::Simulation::node_as).
+pub trait AsAny {
+    /// Borrows self as [`Any`].
+    fn as_any(&self) -> &dyn Any;
+    /// Mutably borrows self as [`Any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A simulated process: replica, client, or auxiliary actor.
+///
+/// Implementations receive exclusive access to themselves plus a
+/// [`Context`] granting interaction with the simulated world. All callbacks
+/// run at a well-defined virtual time ([`Context::now`]); event processing
+/// at a node is strictly serial and FIFO.
+///
+/// Handlers that model CPU work must call [`Context::charge`]; the
+/// simulator defers subsequent event deliveries to this node until the
+/// charged time has passed, which is how processing queues (and hence
+/// overload) build up.
+pub trait Node<M>: AsAny {
+    /// Invoked once, at virtual time zero, before any message delivery.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Invoked for every message delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Invoked when a timer armed via [`Context::set_timer`] fires (unless
+    /// it was cancelled first). `msg` is the payload given at arm time.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, id: TimerId, msg: M) {
+        let _ = (ctx, id, msg);
+    }
+
+    /// Invoked when the simulator crashes this node. The node receives no
+    /// further callbacks afterwards.
+    fn on_crash(&mut self, now: SimTime) {
+        let _ = now;
+    }
+}
+
+/// The interaction surface handed to [`Node`] callbacks.
+///
+/// A `Context` is only valid for the duration of one callback.
+pub struct Context<'a, M> {
+    pub(crate) core: &'a mut Core<M>,
+    pub(crate) id: NodeId,
+}
+
+impl<M: crate::Wire> Context<'_, M> {
+    /// Sends `msg` to `to` over the simulated network.
+    ///
+    /// The message departs once the node's currently charged CPU work is
+    /// done, then experiences link latency/jitter and possibly loss. Sending
+    /// to self bypasses the network (loopback) and is not counted as
+    /// traffic.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.core.send(self.id, to, msg);
+    }
+
+    /// Sends clones of `msg` to every node in `targets`.
+    pub fn multicast(&mut self, targets: impl IntoIterator<Item = NodeId>, msg: M)
+    where
+        M: Clone,
+    {
+        for to in targets {
+            self.core.send(self.id, to, msg.clone());
+        }
+    }
+}
+
+impl<M> Context<'_, M> {
+    /// The id of the node this callback runs on.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Arms a timer that fires after `delay`, delivering `msg` to
+    /// [`Node::on_timer`]. Returns a handle for cancellation.
+    pub fn set_timer(&mut self, delay: Duration, msg: M) -> TimerId {
+        self.core.set_timer(self.id, delay, msg)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancel_timer(id);
+    }
+
+    /// Charges `cpu` time to this node's processor. Subsequent event
+    /// deliveries to this node are deferred until the charged work
+    /// completes; messages sent later in this callback depart only after
+    /// it.
+    pub fn charge(&mut self, cpu: Duration) {
+        self.core.charge(self.id, cpu);
+    }
+
+    /// The deterministic random-number generator of the simulation.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.core.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(NodeId(4).index(), 4);
+    }
+
+    #[test]
+    fn as_any_downcasts() {
+        struct S(u8);
+        let s = S(7);
+        let any: &dyn AsAny = &s;
+        assert_eq!(any.as_any().downcast_ref::<S>().unwrap().0, 7);
+    }
+}

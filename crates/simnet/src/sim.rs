@@ -1,0 +1,796 @@
+//! The simulation runner.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::{Event, EventKind, EventQueue};
+use crate::net::Network;
+use crate::node::{Context, Node, NodeId, TimerId};
+use crate::time::SimTime;
+use crate::trace::{TraceBuffer, TraceEventKind};
+use crate::traffic::Traffic;
+use crate::wire::{Wire, HEADER_BYTES};
+
+/// Work deferred while a node's processor was busy, kept in a per-node
+/// FIFO. Without this, deferred events would be re-pushed into the global
+/// heap once per processing step, degenerating to O(K²) heap churn under
+/// backlog.
+#[derive(Debug)]
+enum Deferred<M> {
+    Msg { from: NodeId, msg: M },
+    Timer { id: TimerId, msg: M },
+}
+
+#[derive(Debug)]
+struct NodeState<M> {
+    busy_until: SimTime,
+    crashed: bool,
+    backlog: std::collections::VecDeque<Deferred<M>>,
+    wake_scheduled: bool,
+}
+
+impl<M> Default for NodeState<M> {
+    fn default() -> NodeState<M> {
+        NodeState {
+            busy_until: SimTime::ZERO,
+            crashed: false,
+            backlog: std::collections::VecDeque::new(),
+            wake_scheduled: false,
+        }
+    }
+}
+
+/// The simulator internals shared with [`Context`]. Not part of the public
+/// API.
+pub struct Core<M> {
+    pub(crate) now: SimTime,
+    pub(crate) rng: SmallRng,
+    pub(crate) net: Network,
+    queue: EventQueue<M>,
+    seq: u64,
+    states: Vec<NodeState<M>>,
+    traffic: Traffic,
+    cancelled: HashSet<u64>,
+    next_timer: u64,
+    events_processed: u64,
+    trace: Option<TraceBuffer>,
+}
+
+impl<M> Core<M> {
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    pub(crate) fn set_timer(&mut self, node: NodeId, delay: Duration, msg: M) -> TimerId {
+        self.next_timer += 1;
+        let id = TimerId(self.next_timer);
+        let seq = self.next_seq();
+        self.queue.push(Event {
+            time: self.now + delay,
+            seq,
+            kind: EventKind::Timer { node, id, msg },
+        });
+        id
+    }
+
+    pub(crate) fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled.insert(id.0);
+    }
+
+    pub(crate) fn charge(&mut self, node: NodeId, cpu: Duration) {
+        let state = &mut self.states[node.index()];
+        state.busy_until = state.busy_until.max(self.now) + cpu;
+    }
+}
+
+impl<M: Wire> Core<M> {
+    pub(crate) fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        // Messages depart once the sender's charged CPU work is done.
+        let departure = self.states[from.index()].busy_until.max(self.now);
+        let bytes = msg.wire_size() + HEADER_BYTES;
+        if from != to {
+            // Self-sends bypass the NIC and are not traffic.
+            self.traffic.record(from, to, bytes);
+        }
+        let delay = self.net.sample(&mut self.rng, from, to);
+        if let Some(trace) = &mut self.trace {
+            trace.push(
+                self.now,
+                TraceEventKind::Send {
+                    from,
+                    to,
+                    bytes: bytes.min(u32::MAX as usize) as u32,
+                    lost: delay.is_none(),
+                },
+            );
+        }
+        let Some(delay) = delay else {
+            return; // lost or blocked
+        };
+        let seq = self.next_seq();
+        self.queue.push(Event {
+            time: departure + delay,
+            seq,
+            kind: EventKind::Deliver { to, from, msg },
+        });
+    }
+}
+
+/// A deterministic discrete-event simulation over message type `M`.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct Simulation<M> {
+    core: Core<M>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    started: bool,
+}
+
+impl<M: Wire + 'static> Simulation<M> {
+    /// Creates an empty simulation with the default [`Network`] and the
+    /// given RNG seed. The same seed always reproduces the same run.
+    pub fn new(seed: u64) -> Simulation<M> {
+        Simulation::with_network(seed, Network::default())
+    }
+
+    /// Creates an empty simulation with an explicit network model.
+    pub fn with_network(seed: u64, net: Network) -> Simulation<M> {
+        Simulation {
+            core: Core {
+                now: SimTime::ZERO,
+                rng: SmallRng::seed_from_u64(seed),
+                net,
+                queue: EventQueue::default(),
+                seq: 0,
+                states: Vec::new(),
+                traffic: Traffic::new(),
+                cancelled: HashSet::new(),
+                next_timer: 0,
+                events_processed: 0,
+                trace: None,
+            },
+            nodes: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Registers a node and returns its id. If the simulation has already
+    /// started, the node's [`Node::on_start`] runs immediately at the
+    /// current virtual time.
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        let id = self.reserve_node();
+        self.install_node(id, node);
+        id
+    }
+
+    /// Reserves a node id without providing the node yet. This allows
+    /// address books to be built before the nodes that need them are
+    /// constructed. The node must be supplied via
+    /// [`install_node`](Self::install_node) before the simulation runs.
+    pub fn reserve_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(None);
+        self.core.states.push(NodeState::default());
+        id
+    }
+
+    /// Installs a node into a slot previously created with
+    /// [`reserve_node`](Self::reserve_node). If the simulation has already
+    /// started, the node's [`Node::on_start`] runs immediately.
+    ///
+    /// # Panics
+    /// Panics if the slot is already occupied.
+    pub fn install_node(&mut self, id: NodeId, node: Box<dyn Node<M>>) {
+        let slot = &mut self.nodes[id.index()];
+        assert!(slot.is_none(), "node {id} already installed");
+        *slot = Some(node);
+        if self.started {
+            self.start_node(id);
+        }
+    }
+
+    fn start_node(&mut self, id: NodeId) {
+        let mut node = self.nodes[id.index()].take().expect("node present");
+        let mut ctx = Context {
+            core: &mut self.core,
+            id,
+        };
+        node.on_start(&mut ctx);
+        self.nodes[id.index()] = Some(node);
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.start_node(NodeId(i as u32));
+        }
+    }
+
+    /// Runs the simulation until virtual time `limit`, processing every
+    /// event scheduled at or before it. Afterwards [`Simulation::now`]
+    /// equals `limit`.
+    pub fn run_until(&mut self, limit: SimTime) {
+        self.ensure_started();
+        while let Some(ev) = self.core.queue.pop_before(limit) {
+            self.dispatch(ev);
+        }
+        self.core.now = self.core.now.max(limit);
+    }
+
+    /// Runs the simulation for `d` of virtual time from the current time.
+    pub fn run_for(&mut self, d: Duration) {
+        let limit = self.core.now + d;
+        self.run_until(limit);
+    }
+
+    /// Processes the single earliest pending event, if any. Returns whether
+    /// an event was processed. Useful for fine-grained tests.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        match self.core.queue.pop_before(SimTime::from_nanos(u64::MAX)) {
+            Some(ev) => {
+                self.dispatch(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs one unit of deferred or fresh work on `nid` at time `ev_time`.
+    fn process(&mut self, nid: NodeId, work: Deferred<M>) {
+        self.core.events_processed += 1;
+        let mut node = self.nodes[nid.index()].take().expect("node present");
+        let mut ctx = Context {
+            core: &mut self.core,
+            id: nid,
+        };
+        match work {
+            Deferred::Msg { from, msg } => {
+                if let Some(trace) = &mut ctx.core.trace {
+                    trace.push(ctx.core.now, TraceEventKind::Deliver { from, to: nid });
+                }
+                node.on_message(&mut ctx, from, msg)
+            }
+            Deferred::Timer { id, msg } => {
+                // The timer may have been cancelled while it sat in the
+                // backlog.
+                if !ctx.core.cancelled.remove(&id.0) {
+                    if let Some(trace) = &mut ctx.core.trace {
+                        trace.push(ctx.core.now, TraceEventKind::TimerFired { node: nid });
+                    }
+                    node.on_timer(&mut ctx, id, msg);
+                }
+            }
+        }
+        self.nodes[nid.index()] = Some(node);
+    }
+
+    /// Hands `work` to `nid`: runs it immediately if the node's processor
+    /// is free, otherwise appends it to the node's FIFO backlog and makes
+    /// sure a wake-up is scheduled.
+    fn offer(&mut self, nid: NodeId, work: Deferred<M>, at: SimTime) {
+        let state = &mut self.core.states[nid.index()];
+        if state.crashed {
+            return;
+        }
+        if state.busy_until > at || !state.backlog.is_empty() {
+            state.backlog.push_back(work);
+            if !state.wake_scheduled {
+                state.wake_scheduled = true;
+                let wake_at = state.busy_until.max(at);
+                let seq = self.core.next_seq();
+                self.core.queue.push(Event {
+                    time: wake_at,
+                    seq,
+                    kind: EventKind::Wake { node: nid },
+                });
+            }
+            return;
+        }
+        self.core.now = at;
+        self.process(nid, work);
+    }
+
+    /// Drains as much of `nid`'s backlog as fits before the processor goes
+    /// busy again, then re-arms the wake-up if work remains.
+    fn drain_backlog(&mut self, nid: NodeId, at: SimTime) {
+        self.core.states[nid.index()].wake_scheduled = false;
+        loop {
+            let state = &mut self.core.states[nid.index()];
+            if state.crashed {
+                state.backlog.clear();
+                return;
+            }
+            if state.busy_until > at {
+                break;
+            }
+            let Some(work) = state.backlog.pop_front() else {
+                return;
+            };
+            self.core.now = at;
+            self.process(nid, work);
+        }
+        // Work remains but the processor is busy: wake again when free.
+        let state = &mut self.core.states[nid.index()];
+        if !state.backlog.is_empty() && !state.wake_scheduled {
+            state.wake_scheduled = true;
+            let wake_at = state.busy_until;
+            let seq = self.core.next_seq();
+            self.core.queue.push(Event {
+                time: wake_at,
+                seq,
+                kind: EventKind::Wake { node: nid },
+            });
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event<M>) {
+        debug_assert!(ev.time >= self.core.now, "time must not move backwards");
+        self.core.now = ev.time;
+        match ev.kind {
+            EventKind::Deliver { to, from, msg } => {
+                self.offer(to, Deferred::Msg { from, msg }, ev.time);
+            }
+            EventKind::Timer { node: nid, id, msg } => {
+                if self.core.cancelled.remove(&id.0) {
+                    return;
+                }
+                self.offer(nid, Deferred::Timer { id, msg }, ev.time);
+            }
+            EventKind::Crash { node: nid } => {
+                let state = &mut self.core.states[nid.index()];
+                if !state.crashed {
+                    state.crashed = true;
+                    state.backlog.clear();
+                    if let Some(trace) = &mut self.core.trace {
+                        trace.push(ev.time, TraceEventKind::Crash { node: nid });
+                    }
+                    if let Some(node) = self.nodes[nid.index()].as_mut() {
+                        node.on_crash(ev.time);
+                    }
+                }
+            }
+            EventKind::Wake { node: nid } => {
+                self.drain_backlog(nid, ev.time);
+            }
+        }
+    }
+
+    /// Schedules a crash of `node` at absolute virtual time `at`. Crashed
+    /// nodes stop receiving events; messages sent to them vanish.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        let seq = self.core.next_seq();
+        self.core.queue.push(Event {
+            time: at,
+            seq,
+            kind: EventKind::Crash { node },
+        });
+    }
+
+    /// Crashes `node` immediately.
+    pub fn crash_now(&mut self, node: NodeId) {
+        let now = self.core.now;
+        let state = &mut self.core.states[node.index()];
+        if !state.crashed {
+            state.crashed = true;
+            state.backlog.clear();
+            if let Some(n) = self.nodes[node.index()].as_mut() {
+                n.on_crash(now);
+            }
+        }
+    }
+
+    /// Whether `node` has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.core.states[node.index()].crashed
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of events processed so far (delivery + timer dispatches).
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Number of events still pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Read access to the traffic accounting.
+    pub fn traffic(&self) -> &Traffic {
+        &self.core.traffic
+    }
+
+    /// Enables execution tracing with a ring buffer of the given capacity.
+    /// Tracing is observational only: it never changes the run.
+    pub fn set_trace(&mut self, capacity: usize) {
+        self.core.trace = Some(TraceBuffer::new(capacity));
+    }
+
+    /// Read access to the trace buffer, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.core.trace.as_ref()
+    }
+
+    /// Removes and returns the trace buffer, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.core.trace.take()
+    }
+
+    /// Read access to the network model.
+    pub fn network(&self) -> &Network {
+        &self.core.net
+    }
+
+    /// Mutable access to the network model, e.g. to inject partitions
+    /// between [`run_until`](Self::run_until) calls.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.core.net
+    }
+
+    /// Downcasts the node with the given id to its concrete type, for state
+    /// inspection after (or between) runs.
+    ///
+    /// Returns `None` if the node is of a different type.
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node present")
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`node_as`](Self::node_as).
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id.index()]
+            .as_mut()
+            .expect("node present")
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::LinkSpec;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Tick,
+    }
+
+    impl Wire for Msg {
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+
+    /// Replies to every ping with ping+1 and counts received messages.
+    struct Echo {
+        received: u32,
+        charge: Duration,
+    }
+
+    impl Node<Msg> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            self.received += 1;
+            if !self.charge.is_zero() {
+                ctx.charge(self.charge);
+            }
+            if let Msg::Ping(n) = msg {
+                if n < 10 {
+                    ctx.send(from, Msg::Ping(n + 1));
+                }
+            }
+        }
+    }
+
+    /// Sends the first ping on start, records reply times.
+    struct Starter {
+        peer: NodeId,
+        reply_times: Vec<SimTime>,
+    }
+
+    impl Node<Msg> for Starter {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.send(self.peer, Msg::Ping(0));
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            self.reply_times.push(ctx.now());
+            if let Msg::Ping(n) = msg {
+                if n < 10 {
+                    ctx.send(from, Msg::Ping(n + 1));
+                }
+            }
+        }
+    }
+
+    fn fixed_net(latency_us: u64) -> Network {
+        Network::new(LinkSpec::new(Duration::from_micros(latency_us), Duration::ZERO))
+    }
+
+    #[test]
+    fn ping_pong_terminates_and_counts() {
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(100));
+        let echo = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::ZERO,
+        }));
+        sim.add_node(Box::new(Starter {
+            peer: echo,
+            reply_times: Vec::new(),
+        }));
+        sim.run_for(Duration::from_secs(1));
+        let echo_node = sim.node_as::<Echo>(echo).unwrap();
+        // Pings 0,2,4,6,8,10 hit the echo node.
+        assert_eq!(echo_node.received, 6);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn latency_is_applied_per_hop() {
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(100));
+        let echo = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::ZERO,
+        }));
+        let starter = sim.add_node(Box::new(Starter {
+            peer: echo,
+            reply_times: Vec::new(),
+        }));
+        sim.run_for(Duration::from_millis(10));
+        let s = sim.node_as::<Starter>(starter).unwrap();
+        // First reply after 2 hops of 100 µs each.
+        assert_eq!(s.reply_times[0], SimTime::from_nanos(200_000));
+        assert_eq!(s.reply_times[1], SimTime::from_nanos(400_000));
+    }
+
+    #[test]
+    fn busy_nodes_queue_events_fifo() {
+        // Echo charges 1 ms per message; two pings sent together must be
+        // served serially.
+        struct DoubleSend {
+            peer: NodeId,
+        }
+        impl Node<Msg> for DoubleSend {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.send(self.peer, Msg::Ping(100));
+                ctx.send(self.peer, Msg::Ping(200));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(10));
+        let echo = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::from_millis(1),
+        }));
+        sim.add_node(Box::new(DoubleSend { peer: echo }));
+        sim.run_for(Duration::from_micros(500));
+        // After 0.5 ms only the first message has been processed; the
+        // second is deferred until the 1 ms charge elapses.
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 1);
+        sim.run_for(Duration::from_millis(2));
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 2);
+    }
+
+    #[test]
+    fn charge_delays_outgoing_messages() {
+        // A node that charges 1 ms then sends: the message must arrive at
+        // charge + latency.
+        struct Worker {
+            peer: NodeId,
+        }
+        impl Node<Msg> for Worker {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.charge(Duration::from_millis(1));
+                ctx.send(self.peer, Msg::Tick);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        struct Sink {
+            arrived: Option<SimTime>,
+        }
+        impl Node<Msg> for Sink {
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+                self.arrived = Some(ctx.now());
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(100));
+        let sink = sim.add_node(Box::new(Sink { arrived: None }));
+        sim.add_node(Box::new(Worker { peer: sink }));
+        sim.run_for(Duration::from_millis(5));
+        assert_eq!(
+            sim.node_as::<Sink>(sink).unwrap().arrived,
+            Some(SimTime::from_nanos(1_100_000))
+        );
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct Timed {
+            fired: Vec<SimTime>,
+            cancel_second: bool,
+        }
+        impl Node<Msg> for Timed {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(Duration::from_millis(1), Msg::Tick);
+                let second = ctx.set_timer(Duration::from_millis(2), Msg::Tick);
+                if self.cancel_second {
+                    ctx.cancel_timer(second);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId, _: Msg) {
+                self.fired.push(ctx.now());
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let id = sim.add_node(Box::new(Timed {
+            fired: Vec::new(),
+            cancel_second: true,
+        }));
+        sim.run_for(Duration::from_millis(10));
+        let t = sim.node_as::<Timed>(id).unwrap();
+        assert_eq!(t.fired, vec![SimTime::from_nanos(1_000_000)]);
+    }
+
+    #[test]
+    fn crashed_nodes_receive_nothing() {
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(100));
+        let echo = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::ZERO,
+        }));
+        sim.add_node(Box::new(Starter {
+            peer: echo,
+            reply_times: Vec::new(),
+        }));
+        sim.schedule_crash(echo, SimTime::from_nanos(250_000));
+        sim.run_for(Duration::from_secs(1));
+        // Ping(0) arrives at 100 µs; Ping(2) would arrive at 300 µs, after
+        // the 250 µs crash, and is dropped.
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 1);
+        assert!(sim.is_crashed(echo));
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim: Simulation<Msg> = Simulation::new(seed);
+            let echo = sim.add_node(Box::new(Echo {
+                received: 0,
+                charge: Duration::from_micros(3),
+            }));
+            sim.add_node(Box::new(Starter {
+                peer: echo,
+                reply_times: Vec::new(),
+            }));
+            sim.run_for(Duration::from_secs(1));
+            (sim.events_processed(), sim.traffic().total_bytes())
+        }
+        assert_eq!(run(99), run(99));
+        // Different seed ⇒ different jitter draws ⇒ same counts here (the
+        // exchange is fixed) but deterministic equality must hold per seed.
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn traffic_counts_headers_and_skips_loopback() {
+        struct SelfSender;
+        impl Node<Msg> for SelfSender {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                let me = ctx.id();
+                ctx.send(me, Msg::Tick);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        sim.add_node(Box::new(SelfSender));
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.traffic().total_bytes(), 0);
+
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(1));
+        let echo = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::ZERO,
+        }));
+        struct One {
+            peer: NodeId,
+        }
+        impl Node<Msg> for One {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.send(self.peer, Msg::Ping(100));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        sim.add_node(Box::new(One { peer: echo }));
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.traffic().total_bytes(), (4 + HEADER_BYTES as u64) * 1);
+    }
+
+    #[test]
+    fn blocked_links_lose_messages_silently() {
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(10));
+        let echo = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::ZERO,
+        }));
+        let starter = sim.add_node(Box::new(Starter {
+            peer: echo,
+            reply_times: Vec::new(),
+        }));
+        sim.network_mut().block(starter, echo);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 0);
+    }
+
+    #[test]
+    fn multicast_reaches_all_targets() {
+        struct Caster {
+            targets: Vec<NodeId>,
+        }
+        impl Node<Msg> for Caster {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.multicast(self.targets.iter().copied(), Msg::Tick);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(10));
+        let a = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::ZERO,
+        }));
+        let b = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::ZERO,
+        }));
+        sim.add_node(Box::new(Caster {
+            targets: vec![a, b],
+        }));
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.node_as::<Echo>(a).unwrap().received, 1);
+        assert_eq!(sim.node_as::<Echo>(b).unwrap().received, 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        sim.run_until(SimTime::from_nanos(5_000));
+        assert_eq!(sim.now(), SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn step_processes_one_event() {
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(10));
+        let echo = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::ZERO,
+        }));
+        sim.add_node(Box::new(Starter {
+            peer: echo,
+            reply_times: Vec::new(),
+        }));
+        assert!(sim.step()); // first ping delivered
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// `SimTime` is a newtype over `u64`, giving the simulation ~584 years of
+/// range at nanosecond resolution — vastly more than any experiment needs.
+///
+/// # Example
+/// ```
+/// use idem_simnet::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(5);
+/// assert_eq!(t.as_nanos(), 5_000_000);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs a time from nanoseconds since simulation start.
+    pub fn from_nanos(nanos: u64) -> SimTime {
+        SimTime(nanos)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// # Panics
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when order is uncertain.
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(self >= rhs, "negative duration: {self} - {rhs}");
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration() {
+        let t = SimTime::ZERO + Duration::from_micros(3);
+        assert_eq!(t.as_nanos(), 3_000);
+        let mut u = t;
+        u += Duration::from_nanos(1);
+        assert_eq!(u.as_nanos(), 3_001);
+    }
+
+    #[test]
+    fn sub_yields_duration() {
+        let a = SimTime::from_nanos(10_000);
+        let b = SimTime::from_nanos(4_000);
+        assert_eq!(a - b, Duration::from_nanos(6_000));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_nanos(4));
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert_eq!(
+            SimTime::from_nanos(1).max(SimTime::from_nanos(2)),
+            SimTime::from_nanos(2)
+        );
+    }
+
+    #[test]
+    fn display_in_seconds() {
+        assert_eq!(SimTime::from_nanos(1_500_000_000).to_string(), "1.500000s");
+    }
+}

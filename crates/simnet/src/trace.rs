@@ -1,0 +1,262 @@
+//! Lightweight execution tracing.
+//!
+//! A [`TraceBuffer`] collects a bounded ring of [`TraceEvent`]s describing
+//! what the simulation did — sends, deliveries, crashes — without cloning
+//! message payloads. Protocol debugging sessions attach one via
+//! [`Simulation::set_trace`](crate::Simulation::set_trace), run the scenario,
+//! and dump or filter the buffer afterwards.
+//!
+//! Tracing is strictly observational: enabling it does not change event
+//! order, timing, or randomness, so a traced run is bit-identical to an
+//! untraced one.
+//!
+//! # Example
+//! ```
+//! use idem_simnet::trace::{TraceBuffer, TraceEventKind};
+//! use idem_simnet::{NodeId, SimTime};
+//!
+//! let mut buf = TraceBuffer::new(100);
+//! buf.push(SimTime::ZERO, TraceEventKind::Crash { node: NodeId(2) });
+//! assert_eq!(buf.len(), 1);
+//! assert!(matches!(buf.iter().next().unwrap().kind,
+//!                  TraceEventKind::Crash { .. }));
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A message was handed to the network.
+    Send {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Payload + header size in bytes.
+        bytes: u32,
+        /// Whether the network dropped or blocked it.
+        lost: bool,
+    },
+    /// A message was processed by its receiver.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// A timer fired at a node.
+    TimerFired {
+        /// The node.
+        node: NodeId,
+    },
+    /// A node crashed.
+    Crash {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for TraceEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEventKind::Send {
+                from,
+                to,
+                bytes,
+                lost,
+            } => {
+                write!(
+                    f,
+                    "send {from} -> {to} ({bytes} B){}",
+                    if *lost { " LOST" } else { "" }
+                )
+            }
+            TraceEventKind::Deliver { from, to } => write!(f, "deliver {from} -> {to}"),
+            TraceEventKind::TimerFired { node } => write!(f, "timer @ {node}"),
+            TraceEventKind::Crash { node } => write!(f, "crash {node}"),
+        }
+    }
+}
+
+/// One timestamped trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// The event.
+    pub kind: TraceEventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.at, self.kind)
+    }
+}
+
+/// Bounded ring buffer of trace events (oldest entries are evicted first).
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer retaining up to `capacity` events.
+    pub fn new(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            capacity,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn push(&mut self, at: SimTime, kind: TraceEventKind) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { at, kind });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted (or rejected) because of the capacity
+    /// bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained events that involve `node` (as sender, receiver, or
+    /// subject).
+    pub fn involving(&self, node: NodeId) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e.kind {
+                TraceEventKind::Send { from, to, .. } | TraceEventKind::Deliver { from, to } => {
+                    from == node || to == node
+                }
+                TraceEventKind::TimerFired { node: n } | TraceEventKind::Crash { node: n } => {
+                    n == node
+                }
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Renders the retained events, one per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clears the buffer (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceEventKind) -> TraceEventKind {
+        kind
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..5 {
+            buf.push(
+                SimTime::from_nanos(i),
+                ev(TraceEventKind::TimerFired { node: NodeId(i as u32) }),
+            );
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        let first = buf.iter().next().unwrap();
+        assert_eq!(first.at, SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let mut buf = TraceBuffer::new(0);
+        buf.push(SimTime::ZERO, TraceEventKind::Crash { node: NodeId(0) });
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn involving_filters_by_node() {
+        let mut buf = TraceBuffer::new(10);
+        buf.push(
+            SimTime::ZERO,
+            TraceEventKind::Send {
+                from: NodeId(0),
+                to: NodeId(1),
+                bytes: 10,
+                lost: false,
+            },
+        );
+        buf.push(
+            SimTime::ZERO,
+            TraceEventKind::Send {
+                from: NodeId(2),
+                to: NodeId(3),
+                bytes: 10,
+                lost: true,
+            },
+        );
+        buf.push(SimTime::ZERO, TraceEventKind::Crash { node: NodeId(1) });
+        assert_eq!(buf.involving(NodeId(1)).len(), 2);
+        assert_eq!(buf.involving(NodeId(2)).len(), 1);
+        assert_eq!(buf.involving(NodeId(9)).len(), 0);
+    }
+
+    #[test]
+    fn display_formats_are_greppable() {
+        let e = TraceEvent {
+            at: SimTime::from_nanos(1_000),
+            kind: TraceEventKind::Send {
+                from: NodeId(0),
+                to: NodeId(1),
+                bytes: 64,
+                lost: true,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("send n0 -> n1"));
+        assert!(s.contains("LOST"));
+        let mut buf = TraceBuffer::new(2);
+        buf.push(e.at, e.kind);
+        assert_eq!(buf.dump().lines().count(), 1);
+    }
+}

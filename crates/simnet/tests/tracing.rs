@@ -1,0 +1,103 @@
+//! Tracing is observational: a traced run is identical to an untraced one,
+//! and the buffer faithfully records sends, deliveries and crashes.
+
+use std::time::Duration;
+
+use idem_simnet::{Context, Node, NodeId, SimTime, Simulation, TraceEventKind, Wire};
+
+#[derive(Clone)]
+struct Ping(u32);
+
+impl Wire for Ping {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+struct Echo;
+impl Node<Ping> for Echo {
+    fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, msg: Ping) {
+        if msg.0 < 5 {
+            ctx.send(from, Ping(msg.0 + 1));
+        }
+    }
+}
+
+struct Kick(NodeId);
+impl Node<Ping> for Kick {
+    fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+        ctx.send(self.0, Ping(0));
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, msg: Ping) {
+        if msg.0 < 5 {
+            ctx.send(from, Ping(msg.0 + 1));
+        }
+    }
+}
+
+fn build(traced: bool) -> Simulation<Ping> {
+    let mut sim: Simulation<Ping> = Simulation::new(11);
+    let echo = sim.add_node(Box::new(Echo));
+    sim.add_node(Box::new(Kick(echo)));
+    if traced {
+        sim.set_trace(1024);
+    }
+    sim
+}
+
+#[test]
+fn tracing_does_not_change_the_run() {
+    let mut plain = build(false);
+    let mut traced = build(true);
+    plain.run_for(Duration::from_secs(1));
+    traced.run_for(Duration::from_secs(1));
+    assert_eq!(plain.events_processed(), traced.events_processed());
+    assert_eq!(
+        plain.traffic().total_bytes(),
+        traced.traffic().total_bytes()
+    );
+}
+
+#[test]
+fn trace_records_sends_and_deliveries() {
+    let mut sim = build(true);
+    sim.run_for(Duration::from_secs(1));
+    let trace = sim.trace().expect("tracing enabled");
+    let sends = trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::Send { .. }))
+        .count();
+    let delivers = trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::Deliver { .. }))
+        .count();
+    // 6 pings bounce back and forth (0..=5).
+    assert_eq!(sends, 6);
+    assert_eq!(delivers, 6);
+    // Timestamps are non-decreasing.
+    let mut last = SimTime::ZERO;
+    for e in trace.iter() {
+        assert!(e.at >= last);
+        last = e.at;
+    }
+}
+
+#[test]
+fn trace_records_crashes_and_losses() {
+    let mut sim = build(true);
+    let echo = NodeId(0);
+    sim.network_mut().block(NodeId(1), echo);
+    sim.schedule_crash(echo, SimTime::from_nanos(1));
+    sim.run_for(Duration::from_secs(1));
+    let trace = sim.take_trace().expect("tracing enabled");
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::Crash { node } if node == echo)));
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::Send { lost: true, .. })));
+    assert!(sim.trace().is_none(), "take_trace disables tracing");
+    let dump = trace.dump();
+    assert!(dump.contains("crash n0"));
+    assert!(dump.contains("LOST"));
+}

@@ -1,0 +1,227 @@
+//! The SMaRt baseline client: multicast submission, first reply wins.
+
+use std::time::Duration;
+
+use idem_common::driver::{ClientApp, OperationOutcome, OutcomeKind};
+use idem_common::{Directory, OpNumber, QuorumSet, Request, RequestId};
+use idem_simnet::{Context, Node, NodeId, SimTime, TimerId};
+use rand::Rng;
+
+use crate::messages::SmartMessage;
+
+/// SMaRt client configuration.
+///
+/// # Example
+/// ```
+/// use idem_smart::SmartClientConfig;
+/// use std::time::Duration;
+/// let cfg = SmartClientConfig::default();
+/// assert_eq!(cfg.retransmit_interval, Duration::from_millis(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmartClientConfig {
+    /// The replica group accessed.
+    pub quorum: QuorumSet,
+    /// Retransmission interval for unanswered requests.
+    pub retransmit_interval: Duration,
+    /// Uniform random delay of the first operation.
+    pub start_stagger: Duration,
+    /// Closed-loop think time after a success.
+    pub think_time: Duration,
+}
+
+impl Default for SmartClientConfig {
+    fn default() -> SmartClientConfig {
+        SmartClientConfig {
+            quorum: QuorumSet::for_faults(1),
+            retransmit_interval: Duration::from_millis(500),
+            start_stagger: Duration::from_millis(10),
+            think_time: Duration::ZERO,
+        }
+    }
+}
+
+impl SmartClientConfig {
+    /// Returns a copy with a different quorum.
+    #[must_use]
+    pub fn with_quorum(mut self, quorum: QuorumSet) -> SmartClientConfig {
+        self.quorum = quorum;
+        self
+    }
+
+    /// Returns a copy with a different start stagger.
+    #[must_use]
+    pub fn with_start_stagger(mut self, stagger: Duration) -> SmartClientConfig {
+        self.start_stagger = stagger;
+        self
+    }
+}
+
+/// Counters of one SMaRt client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct SmartClientStats {
+    pub issued: u64,
+    pub successes: u64,
+    pub retransmissions: u64,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    id: RequestId,
+    command: Vec<u8>,
+    issued_at: SimTime,
+    retransmit_timer: TimerId,
+}
+
+/// A SMaRt client node.
+pub struct SmartClient {
+    cfg: SmartClientConfig,
+    id: idem_common::ClientId,
+    dir: Directory<NodeId>,
+    app: Box<dyn ClientApp>,
+    next_op: OpNumber,
+    current: Option<InFlight>,
+    stats: SmartClientStats,
+    stopped: bool,
+}
+
+impl SmartClient {
+    /// Creates a client with identity `id`, driven by `app`.
+    pub fn new(
+        cfg: SmartClientConfig,
+        id: idem_common::ClientId,
+        dir: Directory<NodeId>,
+        app: Box<dyn ClientApp>,
+    ) -> SmartClient {
+        SmartClient {
+            cfg,
+            id,
+            dir,
+            app,
+            next_op: OpNumber(1),
+            current: None,
+            stats: SmartClientStats::default(),
+            stopped: false,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &SmartClientStats {
+        &self.stats
+    }
+
+    /// Whether the client has stopped issuing operations.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    fn issue_next(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        debug_assert!(self.current.is_none(), "one pending request at a time");
+        let Some(command) = self.app.next_command(ctx.rng()) else {
+            self.stopped = true;
+            return;
+        };
+        let id = RequestId::new(self.id, self.next_op);
+        self.next_op = self.next_op.next();
+        self.stats.issued += 1;
+        let req = Request::new(id, command.clone());
+        let replicas: Vec<NodeId> = self.dir.replica_addrs().to_vec();
+        ctx.multicast(replicas, SmartMessage::Request(req));
+        let retransmit_timer = ctx.set_timer(
+            self.cfg.retransmit_interval,
+            SmartMessage::ClientTimeout(id.op),
+        );
+        self.current = Some(InFlight {
+            id,
+            command,
+            issued_at: ctx.now(),
+            retransmit_timer,
+        });
+    }
+
+    fn handle_reply(&mut self, ctx: &mut Context<'_, SmartMessage>, id: RequestId, result: Vec<u8>) {
+        let matches = self.current.as_ref().is_some_and(|f| f.id == id);
+        if !matches {
+            return; // late duplicate reply from another replica
+        }
+        let flight = self.current.take().expect("in flight");
+        ctx.cancel_timer(flight.retransmit_timer);
+        self.stats.successes += 1;
+        let outcome = OperationOutcome {
+            id,
+            kind: OutcomeKind::Success,
+            latency: ctx.now().saturating_since(flight.issued_at),
+            completed_at: ctx.now(),
+            result: Some(result),
+        };
+        self.app.on_outcome(&outcome);
+        if self.cfg.think_time.is_zero() {
+            self.issue_next(ctx);
+        } else {
+            ctx.set_timer(self.cfg.think_time, SmartMessage::BackoffTimer);
+        }
+    }
+
+    fn handle_timeout(&mut self, ctx: &mut Context<'_, SmartMessage>, op: OpNumber) {
+        let Some(flight) = self.current.as_mut() else {
+            return;
+        };
+        if flight.id.op != op {
+            return;
+        }
+        self.stats.retransmissions += 1;
+        let req = Request::new(flight.id, flight.command.clone());
+        let timer = ctx.set_timer(
+            self.cfg.retransmit_interval,
+            SmartMessage::ClientTimeout(op),
+        );
+        self.current.as_mut().expect("in flight").retransmit_timer = timer;
+        let replicas: Vec<NodeId> = self.dir.replica_addrs().to_vec();
+        ctx.multicast(replicas, SmartMessage::Request(req));
+    }
+}
+
+impl Node<SmartMessage> for SmartClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        let stagger = self.cfg.start_stagger.as_nanos() as u64;
+        if stagger == 0 {
+            self.issue_next(ctx);
+        } else {
+            let delay = Duration::from_nanos(ctx.rng().gen_range(0..=stagger));
+            ctx.set_timer(delay, SmartMessage::BackoffTimer);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SmartMessage>, _from: NodeId, msg: SmartMessage) {
+        if let SmartMessage::Reply(reply) = msg {
+            self.handle_reply(ctx, reply.id, reply.result);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SmartMessage>, _id: TimerId, msg: SmartMessage) {
+        match msg {
+            SmartMessage::ClientTimeout(op) => self.handle_timeout(ctx, op),
+            SmartMessage::BackoffTimer => {
+                if self.current.is_none() && !self.stopped {
+                    self.issue_next(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders() {
+        let cfg = SmartClientConfig::default()
+            .with_quorum(QuorumSet::for_faults(2))
+            .with_start_stagger(Duration::ZERO);
+        assert_eq!(cfg.quorum.n(), 5);
+        assert_eq!(cfg.start_stagger, Duration::ZERO);
+    }
+}

@@ -1,0 +1,83 @@
+//! Configuration of the BFT-SMaRt-style baseline.
+
+use std::time::Duration;
+
+use idem_common::{FixedCost, QuorumSet};
+
+/// Configuration of a SMaRt replica group.
+///
+/// # Example
+/// ```
+/// use idem_smart::SmartConfig;
+/// let cfg = SmartConfig::for_faults(1).with_max_batch(64);
+/// assert_eq!(cfg.max_batch, 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmartConfig {
+    /// Replica group size / fault threshold.
+    pub quorum: QuorumSet,
+    /// Maximum number of requests per proposed batch.
+    pub max_batch: usize,
+    /// A checkpoint is taken every this many executed *batches*.
+    pub checkpoint_interval: u64,
+    /// View-change timeout.
+    pub progress_timeout: Duration,
+    /// CPU cost charged per received protocol message.
+    pub message_cost: FixedCost,
+}
+
+impl SmartConfig {
+    /// Default configuration for a group tolerating `f` crashes: batches of
+    /// up to 256 requests, 1.5 s view-change timeout.
+    pub fn for_faults(f: u32) -> SmartConfig {
+        SmartConfig {
+            quorum: QuorumSet::for_faults(f),
+            max_batch: 256,
+            checkpoint_interval: 64,
+            progress_timeout: Duration::from_millis(1500),
+            message_cost: FixedCost::new(Duration::from_micros(2), Duration::ZERO),
+        }
+    }
+
+    /// Returns a copy with a different maximum batch size.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> SmartConfig {
+        assert!(max_batch > 0, "batch size must be positive");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Returns a copy with a different per-message CPU cost model.
+    #[must_use]
+    pub fn with_message_cost(mut self, cost: FixedCost) -> SmartConfig {
+        self.message_cost = cost;
+        self
+    }
+}
+
+impl Default for SmartConfig {
+    fn default() -> SmartConfig {
+        SmartConfig::for_faults(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let cfg = SmartConfig::default();
+        assert_eq!(cfg.quorum.n(), 3);
+        assert_eq!(cfg.max_batch, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = SmartConfig::default().with_max_batch(0);
+    }
+}

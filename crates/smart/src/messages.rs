@@ -1,0 +1,145 @@
+//! SMaRt baseline wire messages and timer payloads.
+
+use idem_common::{OpNumber, Reply, Request, RequestId, SeqNumber, View};
+use idem_simnet::Wire;
+
+/// All messages of the SMaRt baseline.
+///
+/// Variants past `Checkpoint` are timer payloads that never travel on the
+/// wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SmartMessage {
+    /// Client request, multicast to all replicas.
+    Request(Request),
+    /// Execution result. Every replica replies; the client keeps the first.
+    Reply(Reply),
+    /// Leader's batch proposal (sequential consensus: one open instance at
+    /// a time).
+    Propose {
+        /// Consensus instance number.
+        sqn: SeqNumber,
+        /// Leader's view (called "regency" in BFT-SMaRt).
+        view: View,
+        /// The proposed batch, bodies included.
+        batch: Vec<Request>,
+    },
+    /// Acceptor vote for a proposed batch.
+    Accept {
+        /// Instance number.
+        sqn: SeqNumber,
+        /// View of the accepted proposal.
+        view: View,
+    },
+    /// View-change request carrying the sender's undecided proposal (if
+    /// any).
+    ViewChange {
+        /// Target view.
+        target: View,
+        /// Instance the sender saw proposed but not decided.
+        pending: Option<(SeqNumber, View, Vec<Request>)>,
+        /// The sender's next undecided instance number.
+        next_sqn: SeqNumber,
+    },
+    /// Ask a peer for its newest checkpoint.
+    CheckpointRequest,
+    /// Checkpoint transfer.
+    Checkpoint {
+        /// First instance not covered.
+        next_sqn: SeqNumber,
+        /// Serialized application state.
+        snapshot: Vec<u8>,
+        /// `(client id, last executed op, cached reply)` per client.
+        clients: Vec<(u32, OpNumber, Vec<u8>)>,
+    },
+
+    // ----- timer payloads (never on the wire) -----
+    /// Replica progress (view-change) timer.
+    ProgressTimer,
+    /// Client retransmission timeout.
+    ClientTimeout(OpNumber),
+    /// Client think/backoff delay.
+    BackoffTimer,
+}
+
+fn batch_size(batch: &[Request]) -> usize {
+    batch.iter().map(Request::wire_size).sum::<usize>() + 4
+}
+
+impl Wire for SmartMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            SmartMessage::Request(r) => r.wire_size(),
+            SmartMessage::Reply(r) => r.wire_size(),
+            SmartMessage::Propose { batch, .. } => 16 + batch_size(batch),
+            SmartMessage::Accept { .. } => 16,
+            SmartMessage::ViewChange { pending, .. } => {
+                16 + pending
+                    .as_ref()
+                    .map_or(0, |(_, _, batch)| 16 + batch_size(batch))
+            }
+            SmartMessage::CheckpointRequest => 4,
+            SmartMessage::Checkpoint {
+                snapshot, clients, ..
+            } => 8 + snapshot.len() + clients.iter().map(|(_, _, r)| 12 + r.len()).sum::<usize>(),
+            SmartMessage::ProgressTimer
+            | SmartMessage::ClientTimeout(_)
+            | SmartMessage::BackoffTimer => 0,
+        }
+    }
+}
+
+/// Convenience: the id set of a batch.
+pub fn batch_ids(batch: &[Request]) -> Vec<RequestId> {
+    batch.iter().map(|r| r.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idem_common::ClientId;
+
+    fn req(bytes: usize, op: u64) -> Request {
+        Request::new(RequestId::new(ClientId(1), OpNumber(op)), vec![0; bytes])
+    }
+
+    #[test]
+    fn propose_scales_with_batch() {
+        let small = SmartMessage::Propose {
+            sqn: SeqNumber(0),
+            view: View(0),
+            batch: vec![req(100, 1)],
+        };
+        let large = SmartMessage::Propose {
+            sqn: SeqNumber(0),
+            view: View(0),
+            batch: (0..10).map(|i| req(100, i)).collect(),
+        };
+        assert!(large.wire_size() > small.wire_size() * 8);
+    }
+
+    #[test]
+    fn accepts_are_tiny() {
+        assert_eq!(
+            SmartMessage::Accept {
+                sqn: SeqNumber(0),
+                view: View(0)
+            }
+            .wire_size(),
+            16
+        );
+    }
+
+    #[test]
+    fn batch_ids_extracts_in_order() {
+        let batch = vec![req(1, 1), req(1, 2)];
+        let ids = batch_ids(&batch);
+        assert_eq!(ids[0].op, OpNumber(1));
+        assert_eq!(ids[1].op, OpNumber(2));
+    }
+
+    #[test]
+    fn timers_are_free() {
+        assert_eq!(SmartMessage::ProgressTimer.wire_size(), 0);
+        assert_eq!(SmartMessage::BackoffTimer.wire_size(), 0);
+    }
+}

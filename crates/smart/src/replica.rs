@@ -1,0 +1,629 @@
+//! The SMaRt baseline replica: sequential consensus over request batches.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use idem_common::{
+    Directory, QuorumTracker, Reply, Request, RequestId, SeqNumber, StateMachine, View,
+};
+use idem_common::app::CostModel;
+use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
+
+use crate::config::SmartConfig;
+use crate::messages::SmartMessage;
+
+/// Observable counters of one SMaRt replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct SmartReplicaStats {
+    pub requests_received: u64,
+    pub duplicates: u64,
+    pub batches_proposed: u64,
+    pub batches_decided: u64,
+    pub executed: u64,
+    pub replies_sent: u64,
+    pub accepts_sent: u64,
+    pub checkpoints_taken: u64,
+    pub checkpoints_installed: u64,
+    pub view_changes_started: u64,
+    pub view_changes_completed: u64,
+    /// Peak pending-pool length — the unbounded queue of this baseline.
+    pub max_pending_len: u64,
+    /// Largest batch decided, to observe load-adaptive batching.
+    pub max_batch_decided: u64,
+}
+
+#[derive(Debug, Clone)]
+struct OpenInstance {
+    sqn: SeqNumber,
+    view: View,
+    batch: Vec<Request>,
+    votes: QuorumTracker,
+}
+
+/// A SMaRt replica implementing [`Node`] over [`SmartMessage`].
+pub struct SmartReplica {
+    cfg: SmartConfig,
+    me: idem_common::ReplicaId,
+    dir: Directory<NodeId>,
+    app: Box<dyn StateMachine>,
+
+    view: View,
+    vc_target: Option<View>,
+    vc_store: BTreeMap<u64, BTreeMap<u32, (Option<(SeqNumber, View, Vec<Request>)>, SeqNumber)>>,
+
+    /// Unbounded pool of client requests awaiting ordering.
+    pending: VecDeque<Request>,
+    pending_ids: BTreeMap<RequestId, ()>,
+
+    /// Next consensus instance to decide.
+    next_sqn: SeqNumber,
+    open: Option<OpenInstance>,
+
+    last_executed: BTreeMap<u32, (idem_common::OpNumber, Vec<u8>)>,
+    checkpoint: Option<(SeqNumber, Vec<u8>, Vec<(u32, idem_common::OpNumber, Vec<u8>)>)>,
+
+    progress_timer: Option<TimerId>,
+    /// Evidence that a view below our pending view-change target is still
+    /// live (f+1 distinct senders): used by rejoining partitioned replicas.
+    rejoin_votes: Option<(View, QuorumTracker)>,
+    stats: SmartReplicaStats,
+}
+
+impl SmartReplica {
+    /// Creates a replica with identity `me`.
+    pub fn new(
+        cfg: SmartConfig,
+        me: idem_common::ReplicaId,
+        dir: Directory<NodeId>,
+        app: Box<dyn StateMachine>,
+    ) -> SmartReplica {
+        SmartReplica {
+            cfg,
+            me,
+            dir,
+            app,
+            view: View(0),
+            vc_target: None,
+            vc_store: BTreeMap::new(),
+            pending: VecDeque::new(),
+            pending_ids: BTreeMap::new(),
+            next_sqn: SeqNumber(0),
+            open: None,
+            last_executed: BTreeMap::new(),
+            checkpoint: None,
+            progress_timer: None,
+            rejoin_votes: None,
+            stats: SmartReplicaStats::default(),
+        }
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> &SmartReplicaStats {
+        &self.stats
+    }
+
+    /// Current view ("regency").
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Length of the pending request pool.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Read access to the replicated application.
+    pub fn app(&self) -> &dyn StateMachine {
+        &*self.app
+    }
+
+    fn n(&self) -> u32 {
+        self.cfg.quorum.n()
+    }
+
+    fn majority(&self) -> u32 {
+        self.cfg.quorum.majority()
+    }
+
+    fn effective_view(&self) -> View {
+        self.vc_target.unwrap_or(self.view)
+    }
+
+    fn leader_of(&self, v: View) -> idem_common::ReplicaId {
+        v.leader(self.n())
+    }
+
+    fn is_leader(&self) -> bool {
+        self.vc_target.is_none() && self.leader_of(self.view) == self.me
+    }
+
+    fn peers(&self) -> Vec<NodeId> {
+        let me = self.dir.replica(self.me);
+        self.dir
+            .replica_addrs()
+            .iter()
+            .copied()
+            .filter(|&n| n != me)
+            .collect()
+    }
+
+    fn executed_already(&self, id: RequestId) -> bool {
+        self.last_executed
+            .get(&id.client.0)
+            .is_some_and(|(op, _)| *op >= id.op)
+    }
+
+    // ------------------------------------------------------------ requests
+
+    fn handle_request(&mut self, ctx: &mut Context<'_, SmartMessage>, req: Request) {
+        self.stats.requests_received += 1;
+        let id = req.id;
+        if self.executed_already(id) {
+            self.stats.duplicates += 1;
+            if let Some((op, reply)) = self.last_executed.get(&id.client.0) {
+                if *op == id.op {
+                    self.stats.replies_sent += 1;
+                    let client = self.dir.client(id.client);
+                    ctx.send(client, SmartMessage::Reply(Reply::new(id, reply.clone())));
+                }
+            }
+            return;
+        }
+        if self.pending_ids.contains_key(&id) {
+            self.stats.duplicates += 1;
+            return;
+        }
+        self.pending_ids.insert(id, ());
+        self.pending.push_back(req);
+        self.stats.max_pending_len = self.stats.max_pending_len.max(self.pending.len() as u64);
+        self.ensure_progress_timer(ctx);
+        self.maybe_propose(ctx);
+    }
+
+    /// Leader: opens the next instance if none is open and work is pending
+    /// (sequential consensus, Mod-SMaRt style).
+    fn maybe_propose(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        if !self.is_leader() || self.open.is_some() || self.pending.is_empty() {
+            return;
+        }
+        let take = self.pending.len().min(self.cfg.max_batch);
+        let batch: Vec<Request> = self.pending.drain(..take).collect();
+        let sqn = self.next_sqn;
+        let mut votes = QuorumTracker::new(self.majority());
+        votes.record(self.me);
+        self.open = Some(OpenInstance {
+            sqn,
+            view: self.view,
+            batch: batch.clone(),
+            votes,
+        });
+        self.stats.batches_proposed += 1;
+        let view = self.view;
+        let peers = self.peers();
+        ctx.multicast(peers, SmartMessage::Propose { sqn, view, batch });
+        self.maybe_decide(ctx);
+    }
+
+    // ----------------------------------------------------------- agreement
+
+    fn view_acceptable(&self, v: View) -> bool {
+        match self.vc_target {
+            Some(t) => v >= t,
+            None => v >= self.view,
+        }
+    }
+
+    /// Rejoin a still-live lower view after a failed solo view change.
+    fn observe_live_view(&mut self, ctx: &mut Context<'_, SmartMessage>, v: View, sender: idem_common::ReplicaId) {
+        let Some(target) = self.vc_target else {
+            return;
+        };
+        if v < self.view || v >= target {
+            return;
+        }
+        match &mut self.rejoin_votes {
+            Some((lv, votes)) if *lv == v => {
+                votes.record(sender);
+                if votes.reached() {
+                    self.rejoin_votes = None;
+                    self.vc_target = None;
+                    self.view = v;
+                    self.vc_store.retain(|&t, _| t > v.0);
+                    self.reset_progress_timer(ctx);
+                    // We likely missed instances while away: catch up.
+                    let peers = self.peers();
+                    ctx.multicast(peers, SmartMessage::CheckpointRequest);
+                }
+            }
+            _ => {
+                let mut votes = QuorumTracker::new(self.majority());
+                votes.record(sender);
+                self.rejoin_votes = Some((v, votes));
+            }
+        }
+    }
+
+    fn enter_view_as_follower(&mut self, v: View) {
+        if v > self.view || self.vc_target == Some(v) {
+            self.view = v;
+            self.vc_target = None;
+            self.vc_store.retain(|&t, _| t > v.0);
+        }
+    }
+
+    fn handle_propose(
+        &mut self,
+        ctx: &mut Context<'_, SmartMessage>,
+        from: NodeId,
+        sqn: SeqNumber,
+        view: View,
+        batch: Vec<Request>,
+    ) {
+        let Some(sender) = self.dir.replica_of(from) else {
+            return;
+        };
+        if !self.view_acceptable(view) {
+            if self.leader_of(view) == sender {
+                self.observe_live_view(ctx, view, sender);
+            }
+            return;
+        }
+        if self.leader_of(view) != sender {
+            return;
+        }
+        if view > self.view || self.vc_target == Some(view) {
+            self.enter_view_as_follower(view);
+        }
+        if sqn < self.next_sqn {
+            return; // already decided
+        }
+        if sqn > self.next_sqn {
+            // We are lagging: ask for a checkpoint.
+            ctx.send(from, SmartMessage::CheckpointRequest);
+            return;
+        }
+        let replace = match &self.open {
+            Some(open) => view > open.view || open.sqn != sqn,
+            None => true,
+        };
+        if replace {
+            let mut votes = QuorumTracker::new(self.majority());
+            votes.record(sender);
+            votes.record(self.me);
+            self.open = Some(OpenInstance {
+                sqn,
+                view,
+                batch,
+                votes,
+            });
+        } else if let Some(open) = &mut self.open {
+            if open.view == view {
+                open.votes.record(sender);
+                open.votes.record(self.me);
+            }
+        }
+        self.stats.accepts_sent += 1;
+        let peers = self.peers();
+        ctx.multicast(peers, SmartMessage::Accept { sqn, view });
+        self.ensure_progress_timer(ctx);
+        self.maybe_decide(ctx);
+    }
+
+    fn handle_accept(
+        &mut self,
+        ctx: &mut Context<'_, SmartMessage>,
+        from: NodeId,
+        sqn: SeqNumber,
+        view: View,
+    ) {
+        let Some(sender) = self.dir.replica_of(from) else {
+            return;
+        };
+        if !self.view_acceptable(view) {
+            self.observe_live_view(ctx, view, sender);
+            return;
+        }
+        let leader = self.leader_of(view);
+        if let Some(open) = &mut self.open {
+            if open.sqn == sqn && open.view == view {
+                open.votes.record(sender);
+                open.votes.record(leader);
+            }
+        }
+        self.maybe_decide(ctx);
+    }
+
+    fn maybe_decide(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        let decided = self
+            .open
+            .as_ref()
+            .is_some_and(|open| open.votes.reached() && open.sqn == self.next_sqn);
+        if !decided {
+            return;
+        }
+        let open = self.open.take().expect("checked above");
+        self.stats.batches_decided += 1;
+        self.stats.max_batch_decided =
+            self.stats.max_batch_decided.max(open.batch.len() as u64);
+        for req in &open.batch {
+            // Remove from our own pool regardless of who batched it.
+            if self.pending_ids.remove(&req.id).is_some() {
+                self.pending.retain(|r| r.id != req.id);
+            }
+            if self.executed_already(req.id) {
+                continue;
+            }
+            let cost = self.app.execution_cost(&req.command);
+            ctx.charge(cost);
+            let result = self.app.execute(&req.command);
+            self.stats.executed += 1;
+            self.last_executed
+                .insert(req.id.client.0, (req.id.op, result.clone()));
+            // Every replica replies (CFT mode of BFT-SMaRt).
+            self.stats.replies_sent += 1;
+            let client = self.dir.client(req.id.client);
+            ctx.send(client, SmartMessage::Reply(Reply::new(req.id, result)));
+        }
+        self.next_sqn = self.next_sqn.next();
+        if self.next_sqn.0 % self.cfg.checkpoint_interval == 0 {
+            self.take_checkpoint(ctx);
+        }
+        self.reset_progress_timer(ctx);
+        self.maybe_propose(ctx);
+    }
+
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        let snapshot = self.app.snapshot();
+        ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
+        let clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)> = self
+            .last_executed
+            .iter()
+            .map(|(&cid, (op, reply))| (cid, *op, reply.clone()))
+            .collect();
+        self.checkpoint = Some((self.next_sqn, snapshot, clients));
+        self.stats.checkpoints_taken += 1;
+    }
+
+    fn handle_checkpoint_request(&mut self, ctx: &mut Context<'_, SmartMessage>, from: NodeId) {
+        if let Some((next_sqn, snapshot, clients)) = self.checkpoint.clone() {
+            ctx.send(
+                from,
+                SmartMessage::Checkpoint {
+                    next_sqn,
+                    snapshot,
+                    clients,
+                },
+            );
+        }
+    }
+
+    fn handle_checkpoint(
+        &mut self,
+        ctx: &mut Context<'_, SmartMessage>,
+        next_sqn: SeqNumber,
+        snapshot: Vec<u8>,
+        clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)>,
+    ) {
+        if next_sqn <= self.next_sqn {
+            return;
+        }
+        ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
+        self.app.restore(&snapshot);
+        self.last_executed = clients
+            .iter()
+            .map(|(cid, op, reply)| (*cid, (*op, reply.clone())))
+            .collect();
+        self.next_sqn = next_sqn;
+        self.open = None;
+        self.stats.checkpoints_installed += 1;
+        self.checkpoint = Some((next_sqn, snapshot, clients));
+        // Drop pending requests the checkpoint proves executed.
+        let last = self.last_executed.clone();
+        self.pending
+            .retain(|r| !last.get(&r.id.client.0).is_some_and(|(op, _)| *op >= r.id.op));
+        self.pending_ids = self.pending.iter().map(|r| (r.id, ())).collect();
+        self.maybe_propose(ctx);
+    }
+
+    // --------------------------------------------------------- view change
+
+    fn ensure_progress_timer(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        if self.progress_timer.is_none() {
+            self.progress_timer =
+                Some(ctx.set_timer(self.cfg.progress_timeout, SmartMessage::ProgressTimer));
+        }
+    }
+
+    fn has_pending_work(&self) -> bool {
+        !self.pending.is_empty() || self.open.is_some()
+    }
+
+    fn reset_progress_timer(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        if let Some(timer) = self.progress_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        if self.has_pending_work() {
+            self.ensure_progress_timer(ctx);
+        }
+    }
+
+    fn handle_progress_timer(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        self.progress_timer = None;
+        if !self.has_pending_work() {
+            return;
+        }
+        let target = self.effective_view().next();
+        self.start_view_change(ctx, target);
+    }
+
+    fn start_view_change(&mut self, ctx: &mut Context<'_, SmartMessage>, target: View) {
+        if target <= self.view || self.vc_target.is_some_and(|t| t >= target) {
+            return;
+        }
+        self.vc_target = Some(target);
+        self.stats.view_changes_started += 1;
+        let pending = self
+            .open
+            .as_ref()
+            .map(|o| (o.sqn, o.view, o.batch.clone()));
+        self.vc_store
+            .entry(target.0)
+            .or_default()
+            .insert(self.me.0, (pending.clone(), self.next_sqn));
+        let peers = self.peers();
+        ctx.multicast(
+            peers,
+            SmartMessage::ViewChange {
+                target,
+                pending,
+                next_sqn: self.next_sqn,
+            },
+        );
+        self.ensure_progress_timer(ctx);
+        self.check_new_view(ctx, target);
+    }
+
+    fn handle_view_change(
+        &mut self,
+        ctx: &mut Context<'_, SmartMessage>,
+        from: NodeId,
+        target: View,
+        pending: Option<(SeqNumber, View, Vec<Request>)>,
+        next_sqn: SeqNumber,
+    ) {
+        let Some(sender) = self.dir.replica_of(from) else {
+            return;
+        };
+        if target <= self.view {
+            return;
+        }
+        self.vc_store
+            .entry(target.0)
+            .or_default()
+            .insert(sender.0, (pending, next_sqn));
+        let senders = self.vc_store[&target.0].len() as u32;
+        if senders >= self.majority() && self.vc_target.map_or(true, |t| t < target) {
+            self.start_view_change(ctx, target);
+        }
+        self.check_new_view(ctx, target);
+    }
+
+    fn check_new_view(&mut self, ctx: &mut Context<'_, SmartMessage>, target: View) {
+        if self.leader_of(target) != self.me || self.vc_target != Some(target) {
+            return;
+        }
+        let Some(msgs) = self.vc_store.get(&target.0) else {
+            return;
+        };
+        if (msgs.len() as u32) < self.majority() {
+            return;
+        }
+        self.enter_new_view(ctx, target);
+    }
+
+    fn enter_new_view(&mut self, ctx: &mut Context<'_, SmartMessage>, target: View) {
+        self.view = target;
+        self.vc_target = None;
+        self.stats.view_changes_completed += 1;
+        let msgs = self.vc_store.remove(&target.0).unwrap_or_default();
+        self.vc_store.retain(|&t, _| t > target.0);
+
+        // If any of the f+1 summaries carries an undecided proposal for our
+        // next instance, re-propose the one from the highest view.
+        let mut best: Option<(View, Vec<Request>)> = None;
+        let mut max_next = self.next_sqn;
+        for (pending, next) in msgs.into_values() {
+            max_next = max_next.max(next);
+            if let Some((sqn, view, batch)) = pending {
+                if sqn >= self.next_sqn && best.as_ref().is_none_or(|(v, _)| view > *v) {
+                    best = Some((view, batch));
+                }
+            }
+        }
+        if max_next > self.next_sqn {
+            // Someone decided further than us: catch up first.
+            let peers = self.peers();
+            ctx.multicast(peers, SmartMessage::CheckpointRequest);
+        }
+        self.open = None;
+        if let Some((_, batch)) = best {
+            let sqn = self.next_sqn;
+            let mut votes = QuorumTracker::new(self.majority());
+            votes.record(self.me);
+            self.open = Some(OpenInstance {
+                sqn,
+                view: target,
+                batch: batch.clone(),
+                votes,
+            });
+            self.stats.batches_proposed += 1;
+            let peers = self.peers();
+            ctx.multicast(
+                peers,
+                SmartMessage::Propose {
+                    sqn,
+                    view: target,
+                    batch,
+                },
+            );
+        }
+        self.reset_progress_timer(ctx);
+        self.maybe_propose(ctx);
+    }
+}
+
+impl Node<SmartMessage> for SmartReplica {
+    fn on_message(&mut self, ctx: &mut Context<'_, SmartMessage>, from: NodeId, msg: SmartMessage) {
+        ctx.charge(self.cfg.message_cost.message_cost(msg.wire_size()));
+        match msg {
+            SmartMessage::Request(req) => self.handle_request(ctx, req),
+            SmartMessage::Propose { sqn, view, batch } => {
+                self.handle_propose(ctx, from, sqn, view, batch)
+            }
+            SmartMessage::Accept { sqn, view } => self.handle_accept(ctx, from, sqn, view),
+            SmartMessage::ViewChange {
+                target,
+                pending,
+                next_sqn,
+            } => self.handle_view_change(ctx, from, target, pending, next_sqn),
+            SmartMessage::CheckpointRequest => self.handle_checkpoint_request(ctx, from),
+            SmartMessage::Checkpoint {
+                next_sqn,
+                snapshot,
+                clients,
+            } => self.handle_checkpoint(ctx, next_sqn, snapshot, clients),
+            SmartMessage::Reply(_)
+            | SmartMessage::ProgressTimer
+            | SmartMessage::ClientTimeout(_)
+            | SmartMessage::BackoffTimer => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SmartMessage>, _id: TimerId, msg: SmartMessage) {
+        if msg == SmartMessage::ProgressTimer {
+            self.handle_progress_timer(ctx);
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idem_common::app::NullApp;
+
+    #[test]
+    fn fresh_replica_has_no_work() {
+        let dir = Directory::new(vec![NodeId(0), NodeId(1), NodeId(2)], vec![NodeId(3)]);
+        let r = SmartReplica::new(
+            SmartConfig::default(),
+            idem_common::ReplicaId(0),
+            dir,
+            Box::new(NullApp::default()),
+        );
+        assert!(!r.has_pending_work());
+        assert_eq!(r.pending_len(), 0);
+        assert_eq!(r.view(), View(0));
+    }
+}

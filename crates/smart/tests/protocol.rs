@@ -1,0 +1,189 @@
+//! Protocol-level tests for the BFT-SMaRt-style batching baseline.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use idem_common::app::NullApp;
+use idem_common::driver::{ClientApp, OperationOutcome, OutcomeKind};
+use idem_common::{ClientId, Directory, ReplicaId};
+use idem_simnet::{NodeId, Simulation};
+use idem_smart::{SmartClient, SmartClientConfig, SmartConfig, SmartMessage, SmartReplica};
+use rand::rngs::SmallRng;
+
+type Outcomes = Rc<RefCell<Vec<OperationOutcome>>>;
+
+struct App {
+    outcomes: Outcomes,
+    remaining: Option<u64>,
+}
+
+impl ClientApp for App {
+    fn next_command(&mut self, _rng: &mut SmallRng) -> Option<Vec<u8>> {
+        if let Some(rem) = &mut self.remaining {
+            if *rem == 0 {
+                return None;
+            }
+            *rem -= 1;
+        }
+        Some(vec![0u8; 32])
+    }
+    fn on_outcome(&mut self, outcome: &OperationOutcome) {
+        self.outcomes.borrow_mut().push(outcome.clone());
+    }
+}
+
+struct Setup {
+    sim: Simulation<SmartMessage>,
+    replicas: Vec<NodeId>,
+    outcomes: Outcomes,
+}
+
+fn setup(cfg: SmartConfig, n_clients: u32, ops: Option<u64>, seed: u64) -> Setup {
+    let mut sim: Simulation<SmartMessage> = Simulation::new(seed);
+    let replicas: Vec<NodeId> = (0..cfg.quorum.n()).map(|_| sim.reserve_node()).collect();
+    let clients: Vec<NodeId> = (0..n_clients).map(|_| sim.reserve_node()).collect();
+    let dir = Directory::new(replicas.clone(), clients.clone());
+    for (i, &node) in replicas.iter().enumerate() {
+        sim.install_node(
+            node,
+            Box::new(SmartReplica::new(
+                cfg.clone(),
+                ReplicaId(i as u32),
+                dir.clone(),
+                Box::new(NullApp::with_cost(Duration::from_micros(20))),
+            )),
+        );
+    }
+    let outcomes: Outcomes = Rc::new(RefCell::new(Vec::new()));
+    for (i, &node) in clients.iter().enumerate() {
+        sim.install_node(
+            node,
+            Box::new(SmartClient::new(
+                SmartClientConfig::default(),
+                ClientId(i as u32),
+                dir.clone(),
+                Box::new(App {
+                    outcomes: outcomes.clone(),
+                    remaining: ops,
+                }),
+            )),
+        );
+    }
+    Setup {
+        sim,
+        replicas,
+        outcomes,
+    }
+}
+
+fn successes(outcomes: &Outcomes) -> usize {
+    outcomes
+        .borrow()
+        .iter()
+        .filter(|o| o.kind == OutcomeKind::Success)
+        .count()
+}
+
+#[test]
+fn bounded_workload_completes() {
+    let mut s = setup(SmartConfig::for_faults(1), 4, Some(50), 1);
+    s.sim.run_for(Duration::from_secs(5));
+    assert_eq!(successes(&s.outcomes), 200);
+}
+
+#[test]
+fn all_replicas_execute_and_reply() {
+    let mut s = setup(SmartConfig::for_faults(1), 2, Some(30), 2);
+    s.sim.run_for(Duration::from_secs(5));
+    assert_eq!(successes(&s.outcomes), 60);
+    for &r in &s.replicas {
+        let replica = s.sim.node_as::<SmartReplica>(r).unwrap();
+        assert_eq!(replica.stats().executed, 60);
+        // CFT mode: every replica replies to every request.
+        assert!(replica.stats().replies_sent >= 60);
+    }
+}
+
+#[test]
+fn batches_adapt_to_load() {
+    // Sequential consensus: at higher load, more requests pile up per
+    // instance, so decided batches grow.
+    let mut low = setup(SmartConfig::for_faults(1), 2, None, 3);
+    low.sim.run_for(Duration::from_secs(2));
+    let low_batch = low
+        .sim
+        .node_as::<SmartReplica>(low.replicas[0])
+        .unwrap()
+        .stats()
+        .max_batch_decided;
+
+    let mut high = setup(SmartConfig::for_faults(1), 80, None, 3);
+    high.sim.run_for(Duration::from_secs(2));
+    let high_batch = high
+        .sim
+        .node_as::<SmartReplica>(high.replicas[0])
+        .unwrap()
+        .stats()
+        .max_batch_decided;
+    assert!(
+        high_batch > low_batch,
+        "batching should grow with load: {low_batch} -> {high_batch}"
+    );
+}
+
+#[test]
+fn max_batch_is_respected() {
+    let cfg = SmartConfig::for_faults(1).with_max_batch(8);
+    let mut s = setup(cfg, 60, None, 4);
+    s.sim.run_for(Duration::from_secs(2));
+    for &r in &s.replicas {
+        let replica = s.sim.node_as::<SmartReplica>(r).unwrap();
+        assert!(replica.stats().max_batch_decided <= 8);
+    }
+}
+
+#[test]
+fn leader_crash_recovers_via_view_change() {
+    let mut s = setup(SmartConfig::for_faults(1), 4, None, 5);
+    s.sim.run_for(Duration::from_secs(2));
+    let before = successes(&s.outcomes);
+    s.sim.crash_now(s.replicas[0]);
+    s.sim.run_for(Duration::from_secs(8));
+    let after = successes(&s.outcomes);
+    assert!(
+        after > before + 100,
+        "no recovery after leader crash: {before} -> {after}"
+    );
+    for &r in &s.replicas[1..] {
+        assert!(s.sim.node_as::<SmartReplica>(r).unwrap().view().0 >= 1);
+    }
+}
+
+#[test]
+fn follower_crash_is_masked() {
+    let mut s = setup(SmartConfig::for_faults(1), 4, None, 6);
+    s.sim.run_for(Duration::from_secs(2));
+    let before = successes(&s.outcomes);
+    s.sim.crash_now(s.replicas[2]);
+    s.sim.run_for(Duration::from_secs(2));
+    let after = successes(&s.outcomes);
+    assert!(after > before + 100);
+    assert_eq!(
+        s.sim.node_as::<SmartReplica>(s.replicas[0]).unwrap().view().0,
+        0,
+        "no view change needed for a follower crash"
+    );
+}
+
+#[test]
+fn pending_pool_is_shared_knowledge() {
+    // Clients multicast to all replicas: every replica sees every request.
+    let mut s = setup(SmartConfig::for_faults(1), 3, Some(20), 7);
+    s.sim.run_for(Duration::from_secs(3));
+    for &r in &s.replicas {
+        let replica = s.sim.node_as::<SmartReplica>(r).unwrap();
+        assert!(replica.stats().requests_received >= 60);
+        assert_eq!(replica.pending_len(), 0, "pool must drain after the run");
+    }
+}

@@ -1,0 +1,107 @@
+//! Smoke tests: every experiment of the harness runs end-to-end at a tiny
+//! effort and produces a well-formed report.
+
+use std::time::Duration;
+
+use idem_harness::experiments::{self, Effort};
+use idem_harness::report::ExperimentReport;
+
+/// A minimal effort so the full matrix stays test-suite friendly.
+fn tiny() -> Effort {
+    Effort {
+        duration: Duration::from_millis(1500),
+        warmup: Duration::from_millis(500),
+        repetitions: 1,
+        fixed_requests: 5_000,
+    }
+}
+
+fn check(report: &ExperimentReport) {
+    assert!(!report.title.is_empty());
+    assert!(!report.paper_claim.is_empty());
+    assert!(!report.body.is_empty(), "{}: empty body", report.title);
+    for (name, content) in &report.csv {
+        assert!(name.ends_with(".csv"));
+        assert!(
+            content.lines().count() >= 2,
+            "{}: csv {} has no data rows",
+            report.title,
+            name
+        );
+    }
+    let text = report.to_text();
+    assert!(text.contains(&report.title));
+}
+
+#[test]
+fn fig2_smoke() {
+    check(&experiments::fig2::run(tiny()));
+}
+
+#[test]
+fn fig3_smoke() {
+    check(&experiments::fig3::run(tiny()));
+}
+
+#[test]
+fn fig6_smoke() {
+    check(&experiments::fig6::run(tiny()));
+}
+
+#[test]
+fn fig7_smoke() {
+    let report = experiments::fig7::run(tiny());
+    check(&report);
+    // The reject table must actually contain reject data at high factors.
+    assert!(report.body.contains("rejects"));
+}
+
+#[test]
+fn table1_smoke() {
+    let report = experiments::table1::run(tiny());
+    check(&report);
+    assert!(report.body.contains("GB"));
+    assert!(report.body.contains("overhead"));
+}
+
+#[test]
+fn fig8_smoke() {
+    let report = experiments::fig8::run(tiny());
+    check(&report);
+    assert!(report.body.contains("RT=20"));
+    assert!(report.body.contains("RT=75"));
+}
+
+#[test]
+fn fig9a_smoke() {
+    check(&experiments::fig9::run_misconfigured(tiny()));
+}
+
+#[test]
+fn fig9b_smoke() {
+    check(&experiments::fig9::run_extreme(tiny()));
+}
+
+#[test]
+fn fig10_smoke() {
+    let report = experiments::fig10::run(tiny());
+    check(&report);
+    // 2 systems × 2 crash kinds × 2 loads = 8 timeline CSVs.
+    assert_eq!(report.csv.len(), 8);
+}
+
+#[test]
+fn fig10d_smoke() {
+    let report = experiments::fig10d::run(tiny());
+    check(&report);
+    assert_eq!(report.csv.len(), 4);
+    assert!(report.body.contains("downtime"));
+}
+
+#[test]
+fn strategies_smoke() {
+    let report = experiments::strategies::run(tiny());
+    check(&report);
+    assert!(report.body.contains("pessimistic"));
+    assert!(report.body.contains("optimistic 5ms"));
+}

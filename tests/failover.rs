@@ -1,0 +1,208 @@
+//! Crash and view-change tests across protocols, including the paper's
+//! headline robustness result: collaborative rejection keeps answering
+//! during a leader crash, leader-based rejection does not.
+
+use std::time::Duration;
+
+use idem_harness::cluster::{build_cluster, ClusterOptions, Protocol};
+use idem_harness::recorder::Recorder;
+use idem_harness::scenario::{clients_for_factor, CrashPlan, Scenario};
+
+fn crash_scenario(protocol: Protocol, clients: u32, replica: usize) -> Scenario {
+    Scenario::new(protocol, clients, Duration::from_secs(10))
+        .with_crash(CrashPlan {
+            replica,
+            at: Duration::from_secs(3),
+        })
+        .with_bin_width(Duration::from_millis(250))
+}
+
+/// Longest reject gap (seconds) after the crash instant.
+fn downtime(result: &idem_harness::RunResult, crash_s: f64) -> f64 {
+    let series = result.reject_throughput_series();
+    let bin = result.bin_width.as_secs_f64();
+    let end = result.measured.as_secs_f64();
+    let mut last = crash_s;
+    let mut max_gap: f64 = 0.0;
+    for (t, rate) in series {
+        if t < crash_s {
+            continue;
+        }
+        if rate > 0.0 {
+            max_gap = max_gap.max(t - last);
+            last = t + bin;
+        }
+    }
+    max_gap.max(end - last)
+}
+
+#[test]
+fn idem_leader_crash_service_resumes() {
+    let result = crash_scenario(Protocol::idem(), 50, 0).run();
+    let tput = result.throughput_series();
+    // Service pauses during the view change...
+    let gap_bins = tput
+        .iter()
+        .filter(|(t, v)| *t > 2.0 && *t < 4.5 && *v == 0.0)
+        .count();
+    assert!(gap_bins > 0, "expected a visible view-change gap");
+    // ...and resumes to a healthy rate afterwards.
+    let late: Vec<f64> = tput
+        .iter()
+        .filter(|(t, _)| *t > 6.0)
+        .map(|(_, v)| *v)
+        .collect();
+    let late_avg = late.iter().sum::<f64>() / late.len().max(1) as f64;
+    assert!(
+        late_avg > 20_000.0,
+        "post-view-change throughput too low: {late_avg}"
+    );
+}
+
+#[test]
+fn paxos_leader_crash_service_resumes() {
+    let result = crash_scenario(Protocol::paxos(), 25, 0).run();
+    let tput = result.throughput_series();
+    let late: Vec<f64> = tput
+        .iter()
+        .filter(|(t, _)| *t > 7.0)
+        .map(|(_, v)| *v)
+        .collect();
+    let late_avg = late.iter().sum::<f64>() / late.len().max(1) as f64;
+    assert!(
+        late_avg > 10_000.0,
+        "paxos did not recover from leader crash: {late_avg}"
+    );
+}
+
+#[test]
+fn smart_leader_crash_service_resumes() {
+    let result = crash_scenario(Protocol::smart(), 25, 0).run();
+    let tput = result.throughput_series();
+    let late: Vec<f64> = tput
+        .iter()
+        .filter(|(t, _)| *t > 7.0)
+        .map(|(_, v)| *v)
+        .collect();
+    let late_avg = late.iter().sum::<f64>() / late.len().max(1) as f64;
+    assert!(
+        late_avg > 10_000.0,
+        "smart did not recover from leader crash: {late_avg}"
+    );
+}
+
+#[test]
+fn follower_crash_causes_no_interruption() {
+    for protocol in [Protocol::idem(), Protocol::paxos(), Protocol::smart()] {
+        let name = protocol.name();
+        let result = crash_scenario(protocol, 25, 2).run();
+        let tput = result.throughput_series();
+        let zero_bins = tput.iter().filter(|(t, v)| *t > 3.5 && *v == 0.0).count();
+        assert_eq!(
+            zero_bins, 0,
+            "{name}: follower crash should not interrupt service"
+        );
+    }
+}
+
+#[test]
+fn idem_rejects_continue_during_leader_crash_lbr_does_not() {
+    // Figures 3 / 10d: the decisive comparison.
+    let overload = clients_for_factor(2.0);
+    let idem = crash_scenario(Protocol::idem(), overload, 0).run();
+    let lbr = crash_scenario(Protocol::paxos_lbr(30), overload, 0).run();
+    let idem_downtime = downtime(&idem, 3.0);
+    let lbr_downtime = downtime(&lbr, 3.0);
+    assert!(
+        idem_downtime < 1.0,
+        "IDEM reject downtime should be negligible, got {idem_downtime:.2}s"
+    );
+    assert!(
+        lbr_downtime > 2.0,
+        "Paxos_LBR should lose rejections for seconds, got {lbr_downtime:.2}s"
+    );
+    assert!(lbr_downtime > 3.0 * idem_downtime);
+}
+
+#[test]
+fn lbr_follower_crash_does_not_affect_rejection() {
+    let overload = clients_for_factor(2.0);
+    let result = crash_scenario(Protocol::paxos_lbr(30), overload, 2).run();
+    let dt = downtime(&result, 3.0);
+    assert!(
+        dt < 1.0,
+        "follower crash must not interrupt LBR rejection, got {dt:.2}s"
+    );
+}
+
+#[test]
+fn aqm_stabilizes_post_crash_overload_compared_to_tail_drop() {
+    // Figure 10: with only f+1 replicas in overload, IDEM (AQM) stays far
+    // more stable than IDEM_noAQM. Compare post-crash throughput variance.
+    let cv = |protocol: Protocol| {
+        let result = crash_scenario(protocol, 100, 0).run();
+        let vals: Vec<f64> = result
+            .throughput_series()
+            .iter()
+            .filter(|(t, _)| *t > 6.0)
+            .map(|(_, v)| *v)
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / vals.len().max(1) as f64;
+        (var.sqrt() / mean, mean)
+    };
+    let (cv_aqm, mean_aqm) = cv(Protocol::idem());
+    let (cv_td, _) = cv(Protocol::idem_no_aqm());
+    assert!(mean_aqm > 20_000.0, "AQM post-crash throughput {mean_aqm}");
+    assert!(
+        cv_aqm <= cv_td * 1.05,
+        "AQM should be at least as stable: cv {cv_aqm:.3} vs tail-drop {cv_td:.3}"
+    );
+}
+
+#[test]
+fn idem_overload_leader_crash_latency_stays_bounded() {
+    // Figure 10c: after the view change in overload, latency rises but
+    // stays below ~2 ms (paper: +45 %, still < 1.7 ms).
+    let result = crash_scenario(Protocol::idem(), 100, 0).run();
+    let late: Vec<f64> = result
+        .latency_series_ms()
+        .iter()
+        .filter(|(t, _)| *t > 6.0)
+        .map(|(_, v)| *v)
+        .collect();
+    let avg = late.iter().sum::<f64>() / late.len().max(1) as f64;
+    assert!(
+        avg < 2.5,
+        "post-crash overload latency should stay bounded, got {avg:.2} ms"
+    );
+}
+
+#[test]
+fn crashed_majority_halts_but_does_not_corrupt() {
+    // With 2 of 3 replicas down no progress is possible — but the survivor
+    // must not execute unagreed requests.
+    let opts = ClusterOptions {
+        clients: 5,
+        warmup: Duration::ZERO,
+        ..Default::default()
+    };
+    let mut cluster = build_cluster(&Protocol::idem(), &opts);
+    cluster.run_for(Duration::from_secs(1));
+    let executed_before = cluster.idem_stats(2).unwrap().executed;
+    cluster.crash_replica(0);
+    cluster.crash_replica(1);
+    cluster.run_for(Duration::from_secs(1));
+    let executed_soon = cluster.idem_stats(2).unwrap().executed;
+    cluster.run_for(Duration::from_secs(5));
+    let executed_late = cluster.idem_stats(2).unwrap().executed;
+    // Commits already in flight may finish, then nothing more.
+    assert!(executed_soon >= executed_before);
+    assert_eq!(
+        executed_late, executed_soon,
+        "no agreement possible without a majority"
+    );
+    let successes = cluster.recorder.with(Recorder::successes);
+    assert!(successes > 0);
+}
