@@ -14,7 +14,9 @@ use idem_harness::scenario::{clients_for_factor, CrashPlan};
 use idem_harness::Protocol;
 use std::hint::black_box;
 
-fn bench_config(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+fn bench_config(
+    c: &mut Criterion,
+) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(8));
@@ -94,7 +96,12 @@ fn fig8_threshold(c: &mut Criterion) {
     let mut group = bench_config(c);
     for rt in [20u32, 50, 75] {
         group.bench_function(format!("fig8_rt{rt}"), |b| {
-            b.iter(|| black_box(run_mini(Protocol::idem_with_rt(rt), clients_for_factor(4.0))));
+            b.iter(|| {
+                black_box(run_mini(
+                    Protocol::idem_with_rt(rt),
+                    clients_for_factor(4.0),
+                ))
+            });
         });
     }
     group.finish();
@@ -104,7 +111,12 @@ fn fig8_threshold(c: &mut Criterion) {
 fn fig9a_misconfig(c: &mut Criterion) {
     let mut group = bench_config(c);
     group.bench_function("fig9a_rt100_6x", |b| {
-        b.iter(|| black_box(run_mini(Protocol::idem_with_rt(100), clients_for_factor(6.0))));
+        b.iter(|| {
+            black_box(run_mini(
+                Protocol::idem_with_rt(100),
+                clients_for_factor(6.0),
+            ))
+        });
     });
     group.finish();
 }

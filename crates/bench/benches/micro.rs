@@ -3,7 +3,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use idem_common::{ClientId, OpNumber, QuorumTracker, ReplicaId, RequestId, SeqNumber, SeqWindow, StateMachine};
+use idem_common::{
+    ClientId, OpNumber, QuorumTracker, ReplicaId, RequestId, SeqNumber, SeqWindow, StateMachine,
+};
 use idem_core::acceptance::{AcceptancePolicy, AcceptanceTest, AqmConfig};
 use idem_kv::{Command, KvStore, Workload, WorkloadSpec, Zipfian};
 use idem_metrics::Histogram;

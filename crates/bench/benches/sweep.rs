@@ -1,0 +1,105 @@
+//! Wall-clock benchmarks of the parallel sweep engine and the simnet hot
+//! path it leans on: multicast payload sharing (micro) and whole-sweep
+//! throughput at different worker counts (macro). The macro numbers
+//! complement `BENCH_repro.json`, which the `repro` binary writes per
+//! experiment.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idem_harness::sweep::{Cell, SweepRunner};
+use idem_harness::{Protocol, Scenario};
+use idem_simnet::{Context, Node, NodeId, Simulation, Wire};
+
+/// Multicast fan-out with a payload large enough that per-recipient deep
+/// clones would dominate — measures the Arc-backed sharing fast path.
+fn multicast_fanout(c: &mut Criterion) {
+    #[derive(Clone)]
+    struct Blob(Vec<u8>);
+    impl Wire for Blob {
+        fn wire_size(&self) -> usize {
+            self.0.len()
+        }
+    }
+    struct Caster {
+        targets: Vec<NodeId>,
+        rounds: u32,
+    }
+    impl Node<Blob> for Caster {
+        fn on_message(&mut self, _: &mut Context<'_, Blob>, _: NodeId, _: Blob) {}
+        fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+            ctx.set_timer(Duration::from_micros(10), Blob(Vec::new()));
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Blob>, _: idem_simnet::TimerId, _: Blob) {
+            ctx.multicast(self.targets.iter().copied(), Blob(vec![7u8; 4096]));
+            self.rounds -= 1;
+            if self.rounds > 0 {
+                ctx.set_timer(Duration::from_micros(10), Blob(Vec::new()));
+            }
+        }
+    }
+    struct Sink;
+    impl Node<Blob> for Sink {
+        fn on_message(&mut self, _: &mut Context<'_, Blob>, _: NodeId, msg: Blob) {
+            black_box(msg.0.len());
+        }
+    }
+    let mut group = c.benchmark_group("sweep");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("multicast_4k_payload_8_targets", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<Blob> = Simulation::new(1);
+            let targets: Vec<NodeId> = (0..8).map(|_| sim.add_node(Box::new(Sink))).collect();
+            sim.add_node(Box::new(Caster {
+                targets,
+                rounds: 500,
+            }));
+            sim.run_for(Duration::from_millis(10));
+            black_box(sim.events_processed())
+        });
+    });
+    group.finish();
+}
+
+fn sweep_cells(n: u64) -> Vec<Cell> {
+    (0..n)
+        .map(|i| {
+            let mut s =
+                Scenario::new(Protocol::idem(), 25, Duration::from_millis(500)).with_seed(1000 + i);
+            s.warmup = Duration::from_millis(200);
+            Cell::timed(s)
+        })
+        .collect()
+}
+
+/// Whole-sweep wall time at 1 worker vs all available workers. On a
+/// multicore host the ratio shows the engine's scaling; events/sec is
+/// printed so runs are comparable across machines.
+fn sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let job_counts = if avail > 1 { vec![1, avail] } else { vec![1] };
+    for jobs in job_counts {
+        let runner = SweepRunner::new(jobs);
+        group.bench_function(format!("8_cells_jobs_{jobs}"), |b| {
+            b.iter(|| black_box(runner.run_cells(sweep_cells(8))).len());
+        });
+        let stats = runner.take_stats();
+        eprintln!(
+            "sweep/8_cells_jobs_{jobs}: {} cells, {} sim events total, {:.2} s cell CPU",
+            stats.cells,
+            stats.events,
+            stats.busy.as_secs_f64()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(sweep, multicast_fanout, sweep_scaling);
+criterion_main!(sweep);

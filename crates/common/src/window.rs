@@ -117,11 +117,7 @@ impl<T> SeqWindow<T> {
             return Vec::new();
         }
         let mut dropped = Vec::new();
-        let keys: Vec<u64> = self
-            .slots
-            .range(..new_low.0)
-            .map(|(&k, _)| k)
-            .collect();
+        let keys: Vec<u64> = self.slots.range(..new_low.0).map(|(&k, _)| k).collect();
         for k in keys {
             if let Some(v) = self.slots.remove(&k) {
                 dropped.push((SeqNumber(k), v));
@@ -197,11 +193,7 @@ mod tests {
         let dropped = w.advance_to(SeqNumber(3));
         assert_eq!(
             dropped,
-            vec![
-                (SeqNumber(0), 0),
-                (SeqNumber(1), 1),
-                (SeqNumber(2), 2)
-            ]
+            vec![(SeqNumber(0), 0), (SeqNumber(1), 1), (SeqNumber(2), 2)]
         );
         assert_eq!(w.low(), SeqNumber(3));
         assert_eq!(w.high(), SeqNumber(11));

@@ -222,7 +222,11 @@ mod tests {
     }
 
     fn aqm_test(threshold: u32) -> AcceptanceTest {
-        AcceptanceTest::new(AcceptancePolicy::ActiveQueue, threshold, AqmConfig::default())
+        AcceptanceTest::new(
+            AcceptancePolicy::ActiveQueue,
+            threshold,
+            AqmConfig::default(),
+        )
     }
 
     #[test]
@@ -348,16 +352,16 @@ mod tests {
     #[test]
     fn cost_aware_sheds_large_requests_first() {
         let t = AcceptanceTest::new(
-            AcceptancePolicy::CostAware { reference_size: 100 },
+            AcceptancePolicy::CostAware {
+                reference_size: 100,
+            },
             50,
             AqmConfig::default(),
         );
         // Mid-ramp load; client 60 is not prioritized at time 0.
         let accepted = |size: usize| {
             (0..1000u64)
-                .filter(|&op| {
-                    t.accepts_request(id(60, op), size, 38, 38.0, SimTime::ZERO, 149)
-                })
+                .filter(|&op| t.accepts_request(id(60, op), size, 38, 38.0, SimTime::ZERO, 149))
                 .count()
         };
         let small = accepted(25); // quarter-weight requests
@@ -374,7 +378,9 @@ mod tests {
     fn cost_aware_matches_aqm_for_reference_size() {
         let aqm = aqm_test(50);
         let cost = AcceptanceTest::new(
-            AcceptancePolicy::CostAware { reference_size: 100 },
+            AcceptancePolicy::CostAware {
+                reference_size: 100,
+            },
             50,
             AqmConfig::default(),
         );

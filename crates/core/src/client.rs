@@ -258,12 +258,7 @@ impl IdemClient {
         }
     }
 
-    fn handle_reply(
-        &mut self,
-        ctx: &mut Context<'_, IdemMessage>,
-        id: RequestId,
-        result: Vec<u8>,
-    ) {
+    fn handle_reply(&mut self, ctx: &mut Context<'_, IdemMessage>, id: RequestId, result: Vec<u8>) {
         let matches = self.current.as_ref().is_some_and(|f| f.id == id);
         if matches {
             self.finish(ctx, OutcomeKind::Success, Some(result));
@@ -294,12 +289,8 @@ impl IdemClient {
                 }
                 RejectHandling::Optimistic(grace) => {
                     if flight.optimistic_timer.is_none() {
-                        let timer =
-                            ctx.set_timer(grace, IdemMessage::OptimisticTimer(id.op));
-                        self.current
-                            .as_mut()
-                            .expect("in flight")
-                            .optimistic_timer = Some(timer);
+                        let timer = ctx.set_timer(grace, IdemMessage::OptimisticTimer(id.op));
+                        self.current.as_mut().expect("in flight").optimistic_timer = Some(timer);
                     }
                 }
             }
@@ -358,10 +349,8 @@ impl Node<IdemMessage> for IdemClient {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, IdemMessage>, _id: TimerId, msg: IdemMessage) {
         match msg {
-            IdemMessage::BackoffTimer => {
-                if self.current.is_none() && !self.stopped {
-                    self.issue_next(ctx);
-                }
+            IdemMessage::BackoffTimer if self.current.is_none() && !self.stopped => {
+                self.issue_next(ctx);
             }
             IdemMessage::OptimisticTimer(op) => self.handle_optimistic_timer(ctx, op),
             IdemMessage::RetransmitTimer(op) => self.handle_retransmit_timer(ctx, op),

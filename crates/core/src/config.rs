@@ -122,7 +122,10 @@ impl IdemConfig {
     /// Theorem 6.1), if the reject threshold is zero, or if the checkpoint
     /// interval is zero.
     pub fn validate(&self) {
-        assert!(self.reject_threshold > 0, "reject threshold must be positive");
+        assert!(
+            self.reject_threshold > 0,
+            "reject threshold must be positive"
+        );
         assert!(
             self.window_size >= self.r_max(),
             "window size {} smaller than r_max {}; implicit GC would be unsound",
@@ -177,8 +180,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "reject threshold must be positive")]
     fn validate_rejects_zero_threshold() {
-        let mut cfg = IdemConfig::default();
-        cfg.reject_threshold = 0;
+        let cfg = IdemConfig {
+            reject_threshold: 0,
+            ..IdemConfig::default()
+        };
         cfg.validate();
     }
 }

@@ -135,9 +135,7 @@ impl Wire for IdemMessage {
             }
             IdemMessage::Forward(r) => r.wire_size(),
             IdemMessage::Fetch(_) => RequestId::WIRE_SIZE,
-            IdemMessage::ViewChange { window, .. } => {
-                8 + window.len() * WindowEntry::WIRE_SIZE
-            }
+            IdemMessage::ViewChange { window, .. } => 8 + window.len() * WindowEntry::WIRE_SIZE,
             IdemMessage::CheckpointRequest => 4,
             IdemMessage::Checkpoint(data) => data.wire_size(),
             IdemMessage::ForwardTimer(_)
@@ -214,6 +212,9 @@ mod tests {
             }],
         };
         assert_eq!(data.wire_size(), 8 + 100 + 12 + 8);
-        assert_eq!(IdemMessage::Checkpoint(data.clone()).wire_size(), data.wire_size());
+        assert_eq!(
+            IdemMessage::Checkpoint(data.clone()).wire_size(),
+            data.wire_size()
+        );
     }
 }

@@ -3,11 +3,11 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use idem_common::app::CostModel;
 use idem_common::{
     ClientId, Directory, QuorumTracker, Reply, Request, RequestId, SeqNumber, SeqWindow,
     StateMachine, View,
 };
-use idem_common::app::CostModel;
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
 use crate::acceptance::AcceptanceTest;
@@ -427,12 +427,7 @@ impl IdemReplica {
 
     // ---------------------------------------------------------- agreement
 
-    fn handle_require(
-        &mut self,
-        ctx: &mut Context<'_, IdemMessage>,
-        from: NodeId,
-        id: RequestId,
-    ) {
+    fn handle_require(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId, id: RequestId) {
         let Some(from_replica) = self.dir.replica_of(from) else {
             return;
         };
@@ -482,7 +477,12 @@ impl IdemReplica {
 
     /// Installs an instance at `sqn` led by this replica in the current
     /// view and multicasts the proposal.
-    fn bind_and_propose(&mut self, ctx: &mut Context<'_, IdemMessage>, id: RequestId, sqn: SeqNumber) {
+    fn bind_and_propose(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        id: RequestId,
+        sqn: SeqNumber,
+    ) {
         let mut votes = QuorumTracker::new(self.majority());
         let committed = votes.record(self.me) || votes.reached();
         let executed = self.executed_already(id);
@@ -515,7 +515,12 @@ impl IdemReplica {
     /// rejoin the old view when it reconnects and observes that view still
     /// making progress at `f + 1` distinct replicas (nobody else will help
     /// complete its solo view change).
-    fn observe_live_view(&mut self, ctx: &mut Context<'_, IdemMessage>, v: View, sender: idem_common::ReplicaId) -> bool {
+    fn observe_live_view(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        v: View,
+        sender: idem_common::ReplicaId,
+    ) -> bool {
         let Some(target) = self.vc_target else {
             return false;
         };
@@ -819,7 +824,11 @@ impl IdemReplica {
 
     /// Post-execution bookkeeping: periodic checkpointing.
     fn after_execute(&mut self, ctx: &mut Context<'_, IdemMessage>) {
-        if self.next_exec.0 % self.cfg.checkpoint_interval == 0 {
+        if self
+            .next_exec
+            .0
+            .is_multiple_of(self.cfg.checkpoint_interval)
+        {
             self.take_checkpoint(ctx);
         }
     }
@@ -848,7 +857,7 @@ impl IdemReplica {
         // (the proof of Theorem 6.2 relies on exactly this rule).
         let last = &self.last_executed;
         self.store
-            .retain(|id, _| !last.get(&id.client.0).is_some_and(|(op, _)| *op >= id.op));
+            .retain(|id, _| last.get(&id.client.0).is_none_or(|(op, _)| *op < id.op));
     }
 
     fn handle_checkpoint_request(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId) {
@@ -908,7 +917,7 @@ impl IdemReplica {
     /// to `sqn − r_max`, so the window may advance there.
     fn maybe_advance_window(&mut self, ctx: &mut Context<'_, IdemMessage>, sqn: SeqNumber) {
         let r_max = self.cfg.r_max();
-        if sqn.0 + 1 <= r_max {
+        if sqn.0 < r_max {
             return;
         }
         let new_low = SeqNumber(sqn.0 + 1 - r_max);
@@ -1042,7 +1051,7 @@ impl IdemReplica {
         // Joining rule: f+1 replicas demanding the change is proof the view
         // is dead even if our own timer has not fired yet.
         let senders = self.vc_store[&target.0].len() as u32;
-        if senders >= self.majority() && self.vc_target.map_or(true, |t| t < target) {
+        if senders >= self.majority() && self.vc_target.is_none_or(|t| t < target) {
             self.start_view_change(ctx, target);
         }
         self.check_new_view(ctx, target);
@@ -1123,7 +1132,14 @@ impl IdemReplica {
                 self.proposed.insert(id, sqn);
                 self.stats.proposals_sent += 1;
                 let peers = self.peers();
-                ctx.multicast(peers, IdemMessage::Propose { id, sqn, view: target });
+                ctx.multicast(
+                    peers,
+                    IdemMessage::Propose {
+                        id,
+                        sqn,
+                        view: target,
+                    },
+                );
             }
             self.next_propose = self.next_propose.max(SeqNumber(max + 1));
         }
@@ -1150,12 +1166,8 @@ impl Node<IdemMessage> for IdemReplica {
         match msg {
             IdemMessage::Request(req) => self.handle_request(ctx, req),
             IdemMessage::Require(id) => self.handle_require(ctx, from, id),
-            IdemMessage::Propose { id, sqn, view } => {
-                self.handle_propose(ctx, from, id, sqn, view)
-            }
-            IdemMessage::Commit { id, sqn, view } => {
-                self.handle_commit(ctx, from, id, sqn, view)
-            }
+            IdemMessage::Propose { id, sqn, view } => self.handle_propose(ctx, from, id, sqn, view),
+            IdemMessage::Commit { id, sqn, view } => self.handle_commit(ctx, from, id, sqn, view),
             IdemMessage::Forward(req) => self.handle_forward(ctx, req),
             IdemMessage::Fetch(id) => self.handle_fetch(ctx, from, id),
             IdemMessage::ViewChange { target, window } => {

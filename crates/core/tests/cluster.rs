@@ -149,13 +149,7 @@ fn replicas_converge_to_identical_state() {
     let digests: Vec<u64> = c
         .replicas
         .iter()
-        .map(|&r| {
-            c.sim
-                .node_as::<IdemReplica>(r)
-                .unwrap()
-                .app()
-                .snapshot()
-        })
+        .map(|&r| c.sim.node_as::<IdemReplica>(r).unwrap().app().snapshot())
         .map(|snap| {
             let mut kv = KvStore::new();
             kv.restore(&snap);
@@ -244,7 +238,10 @@ fn follower_crash_does_not_interrupt_service() {
     c.sim.crash_now(c.replicas[2]); // follower in view 0
     c.sim.run_for(Duration::from_secs(3));
     let after = successes(&c.outcomes);
-    assert!(after > before + 100, "throughput collapsed: {before} -> {after}");
+    assert!(
+        after > before + 100,
+        "throughput collapsed: {before} -> {after}"
+    );
     // No view change should have been necessary.
     let r0 = c.sim.node_as::<IdemReplica>(c.replicas[0]).unwrap();
     assert_eq!(r0.view().0, 0);
@@ -265,7 +262,10 @@ fn repeated_leader_crashes_are_survivable_with_f2() {
     c.sim.crash_now(c.replicas[1]); // leader of view 1
     c.sim.run_for(Duration::from_secs(8));
     let after = successes(&c.outcomes);
-    assert!(after > mid + 50, "second view change failed: {mid} -> {after}");
+    assert!(
+        after > mid + 50,
+        "second view change failed: {mid} -> {after}"
+    );
     for &r in &c.replicas[2..] {
         assert!(c.sim.node_as::<IdemReplica>(r).unwrap().view().0 >= 2);
     }
@@ -314,8 +314,7 @@ fn forwarding_recovers_bodies_blocked_between_client_and_replica() {
     // Replica 2 executed everything despite never hearing from the client.
     assert_eq!(replica2.stats().executed, 100);
     assert_eq!(replica2.stats().requests_received, 0);
-    let got_bodies =
-        replica2.stats().fetches_sent + replica2.stats().accepted_forward;
+    let got_bodies = replica2.stats().fetches_sent + replica2.stats().accepted_forward;
     assert!(got_bodies > 0, "bodies must arrive via fetch or forward");
 }
 
@@ -452,5 +451,9 @@ fn deterministic_replay_with_same_seed() {
         (events, bytes, successes(&c.outcomes))
     };
     assert_eq!(run(42), run(42));
-    assert_ne!(run(42).1, run(43).1, "different seeds should differ in jitter");
+    assert_ne!(
+        run(42).1,
+        run(43).1,
+        "different seeds should differ in jitter"
+    );
 }

@@ -23,7 +23,12 @@ impl Node<IdemMessage> for Probe {
         self.received.borrow_mut().push((from, msg));
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, IdemMessage>, _id: idem_simnet::TimerId, _msg: IdemMessage) {
+    fn on_timer(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        _id: idem_simnet::TimerId,
+        _msg: IdemMessage,
+    ) {
         // One drained script entry per tick; keep ticking so entries pushed
         // between run segments are picked up.
         let next = self.script.borrow_mut().pop();
@@ -49,7 +54,7 @@ struct Rig {
     client_log: Log,
     /// Push `(target, message)` pairs here; probes send them in reverse
     /// push order, one every 10 µs.
-    scripts: [Rc<RefCell<Vec<(NodeId, IdemMessage)>>>; 3],
+    scripts: [Log; 3],
 }
 
 /// Builds a rig where the real replica has the given id within a 3-replica
@@ -68,14 +73,14 @@ fn rig(cfg: IdemConfig, me: u32) -> Rig {
     let dir = Directory::new(replicas.clone(), clients.clone());
     let mut logs = Vec::new();
     let mut scripts = Vec::new();
-    for i in 0..4usize {
+    for (i, &node) in nodes.iter().enumerate() {
         if i == me as usize {
             continue;
         }
         let log: Log = Rc::new(RefCell::new(Vec::new()));
         let script = Rc::new(RefCell::new(Vec::new()));
         sim.install_node(
-            nodes[i],
+            node,
             Box::new(Probe {
                 received: log.clone(),
                 script: script.clone(),
@@ -124,7 +129,10 @@ fn leader_proposes_only_after_f_plus_one_requires() {
         .push((target, IdemMessage::Require(id)));
     r.sim.run_for(Duration::from_millis(2));
     assert_eq!(
-        count(&r.peer_logs[1], |m| matches!(m, IdemMessage::Propose { .. })),
+        count(&r.peer_logs[1], |m| matches!(
+            m,
+            IdemMessage::Propose { .. }
+        )),
         0,
         "one REQUIRE must not suffice"
     );
@@ -133,12 +141,18 @@ fn leader_proposes_only_after_f_plus_one_requires() {
         .push((target, IdemMessage::Require(id)));
     r.sim.run_for(Duration::from_millis(2));
     assert_eq!(
-        count(&r.peer_logs[0], |m| matches!(m, IdemMessage::Propose { .. })),
+        count(&r.peer_logs[0], |m| matches!(
+            m,
+            IdemMessage::Propose { .. }
+        )),
         1,
         "f+1 distinct REQUIREs must trigger the proposal"
     );
     assert_eq!(
-        count(&r.peer_logs[1], |m| matches!(m, IdemMessage::Propose { .. })),
+        count(&r.peer_logs[1], |m| matches!(
+            m,
+            IdemMessage::Propose { .. }
+        )),
         1
     );
 }
@@ -155,7 +169,10 @@ fn duplicate_requires_from_same_replica_do_not_count_twice() {
     }
     r.sim.run_for(Duration::from_millis(2));
     assert_eq!(
-        count(&r.peer_logs[1], |m| matches!(m, IdemMessage::Propose { .. })),
+        count(&r.peer_logs[1], |m| matches!(
+            m,
+            IdemMessage::Propose { .. }
+        )),
         0,
         "five REQUIREs from one replica are still one endorsement"
     );
@@ -219,7 +236,11 @@ fn forward_answers_fetch_and_unblocks_execution() {
         .push((target, IdemMessage::Forward(req)));
     r.sim.run_for(Duration::from_millis(2));
     let replica = r.sim.node_as::<IdemReplica>(r.replica).unwrap();
-    assert_eq!(replica.stats().executed, 1, "body arrival must unblock execution");
+    assert_eq!(
+        replica.stats().executed,
+        1,
+        "body arrival must unblock execution"
+    );
     assert_eq!(replica.next_exec(), SeqNumber(1));
 }
 
@@ -292,8 +313,7 @@ fn stale_view_proposals_are_ignored() {
         },
     ));
     r.sim.run_for(Duration::from_millis(2));
-    let commits_before =
-        count(&r.peer_logs[0], |m| matches!(m, IdemMessage::Commit { .. }));
+    let commits_before = count(&r.peer_logs[0], |m| matches!(m, IdemMessage::Commit { .. }));
     assert!(commits_before >= 1, "view-1 proposal must be processed");
     // Old-view proposal from the old leader (node 0) is ignored.
     r.scripts[0].borrow_mut().push((
@@ -305,9 +325,11 @@ fn stale_view_proposals_are_ignored() {
         },
     ));
     r.sim.run_for(Duration::from_millis(2));
-    let commits_after =
-        count(&r.peer_logs[0], |m| matches!(m, IdemMessage::Commit { .. }));
-    assert_eq!(commits_before, commits_after, "stale proposal must be dropped");
+    let commits_after = count(&r.peer_logs[0], |m| matches!(m, IdemMessage::Commit { .. }));
+    assert_eq!(
+        commits_before, commits_after,
+        "stale proposal must be dropped"
+    );
 }
 
 #[test]
@@ -348,12 +370,25 @@ fn reject_goes_only_to_the_client() {
     let target = r.replica;
     let a = Request::new(RequestId::new(ClientId(0), OpNumber(1)), vec![1]);
     let b = Request::new(RequestId::new(ClientId(0), OpNumber(2)), vec![2]);
-    r.scripts[2].borrow_mut().push((target, IdemMessage::Request(b)));
-    r.scripts[2].borrow_mut().push((target, IdemMessage::Request(a)));
+    r.scripts[2]
+        .borrow_mut()
+        .push((target, IdemMessage::Request(b)));
+    r.scripts[2]
+        .borrow_mut()
+        .push((target, IdemMessage::Request(a)));
     r.sim.run_for(Duration::from_millis(2));
-    assert_eq!(count(&r.client_log, |m| matches!(m, IdemMessage::Reject(_))), 1);
-    assert_eq!(count(&r.peer_logs[0], |m| matches!(m, IdemMessage::Reject(_))), 0);
-    assert_eq!(count(&r.peer_logs[1], |m| matches!(m, IdemMessage::Reject(_))), 0);
+    assert_eq!(
+        count(&r.client_log, |m| matches!(m, IdemMessage::Reject(_))),
+        1
+    );
+    assert_eq!(
+        count(&r.peer_logs[0], |m| matches!(m, IdemMessage::Reject(_))),
+        0
+    );
+    assert_eq!(
+        count(&r.peer_logs[1], |m| matches!(m, IdemMessage::Reject(_))),
+        0
+    );
 }
 
 #[test]
@@ -388,7 +423,11 @@ fn new_leader_merges_windows_and_fills_gaps_with_noops() {
     let replica = r.sim.node_as::<IdemReplica>(r.replica).unwrap();
     assert_eq!(replica.view(), View(1), "new leader must enter view 1");
     assert!(!replica.in_view_change());
-    assert_eq!(replica.stats().noops_proposed, 1, "gap at sqn 1 → one no-op");
+    assert_eq!(
+        replica.stats().noops_proposed,
+        1,
+        "gap at sqn 1 → one no-op"
+    );
 
     // Each probe received three re-proposals: idA@0, noop@1, idB@2.
     let proposals: Vec<(SeqNumber, RequestId)> = r.peer_logs[0]
@@ -442,9 +481,7 @@ fn view_change_merge_prefers_highest_view_binding() {
         .borrow()
         .iter()
         .filter_map(|(_, m)| match m {
-            IdemMessage::Propose { id, sqn, view }
-                if *view == View(2) && *sqn == SeqNumber(0) =>
-            {
+            IdemMessage::Propose { id, sqn, view } if *view == View(2) && *sqn == SeqNumber(0) => {
                 Some(*id)
             }
             _ => None,

@@ -7,7 +7,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use idem_common::driver::{ClientApp, OperationOutcome, OutcomeKind};
-use idem_common::{ClientId, Directory, QuorumSet, ReplicaId};
+use idem_common::{ClientId, Directory, ReplicaId};
 use idem_core::{ClientConfig, IdemClient, IdemConfig, IdemMessage, IdemReplica};
 use idem_kv::{KvStore, Workload, WorkloadSpec};
 use idem_simnet::{NodeId, Simulation};

@@ -2,76 +2,256 @@
 //!
 //! Usage:
 //! ```text
-//! repro <experiment>... [--full] [--out DIR]
+//! repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--bench-out FILE]
 //!
 //! experiments: fig2 fig3 fig6 fig7 table1 fig8 fig9a fig9b fig10 fig10d
-//!              all calibrate
-//! --full       paper-scale run lengths and repetitions (default: quick)
-//! --out DIR    also write the CSV series under DIR (default: results/)
+//!              strategies all calibrate
+//! --full            paper-scale run lengths and repetitions (default: quick)
+//! --out DIR         also write the CSV series under DIR (default: results/)
+//! --jobs N          worker threads for the experiment sweep (default: the
+//!                   host's available parallelism); results are
+//!                   byte-identical for every N
+//! --bench-out FILE  where to write the wall-time/events-per-second summary
+//!                   (default: BENCH_repro.json)
 //! ```
 
 use std::time::{Duration, Instant};
 
 use idem_harness::experiments::{self, Effort};
 use idem_harness::report::ExperimentReport;
-use idem_harness::scenario::Scenario;
+use idem_harness::sweep::SweepRunner;
 use idem_harness::Protocol;
+use idem_harness::Scenario;
 
 const ALL: [&str; 11] = [
-    "fig2", "fig3", "fig6", "fig7", "table1", "fig8", "fig9a", "fig9b", "fig10", "fig10d",
+    "fig2",
+    "fig3",
+    "fig6",
+    "fig7",
+    "table1",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig10d",
     "strategies",
 ];
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "results".to_string());
-    let mut wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
-        .cloned()
-        .collect();
-    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ALL.iter().map(|s| s.to_string()).collect();
+/// Parsed command line.
+struct Args {
+    full: bool,
+    out_dir: String,
+    jobs: Option<usize>,
+    bench_out: String,
+    wanted: Vec<String>,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--bench-out FILE]\n\
+         experiments: {} all calibrate",
+        ALL.join(" ")
+    )
+}
+
+/// Parses the command line strictly: every `--flag` must be known, flags
+/// taking a value (`--out`, `--jobs`, `--bench-out`) accept both
+/// `--flag VALUE` and `--flag=VALUE`, and positional arguments must name
+/// known experiments.
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        full: false,
+        out_dir: "results".to_string(),
+        jobs: None,
+        bench_out: "BENCH_repro.json".to_string(),
+        wanted: Vec::new(),
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+            inline_value
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| format!("flag '{flag}' requires a value"))
+        };
+        match flag {
+            "--full" => {
+                if inline_value.is_some() {
+                    return Err("flag '--full' takes no value".to_string());
+                }
+                parsed.full = true;
+            }
+            "--out" => parsed.out_dir = take_value(&mut it)?,
+            "--bench-out" => parsed.bench_out = take_value(&mut it)?,
+            "--jobs" => {
+                let value = take_value(&mut it)?;
+                let jobs: usize = value.parse().map_err(|_| {
+                    format!("invalid --jobs value '{value}' (expected a positive integer)")
+                })?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                parsed.jobs = Some(jobs);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'\n{}", usage()));
+            }
+            name => {
+                if name != "all" && name != "calibrate" && !ALL.contains(&name) {
+                    return Err(format!("unknown experiment '{name}'\n{}", usage()));
+                }
+                parsed.wanted.push(name.to_string());
+            }
+        }
     }
-    let effort = if full { Effort::full() } else { Effort::quick() };
+    if parsed.wanted.is_empty() || parsed.wanted.iter().any(|w| w == "all") {
+        parsed.wanted = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(parsed)
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return;
+    }
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let runner = match args.jobs {
+        Some(jobs) => SweepRunner::new(jobs),
+        None => SweepRunner::from_available_parallelism(),
+    };
+    let effort = if args.full {
+        Effort::full()
+    } else {
+        Effort::quick()
+    };
     eprintln!(
-        "running {} experiment(s), {} mode, CSVs under {}/",
-        wanted.len(),
-        if full { "full (paper-scale)" } else { "quick" },
-        out_dir
+        "running {} experiment(s), {} mode, {} worker(s), CSVs under {}/",
+        args.wanted.len(),
+        if args.full {
+            "full (paper-scale)"
+        } else {
+            "quick"
+        },
+        runner.jobs(),
+        args.out_dir
     );
-    for name in &wanted {
+    let mut bench_entries: Vec<BenchEntry> = Vec::new();
+    let total_start = Instant::now();
+    for name in &args.wanted {
         let start = Instant::now();
         let report = match name.as_str() {
-            "fig2" => experiments::fig2::run(effort),
-            "fig3" => experiments::fig3::run(effort),
-            "fig6" => experiments::fig6::run(effort),
-            "fig7" => experiments::fig7::run(effort),
-            "table1" => experiments::table1::run(effort),
-            "fig8" => experiments::fig8::run(effort),
-            "fig9a" => experiments::fig9::run_misconfigured(effort),
-            "fig9b" => experiments::fig9::run_extreme(effort),
-            "fig10" => experiments::fig10::run(effort),
-            "fig10d" => experiments::fig10d::run(effort),
-            "strategies" => experiments::strategies::run(effort),
+            "fig2" => experiments::fig2::run(effort, &runner),
+            "fig3" => experiments::fig3::run(effort, &runner),
+            "fig6" => experiments::fig6::run(effort, &runner),
+            "fig7" => experiments::fig7::run(effort, &runner),
+            "table1" => experiments::table1::run(effort, &runner),
+            "fig8" => experiments::fig8::run(effort, &runner),
+            "fig9a" => experiments::fig9::run_misconfigured(effort, &runner),
+            "fig9b" => experiments::fig9::run_extreme(effort, &runner),
+            "fig10" => experiments::fig10::run(effort, &runner),
+            "fig10d" => experiments::fig10d::run(effort, &runner),
+            "strategies" => experiments::strategies::run(effort, &runner),
             "calibrate" => {
                 calibrate();
                 continue;
             }
-            other => {
-                eprintln!("unknown experiment '{other}'; known: {ALL:?} all calibrate");
-                std::process::exit(2);
-            }
+            other => unreachable!("parser admitted unknown experiment '{other}'"),
         };
-        emit(&report, &out_dir);
-        eprintln!("[{name} done in {:.1?}]\n", start.elapsed());
+        let wall = start.elapsed();
+        let stats = runner.take_stats();
+        emit(&report, &args.out_dir);
+        bench_entries.push(BenchEntry {
+            name: name.clone(),
+            wall,
+            cells: stats.cells,
+            events: stats.events,
+            cell_cpu: stats.busy,
+        });
+        eprintln!(
+            "[{name} done in {:.1?}: {} cell(s), {} sim events, {:.0} events/s]\n",
+            wall,
+            stats.cells,
+            stats.events,
+            stats.events_per_sec(wall),
+        );
     }
+    if !bench_entries.is_empty() {
+        let json = render_bench_json(
+            &bench_entries,
+            args.full,
+            runner.jobs(),
+            total_start.elapsed(),
+        );
+        match std::fs::write(&args.bench_out, &json) {
+            Ok(()) => eprintln!("wrote bench summary to {}", args.bench_out),
+            Err(e) => eprintln!("warning: could not write {}: {e}", args.bench_out),
+        }
+    }
+}
+
+/// Per-experiment performance record for `BENCH_repro.json`.
+struct BenchEntry {
+    name: String,
+    wall: Duration,
+    cells: u64,
+    events: u64,
+    cell_cpu: Duration,
+}
+
+/// Renders the bench summary as JSON (hand-rolled: the workspace has no
+/// serde, and the schema is flat).
+fn render_bench_json(
+    entries: &[BenchEntry],
+    full: bool,
+    jobs: usize,
+    total_wall: Duration,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if full { "full" } else { "quick" }
+    ));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let events_per_sec = e.events as f64 / e.wall.as_secs_f64().max(1e-9);
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"cells\": {}, \"sim_events\": {}, \
+             \"events_per_sec\": {:.0}, \"cell_cpu_s\": {:.3}}}{}\n",
+            e.name,
+            e.wall.as_secs_f64(),
+            e.cells,
+            e.events,
+            events_per_sec,
+            e.cell_cpu.as_secs_f64(),
+            if i + 1 == entries.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    let total_events: u64 = entries.iter().map(|e| e.events).sum();
+    let total_cells: u64 = entries.iter().map(|e| e.cells).sum();
+    out.push_str(&format!(
+        "  \"total\": {{\"wall_s\": {:.3}, \"cells\": {total_cells}, \"sim_events\": {total_events}, \
+         \"events_per_sec\": {:.0}}}\n",
+        total_wall.as_secs_f64(),
+        total_events as f64 / total_wall.as_secs_f64().max(1e-9),
+    ));
+    out.push_str("}\n");
+    out
 }
 
 fn emit(report: &ExperimentReport, out_dir: &str) {

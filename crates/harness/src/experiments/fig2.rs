@@ -6,21 +6,22 @@
 //! 600 % of the normal latency at 4× overload.
 
 use crate::cluster::Protocol;
-use crate::experiments::{measure_factor, Effort};
+use crate::experiments::{measure_grid, Effort};
 use crate::report::{fmt_kreq, fmt_ms, render_csv, render_table, ExperimentReport};
+use crate::sweep::SweepRunner;
 
 /// The client-load factors swept (1.0 = 50 clients = saturation).
 pub const FACTORS: [f64; 7] = [0.2, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
 
 /// Runs the experiment.
-pub fn run(effort: Effort) -> ExperimentReport {
-    let protocol = Protocol::paxos();
+pub fn run(effort: Effort, runner: &SweepRunner) -> ExperimentReport {
+    let points: Vec<(Protocol, f64)> = FACTORS.iter().map(|&f| (Protocol::paxos(), f)).collect();
+    let measured = measure_grid(runner, &points, effort);
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     let mut normal_latency = f64::NAN;
     let mut overload_latency = f64::NAN;
-    for &factor in &FACTORS {
-        let m = measure_factor(&protocol, factor, effort);
+    for (&factor, m) in FACTORS.iter().zip(&measured) {
         if factor == 0.5 {
             normal_latency = m.latency_mean_ms;
         }
@@ -60,7 +61,13 @@ pub fn run(effort: Effort) -> ExperimentReport {
         csv: vec![(
             "fig2_paxos.csv".into(),
             render_csv(
-                &["load_factor", "throughput", "latency_ms", "std_ms", "p99_ms"],
+                &[
+                    "load_factor",
+                    "throughput",
+                    "latency_ms",
+                    "std_ms",
+                    "p99_ms",
+                ],
                 &csv_rows,
             ),
         )],

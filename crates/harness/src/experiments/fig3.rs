@@ -11,6 +11,7 @@ use crate::cluster::Protocol;
 use crate::experiments::{reject_downtime_s, Effort};
 use crate::report::{downsample, render_csv, render_table, sparkline, ExperimentReport};
 use crate::scenario::{clients_for_factor, CrashPlan, Scenario};
+use crate::sweep::{Cell, SweepRunner};
 
 /// Overload factor during the run.
 pub const LOAD_FACTOR: f64 = 2.0;
@@ -19,7 +20,7 @@ pub const LOAD_FACTOR: f64 = 2.0;
 pub const LBR_THRESHOLD: u32 = 30;
 
 /// Runs the experiment.
-pub fn run(effort: Effort) -> ExperimentReport {
+pub fn run(effort: Effort, runner: &SweepRunner) -> ExperimentReport {
     // Timeline experiments need enough runway around the crash.
     let duration = effort.duration.max(Duration::from_secs(10)) + Duration::from_secs(8);
     let warmup = effort.warmup;
@@ -34,7 +35,8 @@ pub fn run(effort: Effort) -> ExperimentReport {
         at: crash_at,
     });
     scenario.warmup = warmup;
-    let result = scenario.run();
+    let mut results = runner.run_cells(vec![Cell::timed(scenario)]);
+    let result = results.remove(0);
 
     let series = result.reject_throughput_series();
     let latency_series = result.reject_latency_series_ms();

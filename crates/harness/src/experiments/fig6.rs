@@ -6,8 +6,9 @@
 //! mechanism engages (~43 k req/s at RT = 50).
 
 use crate::cluster::Protocol;
-use crate::experiments::{measure_factor, Effort};
+use crate::experiments::{measure_grid, Effort};
 use crate::report::{fmt_kreq, fmt_ms, render_csv, render_table, ExperimentReport};
+use crate::sweep::SweepRunner;
 
 /// The client-load factors swept.
 pub const FACTORS: [f64; 7] = [0.2, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
@@ -23,34 +24,36 @@ pub fn systems() -> Vec<Protocol> {
 }
 
 /// Runs the experiment.
-pub fn run(effort: Effort) -> ExperimentReport {
+pub fn run(effort: Effort, runner: &SweepRunner) -> ExperimentReport {
+    let points: Vec<(Protocol, f64)> = systems()
+        .into_iter()
+        .flat_map(|p| FACTORS.iter().map(move |&f| (p.clone(), f)))
+        .collect();
+    let measured = measure_grid(runner, &points, effort);
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     let mut idem_peak_latency: f64 = 0.0;
     let mut worst_baseline_latency: f64 = 0.0;
-    for protocol in systems() {
-        for &factor in &FACTORS {
-            let m = measure_factor(&protocol, factor, effort);
-            if protocol.name() == "IDEM" {
-                idem_peak_latency = idem_peak_latency.max(m.latency_mean_ms);
-            } else if protocol.name() != "IDEM_noPR" {
-                worst_baseline_latency = worst_baseline_latency.max(m.latency_mean_ms);
-            }
-            rows.push(vec![
-                protocol.name().to_string(),
-                format!("{factor}x"),
-                fmt_kreq(m.throughput),
-                fmt_ms(m.latency_mean_ms),
-                fmt_ms(m.latency_std_ms),
-            ]);
-            csv_rows.push(vec![
-                protocol.name().to_string(),
-                factor.to_string(),
-                m.throughput.to_string(),
-                m.latency_mean_ms.to_string(),
-                m.latency_std_ms.to_string(),
-            ]);
+    for ((protocol, factor), m) in points.iter().zip(&measured) {
+        if protocol.name() == "IDEM" {
+            idem_peak_latency = idem_peak_latency.max(m.latency_mean_ms);
+        } else if protocol.name() != "IDEM_noPR" {
+            worst_baseline_latency = worst_baseline_latency.max(m.latency_mean_ms);
         }
+        rows.push(vec![
+            protocol.name().to_string(),
+            format!("{factor}x"),
+            fmt_kreq(m.throughput),
+            fmt_ms(m.latency_mean_ms),
+            fmt_ms(m.latency_std_ms),
+        ]);
+        csv_rows.push(vec![
+            protocol.name().to_string(),
+            factor.to_string(),
+            m.throughput.to_string(),
+            m.latency_mean_ms.to_string(),
+            m.latency_std_ms.to_string(),
+        ]);
     }
     let body = format!(
         "{}\nIDEM peak latency {} ms vs worst baseline latency {} ms \
@@ -72,7 +75,13 @@ pub fn run(effort: Effort) -> ExperimentReport {
         csv: vec![(
             "fig6_comparison.csv".into(),
             render_csv(
-                &["system", "load_factor", "throughput", "latency_ms", "std_ms"],
+                &[
+                    "system",
+                    "load_factor",
+                    "throughput",
+                    "latency_ms",
+                    "std_ms",
+                ],
                 &csv_rows,
             ),
         )],

@@ -6,19 +6,20 @@
 //! clients back off.
 
 use crate::cluster::Protocol;
-use crate::experiments::{measure_factor, Effort};
+use crate::experiments::{measure_grid, Effort};
 use crate::report::{fmt_kreq, fmt_ms, fmt_pct, render_csv, render_table, ExperimentReport};
+use crate::sweep::SweepRunner;
 
 /// Client-load factors (1x = 50 clients).
 pub const FACTORS: [f64; 5] = [1.0, 2.0, 4.0, 6.0, 8.0];
 
 /// Runs the experiment.
-pub fn run(effort: Effort) -> ExperimentReport {
-    let protocol = Protocol::idem();
+pub fn run(effort: Effort, runner: &SweepRunner) -> ExperimentReport {
+    let points: Vec<(Protocol, f64)> = FACTORS.iter().map(|&f| (Protocol::idem(), f)).collect();
+    let measured = measure_grid(runner, &points, effort);
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for &factor in &FACTORS {
-        let m = measure_factor(&protocol, factor, effort);
+    for (&factor, m) in FACTORS.iter().zip(&measured) {
         rows.push(vec![
             format!("{factor}x"),
             fmt_kreq(m.throughput),

@@ -6,8 +6,9 @@
 //! configurations behave identically.
 
 use crate::cluster::Protocol;
-use crate::experiments::{measure_factor, Effort};
+use crate::experiments::{measure_grid, Effort};
 use crate::report::{fmt_kreq, fmt_ms, render_csv, render_table, ExperimentReport};
+use crate::sweep::SweepRunner;
 
 /// The thresholds swept.
 pub const THRESHOLDS: [u32; 3] = [20, 50, 75];
@@ -15,28 +16,33 @@ pub const THRESHOLDS: [u32; 3] = [20, 50, 75];
 pub const FACTORS: [f64; 5] = [1.0, 2.0, 4.0, 6.0, 8.0];
 
 /// Runs the experiment.
-pub fn run(effort: Effort) -> ExperimentReport {
+pub fn run(effort: Effort, runner: &SweepRunner) -> ExperimentReport {
+    let grid: Vec<(u32, f64)> = THRESHOLDS
+        .iter()
+        .flat_map(|&rt| FACTORS.iter().map(move |&f| (rt, f)))
+        .collect();
+    let points: Vec<(Protocol, f64)> = grid
+        .iter()
+        .map(|&(rt, f)| (Protocol::idem_with_rt(rt), f))
+        .collect();
+    let measured = measure_grid(runner, &points, effort);
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for &rt in &THRESHOLDS {
-        let protocol = Protocol::idem_with_rt(rt);
-        for &factor in &FACTORS {
-            let m = measure_factor(&protocol, factor, effort);
-            rows.push(vec![
-                format!("RT={rt}"),
-                format!("{factor}x"),
-                fmt_kreq(m.throughput),
-                fmt_ms(m.latency_mean_ms),
-                fmt_ms(m.latency_std_ms),
-            ]);
-            csv_rows.push(vec![
-                rt.to_string(),
-                factor.to_string(),
-                m.throughput.to_string(),
-                m.latency_mean_ms.to_string(),
-                m.latency_std_ms.to_string(),
-            ]);
-        }
+    for (&(rt, factor), m) in grid.iter().zip(&measured) {
+        rows.push(vec![
+            format!("RT={rt}"),
+            format!("{factor}x"),
+            fmt_kreq(m.throughput),
+            fmt_ms(m.latency_mean_ms),
+            fmt_ms(m.latency_std_ms),
+        ]);
+        csv_rows.push(vec![
+            rt.to_string(),
+            factor.to_string(),
+            m.throughput.to_string(),
+            m.latency_mean_ms.to_string(),
+            m.latency_std_ms.to_string(),
+        ]);
     }
     let body = render_table(
         &["threshold", "load", "tput [req/s]", "lat [ms]", "std [ms]"],
@@ -52,7 +58,13 @@ pub fn run(effort: Effort) -> ExperimentReport {
         csv: vec![(
             "fig8_thresholds.csv".into(),
             render_csv(
-                &["reject_threshold", "load_factor", "throughput", "latency_ms", "std_ms"],
+                &[
+                    "reject_threshold",
+                    "load_factor",
+                    "throughput",
+                    "latency_ms",
+                    "std_ms",
+                ],
                 &csv_rows,
             ),
         )],

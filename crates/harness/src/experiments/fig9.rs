@@ -2,8 +2,9 @@
 //! (9a) and extreme load (9b).
 
 use crate::cluster::Protocol;
-use crate::experiments::{measure_factor, Effort};
+use crate::experiments::{measure_grid, Effort};
 use crate::report::{fmt_kreq, fmt_ms, render_csv, render_table, ExperimentReport};
+use crate::sweep::SweepRunner;
 
 /// Load factors of the misconfiguration experiment (Figure 9a).
 pub const MISCONFIG_FACTORS: [f64; 5] = [1.0, 2.0, 4.0, 6.0, 8.0];
@@ -13,12 +14,15 @@ pub const EXTREME_FACTORS: [f64; 5] = [2.0, 4.0, 6.0, 10.0, 14.0];
 pub const MISCONFIG_RT: u32 = 100;
 
 /// Runs Figure 9a: reject threshold far above what the system can handle.
-pub fn run_misconfigured(effort: Effort) -> ExperimentReport {
-    let protocol = Protocol::idem_with_rt(MISCONFIG_RT);
+pub fn run_misconfigured(effort: Effort, runner: &SweepRunner) -> ExperimentReport {
+    let points: Vec<(Protocol, f64)> = MISCONFIG_FACTORS
+        .iter()
+        .map(|&f| (Protocol::idem_with_rt(MISCONFIG_RT), f))
+        .collect();
+    let measured = measure_grid(runner, &points, effort);
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for &factor in &MISCONFIG_FACTORS {
-        let m = measure_factor(&protocol, factor, effort);
+    for (&factor, m) in MISCONFIG_FACTORS.iter().zip(&measured) {
         rows.push(vec![
             format!("{factor}x"),
             fmt_kreq(m.throughput),
@@ -50,12 +54,15 @@ pub fn run_misconfigured(effort: Effort) -> ExperimentReport {
 }
 
 /// Runs Figure 9b: extreme overload up to 14× the baseline client load.
-pub fn run_extreme(effort: Effort) -> ExperimentReport {
-    let protocol = Protocol::idem();
+pub fn run_extreme(effort: Effort, runner: &SweepRunner) -> ExperimentReport {
+    let points: Vec<(Protocol, f64)> = EXTREME_FACTORS
+        .iter()
+        .map(|&f| (Protocol::idem(), f))
+        .collect();
+    let measured = measure_grid(runner, &points, effort);
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for &factor in &EXTREME_FACTORS {
-        let m = measure_factor(&protocol, factor, effort);
+    for (&factor, m) in EXTREME_FACTORS.iter().zip(&measured) {
         rows.push(vec![
             format!("{factor}x"),
             fmt_kreq(m.throughput),

@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use crate::recorder::RunMetrics;
 use crate::scenario::{clients_for_factor, Scenario};
+use crate::sweep::{Cell, SweepRunner};
 use crate::Protocol;
 
 /// Run-length / repetition preset.
@@ -80,19 +81,34 @@ pub(crate) fn average(metrics: &[RunMetrics]) -> RunMetrics {
     }
 }
 
-/// Runs `protocol` at the given client-load factor, averaged over the
-/// effort's repetitions.
-pub(crate) fn measure_factor(protocol: &Protocol, factor: f64, effort: Effort) -> RunMetrics {
-    let clients = clients_for_factor(factor);
-    let metrics: Vec<RunMetrics> = (0..effort.repetitions)
-        .map(|rep| {
-            let mut scenario =
-                Scenario::new(protocol.clone(), clients, effort.duration).with_seed(1000 + rep as u64);
+/// Expands `(protocol, client-load factor)` grid points into one cell per
+/// repetition, executes them all on `runner` (possibly in parallel), and
+/// returns one repetition-averaged [`RunMetrics`] per point, in the order
+/// the points were given.
+///
+/// Cells use the same seeds (`1000 + repetition`) and scenario parameters
+/// as the pre-engine sequential harness, so numbers are unchanged.
+pub(crate) fn measure_grid(
+    runner: &SweepRunner,
+    points: &[(Protocol, f64)],
+    effort: Effort,
+) -> Vec<RunMetrics> {
+    let reps = effort.repetitions.max(1) as usize;
+    let mut cells = Vec::with_capacity(points.len() * reps);
+    for (protocol, factor) in points {
+        let clients = clients_for_factor(*factor);
+        for rep in 0..reps {
+            let mut scenario = Scenario::new(protocol.clone(), clients, effort.duration)
+                .with_seed(1000 + rep as u64);
             scenario.warmup = effort.warmup;
-            scenario.run().metrics
-        })
-        .collect();
-    average(&metrics)
+            cells.push(Cell::timed(scenario));
+        }
+    }
+    let results = runner.run_cells(cells);
+    results
+        .chunks(reps)
+        .map(|chunk| average(&chunk.iter().map(|r| r.metrics).collect::<Vec<_>>()))
+        .collect()
 }
 
 /// Longest stretch (seconds) without any rejection after `after_s`,

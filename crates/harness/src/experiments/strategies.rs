@@ -15,6 +15,7 @@ use crate::cluster::Protocol;
 use crate::experiments::Effort;
 use crate::report::{fmt_kreq, fmt_ms, fmt_pct, render_csv, render_table, ExperimentReport};
 use crate::scenario::{clients_for_factor, Scenario};
+use crate::sweep::{Cell, SweepRunner};
 
 /// Overload factor the comparison runs at.
 pub const LOAD_FACTOR: f64 = 4.0;
@@ -40,10 +41,9 @@ pub fn strategies() -> Vec<(&'static str, RejectHandling)> {
 }
 
 /// Runs the experiment.
-pub fn run(effort: Effort) -> ExperimentReport {
-    let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
-    for (label, handling) in strategies() {
+pub fn run(effort: Effort, runner: &SweepRunner) -> ExperimentReport {
+    let mut cells = Vec::new();
+    for (_, handling) in strategies() {
         let protocol = match Protocol::idem() {
             Protocol::Idem { config, client } => Protocol::Idem {
                 config,
@@ -51,13 +51,16 @@ pub fn run(effort: Effort) -> ExperimentReport {
             },
             _ => unreachable!(),
         };
-        let mut scenario = Scenario::new(
-            protocol,
-            clients_for_factor(LOAD_FACTOR),
-            effort.duration,
-        );
+        let mut scenario =
+            Scenario::new(protocol, clients_for_factor(LOAD_FACTOR), effort.duration);
         scenario.warmup = effort.warmup;
-        let m = scenario.run().metrics;
+        cells.push(Cell::timed(scenario));
+    }
+    let results = runner.run_cells(cells);
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for ((label, _), result) in strategies().into_iter().zip(&results) {
+        let m = result.metrics;
         rows.push(vec![
             label.to_string(),
             fmt_kreq(m.throughput),

@@ -10,40 +10,49 @@ use crate::cluster::Protocol;
 use crate::experiments::Effort;
 use crate::report::{fmt_gb, render_csv, render_table, ExperimentReport};
 use crate::scenario::{clients_for_factor, Scenario};
+use crate::sweep::{Cell, SweepRunner};
 
 /// Load levels of Table 1: medium (0.5×), high (1×), overload (4×).
 pub const FACTORS: [(f64, &str); 3] = [(0.5, "Medium Load"), (1.0, "High Load"), (4.0, "Overload")];
 
 /// Runs the experiment.
-pub fn run(effort: Effort) -> ExperimentReport {
+pub fn run(effort: Effort, runner: &SweepRunner) -> ExperimentReport {
     let systems = [Protocol::idem_no_pr(), Protocol::idem()];
-    // rows[system][factor] = total bytes
-    let mut bytes = [[0u64; 3]; 2];
-    let mut forwards = [[0u64; 3]; 2];
-    for (si, protocol) in systems.iter().enumerate() {
-        for (fi, &(factor, _)) in FACTORS.iter().enumerate() {
+    let mut cells = Vec::new();
+    for protocol in &systems {
+        for &(factor, _) in &FACTORS {
             let mut scenario = Scenario::new(
                 protocol.clone(),
                 clients_for_factor(factor),
                 Duration::from_secs(3600), // bounded by the success target
             );
             scenario.warmup = Duration::ZERO;
-            let result =
-                scenario.run_until_successes(effort.fixed_requests, Duration::from_millis(500));
-            bytes[si][fi] = result.total_traffic_bytes();
-            forwards[si][fi] = result
-                .idem_stats
-                .iter()
-                .map(|s| s.forwards_sent)
-                .sum::<u64>();
+            cells.push(Cell::until_successes(
+                scenario,
+                effort.fixed_requests,
+                Duration::from_millis(500),
+            ));
         }
+    }
+    let results = runner.run_cells(cells);
+    // rows[system][factor] = total bytes
+    let mut bytes = [[0u64; 3]; 2];
+    let mut forwards = [[0u64; 3]; 2];
+    for (i, result) in results.iter().enumerate() {
+        let (si, fi) = (i / FACTORS.len(), i % FACTORS.len());
+        bytes[si][fi] = result.total_traffic_bytes();
+        forwards[si][fi] = result
+            .idem_stats
+            .iter()
+            .map(|s| s.forwards_sent)
+            .sum::<u64>();
     }
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for (si, protocol) in systems.iter().enumerate() {
         let mut row = vec![protocol.name().to_string()];
-        for fi in 0..3 {
-            row.push(format!("{} GB", fmt_gb(bytes[si][fi])));
+        for &b in &bytes[si] {
+            row.push(format!("{} GB", fmt_gb(b)));
         }
         rows.push(row);
         for (fi, &(factor, _)) in FACTORS.iter().enumerate() {
@@ -68,10 +77,7 @@ pub fn run(effort: Effort) -> ExperimentReport {
     let body = format!(
         "{}\nrejection-mechanism overhead vs IDEM_noPR: {} (paper: no visible difference, ±2-3%)\n\
          total forwards sent by IDEM (all replicas): medium={} high={} overload={}\n",
-        render_table(
-            &["", "Medium Load", "High Load", "Overload"],
-            &rows,
-        ),
+        render_table(&["", "Medium Load", "High Load", "Overload"], &rows,),
         overheads.join(", "),
         forwards[1][0],
         forwards[1][1],

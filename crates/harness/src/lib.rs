@@ -27,7 +27,9 @@ pub mod experiments;
 pub mod recorder;
 pub mod report;
 pub mod scenario;
+pub mod sweep;
 
 pub use cluster::{ClusterHandles, Protocol};
 pub use recorder::{Recorder, RecorderHandle, RunMetrics};
 pub use scenario::{CrashPlan, RunResult, Scenario};
+pub use sweep::{Cell, RunMode, SweepRunner, SweepStats};

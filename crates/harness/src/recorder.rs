@@ -335,10 +335,7 @@ mod tests {
 
     #[test]
     fn recording_app_respects_limit() {
-        let handle = RecorderHandle::new(Recorder::new(
-            Duration::ZERO,
-            Duration::from_millis(10),
-        ));
+        let handle = RecorderHandle::new(Recorder::new(Duration::ZERO, Duration::from_millis(10)));
         let workload = Workload::new(idem_kv::WorkloadSpec::update_heavy(), 0);
         let mut app = RecordingApp::new(workload, handle, 7).with_limit(3);
         let mut rng = <SmallRng as rand::SeedableRng>::seed_from_u64(1);

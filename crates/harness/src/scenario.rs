@@ -139,12 +139,10 @@ impl Scenario {
             .now()
             .saturating_since(idem_simnet::SimTime::ZERO + self.warmup);
         let metrics = cluster.recorder.with(|r| r.metrics(measured));
-        let reply_series = cluster
-            .recorder
-            .with(|r| r.reply_series().iter().map(|(t, b)| (t, b)).collect());
+        let reply_series = cluster.recorder.with(|r| r.reply_series().iter().collect());
         let reject_series = cluster
             .recorder
-            .with(|r| r.reject_series().iter().map(|(t, b)| (t, b)).collect());
+            .with(|r| r.reject_series().iter().collect());
         let idem_stats = (0..cluster.replicas.len())
             .filter_map(|i| cluster.idem_stats(i))
             .collect();
@@ -162,6 +160,7 @@ impl Scenario {
             client_traffic_bytes: cluster.client_traffic_bytes(),
             replica_traffic_bytes: cluster.replica_traffic_bytes(),
             total_messages: cluster.total_messages(),
+            events_processed: cluster.events_processed(),
             idem_stats,
             order_violations,
         }
@@ -191,6 +190,9 @@ pub struct RunResult {
     pub replica_traffic_bytes: u64,
     /// Total message count.
     pub total_messages: u64,
+    /// Simulator events processed during the run (delivery + timer
+    /// dispatches) — the basis for events/sec performance reporting.
+    pub events_processed: u64,
     /// Per-replica IDEM stats (empty for baselines).
     pub idem_stats: Vec<idem_core::ReplicaStats>,
     /// Per-client session-order violations (always 0 for a correct

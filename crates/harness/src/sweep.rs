@@ -1,0 +1,292 @@
+//! The parallel experiment engine.
+//!
+//! Every experiment expands into a flat list of [`Cell`]s — fully specified
+//! simulation runs (protocol, client count, repetition, seed). A
+//! [`SweepRunner`] fans the cells out across a pool of OS threads and hands
+//! the results back **in declaration order**, so reports and CSVs are
+//! byte-identical no matter how many workers ran or how the scheduler
+//! interleaved them: each cell owns its own virtual clock and RNG seed, so
+//! cells are embarrassingly parallel by construction.
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use idem_harness::sweep::{Cell, SweepRunner};
+//! use idem_harness::{Protocol, Scenario};
+//!
+//! let runner = SweepRunner::new(4);
+//! let cells = vec![
+//!     Cell::timed(Scenario::new(Protocol::idem(), 50, Duration::from_secs(3))),
+//!     Cell::timed(Scenario::new(Protocol::paxos(), 50, Duration::from_secs(3))),
+//! ];
+//! let results = runner.run_cells(cells); // results[i] belongs to cells[i]
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::scenario::{RunResult, Scenario};
+
+/// How a cell's simulation terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Run for the scenario's configured warmup + duration.
+    Timed,
+    /// Run until `target` successful operations completed (not counting
+    /// warmup), advancing in `step`-sized chunks — the Table 1 mode.
+    UntilSuccesses {
+        /// Successful operations to reach.
+        target: u64,
+        /// Virtual-time chunk between progress checks.
+        step: Duration,
+    },
+}
+
+/// One schedulable unit of experiment work: a scenario plus its run mode.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The fully specified run.
+    pub scenario: Scenario,
+    /// Termination condition.
+    pub mode: RunMode,
+}
+
+impl Cell {
+    /// A cell that runs for the scenario's configured duration.
+    pub fn timed(scenario: Scenario) -> Cell {
+        Cell {
+            scenario,
+            mode: RunMode::Timed,
+        }
+    }
+
+    /// A cell that runs until `target` successes, checking every `step`.
+    pub fn until_successes(scenario: Scenario, target: u64, step: Duration) -> Cell {
+        Cell {
+            scenario,
+            mode: RunMode::UntilSuccesses { target, step },
+        }
+    }
+
+    /// Executes the cell to completion.
+    pub fn run(&self) -> RunResult {
+        match self.mode {
+            RunMode::Timed => self.scenario.run(),
+            RunMode::UntilSuccesses { target, step } => {
+                self.scenario.run_until_successes(target, step)
+            }
+        }
+    }
+}
+
+/// Aggregate execution statistics of the cells a runner has executed since
+/// the last [`SweepRunner::take_stats`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cells executed.
+    pub cells: u64,
+    /// Simulator events processed, summed over cells.
+    pub events: u64,
+    /// Wall-clock time spent inside cell runs, summed over workers (with
+    /// `jobs > 1` this exceeds elapsed wall time).
+    pub busy: Duration,
+}
+
+impl SweepStats {
+    /// Simulator events per second of *elapsed* wall time — the aggregate
+    /// simulation speed across all workers.
+    pub fn events_per_sec(&self, elapsed: Duration) -> f64 {
+        self.events as f64 / elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Executes batches of [`Cell`]s on a worker pool, preserving declaration
+/// order in the returned results.
+#[derive(Debug)]
+pub struct SweepRunner {
+    jobs: usize,
+    cells: AtomicU64,
+    events: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl Default for SweepRunner {
+    fn default() -> SweepRunner {
+        SweepRunner::from_available_parallelism()
+    }
+}
+
+impl SweepRunner {
+    /// A runner with an explicit worker count (clamped to at least 1).
+    pub fn new(jobs: usize) -> SweepRunner {
+        SweepRunner {
+            jobs: jobs.max(1),
+            cells: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-worker runner (identical to running cells inline).
+    pub fn sequential() -> SweepRunner {
+        SweepRunner::new(1)
+    }
+
+    /// A runner sized to the host's available parallelism.
+    pub fn from_available_parallelism() -> SweepRunner {
+        let jobs = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        SweepRunner::new(jobs)
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs all cells and returns their results in declaration order:
+    /// `results[i]` corresponds to `cells[i]`, regardless of worker count
+    /// or scheduling. Panics in a cell propagate to the caller.
+    pub fn run_cells(&self, cells: Vec<Cell>) -> Vec<RunResult> {
+        let n = cells.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return cells.iter().map(|c| self.run_one(c)).collect();
+        }
+        // Work-stealing over a shared index: each worker claims the next
+        // unclaimed cell, runs it, and keeps the (index, result) pair
+        // locally; the pairs are merged back into declaration order after
+        // the scope joins. Cells carry their own seed and virtual clock, so
+        // results are independent of which worker ran them.
+        let next = AtomicUsize::new(0);
+        let cells = &cells;
+        let mut slots: Vec<Option<RunResult>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, RunResult)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, self.run_one(&cells[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("sweep worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every cell produced a result"))
+            .collect()
+    }
+
+    /// Runs one cell, recording its statistics.
+    fn run_one(&self, cell: &Cell) -> RunResult {
+        let start = Instant::now();
+        let result = cell.run();
+        let busy = start.elapsed();
+        self.cells.fetch_add(1, Ordering::Relaxed);
+        self.events
+            .fetch_add(result.events_processed, Ordering::Relaxed);
+        self.busy_ns.fetch_add(
+            busy.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        result
+    }
+
+    /// Returns the statistics accumulated since the previous call and
+    /// resets them — call once per experiment to attribute events and
+    /// wall time to it.
+    pub fn take_stats(&self) -> SweepStats {
+        SweepStats {
+            cells: self.cells.swap(0, Ordering::Relaxed),
+            events: self.events.swap(0, Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_ns.swap(0, Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Protocol;
+
+    fn tiny_cells(n: u64) -> Vec<Cell> {
+        (0..n)
+            .map(|i| {
+                let mut s = Scenario::new(Protocol::idem(), 4, Duration::from_millis(300))
+                    .with_seed(100 + i);
+                s.warmup = Duration::from_millis(100);
+                Cell::timed(s)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_declaration_order() {
+        let runner = SweepRunner::new(4);
+        let mut cells = tiny_cells(3);
+        // Make the cells distinguishable by client count.
+        for (i, cell) in cells.iter_mut().enumerate() {
+            cell.scenario.clients = 2 + i as u32;
+        }
+        let expected: Vec<u32> = cells.iter().map(|c| c.scenario.clients).collect();
+        let got: Vec<u32> = runner.run_cells(cells).iter().map(|r| r.clients).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_exactly() {
+        let sequential = SweepRunner::sequential().run_cells(tiny_cells(4));
+        let parallel = SweepRunner::new(4).run_cells(tiny_cells(4));
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.metrics.successes, p.metrics.successes);
+            assert_eq!(s.metrics.rejections, p.metrics.rejections);
+            assert_eq!(s.total_traffic_bytes(), p.total_traffic_bytes());
+            assert_eq!(s.events_processed, p.events_processed);
+            assert_eq!(s.total_messages, p.total_messages);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let runner = SweepRunner::new(2);
+        let results = runner.run_cells(tiny_cells(2));
+        let stats = runner.take_stats();
+        assert_eq!(stats.cells, 2);
+        assert_eq!(
+            stats.events,
+            results.iter().map(|r| r.events_processed).sum::<u64>()
+        );
+        assert!(stats.events > 0);
+        assert!(stats.busy > Duration::ZERO);
+        assert_eq!(runner.take_stats(), SweepStats::default());
+    }
+
+    #[test]
+    fn jobs_are_clamped_to_at_least_one() {
+        assert_eq!(SweepRunner::new(0).jobs(), 1);
+        assert!(SweepRunner::from_available_parallelism().jobs() >= 1);
+    }
+
+    #[test]
+    fn until_successes_mode_reaches_target() {
+        let mut s = Scenario::new(Protocol::idem(), 4, Duration::from_secs(3600));
+        s.warmup = Duration::ZERO;
+        let cell = Cell::until_successes(s, 200, Duration::from_millis(100));
+        let result = SweepRunner::sequential().run_cells(vec![cell]);
+        assert!(result[0].metrics.successes >= 200);
+    }
+}

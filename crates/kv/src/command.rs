@@ -216,7 +216,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_lowercase_and_concise() {
-        assert_eq!(DecodeCommandError::Empty.to_string(), "empty command buffer");
+        assert_eq!(
+            DecodeCommandError::Empty.to_string(),
+            "empty command buffer"
+        );
         assert_eq!(
             DecodeCommandError::UnknownTag(0xFF).to_string(),
             "unknown command tag 0xff"

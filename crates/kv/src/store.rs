@@ -175,8 +175,7 @@ impl StateMachine for KvStore {
         for _ in 0..n {
             let k = u64::from_le_bytes(snapshot[pos..pos + 8].try_into().expect("key"));
             pos += 8;
-            let len =
-                u32::from_le_bytes(snapshot[pos..pos + 4].try_into().expect("len")) as usize;
+            let len = u32::from_le_bytes(snapshot[pos..pos + 4].try_into().expect("len")) as usize;
             pos += 4;
             self.map.insert(k, snapshot[pos..pos + len].to_vec());
             pos += len;
@@ -208,14 +207,20 @@ mod tests {
     #[test]
     fn get_missing_key_not_found() {
         let mut s = KvStore::new();
-        assert_eq!(s.execute(&Command::Get { key: 1 }.encode()), vec![STATUS_NOT_FOUND]);
+        assert_eq!(
+            s.execute(&Command::Get { key: 1 }.encode()),
+            vec![STATUS_NOT_FOUND]
+        );
     }
 
     #[test]
     fn delete_removes_and_reports() {
         let mut s = KvStore::new();
         s.execute(&update(1, b"x"));
-        assert_eq!(s.execute(&Command::Delete { key: 1 }.encode()), vec![STATUS_OK]);
+        assert_eq!(
+            s.execute(&Command::Delete { key: 1 }.encode()),
+            vec![STATUS_OK]
+        );
         assert_eq!(
             s.execute(&Command::Delete { key: 1 }.encode()),
             vec![STATUS_NOT_FOUND]
@@ -229,7 +234,13 @@ mod tests {
         for k in [30u64, 10, 20, 40] {
             s.execute(&update(k, &k.to_le_bytes()));
         }
-        let rep = s.execute(&Command::Scan { start: 15, count: 2 }.encode());
+        let rep = s.execute(
+            &Command::Scan {
+                start: 15,
+                count: 2,
+            }
+            .encode(),
+        );
         assert_eq!(rep[0], STATUS_OK);
         let k1 = u64::from_le_bytes(rep[1..9].try_into().unwrap());
         assert_eq!(k1, 20);
@@ -254,7 +265,7 @@ mod tests {
         b.restore(&snap);
         assert_eq!(a.digest(), b.digest());
         assert_eq!(b.len(), 99);
-        assert_eq!(b.get(51), Some(format!("value-51").as_bytes()));
+        assert_eq!(b.get(51), Some("value-51".to_string().as_bytes()));
         assert_eq!(b.get(50), None);
     }
 

@@ -289,9 +289,8 @@ mod tests {
         let mut lo = Zipfian::new(1000, 0.2);
         let mut r1 = rng(9);
         let mut r2 = rng(9);
-        let hits = |z: &mut Zipfian, r: &mut SmallRng| {
-            (0..50_000).filter(|_| z.sample(r) == 0).count()
-        };
+        let hits =
+            |z: &mut Zipfian, r: &mut SmallRng| (0..50_000).filter(|_| z.sample(r) == 0).count();
         let hh = hits(&mut hi, &mut r1);
         let hl = hits(&mut lo, &mut r2);
         assert!(hh > hl * 3, "theta=0.99 hits {hh}, theta=0.2 hits {hl}");
@@ -332,7 +331,9 @@ mod tests {
     fn update_heavy_defaults_match_paper_workload() {
         let spec = WorkloadSpec::update_heavy();
         assert_eq!(spec.read_fraction, 0.5);
-        assert!(matches!(spec.distribution, KeyDistribution::Zipfian(t) if (t - 0.99).abs() < 1e-9));
+        assert!(
+            matches!(spec.distribution, KeyDistribution::Zipfian(t) if (t - 0.99).abs() < 1e-9)
+        );
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl Histogram {
         }
         let msb = 63 - value.leading_zeros(); // >= SUB_BITS
         let range = (msb - SUB_BITS + 1).min(RANGES as u32 - 1);
-        let sub = (value >> (range - 1).max(0)) as usize & (SUB_COUNT - 1);
+        let sub = (value >> (range - 1)) as usize & (SUB_COUNT - 1);
         // range 0 is the linear region handled above; ranges 1.. hold
         // [2^(SUB_BITS+range-1), 2^(SUB_BITS+range)).
         range as usize * SUB_COUNT + sub

@@ -275,10 +275,8 @@ impl Node<PaxosMessage> for PaxosClient {
     fn on_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>, _id: TimerId, msg: PaxosMessage) {
         match msg {
             PaxosMessage::ClientTimeout(op) => self.handle_timeout(ctx, op),
-            PaxosMessage::BackoffTimer => {
-                if self.current.is_none() && !self.stopped {
-                    self.issue_next(ctx);
-                }
+            PaxosMessage::BackoffTimer if self.current.is_none() && !self.stopped => {
+                self.issue_next(ctx);
             }
             _ => {}
         }

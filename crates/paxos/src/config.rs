@@ -124,8 +124,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "window size must be positive")]
     fn zero_window_rejected() {
-        let mut cfg = PaxosConfig::default();
-        cfg.window_size = 0;
+        let cfg = PaxosConfig {
+            window_size: 0,
+            ..PaxosConfig::default()
+        };
         cfg.validate();
     }
 }

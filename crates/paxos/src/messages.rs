@@ -91,7 +91,10 @@ impl Wire for PaxosMessage {
             PaxosMessage::Propose { request, .. } => 16 + request.wire_size(),
             PaxosMessage::Accept { .. } => 16 + RequestId::WIRE_SIZE,
             PaxosMessage::ViewChange { window, .. } => {
-                8 + window.iter().map(PaxosWindowEntry::wire_size).sum::<usize>()
+                8 + window
+                    .iter()
+                    .map(PaxosWindowEntry::wire_size)
+                    .sum::<usize>()
             }
             PaxosMessage::CheckpointRequest => 4,
             PaxosMessage::Checkpoint {
@@ -110,10 +113,7 @@ mod tests {
     use idem_common::{ClientId, OpNumber};
 
     fn req(bytes: usize) -> Request {
-        Request::new(
-            RequestId::new(ClientId(1), OpNumber(1)),
-            vec![0u8; bytes],
-        )
+        Request::new(RequestId::new(ClientId(1), OpNumber(1)), vec![0u8; bytes])
     }
 
     #[test]

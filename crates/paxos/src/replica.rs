@@ -2,11 +2,11 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use idem_common::app::CostModel;
 use idem_common::{
     ClientId, Directory, QuorumTracker, Reply, Request, RequestId, SeqNumber, SeqWindow,
     StateMachine, View,
 };
-use idem_common::app::CostModel;
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
 use crate::config::{PaxosConfig, RejectPolicy};
@@ -53,6 +53,14 @@ struct Instance {
     executed: bool,
 }
 
+/// A stable checkpoint: sequence number, serialized application state,
+/// and the per-client reply cache `(client, op, reply bytes)`.
+type Checkpoint = (
+    SeqNumber,
+    Vec<u8>,
+    Vec<(u32, idem_common::OpNumber, Vec<u8>)>,
+);
+
 /// A Paxos replica implementing [`Node`] over [`PaxosMessage`].
 pub struct PaxosReplica {
     cfg: PaxosConfig,
@@ -76,7 +84,7 @@ pub struct PaxosReplica {
     inflight: BTreeMap<RequestId, ()>,
 
     last_executed: BTreeMap<u32, (idem_common::OpNumber, Vec<u8>)>,
-    checkpoint: Option<(SeqNumber, Vec<u8>, Vec<(u32, idem_common::OpNumber, Vec<u8>)>)>,
+    checkpoint: Option<Checkpoint>,
 
     progress_timer: Option<TimerId>,
     /// Evidence that a view below our pending view-change target is still
@@ -238,10 +246,7 @@ impl PaxosReplica {
     }
 
     fn drain_queue(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
-        while self.is_leader()
-            && !self.queue.is_empty()
-            && self.next_propose < self.window.high()
-        {
+        while self.is_leader() && !self.queue.is_empty() && self.next_propose < self.window.high() {
             let req = self.queue.pop_front().expect("non-empty");
             let sqn = self.next_propose.max(self.window.low());
             self.next_propose = sqn.next();
@@ -289,7 +294,12 @@ impl PaxosReplica {
 
     /// Rejoin a still-live lower view after a failed solo view change
     /// (e.g. when reconnecting from a partition).
-    fn observe_live_view(&mut self, ctx: &mut Context<'_, PaxosMessage>, v: View, sender: idem_common::ReplicaId) {
+    fn observe_live_view(
+        &mut self,
+        ctx: &mut Context<'_, PaxosMessage>,
+        v: View,
+        sender: idem_common::ReplicaId,
+    ) {
         let Some(target) = self.vc_target else {
             return;
         };
@@ -452,9 +462,8 @@ impl PaxosReplica {
                 break;
             }
             let req = inst.request.clone();
-            let already = inst.executed
-                || req.id.client == NOOP_CLIENT
-                || self.executed_already(req.id);
+            let already =
+                inst.executed || req.id.client == NOOP_CLIENT || self.executed_already(req.id);
             if !already {
                 let cost = self.app.execution_cost(&req.command);
                 ctx.charge(cost);
@@ -474,7 +483,11 @@ impl PaxosReplica {
                 .expect("present")
                 .executed = true;
             self.next_exec = self.next_exec.next();
-            if self.next_exec.0 % self.cfg.checkpoint_interval == 0 {
+            if self
+                .next_exec
+                .0
+                .is_multiple_of(self.cfg.checkpoint_interval)
+            {
                 self.take_checkpoint(ctx);
             }
             progressed = true;
@@ -548,11 +561,7 @@ impl PaxosReplica {
     }
 
     fn has_pending_work(&self) -> bool {
-        !self.queue.is_empty()
-            || self
-                .window
-                .get(self.next_exec)
-                .is_some()
+        !self.queue.is_empty() || self.window.get(self.next_exec).is_some()
     }
 
     fn reset_progress_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
@@ -567,8 +576,9 @@ impl PaxosReplica {
 
     fn handle_progress_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
         self.progress_timer = None;
-        let suspicious =
-            self.has_pending_work() || self.forwarded_since_progress > 0 || self.vc_target.is_some();
+        let suspicious = self.has_pending_work()
+            || self.forwarded_since_progress > 0
+            || self.vc_target.is_some();
         self.forwarded_since_progress = 0;
         if !suspicious {
             return;
@@ -629,7 +639,7 @@ impl PaxosReplica {
             .or_default()
             .insert(sender.0, window);
         let senders = self.vc_store[&target.0].len() as u32;
-        if senders >= self.majority() && self.vc_target.map_or(true, |t| t < target) {
+        if senders >= self.majority() && self.vc_target.is_none_or(|t| t < target) {
             self.start_view_change(ctx, target);
         }
         self.check_new_view(ctx, target);
@@ -701,9 +711,7 @@ impl Node<PaxosMessage> for PaxosReplica {
             PaxosMessage::Propose { sqn, view, request } => {
                 self.handle_propose(ctx, from, sqn, view, request)
             }
-            PaxosMessage::Accept { sqn, view, id } => {
-                self.handle_accept(ctx, from, sqn, view, id)
-            }
+            PaxosMessage::Accept { sqn, view, id } => self.handle_accept(ctx, from, sqn, view, id),
             PaxosMessage::ViewChange { target, window } => {
                 self.handle_view_change(ctx, from, target, window)
             }

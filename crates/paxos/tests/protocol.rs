@@ -115,8 +115,8 @@ fn plain_paxos_never_rejects() {
 
 #[test]
 fn lbr_rejects_only_under_load() {
-    let lbr = PaxosConfig::for_faults(1)
-        .with_reject_policy(RejectPolicy::LeaderBased { threshold: 20 });
+    let lbr =
+        PaxosConfig::for_faults(1).with_reject_policy(RejectPolicy::LeaderBased { threshold: 20 });
     // Low load: no rejections.
     let mut low = setup(lbr.clone(), 3, Some(50), 4);
     low.sim.run_for(Duration::from_secs(5));
@@ -129,7 +129,14 @@ fn lbr_rejects_only_under_load() {
     assert!(leader.stats().rejected > 0);
     // Followers never reject in LBR: that is the point of the comparison.
     for &r in &high.replicas[1..] {
-        assert_eq!(high.sim.node_as::<PaxosReplica>(r).unwrap().stats().rejected, 0);
+        assert_eq!(
+            high.sim
+                .node_as::<PaxosReplica>(r)
+                .unwrap()
+                .stats()
+                .rejected,
+            0
+        );
     }
 }
 

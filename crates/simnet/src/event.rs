@@ -2,15 +2,56 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::node::{NodeId, TimerId};
 use crate::time::SimTime;
+
+/// An in-flight message body.
+///
+/// Unicast sends own their message. Multicast sends share one `Arc`-backed
+/// body across all recipients and materialize a per-recipient value only at
+/// delivery time — the final delivery unwraps the `Arc` and moves the body
+/// out without cloning, and copies destined for crashed nodes are never
+/// cloned at all. The stored clone function is captured where the `M: Clone`
+/// bound is available (multicast), keeping the rest of the simulator free of
+/// that bound.
+#[derive(Debug)]
+pub(crate) enum Payload<M> {
+    /// Exclusively owned body (unicast).
+    Owned(M),
+    /// Body shared across the deliveries of one multicast.
+    Shared {
+        /// The shared message body.
+        arc: Arc<M>,
+        /// Clones the body for all but the last delivery.
+        clone: fn(&M) -> M,
+    },
+}
+
+impl<M> Payload<M> {
+    /// Materializes the message for delivery, cloning only when other
+    /// deliveries of the same multicast are still pending.
+    pub fn into_message(self) -> M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared { arc, clone } => match Arc::try_unwrap(arc) {
+                Ok(m) => m,
+                Err(arc) => clone(&arc),
+            },
+        }
+    }
+}
 
 /// What a scheduled event does when it fires.
 #[derive(Debug)]
 pub(crate) enum EventKind<M> {
     /// Deliver `msg` from `from` to `to`.
-    Deliver { to: NodeId, from: NodeId, msg: M },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: Payload<M>,
+    },
     /// Fire timer `id` at `node` with payload `msg`.
     Timer { node: NodeId, id: TimerId, msg: M },
     /// Crash `node`.
@@ -68,6 +109,12 @@ impl<M> EventQueue<M> {
     /// Pushes an event.
     pub fn push(&mut self, ev: Event<M>) {
         self.heap.push(ev);
+    }
+
+    /// Reserves capacity for at least `additional` further events, so that
+    /// steady-state simulations do not pay repeated heap reallocations.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// The time of the earliest pending event.
@@ -141,5 +188,82 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(q.pop_before(SimTime::from_nanos(50)).is_some());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heavy_same_timestamp_load_stays_fifo() {
+        // 10k events at the same virtual time, pushed in a scrambled seq
+        // order, must still pop in strict seq order — the property the
+        // per-node FIFO backlog and hence determinism rest on.
+        const N: u64 = 10_000;
+        let mut q = EventQueue::default();
+        q.reserve(N as usize);
+        // Deterministic scramble: visit seqs by a coprime stride.
+        let stride = 7919; // prime, coprime with N
+        for i in 0..N {
+            q.push(ev(42, (i * stride) % N));
+        }
+        assert_eq!(q.len(), N as usize);
+        let limit = SimTime::from_nanos(42);
+        for expect in 0..N {
+            assert_eq!(q.pop_before(limit).unwrap().seq, expect);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order_under_ties() {
+        // Pops interleaved with pushes at the same timestamp: every pop must
+        // return the smallest pending seq at that point.
+        let mut q = EventQueue::default();
+        let limit = SimTime::from_nanos(5);
+        q.push(ev(5, 10));
+        q.push(ev(5, 4));
+        assert_eq!(q.pop_before(limit).unwrap().seq, 4);
+        q.push(ev(5, 2));
+        q.push(ev(5, 7));
+        assert_eq!(q.pop_before(limit).unwrap().seq, 2);
+        assert_eq!(q.pop_before(limit).unwrap().seq, 7);
+        q.push(ev(5, 1));
+        assert_eq!(q.pop_before(limit).unwrap().seq, 1);
+        assert_eq!(q.pop_before(limit).unwrap().seq, 10);
+        assert!(q.pop_before(limit).is_none());
+    }
+
+    #[test]
+    fn mixed_times_and_ties_pop_by_time_then_seq() {
+        let mut q = EventQueue::default();
+        for (t, s) in [(20, 3), (10, 5), (20, 1), (10, 2), (30, 0)] {
+            q.push(ev(t, s));
+        }
+        let limit = SimTime::from_nanos(100);
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop_before(limit))
+            .map(|e| (e.time.as_nanos(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(10, 2), (10, 5), (20, 1), (20, 3), (30, 0)]);
+    }
+
+    #[test]
+    fn payload_shared_clones_only_while_contended() {
+        use std::sync::Arc;
+        #[derive(Debug, PartialEq)]
+        struct Body(u32);
+        let arc = Arc::new(Body(7));
+        let first = Payload::Shared {
+            arc: Arc::clone(&arc),
+            clone: |b: &Body| Body(b.0),
+        };
+        let last = Payload::Shared {
+            arc,
+            clone: |b: &Body| Body(b.0),
+        };
+        // While both copies are pending, materializing clones...
+        assert_eq!(first.into_message(), Body(7));
+        // ...and the final copy moves the body out of the Arc.
+        match last {
+            Payload::Shared { ref arc, .. } => assert_eq!(Arc::strong_count(arc), 1),
+            Payload::Owned(_) => unreachable!(),
+        }
+        assert_eq!(last.into_message(), Body(7));
     }
 }

@@ -216,7 +216,9 @@ mod tests {
     fn drop_probability_is_roughly_respected() {
         let spec = LinkSpec::new(Duration::ZERO, Duration::ZERO).with_drop_prob(0.3);
         let mut r = rng();
-        let dropped = (0..10_000).filter(|_| spec.sample(&mut r).is_none()).count();
+        let dropped = (0..10_000)
+            .filter(|_| spec.sample(&mut r).is_none())
+            .count();
         assert!((2_500..3_500).contains(&dropped), "dropped {dropped}/10000");
     }
 
@@ -267,6 +269,9 @@ mod tests {
         let mut net = Network::default();
         net.block(NodeId(3), NodeId(3));
         let mut r = rng();
-        assert_eq!(net.sample(&mut r, NodeId(3), NodeId(3)), Some(net.loopback()));
+        assert_eq!(
+            net.sample(&mut r, NodeId(3), NodeId(3)),
+            Some(net.loopback())
+        );
     }
 }

@@ -1,12 +1,13 @@
 //! The simulation runner.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::event::{Event, EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue, Payload};
 use crate::net::Network;
 use crate::node::{Context, Node, NodeId, TimerId};
 use crate::time::SimTime;
@@ -20,9 +21,20 @@ use crate::wire::{Wire, HEADER_BYTES};
 /// backlog.
 #[derive(Debug)]
 enum Deferred<M> {
-    Msg { from: NodeId, msg: M },
+    Msg { from: NodeId, msg: Payload<M> },
     Timer { id: TimerId, msg: M },
 }
+
+/// Initial capacity of each node's backlog FIFO: covers the common bursts
+/// without reallocation while staying negligible per node.
+const BACKLOG_CAPACITY: usize = 16;
+
+/// Minimum event-heap capacity reserved when the simulation starts.
+const MIN_QUEUE_CAPACITY: usize = 256;
+
+/// Reserved event-heap slots per node at start: each node typically keeps a
+/// few in-flight messages/timers plus a wake-up pending.
+const QUEUE_CAPACITY_PER_NODE: usize = 8;
 
 #[derive(Debug)]
 struct NodeState<M> {
@@ -37,7 +49,7 @@ impl<M> Default for NodeState<M> {
         NodeState {
             busy_until: SimTime::ZERO,
             crashed: false,
-            backlog: std::collections::VecDeque::new(),
+            backlog: std::collections::VecDeque::with_capacity(BACKLOG_CAPACITY),
             wake_scheduled: false,
         }
     }
@@ -88,10 +100,9 @@ impl<M> Core<M> {
 }
 
 impl<M: Wire> Core<M> {
-    pub(crate) fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
-        // Messages depart once the sender's charged CPU work is done.
-        let departure = self.states[from.index()].busy_until.max(self.now);
-        let bytes = msg.wire_size() + HEADER_BYTES;
+    /// Records traffic and the trace entry for one transmission and returns
+    /// the sampled link delay (`None` = lost or blocked).
+    fn transmit(&mut self, from: NodeId, to: NodeId, bytes: usize) -> Option<Duration> {
         if from != to {
             // Self-sends bypass the NIC and are not traffic.
             self.traffic.record(from, to, bytes);
@@ -108,15 +119,63 @@ impl<M: Wire> Core<M> {
                 },
             );
         }
-        let Some(delay) = delay else {
+        delay
+    }
+
+    pub(crate) fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        // Messages depart once the sender's charged CPU work is done.
+        let departure = self.states[from.index()].busy_until.max(self.now);
+        let bytes = msg.wire_size() + HEADER_BYTES;
+        let Some(delay) = self.transmit(from, to, bytes) else {
             return; // lost or blocked
         };
         let seq = self.next_seq();
         self.queue.push(Event {
             time: departure + delay,
             seq,
-            kind: EventKind::Deliver { to, from, msg },
+            kind: EventKind::Deliver {
+                to,
+                from,
+                msg: Payload::Owned(msg),
+            },
         });
+    }
+
+    /// Sends one message body to many recipients, sharing the body behind
+    /// an [`Arc`] instead of cloning it per recipient. Per-link traffic
+    /// accounting, loss sampling, and delivery order are identical to
+    /// calling [`send`](Core::send) once per target; only the payload
+    /// copies are elided (the last delivery moves the body out, and copies
+    /// to crashed or unreachable nodes are never cloned).
+    pub(crate) fn multicast(
+        &mut self,
+        from: NodeId,
+        targets: impl IntoIterator<Item = NodeId>,
+        msg: M,
+    ) where
+        M: Clone,
+    {
+        let departure = self.states[from.index()].busy_until.max(self.now);
+        let bytes = msg.wire_size() + HEADER_BYTES;
+        let shared = Arc::new(msg);
+        for to in targets {
+            let Some(delay) = self.transmit(from, to, bytes) else {
+                continue; // lost or blocked
+            };
+            let seq = self.next_seq();
+            self.queue.push(Event {
+                time: departure + delay,
+                seq,
+                kind: EventKind::Deliver {
+                    to,
+                    from,
+                    msg: Payload::Shared {
+                        arc: Arc::clone(&shared),
+                        clone: <M as Clone>::clone,
+                    },
+                },
+            });
+        }
     }
 }
 
@@ -207,6 +266,11 @@ impl<M: Wire + 'static> Simulation<M> {
             return;
         }
         self.started = true;
+        // Pre-size the event heap for the steady-state event population so
+        // the hot loop never reallocates it.
+        self.core
+            .queue
+            .reserve((self.nodes.len() * QUEUE_CAPACITY_PER_NODE).max(MIN_QUEUE_CAPACITY));
         for i in 0..self.nodes.len() {
             self.start_node(NodeId(i as u32));
         }
@@ -255,7 +319,7 @@ impl<M: Wire + 'static> Simulation<M> {
                 if let Some(trace) = &mut ctx.core.trace {
                     trace.push(ctx.core.now, TraceEventKind::Deliver { from, to: nid });
                 }
-                node.on_message(&mut ctx, from, msg)
+                node.on_message(&mut ctx, from, msg.into_message())
             }
             Deferred::Timer { id, msg } => {
                 // The timer may have been cancelled while it sat in the
@@ -526,7 +590,10 @@ mod tests {
     }
 
     fn fixed_net(latency_us: u64) -> Network {
-        Network::new(LinkSpec::new(Duration::from_micros(latency_us), Duration::ZERO))
+        Network::new(LinkSpec::new(
+            Duration::from_micros(latency_us),
+            Duration::ZERO,
+        ))
     }
 
     #[test]
@@ -725,7 +792,7 @@ mod tests {
         }
         sim.add_node(Box::new(One { peer: echo }));
         sim.run_for(Duration::from_secs(1));
-        assert_eq!(sim.traffic().total_bytes(), (4 + HEADER_BYTES as u64) * 1);
+        assert_eq!(sim.traffic().total_bytes(), 4 + HEADER_BYTES as u64);
     }
 
     #[test]
@@ -770,6 +837,157 @@ mod tests {
         sim.run_for(Duration::from_secs(1));
         assert_eq!(sim.node_as::<Echo>(a).unwrap().received, 1);
         assert_eq!(sim.node_as::<Echo>(b).unwrap().received, 1);
+    }
+
+    #[test]
+    fn multicast_matches_per_target_sends() {
+        // A multicast must be observationally identical to a loop of sends:
+        // same delivery counts, same delivery times, same traffic bytes.
+        struct Caster {
+            targets: Vec<NodeId>,
+            looped: bool,
+        }
+        impl Node<Msg> for Caster {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                if self.looped {
+                    for to in self.targets.clone() {
+                        ctx.send(to, Msg::Ping(100));
+                    }
+                } else {
+                    ctx.multicast(self.targets.iter().copied(), Msg::Ping(100));
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let observe = |looped: bool| {
+            let mut sim: Simulation<Msg> = Simulation::with_network(7, fixed_net(25));
+            let sinks: Vec<NodeId> = (0..3)
+                .map(|_| {
+                    sim.add_node(Box::new(Sink2 {
+                        arrivals: Vec::new(),
+                    }))
+                })
+                .collect();
+            sim.add_node(Box::new(Caster {
+                targets: sinks.clone(),
+                looped,
+            }));
+            sim.run_for(Duration::from_secs(1));
+            let arrivals: Vec<Vec<(SimTime, Msg)>> = sinks
+                .iter()
+                .map(|&s| sim.node_as::<Sink2>(s).unwrap().arrivals.clone())
+                .collect();
+            (
+                arrivals,
+                sim.traffic().total_bytes(),
+                sim.traffic().total_messages(),
+            )
+        };
+        struct Sink2 {
+            arrivals: Vec<(SimTime, Msg)>,
+        }
+        impl Node<Msg> for Sink2 {
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: NodeId, msg: Msg) {
+                self.arrivals.push((ctx.now(), msg));
+            }
+        }
+        assert_eq!(observe(false), observe(true));
+    }
+
+    #[test]
+    fn multicast_counts_traffic_per_link() {
+        struct Caster {
+            targets: Vec<NodeId>,
+        }
+        impl Node<Msg> for Caster {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.multicast(self.targets.iter().copied(), Msg::Ping(1));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        struct Silent {
+            received: u32,
+        }
+        impl Node<Msg> for Silent {
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+                self.received += 1;
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(10));
+        let sinks: Vec<NodeId> = (0..4)
+            .map(|_| sim.add_node(Box::new(Silent { received: 0 })))
+            .collect();
+        // One target crashes before delivery: its bytes still count (the
+        // sender put them on the wire), but the payload is never cloned for
+        // it.
+        sim.schedule_crash(sinks[3], SimTime::ZERO);
+        sim.add_node(Box::new(Caster {
+            targets: sinks.clone(),
+        }));
+        sim.run_for(Duration::from_secs(1));
+        // All four links carried the message (4 + header bytes each).
+        assert_eq!(sim.traffic().total_bytes(), 4 * (4 + HEADER_BYTES as u64));
+        for &s in &sinks[..3] {
+            assert_eq!(sim.node_as::<Silent>(s).unwrap().received, 1);
+        }
+        assert_eq!(sim.node_as::<Silent>(sinks[3]).unwrap().received, 0);
+    }
+
+    #[test]
+    fn multicast_shares_payload_instead_of_cloning() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static CLONES: AtomicU32 = AtomicU32::new(0);
+
+        #[derive(Debug)]
+        struct Counted(#[allow(dead_code)] u32);
+        impl Clone for Counted {
+            fn clone(&self) -> Counted {
+                CLONES.fetch_add(1, Ordering::Relaxed);
+                Counted(self.0)
+            }
+        }
+        impl Wire for Counted {
+            fn wire_size(&self) -> usize {
+                4
+            }
+        }
+        struct Caster {
+            targets: Vec<NodeId>,
+        }
+        impl Node<Counted> for Caster {
+            fn on_start(&mut self, ctx: &mut Context<'_, Counted>) {
+                ctx.multicast(self.targets.iter().copied(), Counted(9));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Counted>, _: NodeId, _: Counted) {}
+        }
+        struct Sink {
+            received: u32,
+        }
+        impl Node<Counted> for Sink {
+            fn on_message(&mut self, _: &mut Context<'_, Counted>, _: NodeId, _: Counted) {
+                self.received += 1;
+            }
+        }
+        const TARGETS: u32 = 5;
+        let mut sim: Simulation<Counted> = Simulation::with_network(1, fixed_net(10));
+        let sinks: Vec<NodeId> = (0..TARGETS)
+            .map(|_| sim.add_node(Box::new(Sink { received: 0 })))
+            .collect();
+        sim.add_node(Box::new(Caster {
+            targets: sinks.clone(),
+        }));
+        CLONES.store(0, Ordering::Relaxed);
+        sim.run_for(Duration::from_secs(1));
+        for &s in &sinks {
+            assert_eq!(sim.node_as::<Sink>(s).unwrap().received, 1);
+        }
+        // Per-recipient cloning would cost TARGETS clones; payload sharing
+        // clones at most TARGETS-1 times (the last delivery moves the body).
+        assert!(
+            CLONES.load(Ordering::Relaxed) < TARGETS,
+            "expected < {TARGETS} clones, got {}",
+            CLONES.load(Ordering::Relaxed)
+        );
     }
 
     #[test]

@@ -197,7 +197,9 @@ mod tests {
         for i in 0..5 {
             buf.push(
                 SimTime::from_nanos(i),
-                ev(TraceEventKind::TimerFired { node: NodeId(i as u32) }),
+                ev(TraceEventKind::TimerFired {
+                    node: NodeId(i as u32),
+                }),
             );
         }
         assert_eq!(buf.len(), 3);

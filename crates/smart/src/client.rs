@@ -140,7 +140,12 @@ impl SmartClient {
         });
     }
 
-    fn handle_reply(&mut self, ctx: &mut Context<'_, SmartMessage>, id: RequestId, result: Vec<u8>) {
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Context<'_, SmartMessage>,
+        id: RequestId,
+        result: Vec<u8>,
+    ) {
         let matches = self.current.as_ref().is_some_and(|f| f.id == id);
         if !matches {
             return; // late duplicate reply from another replica
@@ -193,7 +198,12 @@ impl Node<SmartMessage> for SmartClient {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, SmartMessage>, _from: NodeId, msg: SmartMessage) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, SmartMessage>,
+        _from: NodeId,
+        msg: SmartMessage,
+    ) {
         if let SmartMessage::Reply(reply) = msg {
             self.handle_reply(ctx, reply.id, reply.result);
         }
@@ -202,10 +212,8 @@ impl Node<SmartMessage> for SmartClient {
     fn on_timer(&mut self, ctx: &mut Context<'_, SmartMessage>, _id: TimerId, msg: SmartMessage) {
         match msg {
             SmartMessage::ClientTimeout(op) => self.handle_timeout(ctx, op),
-            SmartMessage::BackoffTimer => {
-                if self.current.is_none() && !self.stopped {
-                    self.issue_next(ctx);
-                }
+            SmartMessage::BackoffTimer if self.current.is_none() && !self.stopped => {
+                self.issue_next(ctx);
             }
             _ => {}
         }

@@ -2,10 +2,10 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use idem_common::app::CostModel;
 use idem_common::{
     Directory, QuorumTracker, Reply, Request, RequestId, SeqNumber, StateMachine, View,
 };
-use idem_common::app::CostModel;
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
 use crate::config::SmartConfig;
@@ -40,6 +40,18 @@ struct OpenInstance {
     votes: QuorumTracker,
 }
 
+/// A stable checkpoint: sequence number, serialized application state,
+/// and the per-client reply cache `(client, op, reply bytes)`.
+type Checkpoint = (
+    SeqNumber,
+    Vec<u8>,
+    Vec<(u32, idem_common::OpNumber, Vec<u8>)>,
+);
+
+/// One replica's VC_STATE vote: its open (un-decided) instance, if any,
+/// plus the sequence number of its last stable checkpoint.
+type VcVote = (Option<(SeqNumber, View, Vec<Request>)>, SeqNumber);
+
 /// A SMaRt replica implementing [`Node`] over [`SmartMessage`].
 pub struct SmartReplica {
     cfg: SmartConfig,
@@ -49,7 +61,7 @@ pub struct SmartReplica {
 
     view: View,
     vc_target: Option<View>,
-    vc_store: BTreeMap<u64, BTreeMap<u32, (Option<(SeqNumber, View, Vec<Request>)>, SeqNumber)>>,
+    vc_store: BTreeMap<u64, BTreeMap<u32, VcVote>>,
 
     /// Unbounded pool of client requests awaiting ordering.
     pending: VecDeque<Request>,
@@ -60,7 +72,7 @@ pub struct SmartReplica {
     open: Option<OpenInstance>,
 
     last_executed: BTreeMap<u32, (idem_common::OpNumber, Vec<u8>)>,
-    checkpoint: Option<(SeqNumber, Vec<u8>, Vec<(u32, idem_common::OpNumber, Vec<u8>)>)>,
+    checkpoint: Option<Checkpoint>,
 
     progress_timer: Option<TimerId>,
     /// Evidence that a view below our pending view-change target is still
@@ -214,7 +226,12 @@ impl SmartReplica {
     }
 
     /// Rejoin a still-live lower view after a failed solo view change.
-    fn observe_live_view(&mut self, ctx: &mut Context<'_, SmartMessage>, v: View, sender: idem_common::ReplicaId) {
+    fn observe_live_view(
+        &mut self,
+        ctx: &mut Context<'_, SmartMessage>,
+        v: View,
+        sender: idem_common::ReplicaId,
+    ) {
         let Some(target) = self.vc_target else {
             return;
         };
@@ -343,8 +360,7 @@ impl SmartReplica {
         }
         let open = self.open.take().expect("checked above");
         self.stats.batches_decided += 1;
-        self.stats.max_batch_decided =
-            self.stats.max_batch_decided.max(open.batch.len() as u64);
+        self.stats.max_batch_decided = self.stats.max_batch_decided.max(open.batch.len() as u64);
         for req in &open.batch {
             // Remove from our own pool regardless of who batched it.
             if self.pending_ids.remove(&req.id).is_some() {
@@ -365,7 +381,7 @@ impl SmartReplica {
             ctx.send(client, SmartMessage::Reply(Reply::new(req.id, result)));
         }
         self.next_sqn = self.next_sqn.next();
-        if self.next_sqn.0 % self.cfg.checkpoint_interval == 0 {
+        if self.next_sqn.0.is_multiple_of(self.cfg.checkpoint_interval) {
             self.take_checkpoint(ctx);
         }
         self.reset_progress_timer(ctx);
@@ -420,7 +436,7 @@ impl SmartReplica {
         // Drop pending requests the checkpoint proves executed.
         let last = self.last_executed.clone();
         self.pending
-            .retain(|r| !last.get(&r.id.client.0).is_some_and(|(op, _)| *op >= r.id.op));
+            .retain(|r| last.get(&r.id.client.0).is_none_or(|(op, _)| *op < r.id.op));
         self.pending_ids = self.pending.iter().map(|r| (r.id, ())).collect();
         self.maybe_propose(ctx);
     }
@@ -462,10 +478,7 @@ impl SmartReplica {
         }
         self.vc_target = Some(target);
         self.stats.view_changes_started += 1;
-        let pending = self
-            .open
-            .as_ref()
-            .map(|o| (o.sqn, o.view, o.batch.clone()));
+        let pending = self.open.as_ref().map(|o| (o.sqn, o.view, o.batch.clone()));
         self.vc_store
             .entry(target.0)
             .or_default()
@@ -502,7 +515,7 @@ impl SmartReplica {
             .or_default()
             .insert(sender.0, (pending, next_sqn));
         let senders = self.vc_store[&target.0].len() as u32;
-        if senders >= self.majority() && self.vc_target.map_or(true, |t| t < target) {
+        if senders >= self.majority() && self.vc_target.is_none_or(|t| t < target) {
             self.start_view_change(ctx, target);
         }
         self.check_new_view(ctx, target);

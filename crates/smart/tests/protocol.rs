@@ -170,7 +170,11 @@ fn follower_crash_is_masked() {
     let after = successes(&s.outcomes);
     assert!(after > before + 100);
     assert_eq!(
-        s.sim.node_as::<SmartReplica>(s.replicas[0]).unwrap().view().0,
+        s.sim
+            .node_as::<SmartReplica>(s.replicas[0])
+            .unwrap()
+            .view()
+            .0,
         0,
         "no view change needed for a follower crash"
     );

@@ -89,7 +89,10 @@ fn main() {
                 )),
                 ReplicaId(i as u32),
                 dir.clone(),
-                Box::new(KvStore::with_costs(Duration::from_micros(20), Duration::ZERO)),
+                Box::new(KvStore::with_costs(
+                    Duration::from_micros(20),
+                    Duration::ZERO,
+                )),
             )),
         );
     }
@@ -139,7 +142,10 @@ fn main() {
         println!(
             "\nreplica {i}: now in view {} ({} view change(s)), rejected {} requests",
             replica.view(),
-            replica.stats().view_changes_completed.max(replica.stats().view_changes_started),
+            replica
+                .stats()
+                .view_changes_completed
+                .max(replica.stats().view_changes_started),
             replica.stats().rejected,
         );
     }

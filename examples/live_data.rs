@@ -113,7 +113,10 @@ fn main() {
                 )),
                 ReplicaId(i as u32),
                 dir.clone(),
-                Box::new(KvStore::with_costs(Duration::from_micros(20), Duration::ZERO)),
+                Box::new(KvStore::with_costs(
+                    Duration::from_micros(20),
+                    Duration::ZERO,
+                )),
             )),
         );
     }
@@ -123,7 +126,7 @@ fn main() {
         .with_think_time(Duration::from_millis(2));
     for (i, &node) in clients.iter().enumerate() {
         let i = i as u32;
-        let publisher = i >= VIEWERS && i < VIEWERS + PUBLISHERS;
+        let publisher = (VIEWERS..VIEWERS + PUBLISHERS).contains(&i);
         let spike = i >= VIEWERS + PUBLISHERS;
         let cfg = if spike {
             // The spike audience tunes in halfway through the run.
@@ -141,7 +144,12 @@ fn main() {
         };
         sim.install_node(
             node,
-            Box::new(IdemClient::new(cfg, ClientId(i), dir.clone(), Box::new(viewer))),
+            Box::new(IdemClient::new(
+                cfg,
+                ClientId(i),
+                dir.clone(),
+                Box::new(viewer),
+            )),
         );
     }
 

@@ -112,7 +112,9 @@ fn main() {
 
     let mut sim: Simulation<IdemMessage> = Simulation::new(99);
     let replicas: Vec<NodeId> = (0..3).map(|_| sim.reserve_node()).collect();
-    let clients: Vec<NodeId> = (0..PLAYERS + LOGIN_STORM).map(|_| sim.reserve_node()).collect();
+    let clients: Vec<NodeId> = (0..PLAYERS + LOGIN_STORM)
+        .map(|_| sim.reserve_node())
+        .collect();
     let dir = Directory::new(replicas.clone(), clients.clone());
 
     for (i, &node) in replicas.iter().enumerate() {
@@ -125,7 +127,10 @@ fn main() {
                 )),
                 ReplicaId(i as u32),
                 dir.clone(),
-                Box::new(KvStore::with_costs(Duration::from_micros(20), Duration::ZERO)),
+                Box::new(KvStore::with_costs(
+                    Duration::from_micros(20),
+                    Duration::ZERO,
+                )),
             )),
         );
     }
@@ -152,7 +157,12 @@ fn main() {
         };
         sim.install_node(
             node,
-            Box::new(IdemClient::new(cfg, ClientId(i), dir.clone(), Box::new(player))),
+            Box::new(IdemClient::new(
+                cfg,
+                ClientId(i),
+                dir.clone(),
+                Box::new(player),
+            )),
         );
     }
 
@@ -160,8 +170,14 @@ fn main() {
 
     let t = telemetry.borrow();
     let total = t.authoritative_updates + t.predicted_updates;
-    println!("online game: {PLAYERS} players, login storm of {LOGIN_STORM} at t={:?}", RUN / 2);
-    println!("  authoritative position updates : {}", t.authoritative_updates);
+    println!(
+        "online game: {PLAYERS} players, login storm of {LOGIN_STORM} at t={:?}",
+        RUN / 2
+    );
+    println!(
+        "  authoritative position updates : {}",
+        t.authoritative_updates
+    );
     println!(
         "  dead-reckoned ticks (rejected)  : {} ({:.1}% of {total})",
         t.predicted_updates,

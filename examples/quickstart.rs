@@ -122,7 +122,11 @@ fn main() {
     }
     // Sanity: replicas converged to the same state.
     let digest = |node: NodeId, sim: &Simulation<IdemMessage>| {
-        let snap = sim.node_as::<IdemReplica>(node).expect("replica").app().snapshot();
+        let snap = sim
+            .node_as::<IdemReplica>(node)
+            .expect("replica")
+            .app()
+            .snapshot();
         let mut kv = KvStore::new();
         idem_common::StateMachine::restore(&mut kv, &snap);
         kv.digest()

@@ -110,8 +110,10 @@ fn main() {
         .collect();
     let dir = Directory::new(replicas.clone(), clients.clone());
 
-    let cfg = IdemConfig::for_faults(1)
-        .with_message_cost(idem_common::FixedCost::new(Duration::from_nanos(500), Duration::ZERO));
+    let cfg = IdemConfig::for_faults(1).with_message_cost(idem_common::FixedCost::new(
+        Duration::from_nanos(500),
+        Duration::ZERO,
+    ));
     for (i, &node) in replicas.iter().enumerate() {
         sim.install_node(
             node,
@@ -119,7 +121,10 @@ fn main() {
                 cfg.clone(),
                 ReplicaId(i as u32),
                 dir.clone(),
-                Box::new(KvStore::with_costs(Duration::from_micros(20), Duration::ZERO)),
+                Box::new(KvStore::with_costs(
+                    Duration::from_micros(20),
+                    Duration::ZERO,
+                )),
             )),
         );
     }
@@ -155,8 +160,13 @@ fn main() {
 
     let fleet = fleet.borrow();
     let total = fleet.planned_routes + fleet.fallback_routes;
-    println!("robot warehouse: {BASE_ROBOTS} robots + {BURST_ROBOTS} burst robots at t={BURST_AT:?}");
-    println!("  route updates served by planner : {}", fleet.planned_routes);
+    println!(
+        "robot warehouse: {BASE_ROBOTS} robots + {BURST_ROBOTS} burst robots at t={BURST_AT:?}"
+    );
+    println!(
+        "  route updates served by planner : {}",
+        fleet.planned_routes
+    );
     println!(
         "  local-sensor fallbacks          : {} ({:.1}% of {total})",
         fleet.fallback_routes,

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use idem_harness::experiments::{self, Effort};
 use idem_harness::report::ExperimentReport;
+use idem_harness::sweep::SweepRunner;
 
 /// A minimal effort so the full matrix stays test-suite friendly.
 fn tiny() -> Effort {
@@ -14,6 +15,11 @@ fn tiny() -> Effort {
         repetitions: 1,
         fixed_requests: 5_000,
     }
+}
+
+/// Smoke tests exercise the parallel path with a small pool.
+fn runner() -> SweepRunner {
+    SweepRunner::new(2)
 }
 
 fn check(report: &ExperimentReport) {
@@ -35,22 +41,22 @@ fn check(report: &ExperimentReport) {
 
 #[test]
 fn fig2_smoke() {
-    check(&experiments::fig2::run(tiny()));
+    check(&experiments::fig2::run(tiny(), &runner()));
 }
 
 #[test]
 fn fig3_smoke() {
-    check(&experiments::fig3::run(tiny()));
+    check(&experiments::fig3::run(tiny(), &runner()));
 }
 
 #[test]
 fn fig6_smoke() {
-    check(&experiments::fig6::run(tiny()));
+    check(&experiments::fig6::run(tiny(), &runner()));
 }
 
 #[test]
 fn fig7_smoke() {
-    let report = experiments::fig7::run(tiny());
+    let report = experiments::fig7::run(tiny(), &runner());
     check(&report);
     // The reject table must actually contain reject data at high factors.
     assert!(report.body.contains("rejects"));
@@ -58,7 +64,7 @@ fn fig7_smoke() {
 
 #[test]
 fn table1_smoke() {
-    let report = experiments::table1::run(tiny());
+    let report = experiments::table1::run(tiny(), &runner());
     check(&report);
     assert!(report.body.contains("GB"));
     assert!(report.body.contains("overhead"));
@@ -66,7 +72,7 @@ fn table1_smoke() {
 
 #[test]
 fn fig8_smoke() {
-    let report = experiments::fig8::run(tiny());
+    let report = experiments::fig8::run(tiny(), &runner());
     check(&report);
     assert!(report.body.contains("RT=20"));
     assert!(report.body.contains("RT=75"));
@@ -74,17 +80,17 @@ fn fig8_smoke() {
 
 #[test]
 fn fig9a_smoke() {
-    check(&experiments::fig9::run_misconfigured(tiny()));
+    check(&experiments::fig9::run_misconfigured(tiny(), &runner()));
 }
 
 #[test]
 fn fig9b_smoke() {
-    check(&experiments::fig9::run_extreme(tiny()));
+    check(&experiments::fig9::run_extreme(tiny(), &runner()));
 }
 
 #[test]
 fn fig10_smoke() {
-    let report = experiments::fig10::run(tiny());
+    let report = experiments::fig10::run(tiny(), &runner());
     check(&report);
     // 2 systems × 2 crash kinds × 2 loads = 8 timeline CSVs.
     assert_eq!(report.csv.len(), 8);
@@ -92,7 +98,7 @@ fn fig10_smoke() {
 
 #[test]
 fn fig10d_smoke() {
-    let report = experiments::fig10d::run(tiny());
+    let report = experiments::fig10d::run(tiny(), &runner());
     check(&report);
     assert_eq!(report.csv.len(), 4);
     assert!(report.body.contains("downtime"));
@@ -100,7 +106,7 @@ fn fig10d_smoke() {
 
 #[test]
 fn strategies_smoke() {
-    let report = experiments::strategies::run(tiny());
+    let report = experiments::strategies::run(tiny(), &runner());
     check(&report);
     assert!(report.body.contains("pessimistic"));
     assert!(report.body.contains("optimistic 5ms"));

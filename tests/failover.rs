@@ -148,8 +148,8 @@ fn aqm_stabilizes_post_crash_overload_compared_to_tail_drop() {
             .map(|(_, v)| *v)
             .collect();
         let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
-        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / vals.len().max(1) as f64;
+        let var =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len().max(1) as f64;
         (var.sqrt() / mean, mean)
     };
     let (cv_aqm, mean_aqm) = cv(Protocol::idem());

@@ -164,7 +164,13 @@ fn forward_volume_is_negligible_in_healthy_runs() {
     let total_forwards: u64 = s
         .replicas
         .iter()
-        .map(|&r| s.sim.node_as::<IdemReplica>(r).unwrap().stats().forwards_sent)
+        .map(|&r| {
+            s.sim
+                .node_as::<IdemReplica>(r)
+                .unwrap()
+                .stats()
+                .forwards_sent
+        })
         .sum();
     assert!(
         total_forwards * 100 < 1000,
@@ -175,8 +181,7 @@ fn forward_volume_is_negligible_in_healthy_runs() {
 #[test]
 fn heavy_loss_is_survived_by_forwarding_and_retransmission() {
     let net = Network::new(
-        LinkSpec::new(Duration::from_micros(100), Duration::from_micros(50))
-            .with_drop_prob(0.10),
+        LinkSpec::new(Duration::from_micros(100), Duration::from_micros(50)).with_drop_prob(0.10),
     );
     let mut s = setup(IdemConfig::for_faults(1), 2, 40, 5, net);
     s.sim.run_for(Duration::from_secs(60));

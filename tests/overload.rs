@@ -48,7 +48,10 @@ fn idem_no_pr_matches_idem_below_threshold() {
     let idem = measure(Protocol::idem(), clients);
     let no_pr = measure(Protocol::idem_no_pr(), clients);
     let rel = (idem.latency_mean_ms - no_pr.latency_mean_ms).abs() / no_pr.latency_mean_ms;
-    assert!(rel < 0.05, "below threshold the variants must match ({rel})");
+    assert!(
+        rel < 0.05,
+        "below threshold the variants must match ({rel})"
+    );
     assert_eq!(idem.rejections, 0);
 }
 
@@ -113,8 +116,7 @@ fn threshold_orders_throughput_and_latency() {
         rt75.throughput
     );
     assert!(
-        rt20.latency_mean_ms < rt50.latency_mean_ms
-            && rt50.latency_mean_ms < rt75.latency_mean_ms,
+        rt20.latency_mean_ms < rt50.latency_mean_ms && rt50.latency_mean_ms < rt75.latency_mean_ms,
         "latency ordering violated: {} / {} / {}",
         rt20.latency_mean_ms,
         rt50.latency_mean_ms,

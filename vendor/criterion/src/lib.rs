@@ -1,0 +1,259 @@
+//! Offline drop-in subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API.
+//!
+//! The workspace builds hermetically (no crates.io access), so the
+//! benchmark surface the `idem-bench` crate uses is reimplemented here:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, one calibration pass sizes the
+//! per-sample iteration count so a sample lasts roughly
+//! `measurement_time / sample_size`; then `sample_size` wall-clock
+//! samples are taken and the min/mean/max per-iteration times printed.
+//! There is no statistical outlier analysis and no HTML report — the
+//! point is honest relative numbers with zero dependencies.
+//!
+//! Environment knobs: `BENCH_FILTER` (substring filter on benchmark
+//! names, like the positional CLI filter of real criterion).
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement back-ends (wall time only).
+
+    /// Wall-clock measurement marker type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+use measurement::WallTime;
+
+/// Per-iteration timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for this sample's iteration count, timing the whole
+    /// batch with one clock read per side.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+fn filter_matches(name: &str) -> bool {
+    match std::env::var("BENCH_FILTER") {
+        Ok(f) if !f.is_empty() => name.contains(&f),
+        _ => true,
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, config: BenchConfig, mut f: F) {
+    if !filter_matches(name) {
+        return;
+    }
+    // Calibration: one iteration, to size the per-sample batch.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let per_sample = config.measurement_time / config.sample_size.max(1) as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        bencher.iters = iters;
+        f(&mut bencher);
+        samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples_ns.iter().copied().fold(0.0f64, f64::max);
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    println!(
+        "{name:<40} time: [{} {} {}]  ({} samples x {} iters)",
+        format_time(Duration::from_nanos(min as u64)),
+        format_time(Duration::from_nanos(mean as u64)),
+        format_time(Duration::from_nanos(max as u64)),
+        samples_ns.len(),
+        iters,
+    );
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: BenchConfig,
+}
+
+impl Criterion {
+    /// Applies CLI configuration. The shim reads `BENCH_FILTER` from the
+    /// environment instead of parsing argv; this method exists for API
+    /// compatibility.
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs one benchmark with the default configuration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        run_bench(&name.into(), self.config, f);
+        self
+    }
+
+    /// Opens a named group whose configuration can be tuned before its
+    /// benchmarks run.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, WallTime> {
+        BenchmarkGroup {
+            _criterion: PhantomData,
+            name: name.into(),
+            config: self.config,
+        }
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M> {
+    _criterion: PhantomData<&'a M>,
+    name: String,
+    config: BenchConfig,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name.into()), self.config, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Prevents the compiler from optimizing a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2));
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        // 1 calibration + 2 samples.
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn format_time_picks_units() {
+        assert!(format_time(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(format_time(Duration::from_micros(500)).ends_with("µs"));
+        assert!(format_time(Duration::from_millis(500)).ends_with("ms"));
+        assert!(format_time(Duration::from_secs(5)).ends_with('s'));
+    }
+}
