@@ -1,0 +1,36 @@
+//! Execution-order records for cross-replica safety checking.
+//!
+//! Every protocol crate can optionally record, per replica, which request
+//! was executed at which slot. The chaos harness
+//! (`idem-harness::invariants`) compares these logs across replicas to
+//! check agreement and exactly-once execution after fault-injection runs.
+//! Recording is off by default and costs nothing when disabled.
+
+use crate::ids::RequestId;
+
+/// One executed (or dup-suppressed) command at one consensus slot, as seen
+/// by one replica.
+///
+/// `slot` is a protocol-specific dense execution index: IDEM and Paxos use
+/// the sequence number directly; SMaRt packs `(batch_sqn << 20) | offset`
+/// so that commands inside one batch keep distinct, ordered slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// The protocol-level execution slot.
+    pub slot: u64,
+    /// The client request bound to the slot.
+    pub id: RequestId,
+    /// Whether the replica actually applied the command to its state
+    /// machine here (`true`), as opposed to recognizing it as a duplicate
+    /// binding of an already-executed request and skipping the apply
+    /// (`false`). Exactly-once checking counts only fresh applies;
+    /// agreement checking uses every record.
+    pub fresh: bool,
+}
+
+impl ExecRecord {
+    /// Convenience constructor.
+    pub fn new(slot: u64, id: RequestId, fresh: bool) -> ExecRecord {
+        ExecRecord { slot, id, fresh }
+    }
+}

@@ -30,6 +30,7 @@
 pub mod app;
 pub mod directory;
 pub mod driver;
+pub mod exec;
 pub mod ids;
 pub mod quorum;
 pub mod request;
@@ -38,6 +39,7 @@ pub mod window;
 pub use app::{CostModel, FixedCost, StateMachine};
 pub use directory::Directory;
 pub use driver::{ClientApp, OperationOutcome, OutcomeKind};
+pub use exec::ExecRecord;
 pub use ids::{ClientId, OpNumber, ReplicaId, RequestId, SeqNumber, View};
 pub use quorum::{QuorumSet, QuorumTracker};
 pub use request::{Reply, Request};

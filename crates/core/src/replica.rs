@@ -5,8 +5,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use idem_common::app::CostModel;
 use idem_common::{
-    ClientId, Directory, QuorumTracker, Reply, Request, RequestId, SeqNumber, SeqWindow,
-    StateMachine, View,
+    ClientId, Directory, ExecRecord, QuorumTracker, Reply, Request, RequestId, SeqNumber,
+    SeqWindow, StateMachine, View,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -158,6 +158,11 @@ pub struct IdemReplica {
     load_estimate: f64,
     load_estimate_at: SimTime,
     stats: ReplicaStats,
+
+    /// When enabled, every slot this replica consumes is appended here for
+    /// post-run safety checking (see `idem_common::exec`).
+    exec_log: Vec<ExecRecord>,
+    exec_log_enabled: bool,
 }
 
 impl IdemReplica {
@@ -207,6 +212,26 @@ impl IdemReplica {
             load_estimate: 0.0,
             load_estimate_at: SimTime::ZERO,
             stats: ReplicaStats::default(),
+            exec_log: Vec::new(),
+            exec_log_enabled: false,
+        }
+    }
+
+    /// Turns on execution-order recording (off by default; recording every
+    /// slot costs memory proportional to the run length).
+    pub fn enable_exec_log(&mut self) {
+        self.exec_log_enabled = true;
+    }
+
+    /// The recorded execution order (empty unless
+    /// [`enable_exec_log`](Self::enable_exec_log) was called).
+    pub fn exec_log(&self) -> &[ExecRecord] {
+        &self.exec_log
+    }
+
+    fn record_exec(&mut self, slot: SeqNumber, id: RequestId, fresh: bool) {
+        if self.exec_log_enabled {
+            self.exec_log.push(ExecRecord::new(slot.0, id, fresh));
         }
     }
 
@@ -734,6 +759,7 @@ impl IdemReplica {
                 continue;
             }
             if id.client == NOOP_CLIENT {
+                self.record_exec(self.next_exec, id, false);
                 self.window
                     .get_mut(self.next_exec)
                     .expect("present")
@@ -746,6 +772,7 @@ impl IdemReplica {
             if self.executed_already(id) {
                 // Duplicate binding across views: consume without re-running
                 // the application.
+                self.record_exec(self.next_exec, id, false);
                 self.window
                     .get_mut(self.next_exec)
                     .expect("present")
@@ -790,6 +817,7 @@ impl IdemReplica {
             let cost = self.app.execution_cost(&req.command);
             ctx.charge(cost);
             let result = self.app.execute(&req.command);
+            self.record_exec(self.next_exec, id, true);
             self.stats.executed += 1;
             self.last_executed
                 .insert(id.client.0, (id.op, result.clone()));
@@ -861,6 +889,11 @@ impl IdemReplica {
     }
 
     fn handle_checkpoint_request(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId) {
+        // Answer with a fresh checkpoint: the periodic one can predate the
+        // requester's own state, which would leave a lagging replica
+        // permanently unable to catch up (its gap is only repairable by a
+        // checkpoint taken at or after its missing slot).
+        self.take_checkpoint(ctx);
         if let Some(cp) = self.checkpoint.clone() {
             ctx.send(from, IdemMessage::Checkpoint(cp));
         }
@@ -994,6 +1027,10 @@ impl IdemReplica {
         // the effective view crashed (Section 4.5).
         let target = self.effective_view().next();
         self.start_view_change(ctx, target);
+        // start_view_change no-ops when a change to `target` is already in
+        // flight — keep the timer armed regardless, or a stalled view
+        // change would never be escalated past `target`.
+        self.ensure_progress_timer(ctx);
     }
 
     fn window_summary(&self) -> Vec<WindowEntry> {
@@ -1196,6 +1233,28 @@ impl Node<IdemMessage> for IdemReplica {
     }
 
     fn on_crash(&mut self, _now: SimTime) {}
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        // Timer events that fired while we were down are lost, so every held
+        // handle may be stale: cancel and re-arm. (Cancelling a timer that
+        // is still pending is also fine — we re-arm an equivalent one.)
+        if let Some(timer) = self.progress_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        self.ensure_progress_timer(ctx);
+        let pending: Vec<RequestId> = self.forward_timers.keys().copied().collect();
+        for id in pending {
+            if let Some(old) = self.forward_timers.remove(&id) {
+                ctx.cancel_timer(old);
+            }
+            let timer = ctx.set_timer(self.cfg.forward_timeout, IdemMessage::ForwardTimer(id));
+            self.forward_timers.insert(id, timer);
+        }
+        // The cluster may have moved on (GC, view changes) while we were
+        // down; ask the leader for a checkpoint to catch up quickly.
+        let leader = self.leader_node();
+        ctx.send(leader, IdemMessage::CheckpointRequest);
+    }
 }
 
 #[cfg(test)]

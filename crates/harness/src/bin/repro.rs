@@ -3,9 +3,10 @@
 //! Usage:
 //! ```text
 //! repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--bench-out FILE]
+//! repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--jobs N]
 //!
 //! experiments: fig2 fig3 fig6 fig7 table1 fig8 fig9a fig9b fig10 fig10d
-//!              strategies all calibrate
+//!              strategies all calibrate chaos
 //! --full            paper-scale run lengths and repetitions (default: quick)
 //! --out DIR         also write the CSV series under DIR (default: results/)
 //! --jobs N          worker threads for the experiment sweep (default: the
@@ -13,10 +14,18 @@
 //!                   byte-identical for every N
 //! --bench-out FILE  where to write the wall-time/events-per-second summary
 //!                   (default: BENCH_repro.json)
+//! --seeds N         chaos: run seeds 1..=N (default 50; must be >= 1)
+//! --seed X          chaos: run only seed X (for reproducing a CI failure)
+//! --schedule 'S'    chaos: replay this fault schedule instead of generating
+//!                   one per seed, e.g. 'crash(0,400,800);loss(0.050,900,1100)'
 //! ```
+//!
+//! `chaos` exits 1 if any invariant was violated, printing a replayable
+//! `--seed X --schedule '...'` line per violation.
 
 use std::time::{Duration, Instant};
 
+use idem_harness::chaos::{self, ChaosConfig, Schedule};
 use idem_harness::experiments::{self, Effort};
 use idem_harness::report::ExperimentReport;
 use idem_harness::sweep::SweepRunner;
@@ -44,12 +53,21 @@ struct Args {
     jobs: Option<usize>,
     bench_out: String,
     wanted: Vec<String>,
+    seeds: Option<u64>,
+    seed: Option<u64>,
+    schedule: Option<String>,
+    bench_out_explicit: bool,
 }
 
 fn usage() -> String {
     format!(
         "usage: repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--bench-out FILE]\n\
-         experiments: {} all calibrate",
+         \x20      repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--jobs N]\n\
+         experiments: {} all calibrate chaos\n\
+         chaos flags: --seeds N      run seeds 1..=N (default 50, must be >= 1)\n\
+         \x20            --seed X       run only seed X (reproduce a CI failure)\n\
+         \x20            --schedule S   replay a fixed fault schedule, e.g.\n\
+         \x20                           'crash(0,400,800);loss(0.050,900,1100)'",
         ALL.join(" ")
     )
 }
@@ -65,6 +83,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         jobs: None,
         bench_out: "BENCH_repro.json".to_string(),
         wanted: Vec::new(),
+        seeds: None,
+        seed: None,
+        schedule: None,
+        bench_out_explicit: false,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -86,7 +108,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 parsed.full = true;
             }
             "--out" => parsed.out_dir = take_value(&mut it)?,
-            "--bench-out" => parsed.bench_out = take_value(&mut it)?,
+            "--bench-out" => {
+                parsed.bench_out = take_value(&mut it)?;
+                parsed.bench_out_explicit = true;
+            }
             "--jobs" => {
                 let value = take_value(&mut it)?;
                 let jobs: usize = value.parse().map_err(|_| {
@@ -97,20 +122,56 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 }
                 parsed.jobs = Some(jobs);
             }
+            "--seeds" => {
+                let value = take_value(&mut it)?;
+                let seeds: u64 = value.parse().map_err(|_| {
+                    format!("invalid --seeds value '{value}' (expected a positive integer)")
+                })?;
+                if seeds == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+                parsed.seeds = Some(seeds);
+            }
+            "--seed" => {
+                let value = take_value(&mut it)?;
+                let seed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value '{value}' (expected an integer)"))?;
+                parsed.seed = Some(seed);
+            }
+            "--schedule" => {
+                let value = take_value(&mut it)?;
+                // Validate up front so a typo fails fast with exit 2.
+                Schedule::parse(&value).map_err(|e| format!("invalid --schedule: {e}"))?;
+                parsed.schedule = Some(value);
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'\n{}", usage()));
             }
             name => {
-                if name != "all" && name != "calibrate" && !ALL.contains(&name) {
+                if name != "all" && name != "calibrate" && name != "chaos" && !ALL.contains(&name) {
                     return Err(format!("unknown experiment '{name}'\n{}", usage()));
                 }
                 parsed.wanted.push(name.to_string());
             }
         }
     }
+    let is_chaos = parsed.wanted.iter().any(|w| w == "chaos");
+    if !is_chaos && (parsed.seeds.is_some() || parsed.seed.is_some() || parsed.schedule.is_some()) {
+        return Err("--seeds/--seed/--schedule apply only to the chaos experiment".to_string());
+    }
+    if parsed.seeds.is_some() && parsed.seed.is_some() {
+        return Err("--seeds and --seed are mutually exclusive".to_string());
+    }
     if parsed.wanted.is_empty() || parsed.wanted.iter().any(|w| w == "all") {
         parsed.wanted = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    // A chaos-only run must not clobber BENCH_repro.json: that file is the
+    // committed baseline the bench-regression gate compares against, and its
+    // entries come from the experiment sweep, not the fault campaign.
+    if !parsed.bench_out_explicit && parsed.wanted.iter().all(|w| w == "chaos") {
+        parsed.bench_out = "BENCH_chaos.json".to_string();
     }
     Ok(parsed)
 }
@@ -149,6 +210,7 @@ fn main() {
         args.out_dir
     );
     let mut bench_entries: Vec<BenchEntry> = Vec::new();
+    let mut chaos_violations = 0usize;
     let total_start = Instant::now();
     for name in &args.wanted {
         let start = Instant::now();
@@ -166,6 +228,48 @@ fn main() {
             "strategies" => experiments::strategies::run(effort, &runner),
             "calibrate" => {
                 calibrate();
+                continue;
+            }
+            "chaos" => {
+                let cfg = ChaosConfig {
+                    start_seed: args.seed.unwrap_or(1),
+                    seeds: if args.seed.is_some() {
+                        1
+                    } else {
+                        args.seeds.unwrap_or(50)
+                    },
+                    schedule: args
+                        .schedule
+                        .as_deref()
+                        .map(|s| Schedule::parse(s).expect("schedule validated at parse time")),
+                };
+                let report = chaos::run_campaign(&cfg, &runner);
+                let wall = start.elapsed();
+                let stats = runner.take_stats();
+                let text = report.render();
+                print!("{text}");
+                if std::fs::create_dir_all(&args.out_dir).is_ok() {
+                    let path = format!("{}/chaos_report.txt", args.out_dir);
+                    if let Err(e) = std::fs::write(&path, &text) {
+                        eprintln!("warning: could not write {path}: {e}");
+                    }
+                }
+                chaos_violations += report.total_violations();
+                bench_entries.push(BenchEntry {
+                    name: name.clone(),
+                    wall,
+                    cells: stats.cells,
+                    events: stats.events,
+                    cell_cpu: stats.busy,
+                });
+                eprintln!(
+                    "[chaos done in {:.1?}: {} run(s), {} sim events, {:.0} events/s, {} violation(s)]\n",
+                    wall,
+                    stats.cells,
+                    stats.events,
+                    stats.events_per_sec(wall),
+                    report.total_violations(),
+                );
                 continue;
             }
             other => unreachable!("parser admitted unknown experiment '{other}'"),
@@ -199,6 +303,10 @@ fn main() {
             Ok(()) => eprintln!("wrote bench summary to {}", args.bench_out),
             Err(e) => eprintln!("warning: could not write {}: {e}", args.bench_out),
         }
+    }
+    if chaos_violations > 0 {
+        eprintln!("chaos: {chaos_violations} invariant violation(s) — failing");
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,769 @@
+//! Deterministic chaos campaign: seeded fault-injection with invariant
+//! checking.
+//!
+//! A [`Schedule`] is a list of timed fault episodes — crashes with
+//! recoveries, CPU-degradation intervals, replica partitions, and global
+//! loss bursts — drawn from a small grammar with a stable textual form, so
+//! every schedule can be printed in a CI log and replayed verbatim:
+//!
+//! ```text
+//! crash(0,412,731);slow(2,4.0,350,600);part(0|1+2,900,1100);loss(0.080,1200,1350)
+//! ```
+//!
+//! - `crash(R,S,E)` — replica `R` crashes at `S` ms and recovers at `E` ms.
+//! - `slow(R,F,S,E)` — replica `R` runs `F`× slower between `S` and `E` ms.
+//! - `part(G|G,S,E)` — the two replica groups (indexes joined by `+`)
+//!   cannot exchange messages between `S` and `E` ms.
+//! - `loss(P,S,E)` — every non-loopback message is dropped with
+//!   probability `P` between `S` and `E` ms.
+//!
+//! [`Schedule::generate`] derives a schedule deterministically from a seed,
+//! with safety constraints baked in: at most one node-fault episode and one
+//! network-fault episode at a time, every crash paired with a recovery, and
+//! all episodes over before [`FAULT_WINDOW_END`]. A campaign run
+//! ([`run_campaign`]) replays each seed's schedule against IDEM, Paxos, and
+//! BFT-SMaRt, force-heals everything at the end of the fault window, lets
+//! the cluster run a fixed cooldown, and then checks the
+//! [invariants](crate::invariants) on the artefacts. The per-seed verdict
+//! report renders identically for any `--jobs` value.
+
+use std::fmt;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::{build_cluster, ClusterOptions, Protocol};
+use crate::invariants::{
+    check_agreement, check_client_progress, check_exactly_once, check_post_heal_liveness,
+    check_session_order, ViolationKind,
+};
+use crate::recorder::Recorder;
+use crate::sweep::SweepRunner;
+
+/// Virtual time (ms) before which the generator injects no faults — the
+/// cluster reaches steady state first.
+pub const FAULT_WINDOW_START_MS: u64 = 300;
+
+/// Virtual time (ms) by which every generated episode has ended; the run
+/// force-heals all faults at this point regardless of the schedule.
+pub const FAULT_WINDOW_END_MS: u64 = 1500;
+
+/// Post-heal cooldown (ms) during which commits must resume and every
+/// client must make progress. Must comfortably exceed the protocols'
+/// 1.5 s progress timeout: a leader that makes its last bit of progress
+/// right at the heal boundary only detects the stall one full timeout
+/// later, and the view change plus client retransmissions need room
+/// after that.
+pub const COOLDOWN_MS: u64 = 4000;
+
+/// Closed-loop clients per chaos run — enough concurrency to exercise
+/// forwarding and batching without making 50-seed campaigns slow.
+pub const CHAOS_CLIENTS: u32 = 8;
+
+/// One timed fault episode. Times are virtual milliseconds from the start
+/// of the run; every episode ends (`end_ms`) as well as starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Crash a replica at `start_ms`, recover it at `end_ms`.
+    Crash {
+        /// Replica index.
+        replica: usize,
+        /// Crash time (ms).
+        start_ms: u64,
+        /// Recovery time (ms).
+        end_ms: u64,
+    },
+    /// Degrade a replica's CPU by `factor` for the interval.
+    Slow {
+        /// Replica index.
+        replica: usize,
+        /// CPU slowdown multiplier (> 1.0).
+        factor: f64,
+        /// Degradation start (ms).
+        start_ms: u64,
+        /// Degradation end (ms).
+        end_ms: u64,
+    },
+    /// Partition two groups of replicas from each other for the interval.
+    Partition {
+        /// Replica indexes on one side.
+        left: Vec<usize>,
+        /// Replica indexes on the other side.
+        right: Vec<usize>,
+        /// Partition start (ms).
+        start_ms: u64,
+        /// Heal time (ms).
+        end_ms: u64,
+    },
+    /// Drop every non-loopback message with probability `p` for the
+    /// interval.
+    Loss {
+        /// Drop probability in `0..=1`.
+        p: f64,
+        /// Burst start (ms).
+        start_ms: u64,
+        /// Burst end (ms).
+        end_ms: u64,
+    },
+}
+
+impl Fault {
+    fn start_ms(&self) -> u64 {
+        match self {
+            Fault::Crash { start_ms, .. }
+            | Fault::Slow { start_ms, .. }
+            | Fault::Partition { start_ms, .. }
+            | Fault::Loss { start_ms, .. } => *start_ms,
+        }
+    }
+
+    fn end_ms(&self) -> u64 {
+        match self {
+            Fault::Crash { end_ms, .. }
+            | Fault::Slow { end_ms, .. }
+            | Fault::Partition { end_ms, .. }
+            | Fault::Loss { end_ms, .. } => *end_ms,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Crash {
+                replica,
+                start_ms,
+                end_ms,
+            } => write!(f, "crash({replica},{start_ms},{end_ms})"),
+            Fault::Slow {
+                replica,
+                factor,
+                start_ms,
+                end_ms,
+            } => write!(f, "slow({replica},{factor:.1},{start_ms},{end_ms})"),
+            Fault::Partition {
+                left,
+                right,
+                start_ms,
+                end_ms,
+            } => {
+                let join = |g: &[usize]| {
+                    g.iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join("+")
+                };
+                write!(
+                    f,
+                    "part({}|{},{start_ms},{end_ms})",
+                    join(left),
+                    join(right)
+                )
+            }
+            Fault::Loss {
+                p,
+                start_ms,
+                end_ms,
+            } => {
+                write!(f, "loss({p:.3},{start_ms},{end_ms})")
+            }
+        }
+    }
+}
+
+/// A complete fault schedule for one chaos run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    /// The episodes, in the order they were generated or parsed.
+    pub faults: Vec<Fault>,
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "none");
+        }
+        let parts: Vec<String> = self.faults.iter().map(Fault::to_string).collect();
+        write!(f, "{}", parts.join(";"))
+    }
+}
+
+impl Schedule {
+    /// Generates the schedule for `seed` over a cluster of `replicas`
+    /// nodes. Deterministic: the same seed always yields the same
+    /// schedule. Two independent fault tracks run over the fault window —
+    /// a node track (crash / slow episodes, never concurrent with each
+    /// other, so at most `f = 1` replica is ever down) and a network track
+    /// (partition / loss episodes) — with idle gaps between episodes.
+    pub fn generate(seed: u64, replicas: usize) -> Schedule {
+        assert!(replicas >= 2, "need at least two replicas to fault");
+        let mut rng =
+            SmallRng::seed_from_u64(seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(5));
+        let mut faults = Vec::new();
+
+        // Node-fault track: crashes and CPU degradations, one at a time.
+        let mut cursor = FAULT_WINDOW_START_MS + rng.gen_range(0..200_u64);
+        while cursor + 100 < FAULT_WINDOW_END_MS {
+            let dur = rng
+                .gen_range(100..=400_u64)
+                .min(FAULT_WINDOW_END_MS - cursor);
+            let replica = rng.gen_range(0..replicas);
+            if rng.gen_bool(0.6) {
+                faults.push(Fault::Crash {
+                    replica,
+                    start_ms: cursor,
+                    end_ms: cursor + dur,
+                });
+            } else {
+                let factor = f64::from(rng.gen_range(20..=80_u32)) / 10.0;
+                faults.push(Fault::Slow {
+                    replica,
+                    factor,
+                    start_ms: cursor,
+                    end_ms: cursor + dur,
+                });
+            }
+            cursor += dur + rng.gen_range(50..=250_u64);
+        }
+
+        // Network-fault track: partitions and loss bursts, one at a time.
+        let mut cursor = FAULT_WINDOW_START_MS + rng.gen_range(0..300_u64);
+        while cursor + 100 < FAULT_WINDOW_END_MS {
+            let dur = rng
+                .gen_range(100..=300_u64)
+                .min(FAULT_WINDOW_END_MS - cursor);
+            if rng.gen_bool(0.5) {
+                // Isolate one replica from the rest.
+                let isolated = rng.gen_range(0..replicas);
+                let rest: Vec<usize> = (0..replicas).filter(|&i| i != isolated).collect();
+                faults.push(Fault::Partition {
+                    left: vec![isolated],
+                    right: rest,
+                    start_ms: cursor,
+                    end_ms: cursor + dur,
+                });
+            } else {
+                let p = f64::from(rng.gen_range(10..=150_u32)) / 1000.0;
+                faults.push(Fault::Loss {
+                    p,
+                    start_ms: cursor,
+                    end_ms: cursor + dur,
+                });
+            }
+            cursor += dur + rng.gen_range(100..=400_u64);
+        }
+
+        Schedule { faults }
+    }
+
+    /// Parses the textual form produced by [`Display`](fmt::Display):
+    /// `;`-separated episodes, e.g.
+    /// `crash(0,412,731);part(0|1+2,900,1100)`. `none` parses to the empty
+    /// schedule.
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let text = text.trim();
+        if text.is_empty() || text == "none" {
+            return Ok(Schedule::default());
+        }
+        let mut faults = Vec::new();
+        for part in text.split(';') {
+            faults.push(Self::parse_fault(part.trim())?);
+        }
+        Ok(Schedule { faults })
+    }
+
+    fn parse_fault(text: &str) -> Result<Fault, String> {
+        let (name, rest) = text
+            .split_once('(')
+            .ok_or_else(|| format!("malformed episode '{text}': expected name(args)"))?;
+        let args = rest
+            .strip_suffix(')')
+            .ok_or_else(|| format!("malformed episode '{text}': missing ')'"))?;
+        let fields: Vec<&str> = args.split(',').collect();
+        let int = |s: &str| -> Result<u64, String> {
+            s.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad integer '{s}' in '{text}'"))
+        };
+        let float = |s: &str| -> Result<f64, String> {
+            let v = s
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad number '{s}' in '{text}'"))?;
+            if !v.is_finite() {
+                return Err(format!("non-finite number '{s}' in '{text}'"));
+            }
+            Ok(v)
+        };
+        let span = |start: u64, end: u64| -> Result<(), String> {
+            if end <= start {
+                Err(format!("empty interval {start}..{end} in '{text}'"))
+            } else {
+                Ok(())
+            }
+        };
+        match (name.trim(), fields.as_slice()) {
+            ("crash", [r, s, e]) => {
+                let (start_ms, end_ms) = (int(s)?, int(e)?);
+                span(start_ms, end_ms)?;
+                Ok(Fault::Crash {
+                    replica: int(r)? as usize,
+                    start_ms,
+                    end_ms,
+                })
+            }
+            ("slow", [r, f, s, e]) => {
+                let factor = float(f)?;
+                if factor <= 1.0 {
+                    return Err(format!("slow factor must exceed 1.0 in '{text}'"));
+                }
+                let (start_ms, end_ms) = (int(s)?, int(e)?);
+                span(start_ms, end_ms)?;
+                Ok(Fault::Slow {
+                    replica: int(r)? as usize,
+                    factor,
+                    start_ms,
+                    end_ms,
+                })
+            }
+            ("part", [groups, s, e]) => {
+                let (l, r) = groups
+                    .split_once('|')
+                    .ok_or_else(|| format!("partition groups need '|' in '{text}'"))?;
+                let group = |g: &str| -> Result<Vec<usize>, String> {
+                    g.split('+').map(|i| Ok(int(i)? as usize)).collect()
+                };
+                let (left, right) = (group(l)?, group(r)?);
+                if left.is_empty() || right.is_empty() {
+                    return Err(format!("empty partition group in '{text}'"));
+                }
+                let (start_ms, end_ms) = (int(s)?, int(e)?);
+                span(start_ms, end_ms)?;
+                Ok(Fault::Partition {
+                    left,
+                    right,
+                    start_ms,
+                    end_ms,
+                })
+            }
+            ("loss", [p, s, e]) => {
+                let p = float(p)?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("loss probability outside 0..=1 in '{text}'"));
+                }
+                let (start_ms, end_ms) = (int(s)?, int(e)?);
+                span(start_ms, end_ms)?;
+                Ok(Fault::Loss {
+                    p,
+                    start_ms,
+                    end_ms,
+                })
+            }
+            _ => Err(format!(
+                "unknown episode '{text}': expected crash(R,S,E), slow(R,F,S,E), \
+                 part(G|G,S,E), or loss(P,S,E)"
+            )),
+        }
+    }
+
+    /// Checks every referenced replica index against the cluster size.
+    pub fn validate(&self, replicas: usize) -> Result<(), String> {
+        let check = |i: usize| -> Result<(), String> {
+            if i < replicas {
+                Ok(())
+            } else {
+                Err(format!(
+                    "replica index {i} out of range for {replicas} replicas"
+                ))
+            }
+        };
+        for fault in &self.faults {
+            match fault {
+                Fault::Crash { replica, .. } | Fault::Slow { replica, .. } => check(*replica)?,
+                Fault::Partition { left, right, .. } => {
+                    for &i in left.iter().chain(right) {
+                        check(i)?;
+                    }
+                }
+                Fault::Loss { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The virtual time at which everything is force-healed: the end of
+    /// the fault window or the last episode's end, whichever is later.
+    pub fn heal_at_ms(&self) -> u64 {
+        self.faults
+            .iter()
+            .map(Fault::end_ms)
+            .max()
+            .unwrap_or(0)
+            .max(FAULT_WINDOW_END_MS)
+    }
+}
+
+/// Timeline edge: a fault starting or ending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Edge {
+    End,
+    Start,
+}
+
+/// The verdict of one (protocol, seed) chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// Protocol label.
+    pub protocol: &'static str,
+    /// The seed that produced (or replayed) the schedule.
+    pub seed: u64,
+    /// The schedule that was injected, in replayable textual form.
+    pub schedule: String,
+    /// Invariant violations (empty = verdict ok).
+    pub violations: Vec<ViolationKind>,
+    /// Successful operations over the whole run.
+    pub successes: u64,
+    /// Rejected operations over the whole run.
+    pub rejections: u64,
+    /// Simulator events processed.
+    pub events: u64,
+}
+
+impl ChaosRun {
+    /// True when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one protocol under one schedule and checks all invariants.
+pub fn run_chaos(protocol: &Protocol, seed: u64, schedule: &Schedule) -> ChaosRun {
+    let replicas = protocol.replica_count() as usize;
+    schedule
+        .validate(replicas)
+        .unwrap_or_else(|e| panic!("invalid schedule for {}: {e}", protocol.name()));
+    let opts = ClusterOptions {
+        clients: CHAOS_CLIENTS,
+        seed,
+        warmup: Duration::ZERO,
+        record_exec_log: true,
+        ..ClusterOptions::default()
+    };
+    let mut cluster = build_cluster(protocol, &opts);
+
+    // Flatten the schedule into a sorted edge list. Ends sort before
+    // starts at equal times so back-to-back episodes on one replica do
+    // not overlap; fault index breaks remaining ties deterministically.
+    let mut edges: Vec<(u64, Edge, usize)> = Vec::new();
+    for (i, fault) in schedule.faults.iter().enumerate() {
+        edges.push((fault.start_ms(), Edge::Start, i));
+        edges.push((fault.end_ms(), Edge::End, i));
+    }
+    edges.sort();
+
+    let mut now_ms = 0u64;
+    let mut advance = |cluster: &mut crate::cluster::ClusterHandles, to_ms: u64| {
+        if to_ms > now_ms {
+            cluster.run_for(Duration::from_millis(to_ms - now_ms));
+            now_ms = to_ms;
+        }
+    };
+
+    // Active network faults, tracked so healing one partition can
+    // re-apply any that should still hold (the generator never overlaps
+    // them, but hand-written schedules may).
+    let mut active_partitions: Vec<usize> = Vec::new();
+    let mut active_loss: Vec<usize> = Vec::new();
+
+    for (t, edge, i) in edges {
+        advance(&mut cluster, t);
+        match (&schedule.faults[i], edge) {
+            (Fault::Crash { replica, .. }, Edge::Start) => cluster.crash_replica(*replica),
+            (Fault::Crash { replica, .. }, Edge::End) => cluster.recover_replica(*replica),
+            (
+                Fault::Slow {
+                    replica, factor, ..
+                },
+                Edge::Start,
+            ) => {
+                cluster.set_replica_cpu_factor(*replica, *factor);
+            }
+            (Fault::Slow { replica, .. }, Edge::End) => {
+                cluster.set_replica_cpu_factor(*replica, 1.0);
+            }
+            (Fault::Partition { left, right, .. }, Edge::Start) => {
+                active_partitions.push(i);
+                cluster.partition_replicas(left, right);
+            }
+            (Fault::Partition { .. }, Edge::End) => {
+                active_partitions.retain(|&j| j != i);
+                cluster.heal_partitions();
+                for &j in &active_partitions {
+                    if let Fault::Partition { left, right, .. } = &schedule.faults[j] {
+                        cluster.partition_replicas(left, right);
+                    }
+                }
+            }
+            (Fault::Loss { p, .. }, Edge::Start) => {
+                active_loss.push(i);
+                cluster.set_global_loss(*p);
+            }
+            (Fault::Loss { .. }, Edge::End) => {
+                active_loss.retain(|&j| j != i);
+                let p = active_loss
+                    .last()
+                    .and_then(|&j| match &schedule.faults[j] {
+                        Fault::Loss { p, .. } => Some(*p),
+                        _ => None,
+                    })
+                    .unwrap_or(0.0);
+                cluster.set_global_loss(p);
+            }
+        }
+    }
+
+    // Force-heal everything at the end of the fault window — a safety net
+    // so even a hand-written schedule without recoveries yields a run
+    // whose post-heal phase is meaningful.
+    advance(&mut cluster, schedule.heal_at_ms());
+    for r in 0..replicas {
+        cluster.recover_replica(r);
+        cluster.set_replica_cpu_factor(r, 1.0);
+    }
+    cluster.heal_partitions();
+    cluster.set_global_loss(0.0);
+
+    let successes_at_heal = cluster.recorder.with(Recorder::successes);
+    let last_ops_at_heal = cluster.recorder.with(|r| r.last_ops().clone());
+
+    let heal_ms = schedule.heal_at_ms();
+    advance(&mut cluster, heal_ms + COOLDOWN_MS);
+
+    let successes = cluster.recorder.with(Recorder::successes);
+    let rejections = cluster.recorder.with(Recorder::rejections);
+    let last_ops = cluster.recorder.with(|r| r.last_ops().clone());
+    let order_violations = cluster.recorder.with(Recorder::order_violations);
+    let logs: Vec<Vec<idem_common::ExecRecord>> =
+        (0..replicas).map(|i| cluster.exec_log(i)).collect();
+
+    let mut violations = Vec::new();
+    violations.extend(check_agreement(&logs));
+    violations.extend(check_exactly_once(&logs));
+    violations.extend(check_client_progress(
+        CHAOS_CLIENTS,
+        &last_ops_at_heal,
+        &last_ops,
+    ));
+    violations.extend(check_post_heal_liveness(successes_at_heal, successes));
+    violations.extend(check_session_order(order_violations));
+
+    ChaosRun {
+        protocol: protocol.name(),
+        seed,
+        schedule: schedule.to_string(),
+        violations,
+        successes,
+        rejections,
+        events: cluster.events_processed(),
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// First seed of the campaign.
+    pub start_seed: u64,
+    /// Number of seeds (each runs once per protocol).
+    pub seeds: u64,
+    /// Fixed schedule replayed for every seed instead of generating one
+    /// per seed — the repro path for a CI-reported violation.
+    pub schedule: Option<Schedule>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            start_seed: 1,
+            seeds: 50,
+            schedule: None,
+        }
+    }
+}
+
+/// The protocols every campaign exercises.
+pub fn campaign_protocols() -> Vec<Protocol> {
+    vec![Protocol::idem(), Protocol::paxos(), Protocol::smart()]
+}
+
+/// A finished campaign: one [`ChaosRun`] per (seed, protocol), in
+/// seed-major order.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// All runs, grouped by seed (protocols in campaign order).
+    pub runs: Vec<ChaosRun>,
+    /// Protocols per seed (for grouping `runs`).
+    pub protocols: usize,
+}
+
+impl ChaosReport {
+    /// Total invariant violations across all runs.
+    pub fn total_violations(&self) -> usize {
+        self.runs.iter().map(|r| r.violations.len()).sum()
+    }
+
+    /// Renders the per-seed verdict report. Byte-identical for any
+    /// `--jobs` value: it depends only on the runs in declaration order.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let seeds = self.runs.len() / self.protocols.max(1);
+        let _ = writeln!(
+            out,
+            "# chaos campaign: {seeds} seed(s) x {} protocol(s), {} run(s)",
+            self.protocols,
+            self.runs.len()
+        );
+        for group in self.runs.chunks(self.protocols.max(1)) {
+            let first = &group[0];
+            let _ = writeln!(out, "\nseed {} schedule {}", first.seed, first.schedule);
+            for run in group {
+                let verdict = if run.ok() { "ok       " } else { "VIOLATION" };
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {verdict} successes={} rejections={}",
+                    run.protocol, run.successes, run.rejections
+                );
+                for v in &run.violations {
+                    let _ = writeln!(out, "    {v}");
+                }
+                if !run.ok() {
+                    let _ = writeln!(
+                        out,
+                        "    repro: repro chaos --seed {} --schedule '{}'",
+                        run.seed, run.schedule
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\ntotal: {} run(s), {} violation(s)",
+            self.runs.len(),
+            self.total_violations()
+        );
+        out
+    }
+}
+
+/// Runs the campaign on the given worker pool. Results come back in
+/// seed-major declaration order regardless of the worker count, so the
+/// rendered report is byte-identical for any `--jobs`.
+pub fn run_campaign(cfg: &ChaosConfig, runner: &SweepRunner) -> ChaosReport {
+    let protocols = campaign_protocols();
+    let mut tasks: Vec<(Protocol, u64, Schedule)> = Vec::new();
+    for seed in cfg.start_seed..cfg.start_seed.saturating_add(cfg.seeds) {
+        let schedule = match &cfg.schedule {
+            Some(s) => s.clone(),
+            None => Schedule::generate(seed, protocols[0].replica_count() as usize),
+        };
+        for protocol in &protocols {
+            tasks.push((protocol.clone(), seed, schedule.clone()));
+        }
+    }
+    let runs = runner.run_tasks(tasks, |(protocol, seed, schedule)| {
+        let run = run_chaos(protocol, *seed, schedule);
+        runner.note_events(run.events);
+        run
+    });
+    ChaosReport {
+        runs,
+        protocols: protocols.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_schedules_are_deterministic_and_safe() {
+        for seed in 1..=30 {
+            let a = Schedule::generate(seed, 3);
+            let b = Schedule::generate(seed, 3);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!(!a.faults.is_empty() || seed > 0, "empty allowed but rare");
+            a.validate(3).unwrap();
+            // Every episode ends inside the fault window, crashes never
+            // overlap (node track is sequential), and intervals are
+            // non-empty.
+            let mut crash_spans: Vec<(u64, u64)> = Vec::new();
+            for fault in &a.faults {
+                assert!(fault.end_ms() > fault.start_ms());
+                assert!(fault.end_ms() <= FAULT_WINDOW_END_MS);
+                assert!(fault.start_ms() >= FAULT_WINDOW_START_MS);
+                if let Fault::Crash {
+                    start_ms, end_ms, ..
+                } = fault
+                {
+                    crash_spans.push((*start_ms, *end_ms));
+                }
+            }
+            crash_spans.sort_unstable();
+            for pair in crash_spans.windows(2) {
+                assert!(
+                    pair[0].1 <= pair[1].0,
+                    "seed {seed}: concurrent crashes {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_roundtrips_through_text() {
+        for seed in [1, 7, 23, 99] {
+            let schedule = Schedule::generate(seed, 3);
+            let text = schedule.to_string();
+            let parsed = Schedule::parse(&text).unwrap();
+            assert_eq!(parsed, schedule, "roundtrip failed for '{text}'");
+        }
+        assert_eq!(Schedule::parse("none").unwrap(), Schedule::default());
+        assert_eq!(
+            Schedule::parse("part(0|1+2,300,500)").unwrap().faults,
+            vec![Fault::Partition {
+                left: vec![0],
+                right: vec![1, 2],
+                start_ms: 300,
+                end_ms: 500,
+            }]
+        );
+    }
+
+    #[test]
+    fn malformed_schedules_are_rejected() {
+        for bad in [
+            "crash(0,500,400)",    // empty interval
+            "crash(0,500)",        // missing field
+            "slow(0,0.5,100,200)", // factor below 1
+            "loss(1.5,100,200)",   // probability above 1
+            "part(0,100,200)",     // missing groups
+            "warp(0,100,200)",     // unknown episode
+            "crash(x,100,200)",    // bad integer
+        ] {
+            assert!(Schedule::parse(bad).is_err(), "'{bad}' should be rejected");
+        }
+        assert!(Schedule::parse("crash(9,100,200)")
+            .unwrap()
+            .validate(3)
+            .is_err());
+    }
+
+    #[test]
+    fn single_chaos_run_upholds_invariants() {
+        let schedule = Schedule::parse("crash(1,400,800);loss(0.050,900,1100)").unwrap();
+        let run = run_chaos(&Protocol::idem(), 42, &schedule);
+        assert!(run.ok(), "violations: {:?}", run.violations);
+        assert!(run.successes > 0);
+        assert!(run.events > 0);
+    }
+}

@@ -190,6 +190,9 @@ pub struct ClusterOptions {
     pub bin_width: Duration,
     /// Per-client cap on issued operations (`None` = unbounded).
     pub ops_per_client: Option<u64>,
+    /// Record per-replica execution logs for post-run invariant checking
+    /// (off by default: costs memory proportional to the run length).
+    pub record_exec_log: bool,
 }
 
 impl Default for ClusterOptions {
@@ -201,6 +204,7 @@ impl Default for ClusterOptions {
             warmup: Duration::from_secs(1),
             bin_width: Duration::from_millis(250),
             ops_per_client: None,
+            record_exec_log: false,
         }
     }
 }
@@ -228,15 +232,16 @@ pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandl
             let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
             let dir = Directory::new(replicas.clone(), clients.clone());
             for (i, &node) in replicas.iter().enumerate() {
-                sim.install_node(
-                    node,
-                    Box::new(IdemReplica::new(
-                        config.clone(),
-                        ReplicaId(i as u32),
-                        dir.clone(),
-                        Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
-                    )),
+                let mut replica = IdemReplica::new(
+                    config.clone(),
+                    ReplicaId(i as u32),
+                    dir.clone(),
+                    Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
                 );
+                if opts.record_exec_log {
+                    replica.enable_exec_log();
+                }
+                sim.install_node(node, Box::new(replica));
             }
             for (i, &node) in clients.iter().enumerate() {
                 sim.install_node(
@@ -263,15 +268,16 @@ pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandl
             let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
             let dir = Directory::new(replicas.clone(), clients.clone());
             for (i, &node) in replicas.iter().enumerate() {
-                sim.install_node(
-                    node,
-                    Box::new(PaxosReplica::new(
-                        config.clone(),
-                        ReplicaId(i as u32),
-                        dir.clone(),
-                        Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
-                    )),
+                let mut replica = PaxosReplica::new(
+                    config.clone(),
+                    ReplicaId(i as u32),
+                    dir.clone(),
+                    Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
                 );
+                if opts.record_exec_log {
+                    replica.enable_exec_log();
+                }
+                sim.install_node(node, Box::new(replica));
             }
             for (i, &node) in clients.iter().enumerate() {
                 sim.install_node(
@@ -298,15 +304,16 @@ pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandl
             let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
             let dir = Directory::new(replicas.clone(), clients.clone());
             for (i, &node) in replicas.iter().enumerate() {
-                sim.install_node(
-                    node,
-                    Box::new(SmartReplica::new(
-                        config.clone(),
-                        ReplicaId(i as u32),
-                        dir.clone(),
-                        Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
-                    )),
+                let mut replica = SmartReplica::new(
+                    config.clone(),
+                    ReplicaId(i as u32),
+                    dir.clone(),
+                    Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
                 );
+                if opts.record_exec_log {
+                    replica.enable_exec_log();
+                }
+                sim.install_node(node, Box::new(replica));
             }
             for (i, &node) in clients.iter().enumerate() {
                 sim.install_node(
@@ -355,6 +362,82 @@ impl ClusterHandles {
             ClusterSim::Idem(sim) => sim.crash_now(node),
             ClusterSim::Paxos(sim) => sim.crash_now(node),
             ClusterSim::Smart(sim) => sim.crash_now(node),
+        }
+    }
+
+    /// Recovers the replica with the given index immediately (no-op if it
+    /// is up).
+    pub fn recover_replica(&mut self, index: usize) {
+        let node = self.replicas[index];
+        match &mut self.sim {
+            ClusterSim::Idem(sim) => sim.recover_now(node),
+            ClusterSim::Paxos(sim) => sim.recover_now(node),
+            ClusterSim::Smart(sim) => sim.recover_now(node),
+        }
+    }
+
+    /// Sets the CPU degradation factor of the replica at `index` (1.0 =
+    /// nominal speed).
+    pub fn set_replica_cpu_factor(&mut self, index: usize, factor: f64) {
+        let node = self.replicas[index];
+        match &mut self.sim {
+            ClusterSim::Idem(sim) => sim.set_cpu_factor(node, factor),
+            ClusterSim::Paxos(sim) => sim.set_cpu_factor(node, factor),
+            ClusterSim::Smart(sim) => sim.set_cpu_factor(node, factor),
+        }
+    }
+
+    /// Mutable access to the network model, for partitions, loss bursts,
+    /// and link overrides between [`run_for`](Self::run_for) calls.
+    pub fn network_mut(&mut self) -> &mut Network {
+        match &mut self.sim {
+            ClusterSim::Idem(sim) => sim.network_mut(),
+            ClusterSim::Paxos(sim) => sim.network_mut(),
+            ClusterSim::Smart(sim) => sim.network_mut(),
+        }
+    }
+
+    /// Partitions the replicas with indexes in `a` from those in `b`
+    /// (both directions). Clients keep reaching every replica.
+    pub fn partition_replicas(&mut self, a: &[usize], b: &[usize]) {
+        let left: Vec<NodeId> = a.iter().map(|&i| self.replicas[i]).collect();
+        let right: Vec<NodeId> = b.iter().map(|&i| self.replicas[i]).collect();
+        self.network_mut().partition(&left, &right);
+    }
+
+    /// Removes all link blocking, healing any partition.
+    pub fn heal_partitions(&mut self) {
+        self.network_mut().heal();
+    }
+
+    /// Sets the network-wide message drop probability (0.0 disables).
+    pub fn set_global_loss(&mut self, p: f64) {
+        self.network_mut().set_global_drop(p);
+    }
+
+    /// The recorded execution log of the replica at `index` (empty unless
+    /// the cluster was built with
+    /// [`record_exec_log`](ClusterOptions::record_exec_log)).
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    pub fn exec_log(&self, index: usize) -> Vec<idem_common::ExecRecord> {
+        match &self.sim {
+            ClusterSim::Idem(sim) => sim
+                .node_as::<IdemReplica>(self.replicas[index])
+                .expect("replica type")
+                .exec_log()
+                .to_vec(),
+            ClusterSim::Paxos(sim) => sim
+                .node_as::<PaxosReplica>(self.replicas[index])
+                .expect("replica type")
+                .exec_log()
+                .to_vec(),
+            ClusterSim::Smart(sim) => sim
+                .node_as::<SmartReplica>(self.replicas[index])
+                .expect("replica type")
+                .exec_log()
+                .to_vec(),
         }
     }
 

@@ -1,0 +1,355 @@
+//! Protocol-agnostic safety and liveness invariants for chaos runs.
+//!
+//! Each check consumes artefacts every protocol produces through the same
+//! interfaces — per-replica execution logs ([`idem_common::ExecRecord`]) and
+//! the shared [`Recorder`](crate::recorder::Recorder) — so the same checker
+//! runs unchanged over IDEM, Paxos, and BFT-SMaRt:
+//!
+//! - **Agreement**: no two replicas execute different commands at the same
+//!   slot. Logs may have gaps (a replica that caught up from a checkpoint
+//!   never executed the compacted prefix), so only slots present in both
+//!   logs are compared.
+//! - **Exactly-once**: no replica applies the same request to its state
+//!   machine twice — duplicate arrivals must be deduplicated, so at most
+//!   one `fresh` record per request id per replica.
+//! - **No silent loss**: every client keeps completing operations —
+//!   closed-loop clients retransmit forever, so a client whose operation
+//!   vanished without a success or rejection stalls permanently.
+//! - **Post-heal liveness**: once every fault is healed, commits resume
+//!   within a bounded virtual-time window.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use idem_common::{ExecRecord, RequestId};
+
+/// What a chaos run violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two replicas executed different commands at the same slot.
+    Agreement {
+        /// The disputed slot.
+        slot: u64,
+        /// The two replicas (by index) that disagree.
+        replicas: (usize, usize),
+        /// What each of the two replicas executed there.
+        ids: (RequestId, RequestId),
+    },
+    /// A replica applied the same request to its state machine twice.
+    DuplicateExecution {
+        /// The replica (by index) that double-executed.
+        replica: usize,
+        /// The request that was applied more than once.
+        id: RequestId,
+        /// How many fresh applications were recorded.
+        count: usize,
+    },
+    /// A client stopped completing operations: its last issued request was
+    /// neither committed nor rejected, i.e. it was silently lost.
+    LostClientOp {
+        /// The stalled client id.
+        client: u32,
+        /// Its highest completed op number when the faults healed.
+        last_op: Option<u64>,
+    },
+    /// No operation committed during the post-heal window.
+    PostHealLiveness {
+        /// Successes observed when the faults healed.
+        successes_at_heal: u64,
+        /// Successes observed at the end of the run.
+        successes_at_end: u64,
+    },
+    /// A client observed outcomes out of session order (from the
+    /// [`Recorder`](crate::recorder::Recorder)'s session oracle).
+    SessionOrder {
+        /// Number of out-of-order outcomes.
+        count: u64,
+    },
+}
+
+impl ViolationKind {
+    /// Short machine-greppable label for the violation class.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ViolationKind::Agreement { .. } => "agreement",
+            ViolationKind::DuplicateExecution { .. } => "duplicate-execution",
+            ViolationKind::LostClientOp { .. } => "lost-client-op",
+            ViolationKind::PostHealLiveness { .. } => "post-heal-liveness",
+            ViolationKind::SessionOrder { .. } => "session-order",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Agreement {
+                slot,
+                replicas,
+                ids,
+            } => write!(
+                f,
+                "agreement: slot {slot}: replica {} executed c{}#{}, replica {} executed c{}#{}",
+                replicas.0, ids.0.client.0, ids.0.op.0, replicas.1, ids.1.client.0, ids.1.op.0
+            ),
+            ViolationKind::DuplicateExecution { replica, id, count } => write!(
+                f,
+                "duplicate-execution: replica {replica} applied c{}#{} {count} times",
+                id.client.0, id.op.0
+            ),
+            ViolationKind::LostClientOp { client, last_op } => match last_op {
+                Some(op) => write!(
+                    f,
+                    "lost-client-op: client {client} stalled after op {op} (no outcome post-heal)"
+                ),
+                None => write!(
+                    f,
+                    "lost-client-op: client {client} never completed any operation"
+                ),
+            },
+            ViolationKind::PostHealLiveness {
+                successes_at_heal,
+                successes_at_end,
+            } => write!(
+                f,
+                "post-heal-liveness: successes stuck at {successes_at_end} \
+                 (was {successes_at_heal} at heal)"
+            ),
+            ViolationKind::SessionOrder { count } => {
+                write!(f, "session-order: {count} out-of-order outcomes")
+            }
+        }
+    }
+}
+
+/// Checks agreement across all replica execution logs: for every slot
+/// present in two logs, both must hold the same request id. Also flags a
+/// single log that records two different requests at one slot (possible
+/// only under internal corruption, but cheap to rule out).
+pub fn check_agreement(logs: &[Vec<ExecRecord>]) -> Vec<ViolationKind> {
+    let mut violations = Vec::new();
+    let maps: Vec<BTreeMap<u64, RequestId>> = logs
+        .iter()
+        .enumerate()
+        .map(|(replica, log)| {
+            let mut map = BTreeMap::new();
+            for rec in log {
+                if let Some(&prev) = map.get(&rec.slot) {
+                    if prev != rec.id {
+                        violations.push(ViolationKind::Agreement {
+                            slot: rec.slot,
+                            replicas: (replica, replica),
+                            ids: (prev, rec.id),
+                        });
+                    }
+                } else {
+                    map.insert(rec.slot, rec.id);
+                }
+            }
+            map
+        })
+        .collect();
+    for a in 0..maps.len() {
+        for b in (a + 1)..maps.len() {
+            for (&slot, &id_a) in &maps[a] {
+                if let Some(&id_b) = maps[b].get(&slot) {
+                    if id_a != id_b {
+                        violations.push(ViolationKind::Agreement {
+                            slot,
+                            replicas: (a, b),
+                            ids: (id_a, id_b),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Checks exactly-once execution: within each replica's log, at most one
+/// record per request id may be `fresh` (an actual state-machine
+/// application — re-deliveries and forwarded duplicates must be recorded
+/// as stale).
+pub fn check_exactly_once(logs: &[Vec<ExecRecord>]) -> Vec<ViolationKind> {
+    let mut violations = Vec::new();
+    for (replica, log) in logs.iter().enumerate() {
+        let mut fresh_count: BTreeMap<RequestId, usize> = BTreeMap::new();
+        for rec in log {
+            if rec.fresh {
+                *fresh_count.entry(rec.id).or_insert(0) += 1;
+            }
+        }
+        for (id, count) in fresh_count {
+            if count > 1 {
+                violations.push(ViolationKind::DuplicateExecution { replica, id, count });
+            }
+        }
+    }
+    violations
+}
+
+/// Checks that every client made progress during the post-heal window:
+/// `before` and `after` are the per-client highest-completed-op snapshots
+/// (from [`Recorder::last_ops`](crate::recorder::Recorder::last_ops)) taken
+/// when the last fault healed and at the end of the run. A closed-loop
+/// client that retransmits forever can only stall if its operation was
+/// silently lost (no commit, no rejection).
+pub fn check_client_progress(
+    clients: u32,
+    before: &BTreeMap<u32, u64>,
+    after: &BTreeMap<u32, u64>,
+) -> Vec<ViolationKind> {
+    let mut violations = Vec::new();
+    for client in 0..clients {
+        let was = before.get(&client).copied();
+        let now = after.get(&client).copied();
+        let advanced = match (was, now) {
+            (Some(w), Some(n)) => n > w,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if !advanced {
+            violations.push(ViolationKind::LostClientOp {
+                client,
+                last_op: was,
+            });
+        }
+    }
+    violations
+}
+
+/// Checks that commits resumed after all faults healed.
+pub fn check_post_heal_liveness(
+    successes_at_heal: u64,
+    successes_at_end: u64,
+) -> Vec<ViolationKind> {
+    if successes_at_end > successes_at_heal {
+        Vec::new()
+    } else {
+        vec![ViolationKind::PostHealLiveness {
+            successes_at_heal,
+            successes_at_end,
+        }]
+    }
+}
+
+/// Wraps the recorder's session-order oracle as a violation.
+pub fn check_session_order(order_violations: u64) -> Vec<ViolationKind> {
+    if order_violations == 0 {
+        Vec::new()
+    } else {
+        vec![ViolationKind::SessionOrder {
+            count: order_violations,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idem_common::{ClientId, OpNumber};
+
+    fn rid(client: u32, op: u64) -> RequestId {
+        RequestId {
+            client: ClientId(client),
+            op: OpNumber(op),
+        }
+    }
+
+    #[test]
+    fn agreement_accepts_identical_logs_with_gaps() {
+        let a = vec![
+            ExecRecord::new(0, rid(1, 1), true),
+            ExecRecord::new(1, rid(2, 1), true),
+            ExecRecord::new(2, rid(1, 2), true),
+        ];
+        // Replica b caught up from a checkpoint: slots 0-1 compacted away.
+        let b = vec![ExecRecord::new(2, rid(1, 2), true)];
+        assert!(check_agreement(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn agreement_flags_divergent_slot() {
+        let a = vec![ExecRecord::new(5, rid(1, 1), true)];
+        let b = vec![ExecRecord::new(5, rid(2, 7), true)];
+        let violations = check_agreement(&[a, b]);
+        assert_eq!(violations.len(), 1);
+        match &violations[0] {
+            ViolationKind::Agreement {
+                slot,
+                replicas,
+                ids,
+            } => {
+                assert_eq!(*slot, 5);
+                assert_eq!(*replicas, (0, 1));
+                assert_eq!(*ids, (rid(1, 1), rid(2, 7)));
+            }
+            other => panic!("wrong kind: {other}"),
+        }
+    }
+
+    #[test]
+    fn exactly_once_allows_stale_redeliveries() {
+        let log = vec![
+            ExecRecord::new(0, rid(1, 1), true),
+            ExecRecord::new(1, rid(1, 1), false), // deduplicated forward
+        ];
+        assert!(check_exactly_once(&[log]).is_empty());
+    }
+
+    #[test]
+    fn exactly_once_flags_double_application() {
+        let log = vec![
+            ExecRecord::new(0, rid(1, 1), true),
+            ExecRecord::new(3, rid(1, 1), true),
+        ];
+        let violations = check_exactly_once(&[log]);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            ViolationKind::DuplicateExecution {
+                replica: 0,
+                count: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn client_progress_flags_stalled_client() {
+        let before: BTreeMap<u32, u64> = [(0, 10), (1, 8)].into_iter().collect();
+        let after: BTreeMap<u32, u64> = [(0, 15), (1, 8)].into_iter().collect();
+        let violations = check_client_progress(2, &before, &after);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            ViolationKind::LostClientOp {
+                client: 1,
+                last_op: Some(8),
+            }
+        ));
+    }
+
+    #[test]
+    fn client_progress_flags_client_that_never_completed() {
+        let empty = BTreeMap::new();
+        let violations = check_client_progress(1, &empty, &empty);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            ViolationKind::LostClientOp {
+                client: 0,
+                last_op: None,
+            }
+        ));
+    }
+
+    #[test]
+    fn liveness_and_order_checks() {
+        assert!(check_post_heal_liveness(10, 20).is_empty());
+        assert_eq!(check_post_heal_liveness(10, 10).len(), 1);
+        assert!(check_session_order(0).is_empty());
+        assert_eq!(check_session_order(3).len(), 1);
+    }
+}

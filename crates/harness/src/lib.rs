@@ -22,14 +22,18 @@
 //! Run them all via the `repro` binary: `cargo run --release -p
 //! idem-harness --bin repro -- all`.
 
+pub mod chaos;
 pub mod cluster;
 pub mod experiments;
+pub mod invariants;
 pub mod recorder;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
 
+pub use chaos::{run_campaign, ChaosConfig, ChaosReport, ChaosRun, Schedule};
 pub use cluster::{ClusterHandles, Protocol};
+pub use invariants::ViolationKind;
 pub use recorder::{Recorder, RecorderHandle, RunMetrics};
 pub use scenario::{CrashPlan, RunResult, Scenario};
 pub use sweep::{Cell, RunMode, SweepRunner, SweepStats};

@@ -115,6 +115,12 @@ impl Recorder {
         self.order_violations
     }
 
+    /// Highest completed op number per client id — the basis of per-client
+    /// liveness checks (did every client make progress after a heal?).
+    pub fn last_ops(&self) -> &BTreeMap<u32, u64> {
+        &self.last_op
+    }
+
     /// Reply-latency histogram (nanoseconds).
     pub fn reply_latency(&self) -> &Histogram {
         &self.reply_latency

@@ -98,6 +98,7 @@ impl Scenario {
             warmup: self.warmup,
             bin_width: self.bin_width,
             ops_per_client: None,
+            record_exec_log: false,
         }
     }
 

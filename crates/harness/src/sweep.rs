@@ -191,6 +191,74 @@ impl SweepRunner {
             .collect()
     }
 
+    /// Runs arbitrary independent tasks on the worker pool, returning the
+    /// results in declaration order — the same guarantee as
+    /// [`run_cells`](Self::run_cells), for work that is not a [`Cell`]
+    /// (e.g. the chaos campaign's seeded fault-injection runs). Each task
+    /// is counted in [`SweepStats::cells`] and its wall time in
+    /// [`SweepStats::busy`]; tasks report simulator events themselves via
+    /// [`note_events`](Self::note_events).
+    pub fn run_tasks<T, R, F>(&self, tasks: Vec<T>, run: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = tasks.len();
+        let workers = self.jobs.min(n);
+        let timed = |task: &T| {
+            let start = Instant::now();
+            let result = run(task);
+            self.cells.fetch_add(1, Ordering::Relaxed);
+            self.busy_ns.fetch_add(
+                start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                Ordering::Relaxed,
+            );
+            result
+        };
+        if workers <= 1 {
+            return tasks.iter().map(timed).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let tasks = &tasks;
+        let timed = &timed;
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, timed(&tasks[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("sweep worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task produced a result"))
+            .collect()
+    }
+
+    /// Adds simulator events to the accumulated statistics, for tasks run
+    /// via [`run_tasks`](Self::run_tasks) (thread-safe).
+    pub fn note_events(&self, events: u64) {
+        self.events.fetch_add(events, Ordering::Relaxed);
+    }
+
     /// Runs one cell, recording its statistics.
     fn run_one(&self, cell: &Cell) -> RunResult {
         let start = Instant::now();

@@ -58,6 +58,12 @@ pub enum PaxosMessage {
     ViewChange {
         /// Target view.
         target: View,
+        /// First sequence number the sender has not executed. The new
+        /// leader must not propose below the quorum's maximum: slots under
+        /// it were executed somewhere and survive only in checkpoints, so
+        /// re-filling them (with no-ops or fresh requests) would diverge
+        /// from the replicas that already executed them.
+        next_exec: SeqNumber,
         /// The sender's current proposal window, bodies included.
         window: Vec<PaxosWindowEntry>,
     },
@@ -91,7 +97,7 @@ impl Wire for PaxosMessage {
             PaxosMessage::Propose { request, .. } => 16 + request.wire_size(),
             PaxosMessage::Accept { .. } => 16 + RequestId::WIRE_SIZE,
             PaxosMessage::ViewChange { window, .. } => {
-                8 + window
+                16 + window
                     .iter()
                     .map(PaxosWindowEntry::wire_size)
                     .sum::<usize>()
@@ -147,9 +153,10 @@ mod tests {
         };
         let msg = PaxosMessage::ViewChange {
             target: View(1),
+            next_exec: SeqNumber(0),
             window: vec![entry; 3],
         };
-        assert_eq!(msg.wire_size(), 8 + 3 * (16 + 12 + 100));
+        assert_eq!(msg.wire_size(), 16 + 3 * (16 + 12 + 100));
     }
 
     #[test]

@@ -4,8 +4,8 @@ use std::collections::{BTreeMap, VecDeque};
 
 use idem_common::app::CostModel;
 use idem_common::{
-    ClientId, Directory, QuorumTracker, Reply, Request, RequestId, SeqNumber, SeqWindow,
-    StateMachine, View,
+    ClientId, Directory, ExecRecord, QuorumTracker, Reply, Request, RequestId, SeqNumber,
+    SeqWindow, StateMachine, View,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -70,7 +70,7 @@ pub struct PaxosReplica {
 
     view: View,
     vc_target: Option<View>,
-    vc_store: BTreeMap<u64, BTreeMap<u32, Vec<PaxosWindowEntry>>>,
+    vc_store: BTreeMap<u64, BTreeMap<u32, (SeqNumber, Vec<PaxosWindowEntry>)>>,
 
     window: SeqWindow<Instance>,
     next_propose: SeqNumber,
@@ -95,6 +95,11 @@ pub struct PaxosReplica {
     /// follower holds no protocol work itself.
     forwarded_since_progress: u64,
     stats: PaxosReplicaStats,
+
+    /// When enabled, every slot this replica consumes is appended here for
+    /// post-run safety checking (see `idem_common::exec`).
+    exec_log: Vec<ExecRecord>,
+    exec_log_enabled: bool,
 }
 
 impl PaxosReplica {
@@ -129,7 +134,20 @@ impl PaxosReplica {
             rejoin_votes: None,
             forwarded_since_progress: 0,
             stats: PaxosReplicaStats::default(),
+            exec_log: Vec::new(),
+            exec_log_enabled: false,
         }
+    }
+
+    /// Turns on execution-order recording (off by default).
+    pub fn enable_exec_log(&mut self) {
+        self.exec_log_enabled = true;
+    }
+
+    /// The recorded execution order (empty unless
+    /// [`enable_exec_log`](Self::enable_exec_log) was called).
+    pub fn exec_log(&self) -> &[ExecRecord] {
+        &self.exec_log
     }
 
     /// Protocol counters.
@@ -219,10 +237,17 @@ impl PaxosReplica {
             // Misdirected request (stale leader knowledge at the client):
             // relay it to the current leader and watch for progress — if
             // the leader is dead this is our evidence that work is stuck.
-            self.stats.requests_forwarded_to_leader += 1;
             self.forwarded_since_progress += 1;
-            let leader = self.dir.replica(self.leader_of(self.effective_view()));
-            ctx.send(leader, PaxosMessage::Request(req));
+            let target = self.leader_of(self.effective_view());
+            if target != self.me {
+                self.stats.requests_forwarded_to_leader += 1;
+                let leader = self.dir.replica(target);
+                ctx.send(leader, PaxosMessage::Request(req));
+            }
+            // When `target` is this replica (a view change that would make
+            // us leader is in flight), forwarding would loop the request
+            // back to ourselves forever; drop it instead — the client
+            // retransmits once the new view is installed.
             self.ensure_progress_timer(ctx);
             return;
         }
@@ -464,6 +489,10 @@ impl PaxosReplica {
             let req = inst.request.clone();
             let already =
                 inst.executed || req.id.client == NOOP_CLIENT || self.executed_already(req.id);
+            if self.exec_log_enabled {
+                self.exec_log
+                    .push(ExecRecord::new(self.next_exec.0, req.id, !already));
+            }
             if !already {
                 let cost = self.app.execution_cost(&req.command);
                 ctx.charge(cost);
@@ -514,6 +543,10 @@ impl PaxosReplica {
     }
 
     fn handle_checkpoint_request(&mut self, ctx: &mut Context<'_, PaxosMessage>, from: NodeId) {
+        // Answer with a fresh checkpoint: the periodic one can predate the
+        // requester's own state, which would leave a lagging replica
+        // permanently unable to catch up.
+        self.take_checkpoint(ctx);
         if let Some((next_exec, snapshot, clients)) = self.checkpoint.clone() {
             ctx.send(
                 from,
@@ -585,6 +618,10 @@ impl PaxosReplica {
         }
         let target = self.effective_view().next();
         self.start_view_change(ctx, target);
+        // start_view_change no-ops when a change to `target` is already in
+        // flight — keep the timer armed regardless, or a stalled view
+        // change would never be escalated past `target`.
+        self.ensure_progress_timer(ctx);
     }
 
     fn window_summary(&self) -> Vec<PaxosWindowEntry> {
@@ -608,12 +645,13 @@ impl PaxosReplica {
         self.vc_store
             .entry(target.0)
             .or_default()
-            .insert(self.me.0, summary.clone());
+            .insert(self.me.0, (self.next_exec, summary.clone()));
         let peers = self.peers();
         ctx.multicast(
             peers,
             PaxosMessage::ViewChange {
                 target,
+                next_exec: self.next_exec,
                 window: summary,
             },
         );
@@ -626,6 +664,7 @@ impl PaxosReplica {
         ctx: &mut Context<'_, PaxosMessage>,
         from: NodeId,
         target: View,
+        next_exec: SeqNumber,
         window: Vec<PaxosWindowEntry>,
     ) {
         let Some(sender) = self.dir.replica_of(from) else {
@@ -637,7 +676,7 @@ impl PaxosReplica {
         self.vc_store
             .entry(target.0)
             .or_default()
-            .insert(sender.0, window);
+            .insert(sender.0, (next_exec, window));
         let senders = self.vc_store[&target.0].len() as u32;
         if senders >= self.majority() && self.vc_target.is_none_or(|t| t < target) {
             self.start_view_change(ctx, target);
@@ -665,8 +704,15 @@ impl PaxosReplica {
         let msgs = self.vc_store.remove(&target.0).unwrap_or_default();
         self.vc_store.retain(|&t, _| t > target.0);
 
+        // The proposal floor: the highest execution prefix any view-change
+        // participant reported. Slots below it were executed by someone and
+        // survive only in checkpoints — proposing there (a no-op for a gap,
+        // or fresh client work) would rewrite history those replicas
+        // already executed.
+        let mut floor = self.next_exec;
         let mut merged: BTreeMap<u64, PaxosWindowEntry> = BTreeMap::new();
-        for window in msgs.into_values() {
+        for (next_exec, window) in msgs.into_values() {
+            floor = floor.max(next_exec);
             for entry in window {
                 if self.window.is_stale(entry.sqn) {
                     continue;
@@ -680,7 +726,7 @@ impl PaxosReplica {
             }
         }
         if let Some(&max) = merged.keys().next_back() {
-            for s in self.window.low().0..=max {
+            for s in floor.0.max(self.window.low().0)..=max {
                 let sqn = SeqNumber(s);
                 if self.window.is_ahead(sqn) {
                     break;
@@ -696,7 +742,19 @@ impl PaxosReplica {
             }
             self.next_propose = self.next_propose.max(SeqNumber(max + 1));
         }
-        self.next_propose = self.next_propose.max(self.window.low()).max(self.next_exec);
+        self.next_propose = self
+            .next_propose
+            .max(self.window.low())
+            .max(self.next_exec)
+            .max(floor);
+        if floor > self.next_exec {
+            // We lead but lag the quorum's execution prefix: catch up via
+            // checkpoint before executing. If the request or its reply is
+            // lost, the progress timer escalates the view change and the
+            // next enter_new_view retries.
+            let peers = self.peers();
+            ctx.multicast(peers, PaxosMessage::CheckpointRequest);
+        }
         self.reset_progress_timer(ctx);
         self.drain_queue(ctx);
         self.try_execute(ctx);
@@ -712,9 +770,11 @@ impl Node<PaxosMessage> for PaxosReplica {
                 self.handle_propose(ctx, from, sqn, view, request)
             }
             PaxosMessage::Accept { sqn, view, id } => self.handle_accept(ctx, from, sqn, view, id),
-            PaxosMessage::ViewChange { target, window } => {
-                self.handle_view_change(ctx, from, target, window)
-            }
+            PaxosMessage::ViewChange {
+                target,
+                next_exec,
+                window,
+            } => self.handle_view_change(ctx, from, target, next_exec, window),
             PaxosMessage::CheckpointRequest => self.handle_checkpoint_request(ctx, from),
             PaxosMessage::Checkpoint {
                 next_exec,
@@ -736,6 +796,19 @@ impl Node<PaxosMessage> for PaxosReplica {
     }
 
     fn on_crash(&mut self, _now: SimTime) {}
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        // The held progress-timer handle may refer to a timer lost during
+        // the crash window: cancel it (a no-op if already fired) and arm a
+        // fresh one so leader-failure detection keeps working.
+        if let Some(timer) = self.progress_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        self.ensure_progress_timer(ctx);
+        // Catch up on whatever committed while we were down.
+        let leader = self.dir.replica(self.leader_of(self.effective_view()));
+        ctx.send(leader, PaxosMessage::CheckpointRequest);
+    }
 }
 
 #[cfg(test)]

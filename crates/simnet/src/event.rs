@@ -56,6 +56,8 @@ pub(crate) enum EventKind<M> {
     Timer { node: NodeId, id: TimerId, msg: M },
     /// Crash `node`.
     Crash { node: NodeId },
+    /// Bring a crashed `node` back.
+    Recover { node: NodeId },
     /// Drain the per-node backlog of `node` once its processor is free.
     Wake { node: NodeId },
 }

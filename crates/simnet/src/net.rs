@@ -97,6 +97,7 @@ pub struct Network {
     overrides: HashMap<(NodeId, NodeId), LinkSpec>,
     blocked: HashSet<(NodeId, NodeId)>,
     loopback: Duration,
+    global_drop: f64,
 }
 
 impl Default for Network {
@@ -113,7 +114,26 @@ impl Network {
             overrides: HashMap::new(),
             blocked: HashSet::new(),
             loopback: Duration::from_micros(1),
+            global_drop: 0.0,
         }
+    }
+
+    /// Sets an additional network-wide drop probability applied to every
+    /// non-loopback message on top of per-link loss, modelling a loss burst
+    /// affecting the whole fabric. `0.0` (the default) disables it — and
+    /// consumes no randomness, so runs that never touch this knob are
+    /// unchanged.
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `0.0 ..= 1.0`.
+    pub fn set_global_drop(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "drop probability in 0..=1");
+        self.global_drop = p;
+    }
+
+    /// The current network-wide drop probability.
+    pub fn global_drop(&self) -> f64 {
+        self.global_drop
     }
 
     /// Overrides the link from `from` to `to` (one direction).
@@ -177,6 +197,9 @@ impl Network {
             return Some(self.loopback);
         }
         if self.is_blocked(from, to) {
+            return None;
+        }
+        if self.global_drop > 0.0 && rng.gen::<f64>() < self.global_drop {
             return None;
         }
         self.link(from, to).sample(rng)
@@ -262,6 +285,27 @@ mod tests {
         assert!(!net.is_blocked(NodeId(0), NodeId(1)));
         net.heal();
         assert!(net.sample(&mut r, NodeId(0), NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn global_drop_loses_messages_everywhere() {
+        let mut net = Network::new(LinkSpec::new(Duration::from_micros(10), Duration::ZERO));
+        net.set_global_drop(0.5);
+        let mut r = rng();
+        let dropped = (0..10_000)
+            .filter(|_| net.sample(&mut r, NodeId(0), NodeId(1)).is_none())
+            .count();
+        assert!((4_500..5_500).contains(&dropped), "dropped {dropped}/10000");
+        // Loopback is exempt.
+        assert!(net.sample(&mut r, NodeId(2), NodeId(2)).is_some());
+        net.set_global_drop(0.0);
+        assert!(net.sample(&mut r, NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_global_drop_rejected() {
+        Network::default().set_global_drop(-0.1);
     }
 
     #[test]

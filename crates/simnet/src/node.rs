@@ -81,9 +81,18 @@ pub trait Node<M>: AsAny {
     }
 
     /// Invoked when the simulator crashes this node. The node receives no
-    /// further callbacks afterwards.
+    /// further callbacks until (unless) it is recovered.
     fn on_crash(&mut self, now: SimTime) {
         let _ = now;
+    }
+
+    /// Invoked when the simulator recovers this node after a crash
+    /// (crash-recovery model with intact memory). Events addressed to the
+    /// node while it was down are gone — including timers that fired in the
+    /// crash window — so implementations should re-arm whatever timers they
+    /// rely on and trigger any catch-up they need.
+    fn on_recover(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
     }
 }
 

@@ -42,6 +42,9 @@ struct NodeState<M> {
     crashed: bool,
     backlog: std::collections::VecDeque<Deferred<M>>,
     wake_scheduled: bool,
+    /// Multiplier applied to every [`Context::charge`] on this node: 1.0 is
+    /// nominal speed, 4.0 models a 4× slower (degraded) CPU.
+    cpu_factor: f64,
 }
 
 impl<M> Default for NodeState<M> {
@@ -51,6 +54,7 @@ impl<M> Default for NodeState<M> {
             crashed: false,
             backlog: std::collections::VecDeque::with_capacity(BACKLOG_CAPACITY),
             wake_scheduled: false,
+            cpu_factor: 1.0,
         }
     }
 }
@@ -95,6 +99,13 @@ impl<M> Core<M> {
 
     pub(crate) fn charge(&mut self, node: NodeId, cpu: Duration) {
         let state = &mut self.states[node.index()];
+        // The guard keeps the nominal path exact: mul_f64 round-trips
+        // through f64 and could perturb nanosecond-precise schedules.
+        let cpu = if state.cpu_factor == 1.0 {
+            cpu
+        } else {
+            cpu.mul_f64(state.cpu_factor)
+        };
         state.busy_until = state.busy_until.max(self.now) + cpu;
     }
 }
@@ -420,10 +431,39 @@ impl<M: Wire + 'static> Simulation<M> {
                     }
                 }
             }
+            EventKind::Recover { node: nid } => {
+                self.do_recover(nid);
+            }
             EventKind::Wake { node: nid } => {
                 self.drain_backlog(nid, ev.time);
             }
         }
+    }
+
+    /// Brings a crashed node back at the current virtual time (no-op if the
+    /// node is up). Memory is intact (crash-recovery model); everything the
+    /// simulator had in flight for the node — messages and timers alike —
+    /// was dropped while it was down, so [`Node::on_recover`] runs to let
+    /// the node re-arm timers and catch up.
+    fn do_recover(&mut self, nid: NodeId) {
+        let state = &mut self.core.states[nid.index()];
+        if !state.crashed {
+            return;
+        }
+        state.crashed = false;
+        state.busy_until = self.core.now;
+        state.wake_scheduled = false;
+        state.backlog.clear();
+        if let Some(trace) = &mut self.core.trace {
+            trace.push(self.core.now, TraceEventKind::Recover { node: nid });
+        }
+        let mut node = self.nodes[nid.index()].take().expect("node present");
+        let mut ctx = Context {
+            core: &mut self.core,
+            id: nid,
+        };
+        node.on_recover(&mut ctx);
+        self.nodes[nid.index()] = Some(node);
     }
 
     /// Schedules a crash of `node` at absolute virtual time `at`. Crashed
@@ -448,6 +488,35 @@ impl<M: Wire + 'static> Simulation<M> {
                 n.on_crash(now);
             }
         }
+    }
+
+    /// Schedules a recovery of `node` at absolute virtual time `at`.
+    /// Recovering a node that is up at that time is a no-op. Timers that
+    /// fired while the node was down are lost, not replayed; see
+    /// [`Node::on_recover`].
+    pub fn schedule_recovery(&mut self, node: NodeId, at: SimTime) {
+        let seq = self.core.next_seq();
+        self.core.queue.push(Event {
+            time: at,
+            seq,
+            kind: EventKind::Recover { node },
+        });
+    }
+
+    /// Recovers `node` immediately (no-op if it is up).
+    pub fn recover_now(&mut self, node: NodeId) {
+        self.do_recover(node);
+    }
+
+    /// Sets the CPU speed degradation factor of `node`: every subsequent
+    /// [`Context::charge`] is multiplied by `factor` (1.0 = nominal speed,
+    /// 4.0 = four times slower). Work already charged keeps its old cost.
+    pub fn set_cpu_factor(&mut self, node: NodeId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "cpu factor must be positive and finite"
+        );
+        self.core.states[node.index()].cpu_factor = factor;
     }
 
     /// Whether `node` has crashed.
@@ -738,6 +807,95 @@ mod tests {
         // the 250 µs crash, and is dropped.
         assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 1);
         assert!(sim.is_crashed(echo));
+    }
+
+    #[test]
+    fn recovered_nodes_receive_messages_again() {
+        // Echo crashes at 250 µs and recovers at 600 µs. The ping-pong died
+        // with the crash, so a fresh ping after recovery must get through.
+        struct Reping {
+            peer: NodeId,
+        }
+        impl Node<Msg> for Reping {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.send(self.peer, Msg::Ping(0));
+                ctx.set_timer(Duration::from_micros(700), Msg::Tick);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId, _: Msg) {
+                ctx.send(self.peer, Msg::Ping(100));
+            }
+        }
+        struct Recovering {
+            received: u32,
+            recoveries: u32,
+        }
+        impl Node<Msg> for Recovering {
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+                self.received += 1;
+            }
+            fn on_recover(&mut self, _: &mut Context<'_, Msg>) {
+                self.recoveries += 1;
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(100));
+        let echo = sim.add_node(Box::new(Recovering {
+            received: 0,
+            recoveries: 0,
+        }));
+        sim.add_node(Box::new(Reping { peer: echo }));
+        sim.schedule_crash(echo, SimTime::from_nanos(250_000));
+        sim.schedule_recovery(echo, SimTime::from_nanos(600_000));
+        sim.run_for(Duration::from_secs(1));
+        let n = sim.node_as::<Recovering>(echo).unwrap();
+        // Ping(0) at 100 µs before the crash; Ping(100) at 800 µs after
+        // recovery.
+        assert_eq!(n.received, 2);
+        assert_eq!(n.recoveries, 1);
+        assert!(!sim.is_crashed(echo));
+    }
+
+    #[test]
+    fn recovery_of_live_node_is_noop() {
+        struct Plain {
+            recoveries: u32,
+        }
+        impl Node<Msg> for Plain {
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_recover(&mut self, _: &mut Context<'_, Msg>) {
+                self.recoveries += 1;
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let id = sim.add_node(Box::new(Plain { recoveries: 0 }));
+        sim.schedule_recovery(id, SimTime::from_nanos(1_000));
+        sim.run_for(Duration::from_millis(1));
+        assert_eq!(sim.node_as::<Plain>(id).unwrap().recoveries, 0);
+    }
+
+    #[test]
+    fn cpu_factor_slows_processing() {
+        // Echo charges 1 ms per message at nominal speed; at factor 3 the
+        // reply to a ping departs after 3 ms instead.
+        let observe = |factor: Option<f64>| {
+            let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(100));
+            let echo = sim.add_node(Box::new(Echo {
+                received: 0,
+                charge: Duration::from_millis(1),
+            }));
+            let starter = sim.add_node(Box::new(Starter {
+                peer: echo,
+                reply_times: Vec::new(),
+            }));
+            if let Some(f) = factor {
+                sim.set_cpu_factor(echo, f);
+            }
+            sim.run_for(Duration::from_millis(8));
+            sim.node_as::<Starter>(starter).unwrap().reply_times[0]
+        };
+        // hop (100 µs) + charge + hop (100 µs)
+        assert_eq!(observe(None), SimTime::from_nanos(1_200_000));
+        assert_eq!(observe(Some(3.0)), SimTime::from_nanos(3_200_000));
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub enum TraceEventKind {
         /// The node.
         node: NodeId,
     },
+    /// A crashed node came back.
+    Recover {
+        /// The node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for TraceEventKind {
@@ -78,6 +83,7 @@ impl fmt::Display for TraceEventKind {
             }
             TraceEventKind::Deliver { from, to } => write!(f, "deliver {from} -> {to}"),
             TraceEventKind::TimerFired { node } => write!(f, "timer @ {node}"),
+            TraceEventKind::Recover { node } => write!(f, "recover {node}"),
             TraceEventKind::Crash { node } => write!(f, "crash {node}"),
         }
     }
@@ -159,9 +165,9 @@ impl TraceBuffer {
                 TraceEventKind::Send { from, to, .. } | TraceEventKind::Deliver { from, to } => {
                     from == node || to == node
                 }
-                TraceEventKind::TimerFired { node: n } | TraceEventKind::Crash { node: n } => {
-                    n == node
-                }
+                TraceEventKind::TimerFired { node: n }
+                | TraceEventKind::Crash { node: n }
+                | TraceEventKind::Recover { node: n } => n == node,
             })
             .copied()
             .collect()

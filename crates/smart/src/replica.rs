@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use idem_common::app::CostModel;
 use idem_common::{
-    Directory, QuorumTracker, Reply, Request, RequestId, SeqNumber, StateMachine, View,
+    Directory, ExecRecord, QuorumTracker, Reply, Request, RequestId, SeqNumber, StateMachine, View,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -70,6 +70,20 @@ pub struct SmartReplica {
     /// Next consensus instance to decide.
     next_sqn: SeqNumber,
     open: Option<OpenInstance>,
+    /// Set when a view change revealed that a quorum member decided past
+    /// `next_sqn`: the value is that higher sequence number. While set,
+    /// this replica must not open instances — its `next_sqn` points at a
+    /// slot that was already decided elsewhere, and proposing a fresh
+    /// batch there would rewrite it. Cleared once a checkpoint (or decided
+    /// proposals) advance `next_sqn` to the target.
+    sync_target: Option<SeqNumber>,
+    /// The undecided proposal a view-change quorum member reported for the
+    /// slot this leader is syncing toward. Once caught up, the leader must
+    /// re-propose exactly this batch there: another replica may have
+    /// already decided it (its accept to the old leader lost), and opening
+    /// a fresh batch at the same slot would decide it twice with different
+    /// contents.
+    vc_resume: Option<(SeqNumber, Vec<Request>)>,
 
     last_executed: BTreeMap<u32, (idem_common::OpNumber, Vec<u8>)>,
     checkpoint: Option<Checkpoint>,
@@ -79,7 +93,17 @@ pub struct SmartReplica {
     /// live (f+1 distinct senders): used by rejoining partitioned replicas.
     rejoin_votes: Option<(View, QuorumTracker)>,
     stats: SmartReplicaStats,
+
+    /// When enabled, every batched command this replica consumes is
+    /// appended here for post-run safety checking (see `idem_common::exec`).
+    exec_log: Vec<ExecRecord>,
+    exec_log_enabled: bool,
 }
+
+/// Bits reserved for the in-batch offset when packing a SMaRt execution
+/// slot as `(batch_sqn << SLOT_BATCH_SHIFT) | offset`. Batches are at most
+/// `max_batch` (a few hundred) long, so 20 bits is ample.
+const SLOT_BATCH_SHIFT: u32 = 20;
 
 impl SmartReplica {
     /// Creates a replica with identity `me`.
@@ -101,12 +125,29 @@ impl SmartReplica {
             pending_ids: BTreeMap::new(),
             next_sqn: SeqNumber(0),
             open: None,
+            sync_target: None,
+            vc_resume: None,
             last_executed: BTreeMap::new(),
             checkpoint: None,
             progress_timer: None,
             rejoin_votes: None,
             stats: SmartReplicaStats::default(),
+            exec_log: Vec::new(),
+            exec_log_enabled: false,
         }
+    }
+
+    /// Turns on execution-order recording (off by default).
+    pub fn enable_exec_log(&mut self) {
+        self.exec_log_enabled = true;
+    }
+
+    /// The recorded execution order (empty unless
+    /// [`enable_exec_log`](Self::enable_exec_log) was called). Slots pack
+    /// the batch sequence number and in-batch offset so commands inside one
+    /// batch keep distinct, ordered slots.
+    pub fn exec_log(&self) -> &[ExecRecord] {
+        &self.exec_log
     }
 
     /// Protocol counters.
@@ -195,11 +236,24 @@ impl SmartReplica {
     /// Leader: opens the next instance if none is open and work is pending
     /// (sequential consensus, Mod-SMaRt style).
     fn maybe_propose(&mut self, ctx: &mut Context<'_, SmartMessage>) {
-        if !self.is_leader() || self.open.is_some() || self.pending.is_empty() {
+        if !self.is_leader() || self.open.is_some() || self.sync_target.is_some() {
             return;
         }
-        let take = self.pending.len().min(self.cfg.max_batch);
-        let batch: Vec<Request> = self.pending.drain(..take).collect();
+        let batch: Vec<Request> = match self.vc_resume.take() {
+            // A quorum member reported this undecided batch for exactly
+            // this slot during the last view change — it may already be
+            // decided somewhere, so it goes first, unchanged.
+            Some((sqn, batch)) if sqn == self.next_sqn => batch,
+            // Anything else is stale: a checkpoint moved us past the slot,
+            // which proves its decided contents are reflected in our state.
+            _ => {
+                if self.pending.is_empty() {
+                    return;
+                }
+                let take = self.pending.len().min(self.cfg.max_batch);
+                self.pending.drain(..take).collect()
+            }
+        };
         let sqn = self.next_sqn;
         let mut votes = QuorumTracker::new(self.majority());
         votes.record(self.me);
@@ -246,6 +300,7 @@ impl SmartReplica {
                     self.vc_target = None;
                     self.view = v;
                     self.vc_store.retain(|&t, _| t > v.0);
+                    self.vc_resume = None;
                     self.reset_progress_timer(ctx);
                     // We likely missed instances while away: catch up.
                     let peers = self.peers();
@@ -265,6 +320,9 @@ impl SmartReplica {
             self.view = v;
             self.vc_target = None;
             self.vc_store.retain(|&t, _| t > v.0);
+            // A re-proposal stashed for a view change we lost must not
+            // leak into some later leadership of ours.
+            self.vc_resume = None;
         }
     }
 
@@ -361,12 +419,17 @@ impl SmartReplica {
         let open = self.open.take().expect("checked above");
         self.stats.batches_decided += 1;
         self.stats.max_batch_decided = self.stats.max_batch_decided.max(open.batch.len() as u64);
-        for req in &open.batch {
+        for (offset, req) in open.batch.iter().enumerate() {
             // Remove from our own pool regardless of who batched it.
             if self.pending_ids.remove(&req.id).is_some() {
                 self.pending.retain(|r| r.id != req.id);
             }
-            if self.executed_already(req.id) {
+            let already = self.executed_already(req.id);
+            if self.exec_log_enabled {
+                let slot = (open.sqn.0 << SLOT_BATCH_SHIFT) | offset as u64;
+                self.exec_log.push(ExecRecord::new(slot, req.id, !already));
+            }
+            if already {
                 continue;
             }
             let cost = self.app.execution_cost(&req.command);
@@ -381,6 +444,9 @@ impl SmartReplica {
             ctx.send(client, SmartMessage::Reply(Reply::new(req.id, result)));
         }
         self.next_sqn = self.next_sqn.next();
+        if self.sync_target.is_some_and(|t| self.next_sqn >= t) {
+            self.sync_target = None;
+        }
         if self.next_sqn.0.is_multiple_of(self.cfg.checkpoint_interval) {
             self.take_checkpoint(ctx);
         }
@@ -401,6 +467,10 @@ impl SmartReplica {
     }
 
     fn handle_checkpoint_request(&mut self, ctx: &mut Context<'_, SmartMessage>, from: NodeId) {
+        // Answer with a fresh checkpoint: the periodic one can predate the
+        // requester's own state, which would leave a lagging replica
+        // permanently unable to catch up.
+        self.take_checkpoint(ctx);
         if let Some((next_sqn, snapshot, clients)) = self.checkpoint.clone() {
             ctx.send(
                 from,
@@ -431,6 +501,9 @@ impl SmartReplica {
             .collect();
         self.next_sqn = next_sqn;
         self.open = None;
+        if self.sync_target.is_some_and(|t| self.next_sqn >= t) {
+            self.sync_target = None;
+        }
         self.stats.checkpoints_installed += 1;
         self.checkpoint = Some((next_sqn, snapshot, clients));
         // Drop pending requests the checkpoint proves executed.
@@ -451,7 +524,7 @@ impl SmartReplica {
     }
 
     fn has_pending_work(&self) -> bool {
-        !self.pending.is_empty() || self.open.is_some()
+        !self.pending.is_empty() || self.open.is_some() || self.sync_target.is_some()
     }
 
     fn reset_progress_timer(&mut self, ctx: &mut Context<'_, SmartMessage>) {
@@ -465,11 +538,21 @@ impl SmartReplica {
 
     fn handle_progress_timer(&mut self, ctx: &mut Context<'_, SmartMessage>) {
         self.progress_timer = None;
-        if !self.has_pending_work() {
+        if self.sync_target.is_some() {
+            // Still catching up after a view change: the checkpoint
+            // request or its reply may have been lost — ask again.
+            let peers = self.peers();
+            ctx.multicast(peers, SmartMessage::CheckpointRequest);
+        }
+        if !self.has_pending_work() && self.sync_target.is_none() {
             return;
         }
         let target = self.effective_view().next();
         self.start_view_change(ctx, target);
+        // start_view_change no-ops when a change to `target` is already in
+        // flight — keep the timer armed regardless, or a stalled view
+        // change would never be escalated past `target`.
+        self.ensure_progress_timer(ctx);
     }
 
     fn start_view_change(&mut self, ctx: &mut Context<'_, SmartMessage>, target: View) {
@@ -541,44 +624,34 @@ impl SmartReplica {
         let msgs = self.vc_store.remove(&target.0).unwrap_or_default();
         self.vc_store.retain(|&t, _| t > target.0);
 
-        // If any of the f+1 summaries carries an undecided proposal for our
-        // next instance, re-propose the one from the highest view.
+        // The first instance the new leader may decide is the highest
+        // `next_sqn` any participant reported — everything below it was
+        // decided by someone. If a participant also reported an undecided
+        // proposal for exactly that slot, it must be re-proposed there
+        // unchanged (highest view wins): some replica may have decided it
+        // already, with its accept to the old leader lost.
         let mut best: Option<(View, Vec<Request>)> = None;
         let mut max_next = self.next_sqn;
-        for (pending, next) in msgs.into_values() {
-            max_next = max_next.max(next);
+        for (_, next) in msgs.values() {
+            max_next = max_next.max(*next);
+        }
+        for (pending, _) in msgs.into_values() {
             if let Some((sqn, view, batch)) = pending {
-                if sqn >= self.next_sqn && best.as_ref().is_none_or(|(v, _)| view > *v) {
+                if sqn >= max_next && best.as_ref().is_none_or(|(v, _)| view > *v) {
                     best = Some((view, batch));
                 }
             }
         }
+        self.open = None;
+        self.vc_resume = best.map(|(_, batch)| (max_next, batch));
         if max_next > self.next_sqn {
-            // Someone decided further than us: catch up first.
+            // We lag the quorum's decisions: freeze proposing until a
+            // checkpoint catches us up (the progress timer retries the
+            // request if it or its reply is lost). `maybe_propose` emits
+            // the re-proposal once `next_sqn` reaches the slot.
+            self.sync_target = Some(max_next);
             let peers = self.peers();
             ctx.multicast(peers, SmartMessage::CheckpointRequest);
-        }
-        self.open = None;
-        if let Some((_, batch)) = best {
-            let sqn = self.next_sqn;
-            let mut votes = QuorumTracker::new(self.majority());
-            votes.record(self.me);
-            self.open = Some(OpenInstance {
-                sqn,
-                view: target,
-                batch: batch.clone(),
-                votes,
-            });
-            self.stats.batches_proposed += 1;
-            let peers = self.peers();
-            ctx.multicast(
-                peers,
-                SmartMessage::Propose {
-                    sqn,
-                    view: target,
-                    batch,
-                },
-            );
         }
         self.reset_progress_timer(ctx);
         self.maybe_propose(ctx);
@@ -619,6 +692,20 @@ impl Node<SmartMessage> for SmartReplica {
     }
 
     fn on_crash(&mut self, _now: SimTime) {}
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        // The held progress-timer handle may refer to a timer lost during
+        // the crash window: cancel it (a no-op if already fired) and arm a
+        // fresh one.
+        if let Some(timer) = self.progress_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        self.ensure_progress_timer(ctx);
+        // Instances decided while we were down are gone for good; fetch a
+        // checkpoint from whoever has one.
+        let peers = self.peers();
+        ctx.multicast(peers, SmartMessage::CheckpointRequest);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Compares a fresh `repro` bench summary against the committed baseline
+# (BENCH_repro.json) and fails when any experiment's simulation throughput
+# (events_per_sec) dropped by more than the threshold.
+#
+# usage: scripts/check_bench_regression.sh <baseline.json> <current.json> [threshold_pct]
+#
+# Only experiments present in BOTH files are compared, so a quick CI run of
+# a subset (e.g. `repro table1 fig3`) can be checked against the full
+# committed baseline. The JSON is the flat hand-rolled schema written by
+# `repro --bench-out`; no jq required.
+set -euo pipefail
+
+baseline="${1:?usage: $0 <baseline.json> <current.json> [threshold_pct]}"
+current="${2:?usage: $0 <baseline.json> <current.json> [threshold_pct]}"
+threshold="${3:-30}"
+
+for f in "$baseline" "$current"; do
+    if [[ ! -f "$f" ]]; then
+        echo "error: bench file '$f' not found" >&2
+        exit 2
+    fi
+done
+
+# Prints "name events_per_sec" per experiment line of a bench summary.
+extract() {
+    sed -n 's/.*"name": "\([a-z0-9_]*\)".*"events_per_sec": \([0-9]*\).*/\1 \2/p' "$1"
+}
+
+extract "$baseline" | sort > /tmp/bench_baseline.$$
+extract "$current" | sort > /tmp/bench_current.$$
+trap 'rm -f /tmp/bench_baseline.$$ /tmp/bench_current.$$' EXIT
+
+fail=0
+compared=0
+while read -r name cur_eps; do
+    base_eps=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_baseline.$$)
+    [[ -z "$base_eps" ]] && continue
+    compared=$((compared + 1))
+    floor=$(awk -v b="$base_eps" -v t="$threshold" 'BEGIN { printf "%d", b * (100 - t) / 100 }')
+    if (( cur_eps < floor )); then
+        delta=$(awk -v b="$base_eps" -v c="$cur_eps" 'BEGIN { printf "%.1f", (b - c) * 100 / b }')
+        echo "REGRESSION: $name: $cur_eps events/s vs baseline $base_eps (-$delta%, threshold ${threshold}%)"
+        fail=1
+    else
+        echo "ok: $name: $cur_eps events/s vs baseline $base_eps"
+    fi
+done < /tmp/bench_current.$$
+
+if (( compared == 0 )); then
+    echo "error: no common experiments between '$baseline' and '$current'" >&2
+    exit 2
+fi
+
+if (( fail )); then
+    cat >&2 <<'EOF'
+
+The simulator got slower than the committed baseline allows. If the
+slowdown is intentional (e.g. a fidelity improvement that costs
+throughput), refresh the baseline on a quiet machine and commit it:
+
+    cargo build --release
+    ./target/release/repro all --jobs 2
+    git add BENCH_repro.json && git commit -m 'Refresh bench baseline'
+
+Otherwise, find and fix the regression before merging.
+EOF
+    exit 1
+fi
+echo "bench check passed: $compared experiment(s) within ${threshold}% of baseline"

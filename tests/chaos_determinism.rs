@@ -1,0 +1,41 @@
+//! Determinism regression tests for the chaos campaign: the rendered
+//! verdict report must be byte-identical whether the (protocol, seed)
+//! runs execute on one worker or four, and across repeated runs.
+
+use idem_harness::chaos::{run_campaign, ChaosConfig, Schedule};
+use idem_harness::sweep::SweepRunner;
+
+/// One seed keeps the cross-job comparison affordable while still
+/// covering all three protocols and a generated multi-episode schedule.
+fn one_seed() -> ChaosConfig {
+    ChaosConfig {
+        start_seed: 7,
+        seeds: 1,
+        schedule: None,
+    }
+}
+
+#[test]
+fn chaos_report_is_byte_identical_across_job_counts() {
+    let jobs1 = run_campaign(&one_seed(), &SweepRunner::new(1)).render();
+    let jobs4 = run_campaign(&one_seed(), &SweepRunner::new(4)).render();
+    assert_eq!(jobs1, jobs4, "jobs=1 vs jobs=4 chaos report diverged");
+}
+
+#[test]
+fn chaos_replay_reproduces_the_campaign_run() {
+    // The repro line printed for a violation replays the seed with its
+    // schedule pinned; that path must reproduce the original run exactly.
+    let runner = SweepRunner::new(2);
+    let campaign = run_campaign(&one_seed(), &runner);
+    let schedule = Schedule::parse(&campaign.runs[0].schedule).unwrap();
+    let replay = run_campaign(
+        &ChaosConfig {
+            start_seed: 7,
+            seeds: 1,
+            schedule: Some(schedule),
+        },
+        &runner,
+    );
+    assert_eq!(campaign.render(), replay.render());
+}
