@@ -1,0 +1,39 @@
+//! Dev tool: times a single experiment cell and reports simulator event
+//! throughput plus queue depth, for hot-path profiling without running a
+//! whole experiment grid.
+//!
+//! Usage: `profcell [clients] [protocol] [seconds]`
+//! protocols: idem, idem_no_pr, idem_no_aqm, paxos, paxos_lbr, smart
+
+use std::time::{Duration, Instant};
+
+use idem_harness::{Protocol, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(400);
+    let protocol = match args.get(1).map(String::as_str) {
+        Some("paxos") => Protocol::paxos(),
+        Some("paxos_lbr") => Protocol::paxos_lbr(50),
+        Some("smart") => Protocol::smart(),
+        Some("idem_no_pr") => Protocol::idem_no_pr(),
+        Some("idem_no_aqm") => Protocol::idem_no_aqm(),
+        _ => Protocol::idem(),
+    };
+    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let mut s = Scenario::new(protocol, clients, Duration::from_secs(secs));
+    s.warmup = Duration::from_secs(1);
+    let start = Instant::now();
+    let r = s.run();
+    let wall = start.elapsed();
+    println!(
+        "{} clients={} wall={:.2?} events={} ev/s={:.0} tput={:.0} rej/s={:.0}",
+        r.name,
+        clients,
+        wall,
+        r.events_processed,
+        r.events_processed as f64 / wall.as_secs_f64(),
+        r.metrics.throughput,
+        r.metrics.reject_throughput,
+    );
+}

@@ -31,6 +31,7 @@ use idem_harness::report::ExperimentReport;
 use idem_harness::sweep::SweepRunner;
 use idem_harness::Protocol;
 use idem_harness::Scenario;
+use idem_simnet::EventStats;
 
 const ALL: [&str; 11] = [
     "fig2",
@@ -261,6 +262,7 @@ fn main() {
                     cells: stats.cells,
                     events: stats.events,
                     cell_cpu: stats.busy,
+                    kinds: stats.events_by_kind,
                 });
                 eprintln!(
                     "[chaos done in {:.1?}: {} run(s), {} sim events, {:.0} events/s, {} violation(s)]\n",
@@ -283,6 +285,7 @@ fn main() {
             cells: stats.cells,
             events: stats.events,
             cell_cpu: stats.busy,
+            kinds: stats.events_by_kind,
         });
         eprintln!(
             "[{name} done in {:.1?}: {} cell(s), {} sim events, {:.0} events/s]\n",
@@ -317,6 +320,7 @@ struct BenchEntry {
     cells: u64,
     events: u64,
     cell_cpu: Duration,
+    kinds: EventStats,
 }
 
 /// Renders the bench summary as JSON (hand-rolled: the workspace has no
@@ -337,15 +341,25 @@ fn render_bench_json(
     out.push_str("  \"experiments\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let events_per_sec = e.events as f64 / e.wall.as_secs_f64().max(1e-9);
+        // One line per experiment: scripts/check_bench_regression.sh greps
+        // "name" and "events_per_sec" off the same line, so new fields are
+        // appended here rather than wrapped.
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"cells\": {}, \"sim_events\": {}, \
-             \"events_per_sec\": {:.0}, \"cell_cpu_s\": {:.3}}}{}\n",
+             \"events_per_sec\": {:.0}, \"cell_cpu_s\": {:.3}, \
+             \"delivers\": {}, \"timers\": {}, \"wakes\": {}, \"crashes\": {}, \
+             \"queue_high_water\": {}}}{}\n",
             e.name,
             e.wall.as_secs_f64(),
             e.cells,
             e.events,
             events_per_sec,
             e.cell_cpu.as_secs_f64(),
+            e.kinds.delivers,
+            e.kinds.timers,
+            e.kinds.wakes,
+            e.kinds.crashes,
+            e.kinds.queue_high_water,
             if i + 1 == entries.len() { "" } else { "," },
         ));
     }

@@ -428,6 +428,8 @@ pub struct ChaosRun {
     pub rejections: u64,
     /// Simulator events processed.
     pub events: u64,
+    /// Per-kind dispatch breakdown and queue high-water mark.
+    pub event_stats: idem_simnet::EventStats,
 }
 
 impl ChaosRun {
@@ -566,6 +568,7 @@ pub fn run_chaos(protocol: &Protocol, seed: u64, schedule: &Schedule) -> ChaosRu
         successes,
         rejections,
         events: cluster.events_processed(),
+        event_stats: cluster.event_stats(),
     }
 }
 
@@ -674,6 +677,7 @@ pub fn run_campaign(cfg: &ChaosConfig, runner: &SweepRunner) -> ChaosReport {
     let runs = runner.run_tasks(tasks, |(protocol, seed, schedule)| {
         let run = run_chaos(protocol, *seed, schedule);
         runner.note_events(run.events);
+        runner.note_event_stats(&run.event_stats);
         run
     });
     ChaosReport {

@@ -539,6 +539,16 @@ impl ClusterHandles {
             ClusterSim::Smart(sim) => sim.events_processed(),
         }
     }
+
+    /// Per-kind dispatch breakdown and queue high-water mark of the
+    /// underlying simulation (for performance reporting).
+    pub fn event_stats(&self) -> idem_simnet::EventStats {
+        match &self.sim {
+            ClusterSim::Idem(sim) => sim.event_stats(),
+            ClusterSim::Paxos(sim) => sim.event_stats(),
+            ClusterSim::Smart(sim) => sim.event_stats(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -162,6 +162,7 @@ impl Scenario {
             replica_traffic_bytes: cluster.replica_traffic_bytes(),
             total_messages: cluster.total_messages(),
             events_processed: cluster.events_processed(),
+            event_stats: cluster.event_stats(),
             idem_stats,
             order_violations,
         }
@@ -194,6 +195,9 @@ pub struct RunResult {
     /// Simulator events processed during the run (delivery + timer
     /// dispatches) — the basis for events/sec performance reporting.
     pub events_processed: u64,
+    /// Per-kind dispatch breakdown (deliver/timer/wake/crash) plus the
+    /// event-queue high-water mark.
+    pub event_stats: idem_simnet::EventStats,
     /// Per-replica IDEM stats (empty for baselines).
     pub idem_stats: Vec<idem_core::ReplicaStats>,
     /// Per-client session-order violations (always 0 for a correct

@@ -24,6 +24,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use idem_simnet::EventStats;
+
 use crate::scenario::{RunResult, Scenario};
 
 /// How a cell's simulation terminates.
@@ -89,6 +91,9 @@ pub struct SweepStats {
     /// Wall-clock time spent inside cell runs, summed over workers (with
     /// `jobs > 1` this exceeds elapsed wall time).
     pub busy: Duration,
+    /// Per-kind dispatch breakdown summed over cells, with
+    /// `queue_high_water` the max over any single cell.
+    pub events_by_kind: EventStats,
 }
 
 impl SweepStats {
@@ -107,6 +112,11 @@ pub struct SweepRunner {
     cells: AtomicU64,
     events: AtomicU64,
     busy_ns: AtomicU64,
+    delivers: AtomicU64,
+    timers: AtomicU64,
+    wakes: AtomicU64,
+    crashes: AtomicU64,
+    high_water: AtomicU64,
 }
 
 impl Default for SweepRunner {
@@ -123,6 +133,11 @@ impl SweepRunner {
             cells: AtomicU64::new(0),
             events: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
+            delivers: AtomicU64::new(0),
+            timers: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
         }
     }
 
@@ -259,6 +274,18 @@ impl SweepRunner {
         self.events.fetch_add(events, Ordering::Relaxed);
     }
 
+    /// Adds one run's per-kind dispatch breakdown to the accumulated
+    /// statistics, for tasks run via [`run_tasks`](Self::run_tasks)
+    /// (thread-safe).
+    pub fn note_event_stats(&self, stats: &EventStats) {
+        self.delivers.fetch_add(stats.delivers, Ordering::Relaxed);
+        self.timers.fetch_add(stats.timers, Ordering::Relaxed);
+        self.wakes.fetch_add(stats.wakes, Ordering::Relaxed);
+        self.crashes.fetch_add(stats.crashes, Ordering::Relaxed);
+        self.high_water
+            .fetch_max(stats.queue_high_water, Ordering::Relaxed);
+    }
+
     /// Runs one cell, recording its statistics.
     fn run_one(&self, cell: &Cell) -> RunResult {
         let start = Instant::now();
@@ -271,6 +298,7 @@ impl SweepRunner {
             busy.as_nanos().min(u64::MAX as u128) as u64,
             Ordering::Relaxed,
         );
+        self.note_event_stats(&result.event_stats);
         result
     }
 
@@ -282,6 +310,13 @@ impl SweepRunner {
             cells: self.cells.swap(0, Ordering::Relaxed),
             events: self.events.swap(0, Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_ns.swap(0, Ordering::Relaxed)),
+            events_by_kind: EventStats {
+                delivers: self.delivers.swap(0, Ordering::Relaxed),
+                timers: self.timers.swap(0, Ordering::Relaxed),
+                wakes: self.wakes.swap(0, Ordering::Relaxed),
+                crashes: self.crashes.swap(0, Ordering::Relaxed),
+                queue_high_water: self.high_water.swap(0, Ordering::Relaxed),
+            },
         }
     }
 }
@@ -340,6 +375,11 @@ mod tests {
         );
         assert!(stats.events > 0);
         assert!(stats.busy > Duration::ZERO);
+        assert_eq!(
+            stats.events_by_kind.delivers,
+            results.iter().map(|r| r.event_stats.delivers).sum::<u64>()
+        );
+        assert!(stats.events_by_kind.queue_high_water > 0);
         assert_eq!(runner.take_stats(), SweepStats::default());
     }
 

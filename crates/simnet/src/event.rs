@@ -1,11 +1,14 @@
-//! The event heap.
+//! Event types and the global event queue.
+//!
+//! The queue is a thin wrapper over the hierarchical
+//! [`TimingWheel`](crate::wheel::TimingWheel); see that module for the
+//! scheduling algorithm and the `(time, seq)` ordering contract.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use crate::node::{NodeId, TimerId};
 use crate::time::SimTime;
+use crate::wheel::TimingWheel;
 
 /// An in-flight message body.
 ///
@@ -52,8 +55,10 @@ pub(crate) enum EventKind<M> {
         from: NodeId,
         msg: Payload<M>,
     },
-    /// Fire timer `id` at `node` with payload `msg`.
-    Timer { node: NodeId, id: TimerId, msg: M },
+    /// Fire timer `id` at `node`. The payload lives in the simulator's
+    /// timer table until the timer fires, so cancellation frees it
+    /// immediately and this entry becomes a stale no-op.
+    Timer { node: NodeId, id: TimerId },
     /// Crash `node`.
     Crash { node: NodeId },
     /// Bring a crashed `node` back.
@@ -72,37 +77,16 @@ pub(crate) struct Event<M> {
     pub kind: EventKind<M>,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<M> Eq for Event<M> {}
-
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
-/// Min-heap of events ordered by `(time, seq)`.
+/// The global event queue, ordered by `(time, seq)`.
 #[derive(Debug)]
 pub(crate) struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
+    wheel: TimingWheel<EventKind<M>>,
 }
 
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: TimingWheel::new(),
         }
     }
 }
@@ -110,38 +94,39 @@ impl<M> Default for EventQueue<M> {
 impl<M> EventQueue<M> {
     /// Pushes an event.
     pub fn push(&mut self, ev: Event<M>) {
-        self.heap.push(ev);
+        self.wheel.push(ev.time.as_nanos(), ev.seq, ev.kind);
     }
 
     /// Reserves capacity for at least `additional` further events, so that
-    /// steady-state simulations do not pay repeated heap reallocations.
+    /// steady-state simulations do not pay repeated reallocations.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
-    }
-
-    /// The time of the earliest pending event.
-    pub fn next_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.wheel.reserve(additional);
     }
 
     /// Pops the earliest event if it fires at or before `limit`.
     pub fn pop_before(&mut self, limit: SimTime) -> Option<Event<M>> {
-        if self.next_time()? <= limit {
-            self.heap.pop()
-        } else {
-            None
-        }
+        let (time, seq, kind) = self.wheel.pop_before(limit.as_nanos())?;
+        Some(Event {
+            time: SimTime::from_nanos(time),
+            seq,
+            kind,
+        })
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// Whether no event is pending.
     #[allow(dead_code)] // used by tests and kept for API symmetry with len()
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
+    }
+
+    /// The largest number of events that were ever pending at once.
+    pub fn high_water(&self) -> usize {
+        self.wheel.high_water()
     }
 }
 
@@ -211,6 +196,7 @@ mod tests {
             assert_eq!(q.pop_before(limit).unwrap().seq, expect);
         }
         assert!(q.is_empty());
+        assert_eq!(q.high_water(), N as usize);
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //! * **Fault injection.** Crash a node at a scheduled virtual time
 //!   ([`Simulation::schedule_crash`]) — the basis of the Figure 3/10 crash
 //!   timelines.
-//! * **Determinism.** Virtual time, a single event heap ordered by
-//!   `(time, seq)`, and one seeded RNG: the same seed always yields the
-//!   same run, making every experiment and test reproducible.
+//! * **Determinism.** Virtual time, a single global event queue — a
+//!   hierarchical [timing wheel](TimingWheel) — ordered by `(time, seq)`,
+//!   and one seeded RNG: the same seed always yields the same run, making
+//!   every experiment and test reproducible. Timers are backed by a
+//!   generation-stamped [`TimerTable`], so arming and cancelling them is
+//!   O(1) with no tombstones accumulating over long runs.
 //!
 //! # Architecture
 //!
@@ -74,12 +77,14 @@ pub mod sim;
 pub mod time;
 pub mod trace;
 pub mod traffic;
+pub mod wheel;
 pub mod wire;
 
 pub use net::{LinkSpec, Network};
 pub use node::{AsAny, Context, Node, NodeId, TimerId};
-pub use sim::Simulation;
+pub use sim::{EventStats, Simulation};
 pub use time::SimTime;
 pub use trace::{TraceBuffer, TraceEvent, TraceEventKind};
 pub use traffic::Traffic;
+pub use wheel::{TimerTable, TimingWheel};
 pub use wire::Wire;

@@ -27,6 +27,9 @@ use crate::node::NodeId;
 pub struct LinkSpec {
     base: Duration,
     jitter: Duration,
+    /// `jitter` pre-converted to nanoseconds: sampling runs once per
+    /// transmission, and `Duration::as_nanos` is 128-bit math.
+    jitter_ns: u64,
     drop_prob: f64,
 }
 
@@ -36,6 +39,7 @@ impl LinkSpec {
         LinkSpec {
             base,
             jitter,
+            jitter_ns: jitter.as_nanos() as u64,
             drop_prob: 0.0,
         }
     }
@@ -72,11 +76,10 @@ impl LinkSpec {
         if self.drop_prob > 0.0 && rng.gen::<f64>() < self.drop_prob {
             return None;
         }
-        let jitter_ns = self.jitter.as_nanos() as u64;
-        let extra = if jitter_ns == 0 {
+        let extra = if self.jitter_ns == 0 {
             0
         } else {
-            rng.gen_range(0..=jitter_ns)
+            rng.gen_range(0..=self.jitter_ns)
         };
         Some(self.base + Duration::from_nanos(extra))
     }
@@ -196,13 +199,21 @@ impl Network {
         if from == to {
             return Some(self.loopback);
         }
-        if self.is_blocked(from, to) {
+        // Experiments run with no blocks and no per-link overrides, so the
+        // hot path must not pay the hash lookups; the emptiness checks
+        // consume no randomness and change no sampled stream.
+        if !self.blocked.is_empty() && self.is_blocked(from, to) {
             return None;
         }
         if self.global_drop > 0.0 && rng.gen::<f64>() < self.global_drop {
             return None;
         }
-        self.link(from, to).sample(rng)
+        let spec = if self.overrides.is_empty() {
+            &self.default
+        } else {
+            self.overrides.get(&(from, to)).unwrap_or(&self.default)
+        };
+        spec.sample(rng)
     }
 }
 

@@ -1,6 +1,5 @@
 //! The simulation runner.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -13,7 +12,38 @@ use crate::node::{Context, Node, NodeId, TimerId};
 use crate::time::SimTime;
 use crate::trace::{TraceBuffer, TraceEventKind};
 use crate::traffic::Traffic;
+use crate::wheel::TimerTable;
 use crate::wire::{Wire, HEADER_BYTES};
+
+/// Per-run breakdown of scheduler activity: how many events of each kind
+/// were dispatched and how deep the event queue ever got. Collected for
+/// free on the hot path (plain counter bumps) and surfaced per experiment
+/// cell so performance work can see *what* a workload is made of.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EventStats {
+    /// Message deliveries dispatched.
+    pub delivers: u64,
+    /// Timers that fired live (cancelled timers are not counted).
+    pub timers: u64,
+    /// Backlog wake-ups dispatched.
+    pub wakes: u64,
+    /// Crash and recovery control events dispatched.
+    pub crashes: u64,
+    /// The largest number of events that were ever pending at once.
+    pub queue_high_water: u64,
+}
+
+impl EventStats {
+    /// Accumulates another run's stats into this one (high-water marks take
+    /// the max, counters add).
+    pub fn merge(&mut self, other: &EventStats) {
+        self.delivers += other.delivers;
+        self.timers += other.timers;
+        self.wakes += other.wakes;
+        self.crashes += other.crashes;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+    }
+}
 
 /// Work deferred while a node's processor was busy, kept in a per-node
 /// FIFO. Without this, deferred events would be re-pushed into the global
@@ -69,9 +99,9 @@ pub struct Core<M> {
     seq: u64,
     states: Vec<NodeState<M>>,
     traffic: Traffic,
-    cancelled: HashSet<u64>,
-    next_timer: u64,
+    timers: TimerTable<M>,
     events_processed: u64,
+    stats: EventStats,
     trace: Option<TraceBuffer>,
 }
 
@@ -82,19 +112,31 @@ impl<M> Core<M> {
     }
 
     pub(crate) fn set_timer(&mut self, node: NodeId, delay: Duration, msg: M) -> TimerId {
-        self.next_timer += 1;
-        let id = TimerId(self.next_timer);
+        let id = self.timers.arm(msg);
         let seq = self.next_seq();
         self.queue.push(Event {
             time: self.now + delay,
             seq,
-            kind: EventKind::Timer { node, id, msg },
+            kind: EventKind::Timer { node, id },
         });
         id
     }
 
     pub(crate) fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled.insert(id.0);
+        // O(1): bumps the slot's generation, freeing the payload at once and
+        // turning the queue entry (and any stale handle) into a no-op.
+        self.timers.cancel(id);
+    }
+
+    /// Clears a node's backlog, releasing the timer-table slots of deferred
+    /// timers so crashed work does not leak them.
+    fn clear_backlog(&mut self, nid: NodeId) {
+        let state = &mut self.states[nid.index()];
+        for work in state.backlog.drain(..) {
+            if let Deferred::Timer { id, .. } = work {
+                self.timers.cancel(id);
+            }
+        }
     }
 
     pub(crate) fn charge(&mut self, node: NodeId, cpu: Duration) {
@@ -217,9 +259,9 @@ impl<M: Wire + 'static> Simulation<M> {
                 seq: 0,
                 states: Vec::new(),
                 traffic: Traffic::new(),
-                cancelled: HashSet::new(),
-                next_timer: 0,
+                timers: TimerTable::new(),
                 events_processed: 0,
+                stats: EventStats::default(),
                 trace: None,
             },
             nodes: Vec::new(),
@@ -334,8 +376,8 @@ impl<M: Wire + 'static> Simulation<M> {
             }
             Deferred::Timer { id, msg } => {
                 // The timer may have been cancelled while it sat in the
-                // backlog.
-                if !ctx.core.cancelled.remove(&id.0) {
+                // backlog; settling the slot tells us, in O(1).
+                if ctx.core.timers.complete(id) {
                     if let Some(trace) = &mut ctx.core.trace {
                         trace.push(ctx.core.now, TraceEventKind::TimerFired { node: nid });
                     }
@@ -352,6 +394,9 @@ impl<M: Wire + 'static> Simulation<M> {
     fn offer(&mut self, nid: NodeId, work: Deferred<M>, at: SimTime) {
         let state = &mut self.core.states[nid.index()];
         if state.crashed {
+            if let Deferred::Timer { id, .. } = work {
+                self.core.timers.cancel(id);
+            }
             return;
         }
         if state.busy_until > at || !state.backlog.is_empty() {
@@ -379,7 +424,7 @@ impl<M: Wire + 'static> Simulation<M> {
         loop {
             let state = &mut self.core.states[nid.index()];
             if state.crashed {
-                state.backlog.clear();
+                self.core.clear_backlog(nid);
                 return;
             }
             if state.busy_until > at {
@@ -410,19 +455,25 @@ impl<M: Wire + 'static> Simulation<M> {
         self.core.now = ev.time;
         match ev.kind {
             EventKind::Deliver { to, from, msg } => {
+                self.core.stats.delivers += 1;
                 self.offer(to, Deferred::Msg { from, msg }, ev.time);
             }
-            EventKind::Timer { node: nid, id, msg } => {
-                if self.core.cancelled.remove(&id.0) {
+            EventKind::Timer { node: nid, id } => {
+                // Taking the payload doubles as the liveness check: a
+                // cancelled timer's slot was re-stamped, so this entry is
+                // stale and drops in O(1) — no tombstone set to consult.
+                let Some(msg) = self.core.timers.fire(id) else {
                     return;
-                }
+                };
+                self.core.stats.timers += 1;
                 self.offer(nid, Deferred::Timer { id, msg }, ev.time);
             }
             EventKind::Crash { node: nid } => {
+                self.core.stats.crashes += 1;
                 let state = &mut self.core.states[nid.index()];
                 if !state.crashed {
                     state.crashed = true;
-                    state.backlog.clear();
+                    self.core.clear_backlog(nid);
                     if let Some(trace) = &mut self.core.trace {
                         trace.push(ev.time, TraceEventKind::Crash { node: nid });
                     }
@@ -432,9 +483,11 @@ impl<M: Wire + 'static> Simulation<M> {
                 }
             }
             EventKind::Recover { node: nid } => {
+                self.core.stats.crashes += 1;
                 self.do_recover(nid);
             }
             EventKind::Wake { node: nid } => {
+                self.core.stats.wakes += 1;
                 self.drain_backlog(nid, ev.time);
             }
         }
@@ -453,7 +506,7 @@ impl<M: Wire + 'static> Simulation<M> {
         state.crashed = false;
         state.busy_until = self.core.now;
         state.wake_scheduled = false;
-        state.backlog.clear();
+        self.core.clear_backlog(nid);
         if let Some(trace) = &mut self.core.trace {
             trace.push(self.core.now, TraceEventKind::Recover { node: nid });
         }
@@ -483,7 +536,7 @@ impl<M: Wire + 'static> Simulation<M> {
         let state = &mut self.core.states[node.index()];
         if !state.crashed {
             state.crashed = true;
-            state.backlog.clear();
+            self.core.clear_backlog(node);
             if let Some(n) = self.nodes[node.index()].as_mut() {
                 n.on_crash(now);
             }
@@ -542,6 +595,21 @@ impl<M: Wire + 'static> Simulation<M> {
     /// Number of events still pending in the queue.
     pub fn pending_events(&self) -> usize {
         self.core.queue.len()
+    }
+
+    /// Number of timers currently armed (including fired-but-unprocessed
+    /// ones still deferred behind busy nodes).
+    pub fn pending_timers(&self) -> usize {
+        self.core.timers.live()
+    }
+
+    /// Per-kind breakdown of dispatched events and the queue's high-water
+    /// mark so far.
+    pub fn event_stats(&self) -> EventStats {
+        EventStats {
+            queue_high_water: self.core.queue.high_water() as u64,
+            ..self.core.stats
+        }
     }
 
     /// Read access to the traffic accounting.
@@ -1168,5 +1236,142 @@ mod tests {
         }));
         assert!(sim.step()); // first ping delivered
         assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 1);
+    }
+
+    #[test]
+    fn stale_cancel_of_fired_timer_is_noop_and_leaks_nothing() {
+        // Cancelling a timer that already fired used to leave a u64 in a
+        // tombstone set forever; with generation stamps it must be a pure
+        // no-op that poisons nothing.
+        struct Staler {
+            first: Option<TimerId>,
+            fired: u32,
+        }
+        impl Node<Msg> for Staler {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                self.first = Some(ctx.set_timer(Duration::from_millis(1), Msg::Tick));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId, _: Msg) {
+                self.fired += 1;
+                if self.fired == 1 {
+                    // The second timer recycles the first one's table slot;
+                    // cancelling the stale handle must not kill it.
+                    ctx.set_timer(Duration::from_millis(1), Msg::Tick);
+                    ctx.cancel_timer(self.first.take().unwrap());
+                }
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let id = sim.add_node(Box::new(Staler {
+            first: None,
+            fired: 0,
+        }));
+        sim.run_for(Duration::from_millis(10));
+        assert_eq!(sim.node_as::<Staler>(id).unwrap().fired, 2);
+        assert_eq!(sim.pending_timers(), 0, "no timer slots may leak");
+    }
+
+    #[test]
+    fn cancel_while_deferred_in_backlog_suppresses_fire() {
+        // A timer that fires while its node is busy is parked in the
+        // backlog; a cancel issued before the backlog drains must still win.
+        struct Busy {
+            timer: Option<TimerId>,
+            msgs: u32,
+            fired: u32,
+        }
+        impl Node<Msg> for Busy {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                self.timer = Some(ctx.set_timer(Duration::from_micros(500), Msg::Tick));
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+                self.msgs += 1;
+                if self.msgs == 1 {
+                    // Busy until 1.1 ms: the 500 µs timer lands in the
+                    // backlog behind the second message.
+                    ctx.charge(Duration::from_millis(1));
+                } else {
+                    ctx.cancel_timer(self.timer.take().unwrap());
+                }
+            }
+            fn on_timer(&mut self, _: &mut Context<'_, Msg>, _: TimerId, _: Msg) {
+                self.fired += 1;
+            }
+        }
+        struct Feeder {
+            peer: NodeId,
+        }
+        impl Node<Msg> for Feeder {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.send(self.peer, Msg::Ping(100)); // arrives at 100 µs
+                ctx.set_timer(Duration::from_micros(300), Msg::Tick);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId, _: Msg) {
+                ctx.send(self.peer, Msg::Ping(200)); // arrives at 400 µs
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(100));
+        let busy = sim.add_node(Box::new(Busy {
+            timer: None,
+            msgs: 0,
+            fired: 0,
+        }));
+        sim.add_node(Box::new(Feeder { peer: busy }));
+        sim.run_for(Duration::from_millis(10));
+        let b = sim.node_as::<Busy>(busy).unwrap();
+        assert_eq!(b.msgs, 2);
+        assert_eq!(b.fired, 0, "cancelled-in-backlog timer must not fire");
+        assert_eq!(sim.pending_timers(), 0, "no timer slots may leak");
+    }
+
+    #[test]
+    fn crashes_release_timer_slots() {
+        struct Armer;
+        impl Node<Msg> for Armer {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(Duration::from_millis(1), Msg::Tick);
+                ctx.set_timer(Duration::from_millis(2), Msg::Tick);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let id = sim.add_node(Box::new(Armer));
+        sim.schedule_crash(id, SimTime::from_nanos(500_000));
+        sim.run_for(Duration::from_millis(10));
+        assert!(sim.is_crashed(id));
+        assert_eq!(
+            sim.pending_timers(),
+            0,
+            "timers of crashed nodes must be released when their entries fire"
+        );
+    }
+
+    #[test]
+    fn event_stats_break_down_dispatches() {
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(100));
+        let echo = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::ZERO,
+        }));
+        sim.add_node(Box::new(Starter {
+            peer: echo,
+            reply_times: Vec::new(),
+        }));
+        sim.run_for(Duration::from_secs(1));
+        let stats = sim.event_stats();
+        // Pings 0..=10 cross the wire once each.
+        assert_eq!(stats.delivers, 11);
+        assert_eq!(stats.timers, 0);
+        assert_eq!(stats.wakes, 0);
+        assert_eq!(stats.crashes, 0);
+        assert!(stats.queue_high_water >= 1);
+
+        let mut merged = EventStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.delivers, 22);
+        assert_eq!(merged.queue_high_water, stats.queue_high_water);
     }
 }
