@@ -34,6 +34,7 @@ pub mod exec;
 pub mod ids;
 pub mod quorum;
 pub mod request;
+pub mod wal;
 pub mod window;
 
 pub use app::{CostModel, FixedCost, StateMachine};
@@ -43,4 +44,5 @@ pub use exec::ExecRecord;
 pub use ids::{ClientId, OpNumber, ReplicaId, RequestId, SeqNumber, View};
 pub use quorum::{QuorumSet, QuorumTracker};
 pub use request::{Reply, Request};
+pub use wal::{PersistMode, Wal, WalRecord};
 pub use window::SeqWindow;

@@ -1,0 +1,331 @@
+//! Shared write-ahead log + snapshot layer over the simulated disk.
+//!
+//! All three protocols (IDEM, Paxos, BFT-SMaRt) persist the same four
+//! record kinds through this module, each encoded to a self-contained byte
+//! record on the node's [`Disk`](idem_simnet::Disk):
+//!
+//! - [`WalRecord::View`] — the highest view/ballot entered, so a rebooted
+//!   replica never regresses below a promise it made.
+//! - [`WalRecord::Accept`] — an accepted (voted-for) window entry with its
+//!   command body, so accepted-but-unexecuted state survives amnesia.
+//! - [`WalRecord::Exec`] — one state-machine execution, written *before*
+//!   the command is applied. This is the record the chaos campaign's
+//!   durability invariant audits: every op executed before a wipe must be
+//!   replayable from here.
+//! - [`WalRecord::Checkpoint`] — an application snapshot plus client
+//!   table, bounding replay length.
+//!
+//! The write discipline is write-ahead: a record is appended **and
+//! fsynced** before the replica acts on it (applies the command, sends the
+//! accept, enters the view). Under power-loss truncation
+//! ([`Simulation::wipe_now`](idem_simnet::Simulation::wipe_now) with
+//! `truncate_to_synced`) the disk therefore always covers everything the
+//! replica externalized. [`PersistMode::WalNoFsync`] deliberately breaks
+//! that discipline — it exists so tests can prove the durability invariant
+//! has teeth.
+
+use idem_simnet::Context;
+
+use crate::ids::{ClientId, OpNumber, RequestId};
+
+/// Whether (and how honestly) a replica persists to its simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PersistMode {
+    /// No persistence: wipes lose everything (the pre-durability model).
+    #[default]
+    Disabled,
+    /// Write-ahead logging with an fsync barrier after every record.
+    Wal,
+    /// Broken stub: appends records but never fsyncs, so power-loss
+    /// truncation destroys the entire log. Test-only — proves the
+    /// durability invariant catches a dishonest persistence layer.
+    WalNoFsync,
+}
+
+/// One durable log record. See the [module docs](self) for when each kind
+/// is written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// The replica entered (or promised) this view/ballot.
+    View(u64),
+    /// The replica accepted `id` with `command` at `slot` in `view`.
+    Accept {
+        /// Protocol slot (sequence number; `u64::MAX` = not yet bound).
+        slot: u64,
+        /// View the acceptance happened in.
+        view: u64,
+        /// The accepted request id.
+        id: RequestId,
+        /// The accepted command body.
+        command: Vec<u8>,
+    },
+    /// The replica executed `command` for `id` at `slot`.
+    Exec {
+        /// Execution slot, in the protocol's slot numbering.
+        slot: u64,
+        /// The executed request id.
+        id: RequestId,
+        /// Whether this was a fresh application (vs. a deduplicated
+        /// re-delivery recorded for the audit log only).
+        fresh: bool,
+        /// The command body, replayed against the app on recovery.
+        command: Vec<u8>,
+    },
+    /// Application snapshot at `next_exec` plus the client reply table.
+    Checkpoint {
+        /// First slot *not* covered by the snapshot.
+        next_exec: u64,
+        /// Opaque application snapshot bytes.
+        snapshot: Vec<u8>,
+        /// Per-client `(client, last_op, reply)` dedup records.
+        clients: Vec<(u32, u64, Vec<u8>)>,
+    },
+}
+
+const TAG_VIEW: u8 = 1;
+const TAG_ACCEPT: u8 = 2;
+const TAG_EXEC: u8 = 3;
+const TAG_CHECKPOINT: u8 = 4;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Byte cursor for decoding; every getter returns `None` on underrun.
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let (&v, rest) = self.0.split_first()?;
+        self.0 = rest;
+        Some(v)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let (head, rest) = self.0.split_at_checked(4)?;
+        self.0 = rest;
+        Some(u32::from_le_bytes(head.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.0.split_at_checked(8)?;
+        self.0 = rest;
+        Some(u64::from_le_bytes(head.try_into().ok()?))
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        let (head, rest) = self.0.split_at_checked(len)?;
+        self.0 = rest;
+        Some(head.to_vec())
+    }
+
+    fn id(&mut self) -> Option<RequestId> {
+        Some(RequestId {
+            client: ClientId(self.u32()?),
+            op: OpNumber(self.u64()?),
+        })
+    }
+}
+
+impl WalRecord {
+    /// Serializes the record to its on-disk byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::View(view) => {
+                out.push(TAG_VIEW);
+                put_u64(&mut out, *view);
+            }
+            WalRecord::Accept {
+                slot,
+                view,
+                id,
+                command,
+            } => {
+                out.push(TAG_ACCEPT);
+                put_u64(&mut out, *slot);
+                put_u64(&mut out, *view);
+                put_u32(&mut out, id.client.0);
+                put_u64(&mut out, id.op.0);
+                put_bytes(&mut out, command);
+            }
+            WalRecord::Exec {
+                slot,
+                id,
+                fresh,
+                command,
+            } => {
+                out.push(TAG_EXEC);
+                put_u64(&mut out, *slot);
+                put_u32(&mut out, id.client.0);
+                put_u64(&mut out, id.op.0);
+                out.push(u8::from(*fresh));
+                put_bytes(&mut out, command);
+            }
+            WalRecord::Checkpoint {
+                next_exec,
+                snapshot,
+                clients,
+            } => {
+                out.push(TAG_CHECKPOINT);
+                put_u64(&mut out, *next_exec);
+                put_bytes(&mut out, snapshot);
+                put_u32(&mut out, clients.len() as u32);
+                for (client, last_op, reply) in clients {
+                    put_u32(&mut out, *client);
+                    put_u64(&mut out, *last_op);
+                    put_bytes(&mut out, reply);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a record from its on-disk byte form. Returns `None` on a
+    /// malformed record (unknown tag, underrun, or trailing garbage).
+    pub fn decode(bytes: &[u8]) -> Option<WalRecord> {
+        let mut cur = Cursor(bytes);
+        let rec = match cur.u8()? {
+            TAG_VIEW => WalRecord::View(cur.u64()?),
+            TAG_ACCEPT => WalRecord::Accept {
+                slot: cur.u64()?,
+                view: cur.u64()?,
+                id: cur.id()?,
+                command: cur.bytes()?,
+            },
+            TAG_EXEC => WalRecord::Exec {
+                slot: cur.u64()?,
+                id: cur.id()?,
+                fresh: cur.u8()? != 0,
+                command: cur.bytes()?,
+            },
+            TAG_CHECKPOINT => {
+                let next_exec = cur.u64()?;
+                let snapshot = cur.bytes()?;
+                let n = cur.u32()?;
+                let mut clients = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    clients.push((cur.u32()?, cur.u64()?, cur.bytes()?));
+                }
+                WalRecord::Checkpoint {
+                    next_exec,
+                    snapshot,
+                    clients,
+                }
+            }
+            _ => return None,
+        };
+        cur.0.is_empty().then_some(rec)
+    }
+}
+
+/// A replica's handle on its write-ahead log: encodes records to the
+/// node's disk under the configured [`PersistMode`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Wal {
+    mode: PersistMode,
+}
+
+impl Wal {
+    /// Creates a log handle with the given mode.
+    pub fn new(mode: PersistMode) -> Wal {
+        Wal { mode }
+    }
+
+    /// Whether records are written at all.
+    pub fn enabled(&self) -> bool {
+        self.mode != PersistMode::Disabled
+    }
+
+    /// Appends `record` and (unless the mode is the deliberately broken
+    /// [`PersistMode::WalNoFsync`]) fsyncs, making it durable before the
+    /// caller acts on it. No-op when persistence is disabled.
+    pub fn log<M>(&self, ctx: &mut Context<'_, M>, record: &WalRecord) {
+        match self.mode {
+            PersistMode::Disabled => {}
+            PersistMode::Wal => {
+                ctx.disk_append(record.encode());
+                ctx.disk_fsync();
+            }
+            PersistMode::WalNoFsync => {
+                ctx.disk_append(record.encode());
+            }
+        }
+    }
+
+    /// Decodes every record on the node's disk, oldest first — the replay
+    /// input after a wipe. Malformed records are skipped (a torn tail
+    /// record is indistinguishable from garbage).
+    pub fn replay<M>(ctx: &Context<'_, M>) -> Vec<WalRecord> {
+        ctx.disk_records()
+            .iter()
+            .filter_map(|bytes| WalRecord::decode(bytes))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(client: u32, op: u64) -> RequestId {
+        RequestId {
+            client: ClientId(client),
+            op: OpNumber(op),
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_bytes() {
+        let records = vec![
+            WalRecord::View(42),
+            WalRecord::Accept {
+                slot: 7,
+                view: 2,
+                id: rid(3, 11),
+                command: vec![1, 2, 3],
+            },
+            WalRecord::Exec {
+                slot: 9,
+                id: rid(0, 1),
+                fresh: true,
+                command: Vec::new(),
+            },
+            WalRecord::Exec {
+                slot: 10,
+                id: rid(1, 5),
+                fresh: false,
+                command: vec![0xFF; 100],
+            },
+            WalRecord::Checkpoint {
+                next_exec: 50,
+                snapshot: vec![9, 9, 9],
+                clients: vec![(0, 12, vec![1]), (1, 3, Vec::new())],
+            },
+        ];
+        for rec in records {
+            let bytes = rec.encode();
+            assert_eq!(WalRecord::decode(&bytes), Some(rec.clone()), "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_records_decode_to_none() {
+        assert_eq!(WalRecord::decode(&[]), None);
+        assert_eq!(WalRecord::decode(&[0xAB]), None); // unknown tag
+        assert_eq!(WalRecord::decode(&[TAG_VIEW, 1, 2]), None); // underrun
+        let mut ok = WalRecord::View(7).encode();
+        ok.push(0); // trailing garbage
+        assert_eq!(WalRecord::decode(&ok), None);
+    }
+}

@@ -121,6 +121,9 @@ pub enum IdemMessage {
     BackoffTimer,
     /// Client-side retransmission timer.
     RetransmitTimer(OpNumber),
+    /// Replica-side catch-up retry after a reboot: rotates the
+    /// checkpoint-request target until some peer answers.
+    RecoveryTimer,
 }
 
 impl Wire for IdemMessage {
@@ -142,7 +145,8 @@ impl Wire for IdemMessage {
             | IdemMessage::ProgressTimer
             | IdemMessage::OptimisticTimer(_)
             | IdemMessage::BackoffTimer
-            | IdemMessage::RetransmitTimer(_) => 0,
+            | IdemMessage::RetransmitTimer(_)
+            | IdemMessage::RecoveryTimer => 0,
         }
     }
 }
@@ -179,6 +183,7 @@ mod tests {
         assert_eq!(IdemMessage::OptimisticTimer(OpNumber(1)).wire_size(), 0);
         assert_eq!(IdemMessage::BackoffTimer.wire_size(), 0);
         assert_eq!(IdemMessage::RetransmitTimer(OpNumber(1)).wire_size(), 0);
+        assert_eq!(IdemMessage::RecoveryTimer.wire_size(), 0);
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! garbage collection, checkpointing, and view changes (paper Sections 4–5).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
 
 use idem_common::app::CostModel;
 use idem_common::{
-    ClientId, Directory, ExecRecord, QuorumTracker, Reply, Request, RequestId, SeqNumber,
-    SeqWindow, StateMachine, View,
+    ClientId, Directory, ExecRecord, OpNumber, PersistMode, QuorumTracker, Reply, Request,
+    RequestId, SeqNumber, SeqWindow, StateMachine, View, Wal, WalRecord,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -147,6 +148,15 @@ pub struct IdemReplica {
 
     forward_timers: BTreeMap<RequestId, TimerId>,
     progress_timer: Option<TimerId>,
+    /// Durable logging layer (disabled unless the harness opts in).
+    wal: Wal,
+    /// Set by the rebuild factory after an amnesia wipe: the next
+    /// `on_recover` replays the disk before rejoining.
+    wipe_recovering: bool,
+    /// Armed while catching up after a reboot; each firing rotates the
+    /// checkpoint-request target to another replica.
+    recovery_timer: Option<TimerId>,
+    recovery_attempts: u32,
     /// Evidence that a view below our pending view-change target is still
     /// live (f+1 distinct senders): a rejoining partitioned replica must
     /// abandon its solo view change and fall back in.
@@ -207,6 +217,10 @@ impl IdemReplica {
             checkpoint: None,
             forward_timers: BTreeMap::new(),
             progress_timer: None,
+            wal: Wal::default(),
+            wipe_recovering: false,
+            recovery_timer: None,
+            recovery_attempts: 0,
             rejoin_votes: None,
             max_client_seen: 0,
             load_estimate: 0.0,
@@ -223,6 +237,19 @@ impl IdemReplica {
         self.exec_log_enabled = true;
     }
 
+    /// Configures durable logging to the node's simulated disk. Call before
+    /// the simulation starts (and again on the object a rebuild factory
+    /// produces after a wipe).
+    pub fn set_persistence(&mut self, mode: PersistMode) {
+        self.wal = Wal::new(mode);
+    }
+
+    /// Marks this freshly rebuilt replica as recovering from an amnesia
+    /// wipe: its next `on_recover` replays the disk before rejoining.
+    pub fn mark_wipe_recovery(&mut self) {
+        self.wipe_recovering = true;
+    }
+
     /// The recorded execution order (empty unless
     /// [`enable_exec_log`](Self::enable_exec_log) was called).
     pub fn exec_log(&self) -> &[ExecRecord] {
@@ -233,6 +260,32 @@ impl IdemReplica {
         if self.exec_log_enabled {
             self.exec_log.push(ExecRecord::new(slot.0, id, fresh));
         }
+    }
+
+    /// Write-ahead variant of [`record_exec`](Self::record_exec): the slot
+    /// consumption hits the disk (and the fsync barrier) before the caller
+    /// applies the command, so every externalized execution is replayable
+    /// after a wipe.
+    fn persist_exec(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        slot: SeqNumber,
+        id: RequestId,
+        fresh: bool,
+        command: &[u8],
+    ) {
+        if self.wal.enabled() {
+            self.wal.log(
+                ctx,
+                &WalRecord::Exec {
+                    slot: slot.0,
+                    id,
+                    fresh,
+                    command: command.to_vec(),
+                },
+            );
+        }
+        self.record_exec(slot, id, fresh);
     }
 
     /// Protocol counters.
@@ -381,6 +434,19 @@ impl IdemReplica {
     /// Common accept path for client-received and forwarded requests.
     fn accept(&mut self, ctx: &mut Context<'_, IdemMessage>, req: Request) {
         let id = req.id;
+        if self.wal.enabled() {
+            // Durable before the REQUIRE leaves: an accepted body must
+            // survive amnesia, because peers may commit it on our vouching.
+            self.wal.log(
+                ctx,
+                &WalRecord::Accept {
+                    slot: u64::MAX,
+                    view: self.view.0,
+                    id,
+                    command: req.command.clone(),
+                },
+            );
+        }
         self.active.insert(id);
         self.store.insert(id, req);
         let leader = self.leader_node();
@@ -508,6 +574,25 @@ impl IdemReplica {
         id: RequestId,
         sqn: SeqNumber,
     ) {
+        if self.wal.enabled() {
+            // The slot binding must be durable before the proposal leaves:
+            // after amnesia we must never bind a different request to a
+            // slot we already proposed (equivocation).
+            let command = self
+                .store
+                .get(&id)
+                .map(|r| r.command.clone())
+                .unwrap_or_default();
+            self.wal.log(
+                ctx,
+                &WalRecord::Accept {
+                    slot: sqn.0,
+                    view: self.view.0,
+                    id,
+                    command,
+                },
+            );
+        }
         let mut votes = QuorumTracker::new(self.majority());
         let committed = votes.record(self.me) || votes.reached();
         let executed = self.executed_already(id);
@@ -577,6 +662,9 @@ impl IdemReplica {
     /// operational, and re-endorses live requests with its leader.
     fn enter_view_as_follower(&mut self, ctx: &mut Context<'_, IdemMessage>, v: View) {
         if v > self.view || self.vc_target == Some(v) {
+            if self.wal.enabled() {
+                self.wal.log(ctx, &WalRecord::View(v.0));
+            }
             self.view = v;
             self.vc_target = None;
             self.vc_store.retain(|&t, _| t > v.0);
@@ -626,11 +714,38 @@ impl IdemReplica {
             ctx.send(from, IdemMessage::CheckpointRequest);
             return;
         }
+        // A committed slot's binding is decided: a conflicting proposal can
+        // only come from a leader whose volatile state regressed (e.g.
+        // incomplete amnesia recovery). Endorsing it — at any view — could
+        // commit two requests at one slot, so refuse outright.
+        if let Some(existing) = self.window.get(sqn) {
+            if existing.committed && existing.id != id {
+                return;
+            }
+        }
         let replace = match self.window.get(sqn) {
             Some(existing) => view > existing.view,
             None => true,
         };
         if replace {
+            if self.wal.enabled() {
+                // Our endorsement of this binding may complete its quorum;
+                // it must survive amnesia.
+                let command = self
+                    .store
+                    .get(&id)
+                    .map(|r| r.command.clone())
+                    .unwrap_or_default();
+                self.wal.log(
+                    ctx,
+                    &WalRecord::Accept {
+                        slot: sqn.0,
+                        view: view.0,
+                        id,
+                        command,
+                    },
+                );
+            }
             let mut votes = QuorumTracker::new(self.majority());
             votes.record(sender); // the leader's proposal counts as a commit
             votes.record(self.me);
@@ -654,7 +769,13 @@ impl IdemReplica {
             );
         } else {
             let inst = self.window.get_mut(sqn).expect("checked above");
-            if inst.view == view && inst.id == id {
+            if inst.view == view {
+                if inst.id != id {
+                    // Same-view equivocation (two bindings from one leader
+                    // incarnation): keep our accepted binding and do not
+                    // endorse the conflicting one.
+                    return;
+                }
                 inst.votes.record(sender);
                 inst.votes.record(self.me);
                 if inst.votes.reached() {
@@ -759,7 +880,7 @@ impl IdemReplica {
                 continue;
             }
             if id.client == NOOP_CLIENT {
-                self.record_exec(self.next_exec, id, false);
+                self.persist_exec(ctx, self.next_exec, id, false, &[]);
                 self.window
                     .get_mut(self.next_exec)
                     .expect("present")
@@ -772,7 +893,7 @@ impl IdemReplica {
             if self.executed_already(id) {
                 // Duplicate binding across views: consume without re-running
                 // the application.
-                self.record_exec(self.next_exec, id, false);
+                self.persist_exec(ctx, self.next_exec, id, false, &[]);
                 self.window
                     .get_mut(self.next_exec)
                     .expect("present")
@@ -813,11 +934,12 @@ impl IdemReplica {
             if self.rejected_cache.get(&id).is_some() && !self.store.contains_key(&id) {
                 self.stats.rejected_cache_hits += 1;
             }
-            // Execute.
+            // Execute (durably logged first, so the op survives a wipe
+            // right after the client sees its reply).
+            self.persist_exec(ctx, self.next_exec, id, true, &req.command);
             let cost = self.app.execution_cost(&req.command);
             ctx.charge(cost);
             let result = self.app.execute(&req.command);
-            self.record_exec(self.next_exec, id, true);
             self.stats.executed += 1;
             self.last_executed
                 .insert(id.client.0, (id.op, result.clone()));
@@ -881,11 +1003,31 @@ impl IdemReplica {
             clients,
         });
         self.stats.checkpoints_taken += 1;
+        if self.wal.enabled() {
+            let cp = self.checkpoint.clone().expect("just taken");
+            self.persist_checkpoint(ctx, &cp);
+        }
         // Bodies of requests covered by a stable checkpoint can be pruned
         // (the proof of Theorem 6.2 relies on exactly this rule).
         let last = &self.last_executed;
         self.store
             .retain(|id, _| last.get(&id.client.0).is_none_or(|(op, _)| *op < id.op));
+    }
+
+    /// Logs a checkpoint durably; bounds WAL replay length after a wipe.
+    fn persist_checkpoint(&mut self, ctx: &mut Context<'_, IdemMessage>, cp: &CheckpointData) {
+        self.wal.log(
+            ctx,
+            &WalRecord::Checkpoint {
+                next_exec: cp.next_exec.0,
+                snapshot: cp.snapshot.clone(),
+                clients: cp
+                    .clients
+                    .iter()
+                    .map(|c| (c.client.0, c.last_op.0, c.reply.clone()))
+                    .collect(),
+            },
+        );
     }
 
     fn handle_checkpoint_request(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId) {
@@ -900,6 +1042,12 @@ impl IdemReplica {
     }
 
     fn handle_checkpoint(&mut self, ctx: &mut Context<'_, IdemMessage>, data: CheckpointData) {
+        // Any checkpoint reply proves a peer is reachable: the post-reboot
+        // catch-up retry can stand down.
+        if let Some(timer) = self.recovery_timer.take() {
+            ctx.cancel_timer(timer);
+            self.recovery_attempts = 0;
+        }
         if data.next_exec <= self.next_exec {
             return;
         }
@@ -929,6 +1077,13 @@ impl IdemReplica {
         self.stalled = false;
         self.stats.checkpoints_installed += 1;
         self.checkpoint = Some(data);
+        if self.wal.enabled() {
+            // An installed checkpoint moved the app past slots this replica
+            // never logged itself; persist it so WAL replay after a wipe
+            // starts from a state that actually covers them.
+            let cp = self.checkpoint.clone().expect("just installed");
+            self.persist_checkpoint(ctx, &cp);
+        }
         self.next_propose = self.next_propose.max(self.next_exec);
         self.try_execute(ctx);
     }
@@ -990,6 +1145,171 @@ impl IdemReplica {
             self.next_propose = sqn.next();
             self.bind_and_propose(ctx, id, sqn);
         }
+    }
+
+    // ----------------------------------------------------------- recovery
+
+    /// Base backoff before retrying checkpoint catch-up with another peer.
+    const RECOVERY_RETRY_BASE: Duration = Duration::from_millis(100);
+
+    /// Asks one replica for a checkpoint and arms the retry timer. The
+    /// target rotates with each attempt, starting at the current leader
+    /// guess, so catch-up succeeds even when that leader is itself down.
+    fn send_recovery_request(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        let n = self.n();
+        let leader = self.leader_of(self.effective_view());
+        let mut target = idem_common::ReplicaId((leader.0 + self.recovery_attempts) % n);
+        if target == self.me {
+            target = idem_common::ReplicaId((target.0 + 1) % n);
+        }
+        ctx.send(self.dir.replica(target), IdemMessage::CheckpointRequest);
+        let delay = Self::RECOVERY_RETRY_BASE * (1 << self.recovery_attempts.min(3));
+        if let Some(old) = self.recovery_timer.take() {
+            ctx.cancel_timer(old);
+        }
+        self.recovery_timer = Some(ctx.set_timer(delay, IdemMessage::RecoveryTimer));
+    }
+
+    fn handle_recovery_timer(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        self.recovery_timer = None;
+        self.recovery_attempts += 1;
+        self.send_recovery_request(ctx);
+    }
+
+    /// Rebuilds volatile state from the disk after an amnesia wipe: install
+    /// the newest durable checkpoint, replay executions past it, restore
+    /// accepted-but-unexecuted request bodies, and resume the highest view.
+    fn replay_wal(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        if !self.wal.enabled() {
+            return;
+        }
+        let records = Wal::replay(ctx);
+        let mut max_view = 0u64;
+        let mut newest_cp = None;
+        for rec in &records {
+            match rec {
+                WalRecord::View(v) => max_view = max_view.max(*v),
+                WalRecord::Checkpoint { .. } => newest_cp = Some(rec),
+                _ => {}
+            }
+        }
+        if let Some(WalRecord::Checkpoint {
+            next_exec,
+            snapshot,
+            clients,
+        }) = newest_cp
+        {
+            self.app.restore(snapshot);
+            self.last_executed = clients
+                .iter()
+                .map(|(c, op, reply)| (*c, (OpNumber(*op), reply.clone())))
+                .collect();
+            self.next_exec = SeqNumber(*next_exec);
+            self.checkpoint = Some(CheckpointData {
+                next_exec: SeqNumber(*next_exec),
+                snapshot: snapshot.clone(),
+                clients: clients
+                    .iter()
+                    .map(|(c, op, reply)| ClientRecord {
+                        client: ClientId(*c),
+                        last_op: OpNumber(*op),
+                        reply: reply.clone(),
+                    })
+                    .collect(),
+            });
+        }
+        for rec in &records {
+            let WalRecord::Exec {
+                slot,
+                id,
+                fresh,
+                command,
+            } = rec
+            else {
+                continue;
+            };
+            // The audit log keeps the whole history: the chaos campaign's
+            // durability invariant compares it against the pre-wipe log.
+            self.record_exec(SeqNumber(*slot), *id, *fresh);
+            if SeqNumber(*slot) < self.next_exec {
+                continue; // covered by the restored checkpoint
+            }
+            if *fresh && id.client != NOOP_CLIENT && !self.executed_already(*id) {
+                ctx.charge(self.app.execution_cost(command));
+                let result = self.app.execute(command);
+                self.last_executed.insert(id.client.0, (id.op, result));
+            }
+            self.next_exec = SeqNumber(slot + 1);
+        }
+        // Restore the GC window's lower bound: the pre-wipe replica had
+        // executed up to next_exec, so its window provably covered it.
+        // Without this the window stays at 0, every binding near the
+        // frontier reads as "ahead", and execution jams permanently —
+        // peers cannot help, because their checkpoints carry no executions
+        // we do not already have and are therefore refused.
+        let r_max = self.cfg.r_max();
+        self.window
+            .advance_to(SeqNumber(self.next_exec.0.saturating_sub(r_max)));
+        // Accepted-but-unexecuted requests come back as active, so their
+        // bodies survive (peers may commit them on our pre-wipe vouching).
+        for rec in &records {
+            let WalRecord::Accept { id, command, .. } = rec else {
+                continue;
+            };
+            if command.is_empty()
+                || id.client == NOOP_CLIENT
+                || self.executed_already(*id)
+                || self.active.contains(id)
+            {
+                continue;
+            }
+            self.active.insert(*id);
+            self.store.insert(*id, Request::new(*id, command.clone()));
+            let timer = ctx.set_timer(self.cfg.forward_timeout, IdemMessage::ForwardTimer(*id));
+            self.forward_timers.insert(*id, timer);
+        }
+        if max_view > self.view.0 {
+            self.view = View(max_view);
+        }
+        // Slot-bound Accept records restore the bindings we proposed or
+        // endorsed, and push next_propose past every slot we ever touched:
+        // a rebooted leader must not re-bind an in-flight slot to a
+        // different request (equivocation).
+        let mut propose_past = self.next_exec;
+        for rec in &records {
+            let WalRecord::Accept { slot, view, id, .. } = rec else {
+                continue;
+            };
+            if *slot == u64::MAX {
+                continue; // REQUIRE-stage record, no slot bound yet
+            }
+            let sqn = SeqNumber(*slot);
+            propose_past = propose_past.max(sqn.next());
+            if self.window.is_stale(sqn) || self.window.is_ahead(sqn) {
+                continue;
+            }
+            if self.window.get(sqn).is_some_and(|i| i.view.0 >= *view) {
+                continue;
+            }
+            let v = View(*view);
+            let mut votes = QuorumTracker::new(self.majority());
+            votes.record(self.me);
+            let executed = self.executed_already(*id);
+            self.window.insert(
+                sqn,
+                Instance {
+                    id: *id,
+                    view: v,
+                    votes,
+                    committed: false,
+                    executed,
+                    fetch_sent: false,
+                    source: self.leader_of(v),
+                },
+            );
+            self.proposed.insert(*id, sqn);
+        }
+        self.next_propose = self.next_propose.max(propose_past).max(self.window.low());
     }
 
     // -------------------------------------------------------- view change
@@ -1108,6 +1428,9 @@ impl IdemReplica {
     }
 
     fn enter_new_view(&mut self, ctx: &mut Context<'_, IdemMessage>, target: View) {
+        if self.wal.enabled() {
+            self.wal.log(ctx, &WalRecord::View(target.0));
+        }
         self.view = target;
         self.vc_target = None;
         self.stats.view_changes_completed += 1;
@@ -1152,6 +1475,24 @@ impl IdemReplica {
                     .window
                     .get(sqn)
                     .is_some_and(|i| i.executed && i.id == id);
+                if self.wal.enabled() {
+                    // New-view bindings are proposals too: they must survive
+                    // amnesia or a rebooted leader could re-bind the slot.
+                    let command = self
+                        .store
+                        .get(&id)
+                        .map(|r| r.command.clone())
+                        .unwrap_or_default();
+                    self.wal.log(
+                        ctx,
+                        &WalRecord::Accept {
+                            slot: sqn.0,
+                            view: target.0,
+                            id,
+                            command,
+                        },
+                    );
+                }
                 let mut votes = QuorumTracker::new(self.majority());
                 votes.record(self.me);
                 self.window.insert(
@@ -1220,7 +1561,8 @@ impl Node<IdemMessage> for IdemReplica {
             | IdemMessage::ProgressTimer
             | IdemMessage::OptimisticTimer(_)
             | IdemMessage::BackoffTimer
-            | IdemMessage::RetransmitTimer(_) => {}
+            | IdemMessage::RetransmitTimer(_)
+            | IdemMessage::RecoveryTimer => {}
         }
     }
 
@@ -1228,6 +1570,7 @@ impl Node<IdemMessage> for IdemReplica {
         match msg {
             IdemMessage::ForwardTimer(id) => self.handle_forward_timer(ctx, id),
             IdemMessage::ProgressTimer => self.handle_progress_timer(ctx),
+            IdemMessage::RecoveryTimer => self.handle_recovery_timer(ctx),
             _ => {}
         }
     }
@@ -1235,6 +1578,11 @@ impl Node<IdemMessage> for IdemReplica {
     fn on_crash(&mut self, _now: SimTime) {}
 
     fn on_recover(&mut self, ctx: &mut Context<'_, IdemMessage>) {
+        // After an amnesia wipe this object is freshly built; rebuild what
+        // correctness requires from the disk before rejoining.
+        if std::mem::take(&mut self.wipe_recovering) {
+            self.replay_wal(ctx);
+        }
         // Timer events that fired while we were down are lost, so every held
         // handle may be stale: cancel and re-arm. (Cancelling a timer that
         // is still pending is also fine — we re-arm an equivalent one.)
@@ -1251,9 +1599,10 @@ impl Node<IdemMessage> for IdemReplica {
             self.forward_timers.insert(id, timer);
         }
         // The cluster may have moved on (GC, view changes) while we were
-        // down; ask the leader for a checkpoint to catch up quickly.
-        let leader = self.leader_node();
-        ctx.send(leader, IdemMessage::CheckpointRequest);
+        // down; ask for a checkpoint to catch up quickly, rotating through
+        // replicas with backoff — the leader we remember may itself be down.
+        self.recovery_attempts = 0;
+        self.send_recovery_request(ctx);
     }
 }
 

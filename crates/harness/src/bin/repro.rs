@@ -3,7 +3,7 @@
 //! Usage:
 //! ```text
 //! repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--bench-out FILE]
-//! repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--jobs N]
+//! repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--wipes] [--jobs N]
 //!
 //! experiments: fig2 fig3 fig6 fig7 table1 fig8 fig9a fig9b fig10 fig10d
 //!              strategies all calibrate chaos
@@ -18,6 +18,9 @@
 //! --seed X          chaos: run only seed X (for reproducing a CI failure)
 //! --schedule 'S'    chaos: replay this fault schedule instead of generating
 //!                   one per seed, e.g. 'crash(0,400,800);loss(0.050,900,1100)'
+//! --wipes           chaos: generated schedules include amnesia wipes
+//!                   (wipe(R,AT[,trunc])); runs persist through the WAL and
+//!                   check the durability and rejoin-liveness invariants
 //! ```
 //!
 //! `chaos` exits 1 if any invariant was violated, printing a replayable
@@ -57,18 +60,20 @@ struct Args {
     seeds: Option<u64>,
     seed: Option<u64>,
     schedule: Option<String>,
+    wipes: bool,
     bench_out_explicit: bool,
 }
 
 fn usage() -> String {
     format!(
         "usage: repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--bench-out FILE]\n\
-         \x20      repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--jobs N]\n\
+         \x20      repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--wipes] [--jobs N]\n\
          experiments: {} all calibrate chaos\n\
          chaos flags: --seeds N      run seeds 1..=N (default 50, must be >= 1)\n\
          \x20            --seed X       run only seed X (reproduce a CI failure)\n\
          \x20            --schedule S   replay a fixed fault schedule, e.g.\n\
-         \x20                           'crash(0,400,800);loss(0.050,900,1100)'",
+         \x20                           'crash(0,400,800);loss(0.050,900,1100)'\n\
+         \x20            --wipes        generated schedules include amnesia wipes",
         ALL.join(" ")
     )
 }
@@ -87,6 +92,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         seeds: None,
         seed: None,
         schedule: None,
+        wipes: false,
         bench_out_explicit: false,
     };
     let mut it = args.iter().peekable();
@@ -146,6 +152,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 Schedule::parse(&value).map_err(|e| format!("invalid --schedule: {e}"))?;
                 parsed.schedule = Some(value);
             }
+            "--wipes" => {
+                if inline_value.is_some() {
+                    return Err("flag '--wipes' takes no value".to_string());
+                }
+                parsed.wipes = true;
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'\n{}", usage()));
@@ -159,8 +171,22 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         }
     }
     let is_chaos = parsed.wanted.iter().any(|w| w == "chaos");
-    if !is_chaos && (parsed.seeds.is_some() || parsed.seed.is_some() || parsed.schedule.is_some()) {
-        return Err("--seeds/--seed/--schedule apply only to the chaos experiment".to_string());
+    if !is_chaos
+        && (parsed.seeds.is_some()
+            || parsed.seed.is_some()
+            || parsed.schedule.is_some()
+            || parsed.wipes)
+    {
+        return Err(
+            "--seeds/--seed/--schedule/--wipes apply only to the chaos experiment".to_string(),
+        );
+    }
+    if parsed.wipes && parsed.schedule.is_some() {
+        return Err(
+            "--wipes and --schedule are mutually exclusive (put wipe(R,AT[,trunc]) \
+                    episodes in the schedule instead)"
+                .to_string(),
+        );
     }
     if parsed.seeds.is_some() && parsed.seed.is_some() {
         return Err("--seeds and --seed are mutually exclusive".to_string());
@@ -243,6 +269,7 @@ fn main() {
                         .schedule
                         .as_deref()
                         .map(|s| Schedule::parse(s).expect("schedule validated at parse time")),
+                    wipes: args.wipes,
                 };
                 let report = chaos::run_campaign(&cfg, &runner);
                 let wall = start.elapsed();
@@ -256,6 +283,7 @@ fn main() {
                     }
                 }
                 chaos_violations += report.total_violations();
+                let rejoins: Vec<u64> = report.runs.iter().filter_map(|r| r.rejoin_ms).collect();
                 bench_entries.push(BenchEntry {
                     name: name.clone(),
                     wall,
@@ -263,6 +291,8 @@ fn main() {
                     events: stats.events,
                     cell_cpu: stats.busy,
                     kinds: stats.events_by_kind,
+                    rejoin: (!rejoins.is_empty())
+                        .then(|| (rejoins.len() as u64, rejoins.iter().sum::<u64>())),
                 });
                 eprintln!(
                     "[chaos done in {:.1?}: {} run(s), {} sim events, {:.0} events/s, {} violation(s)]\n",
@@ -286,6 +316,7 @@ fn main() {
             events: stats.events,
             cell_cpu: stats.busy,
             kinds: stats.events_by_kind,
+            rejoin: None,
         });
         eprintln!(
             "[{name} done in {:.1?}: {} cell(s), {} sim events, {:.0} events/s]\n",
@@ -321,6 +352,10 @@ struct BenchEntry {
     events: u64,
     cell_cpu: Duration,
     kinds: EventStats,
+    /// Wipe campaigns only: `(runs that rejoined, summed rejoin ms)` —
+    /// rendered as a count and a mean so BENCH_chaos.json tracks
+    /// time-to-rejoin across the campaign.
+    rejoin: Option<(u64, u64)>,
 }
 
 /// Renders the bench summary as JSON (hand-rolled: the workspace has no
@@ -344,11 +379,18 @@ fn render_bench_json(
         // One line per experiment: scripts/check_bench_regression.sh greps
         // "name" and "events_per_sec" off the same line, so new fields are
         // appended here rather than wrapped.
+        let rejoin = match e.rejoin {
+            Some((runs, total_ms)) => format!(
+                ", \"rejoin_runs\": {runs}, \"rejoin_ms_mean\": {:.0}",
+                total_ms as f64 / runs as f64
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"cells\": {}, \"sim_events\": {}, \
              \"events_per_sec\": {:.0}, \"cell_cpu_s\": {:.3}, \
              \"delivers\": {}, \"timers\": {}, \"wakes\": {}, \"crashes\": {}, \
-             \"queue_high_water\": {}}}{}\n",
+             \"queue_high_water\": {}{rejoin}}}{}\n",
             e.name,
             e.wall.as_secs_f64(),
             e.cells,

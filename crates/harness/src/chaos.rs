@@ -16,6 +16,11 @@
 //!   cannot exchange messages between `S` and `E` ms.
 //! - `loss(P,S,E)` — every non-loopback message is dropped with
 //!   probability `P` between `S` and `E` ms.
+//! - `wipe(R,AT[,trunc])` — replica `R` amnesia-crashes at `AT` ms: its
+//!   volatile state is destroyed and it reboots instantly from its disk
+//!   (with `trunc`, records past the last fsync barrier are lost too,
+//!   i.e. power-loss semantics). Wipe schedules run with write-ahead
+//!   persistence enabled and non-zero disk latency.
 //!
 //! [`Schedule::generate`] derives a schedule deterministically from a seed,
 //! with safety constraints baked in: at most one node-fault episode and one
@@ -33,10 +38,13 @@ use std::time::Duration;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use idem_common::PersistMode;
+use idem_simnet::DiskLatency;
+
 use crate::cluster::{build_cluster, ClusterOptions, Protocol};
 use crate::invariants::{
-    check_agreement, check_client_progress, check_exactly_once, check_post_heal_liveness,
-    check_session_order, ViolationKind,
+    check_agreement, check_client_progress, check_durability, check_exactly_once,
+    check_post_heal_liveness, check_rejoin_liveness, check_session_order, ViolationKind,
 };
 use crate::recorder::Recorder;
 use crate::sweep::SweepRunner;
@@ -106,6 +114,17 @@ pub enum Fault {
         /// Burst end (ms).
         end_ms: u64,
     },
+    /// Amnesia-crash a replica at `at_ms`: destroy all volatile state and
+    /// reboot it instantly from its stable storage.
+    Wipe {
+        /// Replica index.
+        replica: usize,
+        /// Wipe time (ms).
+        at_ms: u64,
+        /// Also truncate the disk at the last fsync barrier (power-loss
+        /// semantics) before rebooting.
+        trunc: bool,
+    },
 }
 
 impl Fault {
@@ -115,6 +134,7 @@ impl Fault {
             | Fault::Slow { start_ms, .. }
             | Fault::Partition { start_ms, .. }
             | Fault::Loss { start_ms, .. } => *start_ms,
+            Fault::Wipe { at_ms, .. } => *at_ms,
         }
     }
 
@@ -124,6 +144,7 @@ impl Fault {
             | Fault::Slow { end_ms, .. }
             | Fault::Partition { end_ms, .. }
             | Fault::Loss { end_ms, .. } => *end_ms,
+            Fault::Wipe { at_ms, .. } => *at_ms,
         }
     }
 }
@@ -167,6 +188,14 @@ impl fmt::Display for Fault {
                 end_ms,
             } => {
                 write!(f, "loss({p:.3},{start_ms},{end_ms})")
+            }
+            Fault::Wipe {
+                replica,
+                at_ms,
+                trunc,
+            } => {
+                let suffix = if *trunc { ",trunc" } else { "" };
+                write!(f, "wipe({replica},{at_ms}{suffix})")
             }
         }
     }
@@ -255,6 +284,45 @@ impl Schedule {
         }
 
         Schedule { faults }
+    }
+
+    /// Extends [`generate`](Schedule::generate) with one or two amnesia
+    /// wipes, drawn from an independent RNG stream so the wipe-free
+    /// schedule of a seed is byte-identical to what `generate` yields —
+    /// the wipe episodes are strictly appended. Wipe times avoid the
+    /// wiped replica's own crash spans: wiping a crashed node would
+    /// implicitly resurrect it and distort the crash episode.
+    pub fn generate_with_wipes(seed: u64, replicas: usize) -> Schedule {
+        let mut schedule = Schedule::generate(seed, replicas);
+        let mut rng =
+            SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(11));
+        let wipes = rng.gen_range(1..=2_usize);
+        for _ in 0..wipes {
+            // Rejection-sample a (replica, time) clear of that replica's
+            // crash spans; with crashes covering at most a third of the
+            // window this converges almost immediately.
+            for _attempt in 0..32 {
+                let replica = rng.gen_range(0..replicas);
+                let at_ms = rng.gen_range(FAULT_WINDOW_START_MS..FAULT_WINDOW_END_MS);
+                let clear = schedule.faults.iter().all(|f| match f {
+                    Fault::Crash {
+                        replica: r,
+                        start_ms,
+                        end_ms,
+                    } => *r != replica || at_ms < *start_ms || at_ms >= *end_ms,
+                    _ => true,
+                });
+                if clear {
+                    schedule.faults.push(Fault::Wipe {
+                        replica,
+                        at_ms,
+                        trunc: rng.gen_bool(0.5),
+                    });
+                    break;
+                }
+            }
+        }
+        schedule
     }
 
     /// Parses the textual form produced by [`Display`](fmt::Display):
@@ -360,9 +428,24 @@ impl Schedule {
                     end_ms,
                 })
             }
+            ("wipe", [r, at]) => Ok(Fault::Wipe {
+                replica: int(r)? as usize,
+                at_ms: int(at)?,
+                trunc: false,
+            }),
+            ("wipe", [r, at, t]) => {
+                if t.trim() != "trunc" {
+                    return Err(format!("wipe's third argument must be 'trunc' in '{text}'"));
+                }
+                Ok(Fault::Wipe {
+                    replica: int(r)? as usize,
+                    at_ms: int(at)?,
+                    trunc: true,
+                })
+            }
             _ => Err(format!(
                 "unknown episode '{text}': expected crash(R,S,E), slow(R,F,S,E), \
-                 part(G|G,S,E), or loss(P,S,E)"
+                 part(G|G,S,E), loss(P,S,E), or wipe(R,AT[,trunc])"
             )),
         }
     }
@@ -380,7 +463,9 @@ impl Schedule {
         };
         for fault in &self.faults {
             match fault {
-                Fault::Crash { replica, .. } | Fault::Slow { replica, .. } => check(*replica)?,
+                Fault::Crash { replica, .. }
+                | Fault::Slow { replica, .. }
+                | Fault::Wipe { replica, .. } => check(*replica)?,
                 Fault::Partition { left, right, .. } => {
                     for &i in left.iter().chain(right) {
                         check(i)?;
@@ -430,6 +515,11 @@ pub struct ChaosRun {
     pub events: u64,
     /// Per-kind dispatch breakdown and queue high-water mark.
     pub event_stats: idem_simnet::EventStats,
+    /// For wipe schedules: virtual ms after the force-heal until every
+    /// wiped replica had caught up to the surviving replicas' decision
+    /// frontier (measured in 50 ms steps). `None` when the schedule has
+    /// no wipes, or when a wiped replica never caught up.
+    pub rejoin_ms: Option<u64>,
 }
 
 impl ChaosRun {
@@ -441,15 +531,59 @@ impl ChaosRun {
 
 /// Runs one protocol under one schedule and checks all invariants.
 pub fn run_chaos(protocol: &Protocol, seed: u64, schedule: &Schedule) -> ChaosRun {
+    run_chaos_impl(protocol, seed, schedule, None)
+}
+
+/// Like [`run_chaos`] but forcing the replicas' persistence mode. This is
+/// the hook the test suite uses to prove the durability invariant has
+/// teeth: a deliberately broken mode ([`PersistMode::WalNoFsync`]) under a
+/// truncating wipe must produce a durability violation.
+pub fn run_chaos_with_mode(
+    protocol: &Protocol,
+    seed: u64,
+    schedule: &Schedule,
+    persist: PersistMode,
+) -> ChaosRun {
+    run_chaos_impl(protocol, seed, schedule, Some(persist))
+}
+
+fn run_chaos_impl(
+    protocol: &Protocol,
+    seed: u64,
+    schedule: &Schedule,
+    persist_override: Option<PersistMode>,
+) -> ChaosRun {
     let replicas = protocol.replica_count() as usize;
     schedule
         .validate(replicas)
         .unwrap_or_else(|e| panic!("invalid schedule for {}: {e}", protocol.name()));
+    // Persistence and disk latency engage only for wipe schedules, so
+    // wipe-free campaigns stay byte-identical to the pre-durability runs.
+    let has_wipes = schedule
+        .faults
+        .iter()
+        .any(|f| matches!(f, Fault::Wipe { .. }));
+    let (persist, disk_latency) = if has_wipes {
+        (
+            persist_override.unwrap_or(PersistMode::Wal),
+            DiskLatency {
+                append: Duration::from_micros(2),
+                fsync: Duration::from_micros(25),
+            },
+        )
+    } else {
+        (
+            persist_override.unwrap_or(PersistMode::Disabled),
+            DiskLatency::default(),
+        )
+    };
     let opts = ClusterOptions {
         clients: CHAOS_CLIENTS,
         seed,
         warmup: Duration::ZERO,
         record_exec_log: true,
+        persist,
+        disk_latency,
         ..ClusterOptions::default()
     };
     let mut cluster = build_cluster(protocol, &opts);
@@ -477,6 +611,12 @@ pub fn run_chaos(protocol: &Protocol, seed: u64, schedule: &Schedule) -> ChaosRu
     // them, but hand-written schedules may).
     let mut active_partitions: Vec<usize> = Vec::new();
     let mut active_loss: Vec<usize> = Vec::new();
+
+    // Durability bookkeeping: each wipe snapshots the victim's execution
+    // log the instant before its volatile state is destroyed — everything
+    // in that snapshot must reappear in the recovered replica's log.
+    let mut pre_wipe: Vec<(usize, Vec<idem_common::ExecRecord>)> = Vec::new();
+    let mut wiped: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
 
     for (t, edge, i) in edges {
         advance(&mut cluster, t);
@@ -522,6 +662,13 @@ pub fn run_chaos(protocol: &Protocol, seed: u64, schedule: &Schedule) -> ChaosRu
                     .unwrap_or(0.0);
                 cluster.set_global_loss(p);
             }
+            (Fault::Wipe { replica, trunc, .. }, Edge::Start) => {
+                pre_wipe.push((*replica, cluster.exec_log(*replica)));
+                wiped.insert(*replica);
+                cluster.wipe_replica(*replica, *trunc);
+            }
+            // A wipe is instantaneous; its end edge carries no action.
+            (Fault::Wipe { .. }, Edge::End) => {}
         }
     }
 
@@ -540,7 +687,38 @@ pub fn run_chaos(protocol: &Protocol, seed: u64, schedule: &Schedule) -> ChaosRu
     let last_ops_at_heal = cluster.recorder.with(|r| r.last_ops().clone());
 
     let heal_ms = schedule.heal_at_ms();
-    advance(&mut cluster, heal_ms + COOLDOWN_MS);
+    let deadline_ms = heal_ms + COOLDOWN_MS;
+    let mut rejoin_ms = None;
+    let mut rejoin_goal = 0_u64;
+    if wiped.is_empty() {
+        advance(&mut cluster, deadline_ms);
+    } else {
+        // Rejoin liveness: every wiped replica must catch up to the
+        // frontier the untouched replicas had already reached at heal
+        // time, within the cooldown. Polled in 50 ms steps so the report
+        // can show a per-seed time-to-rejoin.
+        rejoin_goal = (0..replicas)
+            .filter(|r| !wiped.contains(r))
+            .map(|r| cluster.exec_frontier(r))
+            .max()
+            .unwrap_or(0);
+        let mut t = heal_ms;
+        loop {
+            if wiped
+                .iter()
+                .all(|&r| cluster.exec_frontier(r) >= rejoin_goal)
+            {
+                rejoin_ms = Some(t - heal_ms);
+                break;
+            }
+            if t >= deadline_ms {
+                break;
+            }
+            t = (t + 50).min(deadline_ms);
+            advance(&mut cluster, t);
+        }
+        advance(&mut cluster, deadline_ms);
+    }
 
     let successes = cluster.recorder.with(Recorder::successes);
     let rejections = cluster.recorder.with(Recorder::rejections);
@@ -552,12 +730,25 @@ pub fn run_chaos(protocol: &Protocol, seed: u64, schedule: &Schedule) -> ChaosRu
     let mut violations = Vec::new();
     violations.extend(check_agreement(&logs));
     violations.extend(check_exactly_once(&logs));
+    for (replica, pre) in &pre_wipe {
+        violations.extend(check_durability(*replica, pre, &logs[*replica]));
+    }
     violations.extend(check_client_progress(
         CHAOS_CLIENTS,
         &last_ops_at_heal,
         &last_ops,
     ));
     violations.extend(check_post_heal_liveness(successes_at_heal, successes));
+    for &r in &wiped {
+        let frontier = cluster.exec_frontier(r);
+        violations.extend(check_rejoin_liveness(
+            r,
+            frontier >= rejoin_goal,
+            frontier,
+            rejoin_goal,
+            COOLDOWN_MS,
+        ));
+    }
     violations.extend(check_session_order(order_violations));
 
     ChaosRun {
@@ -569,6 +760,7 @@ pub fn run_chaos(protocol: &Protocol, seed: u64, schedule: &Schedule) -> ChaosRu
         rejections,
         events: cluster.events_processed(),
         event_stats: cluster.event_stats(),
+        rejoin_ms,
     }
 }
 
@@ -582,6 +774,10 @@ pub struct ChaosConfig {
     /// Fixed schedule replayed for every seed instead of generating one
     /// per seed — the repro path for a CI-reported violation.
     pub schedule: Option<Schedule>,
+    /// Generate schedules with amnesia wipes
+    /// ([`Schedule::generate_with_wipes`]); off by default so the
+    /// standard campaign is unchanged. Ignored when `schedule` is set.
+    pub wipes: bool,
 }
 
 impl Default for ChaosConfig {
@@ -590,6 +786,7 @@ impl Default for ChaosConfig {
             start_seed: 1,
             seeds: 50,
             schedule: None,
+            wipes: false,
         }
     }
 }
@@ -632,9 +829,13 @@ impl ChaosReport {
             let _ = writeln!(out, "\nseed {} schedule {}", first.seed, first.schedule);
             for run in group {
                 let verdict = if run.ok() { "ok       " } else { "VIOLATION" };
+                let rejoin = match run.rejoin_ms {
+                    Some(ms) => format!(" rejoin_ms={ms}"),
+                    None => String::new(),
+                };
                 let _ = writeln!(
                     out,
-                    "  {:<10} {verdict} successes={} rejections={}",
+                    "  {:<10} {verdict} successes={} rejections={}{rejoin}",
                     run.protocol, run.successes, run.rejections
                 );
                 for v in &run.violations {
@@ -668,6 +869,9 @@ pub fn run_campaign(cfg: &ChaosConfig, runner: &SweepRunner) -> ChaosReport {
     for seed in cfg.start_seed..cfg.start_seed.saturating_add(cfg.seeds) {
         let schedule = match &cfg.schedule {
             Some(s) => s.clone(),
+            None if cfg.wipes => {
+                Schedule::generate_with_wipes(seed, protocols[0].replica_count() as usize)
+            }
             None => Schedule::generate(seed, protocols[0].replica_count() as usize),
         };
         for protocol in &protocols {
@@ -741,6 +945,23 @@ mod tests {
                 end_ms: 500,
             }]
         );
+        assert_eq!(
+            Schedule::parse("wipe(1,700);wipe(2,900,trunc)")
+                .unwrap()
+                .faults,
+            vec![
+                Fault::Wipe {
+                    replica: 1,
+                    at_ms: 700,
+                    trunc: false,
+                },
+                Fault::Wipe {
+                    replica: 2,
+                    at_ms: 900,
+                    trunc: true,
+                },
+            ]
+        );
     }
 
     #[test]
@@ -753,6 +974,8 @@ mod tests {
             "part(0,100,200)",     // missing groups
             "warp(0,100,200)",     // unknown episode
             "crash(x,100,200)",    // bad integer
+            "wipe(0)",             // missing time
+            "wipe(0,700,junk)",    // third argument must be 'trunc'
         ] {
             assert!(Schedule::parse(bad).is_err(), "'{bad}' should be rejected");
         }
@@ -769,5 +992,50 @@ mod tests {
         assert!(run.ok(), "violations: {:?}", run.violations);
         assert!(run.successes > 0);
         assert!(run.events > 0);
+        assert_eq!(run.rejoin_ms, None, "wipe-free runs report no rejoin");
+    }
+
+    #[test]
+    fn wipe_schedules_extend_the_base_deterministically() {
+        for seed in 1..=30 {
+            let base = Schedule::generate(seed, 3);
+            let a = Schedule::generate_with_wipes(seed, 3);
+            let b = Schedule::generate_with_wipes(seed, 3);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            // Strictly appended: the wipe-free prefix is byte-identical.
+            assert_eq!(&a.faults[..base.faults.len()], &base.faults[..]);
+            let wipes: Vec<&Fault> = a.faults[base.faults.len()..].iter().collect();
+            assert!(!wipes.is_empty(), "seed {seed} generated no wipes");
+            for wipe in wipes {
+                let Fault::Wipe { replica, at_ms, .. } = wipe else {
+                    panic!("appended fault is not a wipe: {wipe}");
+                };
+                assert!((FAULT_WINDOW_START_MS..FAULT_WINDOW_END_MS).contains(at_ms));
+                // Never inside the victim's own crash span.
+                for fault in &base.faults {
+                    if let Fault::Crash {
+                        replica: r,
+                        start_ms,
+                        end_ms,
+                    } = fault
+                    {
+                        assert!(
+                            r != replica || *at_ms < *start_ms || *at_ms >= *end_ms,
+                            "seed {seed}: wipe at {at_ms} inside crash {start_ms}..{end_ms}"
+                        );
+                    }
+                }
+            }
+            a.validate(3).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_wipe_run_upholds_invariants_and_reports_rejoin() {
+        let schedule = Schedule::parse("wipe(1,700,trunc)").unwrap();
+        let run = run_chaos(&Protocol::idem(), 42, &schedule);
+        assert!(run.ok(), "violations: {:?}", run.violations);
+        assert!(run.successes > 0);
+        assert!(run.rejoin_ms.is_some(), "wiped replica never rejoined");
     }
 }

@@ -2,11 +2,11 @@
 
 use std::time::Duration;
 
-use idem_common::{ClientId, Directory, ReplicaId};
+use idem_common::{ClientId, Directory, PersistMode, ReplicaId};
 use idem_core::{IdemClient, IdemMessage, IdemReplica};
 use idem_kv::{KvStore, Workload, WorkloadSpec};
 use idem_paxos::{PaxosClient, PaxosMessage, PaxosReplica};
-use idem_simnet::{LinkSpec, Network, NodeId, SimTime, Simulation};
+use idem_simnet::{DiskLatency, LinkSpec, Network, NodeId, SimTime, Simulation};
 use idem_smart::{SmartClient, SmartMessage, SmartReplica};
 
 use crate::recorder::{Recorder, RecorderHandle, RecordingApp};
@@ -193,6 +193,11 @@ pub struct ClusterOptions {
     /// Record per-replica execution logs for post-run invariant checking
     /// (off by default: costs memory proportional to the run length).
     pub record_exec_log: bool,
+    /// Durable-storage discipline for every replica (disabled by default:
+    /// the disk layer stays schedule-inert).
+    pub persist: PersistMode,
+    /// I/O latency charged per disk operation (zero by default).
+    pub disk_latency: DiskLatency,
 }
 
 impl Default for ClusterOptions {
@@ -205,6 +210,8 @@ impl Default for ClusterOptions {
             bin_width: Duration::from_millis(250),
             ops_per_client: None,
             record_exec_log: false,
+            persist: PersistMode::Disabled,
+            disk_latency: DiskLatency::default(),
         }
     }
 }
@@ -228,20 +235,33 @@ pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandl
         Protocol::Idem { config, client } => {
             let mut sim: Simulation<IdemMessage> =
                 Simulation::with_network(opts.seed, experiment_network());
+            sim.set_disk_latency(opts.disk_latency);
             let replicas: Vec<NodeId> = (0..n).map(|_| sim.reserve_node()).collect();
             let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
             let dir = Directory::new(replicas.clone(), clients.clone());
             for (i, &node) in replicas.iter().enumerate() {
-                let mut replica = IdemReplica::new(
-                    config.clone(),
-                    ReplicaId(i as u32),
-                    dir.clone(),
-                    Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
-                );
-                if opts.record_exec_log {
-                    replica.enable_exec_log();
-                }
-                sim.install_node(node, Box::new(replica));
+                let make = {
+                    let (config, dir) = (config.clone(), dir.clone());
+                    let (record, persist) = (opts.record_exec_log, opts.persist);
+                    move |wiped: bool| {
+                        let mut replica = IdemReplica::new(
+                            config.clone(),
+                            ReplicaId(i as u32),
+                            dir.clone(),
+                            Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
+                        );
+                        if record {
+                            replica.enable_exec_log();
+                        }
+                        replica.set_persistence(persist);
+                        if wiped {
+                            replica.mark_wipe_recovery();
+                        }
+                        replica
+                    }
+                };
+                sim.install_node(node, Box::new(make(false)));
+                sim.set_node_factory(node, Box::new(move || Box::new(make(true))));
             }
             for (i, &node) in clients.iter().enumerate() {
                 sim.install_node(
@@ -264,20 +284,33 @@ pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandl
         Protocol::Paxos { config, client } => {
             let mut sim: Simulation<PaxosMessage> =
                 Simulation::with_network(opts.seed, experiment_network());
+            sim.set_disk_latency(opts.disk_latency);
             let replicas: Vec<NodeId> = (0..n).map(|_| sim.reserve_node()).collect();
             let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
             let dir = Directory::new(replicas.clone(), clients.clone());
             for (i, &node) in replicas.iter().enumerate() {
-                let mut replica = PaxosReplica::new(
-                    config.clone(),
-                    ReplicaId(i as u32),
-                    dir.clone(),
-                    Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
-                );
-                if opts.record_exec_log {
-                    replica.enable_exec_log();
-                }
-                sim.install_node(node, Box::new(replica));
+                let make = {
+                    let (config, dir) = (config.clone(), dir.clone());
+                    let (record, persist) = (opts.record_exec_log, opts.persist);
+                    move |wiped: bool| {
+                        let mut replica = PaxosReplica::new(
+                            config.clone(),
+                            ReplicaId(i as u32),
+                            dir.clone(),
+                            Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
+                        );
+                        if record {
+                            replica.enable_exec_log();
+                        }
+                        replica.set_persistence(persist);
+                        if wiped {
+                            replica.mark_wipe_recovery();
+                        }
+                        replica
+                    }
+                };
+                sim.install_node(node, Box::new(make(false)));
+                sim.set_node_factory(node, Box::new(move || Box::new(make(true))));
             }
             for (i, &node) in clients.iter().enumerate() {
                 sim.install_node(
@@ -300,20 +333,33 @@ pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandl
         Protocol::Smart { config, client } => {
             let mut sim: Simulation<SmartMessage> =
                 Simulation::with_network(opts.seed, experiment_network());
+            sim.set_disk_latency(opts.disk_latency);
             let replicas: Vec<NodeId> = (0..n).map(|_| sim.reserve_node()).collect();
             let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
             let dir = Directory::new(replicas.clone(), clients.clone());
             for (i, &node) in replicas.iter().enumerate() {
-                let mut replica = SmartReplica::new(
-                    config.clone(),
-                    ReplicaId(i as u32),
-                    dir.clone(),
-                    Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
-                );
-                if opts.record_exec_log {
-                    replica.enable_exec_log();
-                }
-                sim.install_node(node, Box::new(replica));
+                let make = {
+                    let (config, dir) = (config.clone(), dir.clone());
+                    let (record, persist) = (opts.record_exec_log, opts.persist);
+                    move |wiped: bool| {
+                        let mut replica = SmartReplica::new(
+                            config.clone(),
+                            ReplicaId(i as u32),
+                            dir.clone(),
+                            Box::new(KvStore::with_costs(KV_EXEC_COST, Duration::ZERO)),
+                        );
+                        if record {
+                            replica.enable_exec_log();
+                        }
+                        replica.set_persistence(persist);
+                        if wiped {
+                            replica.mark_wipe_recovery();
+                        }
+                        replica
+                    }
+                };
+                sim.install_node(node, Box::new(make(false)));
+                sim.set_node_factory(node, Box::new(move || Box::new(make(true))));
             }
             for (i, &node) in clients.iter().enumerate() {
                 sim.install_node(
@@ -373,6 +419,50 @@ impl ClusterHandles {
             ClusterSim::Idem(sim) => sim.recover_now(node),
             ClusterSim::Paxos(sim) => sim.recover_now(node),
             ClusterSim::Smart(sim) => sim.recover_now(node),
+        }
+    }
+
+    /// Wipes the replica at `index`: a crash with total amnesia. The
+    /// `Node` object is discarded and rebuilt from its factory, losing all
+    /// volatile state; the simulated disk survives. With
+    /// `truncate_to_synced`, the un-synced tail of the disk is lost too
+    /// (power-loss model). The rebuilt replica recovers immediately.
+    pub fn wipe_replica(&mut self, index: usize, truncate_to_synced: bool) {
+        let node = self.replicas[index];
+        match &mut self.sim {
+            ClusterSim::Idem(sim) => sim.wipe_now(node, truncate_to_synced),
+            ClusterSim::Paxos(sim) => sim.wipe_now(node, truncate_to_synced),
+            ClusterSim::Smart(sim) => sim.wipe_now(node, truncate_to_synced),
+        }
+    }
+
+    /// The decision frontier of the replica at `index`, in the protocol's
+    /// native slot numbering (next sequence number to execute for IDEM and
+    /// Paxos, next batch instance for SMaRt). Comparable across replicas of
+    /// one cluster, not across protocols.
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    pub fn exec_frontier(&self, index: usize) -> u64 {
+        match &self.sim {
+            ClusterSim::Idem(sim) => {
+                sim.node_as::<IdemReplica>(self.replicas[index])
+                    .expect("replica type")
+                    .next_exec()
+                    .0
+            }
+            ClusterSim::Paxos(sim) => {
+                sim.node_as::<PaxosReplica>(self.replicas[index])
+                    .expect("replica type")
+                    .next_exec()
+                    .0
+            }
+            ClusterSim::Smart(sim) => {
+                sim.node_as::<SmartReplica>(self.replicas[index])
+                    .expect("replica type")
+                    .next_sqn()
+                    .0
+            }
         }
     }
 

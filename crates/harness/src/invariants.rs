@@ -65,6 +65,30 @@ pub enum ViolationKind {
         /// Number of out-of-order outcomes.
         count: u64,
     },
+    /// An amnesia-wiped replica lost executions its persistence layer was
+    /// supposed to make durable: entries of its pre-wipe execution log are
+    /// absent from its recovered log.
+    Durability {
+        /// The wiped replica (by index).
+        replica: usize,
+        /// How many pre-wipe entries the recovered log is missing.
+        missing: usize,
+        /// One missing entry: `(slot, id)`.
+        example: (u64, RequestId),
+    },
+    /// An amnesia-wiped replica failed to reach the cluster's decision
+    /// frontier within the post-heal bound.
+    RejoinLiveness {
+        /// The wiped replica (by index).
+        replica: usize,
+        /// Its decision frontier at the end of the bound.
+        frontier: u64,
+        /// The frontier it had to reach (the most advanced surviving
+        /// replica's, measured at heal time).
+        target: u64,
+        /// The allowed catch-up window (ms after heal).
+        bound_ms: u64,
+    },
 }
 
 impl ViolationKind {
@@ -76,6 +100,8 @@ impl ViolationKind {
             ViolationKind::LostClientOp { .. } => "lost-client-op",
             ViolationKind::PostHealLiveness { .. } => "post-heal-liveness",
             ViolationKind::SessionOrder { .. } => "session-order",
+            ViolationKind::Durability { .. } => "durability",
+            ViolationKind::RejoinLiveness { .. } => "rejoin-liveness",
         }
     }
 }
@@ -118,6 +144,26 @@ impl fmt::Display for ViolationKind {
             ViolationKind::SessionOrder { count } => {
                 write!(f, "session-order: {count} out-of-order outcomes")
             }
+            ViolationKind::Durability {
+                replica,
+                missing,
+                example,
+            } => write!(
+                f,
+                "durability: replica {replica} lost {missing} pre-wipe execution(s), \
+                 e.g. slot {} (c{}#{})",
+                example.0, example.1.client.0, example.1.op.0
+            ),
+            ViolationKind::RejoinLiveness {
+                replica,
+                frontier,
+                target,
+                bound_ms,
+            } => write!(
+                f,
+                "rejoin-liveness: wiped replica {replica} stuck at frontier {frontier} \
+                 (target {target}) {bound_ms} ms after heal"
+            ),
         }
     }
 }
@@ -230,6 +276,55 @@ pub fn check_post_heal_liveness(
         vec![ViolationKind::PostHealLiveness {
             successes_at_heal,
             successes_at_end,
+        }]
+    }
+}
+
+/// Checks durability across an amnesia wipe: every `(slot, id)` the
+/// replica's execution log held just before the wipe must reappear in its
+/// recovered log — an honest write-ahead persistence layer replays them
+/// all, so a missing entry means an execution was externalized without
+/// being made durable first.
+pub fn check_durability(
+    replica: usize,
+    pre_wipe: &[ExecRecord],
+    recovered: &[ExecRecord],
+) -> Vec<ViolationKind> {
+    let have: std::collections::BTreeSet<(u64, RequestId)> =
+        recovered.iter().map(|rec| (rec.slot, rec.id)).collect();
+    let lost: Vec<(u64, RequestId)> = pre_wipe
+        .iter()
+        .map(|rec| (rec.slot, rec.id))
+        .filter(|key| !have.contains(key))
+        .collect();
+    match lost.first() {
+        None => Vec::new(),
+        Some(&example) => vec![ViolationKind::Durability {
+            replica,
+            missing: lost.len(),
+            example,
+        }],
+    }
+}
+
+/// Checks that a wiped replica caught back up: its decision frontier must
+/// reach `target` (the most advanced surviving replica's frontier at heal
+/// time) within the post-heal bound. `rejoined` is whether it did.
+pub fn check_rejoin_liveness(
+    replica: usize,
+    rejoined: bool,
+    frontier: u64,
+    target: u64,
+    bound_ms: u64,
+) -> Vec<ViolationKind> {
+    if rejoined {
+        Vec::new()
+    } else {
+        vec![ViolationKind::RejoinLiveness {
+            replica,
+            frontier,
+            target,
+            bound_ms,
         }]
     }
 }
@@ -351,5 +446,59 @@ mod tests {
         assert_eq!(check_post_heal_liveness(10, 10).len(), 1);
         assert!(check_session_order(0).is_empty());
         assert_eq!(check_session_order(3).len(), 1);
+    }
+
+    #[test]
+    fn durability_accepts_superset_recovered_log() {
+        let pre = vec![
+            ExecRecord::new(0, rid(1, 1), true),
+            ExecRecord::new(1, rid(2, 1), false),
+        ];
+        // Recovered log replays everything and adds post-wipe work.
+        let mut recovered = pre.clone();
+        recovered.push(ExecRecord::new(2, rid(1, 2), true));
+        assert!(check_durability(0, &pre, &recovered).is_empty());
+        // Empty pre-wipe log is trivially durable.
+        assert!(check_durability(0, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn durability_flags_lost_executions() {
+        let pre = vec![
+            ExecRecord::new(0, rid(1, 1), true),
+            ExecRecord::new(1, rid(2, 1), true),
+            ExecRecord::new(2, rid(1, 2), true),
+        ];
+        let recovered = vec![ExecRecord::new(0, rid(1, 1), true)];
+        let violations = check_durability(3, &pre, &recovered);
+        assert_eq!(violations.len(), 1);
+        match &violations[0] {
+            ViolationKind::Durability {
+                replica,
+                missing,
+                example,
+            } => {
+                assert_eq!(*replica, 3);
+                assert_eq!(*missing, 2);
+                assert_eq!(*example, (1, rid(2, 1)));
+            }
+            other => panic!("wrong kind: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejoin_liveness_flags_stragglers_only() {
+        assert!(check_rejoin_liveness(1, true, 100, 100, 4000).is_empty());
+        let violations = check_rejoin_liveness(1, false, 40, 100, 4000);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            ViolationKind::RejoinLiveness {
+                replica: 1,
+                frontier: 40,
+                target: 100,
+                bound_ms: 4000,
+            }
+        ));
     }
 }

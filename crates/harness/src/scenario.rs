@@ -99,6 +99,7 @@ impl Scenario {
             bin_width: self.bin_width,
             ops_per_client: None,
             record_exec_log: false,
+            ..ClusterOptions::default()
         }
     }
 

@@ -1,0 +1,79 @@
+//! End-to-end durability and amnesia-recovery tests over the chaos
+//! harness: every protocol must survive wipe faults with write-ahead
+//! persistence, a deliberately broken persistence mode must be *caught*
+//! by the durability invariant, and a wiped replica must rejoin even
+//! when its leader guess is crashed at recovery time.
+
+use idem_common::PersistMode;
+use idem_harness::chaos::{run_chaos, run_chaos_with_mode, Schedule};
+use idem_harness::invariants::ViolationKind;
+use idem_harness::Protocol;
+
+fn protocols() -> Vec<Protocol> {
+    vec![Protocol::idem(), Protocol::paxos(), Protocol::smart()]
+}
+
+/// An honest WAL survives a truncating amnesia wipe: nothing executed
+/// before the wipe may be lost, and the wiped replica must catch back up.
+#[test]
+fn truncating_wipe_is_safe_with_wal_persistence() {
+    let schedule = Schedule::parse("wipe(1,600,trunc);wipe(2,1100)").unwrap();
+    for protocol in protocols() {
+        let run = run_chaos(&protocol, 7, &schedule);
+        assert!(
+            run.ok(),
+            "{}: violations: {:?}",
+            protocol.name(),
+            run.violations
+        );
+        assert!(run.successes > 0, "{}: no successes", protocol.name());
+        assert!(
+            run.rejoin_ms.is_some(),
+            "{}: wiped replicas never rejoined",
+            protocol.name()
+        );
+    }
+}
+
+/// The durability invariant has teeth: a WAL that skips fsync loses its
+/// entire log to a truncating wipe, and the checker must flag the lost
+/// executions rather than silently passing.
+#[test]
+fn durability_invariant_catches_missing_fsync() {
+    let schedule = Schedule::parse("wipe(1,700,trunc)").unwrap();
+    for protocol in protocols() {
+        let run = run_chaos_with_mode(&protocol, 7, &schedule, PersistMode::WalNoFsync);
+        let caught = run
+            .violations
+            .iter()
+            .any(|v| matches!(v, ViolationKind::Durability { replica: 1, .. }));
+        assert!(
+            caught,
+            "{}: WalNoFsync + trunc wipe was not flagged; violations: {:?}",
+            protocol.name(),
+            run.violations
+        );
+    }
+}
+
+/// Regression for quorum state transfer: a replica that wipes while the
+/// leader is down must not hang on its first (dead) checkpoint target —
+/// the retry loop has to reach a live peer and the replica must rejoin.
+#[test]
+fn wiped_replica_rejoins_while_leader_is_crashed() {
+    let schedule = Schedule::parse("crash(0,400,1200);wipe(2,500)").unwrap();
+    for protocol in protocols() {
+        let run = run_chaos(&protocol, 11, &schedule);
+        assert!(
+            run.ok(),
+            "{}: violations: {:?}",
+            protocol.name(),
+            run.violations
+        );
+        assert!(
+            run.rejoin_ms.is_some(),
+            "{}: wiped replica never rejoined with the leader down",
+            protocol.name()
+        );
+    }
+}

@@ -86,6 +86,9 @@ pub enum PaxosMessage {
     ClientTimeout(OpNumber),
     /// Client post-rejection backoff.
     BackoffTimer,
+    /// Replica catch-up retry after a reboot: rotates the
+    /// checkpoint-request target until some peer answers.
+    RecoveryTimer,
 }
 
 impl Wire for PaxosMessage {
@@ -108,7 +111,8 @@ impl Wire for PaxosMessage {
             } => 8 + snapshot.len() + clients.iter().map(|(_, _, r)| 12 + r.len()).sum::<usize>(),
             PaxosMessage::ProgressTimer
             | PaxosMessage::ClientTimeout(_)
-            | PaxosMessage::BackoffTimer => 0,
+            | PaxosMessage::BackoffTimer
+            | PaxosMessage::RecoveryTimer => 0,
         }
     }
 }
@@ -164,5 +168,6 @@ mod tests {
         assert_eq!(PaxosMessage::ProgressTimer.wire_size(), 0);
         assert_eq!(PaxosMessage::ClientTimeout(OpNumber(1)).wire_size(), 0);
         assert_eq!(PaxosMessage::BackoffTimer.wire_size(), 0);
+        assert_eq!(PaxosMessage::RecoveryTimer.wire_size(), 0);
     }
 }

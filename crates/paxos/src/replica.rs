@@ -1,11 +1,12 @@
 //! The Paxos baseline replica.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
 
 use idem_common::app::CostModel;
 use idem_common::{
-    ClientId, Directory, ExecRecord, QuorumTracker, Reply, Request, RequestId, SeqNumber,
-    SeqWindow, StateMachine, View,
+    ClientId, Directory, ExecRecord, OpNumber, PersistMode, QuorumTracker, Reply, Request,
+    RequestId, SeqNumber, SeqWindow, StateMachine, View, Wal, WalRecord,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -61,6 +62,10 @@ type Checkpoint = (
     Vec<(u32, idem_common::OpNumber, Vec<u8>)>,
 );
 
+/// A checkpoint as it appears on the wire/WAL: raw sequence number,
+/// snapshot bytes, and `(client, op, reply bytes)` rows.
+type RawCheckpoint = (u64, Vec<u8>, Vec<(u32, u64, Vec<u8>)>);
+
 /// A Paxos replica implementing [`Node`] over [`PaxosMessage`].
 pub struct PaxosReplica {
     cfg: PaxosConfig,
@@ -87,6 +92,15 @@ pub struct PaxosReplica {
     checkpoint: Option<Checkpoint>,
 
     progress_timer: Option<TimerId>,
+    /// Durable logging layer (disabled unless the harness opts in).
+    wal: Wal,
+    /// Set by the rebuild factory after an amnesia wipe: the next
+    /// `on_recover` replays the disk before rejoining.
+    wipe_recovering: bool,
+    /// Armed while catching up after a reboot; each firing rotates the
+    /// checkpoint-request target to another replica.
+    recovery_timer: Option<TimerId>,
+    recovery_attempts: u32,
     /// Evidence that a view below our pending view-change target is still
     /// live (f+1 distinct senders): used by rejoining partitioned replicas.
     rejoin_votes: Option<(View, QuorumTracker)>,
@@ -131,6 +145,10 @@ impl PaxosReplica {
             last_executed: BTreeMap::new(),
             checkpoint: None,
             progress_timer: None,
+            wal: Wal::default(),
+            wipe_recovering: false,
+            recovery_timer: None,
+            recovery_attempts: 0,
             rejoin_votes: None,
             forwarded_since_progress: 0,
             stats: PaxosReplicaStats::default(),
@@ -142,6 +160,19 @@ impl PaxosReplica {
     /// Turns on execution-order recording (off by default).
     pub fn enable_exec_log(&mut self) {
         self.exec_log_enabled = true;
+    }
+
+    /// Configures durable logging to the node's simulated disk. Call before
+    /// the simulation starts (and again on the object a rebuild factory
+    /// produces after a wipe).
+    pub fn set_persistence(&mut self, mode: PersistMode) {
+        self.wal = Wal::new(mode);
+    }
+
+    /// Marks this freshly rebuilt replica as recovering from an amnesia
+    /// wipe: its next `on_recover` replays the disk before rejoining.
+    pub fn mark_wipe_recovery(&mut self) {
+        self.wipe_recovering = true;
     }
 
     /// The recorded execution order (empty unless
@@ -280,6 +311,19 @@ impl PaxosReplica {
     }
 
     fn propose_at(&mut self, ctx: &mut Context<'_, PaxosMessage>, sqn: SeqNumber, req: Request) {
+        if self.wal.enabled() {
+            // The leader's own vote must be durable before peers can count
+            // it: log the binding ahead of the proposal multicast.
+            self.wal.log(
+                ctx,
+                &WalRecord::Accept {
+                    slot: sqn.0,
+                    view: self.view.0,
+                    id: req.id,
+                    command: req.command.clone(),
+                },
+            );
+        }
         let mut votes = QuorumTracker::new(self.majority());
         votes.record(self.me);
         let committed = votes.reached();
@@ -350,8 +394,11 @@ impl PaxosReplica {
         }
     }
 
-    fn enter_view_as_follower(&mut self, v: View) {
+    fn enter_view_as_follower(&mut self, ctx: &mut Context<'_, PaxosMessage>, v: View) {
         if v > self.view || self.vc_target == Some(v) {
+            if self.wal.enabled() {
+                self.wal.log(ctx, &WalRecord::View(v.0));
+            }
             self.view = v;
             self.vc_target = None;
             self.vc_store.retain(|&t, _| t > v.0);
@@ -385,7 +432,7 @@ impl PaxosReplica {
             return;
         }
         if view > self.view || self.vc_target == Some(view) {
-            self.enter_view_as_follower(view);
+            self.enter_view_as_follower(ctx, view);
         }
         if self.window.is_stale(sqn) {
             return;
@@ -394,12 +441,34 @@ impl PaxosReplica {
             ctx.send(from, PaxosMessage::CheckpointRequest);
             return;
         }
+        let id = request.id;
+        // A committed slot's value is decided: a conflicting proposal can
+        // only come from a proposer whose volatile state regressed (e.g.
+        // incomplete amnesia recovery). Accepting it — at any view — would
+        // let two values commit at one slot, so refuse outright.
+        if let Some(existing) = self.window.get(sqn) {
+            if existing.committed && existing.request.id != id {
+                return;
+            }
+        }
         let replace = match self.window.get(sqn) {
             Some(existing) => view > existing.view,
             None => true,
         };
-        let id = request.id;
         if replace {
+            if self.wal.enabled() {
+                // Durable before the Accept leaves: our vote may complete
+                // the quorum, so it must survive amnesia.
+                self.wal.log(
+                    ctx,
+                    &WalRecord::Accept {
+                        slot: sqn.0,
+                        view: view.0,
+                        id,
+                        command: request.command.clone(),
+                    },
+                );
+            }
             let mut votes = QuorumTracker::new(self.majority());
             votes.record(sender);
             votes.record(self.me);
@@ -421,6 +490,12 @@ impl PaxosReplica {
             );
         } else if let Some(inst) = self.window.get_mut(sqn) {
             if inst.view == view {
+                if inst.request.id != id {
+                    // Same-view equivocation (two different values from
+                    // one leader incarnation): keep our accepted value and
+                    // do not endorse the conflicting one.
+                    return;
+                }
                 inst.votes.record(sender);
                 inst.votes.record(self.me);
                 if inst.votes.reached() {
@@ -451,7 +526,7 @@ impl PaxosReplica {
             return;
         }
         if view > self.view || self.vc_target == Some(view) {
-            self.enter_view_as_follower(view);
+            self.enter_view_as_follower(ctx, view);
         }
         if self.window.is_stale(sqn) || self.window.is_ahead(sqn) {
             return;
@@ -489,10 +564,13 @@ impl PaxosReplica {
             let req = inst.request.clone();
             let already =
                 inst.executed || req.id.client == NOOP_CLIENT || self.executed_already(req.id);
-            if self.exec_log_enabled {
-                self.exec_log
-                    .push(ExecRecord::new(self.next_exec.0, req.id, !already));
-            }
+            self.persist_exec(
+                ctx,
+                self.next_exec,
+                req.id,
+                !already,
+                if already { &[] } else { &req.command },
+            );
             if !already {
                 let cost = self.app.execution_cost(&req.command);
                 ctx.charge(cost);
@@ -527,6 +605,51 @@ impl PaxosReplica {
         }
     }
 
+    /// Logs (and, when persistence is on, fsyncs) one execution record
+    /// *before* the execution side effects happen, then feeds the in-memory
+    /// exec log used by the safety checker.
+    fn persist_exec(
+        &mut self,
+        ctx: &mut Context<'_, PaxosMessage>,
+        slot: SeqNumber,
+        id: RequestId,
+        fresh: bool,
+        command: &[u8],
+    ) {
+        if self.wal.enabled() {
+            self.wal.log(
+                ctx,
+                &WalRecord::Exec {
+                    slot: slot.0,
+                    id,
+                    fresh,
+                    command: command.to_vec(),
+                },
+            );
+        }
+        if self.exec_log_enabled {
+            self.exec_log.push(ExecRecord::new(slot.0, id, fresh));
+        }
+    }
+
+    fn persist_checkpoint(&mut self, ctx: &mut Context<'_, PaxosMessage>, cp: &Checkpoint) {
+        if !self.wal.enabled() {
+            return;
+        }
+        let (next_exec, snapshot, clients) = cp;
+        self.wal.log(
+            ctx,
+            &WalRecord::Checkpoint {
+                next_exec: next_exec.0,
+                snapshot: snapshot.clone(),
+                clients: clients
+                    .iter()
+                    .map(|(c, op, r)| (*c, op.0, r.clone()))
+                    .collect(),
+            },
+        );
+    }
+
     fn take_checkpoint(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
         let snapshot = self.app.snapshot();
         ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
@@ -537,6 +660,10 @@ impl PaxosReplica {
             .collect();
         self.checkpoint = Some((self.next_exec, snapshot, clients));
         self.stats.checkpoints_taken += 1;
+        if self.wal.enabled() {
+            let cp = self.checkpoint.clone().expect("just taken");
+            self.persist_checkpoint(ctx, &cp);
+        }
         // GC: drop executed instances covered by the checkpoint.
         self.window.advance_to(self.next_exec);
         self.next_propose = self.next_propose.max(self.window.low());
@@ -566,6 +693,12 @@ impl PaxosReplica {
         snapshot: Vec<u8>,
         clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)>,
     ) {
+        // Any checkpoint answer ends the post-reboot retry loop, even a
+        // stale one: the cluster is reachable again.
+        if let Some(timer) = self.recovery_timer.take() {
+            ctx.cancel_timer(timer);
+            self.recovery_attempts = 0;
+        }
         if next_exec <= self.next_exec {
             return;
         }
@@ -581,6 +714,10 @@ impl PaxosReplica {
         self.stalled = false;
         self.stats.checkpoints_installed += 1;
         self.checkpoint = Some((next_exec, snapshot, clients));
+        if self.wal.enabled() {
+            let cp = self.checkpoint.clone().expect("just installed");
+            self.persist_checkpoint(ctx, &cp);
+        }
         self.try_execute(ctx);
     }
 
@@ -698,6 +835,9 @@ impl PaxosReplica {
     }
 
     fn enter_new_view(&mut self, ctx: &mut Context<'_, PaxosMessage>, target: View) {
+        if self.wal.enabled() {
+            self.wal.log(ctx, &WalRecord::View(target.0));
+        }
         self.view = target;
         self.vc_target = None;
         self.stats.view_changes_completed += 1;
@@ -759,6 +899,154 @@ impl PaxosReplica {
         self.drain_queue(ctx);
         self.try_execute(ctx);
     }
+
+    // ------------------------------------------------------------- recovery
+
+    const RECOVERY_RETRY_BASE: Duration = Duration::from_millis(100);
+
+    /// Asks one peer for its checkpoint and arms a retry. The target
+    /// rotates with the attempt counter so a dead leader (or any single
+    /// dead peer) cannot strand a rebooting replica.
+    fn send_recovery_request(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        let n = self.n();
+        let leader = self.leader_of(self.effective_view());
+        let mut target = idem_common::ReplicaId((leader.0 + self.recovery_attempts) % n);
+        if target == self.me {
+            target = idem_common::ReplicaId((target.0 + 1) % n);
+        }
+        ctx.send(self.dir.replica(target), PaxosMessage::CheckpointRequest);
+        let delay = Self::RECOVERY_RETRY_BASE * (1 << self.recovery_attempts.min(3));
+        if let Some(old) = self.recovery_timer.take() {
+            ctx.cancel_timer(old);
+        }
+        self.recovery_timer = Some(ctx.set_timer(delay, PaxosMessage::RecoveryTimer));
+    }
+
+    fn handle_recovery_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        self.recovery_timer = None;
+        self.recovery_attempts += 1;
+        self.send_recovery_request(ctx);
+    }
+
+    /// Rebuilds volatile state from the node's disk after an amnesia wipe:
+    /// newest checkpoint first, then the execution suffix, then our
+    /// surviving accept votes (they constrain what the cluster may commit
+    /// in those slots), then the highest view we ever acted in.
+    fn replay_wal(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        let records = Wal::replay(ctx);
+        let mut max_view = 0u64;
+        let mut newest_cp: Option<RawCheckpoint> = None;
+        for rec in &records {
+            match rec {
+                WalRecord::View(v) => max_view = max_view.max(*v),
+                WalRecord::Accept { view, .. } => max_view = max_view.max(*view),
+                WalRecord::Checkpoint {
+                    next_exec,
+                    snapshot,
+                    clients,
+                } => {
+                    if newest_cp
+                        .as_ref()
+                        .is_none_or(|(ne, _, _)| *next_exec >= *ne)
+                    {
+                        newest_cp = Some((*next_exec, snapshot.clone(), clients.clone()));
+                    }
+                }
+                WalRecord::Exec { .. } => {}
+            }
+        }
+        if let Some((next_exec, snapshot, clients)) = newest_cp {
+            self.app.restore(&snapshot);
+            self.last_executed = clients
+                .iter()
+                .map(|(cid, op, reply)| (*cid, (OpNumber(*op), reply.clone())))
+                .collect();
+            self.next_exec = SeqNumber(next_exec);
+            self.window.advance_to(self.next_exec);
+            self.checkpoint = Some((
+                self.next_exec,
+                snapshot,
+                clients
+                    .into_iter()
+                    .map(|(c, op, r)| (c, OpNumber(op), r))
+                    .collect(),
+            ));
+        }
+        // Every durable execution re-enters the exec log (that is what the
+        // durability invariant audits); state application resumes only past
+        // the restored checkpoint.
+        for rec in &records {
+            let WalRecord::Exec {
+                slot,
+                id,
+                fresh,
+                command,
+            } = rec
+            else {
+                continue;
+            };
+            if self.exec_log_enabled {
+                self.exec_log.push(ExecRecord::new(*slot, *id, *fresh));
+            }
+            if *slot < self.next_exec.0 {
+                continue;
+            }
+            if *fresh && id.client != NOOP_CLIENT && !self.executed_already(*id) {
+                let cost = self.app.execution_cost(command);
+                ctx.charge(cost);
+                let result = self.app.execute(command);
+                self.stats.executed += 1;
+                self.last_executed.insert(id.client.0, (id.op, result));
+            }
+            self.next_exec = SeqNumber(slot + 1);
+        }
+        self.window.advance_to(self.next_exec);
+        let mut propose_past = self.next_exec;
+        for rec in records {
+            let WalRecord::Accept {
+                slot,
+                view,
+                id,
+                command,
+            } = rec
+            else {
+                continue;
+            };
+            let sqn = SeqNumber(slot);
+            if slot == u64::MAX {
+                continue;
+            }
+            // Every slot we ever voted in may hold a decided value —
+            // proposing fresh requests there would equivocate, so new
+            // proposals must start strictly above the whole voted prefix
+            // (even the parts outside the restored window).
+            propose_past = propose_past.max(sqn.next());
+            if self.window.is_stale(sqn) || self.window.is_ahead(sqn) {
+                continue;
+            }
+            if self.window.get(sqn).is_some_and(|i| i.view.0 >= view) {
+                continue;
+            }
+            let mut votes = QuorumTracker::new(self.majority());
+            votes.record(self.me);
+            let committed = votes.reached();
+            let executed = self.executed_already(id);
+            self.window.insert(
+                sqn,
+                Instance {
+                    request: Request::new(id, command),
+                    view: View(view),
+                    votes,
+                    committed,
+                    executed,
+                },
+            );
+        }
+        if max_view > self.view.0 {
+            self.view = View(max_view);
+        }
+        self.next_propose = self.next_propose.max(propose_past).max(self.window.low());
+    }
 }
 
 impl Node<PaxosMessage> for PaxosReplica {
@@ -785,19 +1073,26 @@ impl Node<PaxosMessage> for PaxosReplica {
             | PaxosMessage::Reject(_)
             | PaxosMessage::ProgressTimer
             | PaxosMessage::ClientTimeout(_)
-            | PaxosMessage::BackoffTimer => {}
+            | PaxosMessage::BackoffTimer
+            | PaxosMessage::RecoveryTimer => {}
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>, _id: TimerId, msg: PaxosMessage) {
-        if msg == PaxosMessage::ProgressTimer {
-            self.handle_progress_timer(ctx);
+        match msg {
+            PaxosMessage::ProgressTimer => self.handle_progress_timer(ctx),
+            PaxosMessage::RecoveryTimer => self.handle_recovery_timer(ctx),
+            _ => {}
         }
     }
 
     fn on_crash(&mut self, _now: SimTime) {}
 
     fn on_recover(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
+        // A wiped replica first rebuilds whatever its disk can prove.
+        if std::mem::take(&mut self.wipe_recovering) {
+            self.replay_wal(ctx);
+        }
         // The held progress-timer handle may refer to a timer lost during
         // the crash window: cancel it (a no-op if already fired) and arm a
         // fresh one so leader-failure detection keeps working.
@@ -805,9 +1100,11 @@ impl Node<PaxosMessage> for PaxosReplica {
             ctx.cancel_timer(timer);
         }
         self.ensure_progress_timer(ctx);
-        // Catch up on whatever committed while we were down.
-        let leader = self.dir.replica(self.leader_of(self.effective_view()));
-        ctx.send(leader, PaxosMessage::CheckpointRequest);
+        // Catch up on whatever committed while we were down. A single
+        // fire-and-forget request can be lost along with its target — the
+        // retry loop rotates through the other replicas until one answers.
+        self.recovery_attempts = 0;
+        self.send_recovery_request(ctx);
     }
 }
 

@@ -1,0 +1,118 @@
+//! Simulated per-node stable storage.
+//!
+//! Every node owns one append-only [`Disk`]: a sequence of opaque records
+//! plus an *fsync barrier* marking how many of them have reached stable
+//! storage. Appends land in the (volatile) device cache; [`Disk::fsync`]
+//! advances the barrier to cover everything appended so far. Disk contents
+//! live in the simulator core — not in the `Node` object — so they survive
+//! crashes and node wipes ([`Simulation::wipe_now`](crate::Simulation::wipe_now)).
+//!
+//! A wipe may optionally truncate the disk at the last fsync barrier,
+//! modelling a power loss that destroys the un-synced tail of the device
+//! cache. Protocols that follow a write-ahead discipline (append + fsync
+//! *before* acting on a record) lose nothing they acted on; a broken
+//! persistence layer that skips the fsync is exactly what the chaos
+//! campaign's durability invariant exists to catch.
+//!
+//! I/O latency is charged to the performing node's virtual CPU via
+//! [`Context::disk_append`](crate::Context::disk_append) and
+//! [`Context::disk_fsync`](crate::Context::disk_fsync) according to the
+//! simulation-wide [`DiskLatency`]. The default latency is zero and the
+//! disk allocates nothing until first use, so simulations that never touch
+//! stable storage are byte-identical to runs built before it existed.
+
+use std::time::Duration;
+
+/// I/O latency model charged to a node's virtual CPU for disk operations.
+///
+/// Both components default to zero, making the disk layer free (and
+/// schedule-inert) unless an experiment opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskLatency {
+    /// CPU time charged per [`Disk::append`] (device-cache write).
+    pub append: Duration,
+    /// CPU time charged per [`Disk::fsync`] (stable-media barrier).
+    pub fsync: Duration,
+}
+
+/// One node's append-only stable storage device.
+#[derive(Debug, Default)]
+pub struct Disk {
+    records: Vec<Vec<u8>>,
+    synced: usize,
+}
+
+impl Disk {
+    /// Creates an empty disk.
+    pub fn new() -> Disk {
+        Disk::default()
+    }
+
+    /// Appends a record to the device cache and returns its index. The
+    /// record is *not* durable until the next [`fsync`](Disk::fsync).
+    pub fn append(&mut self, record: Vec<u8>) -> usize {
+        self.records.push(record);
+        self.records.len() - 1
+    }
+
+    /// Advances the fsync barrier over everything appended so far.
+    pub fn fsync(&mut self) {
+        self.synced = self.records.len();
+    }
+
+    /// All records currently on the disk, synced or not, oldest first.
+    pub fn records(&self) -> &[Vec<u8>] {
+        &self.records
+    }
+
+    /// Number of records on the disk (synced or not).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the disk holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records at or below the fsync barrier.
+    pub fn synced_len(&self) -> usize {
+        self.synced
+    }
+
+    /// Discards every record above the fsync barrier — what a power loss
+    /// does to the un-synced tail of the device cache.
+    pub fn truncate_to_synced(&mut self) {
+        self.records.truncate(self.synced);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_fsync_and_truncate() {
+        let mut disk = Disk::new();
+        assert!(disk.is_empty());
+        assert_eq!(disk.append(vec![1]), 0);
+        assert_eq!(disk.append(vec![2]), 1);
+        assert_eq!(disk.synced_len(), 0);
+        disk.fsync();
+        assert_eq!(disk.synced_len(), 2);
+        disk.append(vec![3]);
+        assert_eq!(disk.len(), 3);
+        // Power loss: the un-synced tail is gone, the synced prefix stays.
+        disk.truncate_to_synced();
+        assert_eq!(disk.records(), &[vec![1], vec![2]]);
+        assert_eq!(disk.len(), 2);
+    }
+
+    #[test]
+    fn truncate_without_fsync_wipes_everything() {
+        let mut disk = Disk::new();
+        disk.append(vec![9]);
+        disk.truncate_to_synced();
+        assert!(disk.is_empty());
+    }
+}

@@ -57,8 +57,15 @@ pub(crate) enum EventKind<M> {
     },
     /// Fire timer `id` at `node`. The payload lives in the simulator's
     /// timer table until the timer fires, so cancellation frees it
-    /// immediately and this entry becomes a stale no-op.
-    Timer { node: NodeId, id: TimerId },
+    /// immediately and this entry becomes a stale no-op. `epoch` is the
+    /// node incarnation that armed the timer: a wipe bumps the node's
+    /// epoch, so timers armed by a previous incarnation drop on fire
+    /// instead of reaching the rebuilt node.
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        epoch: u64,
+    },
     /// Crash `node`.
     Crash { node: NodeId },
     /// Bring a crashed `node` back.

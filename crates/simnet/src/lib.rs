@@ -70,6 +70,7 @@
 //! assert!(sim.traffic().total_messages() >= 4);
 //! ```
 
+pub mod disk;
 pub mod event;
 pub mod net;
 pub mod node;
@@ -80,6 +81,7 @@ pub mod traffic;
 pub mod wheel;
 pub mod wire;
 
+pub use disk::{Disk, DiskLatency};
 pub use net::{LinkSpec, Network};
 pub use node::{AsAny, Context, Node, NodeId, TimerId};
 pub use sim::{EventStats, Simulation};

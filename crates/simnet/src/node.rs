@@ -165,6 +165,26 @@ impl<M> Context<'_, M> {
     pub fn rng(&mut self) -> &mut SmallRng {
         &mut self.core.rng
     }
+
+    /// Appends a record to this node's stable-storage device cache. The
+    /// record is not durable until [`disk_fsync`](Context::disk_fsync);
+    /// the configured append latency is charged to this node's CPU.
+    pub fn disk_append(&mut self, record: Vec<u8>) {
+        self.core.disk_append(self.id, record);
+    }
+
+    /// Fsyncs this node's disk: everything appended so far becomes
+    /// durable (survives wipe truncation). The configured fsync latency is
+    /// charged to this node's CPU.
+    pub fn disk_fsync(&mut self) {
+        self.core.disk_fsync(self.id);
+    }
+
+    /// All records on this node's disk, oldest first — the recovery
+    /// replay surface after a wipe.
+    pub fn disk_records(&self) -> &[Vec<u8>] {
+        self.core.disk(self.id).records()
+    }
 }
 
 #[cfg(test)]

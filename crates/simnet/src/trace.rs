@@ -64,6 +64,12 @@ pub enum TraceEventKind {
         /// The node.
         node: NodeId,
     },
+    /// A node was wipe-crashed: volatile state destroyed, rebuilt from its
+    /// factory and disk.
+    Wipe {
+        /// The node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for TraceEventKind {
@@ -85,6 +91,7 @@ impl fmt::Display for TraceEventKind {
             TraceEventKind::TimerFired { node } => write!(f, "timer @ {node}"),
             TraceEventKind::Recover { node } => write!(f, "recover {node}"),
             TraceEventKind::Crash { node } => write!(f, "crash {node}"),
+            TraceEventKind::Wipe { node } => write!(f, "wipe {node}"),
         }
     }
 }
@@ -167,7 +174,8 @@ impl TraceBuffer {
                 }
                 TraceEventKind::TimerFired { node: n }
                 | TraceEventKind::Crash { node: n }
-                | TraceEventKind::Recover { node: n } => n == node,
+                | TraceEventKind::Recover { node: n }
+                | TraceEventKind::Wipe { node: n } => n == node,
             })
             .copied()
             .collect()

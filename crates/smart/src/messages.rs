@@ -59,6 +59,9 @@ pub enum SmartMessage {
     ClientTimeout(OpNumber),
     /// Client think/backoff delay.
     BackoffTimer,
+    /// Replica catch-up retry after a reboot: re-asks the cluster for a
+    /// checkpoint until some peer answers.
+    RecoveryTimer,
 }
 
 fn batch_size(batch: &[Request]) -> usize {
@@ -83,7 +86,8 @@ impl Wire for SmartMessage {
             } => 8 + snapshot.len() + clients.iter().map(|(_, _, r)| 12 + r.len()).sum::<usize>(),
             SmartMessage::ProgressTimer
             | SmartMessage::ClientTimeout(_)
-            | SmartMessage::BackoffTimer => 0,
+            | SmartMessage::BackoffTimer
+            | SmartMessage::RecoveryTimer => 0,
         }
     }
 }
@@ -141,5 +145,6 @@ mod tests {
     fn timers_are_free() {
         assert_eq!(SmartMessage::ProgressTimer.wire_size(), 0);
         assert_eq!(SmartMessage::BackoffTimer.wire_size(), 0);
+        assert_eq!(SmartMessage::RecoveryTimer.wire_size(), 0);
     }
 }

@@ -1,10 +1,12 @@
 //! The SMaRt baseline replica: sequential consensus over request batches.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
 
 use idem_common::app::CostModel;
 use idem_common::{
-    Directory, ExecRecord, QuorumTracker, Reply, Request, RequestId, SeqNumber, StateMachine, View,
+    Directory, ExecRecord, OpNumber, PersistMode, QuorumTracker, Reply, Request, RequestId,
+    SeqNumber, StateMachine, View, Wal, WalRecord,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -52,6 +54,10 @@ type Checkpoint = (
 /// plus the sequence number of its last stable checkpoint.
 type VcVote = (Option<(SeqNumber, View, Vec<Request>)>, SeqNumber);
 
+/// A checkpoint as it appears on the wire/WAL: raw sequence number,
+/// snapshot bytes, and `(client, op, reply bytes)` rows.
+type RawCheckpoint = (u64, Vec<u8>, Vec<(u32, u64, Vec<u8>)>);
+
 /// A SMaRt replica implementing [`Node`] over [`SmartMessage`].
 pub struct SmartReplica {
     cfg: SmartConfig,
@@ -89,6 +95,15 @@ pub struct SmartReplica {
     checkpoint: Option<Checkpoint>,
 
     progress_timer: Option<TimerId>,
+    /// Durable logging layer (disabled unless the harness opts in).
+    wal: Wal,
+    /// Set by the rebuild factory after an amnesia wipe: the next
+    /// `on_recover` replays the disk before rejoining.
+    wipe_recovering: bool,
+    /// Armed while catching up after a reboot; each firing re-asks the
+    /// cluster for a checkpoint with exponential backoff.
+    recovery_timer: Option<TimerId>,
+    recovery_attempts: u32,
     /// Evidence that a view below our pending view-change target is still
     /// live (f+1 distinct senders): used by rejoining partitioned replicas.
     rejoin_votes: Option<(View, QuorumTracker)>,
@@ -130,6 +145,10 @@ impl SmartReplica {
             last_executed: BTreeMap::new(),
             checkpoint: None,
             progress_timer: None,
+            wal: Wal::default(),
+            wipe_recovering: false,
+            recovery_timer: None,
+            recovery_attempts: 0,
             rejoin_votes: None,
             stats: SmartReplicaStats::default(),
             exec_log: Vec::new(),
@@ -140,6 +159,19 @@ impl SmartReplica {
     /// Turns on execution-order recording (off by default).
     pub fn enable_exec_log(&mut self) {
         self.exec_log_enabled = true;
+    }
+
+    /// Configures durable logging to the node's simulated disk. Call before
+    /// the simulation starts (and again on the object a rebuild factory
+    /// produces after a wipe).
+    pub fn set_persistence(&mut self, mode: PersistMode) {
+        self.wal = Wal::new(mode);
+    }
+
+    /// Marks this freshly rebuilt replica as recovering from an amnesia
+    /// wipe: its next `on_recover` replays the disk before rejoining.
+    pub fn mark_wipe_recovery(&mut self) {
+        self.wipe_recovering = true;
     }
 
     /// The recorded execution order (empty unless
@@ -163,6 +195,11 @@ impl SmartReplica {
     /// Length of the pending request pool.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Next consensus instance to decide (the batch-level frontier).
+    pub fn next_sqn(&self) -> SeqNumber {
+        self.next_sqn
     }
 
     /// Read access to the replicated application.
@@ -255,6 +292,8 @@ impl SmartReplica {
             }
         };
         let sqn = self.next_sqn;
+        // The leader's own vote must be durable before peers can count it.
+        self.persist_batch_accept(ctx, sqn, self.view, &batch);
         let mut votes = QuorumTracker::new(self.majority());
         votes.record(self.me);
         self.open = Some(OpenInstance {
@@ -315,8 +354,11 @@ impl SmartReplica {
         }
     }
 
-    fn enter_view_as_follower(&mut self, v: View) {
+    fn enter_view_as_follower(&mut self, ctx: &mut Context<'_, SmartMessage>, v: View) {
         if v > self.view || self.vc_target == Some(v) {
+            if self.wal.enabled() {
+                self.wal.log(ctx, &WalRecord::View(v.0));
+            }
             self.view = v;
             self.vc_target = None;
             self.vc_store.retain(|&t, _| t > v.0);
@@ -347,7 +389,7 @@ impl SmartReplica {
             return;
         }
         if view > self.view || self.vc_target == Some(view) {
-            self.enter_view_as_follower(view);
+            self.enter_view_as_follower(ctx, view);
         }
         if sqn < self.next_sqn {
             return; // already decided
@@ -362,6 +404,9 @@ impl SmartReplica {
             None => true,
         };
         if replace {
+            // Durable before the Accept leaves: our vote may complete the
+            // quorum, so it must survive amnesia.
+            self.persist_batch_accept(ctx, sqn, view, &batch);
             let mut votes = QuorumTracker::new(self.majority());
             votes.record(sender);
             votes.record(self.me);
@@ -425,10 +470,14 @@ impl SmartReplica {
                 self.pending.retain(|r| r.id != req.id);
             }
             let already = self.executed_already(req.id);
-            if self.exec_log_enabled {
-                let slot = (open.sqn.0 << SLOT_BATCH_SHIFT) | offset as u64;
-                self.exec_log.push(ExecRecord::new(slot, req.id, !already));
-            }
+            let slot = (open.sqn.0 << SLOT_BATCH_SHIFT) | offset as u64;
+            self.persist_exec(
+                ctx,
+                slot,
+                req.id,
+                !already,
+                if already { &[] } else { &req.command },
+            );
             if already {
                 continue;
             }
@@ -464,6 +513,10 @@ impl SmartReplica {
             .collect();
         self.checkpoint = Some((self.next_sqn, snapshot, clients));
         self.stats.checkpoints_taken += 1;
+        if self.wal.enabled() {
+            let cp = self.checkpoint.clone().expect("just taken");
+            self.persist_checkpoint(ctx, &cp);
+        }
     }
 
     fn handle_checkpoint_request(&mut self, ctx: &mut Context<'_, SmartMessage>, from: NodeId) {
@@ -490,6 +543,12 @@ impl SmartReplica {
         snapshot: Vec<u8>,
         clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)>,
     ) {
+        // Any checkpoint answer ends the post-reboot retry loop, even a
+        // stale one: the cluster is reachable again.
+        if let Some(timer) = self.recovery_timer.take() {
+            ctx.cancel_timer(timer);
+            self.recovery_attempts = 0;
+        }
         if next_sqn <= self.next_sqn {
             return;
         }
@@ -506,6 +565,10 @@ impl SmartReplica {
         }
         self.stats.checkpoints_installed += 1;
         self.checkpoint = Some((next_sqn, snapshot, clients));
+        if self.wal.enabled() {
+            let cp = self.checkpoint.clone().expect("just installed");
+            self.persist_checkpoint(ctx, &cp);
+        }
         // Drop pending requests the checkpoint proves executed.
         let last = self.last_executed.clone();
         self.pending
@@ -618,6 +681,9 @@ impl SmartReplica {
     }
 
     fn enter_new_view(&mut self, ctx: &mut Context<'_, SmartMessage>, target: View) {
+        if self.wal.enabled() {
+            self.wal.log(ctx, &WalRecord::View(target.0));
+        }
         self.view = target;
         self.vc_target = None;
         self.stats.view_changes_completed += 1;
@@ -656,6 +722,221 @@ impl SmartReplica {
         self.reset_progress_timer(ctx);
         self.maybe_propose(ctx);
     }
+
+    // ------------------------------------------------------------- recovery
+
+    const RECOVERY_RETRY_BASE: Duration = Duration::from_millis(100);
+
+    /// Logs one durable Accept record per command of a voted-for batch,
+    /// each under its packed `(sqn << SLOT_BATCH_SHIFT) | offset` slot.
+    /// No-op when persistence is off.
+    fn persist_batch_accept(
+        &mut self,
+        ctx: &mut Context<'_, SmartMessage>,
+        sqn: SeqNumber,
+        view: View,
+        batch: &[Request],
+    ) {
+        if !self.wal.enabled() {
+            return;
+        }
+        for (offset, req) in batch.iter().enumerate() {
+            self.wal.log(
+                ctx,
+                &WalRecord::Accept {
+                    slot: (sqn.0 << SLOT_BATCH_SHIFT) | offset as u64,
+                    view: view.0,
+                    id: req.id,
+                    command: req.command.clone(),
+                },
+            );
+        }
+    }
+
+    /// Logs (and, when persistence is on, fsyncs) one execution record
+    /// *before* the execution side effects happen, then feeds the in-memory
+    /// exec log used by the safety checker.
+    fn persist_exec(
+        &mut self,
+        ctx: &mut Context<'_, SmartMessage>,
+        slot: u64,
+        id: RequestId,
+        fresh: bool,
+        command: &[u8],
+    ) {
+        if self.wal.enabled() {
+            self.wal.log(
+                ctx,
+                &WalRecord::Exec {
+                    slot,
+                    id,
+                    fresh,
+                    command: command.to_vec(),
+                },
+            );
+        }
+        if self.exec_log_enabled {
+            self.exec_log.push(ExecRecord::new(slot, id, fresh));
+        }
+    }
+
+    fn persist_checkpoint(&mut self, ctx: &mut Context<'_, SmartMessage>, cp: &Checkpoint) {
+        if !self.wal.enabled() {
+            return;
+        }
+        let (next_sqn, snapshot, clients) = cp;
+        self.wal.log(
+            ctx,
+            &WalRecord::Checkpoint {
+                next_exec: next_sqn.0,
+                snapshot: snapshot.clone(),
+                clients: clients
+                    .iter()
+                    .map(|(c, op, r)| (*c, op.0, r.clone()))
+                    .collect(),
+            },
+        );
+    }
+
+    /// Asks the cluster for a checkpoint and arms a retry with exponential
+    /// backoff, so a lost request (or answer) cannot strand a rebooting
+    /// replica.
+    fn send_recovery_request(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        let peers = self.peers();
+        ctx.multicast(peers, SmartMessage::CheckpointRequest);
+        let delay = Self::RECOVERY_RETRY_BASE * (1 << self.recovery_attempts.min(3));
+        if let Some(old) = self.recovery_timer.take() {
+            ctx.cancel_timer(old);
+        }
+        self.recovery_timer = Some(ctx.set_timer(delay, SmartMessage::RecoveryTimer));
+    }
+
+    fn handle_recovery_timer(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        self.recovery_timer = None;
+        self.recovery_attempts += 1;
+        self.send_recovery_request(ctx);
+    }
+
+    /// Rebuilds volatile state from the node's disk after an amnesia wipe:
+    /// newest checkpoint first, then the execution suffix, then our open
+    /// (voted-for but undecided) batch, then the highest view we acted in.
+    fn replay_wal(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        let records = Wal::replay(ctx);
+        let mut max_view = 0u64;
+        let mut newest_cp: Option<RawCheckpoint> = None;
+        for rec in &records {
+            match rec {
+                WalRecord::View(v) => max_view = max_view.max(*v),
+                WalRecord::Accept { view, .. } => max_view = max_view.max(*view),
+                WalRecord::Checkpoint {
+                    next_exec,
+                    snapshot,
+                    clients,
+                } => {
+                    if newest_cp
+                        .as_ref()
+                        .is_none_or(|(ne, _, _)| *next_exec >= *ne)
+                    {
+                        newest_cp = Some((*next_exec, snapshot.clone(), clients.clone()));
+                    }
+                }
+                WalRecord::Exec { .. } => {}
+            }
+        }
+        if let Some((next_sqn, snapshot, clients)) = newest_cp {
+            self.app.restore(&snapshot);
+            self.last_executed = clients
+                .iter()
+                .map(|(cid, op, reply)| (*cid, (OpNumber(*op), reply.clone())))
+                .collect();
+            self.next_sqn = SeqNumber(next_sqn);
+            self.checkpoint = Some((
+                self.next_sqn,
+                snapshot,
+                clients
+                    .into_iter()
+                    .map(|(c, op, r)| (c, OpNumber(op), r))
+                    .collect(),
+            ));
+        }
+        // Every durable execution re-enters the exec log (that is what the
+        // durability invariant audits); state application resumes only past
+        // the restored checkpoint's batch. The coverage bound must be the
+        // checkpoint's frontier, frozen here: comparing against the evolving
+        // `next_sqn` would skip every record of a batch after its first one
+        // (which already advanced `next_sqn` past the whole batch), leaving
+        // `last_executed` holes that a later served checkpoint would spread
+        // to healthy peers as a client-progress rewind.
+        let covered = self.next_sqn.0;
+        for rec in &records {
+            let WalRecord::Exec {
+                slot,
+                id,
+                fresh,
+                command,
+            } = rec
+            else {
+                continue;
+            };
+            if self.exec_log_enabled {
+                self.exec_log.push(ExecRecord::new(*slot, *id, *fresh));
+            }
+            let batch_sqn = slot >> SLOT_BATCH_SHIFT;
+            if batch_sqn < covered {
+                continue;
+            }
+            if *fresh && !self.executed_already(*id) {
+                let cost = self.app.execution_cost(command);
+                ctx.charge(cost);
+                let result = self.app.execute(command);
+                self.stats.executed += 1;
+                self.last_executed.insert(id.client.0, (id.op, result));
+            }
+            self.next_sqn = SeqNumber(batch_sqn + 1);
+        }
+        // Re-open the newest undecided batch we voted for (own vote only):
+        // that vote may be part of a quorum the cluster counted.
+        let mut voted: BTreeMap<u64, (View, Vec<(u64, Request)>)> = BTreeMap::new();
+        for rec in records {
+            let WalRecord::Accept {
+                slot,
+                view,
+                id,
+                command,
+            } = rec
+            else {
+                continue;
+            };
+            let (sqn, offset) = (
+                slot >> SLOT_BATCH_SHIFT,
+                slot & ((1 << SLOT_BATCH_SHIFT) - 1),
+            );
+            let entry = voted.entry(sqn).or_insert_with(|| (View(view), Vec::new()));
+            if View(view) > entry.0 {
+                *entry = (View(view), Vec::new());
+            }
+            if View(view) == entry.0 {
+                entry.1.push((offset, Request::new(id, command)));
+            }
+        }
+        if let Some((&sqn, _)) = voted.iter().next_back() {
+            if sqn >= self.next_sqn.0 {
+                let (view, mut entries) = voted.remove(&sqn).expect("present");
+                entries.sort_by_key(|(offset, _)| *offset);
+                let mut votes = QuorumTracker::new(self.majority());
+                votes.record(self.me);
+                self.open = Some(OpenInstance {
+                    sqn: SeqNumber(sqn),
+                    view,
+                    batch: entries.into_iter().map(|(_, r)| r).collect(),
+                    votes,
+                });
+            }
+        }
+        if max_view > self.view.0 {
+            self.view = View(max_view);
+        }
+    }
 }
 
 impl Node<SmartMessage> for SmartReplica {
@@ -681,19 +962,26 @@ impl Node<SmartMessage> for SmartReplica {
             SmartMessage::Reply(_)
             | SmartMessage::ProgressTimer
             | SmartMessage::ClientTimeout(_)
-            | SmartMessage::BackoffTimer => {}
+            | SmartMessage::BackoffTimer
+            | SmartMessage::RecoveryTimer => {}
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, SmartMessage>, _id: TimerId, msg: SmartMessage) {
-        if msg == SmartMessage::ProgressTimer {
-            self.handle_progress_timer(ctx);
+        match msg {
+            SmartMessage::ProgressTimer => self.handle_progress_timer(ctx),
+            SmartMessage::RecoveryTimer => self.handle_recovery_timer(ctx),
+            _ => {}
         }
     }
 
     fn on_crash(&mut self, _now: SimTime) {}
 
     fn on_recover(&mut self, ctx: &mut Context<'_, SmartMessage>) {
+        // A wiped replica first rebuilds whatever its disk can prove.
+        if std::mem::take(&mut self.wipe_recovering) {
+            self.replay_wal(ctx);
+        }
         // The held progress-timer handle may refer to a timer lost during
         // the crash window: cancel it (a no-op if already fired) and arm a
         // fresh one.
@@ -702,9 +990,9 @@ impl Node<SmartMessage> for SmartReplica {
         }
         self.ensure_progress_timer(ctx);
         // Instances decided while we were down are gone for good; fetch a
-        // checkpoint from whoever has one.
-        let peers = self.peers();
-        ctx.multicast(peers, SmartMessage::CheckpointRequest);
+        // checkpoint from whoever has one, retrying until someone answers.
+        self.recovery_attempts = 0;
+        self.send_recovery_request(ctx);
     }
 }
 

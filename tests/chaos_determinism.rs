@@ -12,6 +12,7 @@ fn one_seed() -> ChaosConfig {
         start_seed: 7,
         seeds: 1,
         schedule: None,
+        wipes: false,
     }
 }
 
@@ -20,6 +21,24 @@ fn chaos_report_is_byte_identical_across_job_counts() {
     let jobs1 = run_campaign(&one_seed(), &SweepRunner::new(1)).render();
     let jobs4 = run_campaign(&one_seed(), &SweepRunner::new(4)).render();
     assert_eq!(jobs1, jobs4, "jobs=1 vs jobs=4 chaos report diverged");
+}
+
+#[test]
+fn wipe_chaos_report_is_byte_identical_across_job_counts() {
+    // The durable-storage path (WAL appends, fsync CPU charges, amnesia
+    // reboots through the node factory) must be as deterministic as the
+    // rest of the simulator.
+    let cfg = ChaosConfig {
+        wipes: true,
+        ..one_seed()
+    };
+    let jobs1 = run_campaign(&cfg, &SweepRunner::new(1)).render();
+    let jobs4 = run_campaign(&cfg, &SweepRunner::new(4)).render();
+    assert_eq!(jobs1, jobs4, "jobs=1 vs jobs=4 wipe chaos report diverged");
+    assert!(
+        jobs1.contains("rejoin_ms="),
+        "wipe campaign report should carry time-to-rejoin"
+    );
 }
 
 #[test]
@@ -34,6 +53,7 @@ fn chaos_replay_reproduces_the_campaign_run() {
             start_seed: 7,
             seeds: 1,
             schedule: Some(schedule),
+            wipes: false,
         },
         &runner,
     );
