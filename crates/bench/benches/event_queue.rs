@@ -13,7 +13,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use idem_simnet::{TimerTable, TimingWheel};
+use idem_simnet::{
+    Context, LinkSpec, Network, Node, NodeId, SimTime, Simulation, TimerTable, TimingWheel, Wire,
+};
 
 const SIZES: [(usize, &str); 3] = [(1_000, "1k"), (100_000, "100k"), (1_000_000, "1M")];
 
@@ -141,5 +143,80 @@ fn timer_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, wheel_steady, heap_steady, timer_churn);
+/// Wire type for the saturated-backlog scenario: a fixed-size unit of work.
+#[derive(Clone, Debug)]
+struct WorkUnit;
+
+impl Wire for WorkUnit {
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+/// Sink that charges a fixed CPU cost per message, so the backlog drains
+/// at a bounded rate instead of collapsing into a single instant.
+struct Sink;
+
+impl Node<WorkUnit> for Sink {
+    fn on_message(&mut self, ctx: &mut Context<'_, WorkUnit>, _from: NodeId, _msg: WorkUnit) {
+        ctx.charge(Duration::from_micros(1));
+    }
+}
+
+/// Flooder that enqueues the whole burst at start-up.
+struct Flooder {
+    sink: NodeId,
+    count: u32,
+}
+
+impl Node<WorkUnit> for Flooder {
+    fn on_start(&mut self, ctx: &mut Context<'_, WorkUnit>) {
+        for _ in 0..self.count {
+            ctx.send(self.sink, WorkUnit);
+        }
+    }
+
+    fn on_message(&mut self, _: &mut Context<'_, WorkUnit>, _: NodeId, _: WorkUnit) {}
+}
+
+/// The scheduler's worst case before run-to-completion draining: one node
+/// with 100k messages queued against it and a nonzero per-message CPU
+/// charge. The eager scheduler turned every backlog item into a Wake
+/// event round-tripped through the queue; the lazy scheduler drains the
+/// backlog inline against the event horizon. One iteration builds the
+/// simulation and runs the burst to completion.
+fn saturated_backlog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue/saturated");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    const BACKLOG: u32 = 100_000;
+    for (eager, label) in [(false, "backlog_100k_lazy"), (true, "backlog_100k_eager")] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let link = LinkSpec::new(Duration::from_micros(100), Duration::ZERO);
+                let mut sim: Simulation<WorkUnit> =
+                    Simulation::with_network(0xBAC1, Network::new(link));
+                sim.set_eager_wakes(eager);
+                let sink = sim.add_node(Box::new(Sink));
+                sim.add_node(Box::new(Flooder {
+                    sink,
+                    count: BACKLOG,
+                }));
+                // 100k messages at 1 µs each drain in 100 ms of sim time.
+                sim.run_until(SimTime::from_nanos(200_000_000));
+                black_box(sim.events_processed())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    wheel_steady,
+    heap_steady,
+    timer_churn,
+    saturated_backlog
+);
 criterion_main!(benches);

@@ -61,6 +61,18 @@ pub trait StateMachine {
     /// Serializes the full application state for a checkpoint.
     fn snapshot(&self) -> Vec<u8>;
 
+    /// The exact byte length [`snapshot`](Self::snapshot) would return,
+    /// without materializing it.
+    ///
+    /// Replicas charge checkpoint CPU cost by snapshot size but, when
+    /// persistence is off, never read the bytes of a periodic checkpoint —
+    /// this lets them price the snapshot without serializing the whole
+    /// state. Implementations that can answer in O(1) should override the
+    /// default, which serializes and measures.
+    fn snapshot_len(&self) -> usize {
+        self.snapshot().len()
+    }
+
     /// Replaces the application state with a previously taken snapshot.
     fn restore(&mut self, snapshot: &[u8]);
 }

@@ -979,34 +979,44 @@ impl IdemReplica {
             .0
             .is_multiple_of(self.cfg.checkpoint_interval)
         {
-            self.take_checkpoint(ctx);
+            self.take_checkpoint(ctx, false);
         }
     }
 
-    fn take_checkpoint(&mut self, ctx: &mut Context<'_, IdemMessage>) {
-        let snapshot = self.app.snapshot();
+    /// Takes a checkpoint. With `materialize` false (the periodic path)
+    /// and no WAL, the snapshot bytes are never read by anyone — the only
+    /// consumers are the WAL and [`handle_checkpoint_request`]
+    /// (Self::handle_checkpoint_request), which re-takes a materialized
+    /// checkpoint first — so the replica charges the exact serialization
+    /// cost without serializing, leaving `self.checkpoint` untouched.
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, IdemMessage>, materialize: bool) {
         // Snapshot serialization costs CPU like handling a message of the
-        // same size.
-        ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
-        let clients = self
-            .last_executed
-            .iter()
-            .map(|(&cid, (op, reply))| ClientRecord {
-                client: ClientId(cid),
-                last_op: *op,
-                reply: reply.clone(),
-            })
-            .collect();
-        self.checkpoint = Some(CheckpointData {
-            next_exec: self.next_exec,
-            snapshot,
-            clients,
-        });
-        self.stats.checkpoints_taken += 1;
-        if self.wal.enabled() {
-            let cp = self.checkpoint.clone().expect("just taken");
-            self.persist_checkpoint(ctx, &cp);
+        // same size, whether or not the bytes are materialized.
+        if materialize || self.wal.enabled() {
+            let snapshot = self.app.snapshot();
+            ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
+            let clients = self
+                .last_executed
+                .iter()
+                .map(|(&cid, (op, reply))| ClientRecord {
+                    client: ClientId(cid),
+                    last_op: *op,
+                    reply: reply.clone(),
+                })
+                .collect();
+            self.checkpoint = Some(CheckpointData {
+                next_exec: self.next_exec,
+                snapshot,
+                clients,
+            });
+            if self.wal.enabled() {
+                let cp = self.checkpoint.clone().expect("just taken");
+                self.persist_checkpoint(ctx, &cp);
+            }
+        } else {
+            ctx.charge(self.cfg.message_cost.message_cost(self.app.snapshot_len()));
         }
+        self.stats.checkpoints_taken += 1;
         // Bodies of requests covered by a stable checkpoint can be pruned
         // (the proof of Theorem 6.2 relies on exactly this rule).
         let last = &self.last_executed;
@@ -1035,7 +1045,7 @@ impl IdemReplica {
         // requester's own state, which would leave a lagging replica
         // permanently unable to catch up (its gap is only repairable by a
         // checkpoint taken at or after its missing slot).
-        self.take_checkpoint(ctx);
+        self.take_checkpoint(ctx, true);
         if let Some(cp) = self.checkpoint.clone() {
             ctx.send(from, IdemMessage::Checkpoint(cp));
         }

@@ -2,12 +2,48 @@
 //! throughput plus queue depth, for hot-path profiling without running a
 //! whole experiment grid.
 //!
+//! Besides the one-line summary, prints the per-kind dispatch breakdown
+//! (wake/deliver ratio, inline drains) and per-node backlog drain-length
+//! histograms: replicas individually, clients merged into one profile.
+//!
 //! Usage: `profcell [clients] [protocol] [seconds]`
 //! protocols: idem, idem_no_pr, idem_no_aqm, paxos, paxos_lbr, smart
 
 use std::time::{Duration, Instant};
 
 use idem_harness::{Protocol, Scenario};
+use idem_simnet::{DrainProfile, DRAIN_BUCKETS};
+
+fn print_profile(label: &str, p: &DrainProfile) {
+    let mean = if p.drains == 0 {
+        0.0
+    } else {
+        p.items as f64 / p.drains as f64
+    };
+    println!(
+        "  {label:<12} drains={} items={} mean={mean:.2} max={}",
+        p.drains, p.items, p.max
+    );
+    let peak = p.buckets.iter().copied().max().unwrap_or(0);
+    if peak == 0 {
+        return;
+    }
+    for (i, &count) in p.buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let (lo, hi) = DrainProfile::bucket_range(i);
+        let range = if i >= DRAIN_BUCKETS - 1 {
+            format!("{lo}+")
+        } else if lo == hi {
+            format!("{lo}")
+        } else {
+            format!("{lo}-{hi}")
+        };
+        let bar = "#".repeat(((count * 40).div_ceil(peak)) as usize);
+        println!("    {range:>12} {count:>10} {bar}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +56,7 @@ fn main() {
         Some("idem_no_aqm") => Protocol::idem_no_aqm(),
         _ => Protocol::idem(),
     };
+    let replicas = protocol.replica_count() as usize;
     let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let mut s = Scenario::new(protocol, clients, Duration::from_secs(secs));
     s.warmup = Duration::from_secs(1);
@@ -36,4 +73,25 @@ fn main() {
         r.metrics.throughput,
         r.metrics.reject_throughput,
     );
+    let st = &r.event_stats;
+    let wake_ratio = if st.delivers == 0 {
+        0.0
+    } else {
+        st.wakes as f64 / st.delivers as f64
+    };
+    println!(
+        "events: delivers={} timers={} wakes={} inline_wakes={} crashes={} \
+         high_water={} wake/deliver={wake_ratio:.4}",
+        st.delivers, st.timers, st.wakes, st.inline_wakes, st.crashes, st.queue_high_water,
+    );
+    println!("drain profiles (replicas first, clients merged):");
+    for (i, p) in r.drain_profiles.iter().take(replicas).enumerate() {
+        print_profile(&format!("replica {i}"), p);
+    }
+    let mut merged = DrainProfile::default();
+    for p in r.drain_profiles.iter().skip(replicas) {
+        merged.merge(p);
+    }
+    let n_clients = r.drain_profiles.len().saturating_sub(replicas);
+    print_profile(&format!("clients ({n_clients})"), &merged);
 }

@@ -389,8 +389,8 @@ fn render_bench_json(
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"cells\": {}, \"sim_events\": {}, \
              \"events_per_sec\": {:.0}, \"cell_cpu_s\": {:.3}, \
-             \"delivers\": {}, \"timers\": {}, \"wakes\": {}, \"crashes\": {}, \
-             \"queue_high_water\": {}{rejoin}}}{}\n",
+             \"delivers\": {}, \"timers\": {}, \"wakes\": {}, \"inline_wakes\": {}, \
+             \"crashes\": {}, \"queue_high_water\": {}{rejoin}}}{}\n",
             e.name,
             e.wall.as_secs_f64(),
             e.cells,
@@ -400,6 +400,7 @@ fn render_bench_json(
             e.kinds.delivers,
             e.kinds.timers,
             e.kinds.wakes,
+            e.kinds.inline_wakes,
             e.kinds.crashes,
             e.kinds.queue_high_water,
             if i + 1 == entries.len() { "" } else { "," },

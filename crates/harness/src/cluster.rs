@@ -198,6 +198,14 @@ pub struct ClusterOptions {
     pub persist: PersistMode,
     /// I/O latency charged per disk operation (zero by default).
     pub disk_latency: DiskLatency,
+    /// Run under the eager-wakes reference scheduler (one `Wake` queue
+    /// event per backlog drain) instead of the default run-to-completion
+    /// scheduler. Observable behaviour is identical — this exists so
+    /// differential tests can hold the old scheduler up as an oracle.
+    pub eager_wakes: bool,
+    /// Expected virtual run length past warmup, used to pre-size the
+    /// recorder's time-series bins. A hint only; `None` skips pre-sizing.
+    pub expected_duration: Option<Duration>,
 }
 
 impl Default for ClusterOptions {
@@ -212,13 +220,19 @@ impl Default for ClusterOptions {
             record_exec_log: false,
             persist: PersistMode::Disabled,
             disk_latency: DiskLatency::default(),
+            eager_wakes: false,
+            expected_duration: None,
         }
     }
 }
 
 /// Builds a cluster of the given protocol with closed-loop YCSB clients.
 pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandles {
-    let recorder = RecorderHandle::new(Recorder::new(opts.warmup, opts.bin_width));
+    let mut recorder = Recorder::new(opts.warmup, opts.bin_width);
+    if let Some(expected) = opts.expected_duration {
+        recorder = recorder.with_expected_duration(expected);
+    }
+    let recorder = RecorderHandle::new(recorder);
     let n = protocol.replica_count();
     let make_app = |i: u32, recorder: &RecorderHandle| {
         let app = RecordingApp::new(
@@ -236,6 +250,7 @@ pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandl
             let mut sim: Simulation<IdemMessage> =
                 Simulation::with_network(opts.seed, experiment_network());
             sim.set_disk_latency(opts.disk_latency);
+            sim.set_eager_wakes(opts.eager_wakes);
             let replicas: Vec<NodeId> = (0..n).map(|_| sim.reserve_node()).collect();
             let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
             let dir = Directory::new(replicas.clone(), clients.clone());
@@ -285,6 +300,7 @@ pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandl
             let mut sim: Simulation<PaxosMessage> =
                 Simulation::with_network(opts.seed, experiment_network());
             sim.set_disk_latency(opts.disk_latency);
+            sim.set_eager_wakes(opts.eager_wakes);
             let replicas: Vec<NodeId> = (0..n).map(|_| sim.reserve_node()).collect();
             let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
             let dir = Directory::new(replicas.clone(), clients.clone());
@@ -334,6 +350,7 @@ pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandl
             let mut sim: Simulation<SmartMessage> =
                 Simulation::with_network(opts.seed, experiment_network());
             sim.set_disk_latency(opts.disk_latency);
+            sim.set_eager_wakes(opts.eager_wakes);
             let replicas: Vec<NodeId> = (0..n).map(|_| sim.reserve_node()).collect();
             let clients: Vec<NodeId> = (0..opts.clients).map(|_| sim.reserve_node()).collect();
             let dir = Directory::new(replicas.clone(), clients.clone());
@@ -637,6 +654,17 @@ impl ClusterHandles {
             ClusterSim::Idem(sim) => sim.event_stats(),
             ClusterSim::Paxos(sim) => sim.event_stats(),
             ClusterSim::Smart(sim) => sim.event_stats(),
+        }
+    }
+
+    /// Per-node backlog-drain profiles, indexed like the simulator's nodes
+    /// (replicas first, then clients). Shows how much work each drain pass
+    /// batched — the run-to-completion scheduler's effectiveness measure.
+    pub fn drain_profiles(&self) -> Vec<idem_simnet::DrainProfile> {
+        match &self.sim {
+            ClusterSim::Idem(sim) => sim.drain_profiles().to_vec(),
+            ClusterSim::Paxos(sim) => sim.drain_profiles().to_vec(),
+            ClusterSim::Smart(sim) => sim.drain_profiles().to_vec(),
         }
     }
 }

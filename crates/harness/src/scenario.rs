@@ -99,6 +99,7 @@ impl Scenario {
             bin_width: self.bin_width,
             ops_per_client: None,
             record_exec_log: false,
+            expected_duration: Some(self.warmup + self.duration),
             ..ClusterOptions::default()
         }
     }
@@ -151,6 +152,7 @@ impl Scenario {
         let order_violations = cluster
             .recorder
             .with(crate::recorder::Recorder::order_violations);
+        let drain_profiles = cluster.drain_profiles();
         RunResult {
             name: self.protocol.name(),
             clients: self.clients,
@@ -166,6 +168,7 @@ impl Scenario {
             event_stats: cluster.event_stats(),
             idem_stats,
             order_violations,
+            drain_profiles,
         }
     }
 }
@@ -204,6 +207,9 @@ pub struct RunResult {
     /// Per-client session-order violations (always 0 for a correct
     /// protocol; see [`Recorder::order_violations`](crate::recorder::Recorder::order_violations)).
     pub order_violations: u64,
+    /// Per-node backlog drain-length profiles, indexed by simnet node id
+    /// (replicas first, then clients). See [`idem_simnet::DrainProfile`].
+    pub drain_profiles: Vec<idem_simnet::DrainProfile>,
 }
 
 impl RunResult {

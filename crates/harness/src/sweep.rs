@@ -115,6 +115,7 @@ pub struct SweepRunner {
     delivers: AtomicU64,
     timers: AtomicU64,
     wakes: AtomicU64,
+    inline_wakes: AtomicU64,
     crashes: AtomicU64,
     high_water: AtomicU64,
 }
@@ -136,6 +137,7 @@ impl SweepRunner {
             delivers: AtomicU64::new(0),
             timers: AtomicU64::new(0),
             wakes: AtomicU64::new(0),
+            inline_wakes: AtomicU64::new(0),
             crashes: AtomicU64::new(0),
             high_water: AtomicU64::new(0),
         }
@@ -281,6 +283,8 @@ impl SweepRunner {
         self.delivers.fetch_add(stats.delivers, Ordering::Relaxed);
         self.timers.fetch_add(stats.timers, Ordering::Relaxed);
         self.wakes.fetch_add(stats.wakes, Ordering::Relaxed);
+        self.inline_wakes
+            .fetch_add(stats.inline_wakes, Ordering::Relaxed);
         self.crashes.fetch_add(stats.crashes, Ordering::Relaxed);
         self.high_water
             .fetch_max(stats.queue_high_water, Ordering::Relaxed);
@@ -314,6 +318,7 @@ impl SweepRunner {
                 delivers: self.delivers.swap(0, Ordering::Relaxed),
                 timers: self.timers.swap(0, Ordering::Relaxed),
                 wakes: self.wakes.swap(0, Ordering::Relaxed),
+                inline_wakes: self.inline_wakes.swap(0, Ordering::Relaxed),
                 crashes: self.crashes.swap(0, Ordering::Relaxed),
                 queue_high_water: self.high_water.swap(0, Ordering::Relaxed),
             },

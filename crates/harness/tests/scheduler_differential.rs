@@ -1,0 +1,121 @@
+//! Differential test for the run-to-completion node scheduler at the
+//! harness level: a saturated 3-replica IDEM cluster is run twice from the
+//! same seed — once under the eager-wakes reference scheduler (one Wake
+//! event per backlog item, the pre-optimization behaviour) and once under
+//! the default lazy scheduler (backlog drained to the earliest-pending-
+//! event horizon, no Wake events) — and every observable output must be
+//! identical: run metrics, time series, rendered CSV bytes, replica
+//! application digests, traffic, and deliver/timer dispatch counts.
+
+use std::time::Duration;
+
+use idem_harness::cluster::{build_cluster, ClusterOptions};
+use idem_harness::report::render_csv;
+use idem_harness::{Protocol, RunMetrics};
+use idem_metrics::TimeBin;
+use idem_simnet::{EventStats, SimTime};
+
+const WARMUP: Duration = Duration::from_millis(250);
+const DURATION: Duration = Duration::from_secs(1);
+/// The paper's saturation point: 50 closed-loop clients (load factor 1x).
+const CLIENTS: u32 = 50;
+
+struct Observation {
+    metrics: RunMetrics,
+    reply_series: Vec<(Duration, TimeBin)>,
+    reject_series: Vec<(Duration, TimeBin)>,
+    reply_csv: String,
+    digests: Vec<u64>,
+    client_traffic: u64,
+    replica_traffic: u64,
+    total_messages: u64,
+    stats: EventStats,
+}
+
+fn run_mode(eager_wakes: bool) -> Observation {
+    let protocol = Protocol::idem();
+    let replicas = protocol.replica_count() as usize;
+    let opts = ClusterOptions {
+        clients: CLIENTS,
+        seed: 7,
+        warmup: WARMUP,
+        bin_width: Duration::from_millis(250),
+        eager_wakes,
+        expected_duration: Some(WARMUP + DURATION),
+        ..ClusterOptions::default()
+    };
+    let mut cluster = build_cluster(&protocol, &opts);
+    cluster.run_for(WARMUP + DURATION);
+    let measured = cluster.now().saturating_since(SimTime::ZERO + WARMUP);
+    let metrics = cluster.recorder.with(|r| r.metrics(measured));
+    let reply_series: Vec<(Duration, TimeBin)> =
+        cluster.recorder.with(|r| r.reply_series().iter().collect());
+    let reject_series: Vec<(Duration, TimeBin)> = cluster
+        .recorder
+        .with(|r| r.reject_series().iter().collect());
+    // Render the reply series exactly the way experiment CSVs are written,
+    // so the comparison covers the bytes that land in `results/`.
+    let rows: Vec<Vec<String>> = reply_series
+        .iter()
+        .map(|(t, bin)| {
+            vec![
+                format!("{:.3}", t.as_secs_f64()),
+                bin.count.to_string(),
+                bin.sum.to_string(),
+            ]
+        })
+        .collect();
+    let reply_csv = render_csv(&["bin_start_s", "count", "latency_sum_ns"], &rows);
+    Observation {
+        metrics,
+        reply_series,
+        reject_series,
+        reply_csv,
+        digests: (0..replicas).map(|i| cluster.app_digest(i)).collect(),
+        client_traffic: cluster.client_traffic_bytes(),
+        replica_traffic: cluster.replica_traffic_bytes(),
+        total_messages: cluster.total_messages(),
+        stats: cluster.event_stats(),
+    }
+}
+
+#[test]
+fn saturated_idem_run_is_identical_under_both_schedulers() {
+    let eager = run_mode(true);
+    let lazy = run_mode(false);
+
+    assert_eq!(eager.metrics, lazy.metrics);
+    assert_eq!(eager.reply_series, lazy.reply_series);
+    assert_eq!(eager.reject_series, lazy.reject_series);
+    assert_eq!(
+        eager.reply_csv, lazy.reply_csv,
+        "rendered CSV must be byte-identical"
+    );
+    assert_eq!(eager.digests, lazy.digests);
+    assert_eq!(eager.client_traffic, lazy.client_traffic);
+    assert_eq!(eager.replica_traffic, lazy.replica_traffic);
+    assert_eq!(eager.total_messages, lazy.total_messages);
+    assert_eq!(eager.stats.delivers, lazy.stats.delivers);
+    assert_eq!(eager.stats.timers, lazy.stats.timers);
+    assert_eq!(eager.stats.crashes, lazy.stats.crashes);
+
+    // The run must actually be saturated enough to exercise backlog
+    // draining, and the lazy scheduler must remove (nearly) all Wake
+    // events — the issue's bar is an >= 80% reduction; the design goal
+    // is zero.
+    assert!(eager.metrics.successes > 1_000, "run not saturated");
+    assert!(eager.stats.wakes > 0, "reference mode must schedule wakes");
+    assert!(
+        lazy.stats.wakes <= eager.stats.wakes / 5,
+        "lazy wakes {} not reduced >= 80% vs eager {}",
+        lazy.stats.wakes,
+        eager.stats.wakes
+    );
+    // Every eager Wake is accounted for: either elided entirely or
+    // handled inline during a drain.
+    assert_eq!(
+        eager.stats.wakes,
+        lazy.stats.wakes + lazy.stats.inline_wakes,
+        "wake accounting must balance between modes"
+    );
+}

@@ -42,6 +42,11 @@ pub struct KvStore {
     per_byte_cost: Duration,
     writes: u64,
     reads: u64,
+    /// Total length of all stored values, maintained incrementally so
+    /// [`snapshot_len`](StateMachine::snapshot_len) is O(1) — replicas call
+    /// it on every periodic checkpoint to price serialization without
+    /// performing it.
+    value_bytes: usize,
 }
 
 impl KvStore {
@@ -59,6 +64,7 @@ impl KvStore {
             per_byte_cost: per_byte,
             writes: 0,
             reads: 0,
+            value_bytes: 0,
         }
     }
 
@@ -126,12 +132,16 @@ impl StateMachine for KvStore {
             }
             Ok(Command::Update { key, value }) => {
                 self.writes += 1;
-                self.map.insert(key, value);
+                self.value_bytes += value.len();
+                if let Some(old) = self.map.insert(key, value) {
+                    self.value_bytes -= old.len();
+                }
                 vec![STATUS_OK]
             }
             Ok(Command::Delete { key }) => {
                 self.writes += 1;
-                if self.map.remove(&key).is_some() {
+                if let Some(old) = self.map.remove(&key) {
+                    self.value_bytes -= old.len();
                     vec![STATUS_OK]
                 } else {
                     vec![STATUS_NOT_FOUND]
@@ -157,18 +167,25 @@ impl StateMachine for KvStore {
 
     fn snapshot(&self) -> Vec<u8> {
         // [n: u64][key: u64, len: u32, bytes]* — deterministic by BTreeMap order.
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.snapshot_len());
         out.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
         for (k, v) in &self.map {
             out.extend_from_slice(&k.to_le_bytes());
             out.extend_from_slice(&(v.len() as u32).to_le_bytes());
             out.extend_from_slice(v);
         }
+        debug_assert_eq!(out.len(), self.snapshot_len());
         out
+    }
+
+    fn snapshot_len(&self) -> usize {
+        // Header + per-entry framing + the incrementally tracked value bytes.
+        8 + 12 * self.map.len() + self.value_bytes
     }
 
     fn restore(&mut self, snapshot: &[u8]) {
         self.map.clear();
+        self.value_bytes = 0;
         let mut pos = 0usize;
         let n = u64::from_le_bytes(snapshot[pos..pos + 8].try_into().expect("length prefix"));
         pos += 8;
@@ -177,6 +194,7 @@ impl StateMachine for KvStore {
             pos += 8;
             let len = u32::from_le_bytes(snapshot[pos..pos + 4].try_into().expect("len")) as usize;
             pos += 4;
+            self.value_bytes += len;
             self.map.insert(k, snapshot[pos..pos + len].to_vec());
             pos += len;
         }

@@ -164,6 +164,61 @@ impl Histogram {
         self.max
     }
 
+    /// Resolves several percentiles in a single pass over the buckets.
+    ///
+    /// Returns one value per entry of `ps`, each numerically identical to
+    /// what [`percentile`](Self::percentile) returns for that entry — this
+    /// exists so metric summaries asking for many quantiles (p50, p99, …)
+    /// scan the bucket array once instead of once per quantile.
+    ///
+    /// # Example
+    /// ```
+    /// use idem_metrics::Histogram;
+    /// let mut h = Histogram::new();
+    /// for v in 1..=100u64 {
+    ///     h.record(v * 1000);
+    /// }
+    /// let both = h.percentiles(&[50.0, 99.0]);
+    /// assert_eq!(both, vec![h.percentile(50.0), h.percentile(99.0)]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if any entry is not within `0.0 ..= 100.0`.
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<u64> {
+        for &p in ps {
+            assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+        }
+        let mut out = vec![0u64; ps.len()];
+        if self.count == 0 {
+            return out;
+        }
+        // Same target rank as `percentile`, resolved in ascending order so
+        // one scan covers every requested quantile.
+        let targets: Vec<u64> = ps
+            .iter()
+            .map(|&p| ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64)
+            .collect();
+        let mut order: Vec<usize> = (0..ps.len()).collect();
+        order.sort_by_key(|&k| targets[k]);
+        let mut next = 0usize;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if next == order.len() {
+                break;
+            }
+            seen += u64::from(c);
+            while next < order.len() && seen >= targets[order[next]] {
+                // Clamp to true extrema so p0/p100 are exact.
+                out[order[next]] = Self::bucket_value(i).clamp(self.min, self.max);
+                next += 1;
+            }
+        }
+        for &k in &order[next..] {
+            out[k] = self.max;
+        }
+        out
+    }
+
     /// Merges another histogram into this one.
     ///
     /// # Example
@@ -321,5 +376,32 @@ mod tests {
     #[should_panic(expected = "percentile must be in 0..=100")]
     fn out_of_range_percentile_panics() {
         Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn percentiles_match_repeated_percentile_exactly() {
+        let mut h = Histogram::new();
+        let mut x = 7u64;
+        for i in 0..5000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            h.record(x % 50_000_000);
+        }
+        // Deliberately unsorted, with duplicates and the extremes.
+        let ps = [99.0, 0.0, 50.0, 100.0, 99.0, 12.5, 90.0];
+        let batch = h.percentiles(&ps);
+        for (&p, &got) in ps.iter().zip(&batch) {
+            assert_eq!(got, h.percentile(p), "p{p} diverged");
+        }
+    }
+
+    #[test]
+    fn percentiles_on_empty_histogram_are_zero() {
+        assert_eq!(Histogram::new().percentiles(&[50.0, 99.0]), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in 0..=100")]
+    fn out_of_range_batch_percentile_panics() {
+        let _ = Histogram::new().percentiles(&[50.0, 101.0]);
     }
 }

@@ -70,6 +70,15 @@ impl TimeSeries {
         self.bin_width
     }
 
+    /// Reserves capacity for all bins up to `horizon`, so a series whose
+    /// run length is known up front never reallocates while recording.
+    /// Capacity only: allocated length, [`len`](Self::len) and iteration
+    /// are unaffected.
+    pub fn reserve_for(&mut self, horizon: Duration) {
+        let bins = (horizon.as_nanos() / self.bin_width.as_nanos()).saturating_add(1) as usize;
+        self.bins.reserve(bins.saturating_sub(self.bins.len()));
+    }
+
     /// Records an event at `timestamp_ns` carrying `value` (e.g. the
     /// request latency in nanoseconds).
     pub fn record(&mut self, timestamp_ns: u64, value: u64) {
@@ -181,5 +190,20 @@ mod tests {
     #[should_panic(expected = "bin width must be positive")]
     fn zero_bin_width_rejected() {
         let _ = TimeSeries::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn reserve_for_does_not_change_observable_state() {
+        let mut ts = TimeSeries::new(Duration::from_millis(250));
+        ts.record(100_000_000, 5);
+        ts.reserve_for(Duration::from_secs(60));
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.bin(0).count, 1);
+        assert!(ts.bins.capacity() >= 241);
+        let before = ts.bins.as_ptr();
+        for i in 0..240u64 {
+            ts.record(i * 250_000_000, 1);
+        }
+        assert_eq!(ts.bins.as_ptr(), before, "recording must not reallocate");
     }
 }

@@ -595,7 +595,7 @@ impl PaxosReplica {
                 .0
                 .is_multiple_of(self.cfg.checkpoint_interval)
             {
-                self.take_checkpoint(ctx);
+                self.take_checkpoint(ctx, false);
             }
             progressed = true;
         }
@@ -650,20 +650,30 @@ impl PaxosReplica {
         );
     }
 
-    fn take_checkpoint(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
-        let snapshot = self.app.snapshot();
-        ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
-        let clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)> = self
-            .last_executed
-            .iter()
-            .map(|(&cid, (op, reply))| (cid, *op, reply.clone()))
-            .collect();
-        self.checkpoint = Some((self.next_exec, snapshot, clients));
-        self.stats.checkpoints_taken += 1;
-        if self.wal.enabled() {
-            let cp = self.checkpoint.clone().expect("just taken");
-            self.persist_checkpoint(ctx, &cp);
+    /// Takes a checkpoint. With `materialize` false (the periodic path)
+    /// and no WAL, the snapshot bytes are never read by anyone — the only
+    /// consumers are the WAL and [`handle_checkpoint_request`]
+    /// (Self::handle_checkpoint_request), which re-takes a materialized
+    /// checkpoint first — so the replica charges the exact serialization
+    /// cost without serializing, leaving `self.checkpoint` untouched.
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, PaxosMessage>, materialize: bool) {
+        if materialize || self.wal.enabled() {
+            let snapshot = self.app.snapshot();
+            ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
+            let clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)> = self
+                .last_executed
+                .iter()
+                .map(|(&cid, (op, reply))| (cid, *op, reply.clone()))
+                .collect();
+            self.checkpoint = Some((self.next_exec, snapshot, clients));
+            if self.wal.enabled() {
+                let cp = self.checkpoint.clone().expect("just taken");
+                self.persist_checkpoint(ctx, &cp);
+            }
+        } else {
+            ctx.charge(self.cfg.message_cost.message_cost(self.app.snapshot_len()));
         }
+        self.stats.checkpoints_taken += 1;
         // GC: drop executed instances covered by the checkpoint.
         self.window.advance_to(self.next_exec);
         self.next_propose = self.next_propose.max(self.window.low());
@@ -673,7 +683,7 @@ impl PaxosReplica {
         // Answer with a fresh checkpoint: the periodic one can predate the
         // requester's own state, which would leave a lagging replica
         // permanently unable to catch up.
-        self.take_checkpoint(ctx);
+        self.take_checkpoint(ctx, true);
         if let Some((next_exec, snapshot, clients)) = self.checkpoint.clone() {
             ctx.send(
                 from,

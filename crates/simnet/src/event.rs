@@ -110,6 +110,14 @@ impl<M> EventQueue<M> {
         self.wheel.reserve(additional);
     }
 
+    /// The `(time, seq)` of the earliest pending event if it fires at or
+    /// before `limit`, without dequeuing it. `None` when the queue is
+    /// empty or its earliest event is past the limit.
+    pub fn next_event_before(&mut self, limit: SimTime) -> Option<(SimTime, u64)> {
+        let (time, seq) = self.wheel.peek_before(limit.as_nanos())?;
+        Some((SimTime::from_nanos(time), seq))
+    }
+
     /// Pops the earliest event if it fires at or before `limit`.
     pub fn pop_before(&mut self, limit: SimTime) -> Option<Event<M>> {
         let (time, seq, kind) = self.wheel.pop_before(limit.as_nanos())?;

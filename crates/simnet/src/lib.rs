@@ -84,7 +84,7 @@ pub mod wire;
 pub use disk::{Disk, DiskLatency};
 pub use net::{LinkSpec, Network};
 pub use node::{AsAny, Context, Node, NodeId, TimerId};
-pub use sim::{EventStats, Simulation};
+pub use sim::{DrainProfile, EventStats, Simulation, DRAIN_BUCKETS};
 pub use time::SimTime;
 pub use trace::{TraceBuffer, TraceEvent, TraceEventKind};
 pub use traffic::Traffic;

@@ -1,5 +1,7 @@
 //! The simulation runner.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,8 +28,18 @@ pub struct EventStats {
     pub delivers: u64,
     /// Timers that fired live (cancelled timers are not counted).
     pub timers: u64,
-    /// Backlog wake-ups dispatched.
+    /// Backlog wake-ups dispatched as events of the global timing-wheel
+    /// queue. Zero under run-to-completion scheduling (the default):
+    /// wake-ups either drain inline or travel through the dedicated wake
+    /// lane, never the wheel. Only the eager-wakes reference scheduler
+    /// (see [`Simulation::set_eager_wakes`]) still pushes them here.
     pub wakes: u64,
+    /// Backlog drains that skipped the timing wheel: run inline at their
+    /// reserved slot, or dispatched from the wake lane. Under the
+    /// eager-wakes reference scheduler each of these would have been a
+    /// `Wake` queue event, so `wakes + inline_wakes` is invariant across
+    /// the two schedulers.
+    pub inline_wakes: u64,
     /// Crash and recovery control events dispatched.
     pub crashes: u64,
     /// The largest number of events that were ever pending at once.
@@ -41,6 +53,7 @@ impl EventStats {
         self.delivers += other.delivers;
         self.timers += other.timers;
         self.wakes += other.wakes;
+        self.inline_wakes += other.inline_wakes;
         self.crashes += other.crashes;
         self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
     }
@@ -67,12 +80,104 @@ const MIN_QUEUE_CAPACITY: usize = 256;
 /// few in-flight messages/timers plus a wake-up pending.
 const QUEUE_CAPACITY_PER_NODE: usize = 8;
 
+/// Scheduling state of a node's backlog wake-up.
+///
+/// The moment a wake becomes necessary, the scheduler reserves its
+/// `(time, seq)` slot in the global order — consuming a seq from the same
+/// counter, at the same points, as the eager scheduler that pushed a real
+/// `Wake` event — but defers materializing a queue event. While the
+/// reserved slot precedes every pending queue event, the drain runs
+/// *inline* (run-to-completion); only when some other event would fire
+/// first, or the run limit intervenes, is a single real `Wake` pushed
+/// carrying the reserved seq. Keeping the seq stream identical either way
+/// is what keeps `(time, seq)` tie-breaks — and hence dispatch order and
+/// RNG draws — byte-identical to the eager scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WakeState {
+    /// No drain is pending.
+    Idle,
+    /// A drain is due at `at` with reserved global-order slot `seq`, but
+    /// no queue event exists yet. Only exists transiently within a
+    /// dispatch: [`Simulation::settle_wake`] always resolves it to `Idle`
+    /// (ran inline) or `Queued` before control returns to the event loop.
+    Armed { at: SimTime, seq: u64 },
+    /// The wake was materialized, carrying the reserved seq: it sits in
+    /// the wake lane (default scheduler) or in the global event queue
+    /// (eager-wakes reference scheduler).
+    Queued,
+}
+
+/// Number of log2 buckets in a [`DrainProfile`]: bucket `i` counts drains
+/// of `2^(i-1) < len ≤ 2^i - 1`-ish granularity (precisely: `len` with
+/// `i` significant bits), and the last bucket absorbs everything deeper.
+pub const DRAIN_BUCKETS: usize = 18;
+
+/// Per-node profile of backlog drains, collected for free on the hot path
+/// and surfaced so profiling runs (`profcell`) can verify that
+/// run-to-completion scheduling actually batches work: under saturation
+/// the bulk of processed items should come from long drains, not from
+/// one-item wake-ups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainProfile {
+    /// Backlog drain passes (queue-dispatched and inline alike).
+    pub drains: u64,
+    /// Total backlog items processed across all drains.
+    pub items: u64,
+    /// Deepest single drain.
+    pub max: u64,
+    /// Log2 histogram of drain lengths: index = number of significant
+    /// bits of the length (0 = empty drain, 1 = one item, 2 = 2–3 items,
+    /// 3 = 4–7, ...), saturating at the last bucket.
+    pub buckets: [u64; DRAIN_BUCKETS],
+}
+
+impl Default for DrainProfile {
+    fn default() -> DrainProfile {
+        DrainProfile {
+            drains: 0,
+            items: 0,
+            max: 0,
+            buckets: [0; DRAIN_BUCKETS],
+        }
+    }
+}
+
+impl DrainProfile {
+    fn record(&mut self, len: u64) {
+        self.drains += 1;
+        self.items += len;
+        self.max = self.max.max(len);
+        let bucket = (u64::BITS - len.leading_zeros()) as usize;
+        self.buckets[bucket.min(DRAIN_BUCKETS - 1)] += 1;
+    }
+
+    /// Inclusive `(lo, hi)` drain-length range covered by `bucket`.
+    pub fn bucket_range(bucket: usize) -> (u64, u64) {
+        match bucket {
+            0 => (0, 0),
+            _ if bucket >= DRAIN_BUCKETS - 1 => (1 << (DRAIN_BUCKETS - 2), u64::MAX),
+            _ => (1 << (bucket - 1), (1 << bucket) - 1),
+        }
+    }
+
+    /// Accumulates another node's profile into this one (counters add,
+    /// `max` takes the max).
+    pub fn merge(&mut self, other: &DrainProfile) {
+        self.drains += other.drains;
+        self.items += other.items;
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
 #[derive(Debug)]
 struct NodeState<M> {
     busy_until: SimTime,
     crashed: bool,
     backlog: std::collections::VecDeque<Deferred<M>>,
-    wake_scheduled: bool,
+    wake: WakeState,
     /// Multiplier applied to every [`Context::charge`] on this node: 1.0 is
     /// nominal speed, 4.0 models a 4× slower (degraded) CPU.
     cpu_factor: f64,
@@ -88,7 +193,7 @@ impl<M> Default for NodeState<M> {
             busy_until: SimTime::ZERO,
             crashed: false,
             backlog: std::collections::VecDeque::with_capacity(BACKLOG_CAPACITY),
-            wake_scheduled: false,
+            wake: WakeState::Idle,
             cpu_factor: 1.0,
             epoch: 0,
         }
@@ -108,6 +213,7 @@ pub struct Core<M> {
     timers: TimerTable<M>,
     events_processed: u64,
     stats: EventStats,
+    drain_profiles: Vec<DrainProfile>,
     trace: Option<TraceBuffer>,
     disks: Vec<Disk>,
     disk_latency: DiskLatency,
@@ -275,6 +381,22 @@ pub struct Simulation<M> {
     /// the node cannot be wiped.
     factories: Vec<Option<NodeFactory<M>>>,
     started: bool,
+    /// Materialized wake-ups, kept out of the timing wheel: a tiny
+    /// min-heap over `(time, seq, node)`, merged with the global queue in
+    /// `(time, seq)` order by the run loop. Its population is bounded by
+    /// the number of simultaneously backlogged nodes, so its heap ops are
+    /// effectively O(1) — under saturation this is what spares the wheel
+    /// millions of per-message wake round-trips.
+    wake_lane: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// High-water mark of the *combined* pending-event population
+    /// (queue + wake lane), sampled at wake-lane pushes; the queue tracks
+    /// its own lane internally.
+    wake_high_water: usize,
+    /// When set, every reserved wake slot is immediately materialized as a
+    /// global queue event instead of using the wake lane or draining
+    /// inline — the pre-run-to-completion reference scheduler. See
+    /// [`set_eager_wakes`](Self::set_eager_wakes).
+    eager_wakes: bool,
 }
 
 impl<M: Wire + 'static> Simulation<M> {
@@ -298,6 +420,7 @@ impl<M: Wire + 'static> Simulation<M> {
                 timers: TimerTable::new(),
                 events_processed: 0,
                 stats: EventStats::default(),
+                drain_profiles: Vec::new(),
                 trace: None,
                 disks: Vec::new(),
                 disk_latency: DiskLatency::default(),
@@ -305,6 +428,9 @@ impl<M: Wire + 'static> Simulation<M> {
             nodes: Vec::new(),
             factories: Vec::new(),
             started: false,
+            wake_lane: BinaryHeap::new(),
+            wake_high_water: 0,
+            eager_wakes: false,
         }
     }
 
@@ -326,6 +452,7 @@ impl<M: Wire + 'static> Simulation<M> {
         self.nodes.push(None);
         self.factories.push(None);
         self.core.states.push(NodeState::default());
+        self.core.drain_profiles.push(DrainProfile::default());
         self.core.disks.push(Disk::new());
         id
     }
@@ -375,8 +502,31 @@ impl<M: Wire + 'static> Simulation<M> {
     /// equals `limit`.
     pub fn run_until(&mut self, limit: SimTime) {
         self.ensure_started();
-        while let Some(ev) = self.core.queue.pop_before(limit) {
-            self.dispatch(ev);
+        loop {
+            // Merge the wake lane with the global queue in (time, seq)
+            // order. The common case — no materialized wake pending —
+            // falls straight through to a plain queue pop.
+            if let Some(&Reverse((wt, ws, nid))) = self.wake_lane.peek() {
+                // Peek no further than the wake: anything later loses the
+                // comparison anyway, and a bounded peek keeps the wheel's
+                // horizon from racing ahead of far-future timers.
+                let queue_first = match self.core.queue.next_event_before(wt) {
+                    Some((qt, qs)) => (qt, qs) < (wt, ws),
+                    None => false,
+                };
+                if !queue_first {
+                    if wt > limit {
+                        break;
+                    }
+                    self.wake_lane.pop();
+                    self.dispatch_lane_wake(NodeId(nid), wt, limit);
+                    continue;
+                }
+            }
+            match self.core.queue.pop_before(limit) {
+                Some(ev) => self.dispatch(ev, limit),
+                None => break,
+            }
         }
         self.core.now = self.core.now.max(limit);
     }
@@ -388,12 +538,26 @@ impl<M: Wire + 'static> Simulation<M> {
     }
 
     /// Processes the single earliest pending event, if any. Returns whether
-    /// an event was processed. Useful for fine-grained tests.
+    /// an event was processed. Useful for fine-grained tests. A step may
+    /// additionally drain backlog work the event unlocked — exactly the
+    /// items that would have run before the next queued event anyway.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        match self.core.queue.pop_before(SimTime::from_nanos(u64::MAX)) {
+        let limit = SimTime::from_nanos(u64::MAX);
+        if let Some(&Reverse((wt, ws, nid))) = self.wake_lane.peek() {
+            let queue_first = match self.core.queue.next_event_before(wt) {
+                Some((qt, qs)) => (qt, qs) < (wt, ws),
+                None => false,
+            };
+            if !queue_first {
+                self.wake_lane.pop();
+                self.dispatch_lane_wake(NodeId(nid), wt, limit);
+                return true;
+            }
+        }
+        match self.core.queue.pop_before(limit) {
             Some(ev) => {
-                self.dispatch(ev);
+                self.dispatch(ev, limit);
                 true
             }
             None => false,
@@ -430,8 +594,11 @@ impl<M: Wire + 'static> Simulation<M> {
     }
 
     /// Hands `work` to `nid`: runs it immediately if the node's processor
-    /// is free, otherwise appends it to the node's FIFO backlog and makes
-    /// sure a wake-up is scheduled.
+    /// is free, otherwise appends it to the node's FIFO backlog and
+    /// reserves a wake-up slot. The caller must follow up with
+    /// [`settle_wake`](Self::settle_wake) before returning to the event
+    /// loop, so the reserved slot is either drained inline or materialized
+    /// as a queue event.
     fn offer(&mut self, nid: NodeId, work: Deferred<M>, at: SimTime) {
         let state = &mut self.core.states[nid.index()];
         if state.crashed {
@@ -442,15 +609,10 @@ impl<M: Wire + 'static> Simulation<M> {
         }
         if state.busy_until > at || !state.backlog.is_empty() {
             state.backlog.push_back(work);
-            if !state.wake_scheduled {
-                state.wake_scheduled = true;
+            if state.wake == WakeState::Idle {
                 let wake_at = state.busy_until.max(at);
                 let seq = self.core.next_seq();
-                self.core.queue.push(Event {
-                    time: wake_at,
-                    seq,
-                    kind: EventKind::Wake { node: nid },
-                });
+                self.core.states[nid.index()].wake = WakeState::Armed { at: wake_at, seq };
             }
             return;
         }
@@ -459,9 +621,10 @@ impl<M: Wire + 'static> Simulation<M> {
     }
 
     /// Drains as much of `nid`'s backlog as fits before the processor goes
-    /// busy again, then re-arms the wake-up if work remains.
+    /// busy again, then reserves a fresh wake-up slot if work remains.
     fn drain_backlog(&mut self, nid: NodeId, at: SimTime) {
-        self.core.states[nid.index()].wake_scheduled = false;
+        self.core.states[nid.index()].wake = WakeState::Idle;
+        let mut drained: u64 = 0;
         loop {
             let state = &mut self.core.states[nid.index()];
             if state.crashed {
@@ -472,32 +635,88 @@ impl<M: Wire + 'static> Simulation<M> {
                 break;
             }
             let Some(work) = state.backlog.pop_front() else {
+                self.core.drain_profiles[nid.index()].record(drained);
                 return;
             };
+            drained += 1;
             self.core.now = at;
             self.process(nid, work);
         }
+        self.core.drain_profiles[nid.index()].record(drained);
         // Work remains but the processor is busy: wake again when free.
         let state = &mut self.core.states[nid.index()];
-        if !state.backlog.is_empty() && !state.wake_scheduled {
-            state.wake_scheduled = true;
+        if !state.backlog.is_empty() && state.wake == WakeState::Idle {
             let wake_at = state.busy_until;
             let seq = self.core.next_seq();
-            self.core.queue.push(Event {
-                time: wake_at,
-                seq,
-                kind: EventKind::Wake { node: nid },
-            });
+            self.core.states[nid.index()].wake = WakeState::Armed { at: wake_at, seq };
         }
     }
 
-    fn dispatch(&mut self, ev: Event<M>) {
+    /// Resolves `nid`'s reserved wake slot before control returns to the
+    /// event loop: as long as the slot's `(time, seq)` strictly precedes
+    /// every other pending event — queued or in the wake lane — and does
+    /// not overrun `limit`, the drain runs inline, at exactly the point in
+    /// the global order where the eager scheduler would have popped the
+    /// corresponding `Wake` event. Otherwise the wake is materialized into
+    /// the wake lane (never the timing wheel), carrying the reserved seq
+    /// so later tie-breaks are unchanged. Each inline drain may reserve a
+    /// fresh slot, hence the loop: under saturation a node runs to
+    /// completion against the horizon with no queue round-trips at all.
+    fn settle_wake(&mut self, nid: NodeId, limit: SimTime) {
+        while let WakeState::Armed { at, seq } = self.core.states[nid.index()].wake {
+            if self.eager_wakes {
+                self.core.states[nid.index()].wake = WakeState::Queued;
+                self.core.queue.push(Event {
+                    time: at,
+                    seq,
+                    kind: EventKind::Wake { node: nid },
+                });
+                return;
+            }
+            let lane_first = match self.wake_lane.peek() {
+                Some(&Reverse((wt, ws, _))) => (wt, ws) < (at, seq),
+                None => false,
+            };
+            // Bounded peek: an event after `at` can't beat the wake, and
+            // peeking past it would drag the wheel's horizon up to distant
+            // timers, degenerating the wheel into a plain binary heap.
+            let queue_first = match self.core.queue.next_event_before(at) {
+                Some((t, s)) => (t, s) < (at, seq),
+                None => false,
+            };
+            if lane_first || queue_first || at > limit {
+                self.core.states[nid.index()].wake = WakeState::Queued;
+                self.wake_lane.push(Reverse((at, seq, nid.0)));
+                let pending = self.core.queue.len() + self.wake_lane.len();
+                self.wake_high_water = self.wake_high_water.max(pending);
+                return;
+            }
+            self.core.stats.inline_wakes += 1;
+            self.core.now = at;
+            self.drain_backlog(nid, at);
+        }
+    }
+
+    /// Dispatches a wake-up popped from the wake lane — the lazy
+    /// scheduler's equivalent of an `EventKind::Wake` queue event,
+    /// counted under [`EventStats::inline_wakes`] because it never
+    /// travelled through the timing wheel.
+    fn dispatch_lane_wake(&mut self, nid: NodeId, at: SimTime, limit: SimTime) {
+        debug_assert!(at >= self.core.now, "time must not move backwards");
+        self.core.now = at;
+        self.core.stats.inline_wakes += 1;
+        self.drain_backlog(nid, at);
+        self.settle_wake(nid, limit);
+    }
+
+    fn dispatch(&mut self, ev: Event<M>, limit: SimTime) {
         debug_assert!(ev.time >= self.core.now, "time must not move backwards");
         self.core.now = ev.time;
         match ev.kind {
             EventKind::Deliver { to, from, msg } => {
                 self.core.stats.delivers += 1;
                 self.offer(to, Deferred::Msg { from, msg }, ev.time);
+                self.settle_wake(to, limit);
             }
             EventKind::Timer {
                 node: nid,
@@ -518,6 +737,7 @@ impl<M: Wire + 'static> Simulation<M> {
                 }
                 self.core.stats.timers += 1;
                 self.offer(nid, Deferred::Timer { id, msg }, ev.time);
+                self.settle_wake(nid, limit);
             }
             EventKind::Crash { node: nid } => {
                 self.core.stats.crashes += 1;
@@ -540,6 +760,7 @@ impl<M: Wire + 'static> Simulation<M> {
             EventKind::Wake { node: nid } => {
                 self.core.stats.wakes += 1;
                 self.drain_backlog(nid, ev.time);
+                self.settle_wake(nid, limit);
             }
         }
     }
@@ -556,7 +777,10 @@ impl<M: Wire + 'static> Simulation<M> {
         }
         state.crashed = false;
         state.busy_until = self.core.now;
-        state.wake_scheduled = false;
+        // A wake the old incarnation left in the queue becomes stale; its
+        // eventual pop drains an empty backlog harmlessly, just as under
+        // the eager scheduler.
+        state.wake = WakeState::Idle;
         self.core.clear_backlog(nid);
         if let Some(trace) = &mut self.core.trace {
             trace.push(self.core.now, TraceEventKind::Recover { node: nid });
@@ -641,7 +865,7 @@ impl<M: Wire + 'static> Simulation<M> {
         let state = &mut self.core.states[node.index()];
         state.crashed = false;
         state.busy_until = self.core.now;
-        state.wake_scheduled = false;
+        state.wake = WakeState::Idle;
         state.epoch += 1;
         if truncate_to_synced {
             self.core.disks[node.index()].truncate_to_synced();
@@ -703,9 +927,10 @@ impl<M: Wire + 'static> Simulation<M> {
         self.core.events_processed
     }
 
-    /// Number of events still pending in the queue.
+    /// Number of events still pending (global queue plus materialized
+    /// wake-ups in the wake lane).
     pub fn pending_events(&self) -> usize {
-        self.core.queue.len()
+        self.core.queue.len() + self.wake_lane.len()
     }
 
     /// Number of timers currently armed (including fired-but-unprocessed
@@ -718,9 +943,32 @@ impl<M: Wire + 'static> Simulation<M> {
     /// mark so far.
     pub fn event_stats(&self) -> EventStats {
         EventStats {
-            queue_high_water: self.core.queue.high_water() as u64,
+            queue_high_water: self.core.queue.high_water().max(self.wake_high_water) as u64,
             ..self.core.stats
         }
+    }
+
+    /// Switches to the eager-wakes reference scheduler: every reserved
+    /// backlog wake-up is materialized as a queue event immediately, never
+    /// drained inline — the exact pre-run-to-completion behaviour.
+    ///
+    /// Both schedulers consume seqs from the same counter at the same
+    /// points, so dispatch order, RNG draws, node states, traces, and
+    /// traffic are identical between the two; only the `wakes` vs
+    /// [`inline_wakes`](EventStats::inline_wakes) split (and throughput)
+    /// differs. Kept as the oracle for differential scheduler tests.
+    pub fn set_eager_wakes(&mut self, eager: bool) {
+        self.eager_wakes = eager;
+    }
+
+    /// The backlog drain profile of `node` so far.
+    pub fn drain_profile(&self, node: NodeId) -> &DrainProfile {
+        &self.core.drain_profiles[node.index()]
+    }
+
+    /// Per-node backlog drain profiles, indexed by node id.
+    pub fn drain_profiles(&self) -> &[DrainProfile] {
+        &self.core.drain_profiles
     }
 
     /// Read access to the traffic accounting.
@@ -1595,6 +1843,7 @@ mod tests {
         assert_eq!(stats.delivers, 11);
         assert_eq!(stats.timers, 0);
         assert_eq!(stats.wakes, 0);
+        assert_eq!(stats.inline_wakes, 0);
         assert_eq!(stats.crashes, 0);
         assert!(stats.queue_high_water >= 1);
 
@@ -1603,5 +1852,119 @@ mod tests {
         merged.merge(&stats);
         assert_eq!(merged.delivers, 22);
         assert_eq!(merged.queue_high_water, stats.queue_high_water);
+    }
+
+    /// Floods `n` messages at a 1 ms/message sink and returns the run's
+    /// stats plus the sink's drain profile.
+    fn saturate(n: u32, eager: bool) -> (EventStats, DrainProfile, u32) {
+        struct Flood {
+            peer: NodeId,
+            n: u32,
+        }
+        impl Node<Msg> for Flood {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                for _ in 0..self.n {
+                    ctx.send(self.peer, Msg::Ping(100));
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(10));
+        sim.set_eager_wakes(eager);
+        let echo = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::from_millis(1),
+        }));
+        sim.add_node(Box::new(Flood { peer: echo, n }));
+        sim.run_for(Duration::from_secs(60));
+        let received = sim.node_as::<Echo>(echo).unwrap().received;
+        (sim.event_stats(), *sim.drain_profile(echo), received)
+    }
+
+    #[test]
+    fn saturated_backlog_drains_without_queued_wakes() {
+        let (stats, profile, received) = saturate(500, false);
+        assert_eq!(received, 500);
+        // All 500 messages arrive at the same instant. The first wake is
+        // armed while the remaining deliveries still precede it, so it is
+        // materialized — into the wake lane, never the timing wheel; every
+        // drain after that runs inline against an empty horizon. No wake
+        // ever travels through the global queue.
+        assert_eq!(stats.wakes, 0);
+        assert_eq!(stats.inline_wakes, 499);
+        // Each inline drain frees exactly one 1 ms slot.
+        assert_eq!(profile.drains, 499);
+        assert_eq!(profile.items, 499);
+        assert_eq!(profile.max, 1);
+    }
+
+    #[test]
+    fn eager_and_lazy_schedulers_agree_on_everything_but_wakes() {
+        let (eager, _, received_eager) = saturate(300, true);
+        let (lazy, _, received_lazy) = saturate(300, false);
+        assert_eq!(received_eager, received_lazy);
+        assert_eq!(eager.delivers, lazy.delivers);
+        assert_eq!(eager.timers, lazy.timers);
+        assert_eq!(eager.crashes, lazy.crashes);
+        // Every wake the eager scheduler dispatched ran inline instead.
+        assert_eq!(eager.inline_wakes, 0);
+        assert_eq!(eager.wakes, lazy.wakes + lazy.inline_wakes);
+        assert!(lazy.wakes < eager.wakes / 5, "wakes must collapse");
+    }
+
+    #[test]
+    fn run_limit_materializes_pending_wake() {
+        // Flood a busy node, then stop the run mid-drain: the wake due
+        // past the limit must surface as a real queue event so a later
+        // run resumes exactly where the eager scheduler would.
+        struct Flood {
+            peer: NodeId,
+        }
+        impl Node<Msg> for Flood {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                for _ in 0..10 {
+                    ctx.send(self.peer, Msg::Ping(100));
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let mut sim: Simulation<Msg> = Simulation::with_network(1, fixed_net(10));
+        let echo = sim.add_node(Box::new(Echo {
+            received: 0,
+            charge: Duration::from_millis(1),
+        }));
+        sim.add_node(Box::new(Flood { peer: echo }));
+        // 10 µs delivery + 1 ms/message: ~3 messages fit before 3.5 ms.
+        sim.run_until(SimTime::from_nanos(3_500_000));
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 4);
+        assert_eq!(sim.pending_events(), 1, "one materialized wake pending");
+        sim.run_for(Duration::from_secs(60));
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 10);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn drain_profile_buckets_by_log2_length() {
+        let mut p = DrainProfile::default();
+        for len in [0u64, 1, 1, 2, 3, 4, 7, 8, 1 << 40] {
+            p.record(len);
+        }
+        assert_eq!(p.drains, 9);
+        assert_eq!(p.max, 1 << 40);
+        assert_eq!(p.buckets[0], 1); // len 0
+        assert_eq!(p.buckets[1], 2); // len 1
+        assert_eq!(p.buckets[2], 2); // len 2–3
+        assert_eq!(p.buckets[3], 2); // len 4–7
+        assert_eq!(p.buckets[4], 1); // len 8–15
+        assert_eq!(p.buckets[DRAIN_BUCKETS - 1], 1); // saturating tail
+        assert_eq!(DrainProfile::bucket_range(0), (0, 0));
+        assert_eq!(DrainProfile::bucket_range(1), (1, 1));
+        assert_eq!(DrainProfile::bucket_range(3), (4, 7));
+        let mut merged = DrainProfile::default();
+        merged.merge(&p);
+        merged.merge(&p);
+        assert_eq!(merged.drains, 18);
+        assert_eq!(merged.buckets[2], 4);
+        assert_eq!(merged.max, p.max);
     }
 }

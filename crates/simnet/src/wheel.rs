@@ -228,6 +228,46 @@ impl<T> TimingWheel<T> {
         }
     }
 
+    /// The `(time, seq)` of the earliest pending item if it is scheduled
+    /// at or before `limit`, without removing it — [`pop_before`]
+    /// (Self::pop_before) minus the pop.
+    ///
+    /// This is the look-ahead the run-to-completion scheduler is built on:
+    /// a node may keep draining its backlog as long as its next start slot
+    /// precedes every pending event in the global `(time, seq)` order.
+    /// Peeking may advance the horizon to surface the earliest slotted
+    /// item in the ready heap, but — like a pop — never past `limit`:
+    /// advancing further would park far-future pushes in the ready heap
+    /// and degenerate the wheel into a plain binary heap. Within the
+    /// limit, advancement is safe: late pushes at or before the horizon
+    /// still sort correctly (see the module docs), so a peek never
+    /// perturbs what subsequent pops return.
+    ///
+    /// # Example
+    /// ```
+    /// use idem_simnet::TimingWheel;
+    /// let mut w = TimingWheel::new();
+    /// w.push(2_000_000, 1, "later");
+    /// w.push(500, 2, "sooner");
+    /// assert_eq!(w.peek_before(u64::MAX), Some((500, 2)));
+    /// assert_eq!(w.pop_before(u64::MAX), Some((500, 2, "sooner")));
+    /// assert_eq!(w.peek_before(1_000_000), None); // beyond the limit
+    /// assert_eq!(w.peek_before(u64::MAX), Some((2_000_000, 1)));
+    /// ```
+    pub fn peek_before(&mut self, limit: u64) -> Option<(u64, u64)> {
+        loop {
+            if let Some(top) = self.ready.peek() {
+                if top.time > limit {
+                    return None;
+                }
+                return Some((top.time, top.seq));
+            }
+            if self.len == 0 || !self.advance(limit) {
+                return None;
+            }
+        }
+    }
+
     /// Reserves capacity in the ready heap, which bounds the only
     /// reallocation the hot path can hit.
     pub fn reserve(&mut self, additional: usize) {
@@ -460,6 +500,58 @@ mod tests {
         assert_eq!(w.pop_before(u64::MAX).unwrap().0, 200_000);
         assert_eq!(w.pop_before(u64::MAX).unwrap().0, 300_000);
         assert!(w.pop_before(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn peek_always_matches_next_pop() {
+        let mut w = TimingWheel::new();
+        assert_eq!(w.peek_before(u64::MAX), None);
+        // Times spanning several levels, scrambled, so peeking has to
+        // advance the horizon and cascade slots.
+        let times = [5u64, 1 << 12, (1 << 30) + 7, 1 << 9, (1 << 52) + 11, 3];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(t, i as u64, 0);
+        }
+        while !w.is_empty() {
+            let peeked = w.peek_before(u64::MAX).expect("non-empty wheel peeks");
+            assert_eq!(w.peek_before(u64::MAX), Some(peeked), "peek is idempotent");
+            let (t, s, _) = w.pop_before(u64::MAX).expect("non-empty wheel pops");
+            assert_eq!((t, s), peeked);
+        }
+        assert_eq!(w.peek_before(u64::MAX), None);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_limited_pops_or_late_pushes() {
+        let mut w = TimingWheel::new();
+        w.push(10_000_000, 1, 0);
+        // A peek bounded below the event refuses it, like a bounded pop...
+        assert_eq!(w.peek_before(9_999_999), None);
+        // ...and an unbounded peek advances the horizon to surface it...
+        assert_eq!(w.peek_before(u64::MAX), Some((10_000_000, 1)));
+        // ...but a pop with a smaller limit still refuses it.
+        assert_eq!(w.pop_before(9_999_999), None);
+        // A push behind the advanced horizon still sorts first.
+        w.push(2_000_000, 2, 0);
+        assert_eq!(w.peek_before(u64::MAX), Some((2_000_000, 2)));
+        assert_eq!(w.pop_before(u64::MAX), Some((2_000_000, 2, 0)));
+        assert_eq!(w.pop_before(u64::MAX), Some((10_000_000, 1, 0)));
+    }
+
+    #[test]
+    fn bounded_peek_does_not_advance_past_limit() {
+        let mut w = TimingWheel::new();
+        // One far-future event (a distant timer, in scheduler terms).
+        w.push(1 << 40, 1, 0);
+        assert_eq!(w.peek_before(1 << 20), None);
+        // Because the bounded peek left the horizon near the limit, a
+        // subsequent near-term push must land in wheel slots (not the
+        // ready heap) and pop first.
+        w.push(1 << 21, 2, 0);
+        assert_eq!(w.peek_before(u64::MAX), Some((1 << 21, 2)));
+        assert_eq!(w.pop_before(u64::MAX), Some((1 << 21, 2, 0)));
+        assert_eq!(w.pop_before(u64::MAX), Some((1 << 40, 1, 0)));
+        assert!(w.is_empty());
     }
 
     #[test]

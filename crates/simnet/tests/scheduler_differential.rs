@@ -1,0 +1,266 @@
+//! Differential test of the run-to-completion scheduler against the
+//! eager-wakes reference scheduler.
+//!
+//! The lazy scheduler ([`Simulation`]'s default) drains node backlogs
+//! inline against the queue horizon instead of materializing one `Wake`
+//! event per backlog item; `set_eager_wakes(true)` restores the old
+//! behaviour exactly. A stress scenario exercising every scheduler edge —
+//! deep backlogs, timers firing into busy nodes and being cancelled
+//! there, multicast fan-out, jittery and lossy links, crashes,
+//! recoveries, and amnesia wipes — must produce byte-identical traces and
+//! identical observable state under both schedulers, with only the
+//! `wakes` / `inline_wakes` split (and the queue high-water mark)
+//! allowed to differ.
+
+use std::time::Duration;
+
+use idem_simnet::{
+    Context, EventStats, LinkSpec, Network, Node, NodeId, SimTime, Simulation, TimerId, Wire,
+};
+
+#[derive(Clone, Debug)]
+enum Msg {
+    /// A unit of work costing `cost_us` µs, bounced `hops` more times.
+    Work {
+        cost_us: u32,
+        hops: u32,
+    },
+    /// Multicast burst marker.
+    Burst(u32),
+    Tick,
+}
+
+impl Wire for Msg {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// A worker that charges per message, occasionally bounces work onward
+/// (routed by its own RNG draws, so scheduler changes that perturbed RNG
+/// order would show up immediately), arms and cancels timers, and
+/// accumulates a digest of everything it observed.
+struct Worker {
+    peers: Vec<NodeId>,
+    digest: u64,
+    pending_timer: Option<TimerId>,
+    received: u64,
+}
+
+impl Worker {
+    fn observe(&mut self, tag: u64, at: SimTime) {
+        // Order-sensitive digest: any reordering of observations changes it.
+        self.digest = self
+            .digest
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(tag ^ at.as_nanos());
+    }
+}
+
+impl Node<Msg> for Worker {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        self.received += 1;
+        match msg {
+            Msg::Work { cost_us, hops } => {
+                self.observe(u64::from(cost_us) << 8 | u64::from(from.0), ctx.now());
+                ctx.charge(Duration::from_micros(u64::from(cost_us)));
+                if hops > 0 {
+                    use rand::Rng;
+                    let pick = ctx.rng().gen_range(0..self.peers.len());
+                    ctx.send(
+                        self.peers[pick],
+                        Msg::Work {
+                            cost_us,
+                            hops: hops - 1,
+                        },
+                    );
+                }
+                // Every third message toggles a timer: armed timers often
+                // fire into a busy node (landing in the backlog) and are
+                // sometimes cancelled while parked there.
+                if self.received.is_multiple_of(3) {
+                    match self.pending_timer.take() {
+                        Some(t) => ctx.cancel_timer(t),
+                        None => {
+                            self.pending_timer =
+                                Some(ctx.set_timer(Duration::from_micros(50), Msg::Tick));
+                        }
+                    }
+                }
+            }
+            Msg::Burst(n) => {
+                self.observe(u64::from(n), ctx.now());
+                ctx.charge(Duration::from_micros(20));
+            }
+            Msg::Tick => unreachable!("Tick only arrives via timers"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _id: TimerId, _msg: Msg) {
+        self.pending_timer = None;
+        self.observe(0x71C, ctx.now());
+        ctx.charge(Duration::from_micros(5));
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.observe(0x4EC, ctx.now());
+    }
+}
+
+/// Floods the workers with enough simultaneous work to keep them deeply
+/// backlogged, plus periodic multicast bursts.
+struct Driver {
+    workers: Vec<NodeId>,
+    rounds: u32,
+}
+
+impl Node<Msg> for Driver {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        for round in 0..self.rounds {
+            for &w in &self.workers {
+                ctx.send(
+                    w,
+                    Msg::Work {
+                        cost_us: 30 + (round % 7),
+                        hops: 3,
+                    },
+                );
+            }
+        }
+        ctx.set_timer(Duration::from_millis(2), Msg::Tick);
+    }
+
+    fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _id: TimerId, _msg: Msg) {
+        ctx.multicast(self.workers.iter().copied(), Msg::Burst(7));
+        ctx.set_timer(Duration::from_millis(2), Msg::Tick);
+    }
+}
+
+struct Observation {
+    trace: String,
+    digests: Vec<u64>,
+    received: Vec<u64>,
+    events_processed: u64,
+    pending_events: usize,
+    pending_timers: usize,
+    total_bytes: u64,
+    total_messages: u64,
+    now: SimTime,
+    stats: EventStats,
+}
+
+fn run(eager: bool) -> Observation {
+    // Jitter makes link delays RNG-dependent and loss drops a deterministic
+    // subset of sends — both would diverge under any dispatch reordering.
+    let link =
+        LinkSpec::new(Duration::from_micros(100), Duration::from_micros(40)).with_drop_prob(0.01);
+    let mut sim: Simulation<Msg> = Simulation::with_network(0xD1FF, Network::new(link));
+    sim.set_eager_wakes(eager);
+    sim.set_trace(1 << 16);
+
+    let workers: Vec<NodeId> = (0..4).map(|_| sim.reserve_node()).collect();
+    for &w in &workers {
+        sim.install_node(
+            w,
+            Box::new(Worker {
+                peers: workers.clone(),
+                digest: 0,
+                pending_timer: None,
+                received: 0,
+            }),
+        );
+        sim.set_node_factory(
+            w,
+            Box::new({
+                let peers = workers.clone();
+                move || {
+                    Box::new(Worker {
+                        peers: peers.clone(),
+                        digest: 0,
+                        pending_timer: None,
+                        received: 0,
+                    })
+                }
+            }),
+        );
+    }
+    sim.add_node(Box::new(Driver {
+        workers: workers.clone(),
+        rounds: 400,
+    }));
+
+    // Crash one worker mid-backlog, recover it, and wipe another — the
+    // transitions that reset or strand wake bookkeeping.
+    sim.schedule_crash(workers[1], SimTime::from_nanos(3_000_000));
+    sim.schedule_recovery(workers[1], SimTime::from_nanos(9_000_000));
+    sim.run_until(SimTime::from_nanos(15_000_000));
+    sim.wipe_now(workers[2], true);
+    sim.run_for(Duration::from_millis(30));
+
+    Observation {
+        trace: sim.trace().expect("tracing enabled").dump(),
+        digests: workers
+            .iter()
+            .map(|&w| sim.node_as::<Worker>(w).unwrap().digest)
+            .collect(),
+        received: workers
+            .iter()
+            .map(|&w| sim.node_as::<Worker>(w).unwrap().received)
+            .collect(),
+        events_processed: sim.events_processed(),
+        pending_events: sim.pending_events(),
+        pending_timers: sim.pending_timers(),
+        total_bytes: sim.traffic().total_bytes(),
+        total_messages: sim.traffic().total_messages(),
+        now: sim.now(),
+        stats: sim.event_stats(),
+    }
+}
+
+#[test]
+fn lazy_scheduler_is_observationally_identical_to_eager() {
+    let eager = run(true);
+    let lazy = run(false);
+
+    // Byte-identical execution trace: every send (with its sampled loss),
+    // delivery, timer fire, crash, recovery, and wipe at the same time in
+    // the same order.
+    assert_eq!(eager.trace, lazy.trace);
+
+    assert_eq!(eager.digests, lazy.digests);
+    assert_eq!(eager.received, lazy.received);
+    assert_eq!(eager.events_processed, lazy.events_processed);
+    assert_eq!(eager.pending_events, lazy.pending_events);
+    assert_eq!(eager.pending_timers, lazy.pending_timers);
+    assert_eq!(eager.total_bytes, lazy.total_bytes);
+    assert_eq!(eager.total_messages, lazy.total_messages);
+    assert_eq!(eager.now, lazy.now);
+
+    // Dispatch mix: identical up to the wakes/inline split.
+    assert_eq!(eager.stats.delivers, lazy.stats.delivers);
+    assert_eq!(eager.stats.timers, lazy.stats.timers);
+    assert_eq!(eager.stats.crashes, lazy.stats.crashes);
+    assert_eq!(eager.stats.inline_wakes, 0);
+    assert_eq!(
+        eager.stats.wakes,
+        lazy.stats.wakes + lazy.stats.inline_wakes,
+        "every eager wake must be accounted for as queued or inline"
+    );
+    assert!(
+        eager.stats.wakes > 0,
+        "the stress scenario must actually exercise backlogs"
+    );
+    // This scenario is deliberately adversarial for inline draining (four
+    // equally saturated workers whose wake slots interleave, so most wakes
+    // are legally beaten by another node's queued wake); it pins down
+    // equivalence, not the throughput win. The wake-collapse property is
+    // asserted where it holds by construction: the single-bottleneck unit
+    // test in `sim.rs` and the saturated-cluster differential test in the
+    // harness crate.
+    assert!(
+        lazy.stats.inline_wakes > 0,
+        "some drains must still run inline"
+    );
+}

@@ -497,33 +497,43 @@ impl SmartReplica {
             self.sync_target = None;
         }
         if self.next_sqn.0.is_multiple_of(self.cfg.checkpoint_interval) {
-            self.take_checkpoint(ctx);
+            self.take_checkpoint(ctx, false);
         }
         self.reset_progress_timer(ctx);
         self.maybe_propose(ctx);
     }
 
-    fn take_checkpoint(&mut self, ctx: &mut Context<'_, SmartMessage>) {
-        let snapshot = self.app.snapshot();
-        ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
-        let clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)> = self
-            .last_executed
-            .iter()
-            .map(|(&cid, (op, reply))| (cid, *op, reply.clone()))
-            .collect();
-        self.checkpoint = Some((self.next_sqn, snapshot, clients));
-        self.stats.checkpoints_taken += 1;
-        if self.wal.enabled() {
-            let cp = self.checkpoint.clone().expect("just taken");
-            self.persist_checkpoint(ctx, &cp);
+    /// Takes a checkpoint. With `materialize` false (the periodic path)
+    /// and no WAL, the snapshot bytes are never read by anyone — the only
+    /// consumers are the WAL and [`handle_checkpoint_request`]
+    /// (Self::handle_checkpoint_request), which re-takes a materialized
+    /// checkpoint first — so the replica charges the exact serialization
+    /// cost without serializing, leaving `self.checkpoint` untouched.
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, SmartMessage>, materialize: bool) {
+        if materialize || self.wal.enabled() {
+            let snapshot = self.app.snapshot();
+            ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
+            let clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)> = self
+                .last_executed
+                .iter()
+                .map(|(&cid, (op, reply))| (cid, *op, reply.clone()))
+                .collect();
+            self.checkpoint = Some((self.next_sqn, snapshot, clients));
+            if self.wal.enabled() {
+                let cp = self.checkpoint.clone().expect("just taken");
+                self.persist_checkpoint(ctx, &cp);
+            }
+        } else {
+            ctx.charge(self.cfg.message_cost.message_cost(self.app.snapshot_len()));
         }
+        self.stats.checkpoints_taken += 1;
     }
 
     fn handle_checkpoint_request(&mut self, ctx: &mut Context<'_, SmartMessage>, from: NodeId) {
         // Answer with a fresh checkpoint: the periodic one can predate the
         // requester's own state, which would leave a lagging replica
         // permanently unable to catch up.
-        self.take_checkpoint(ctx);
+        self.take_checkpoint(ctx, true);
         if let Some((next_sqn, snapshot, clients)) = self.checkpoint.clone() {
             ctx.send(
                 from,

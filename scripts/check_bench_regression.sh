@@ -9,6 +9,13 @@
 # a subset (e.g. `repro table1 fig3`) can be checked against the full
 # committed baseline. The JSON is the flat hand-rolled schema written by
 # `repro --bench-out`; no jq required.
+#
+# Note on the `wakes` counter in the summaries: since the run-to-completion
+# scheduler landed, node backlogs drain inline against the event horizon,
+# so `wakes` is 0 by design in every experiment (the per-drain backlog
+# work is reported as `inline_wakes` instead). A nonzero `wakes` in a new
+# summary means the lazy scheduler stopped covering some path — worth
+# investigating even if events_per_sec is still within threshold.
 set -euo pipefail
 
 baseline="${1:?usage: $0 <baseline.json> <current.json> [threshold_pct]}"
