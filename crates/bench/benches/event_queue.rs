@@ -212,11 +212,78 @@ fn saturated_backlog(c: &mut Criterion) {
     group.finish();
 }
 
+/// Broadcast sink: charges a small per-message cost so deliveries spread
+/// out instead of collapsing into one instant.
+struct FanoutSink;
+
+impl Node<WorkUnit> for FanoutSink {
+    fn on_message(&mut self, ctx: &mut Context<'_, WorkUnit>, _from: NodeId, _msg: WorkUnit) {
+        ctx.charge(Duration::from_micros(2));
+    }
+}
+
+/// Re-multicasts to every sink on a timer, keeping a constant stream of
+/// fan-out in flight.
+struct Broadcaster {
+    sinks: Vec<NodeId>,
+}
+
+impl Node<WorkUnit> for Broadcaster {
+    fn on_start(&mut self, ctx: &mut Context<'_, WorkUnit>) {
+        ctx.set_timer(Duration::from_micros(50), WorkUnit);
+    }
+
+    fn on_message(&mut self, _: &mut Context<'_, WorkUnit>, _: NodeId, _: WorkUnit) {}
+
+    fn on_timer(
+        &mut self,
+        ctx: &mut Context<'_, WorkUnit>,
+        _id: idem_simnet::TimerId,
+        _msg: WorkUnit,
+    ) {
+        ctx.multicast(self.sinks.iter().copied(), WorkUnit);
+        ctx.set_timer(Duration::from_micros(50), WorkUnit);
+    }
+}
+
+/// Multicast fan-out (1 sender → 3/9/27 recipients) under the batched
+/// delivery path (one chain-refiled queue entry per multicast) and the
+/// per-recipient reference path (one pre-materialized entry per
+/// recipient). The replication protocols fan every request out to all
+/// replicas, so this ratio is the direct microbenchmark behind the
+/// simulator's multicast batching.
+fn broadcast_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue/fanout");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for fanout in [3usize, 9, 27] {
+        for (batched, mode) in [(true, "batched"), (false, "per_recipient")] {
+            group.bench_function(format!("broadcast_{fanout}_{mode}"), |b| {
+                b.iter(|| {
+                    let link = LinkSpec::new(Duration::from_micros(100), Duration::ZERO);
+                    let mut sim: Simulation<WorkUnit> =
+                        Simulation::with_network(0xFA0 + fanout as u64, Network::new(link));
+                    sim.set_multicast_batching(batched);
+                    let sinks: Vec<NodeId> = (0..fanout)
+                        .map(|_| sim.add_node(Box::new(FanoutSink)))
+                        .collect();
+                    sim.add_node(Box::new(Broadcaster { sinks }));
+                    sim.run_until(SimTime::from_nanos(100_000_000));
+                    black_box(sim.events_processed())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     wheel_steady,
     heap_steady,
     timer_churn,
-    saturated_backlog
+    saturated_backlog,
+    broadcast_fanout
 );
 criterion_main!(benches);

@@ -1,5 +1,7 @@
 //! Request and reply envelopes exchanged between clients and replicas.
 
+use std::sync::Arc;
+
 use crate::ids::RequestId;
 
 /// Per-message wire overhead assumed for every protocol message (transport
@@ -14,24 +16,33 @@ pub const MESSAGE_HEADER_BYTES: usize = 48;
 /// architecture where the agreement layer orders request *ids* while bodies
 /// are disseminated separately.
 ///
+/// The bytes are shared immutable (`Arc<[u8]>`): a request fans out to
+/// every replica, gets parked in retransmit state, window entries, and
+/// request stores, and each of those used to copy the body. With shared
+/// bytes a `Request` clone is two refcount bumps, which is what keeps the
+/// replication hot path allocation-free.
+///
 /// # Example
 /// ```
 /// use idem_common::{ClientId, OpNumber, Request, RequestId};
 /// let req = Request::new(RequestId::new(ClientId(0), OpNumber(1)), vec![1, 2, 3]);
-/// assert_eq!(req.command, vec![1, 2, 3]);
+/// assert_eq!(&req.command[..], [1, 2, 3]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Request {
     /// Globally unique identifier `⟨cid, onr⟩`.
     pub id: RequestId,
     /// Opaque application command.
-    pub command: Vec<u8>,
+    pub command: Arc<[u8]>,
 }
 
 impl Request {
     /// Creates a request from an id and a command payload.
-    pub fn new(id: RequestId, command: Vec<u8>) -> Request {
-        Request { id, command }
+    pub fn new(id: RequestId, command: impl Into<Arc<[u8]>>) -> Request {
+        Request {
+            id,
+            command: command.into(),
+        }
     }
 
     /// Estimated size of this request on the wire, in bytes (excluding the

@@ -6,8 +6,14 @@
 //! motion / garbage-collection arithmetic; the *policy* of when the window
 //! may move (IDEM's implicit GC, Paxos' checkpoint-driven GC) lives in the
 //! protocol crates.
-
-use std::collections::BTreeMap;
+//!
+//! Storage is a dense ring: slot `sqn % size` holds sequence number `sqn`,
+//! which is unambiguous because the window never spans more than `size`
+//! consecutive numbers. Compared to the tree map this replaces, every
+//! operation is an array index and — crucially for the alloc-free hot
+//! path — advancing the window neither frees tree nodes nor (via
+//! [`advance_to_into`](SeqWindow::advance_to_into)) allocates a result
+//! buffer, since GC runs once per executed operation on every replica.
 
 use crate::ids::SeqNumber;
 
@@ -28,7 +34,11 @@ use crate::ids::SeqNumber;
 pub struct SeqWindow<T> {
     low: SeqNumber,
     size: u64,
-    slots: BTreeMap<u64, T>,
+    /// Ring storage: index `sqn % size` holds `sqn`. Slots outside
+    /// `[low, high)` are always `None`, so two windows with equal `low`
+    /// and equal contents are structurally equal.
+    slots: Vec<Option<T>>,
+    occupied: usize,
 }
 
 impl<T> SeqWindow<T> {
@@ -41,8 +51,13 @@ impl<T> SeqWindow<T> {
         SeqWindow {
             low: SeqNumber(0),
             size,
-            slots: BTreeMap::new(),
+            slots: (0..size).map(|_| None).collect(),
+            occupied: 0,
         }
+    }
+
+    fn idx(&self, sqn: SeqNumber) -> usize {
+        (sqn.0 % self.size) as usize
     }
 
     /// Lowest sequence number currently inside the window.
@@ -91,36 +106,74 @@ impl<T> SeqWindow<T> {
             self.low,
             self.high()
         );
-        self.slots.insert(sqn.0, value)
+        let idx = self.idx(sqn);
+        let prev = self.slots[idx].replace(value);
+        if prev.is_none() {
+            self.occupied += 1;
+        }
+        prev
     }
 
     /// Returns a reference to the slot for `sqn`, if occupied.
     pub fn get(&self, sqn: SeqNumber) -> Option<&T> {
-        self.slots.get(&sqn.0)
+        if !self.contains(sqn) {
+            return None;
+        }
+        self.slots[self.idx(sqn)].as_ref()
     }
 
     /// Returns a mutable reference to the slot for `sqn`, if occupied.
     pub fn get_mut(&mut self, sqn: SeqNumber) -> Option<&mut T> {
-        self.slots.get_mut(&sqn.0)
+        if !self.contains(sqn) {
+            return None;
+        }
+        let idx = self.idx(sqn);
+        self.slots[idx].as_mut()
     }
 
     /// Removes and returns the slot for `sqn`.
     pub fn remove(&mut self, sqn: SeqNumber) -> Option<T> {
-        self.slots.remove(&sqn.0)
+        if !self.contains(sqn) {
+            return None;
+        }
+        let idx = self.idx(sqn);
+        let prev = self.slots[idx].take();
+        if prev.is_some() {
+            self.occupied -= 1;
+        }
+        prev
     }
 
     /// Advances the window start to `new_low`, removing and returning every
     /// occupied slot below it (in ascending order). A no-op if `new_low` is
     /// not beyond the current start.
+    ///
+    /// Allocates the result vector; on per-operation paths prefer
+    /// [`advance_to_into`](Self::advance_to_into) with a reused buffer.
     pub fn advance_to(&mut self, new_low: SeqNumber) -> Vec<(SeqNumber, T)> {
+        self.advance_to_into(new_low, Vec::new())
+    }
+
+    /// [`advance_to`](Self::advance_to) variant that clears and fills a
+    /// caller-provided buffer instead of allocating one, and returns it.
+    /// Lets per-operation GC recycle one scratch vector forever.
+    pub fn advance_to_into(
+        &mut self,
+        new_low: SeqNumber,
+        mut dropped: Vec<(SeqNumber, T)>,
+    ) -> Vec<(SeqNumber, T)> {
+        dropped.clear();
         if new_low <= self.low {
-            return Vec::new();
+            return dropped;
         }
-        let mut dropped = Vec::new();
-        let keys: Vec<u64> = self.slots.range(..new_low.0).map(|(&k, _)| k).collect();
-        for k in keys {
-            if let Some(v) = self.slots.remove(&k) {
-                dropped.push((SeqNumber(k), v));
+        // Occupied slots only exist in [low, high), so a far jump still
+        // visits at most `size` slots.
+        let last = new_low.0.min(self.low.0 + self.size);
+        for sqn in self.low.0..last {
+            let idx = (sqn % self.size) as usize;
+            if let Some(v) = self.slots[idx].take() {
+                self.occupied -= 1;
+                dropped.push((SeqNumber(sqn), v));
             }
         }
         self.low = new_low;
@@ -129,22 +182,40 @@ impl<T> SeqWindow<T> {
 
     /// Iterates over occupied slots in ascending sequence order.
     pub fn iter(&self) -> impl Iterator<Item = (SeqNumber, &T)> {
-        self.slots.iter().map(|(&k, v)| (SeqNumber(k), v))
+        (self.low.0..self.low.0 + self.size).filter_map(move |sqn| {
+            self.slots[(sqn % self.size) as usize]
+                .as_ref()
+                .map(|v| (SeqNumber(sqn), v))
+        })
     }
 
     /// Iterates mutably over occupied slots in ascending sequence order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (SeqNumber, &mut T)> {
-        self.slots.iter_mut().map(|(&k, v)| (SeqNumber(k), v))
+        let start = (self.low.0 % self.size) as usize;
+        let low = self.low.0;
+        let wrap = self.size - start as u64;
+        let (tail, head) = self.slots.split_at_mut(start);
+        // Index `start + i` holds `low + i`; wrapped index `i < start`
+        // holds `low + wrap + i`.
+        head.iter_mut()
+            .enumerate()
+            .map(move |(i, slot)| (low + i as u64, slot))
+            .chain(
+                tail.iter_mut()
+                    .enumerate()
+                    .map(move |(i, slot)| (low + wrap + i as u64, slot)),
+            )
+            .filter_map(|(sqn, slot)| slot.as_mut().map(|v| (SeqNumber(sqn), v)))
     }
 
     /// Number of occupied slots.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.occupied
     }
 
     /// Whether no slot is occupied.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.occupied == 0
     }
 }
 

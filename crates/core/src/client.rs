@@ -124,7 +124,7 @@ pub struct ClientStats {
 #[derive(Debug)]
 struct InFlight {
     id: RequestId,
-    command: Vec<u8>,
+    command: std::sync::Arc<[u8]>,
     issued_at: SimTime,
     rejects: QuorumTracker,
     optimistic_timer: Option<TimerId>,
@@ -191,12 +191,15 @@ impl IdemClient {
             self.stopped = true;
             return;
         };
+        let command: std::sync::Arc<[u8]> = command.into();
         let id = RequestId::new(self.id, self.next_op);
         self.next_op = self.next_op.next();
         self.stats.issued += 1;
         let req = Request::new(id, command.clone());
-        let replicas: Vec<NodeId> = self.dir.replica_addrs().to_vec();
-        ctx.multicast(replicas, IdemMessage::Request(req));
+        ctx.multicast(
+            self.dir.replica_addrs().iter().copied(),
+            IdemMessage::Request(req),
+        );
         let retransmit_timer = ctx.set_timer(
             self.cfg.retransmit_interval,
             IdemMessage::RetransmitTimer(id.op),
@@ -318,8 +321,10 @@ impl IdemClient {
             IdemMessage::RetransmitTimer(op),
         );
         self.current.as_mut().expect("in flight").retransmit_timer = timer;
-        let replicas: Vec<NodeId> = self.dir.replica_addrs().to_vec();
-        ctx.multicast(replicas, IdemMessage::Request(req));
+        ctx.multicast(
+            self.dir.replica_addrs().iter().copied(),
+            IdemMessage::Request(req),
+        );
     }
 }
 

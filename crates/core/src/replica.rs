@@ -125,6 +125,9 @@ pub struct IdemReplica {
     vc_store: BTreeMap<u64, BTreeMap<u32, Vec<WindowEntry>>>,
 
     window: SeqWindow<Instance>,
+    /// Reused buffer for per-operation window GC, so steady-state
+    /// [`SeqWindow::advance_to_into`] never allocates.
+    gc_scratch: Vec<(SeqNumber, Instance)>,
     next_propose: SeqNumber,
     next_exec: SeqNumber,
     /// Set when GC overtook local execution; cleared by checkpoint install.
@@ -196,6 +199,7 @@ impl IdemReplica {
         );
         IdemReplica {
             window: SeqWindow::new(cfg.window_size),
+            gc_scratch: Vec::new(),
             rejected_cache: RejectedCache::new(cfg.rejected_cache_capacity),
             cfg,
             me,
@@ -358,14 +362,15 @@ impl IdemReplica {
         self.dir.replica(self.leader_of(self.effective_view()))
     }
 
-    fn peers(&self) -> Vec<NodeId> {
+    /// Every replica but this one, straight off the directory slice —
+    /// no per-multicast allocation.
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
         let me = self.dir.replica(self.me);
         self.dir
             .replica_addrs()
             .iter()
             .copied()
-            .filter(|&n| n != me)
-            .collect()
+            .filter(move |&n| n != me)
     }
 
     fn executed_already(&self, id: RequestId) -> bool {
@@ -443,7 +448,7 @@ impl IdemReplica {
                     slot: u64::MAX,
                     view: self.view.0,
                     id,
-                    command: req.command.clone(),
+                    command: req.command.to_vec(),
                 },
             );
         }
@@ -507,8 +512,7 @@ impl IdemReplica {
         // current leader, then re-arm.
         if let Some(req) = self.store.get(&id).cloned() {
             self.stats.forwards_sent += 1;
-            let peers = self.peers();
-            ctx.multicast(peers, IdemMessage::Forward(req));
+            ctx.multicast(self.peers(), IdemMessage::Forward(req));
             let leader = self.leader_node();
             ctx.send(leader, IdemMessage::Require(id));
             let timer = ctx.set_timer(self.cfg.forward_timeout, IdemMessage::ForwardTimer(id));
@@ -581,7 +585,7 @@ impl IdemReplica {
             let command = self
                 .store
                 .get(&id)
-                .map(|r| r.command.clone())
+                .map(|r| r.command.to_vec())
                 .unwrap_or_default();
             self.wal.log(
                 ctx,
@@ -610,8 +614,7 @@ impl IdemReplica {
         self.require_votes.remove(&id);
         self.stats.proposals_sent += 1;
         let view = self.view;
-        let peers = self.peers();
-        ctx.multicast(peers, IdemMessage::Propose { id, sqn, view });
+        ctx.multicast(self.peers(), IdemMessage::Propose { id, sqn, view });
     }
 
     fn view_acceptable(&self, v: View) -> bool {
@@ -734,7 +737,7 @@ impl IdemReplica {
                 let command = self
                     .store
                     .get(&id)
-                    .map(|r| r.command.clone())
+                    .map(|r| r.command.to_vec())
                     .unwrap_or_default();
                 self.wal.log(
                     ctx,
@@ -784,8 +787,7 @@ impl IdemReplica {
             }
         }
         self.stats.commits_sent += 1;
-        let peers = self.peers();
-        ctx.multicast(peers, IdemMessage::Commit { id, sqn, view });
+        ctx.multicast(self.peers(), IdemMessage::Commit { id, sqn, view });
         self.maybe_advance_window(ctx, sqn);
         self.try_execute(ctx);
     }
@@ -1122,11 +1124,13 @@ impl IdemReplica {
         if new_low <= self.window.low() {
             return;
         }
-        let dropped = self.window.advance_to(new_low);
+        let mut dropped = self
+            .window
+            .advance_to_into(new_low, std::mem::take(&mut self.gc_scratch));
         if !dropped.is_empty() || new_low > self.next_exec {
             self.stats.gc_advances += 1;
         }
-        for (s, inst) in dropped {
+        for &(s, ref inst) in &dropped {
             self.proposed.remove(&inst.id);
             self.require_votes.remove(&inst.id);
             if !inst.executed && s >= self.next_exec {
@@ -1135,6 +1139,8 @@ impl IdemReplica {
                 self.enter_stall(ctx);
             }
         }
+        dropped.clear();
+        self.gc_scratch = dropped;
         if self.window.is_stale(self.next_exec) {
             self.enter_stall(ctx);
         }
@@ -1385,9 +1391,8 @@ impl IdemReplica {
             .entry(target.0)
             .or_default()
             .insert(self.me.0, summary.clone());
-        let peers = self.peers();
         ctx.multicast(
-            peers,
+            self.peers(),
             IdemMessage::ViewChange {
                 target,
                 window: summary,
@@ -1491,7 +1496,7 @@ impl IdemReplica {
                     let command = self
                         .store
                         .get(&id)
-                        .map(|r| r.command.clone())
+                        .map(|r| r.command.to_vec())
                         .unwrap_or_default();
                     self.wal.log(
                         ctx,
@@ -1519,9 +1524,8 @@ impl IdemReplica {
                 );
                 self.proposed.insert(id, sqn);
                 self.stats.proposals_sent += 1;
-                let peers = self.peers();
                 ctx.multicast(
-                    peers,
+                    self.peers(),
                     IdemMessage::Propose {
                         id,
                         sqn,

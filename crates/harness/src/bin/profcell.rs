@@ -60,9 +60,11 @@ fn main() {
     let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let mut s = Scenario::new(protocol, clients, Duration::from_secs(secs));
     s.warmup = Duration::from_secs(1);
+    let before = idem_harness::allocs::snapshot();
     let start = Instant::now();
     let r = s.run();
     let wall = start.elapsed();
+    let alloc_delta = idem_harness::allocs::snapshot().since(before);
     println!(
         "{} clients={} wall={:.2?} events={} ev/s={:.0} tput={:.0} rej/s={:.0}",
         r.name,
@@ -84,6 +86,18 @@ fn main() {
          high_water={} wake/deliver={wake_ratio:.4}",
         st.delivers, st.timers, st.wakes, st.inline_wakes, st.crashes, st.queue_high_water,
     );
+    println!(
+        "arena: messages={} high_water={} batches={} batched_delivers={}",
+        st.arena_messages, st.arena_high_water, st.multicast_batches, st.batched_deliveries,
+    );
+    if idem_harness::allocs::ENABLED {
+        println!(
+            "allocs: {} frees={} allocs/event={:.4}",
+            alloc_delta.allocs,
+            alloc_delta.frees,
+            alloc_delta.allocs as f64 / r.events_processed.max(1) as f64,
+        );
+    }
     println!("drain profiles (replicas first, clients merged):");
     for (i, p) in r.drain_profiles.iter().take(replicas).enumerate() {
         print_profile(&format!("replica {i}"), p);

@@ -22,6 +22,7 @@
 //! Run them all via the `repro` binary: `cargo run --release -p
 //! idem-harness --bin repro -- all`.
 
+pub mod allocs;
 pub mod chaos;
 pub mod cluster;
 pub mod experiments;

@@ -118,6 +118,10 @@ pub struct SweepRunner {
     inline_wakes: AtomicU64,
     crashes: AtomicU64,
     high_water: AtomicU64,
+    arena_messages: AtomicU64,
+    arena_high_water: AtomicU64,
+    multicast_batches: AtomicU64,
+    batched_deliveries: AtomicU64,
 }
 
 impl Default for SweepRunner {
@@ -140,6 +144,10 @@ impl SweepRunner {
             inline_wakes: AtomicU64::new(0),
             crashes: AtomicU64::new(0),
             high_water: AtomicU64::new(0),
+            arena_messages: AtomicU64::new(0),
+            arena_high_water: AtomicU64::new(0),
+            multicast_batches: AtomicU64::new(0),
+            batched_deliveries: AtomicU64::new(0),
         }
     }
 
@@ -288,6 +296,14 @@ impl SweepRunner {
         self.crashes.fetch_add(stats.crashes, Ordering::Relaxed);
         self.high_water
             .fetch_max(stats.queue_high_water, Ordering::Relaxed);
+        self.arena_messages
+            .fetch_add(stats.arena_messages, Ordering::Relaxed);
+        self.arena_high_water
+            .fetch_max(stats.arena_high_water, Ordering::Relaxed);
+        self.multicast_batches
+            .fetch_add(stats.multicast_batches, Ordering::Relaxed);
+        self.batched_deliveries
+            .fetch_add(stats.batched_deliveries, Ordering::Relaxed);
     }
 
     /// Runs one cell, recording its statistics.
@@ -321,6 +337,10 @@ impl SweepRunner {
                 inline_wakes: self.inline_wakes.swap(0, Ordering::Relaxed),
                 crashes: self.crashes.swap(0, Ordering::Relaxed),
                 queue_high_water: self.high_water.swap(0, Ordering::Relaxed),
+                arena_messages: self.arena_messages.swap(0, Ordering::Relaxed),
+                arena_high_water: self.arena_high_water.swap(0, Ordering::Relaxed),
+                multicast_batches: self.multicast_batches.swap(0, Ordering::Relaxed),
+                batched_deliveries: self.batched_deliveries.swap(0, Ordering::Relaxed),
             },
         }
     }

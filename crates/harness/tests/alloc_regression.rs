@@ -1,0 +1,139 @@
+//! Alloc-free hot-path regression tests, gated on the `alloc-count`
+//! feature (`cargo test -p idem-harness --features alloc-count`).
+//!
+//! Two tiers of strictness:
+//!
+//! * At the pure-simnet level, the deliver path — queue pop, wheel
+//!   cascade, arena materialize, backlog drain, trace push — must perform
+//!   literally zero allocator calls once every buffer has reached its
+//!   steady-state capacity. A hub node multicasting to three spokes (the
+//!   replication fan-out shape) plus unicast replies exercises send,
+//!   multicast batching, and the arena recycling paths.
+//!
+//! * At the protocol level a saturated 3-replica IDEM run still allocates
+//!   for protocol state (BTreeMap node churn under monotone sequence
+//!   numbers, command payloads, metrics recording), so literal zero is not
+//!   attainable — the contract is integer allocations-per-event == 0,
+//!   i.e. allocator calls are strictly rarer than simulated events.
+
+#![cfg(feature = "alloc-count")]
+
+use std::time::Duration;
+
+use idem_harness::allocs;
+use idem_harness::{Protocol, Scenario};
+use idem_simnet::{Context, Node, NodeId, Simulation, Wire};
+
+#[derive(Clone, Debug)]
+struct Ping(u64);
+
+impl Wire for Ping {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// Broadcasts to its spokes; after collecting all replies, broadcasts
+/// again. Keeps one multicast batch in flight forever without allocating.
+struct Hub {
+    spokes: [NodeId; 3],
+    replies: usize,
+    round: u64,
+}
+
+impl Node<Ping> for Hub {
+    fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+        ctx.multicast(self.spokes.iter().copied(), Ping(self.round));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _from: NodeId, _msg: Ping) {
+        self.replies += 1;
+        if self.replies == self.spokes.len() {
+            self.replies = 0;
+            self.round += 1;
+            ctx.multicast(self.spokes.iter().copied(), Ping(self.round));
+        }
+    }
+}
+
+/// Echoes every ping straight back (unicast arena path).
+struct Spoke;
+
+impl Node<Ping> for Spoke {
+    fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, msg: Ping) {
+        ctx.send(from, msg);
+    }
+}
+
+#[test]
+fn steady_state_simnet_hot_path_is_alloc_free() {
+    let mut sim = Simulation::new(7);
+    let spokes = [
+        sim.add_node(Box::new(Spoke)),
+        sim.add_node(Box::new(Spoke)),
+        sim.add_node(Box::new(Spoke)),
+    ];
+    sim.add_node(Box::new(Hub {
+        spokes,
+        replies: 0,
+        round: 0,
+    }));
+
+    // Warmup: let every Vec/VecDeque/heap/arena reach steady-state
+    // capacity. Must outlast one full wrap of the highest timing-wheel
+    // level this traffic touches (level 3 wraps every 2^34 ns ≈ 17 s), so
+    // that no virgin slot sees its first event inside the measure window.
+    sim.run_for(Duration::from_secs(20));
+    let events_before = sim.events_processed();
+
+    let before = allocs::snapshot();
+    sim.run_for(Duration::from_secs(2));
+    let delta = allocs::snapshot().since(before);
+
+    let events = sim.events_processed() - events_before;
+    assert!(
+        events > 10_000,
+        "window too quiet to be meaningful: {events}"
+    );
+    assert_eq!(
+        delta.allocs, 0,
+        "steady-state deliver path allocated {} times over {} events",
+        delta.allocs, events
+    );
+    assert_eq!(
+        delta.frees, 0,
+        "steady-state deliver path freed {} times over {} events",
+        delta.frees, events
+    );
+}
+
+#[test]
+fn saturated_idem_run_allocates_less_than_once_per_event() {
+    // 400 closed-loop clients against 3 replicas is deep into saturation
+    // (the profcell default); events dominate committed operations by a
+    // wide margin, so protocol-state churn must stay well under one
+    // allocator call per event. Empty values keep the workload from
+    // charging the simulator for payload bytes it has no say over —
+    // command framing, window maps, and retransmit state still churn.
+    let mut s = Scenario::new(Protocol::idem(), 400, Duration::from_secs(2));
+    s.warmup = Duration::from_secs(1);
+    s.workload = idem_kv::WorkloadSpec::write_only(0);
+
+    let before = allocs::snapshot();
+    let r = s.run();
+    let delta = allocs::snapshot().since(before);
+
+    assert!(
+        r.events_processed > 100_000,
+        "run too small to be meaningful: {} events",
+        r.events_processed
+    );
+    // Integer allocs/event == 0: the whole run — including setup and
+    // result assembly — allocates strictly less than once per event.
+    assert!(
+        delta.allocs < r.events_processed,
+        "allocs/event >= 1: {} allocs over {} events",
+        delta.allocs,
+        r.events_processed
+    );
+}

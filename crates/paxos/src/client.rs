@@ -91,7 +91,7 @@ pub struct PaxosClientStats {
 #[derive(Debug)]
 struct InFlight {
     id: RequestId,
-    command: Vec<u8>,
+    command: std::sync::Arc<[u8]>,
     issued_at: SimTime,
     timeout_timer: TimerId,
 }
@@ -158,6 +158,7 @@ impl PaxosClient {
             self.stopped = true;
             return;
         };
+        let command: std::sync::Arc<[u8]> = command.into();
         let id = RequestId::new(self.id, self.next_op);
         self.next_op = self.next_op.next();
         self.stats.issued += 1;

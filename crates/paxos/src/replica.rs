@@ -226,14 +226,15 @@ impl PaxosReplica {
         self.vc_target.is_none() && self.leader_of(self.view) == self.me
     }
 
-    fn peers(&self) -> Vec<NodeId> {
+    /// Every replica but this one, straight off the directory slice —
+    /// no per-multicast allocation.
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
         let me = self.dir.replica(self.me);
         self.dir
             .replica_addrs()
             .iter()
             .copied()
-            .filter(|&n| n != me)
-            .collect()
+            .filter(move |&n| n != me)
     }
 
     fn executed_already(&self, id: RequestId) -> bool {
@@ -320,7 +321,7 @@ impl PaxosReplica {
                     slot: sqn.0,
                     view: self.view.0,
                     id: req.id,
-                    command: req.command.clone(),
+                    command: req.command.to_vec(),
                 },
             );
         }
@@ -340,9 +341,8 @@ impl PaxosReplica {
         );
         self.stats.proposals_sent += 1;
         let view = self.view;
-        let peers = self.peers();
         ctx.multicast(
-            peers,
+            self.peers(),
             PaxosMessage::Propose {
                 sqn,
                 view,
@@ -465,7 +465,7 @@ impl PaxosReplica {
                         slot: sqn.0,
                         view: view.0,
                         id,
-                        command: request.command.clone(),
+                        command: request.command.to_vec(),
                     },
                 );
             }
@@ -504,8 +504,7 @@ impl PaxosReplica {
             }
         }
         self.stats.accepts_sent += 1;
-        let peers = self.peers();
-        ctx.multicast(peers, PaxosMessage::Accept { sqn, view, id });
+        ctx.multicast(self.peers(), PaxosMessage::Accept { sqn, view, id });
         self.ensure_progress_timer(ctx);
         self.try_execute(ctx);
     }
@@ -569,7 +568,7 @@ impl PaxosReplica {
                 self.next_exec,
                 req.id,
                 !already,
-                if already { &[] } else { &req.command },
+                if already { &[] } else { &req.command[..] },
             );
             if !already {
                 let cost = self.app.execution_cost(&req.command);
@@ -793,9 +792,8 @@ impl PaxosReplica {
             .entry(target.0)
             .or_default()
             .insert(self.me.0, (self.next_exec, summary.clone()));
-        let peers = self.peers();
         ctx.multicast(
-            peers,
+            self.peers(),
             PaxosMessage::ViewChange {
                 target,
                 next_exec: self.next_exec,
@@ -902,8 +900,7 @@ impl PaxosReplica {
             // checkpoint before executing. If the request or its reply is
             // lost, the progress timer escalates the view change and the
             // next enter_new_view retries.
-            let peers = self.peers();
-            ctx.multicast(peers, PaxosMessage::CheckpointRequest);
+            ctx.multicast(self.peers(), PaxosMessage::CheckpointRequest);
         }
         self.reset_progress_timer(ctx);
         self.drain_queue(ctx);

@@ -3,30 +3,34 @@
 //! The queue is a thin wrapper over the hierarchical
 //! [`TimingWheel`](crate::wheel::TimingWheel); see that module for the
 //! scheduling algorithm and the `(time, seq)` ordering contract.
+//!
+//! Message bodies never travel through the queue: entries carry 8-byte
+//! [`MsgId`] handles into the simulator's [`MessageArena`]
+//! (see [`arena`](crate::arena)), keeping the wheel's memmove traffic —
+//! heap sifts, slot cascades — independent of the protocol's message size.
 
-use std::sync::Arc;
-
+use crate::arena::{BatchId, MessageArena, MsgId};
 use crate::node::{NodeId, TimerId};
 use crate::time::SimTime;
 use crate::wheel::TimingWheel;
 
-/// An in-flight message body.
+/// An in-flight message body handle.
 ///
-/// Unicast sends own their message. Multicast sends share one `Arc`-backed
-/// body across all recipients and materialize a per-recipient value only at
-/// delivery time — the final delivery unwraps the `Arc` and moves the body
-/// out without cloning, and copies destined for crashed nodes are never
-/// cloned at all. The stored clone function is captured where the `M: Clone`
-/// bound is available (multicast), keeping the rest of the simulator free of
-/// that bound.
-#[derive(Debug)]
+/// Unicast sends own their arena slot exclusively. Multicast sends share
+/// one refcounted slot across all recipients and materialize a
+/// per-recipient value only at delivery time — the final delivery moves
+/// the body out without cloning, and copies destined for crashed nodes are
+/// never cloned at all. The stored clone function is captured where the
+/// `M: Clone` bound is available (multicast), keeping the rest of the
+/// simulator free of that bound.
+#[derive(Debug, Clone, Copy)]
 pub(crate) enum Payload<M> {
-    /// Exclusively owned body (unicast).
-    Owned(M),
-    /// Body shared across the deliveries of one multicast.
+    /// Exclusively owned arena slot (unicast).
+    Unique(MsgId),
+    /// Slot shared across the deliveries of one multicast.
     Shared {
-        /// The shared message body.
-        arc: Arc<M>,
+        /// Handle of the shared body.
+        id: MsgId,
         /// Clones the body for all but the last delivery.
         clone: fn(&M) -> M,
     },
@@ -35,28 +39,42 @@ pub(crate) enum Payload<M> {
 impl<M> Payload<M> {
     /// Materializes the message for delivery, cloning only when other
     /// deliveries of the same multicast are still pending.
-    pub fn into_message(self) -> M {
+    pub fn into_message(self, arena: &mut MessageArena<M>) -> M {
         match self {
-            Payload::Owned(m) => m,
-            Payload::Shared { arc, clone } => match Arc::try_unwrap(arc) {
-                Ok(m) => m,
-                Err(arc) => clone(&arc),
-            },
+            Payload::Unique(id) => arena
+                .materialize(id, |_| unreachable!("unique payloads never clone"))
+                .expect("unique payload taken once"),
+            Payload::Shared { id, clone } => {
+                arena.materialize(id, clone).expect("live shared payload")
+            }
         }
+    }
+
+    /// Drops this delivery without materializing it (crashed recipient,
+    /// wiped backlog), releasing the arena reference so the slot recycles.
+    pub fn release(self, arena: &mut MessageArena<M>) {
+        let (Payload::Unique(id) | Payload::Shared { id, .. }) = self;
+        arena.release(id);
     }
 }
 
 /// What a scheduled event does when it fires.
 #[derive(Debug)]
 pub(crate) enum EventKind<M> {
-    /// Deliver `msg` from `from` to `to`.
+    /// Deliver the body behind `msg` from `from` to `to`.
     Deliver {
         to: NodeId,
         from: NodeId,
         msg: Payload<M>,
     },
+    /// Deliver the next member of a multicast batch. The entry is filed at
+    /// the member's exact `(time, seq)` and re-filed at the following
+    /// member's slot after each delivery, so the queue always shows the
+    /// earliest undelivered recipient; see
+    /// [`BatchTable`](crate::arena::BatchTable).
+    DeliverBatch { batch: BatchId },
     /// Fire timer `id` at `node`. The payload lives in the simulator's
-    /// timer table until the timer fires, so cancellation frees it
+    /// timer table until the timer is processed, so cancellation frees it
     /// immediately and this entry becomes a stale no-op. `epoch` is the
     /// node incarnation that armed the timer: a wipe bumps the node's
     /// epoch, so timers armed by a previous incarnation drop on fire
@@ -112,7 +130,9 @@ impl<M> EventQueue<M> {
 
     /// The `(time, seq)` of the earliest pending event if it fires at or
     /// before `limit`, without dequeuing it. `None` when the queue is
-    /// empty or its earliest event is past the limit.
+    /// empty or its earliest event is past the limit. A batch entry's key
+    /// is its earliest undelivered member, so hidden members never change
+    /// what a peek reports.
     pub fn next_event_before(&mut self, limit: SimTime) -> Option<(SimTime, u64)> {
         let (time, seq) = self.wheel.peek_before(limit.as_nanos())?;
         Some((SimTime::from_nanos(time), seq))
@@ -128,7 +148,8 @@ impl<M> EventQueue<M> {
         })
     }
 
-    /// Number of pending events.
+    /// Number of pending queue entries. A multicast batch counts once
+    /// regardless of how many deliveries it still covers.
     pub fn len(&self) -> usize {
         self.wheel.len()
     }
@@ -139,7 +160,7 @@ impl<M> EventQueue<M> {
         self.wheel.is_empty()
     }
 
-    /// The largest number of events that were ever pending at once.
+    /// The largest number of entries that were ever pending at once.
     pub fn high_water(&self) -> usize {
         self.wheel.high_water()
     }
@@ -248,25 +269,40 @@ mod tests {
 
     #[test]
     fn payload_shared_clones_only_while_contended() {
-        use std::sync::Arc;
-        #[derive(Debug, PartialEq)]
+        #[derive(Debug, PartialEq, Clone)]
         struct Body(u32);
-        let arc = Arc::new(Body(7));
+        let mut arena: MessageArena<Body> = MessageArena::new();
+        let id = arena.insert(Body(7), 2);
         let first = Payload::Shared {
-            arc: Arc::clone(&arc),
-            clone: |b: &Body| Body(b.0),
+            id,
+            clone: Body::clone,
         };
         let last = Payload::Shared {
-            arc,
-            clone: |b: &Body| Body(b.0),
+            id,
+            clone: |_: &Body| panic!("last delivery must move, not clone"),
         };
         // While both copies are pending, materializing clones...
-        assert_eq!(first.into_message(), Body(7));
-        // ...and the final copy moves the body out of the Arc.
-        match last {
-            Payload::Shared { ref arc, .. } => assert_eq!(Arc::strong_count(arc), 1),
-            Payload::Owned(_) => unreachable!(),
-        }
-        assert_eq!(last.into_message(), Body(7));
+        assert_eq!(first.into_message(&mut arena), Body(7));
+        // ...and the final copy moves the body out of the arena.
+        assert_eq!(last.into_message(&mut arena), Body(7));
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn payload_release_frees_the_slot() {
+        let mut arena: MessageArena<u8> = MessageArena::new();
+        let id = arena.insert(1, 1);
+        let p: Payload<u8> = Payload::Unique(id);
+        p.release(&mut arena);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn event_entries_stay_small() {
+        // The point of the arena: protocol enums of any size ride the
+        // wheel as fixed small entries.
+        #[allow(dead_code)]
+        struct Huge([u8; 256]);
+        assert!(std::mem::size_of::<EventKind<Huge>>() <= 40);
     }
 }

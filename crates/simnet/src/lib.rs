@@ -70,6 +70,7 @@
 //! assert!(sim.traffic().total_messages() >= 4);
 //! ```
 
+pub mod arena;
 pub mod disk;
 pub mod event;
 pub mod net;
@@ -81,6 +82,7 @@ pub mod traffic;
 pub mod wheel;
 pub mod wire;
 
+pub use arena::{MessageArena, MsgId};
 pub use disk::{Disk, DiskLatency};
 pub use net::{LinkSpec, Network};
 pub use node::{AsAny, Context, Node, NodeId, TimerId};

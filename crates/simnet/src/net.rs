@@ -1,6 +1,5 @@
 //! The network model: link latency, jitter, loss, and partitions.
 
-use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
@@ -94,11 +93,27 @@ impl Default for LinkSpec {
 
 /// The full network: a default link plus per-pair overrides, directional
 /// blocking for partitions, and loopback delay.
+///
+/// Per-pair state lives in dense N×N matrices indexed by
+/// [`NodeId`] (N is the highest node mentioned so far; the matrices grow
+/// on demand), so the per-message hot path is two flag tests and at most
+/// one array load — no hashing. Runs that never install an override or a
+/// block skip the matrices entirely.
 #[derive(Debug, Clone)]
 pub struct Network {
     default: LinkSpec,
-    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
-    blocked: HashSet<(NodeId, NodeId)>,
+    /// Side length of the dense matrices.
+    nodes: usize,
+    /// Row-major N×N override matrix; `None` means "use the default".
+    overrides: Vec<Option<LinkSpec>>,
+    /// Sticky flag: set the first time an override is installed, never
+    /// cleared, so chaos-free runs never probe the matrix at all.
+    has_overrides: bool,
+    /// Row-major N×N blocked matrix.
+    blocked: Vec<bool>,
+    /// Number of currently blocked ordered pairs; zero short-circuits the
+    /// blocked probe.
+    blocked_pairs: usize,
     loopback: Duration,
     global_drop: f64,
 }
@@ -114,10 +129,43 @@ impl Network {
     pub fn new(default: LinkSpec) -> Network {
         Network {
             default,
-            overrides: HashMap::new(),
-            blocked: HashSet::new(),
+            nodes: 0,
+            overrides: Vec::new(),
+            has_overrides: false,
+            blocked: Vec::new(),
+            blocked_pairs: 0,
             loopback: Duration::from_micros(1),
             global_drop: 0.0,
+        }
+    }
+
+    /// Grows both matrices so that `from` and `to` are in range,
+    /// remapping existing entries into the wider rows.
+    fn grow_to(&mut self, from: NodeId, to: NodeId) {
+        let needed = from.index().max(to.index()) + 1;
+        if needed <= self.nodes {
+            return;
+        }
+        let old = self.nodes;
+        let mut overrides = vec![None; needed * needed];
+        let mut blocked = vec![false; needed * needed];
+        for f in 0..old {
+            for t in 0..old {
+                overrides[f * needed + t] = self.overrides[f * old + t];
+                blocked[f * needed + t] = self.blocked[f * old + t];
+            }
+        }
+        self.nodes = needed;
+        self.overrides = overrides;
+        self.blocked = blocked;
+    }
+
+    /// Index of `(from, to)` if both are within the dense matrices.
+    fn index(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        if from.index() < self.nodes && to.index() < self.nodes {
+            Some(from.index() * self.nodes + to.index())
+        } else {
+            None
         }
     }
 
@@ -141,25 +189,37 @@ impl Network {
 
     /// Overrides the link from `from` to `to` (one direction).
     pub fn set_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
-        self.overrides.insert((from, to), spec);
+        self.grow_to(from, to);
+        let i = self.index(from, to).expect("grown to cover the pair");
+        self.overrides[i] = Some(spec);
+        self.has_overrides = true;
     }
 
     /// The spec in effect from `from` to `to`.
     pub fn link(&self, from: NodeId, to: NodeId) -> LinkSpec {
-        self.overrides
-            .get(&(from, to))
-            .copied()
+        self.index(from, to)
+            .and_then(|i| self.overrides[i])
             .unwrap_or(self.default)
     }
 
     /// Blocks the directed link `from → to` (messages silently dropped).
     pub fn block(&mut self, from: NodeId, to: NodeId) {
-        self.blocked.insert((from, to));
+        self.grow_to(from, to);
+        let i = self.index(from, to).expect("grown to cover the pair");
+        if !self.blocked[i] {
+            self.blocked[i] = true;
+            self.blocked_pairs += 1;
+        }
     }
 
     /// Unblocks the directed link `from → to`.
     pub fn unblock(&mut self, from: NodeId, to: NodeId) {
-        self.blocked.remove(&(from, to));
+        if let Some(i) = self.index(from, to) {
+            if self.blocked[i] {
+                self.blocked[i] = false;
+                self.blocked_pairs -= 1;
+            }
+        }
     }
 
     /// Blocks both directions between every node in `a` and every node in
@@ -173,14 +233,16 @@ impl Network {
         }
     }
 
-    /// Removes all blocking, healing any partition.
+    /// Removes all blocking, healing any partition. Keeps the matrix
+    /// allocation for the next fault injection.
     pub fn heal(&mut self) {
-        self.blocked.clear();
+        self.blocked.fill(false);
+        self.blocked_pairs = 0;
     }
 
     /// Whether the directed link `from → to` is currently blocked.
     pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
-        self.blocked.contains(&(from, to))
+        self.index(from, to).is_some_and(|i| self.blocked[i])
     }
 
     /// The loopback (self-send) delay.
@@ -200,18 +262,21 @@ impl Network {
             return Some(self.loopback);
         }
         // Experiments run with no blocks and no per-link overrides, so the
-        // hot path must not pay the hash lookups; the emptiness checks
-        // consume no randomness and change no sampled stream.
-        if !self.blocked.is_empty() && self.is_blocked(from, to) {
+        // hot path must not pay the matrix loads; the flag checks consume
+        // no randomness and change no sampled stream.
+        if self.blocked_pairs != 0 && self.is_blocked(from, to) {
             return None;
         }
         if self.global_drop > 0.0 && rng.gen::<f64>() < self.global_drop {
             return None;
         }
-        let spec = if self.overrides.is_empty() {
+        let spec = if !self.has_overrides {
             &self.default
         } else {
-            self.overrides.get(&(from, to)).unwrap_or(&self.default)
+            match self.index(from, to) {
+                Some(i) => self.overrides[i].as_ref().unwrap_or(&self.default),
+                None => &self.default,
+            }
         };
         spec.sample(rng)
     }
@@ -276,6 +341,27 @@ mod tests {
     }
 
     #[test]
+    fn override_matrix_grows_preserving_entries() {
+        let mut net = Network::new(LinkSpec::new(Duration::from_micros(100), Duration::ZERO));
+        let fast = LinkSpec::new(Duration::from_micros(1), Duration::ZERO);
+        let slow = LinkSpec::new(Duration::from_millis(5), Duration::ZERO);
+        net.set_link(NodeId(0), NodeId(1), fast);
+        net.block(NodeId(1), NodeId(0));
+        // Touching a far node forces both matrices to grow and remap.
+        net.set_link(NodeId(9), NodeId(3), slow);
+        assert_eq!(net.link(NodeId(0), NodeId(1)), fast);
+        assert_eq!(net.link(NodeId(9), NodeId(3)), slow);
+        assert!(net.is_blocked(NodeId(1), NodeId(0)));
+        assert!(!net.is_blocked(NodeId(0), NodeId(1)));
+        // Pairs beyond the matrix read as default/unblocked.
+        assert_eq!(
+            net.link(NodeId(20), NodeId(21)).base(),
+            Duration::from_micros(100)
+        );
+        assert!(!net.is_blocked(NodeId(20), NodeId(21)));
+    }
+
+    #[test]
     fn blocking_drops_messages() {
         let mut net = Network::default();
         let mut r = rng();
@@ -296,6 +382,19 @@ mod tests {
         assert!(!net.is_blocked(NodeId(0), NodeId(1)));
         net.heal();
         assert!(net.sample(&mut r, NodeId(0), NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn repeated_block_unblock_keeps_pair_count_consistent() {
+        let mut net = Network::default();
+        net.block(NodeId(0), NodeId(1));
+        net.block(NodeId(0), NodeId(1)); // double block counts once
+        net.unblock(NodeId(0), NodeId(1));
+        let mut r = rng();
+        assert!(net.sample(&mut r, NodeId(0), NodeId(1)).is_some());
+        // Unblocking an untouched pair is harmless.
+        net.unblock(NodeId(5), NodeId(6));
+        assert!(net.sample(&mut r, NodeId(5), NodeId(6)).is_some());
     }
 
     #[test]

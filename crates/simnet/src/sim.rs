@@ -2,12 +2,13 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::mem;
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::arena::{BatchMember, BatchTable, MessageArena};
 use crate::disk::{Disk, DiskLatency};
 use crate::event::{Event, EventKind, EventQueue, Payload};
 use crate::net::Network;
@@ -44,6 +45,16 @@ pub struct EventStats {
     pub crashes: u64,
     /// The largest number of events that were ever pending at once.
     pub queue_high_water: u64,
+    /// Message bodies routed through the slab arena (one per unicast or
+    /// multicast, not per recipient).
+    pub arena_messages: u64,
+    /// The most message bodies ever in flight at once — the arena's
+    /// steady-state footprint in slots.
+    pub arena_high_water: u64,
+    /// Multicasts coalesced into a single chain-refiled queue entry.
+    pub multicast_batches: u64,
+    /// Deliveries fanned out of batch entries (a subset of `delivers`).
+    pub batched_deliveries: u64,
 }
 
 impl EventStats {
@@ -56,6 +67,10 @@ impl EventStats {
         self.inline_wakes += other.inline_wakes;
         self.crashes += other.crashes;
         self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.arena_messages += other.arena_messages;
+        self.arena_high_water = self.arena_high_water.max(other.arena_high_water);
+        self.multicast_batches += other.multicast_batches;
+        self.batched_deliveries += other.batched_deliveries;
     }
 }
 
@@ -63,10 +78,14 @@ impl EventStats {
 /// FIFO. Without this, deferred events would be re-pushed into the global
 /// heap once per processing step, degenerating to O(K²) heap churn under
 /// backlog.
+///
+/// Both variants are handles: message bodies stay in the arena and timer
+/// payloads in the timer table until the moment the handler runs, so a
+/// backlog move shuffles a few machine words regardless of message size.
 #[derive(Debug)]
 enum Deferred<M> {
     Msg { from: NodeId, msg: Payload<M> },
-    Timer { id: TimerId, msg: M },
+    Timer { id: TimerId },
 }
 
 /// Initial capacity of each node's backlog FIFO: covers the common bursts
@@ -211,6 +230,12 @@ pub struct Core<M> {
     states: Vec<NodeState<M>>,
     traffic: Traffic,
     timers: TimerTable<M>,
+    arena: MessageArena<M>,
+    batches: BatchTable<M>,
+    /// Reusable per-multicast member buffer; taken and restored around the
+    /// target loop so the steady state never allocates one.
+    mcast_scratch: Vec<BatchMember>,
+    batch_multicast: bool,
     events_processed: u64,
     stats: EventStats,
     drain_profiles: Vec<DrainProfile>,
@@ -244,12 +269,16 @@ impl<M> Core<M> {
     }
 
     /// Clears a node's backlog, releasing the timer-table slots of deferred
-    /// timers so crashed work does not leak them.
+    /// timers and the arena references of deferred messages so crashed work
+    /// does not leak them.
     fn clear_backlog(&mut self, nid: NodeId) {
         let state = &mut self.states[nid.index()];
         for work in state.backlog.drain(..) {
-            if let Deferred::Timer { id, .. } = work {
-                self.timers.cancel(id);
+            match work {
+                Deferred::Timer { id } => {
+                    self.timers.cancel(id);
+                }
+                Deferred::Msg { msg, .. } => msg.release(&mut self.arena),
             }
         }
     }
@@ -318,23 +347,30 @@ impl<M: Wire> Core<M> {
             return; // lost or blocked
         };
         let seq = self.next_seq();
+        self.stats.arena_messages += 1;
+        let msg = Payload::Unique(self.arena.insert(msg, 1));
         self.queue.push(Event {
             time: departure + delay,
             seq,
-            kind: EventKind::Deliver {
-                to,
-                from,
-                msg: Payload::Owned(msg),
-            },
+            kind: EventKind::Deliver { to, from, msg },
         });
     }
 
-    /// Sends one message body to many recipients, sharing the body behind
-    /// an [`Arc`] instead of cloning it per recipient. Per-link traffic
+    /// Sends one message body to many recipients, storing it once in the
+    /// arena instead of cloning it per recipient. Per-link traffic
     /// accounting, loss sampling, and delivery order are identical to
     /// calling [`send`](Core::send) once per target; only the payload
     /// copies are elided (the last delivery moves the body out, and copies
     /// to crashed or unreachable nodes are never cloned).
+    ///
+    /// With multicast batching on (the default), the surviving recipient
+    /// set becomes *one* queue entry filed at its earliest member's
+    /// `(time, seq)` and re-filed at the next member's slot after each
+    /// delivery. Because the survivors' seqs are reserved back-to-back, no
+    /// foreign event can order between two members that share a delivery
+    /// time, so chain-refiling dispatches members at exactly the positions
+    /// per-recipient entries would have occupied — the batched-vs-unbatched
+    /// differential test pins this down.
     pub(crate) fn multicast(
         &mut self,
         from: NodeId,
@@ -345,25 +381,70 @@ impl<M: Wire> Core<M> {
     {
         let departure = self.states[from.index()].busy_until.max(self.now);
         let bytes = msg.wire_size() + HEADER_BYTES;
-        let shared = Arc::new(msg);
+        // The RNG draws (transmit) and seq reservations interleave per
+        // target in exactly the order of the per-recipient path, so both
+        // modes consume identical randomness.
+        let mut members = mem::take(&mut self.mcast_scratch);
+        members.clear();
         for to in targets {
             let Some(delay) = self.transmit(from, to, bytes) else {
                 continue; // lost or blocked
             };
-            let seq = self.next_seq();
-            self.queue.push(Event {
-                time: departure + delay,
-                seq,
-                kind: EventKind::Deliver {
-                    to,
-                    from,
-                    msg: Payload::Shared {
-                        arc: Arc::clone(&shared),
-                        clone: <M as Clone>::clone,
-                    },
-                },
+            members.push(BatchMember {
+                time_ns: (departure + delay).as_nanos(),
+                seq: self.next_seq(),
+                to,
             });
         }
+        match members.len() {
+            0 => {} // every copy lost
+            1 => {
+                let m = members[0];
+                self.stats.arena_messages += 1;
+                let msg = Payload::Unique(self.arena.insert(msg, 1));
+                self.queue.push(Event {
+                    time: SimTime::from_nanos(m.time_ns),
+                    seq: m.seq,
+                    kind: EventKind::Deliver {
+                        to: m.to,
+                        from,
+                        msg,
+                    },
+                });
+            }
+            _ if self.batch_multicast => {
+                members.sort_unstable_by_key(|m| (m.time_ns, m.seq));
+                self.stats.arena_messages += 1;
+                self.stats.multicast_batches += 1;
+                let id = self.arena.insert(msg, members.len() as u32);
+                let batch = self.batches.create(from, id, <M as Clone>::clone, &members);
+                let first = members[0];
+                self.queue.push(Event {
+                    time: SimTime::from_nanos(first.time_ns),
+                    seq: first.seq,
+                    kind: EventKind::DeliverBatch { batch },
+                });
+            }
+            _ => {
+                self.stats.arena_messages += 1;
+                let id = self.arena.insert(msg, members.len() as u32);
+                for m in &members {
+                    self.queue.push(Event {
+                        time: SimTime::from_nanos(m.time_ns),
+                        seq: m.seq,
+                        kind: EventKind::Deliver {
+                            to: m.to,
+                            from,
+                            msg: Payload::Shared {
+                                id,
+                                clone: <M as Clone>::clone,
+                            },
+                        },
+                    });
+                }
+            }
+        }
+        self.mcast_scratch = members;
     }
 }
 
@@ -418,6 +499,10 @@ impl<M: Wire + 'static> Simulation<M> {
                 states: Vec::new(),
                 traffic: Traffic::new(),
                 timers: TimerTable::new(),
+                arena: MessageArena::new(),
+                batches: BatchTable::new(),
+                mcast_scratch: Vec::new(),
+                batch_multicast: true,
                 events_processed: 0,
                 stats: EventStats::default(),
                 drain_profiles: Vec::new(),
@@ -567,30 +652,41 @@ impl<M: Wire + 'static> Simulation<M> {
     /// Runs one unit of deferred or fresh work on `nid` at time `ev_time`.
     fn process(&mut self, nid: NodeId, work: Deferred<M>) {
         self.core.events_processed += 1;
-        let mut node = self.nodes[nid.index()].take().expect("node present");
-        let mut ctx = Context {
-            core: &mut self.core,
-            id: nid,
-        };
         match work {
             Deferred::Msg { from, msg } => {
-                if let Some(trace) = &mut ctx.core.trace {
-                    trace.push(ctx.core.now, TraceEventKind::Deliver { from, to: nid });
+                // Materialize from the arena only now, at the handler
+                // boundary: while the delivery was queued it was a handle.
+                let msg = msg.into_message(&mut self.core.arena);
+                if let Some(trace) = &mut self.core.trace {
+                    trace.push(self.core.now, TraceEventKind::Deliver { from, to: nid });
                 }
-                node.on_message(&mut ctx, from, msg.into_message())
+                let mut node = self.nodes[nid.index()].take().expect("node present");
+                let mut ctx = Context {
+                    core: &mut self.core,
+                    id: nid,
+                };
+                node.on_message(&mut ctx, from, msg);
+                self.nodes[nid.index()] = Some(node);
             }
-            Deferred::Timer { id, msg } => {
+            Deferred::Timer { id } => {
                 // The timer may have been cancelled while it sat in the
-                // backlog; settling the slot tells us, in O(1).
-                if ctx.core.timers.complete(id) {
-                    if let Some(trace) = &mut ctx.core.trace {
-                        trace.push(ctx.core.now, TraceEventKind::TimerFired { node: nid });
-                    }
-                    node.on_timer(&mut ctx, id, msg);
+                // backlog; consuming the slot tells us, in O(1), and takes
+                // the payload the table held onto in the meantime.
+                let Some(msg) = self.core.timers.consume(id) else {
+                    return;
+                };
+                if let Some(trace) = &mut self.core.trace {
+                    trace.push(self.core.now, TraceEventKind::TimerFired { node: nid });
                 }
+                let mut node = self.nodes[nid.index()].take().expect("node present");
+                let mut ctx = Context {
+                    core: &mut self.core,
+                    id: nid,
+                };
+                node.on_timer(&mut ctx, id, msg);
+                self.nodes[nid.index()] = Some(node);
             }
         }
-        self.nodes[nid.index()] = Some(node);
     }
 
     /// Hands `work` to `nid`: runs it immediately if the node's processor
@@ -602,8 +698,11 @@ impl<M: Wire + 'static> Simulation<M> {
     fn offer(&mut self, nid: NodeId, work: Deferred<M>, at: SimTime) {
         let state = &mut self.core.states[nid.index()];
         if state.crashed {
-            if let Deferred::Timer { id, .. } = work {
-                self.core.timers.cancel(id);
+            match work {
+                Deferred::Timer { id } => {
+                    self.core.timers.cancel(id);
+                }
+                Deferred::Msg { msg, .. } => msg.release(&mut self.core.arena),
             }
             return;
         }
@@ -718,25 +817,61 @@ impl<M: Wire + 'static> Simulation<M> {
                 self.offer(to, Deferred::Msg { from, msg }, ev.time);
                 self.settle_wake(to, limit);
             }
+            EventKind::DeliverBatch { batch } => {
+                // One member per dispatch: advance the batch, re-file the
+                // entry at the *next* member's exact `(time, seq)` — before
+                // offering, so the bounded peeks in `settle_wake` keep
+                // seeing the earliest undelivered member — then deliver.
+                let (step, clone) = self.core.batches.advance(batch);
+                debug_assert_eq!(
+                    (step.member.time_ns, step.member.seq),
+                    (ev.time.as_nanos(), ev.seq),
+                    "batch entry filed at its next member's slot"
+                );
+                if let Some((time_ns, seq)) = step.refile {
+                    self.core.queue.push(Event {
+                        time: SimTime::from_nanos(time_ns),
+                        seq,
+                        kind: EventKind::DeliverBatch { batch },
+                    });
+                }
+                self.core.stats.delivers += 1;
+                self.core.stats.batched_deliveries += 1;
+                let msg = Payload::Shared {
+                    id: step.msg,
+                    clone,
+                };
+                let to = step.member.to;
+                self.offer(
+                    to,
+                    Deferred::Msg {
+                        from: step.from,
+                        msg,
+                    },
+                    ev.time,
+                );
+                self.settle_wake(to, limit);
+            }
             EventKind::Timer {
                 node: nid,
                 id,
                 epoch,
             } => {
-                // Taking the payload doubles as the liveness check: a
-                // cancelled timer's slot was re-stamped, so this entry is
-                // stale and drops in O(1) — no tombstone set to consult.
-                let Some(msg) = self.core.timers.fire(id) else {
+                // The liveness probe doubles as the staleness check: a
+                // cancelled timer's slot was re-stamped, so this entry
+                // drops in O(1) — no tombstone set to consult. The payload
+                // stays in the table until the handler runs.
+                if !self.core.timers.is_live(id) {
                     return;
-                };
+                }
                 // Timers armed by a wiped incarnation must never reach the
-                // rebuilt node: drop the payload and settle the slot.
+                // rebuilt node: free the payload and settle the slot.
                 if self.core.states[nid.index()].epoch != epoch {
-                    self.core.timers.complete(id);
+                    self.core.timers.cancel(id);
                     return;
                 }
                 self.core.stats.timers += 1;
-                self.offer(nid, Deferred::Timer { id, msg }, ev.time);
+                self.offer(nid, Deferred::Timer { id }, ev.time);
                 self.settle_wake(nid, limit);
             }
             EventKind::Crash { node: nid } => {
@@ -927,8 +1062,10 @@ impl<M: Wire + 'static> Simulation<M> {
         self.core.events_processed
     }
 
-    /// Number of events still pending (global queue plus materialized
-    /// wake-ups in the wake lane).
+    /// Number of queue entries still pending (global queue plus
+    /// materialized wake-ups in the wake lane). A batched multicast counts
+    /// as one entry however many recipients it still covers; zero still
+    /// means fully quiescent.
     pub fn pending_events(&self) -> usize {
         self.core.queue.len() + self.wake_lane.len()
     }
@@ -944,8 +1081,30 @@ impl<M: Wire + 'static> Simulation<M> {
     pub fn event_stats(&self) -> EventStats {
         EventStats {
             queue_high_water: self.core.queue.high_water().max(self.wake_high_water) as u64,
+            arena_messages: self.core.arena.inserted(),
+            arena_high_water: self.core.arena.high_water() as u64,
             ..self.core.stats
         }
+    }
+
+    /// Message bodies currently parked in the slab arena (in-flight or
+    /// deferred behind busy nodes). Zero at quiescence: a nonzero value
+    /// after a drained run would mean a delivery path leaked its arena
+    /// reference.
+    pub fn pending_messages(&self) -> usize {
+        self.core.arena.live()
+    }
+
+    /// Switches multicast delivery between the batched path (default:
+    /// one chain-refiled queue entry per multicast) and the per-recipient
+    /// reference path (one queue entry per surviving recipient).
+    ///
+    /// Both paths reserve seqs and draw randomness at identical points and
+    /// dispatch deliveries in an identical global order, so runs are
+    /// byte-identical either way; only queue population and throughput
+    /// differ. Kept as the oracle for differential batching tests.
+    pub fn set_multicast_batching(&mut self, batch: bool) {
+        self.core.batch_multicast = batch;
     }
 
     /// Switches to the eager-wakes reference scheduler: every reserved

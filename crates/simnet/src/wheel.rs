@@ -386,6 +386,37 @@ impl<M> TimerTable<M> {
         self.cancel(id)
     }
 
+    /// Whether `id` is live with its payload still in place — the cheap
+    /// dispatch-time check of the deferred-take protocol (see
+    /// [`consume`](Self::consume)).
+    pub fn is_live(&self, id: TimerId) -> bool {
+        let (idx, gen) = Self::parts(id);
+        matches!(self.slots.get(idx), Some(slot) if slot.0 == gen && slot.1.is_some())
+    }
+
+    /// Takes the payload and settles the slot in one step, right before
+    /// the handler runs. Returns `None` — leaving a still-live slot for
+    /// [`cancel`](Self::cancel) to settle — when the timer was cancelled
+    /// while its delivery sat in a node backlog.
+    ///
+    /// This is the deferred-take alternative to
+    /// [`fire`](Self::fire)-then-[`complete`](Self::complete): the payload
+    /// stays in the table while the delivery is queued behind a busy node,
+    /// so the queued work is an 8-byte id instead of a message body, and a
+    /// cancel in the window still frees the payload immediately.
+    pub fn consume(&mut self, id: TimerId) -> Option<M> {
+        let (idx, gen) = Self::parts(id);
+        let slot = self.slots.get_mut(idx)?;
+        if slot.0 != gen {
+            return None;
+        }
+        let msg = slot.1.take()?;
+        slot.0 = slot.0.wrapping_add(1); // odd → even: free
+        self.free.push(idx as u32);
+        self.live -= 1;
+        Some(msg)
+    }
+
     /// Number of timers currently armed (including fired-but-unprocessed).
     pub fn live(&self) -> usize {
         self.live
@@ -612,6 +643,34 @@ mod tests {
         assert!(!t.cancel(first));
         assert_eq!(t.live(), 1);
         assert_eq!(t.fire(second), Some(2));
+    }
+
+    #[test]
+    fn consume_takes_and_settles_in_one_step() {
+        let mut t: TimerTable<u32> = TimerTable::new();
+        let id = t.arm(11);
+        assert!(t.is_live(id));
+        assert_eq!(t.consume(id), Some(11));
+        assert_eq!(t.live(), 0);
+        assert!(!t.is_live(id));
+        assert_eq!(t.consume(id), None, "second consume is stale");
+        // The recycled slot's new occupant is invisible to the old handle.
+        let fresh = t.arm(12);
+        assert!(!t.is_live(id));
+        assert!(!t.cancel(id));
+        assert_eq!(t.consume(fresh), Some(12));
+    }
+
+    #[test]
+    fn cancel_between_dispatch_and_consume_wins() {
+        let mut t: TimerTable<u32> = TimerTable::new();
+        let id = t.arm(5);
+        assert!(t.is_live(id));
+        // Cancelled while the delivery sits in a node backlog…
+        assert!(t.cancel(id));
+        // …so the deferred consume must see it dead.
+        assert_eq!(t.consume(id), None);
+        assert_eq!(t.live(), 0);
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Differential test of batched multicast delivery against the
+//! per-recipient reference path.
+//!
+//! A multicast normally files ONE queue entry that chain-refiles itself
+//! through the recipients' `(time, seq)` slots; `set_multicast_batching
+//! (false)` restores one pre-materialized entry per recipient.  Both modes
+//! draw randomness and reserve sequence numbers at identical points, so a
+//! stress scenario covering heavy fan-out, jittery and lossy links, busy
+//! backlogged nodes, crashes mid-flight, recoveries, and amnesia wipes
+//! must produce byte-identical traces and identical observable state —
+//! only the batching counters themselves may differ.  Both runs must also
+//! end with zero bodies left in the message arena: every slot taken by a
+//! delivery, released on a crashed recipient, or dropped with a wiped
+//! backlog has to be recycled.
+
+use std::time::Duration;
+
+use idem_simnet::{
+    Context, EventStats, LinkSpec, Network, Node, NodeId, SimTime, Simulation, TimerId, Wire,
+};
+
+#[derive(Clone, Debug)]
+enum Msg {
+    /// Fan this out to everyone again `hops` more times.
+    Gossip {
+        round: u32,
+        hops: u32,
+    },
+    /// Unicast acknowledgement, mixing per-recipient entries between
+    /// batch members in the global order.
+    Ack(u32),
+    Tick,
+}
+
+impl Wire for Msg {
+    fn wire_size(&self) -> usize {
+        12
+    }
+}
+
+/// A gossiping worker: every received rumor is re-multicast to all peers
+/// (with RNG-dependent cost, so any dispatch reordering perturbs draws),
+/// plus a unicast ack back to the sender landing between batch members.
+struct Gossiper {
+    peers: Vec<NodeId>,
+    digest: u64,
+    received: u64,
+    timer: Option<TimerId>,
+}
+
+impl Gossiper {
+    fn observe(&mut self, tag: u64, at: SimTime) {
+        self.digest = self
+            .digest
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(tag ^ at.as_nanos());
+    }
+}
+
+impl Node<Msg> for Gossiper {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        self.received += 1;
+        match msg {
+            Msg::Gossip { round, hops } => {
+                self.observe(u64::from(round) << 8 | u64::from(from.0), ctx.now());
+                use rand::Rng;
+                let cost = ctx.rng().gen_range(15..45);
+                ctx.charge(Duration::from_micros(cost));
+                ctx.send(from, Msg::Ack(round));
+                if hops > 0 {
+                    ctx.multicast(
+                        self.peers.iter().copied(),
+                        Msg::Gossip {
+                            round,
+                            hops: hops - 1,
+                        },
+                    );
+                }
+                if self.received.is_multiple_of(5) {
+                    match self.timer.take() {
+                        Some(t) => ctx.cancel_timer(t),
+                        None => {
+                            self.timer = Some(ctx.set_timer(Duration::from_micros(70), Msg::Tick))
+                        }
+                    }
+                }
+            }
+            Msg::Ack(round) => {
+                self.observe(0xACC00 | u64::from(round), ctx.now());
+                ctx.charge(Duration::from_micros(5));
+            }
+            Msg::Tick => unreachable!("Tick only arrives via timers"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _id: TimerId, _msg: Msg) {
+        self.timer = None;
+        self.observe(0x71C, ctx.now());
+        ctx.charge(Duration::from_micros(5));
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.observe(0x4EC, ctx.now());
+    }
+}
+
+/// Seeds rumors into the mesh on a timer so multicasts keep flowing after
+/// the gossip dies down.
+struct Seeder {
+    workers: Vec<NodeId>,
+    round: u32,
+}
+
+impl Node<Msg> for Seeder {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(Duration::from_micros(100), Msg::Tick);
+    }
+
+    fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _id: TimerId, _msg: Msg) {
+        self.round += 1;
+        ctx.multicast(
+            self.workers.iter().copied(),
+            Msg::Gossip {
+                round: self.round,
+                hops: 2,
+            },
+        );
+        if self.round < 120 {
+            ctx.set_timer(Duration::from_micros(100), Msg::Tick);
+        }
+    }
+}
+
+struct Observation {
+    trace: String,
+    digests: Vec<u64>,
+    received: Vec<u64>,
+    events_processed: u64,
+    pending_events: usize,
+    pending_timers: usize,
+    pending_messages: usize,
+    total_bytes: u64,
+    total_messages: u64,
+    now: SimTime,
+    stats: EventStats,
+}
+
+fn run(batched: bool) -> Observation {
+    let link =
+        LinkSpec::new(Duration::from_micros(80), Duration::from_micros(30)).with_drop_prob(0.02);
+    let mut sim: Simulation<Msg> = Simulation::with_network(0xBA7C4, Network::new(link));
+    sim.set_multicast_batching(batched);
+    sim.set_trace(1 << 16);
+
+    let workers: Vec<NodeId> = (0..5).map(|_| sim.reserve_node()).collect();
+    for &w in &workers {
+        let make = {
+            let peers = workers.clone();
+            move || {
+                Box::new(Gossiper {
+                    peers: peers.clone(),
+                    digest: 0,
+                    received: 0,
+                    timer: None,
+                }) as Box<dyn Node<Msg>>
+            }
+        };
+        sim.install_node(w, make());
+        sim.set_node_factory(w, Box::new(make));
+    }
+    sim.add_node(Box::new(Seeder {
+        workers: workers.clone(),
+        round: 0,
+    }));
+
+    // Crash one gossiper while multicasts addressed to it are in flight
+    // (their arena refs must be released, batched or not), recover it,
+    // and wipe another mid-backlog.
+    sim.schedule_crash(workers[2], SimTime::from_nanos(2_500_000));
+    sim.schedule_recovery(workers[2], SimTime::from_nanos(7_000_000));
+    sim.run_until(SimTime::from_nanos(11_000_000));
+    sim.wipe_now(workers[4], true);
+    // Long tail: everything in flight drains, so the arena leak check is
+    // exact.
+    sim.run_for(Duration::from_millis(300));
+
+    Observation {
+        trace: sim.trace().expect("tracing enabled").dump(),
+        digests: workers
+            .iter()
+            .map(|&w| sim.node_as::<Gossiper>(w).unwrap().digest)
+            .collect(),
+        received: workers
+            .iter()
+            .map(|&w| sim.node_as::<Gossiper>(w).unwrap().received)
+            .collect(),
+        events_processed: sim.events_processed(),
+        pending_events: sim.pending_events(),
+        pending_timers: sim.pending_timers(),
+        pending_messages: sim.pending_messages(),
+        total_bytes: sim.traffic().total_bytes(),
+        total_messages: sim.traffic().total_messages(),
+        now: sim.now(),
+        stats: sim.event_stats(),
+    }
+}
+
+#[test]
+fn batched_multicast_is_observationally_identical_to_per_recipient() {
+    let batched = run(true);
+    let unbatched = run(false);
+
+    // Byte-identical execution trace: every send (with its sampled drop),
+    // delivery, timer, crash, recovery, and wipe at the same virtual time
+    // in the same order.
+    assert_eq!(batched.trace, unbatched.trace);
+
+    assert_eq!(batched.digests, unbatched.digests);
+    assert_eq!(batched.received, unbatched.received);
+    assert_eq!(batched.events_processed, unbatched.events_processed);
+    assert_eq!(batched.pending_events, unbatched.pending_events);
+    assert_eq!(batched.pending_timers, unbatched.pending_timers);
+    assert_eq!(batched.total_bytes, unbatched.total_bytes);
+    assert_eq!(batched.total_messages, unbatched.total_messages);
+    assert_eq!(batched.now, unbatched.now);
+
+    // Same dispatch mix and scheduler decisions — chain-refiling must not
+    // perturb the bounded peeks behind inline backlog drains.
+    assert_eq!(batched.stats.delivers, unbatched.stats.delivers);
+    assert_eq!(batched.stats.timers, unbatched.stats.timers);
+    assert_eq!(batched.stats.crashes, unbatched.stats.crashes);
+    assert_eq!(batched.stats.wakes, unbatched.stats.wakes);
+    assert_eq!(batched.stats.inline_wakes, unbatched.stats.inline_wakes);
+    assert_eq!(batched.stats.arena_messages, unbatched.stats.arena_messages);
+
+    // The whole point of the exercise: the batched run actually batches.
+    assert!(batched.stats.multicast_batches > 0);
+    assert!(batched.stats.batched_deliveries > batched.stats.multicast_batches);
+    assert_eq!(unbatched.stats.multicast_batches, 0);
+    assert_eq!(unbatched.stats.batched_deliveries, 0);
+
+    // No leaked bodies: every arena slot was materialized, released on a
+    // crashed recipient, or dropped with a wiped backlog.
+    assert_eq!(batched.pending_messages, 0);
+    assert_eq!(unbatched.pending_messages, 0);
+}

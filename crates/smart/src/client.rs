@@ -69,7 +69,7 @@ pub struct SmartClientStats {
 #[derive(Debug)]
 struct InFlight {
     id: RequestId,
-    command: Vec<u8>,
+    command: std::sync::Arc<[u8]>,
     issued_at: SimTime,
     retransmit_timer: TimerId,
 }
@@ -122,12 +122,15 @@ impl SmartClient {
             self.stopped = true;
             return;
         };
+        let command: std::sync::Arc<[u8]> = command.into();
         let id = RequestId::new(self.id, self.next_op);
         self.next_op = self.next_op.next();
         self.stats.issued += 1;
         let req = Request::new(id, command.clone());
-        let replicas: Vec<NodeId> = self.dir.replica_addrs().to_vec();
-        ctx.multicast(replicas, SmartMessage::Request(req));
+        ctx.multicast(
+            self.dir.replica_addrs().iter().copied(),
+            SmartMessage::Request(req),
+        );
         let retransmit_timer = ctx.set_timer(
             self.cfg.retransmit_interval,
             SmartMessage::ClientTimeout(id.op),
@@ -182,8 +185,10 @@ impl SmartClient {
             SmartMessage::ClientTimeout(op),
         );
         self.current.as_mut().expect("in flight").retransmit_timer = timer;
-        let replicas: Vec<NodeId> = self.dir.replica_addrs().to_vec();
-        ctx.multicast(replicas, SmartMessage::Request(req));
+        ctx.multicast(
+            self.dir.replica_addrs().iter().copied(),
+            SmartMessage::Request(req),
+        );
     }
 }
 

@@ -227,14 +227,15 @@ impl SmartReplica {
         self.vc_target.is_none() && self.leader_of(self.view) == self.me
     }
 
-    fn peers(&self) -> Vec<NodeId> {
+    /// Every replica but this one, straight off the directory slice —
+    /// no per-multicast allocation.
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
         let me = self.dir.replica(self.me);
         self.dir
             .replica_addrs()
             .iter()
             .copied()
-            .filter(|&n| n != me)
-            .collect()
+            .filter(move |&n| n != me)
     }
 
     fn executed_already(&self, id: RequestId) -> bool {
@@ -304,8 +305,7 @@ impl SmartReplica {
         });
         self.stats.batches_proposed += 1;
         let view = self.view;
-        let peers = self.peers();
-        ctx.multicast(peers, SmartMessage::Propose { sqn, view, batch });
+        ctx.multicast(self.peers(), SmartMessage::Propose { sqn, view, batch });
         self.maybe_decide(ctx);
     }
 
@@ -342,8 +342,7 @@ impl SmartReplica {
                     self.vc_resume = None;
                     self.reset_progress_timer(ctx);
                     // We likely missed instances while away: catch up.
-                    let peers = self.peers();
-                    ctx.multicast(peers, SmartMessage::CheckpointRequest);
+                    ctx.multicast(self.peers(), SmartMessage::CheckpointRequest);
                 }
             }
             _ => {
@@ -423,8 +422,7 @@ impl SmartReplica {
             }
         }
         self.stats.accepts_sent += 1;
-        let peers = self.peers();
-        ctx.multicast(peers, SmartMessage::Accept { sqn, view });
+        ctx.multicast(self.peers(), SmartMessage::Accept { sqn, view });
         self.ensure_progress_timer(ctx);
         self.maybe_decide(ctx);
     }
@@ -476,7 +474,7 @@ impl SmartReplica {
                 slot,
                 req.id,
                 !already,
-                if already { &[] } else { &req.command },
+                if already { &[] } else { &req.command[..] },
             );
             if already {
                 continue;
@@ -614,8 +612,7 @@ impl SmartReplica {
         if self.sync_target.is_some() {
             // Still catching up after a view change: the checkpoint
             // request or its reply may have been lost — ask again.
-            let peers = self.peers();
-            ctx.multicast(peers, SmartMessage::CheckpointRequest);
+            ctx.multicast(self.peers(), SmartMessage::CheckpointRequest);
         }
         if !self.has_pending_work() && self.sync_target.is_none() {
             return;
@@ -639,9 +636,8 @@ impl SmartReplica {
             .entry(target.0)
             .or_default()
             .insert(self.me.0, (pending.clone(), self.next_sqn));
-        let peers = self.peers();
         ctx.multicast(
-            peers,
+            self.peers(),
             SmartMessage::ViewChange {
                 target,
                 pending,
@@ -726,8 +722,7 @@ impl SmartReplica {
             // request if it or its reply is lost). `maybe_propose` emits
             // the re-proposal once `next_sqn` reaches the slot.
             self.sync_target = Some(max_next);
-            let peers = self.peers();
-            ctx.multicast(peers, SmartMessage::CheckpointRequest);
+            ctx.multicast(self.peers(), SmartMessage::CheckpointRequest);
         }
         self.reset_progress_timer(ctx);
         self.maybe_propose(ctx);
@@ -757,7 +752,7 @@ impl SmartReplica {
                     slot: (sqn.0 << SLOT_BATCH_SHIFT) | offset as u64,
                     view: view.0,
                     id: req.id,
-                    command: req.command.clone(),
+                    command: req.command.to_vec(),
                 },
             );
         }
@@ -812,8 +807,7 @@ impl SmartReplica {
     /// backoff, so a lost request (or answer) cannot strand a rebooting
     /// replica.
     fn send_recovery_request(&mut self, ctx: &mut Context<'_, SmartMessage>) {
-        let peers = self.peers();
-        ctx.multicast(peers, SmartMessage::CheckpointRequest);
+        ctx.multicast(self.peers(), SmartMessage::CheckpointRequest);
         let delay = Self::RECOVERY_RETRY_BASE * (1 << self.recovery_attempts.min(3));
         if let Some(old) = self.recovery_timer.take() {
             ctx.cancel_timer(old);

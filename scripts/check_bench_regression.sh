@@ -16,6 +16,25 @@
 # work is reported as `inline_wakes` instead). A nonzero `wakes` in a new
 # summary means the lazy scheduler stopped covering some path — worth
 # investigating even if events_per_sec is still within threshold.
+#
+# Allocation baseline: the deliver hot path is allocation-free in steady
+# state (DESIGN.md §6c — slab message arena, batched multicast, dense
+# per-node network state). That contract is NOT visible in the events/s
+# numbers here; it is enforced directly by the counting-allocator
+# regression tests, which any hot-path change should re-run:
+#
+#     cargo test -p idem-harness --features alloc-count --test alloc_regression
+#
+# Baselines pinned there: a pure-simnet fan-out scenario performs zero
+# allocator calls over its measured window, and a saturated 3-replica
+# IDEM cell stays under one allocation per simulated event (0.80 when
+# the tests were written; the assert allows < 1.0). When the per-run
+# events/s totals here drift, check those tests first — an allocation
+# sneaking back into the deliver path is the usual cause.
+#
+# The committed BENCH_repro.json totals ~1.45M events/s (quick mode,
+# --jobs 2); the arena + batching + dense-state change took it there
+# from 928k, which itself came from 499k via wake elision.
 set -euo pipefail
 
 baseline="${1:?usage: $0 <baseline.json> <current.json> [threshold_pct]}"
@@ -57,6 +76,24 @@ done < /tmp/bench_current.$$
 if (( compared == 0 )); then
     echo "error: no common experiments between '$baseline' and '$current'" >&2
     exit 2
+fi
+
+# Also compare the whole-run total when both files carry one (full
+# `repro all` summaries do; subset runs skip it).
+total_of() {
+    sed -n 's/.*"total": {.*"events_per_sec": \([0-9]*\).*/\1/p' "$1"
+}
+base_total=$(total_of "$baseline")
+cur_total=$(total_of "$current")
+if [[ -n "$base_total" && -n "$cur_total" ]]; then
+    floor=$(awk -v b="$base_total" -v t="$threshold" 'BEGIN { printf "%d", b * (100 - t) / 100 }')
+    if (( cur_total < floor )); then
+        delta=$(awk -v b="$base_total" -v c="$cur_total" 'BEGIN { printf "%.1f", (b - c) * 100 / b }')
+        echo "REGRESSION: total: $cur_total events/s vs baseline $base_total (-$delta%, threshold ${threshold}%)"
+        fail=1
+    else
+        echo "ok: total: $cur_total events/s vs baseline $base_total"
+    fi
 fi
 
 if (( fail )); then
