@@ -24,13 +24,40 @@ use crate::ids::{ClientId, ReplicaId};
 pub struct Directory<N> {
     replicas: Vec<N>,
     clients: Vec<N>,
+    /// Address answering for every client id beyond `clients`. An
+    /// aggregate open-loop source impersonates millions of logical
+    /// clients from one node; enumerating them here would put a 10⁶-entry
+    /// table in every replica for what is really a single address.
+    client_fallback: Option<N>,
 }
 
 impl<N: Copy + PartialEq> Directory<N> {
     /// Creates a directory from replica and client address lists, indexed
     /// by `ReplicaId` / `ClientId` respectively.
     pub fn new(replicas: Vec<N>, clients: Vec<N>) -> Directory<N> {
-        Directory { replicas, clients }
+        Directory {
+            replicas,
+            clients,
+            client_fallback: None,
+        }
+    }
+
+    /// Creates a directory where every client id not covered by the
+    /// explicit `clients` list resolves to `fallback` — the address of an
+    /// aggregate load source standing in for the whole logical
+    /// population.
+    ///
+    /// ```
+    /// use idem_common::{ClientId, Directory};
+    /// let dir: Directory<u32> = Directory::with_client_fallback(vec![10, 11, 12], vec![], 99);
+    /// assert_eq!(dir.client(ClientId(123_456)), 99);
+    /// ```
+    pub fn with_client_fallback(replicas: Vec<N>, clients: Vec<N>, fallback: N) -> Directory<N> {
+        Directory {
+            replicas,
+            clients,
+            client_fallback: Some(fallback),
+        }
     }
 
     /// The address of a replica.
@@ -44,9 +71,15 @@ impl<N: Copy + PartialEq> Directory<N> {
     /// The address of a client.
     ///
     /// # Panics
-    /// Panics if the client id is out of range.
+    /// Panics if the client id is beyond the explicit list and no
+    /// fallback address is configured.
     pub fn client(&self, id: ClientId) -> N {
-        self.clients[id.0 as usize]
+        match self.clients.get(id.0 as usize) {
+            Some(&addr) => addr,
+            None => self
+                .client_fallback
+                .unwrap_or_else(|| panic!("client {id} out of range and no fallback configured")),
+        }
     }
 
     /// Reverse lookup: which replica (if any) has this address.
@@ -108,6 +141,23 @@ mod tests {
         let dir: Directory<u32> = Directory::new(vec![1], vec![2]);
         assert_eq!(dir.replica_of(99), None);
         assert_eq!(dir.client_of(99), None);
+    }
+
+    #[test]
+    fn fallback_covers_unlisted_client_ids() {
+        let dir: Directory<u32> = Directory::with_client_fallback(vec![1, 2, 3], vec![20], 77);
+        assert_eq!(dir.client(ClientId(0)), 20, "explicit entries win");
+        assert_eq!(dir.client(ClientId(1)), 77);
+        assert_eq!(dir.client(ClientId(999_999)), 77);
+        // Reverse lookup still only knows explicit entries.
+        assert_eq!(dir.client_of(77), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no fallback configured")]
+    fn out_of_range_without_fallback_panics() {
+        let dir: Directory<u32> = Directory::new(vec![1], vec![2]);
+        let _ = dir.client(ClientId(5));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod directory;
 pub mod driver;
 pub mod exec;
 pub mod ids;
+pub mod load;
 pub mod quorum;
 pub mod request;
 pub mod wal;
@@ -42,6 +43,7 @@ pub use directory::Directory;
 pub use driver::{ClientApp, OperationOutcome, OutcomeKind};
 pub use exec::ExecRecord;
 pub use ids::{ClientId, OpNumber, ReplicaId, RequestId, SeqNumber, View};
+pub use load::{ArrivalProcess, ArrivalSampler, BackoffWheel, LoadCounters, LoadPhase, MmppState};
 pub use quorum::{QuorumSet, QuorumTracker};
 pub use request::{Reply, Request};
 pub use wal::{PersistMode, Wal, WalRecord};

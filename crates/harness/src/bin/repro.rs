@@ -4,16 +4,20 @@
 //! ```text
 //! repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--bench-out FILE]
 //! repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--wipes] [--jobs N]
+//! repro load [--smoke | --full] [--out DIR] [--jobs N]
+//! repro --list
 //!
 //! experiments: fig2 fig3 fig6 fig7 table1 fig8 fig9a fig9b fig10 fig10d
-//!              strategies all calibrate chaos
-//! --full            paper-scale run lengths and repetitions (default: quick)
+//!              strategies all calibrate chaos load
+//! --full            paper-scale run lengths and repetitions (default: quick);
+//!                   for load: 10^6 logical clients, stretched phases
 //! --out DIR         also write the CSV series under DIR (default: results/)
 //! --jobs N          worker threads for the experiment sweep (default: the
 //!                   host's available parallelism); results are
 //!                   byte-identical for every N
 //! --bench-out FILE  where to write the wall-time/events-per-second summary
 //!                   (default: BENCH_repro.json)
+//! --list            list every experiment and load scenario, one per line
 //! --seeds N         chaos: run seeds 1..=N (default 50; must be >= 1)
 //! --seed X          chaos: run only seed X (for reproducing a CI failure)
 //! --schedule 'S'    chaos: replay this fault schedule instead of generating
@@ -21,14 +25,22 @@
 //! --wipes           chaos: generated schedules include amnesia wipes
 //!                   (wipe(R,AT[,trunc])); runs persist through the WAL and
 //!                   check the durability and rejoin-liveness invariants
+//! --smoke           load: CI preset (100k logical clients, truncated phases)
 //! ```
 //!
 //! `chaos` exits 1 if any invariant was violated, printing a replayable
 //! `--seed X --schedule '...'` line per violation.
+//!
+//! `load` runs the open-loop scenario family (flash crowd, diurnal ramp,
+//! hotspot migration, stragglers, bursty MMPP) and writes its
+//! offered-vs-goodput summary to `BENCH_load.json` (or `--bench-out` when
+//! load is the only thing run). It exits by panic if a scenario breaks
+//! conservation, session order, or the flash-crowd goodput ordering.
 
 use std::time::{Duration, Instant};
 
 use idem_harness::chaos::{self, ChaosConfig, Schedule};
+use idem_harness::experiments::load::LoadEffort;
 use idem_harness::experiments::{self, Effort};
 use idem_harness::report::ExperimentReport;
 use idem_harness::sweep::SweepRunner;
@@ -50,6 +62,9 @@ const ALL: [&str; 11] = [
     "strategies",
 ];
 
+/// Subcommands that are valid experiment names but not part of `all`.
+const EXTRA: [&str; 3] = ["calibrate", "chaos", "load"];
+
 /// Parsed command line.
 struct Args {
     full: bool,
@@ -62,18 +77,24 @@ struct Args {
     schedule: Option<String>,
     wipes: bool,
     bench_out_explicit: bool,
+    smoke: bool,
+    list: bool,
 }
 
 fn usage() -> String {
     format!(
         "usage: repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--bench-out FILE]\n\
          \x20      repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--wipes] [--jobs N]\n\
-         experiments: {} all calibrate chaos\n\
+         \x20      repro load [--smoke | --full] [--out DIR] [--jobs N]\n\
+         \x20      repro --list\n\
+         experiments: {} all calibrate chaos load\n\
          chaos flags: --seeds N      run seeds 1..=N (default 50, must be >= 1)\n\
          \x20            --seed X       run only seed X (reproduce a CI failure)\n\
          \x20            --schedule S   replay a fixed fault schedule, e.g.\n\
          \x20                           'crash(0,400,800);loss(0.050,900,1100)'\n\
-         \x20            --wipes        generated schedules include amnesia wipes",
+         \x20            --wipes        generated schedules include amnesia wipes\n\
+         load flags:  --smoke        CI preset: 100k logical clients, short phases\n\
+         \x20            --full         nightly preset: 10^6 clients, long phases",
         ALL.join(" ")
     )
 }
@@ -94,6 +115,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         schedule: None,
         wipes: false,
         bench_out_explicit: false,
+        smoke: false,
+        list: false,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -158,17 +181,32 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 }
                 parsed.wipes = true;
             }
+            "--smoke" => {
+                if inline_value.is_some() {
+                    return Err("flag '--smoke' takes no value".to_string());
+                }
+                parsed.smoke = true;
+            }
+            "--list" => {
+                if inline_value.is_some() {
+                    return Err("flag '--list' takes no value".to_string());
+                }
+                parsed.list = true;
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'\n{}", usage()));
             }
             name => {
-                if name != "all" && name != "calibrate" && name != "chaos" && !ALL.contains(&name) {
+                if name != "all" && !EXTRA.contains(&name) && !ALL.contains(&name) {
                     return Err(format!("unknown experiment '{name}'\n{}", usage()));
                 }
                 parsed.wanted.push(name.to_string());
             }
         }
+    }
+    if parsed.list {
+        return Ok(parsed); // --list exits before anything below matters
     }
     let is_chaos = parsed.wanted.iter().any(|w| w == "chaos");
     if !is_chaos
@@ -190,6 +228,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     }
     if parsed.seeds.is_some() && parsed.seed.is_some() {
         return Err("--seeds and --seed are mutually exclusive".to_string());
+    }
+    if parsed.smoke && !parsed.wanted.iter().any(|w| w == "load") {
+        return Err("--smoke applies only to the load experiment".to_string());
+    }
+    if parsed.smoke && parsed.full {
+        return Err("--smoke and --full are mutually exclusive".to_string());
     }
     if parsed.wanted.is_empty() || parsed.wanted.iter().any(|w| w == "all") {
         parsed.wanted = ALL.iter().map(|s| s.to_string()).collect();
@@ -216,6 +260,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.list {
+        // Machine-greppable: one `experiment <name>` / `scenario <name>`
+        // line each, so CI scripts can enumerate without hardcoding.
+        for name in ALL {
+            println!("experiment {name}");
+        }
+        for name in EXTRA {
+            println!("experiment {name}");
+        }
+        for name in experiments::load::SCENARIOS {
+            println!("scenario {name}");
+        }
+        return;
+    }
     let runner = match args.jobs {
         Some(jobs) => SweepRunner::new(jobs),
         None => SweepRunner::from_available_parallelism(),
@@ -301,6 +359,47 @@ fn main() {
                     stats.events,
                     stats.events_per_sec(wall),
                     report.total_violations(),
+                );
+                continue;
+            }
+            "load" => {
+                let load_effort = if args.smoke {
+                    LoadEffort::smoke()
+                } else if args.full {
+                    LoadEffort::full()
+                } else {
+                    LoadEffort::quick()
+                };
+                let family = experiments::load::run(load_effort, &runner);
+                let wall = start.elapsed();
+                let stats = runner.take_stats();
+                emit(&family.report, &args.out_dir);
+                if std::fs::create_dir_all(&args.out_dir).is_ok() {
+                    let path = format!("{}/load_report.txt", args.out_dir);
+                    if let Err(e) = std::fs::write(&path, family.report.to_text()) {
+                        eprintln!("warning: could not write {path}: {e}");
+                    }
+                }
+                // The goodput summary has its own schema, so it never goes
+                // through the generic BenchEntry list. Honour --bench-out
+                // only when load is all that runs; otherwise that file
+                // carries the generic experiment summary.
+                let load_only = args.wanted.iter().all(|w| w == "load");
+                let bench_path = if args.bench_out_explicit && load_only {
+                    args.bench_out.clone()
+                } else {
+                    "BENCH_load.json".to_string()
+                };
+                match std::fs::write(&bench_path, &family.bench_json) {
+                    Ok(()) => eprintln!("wrote load bench summary to {bench_path}"),
+                    Err(e) => eprintln!("warning: could not write {bench_path}: {e}"),
+                }
+                eprintln!(
+                    "[load done in {:.1?}: {} cell(s), {} sim events, {:.0} events/s]\n",
+                    wall,
+                    stats.cells,
+                    stats.events,
+                    stats.events_per_sec(wall),
                 );
                 continue;
             }

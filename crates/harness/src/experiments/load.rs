@@ -1,0 +1,563 @@
+//! Open-loop load scenarios: the cluster under *offered* (not closed-loop)
+//! arrival, driven by the aggregate million-client engine in
+//! [`crate::load`].
+//!
+//! Five scenario families probe regimes the paper's 50-client closed loop
+//! cannot reach:
+//!
+//! * **flash_crowd** — calm traffic, then a spike at 2.2× cluster capacity,
+//!   then calm again. The headline check: IDEM's proactive rejection must
+//!   sustain strictly higher goodput through the spike than the
+//!   no-rejection baselines, whose queues blow past the SLA.
+//! * **diurnal** — a slow ramp up to just above capacity and back down.
+//! * **hotspot** — steady overload while the zipfian key hotspot migrates
+//!   between phases.
+//! * **stragglers** — moderate load where 10% of the logical clients are
+//!   slow to issue (extra 20–50 ms), checking they are served, not starved.
+//! * **bursty** — a Markov-modulated arrival process alternating lull and
+//!   burst states faster than any phase schedule.
+//!
+//! Every cell checks the engine's conservation books and the shared
+//! recorder's session-order oracle, and the flash-crowd goodput ordering is
+//! asserted outright — a failed run exits loudly rather than producing a
+//! quietly wrong report.
+
+use std::time::{Duration, Instant};
+
+use idem_common::{ArrivalProcess, LoadPhase, MmppState};
+
+use crate::cluster::Protocol;
+use crate::load::{run_load_scenario, LoadRunResult};
+use crate::report::{fmt_ms, fmt_pct, render_csv, render_table, ExperimentReport};
+use crate::scenario::LoadScenario;
+use crate::sweep::SweepRunner;
+
+/// Calibrated saturation throughput of the three-replica cluster
+/// (see [`crate::cluster::KV_EXEC_COST`]); load scenarios quote arrival
+/// rates as multiples of this.
+pub const CAPACITY_REQ_S: f64 = 45_000.0;
+
+/// The scenario names in grid order, for `repro --list`.
+pub const SCENARIOS: [&str; 5] = ["flash_crowd", "diurnal", "hotspot", "stragglers", "bursty"];
+
+/// Population / run-length preset for the load family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadEffort {
+    /// Preset label (appears in the bench summary).
+    pub label: &'static str,
+    /// Logical client population per cell.
+    pub population: u32,
+    /// Multiplier on the base phase durations.
+    pub stretch: f64,
+}
+
+impl LoadEffort {
+    /// CI per-PR preset: 100 k logical clients, truncated phases —
+    /// bounded to a couple of minutes of wall time on 2 workers.
+    pub fn smoke() -> LoadEffort {
+        LoadEffort {
+            label: "smoke",
+            population: 100_000,
+            stretch: 0.5,
+        }
+    }
+
+    /// Default preset for iteration: same population, full-length phases.
+    pub fn quick() -> LoadEffort {
+        LoadEffort {
+            label: "quick",
+            population: 100_000,
+            stretch: 1.0,
+        }
+    }
+
+    /// Nightly preset: a million logical clients, stretched phases.
+    pub fn full() -> LoadEffort {
+        LoadEffort {
+            label: "full",
+            population: 1_000_000,
+            stretch: 2.0,
+        }
+    }
+}
+
+fn secs(base: f64, effort: &LoadEffort) -> Duration {
+    Duration::from_secs_f64(base * effort.stretch)
+}
+
+/// The full cell grid: `(protocol, scenario)` pairs in report order.
+pub fn grid(effort: &LoadEffort) -> Vec<(Protocol, LoadScenario)> {
+    let pop = effort.population;
+    let mut cells = Vec::new();
+
+    // Flash crowd: the spike runs at 2.2× capacity — firmly in the regime
+    // where the paper's proactive rejection is supposed to pay off.
+    let flash = |effort: &LoadEffort| {
+        LoadScenario::new(
+            "flash_crowd",
+            pop,
+            CAPACITY_REQ_S,
+            vec![
+                LoadPhase::new("calm", secs(2.0, effort), 0.7),
+                LoadPhase::new("spike", secs(3.0, effort), 2.2),
+                LoadPhase::new("recover", secs(2.0, effort), 0.7),
+            ],
+        )
+    };
+    for protocol in [Protocol::idem(), Protocol::idem_no_pr(), Protocol::paxos()] {
+        cells.push((protocol, flash(effort)));
+    }
+
+    // Diurnal ramp: up to 1.05× capacity and back down.
+    let diurnal = |effort: &LoadEffort| {
+        LoadScenario::new(
+            "diurnal",
+            pop,
+            CAPACITY_REQ_S,
+            vec![
+                LoadPhase::new("night", secs(1.5, effort), 0.4),
+                LoadPhase::new("morning", secs(1.5, effort), 0.8),
+                LoadPhase::new("peak", secs(1.5, effort), 1.05),
+                LoadPhase::new("evening", secs(1.5, effort), 0.8),
+                LoadPhase::new("late", secs(1.5, effort), 0.4),
+            ],
+        )
+    };
+    for protocol in [Protocol::idem(), Protocol::paxos()] {
+        cells.push((protocol, diurnal(effort)));
+    }
+
+    // Hotspot migration: steady mild overload, zipf ranking rotated on
+    // each phase entry after the first.
+    cells.push((
+        Protocol::idem(),
+        LoadScenario::new(
+            "hotspot",
+            pop,
+            CAPACITY_REQ_S,
+            vec![
+                LoadPhase::new("hot_a", secs(1.5, effort), 1.1),
+                LoadPhase::rotating("hot_b", secs(1.5, effort), 1.1),
+                LoadPhase::rotating("hot_c", secs(1.5, effort), 1.1),
+            ],
+        ),
+    ));
+
+    // Slow-client stragglers: 10% of the population issues with an extra
+    // 20–50 ms delay; moderate load so starvation would be visible.
+    cells.push((
+        Protocol::idem(),
+        LoadScenario::new(
+            "stragglers",
+            pop,
+            CAPACITY_REQ_S,
+            vec![LoadPhase::new("steady", secs(4.0, effort), 0.8)],
+        )
+        .with_stragglers(0.1, (Duration::from_millis(20), Duration::from_millis(50))),
+    ));
+
+    // Bursty MMPP arrivals: lull/burst states alternating every ~100–200 ms
+    // of exponential dwell, faster than any phase schedule could express.
+    let bursty = |effort: &LoadEffort| {
+        LoadScenario::new(
+            "bursty",
+            pop,
+            CAPACITY_REQ_S,
+            vec![LoadPhase::new("mmpp", secs(5.0, effort), 1.0)],
+        )
+        .with_process(ArrivalProcess::Mmpp(vec![
+            MmppState {
+                rate_mult: 0.4,
+                mean_dwell: Duration::from_millis(200),
+            },
+            MmppState {
+                rate_mult: 2.5,
+                mean_dwell: Duration::from_millis(100),
+            },
+        ]))
+    };
+    for protocol in [Protocol::idem(), Protocol::smart()] {
+        cells.push((protocol, bursty(effort)));
+    }
+
+    cells
+}
+
+/// Everything one load-family run produces: the rendered report plus the
+/// raw per-cell results and the `BENCH_load.json` content.
+#[derive(Debug, Clone)]
+pub struct LoadFamilyRun {
+    /// Report (tables + CSVs), deterministic across worker counts.
+    pub report: ExperimentReport,
+    /// The bench summary (contains wall times — never byte-compared).
+    pub bench_json: String,
+    /// Raw per-cell results, in [`grid`] order.
+    pub results: Vec<LoadRunResult>,
+}
+
+/// Runs the whole scenario grid on `runner` and renders the report.
+///
+/// # Panics
+/// Panics if any cell breaks conservation or session order, or if IDEM
+/// fails to beat every no-rejection flash-crowd baseline on spike goodput
+/// — these are the correctness gates of the load-smoke CI job.
+pub fn run(effort: LoadEffort, runner: &SweepRunner) -> LoadFamilyRun {
+    let cells = grid(&effort);
+    let timed: Vec<(LoadRunResult, Duration)> = runner.run_tasks(cells, |(protocol, sc)| {
+        let start = Instant::now();
+        let result = run_load_scenario(protocol, sc);
+        runner.note_events(result.events_processed);
+        runner.note_event_stats(&result.event_stats);
+        (result, start.elapsed())
+    });
+
+    for (r, _) in &timed {
+        assert_eq!(
+            r.order_violations, 0,
+            "{}/{}: session-order violations",
+            r.scenario, r.protocol
+        );
+        assert!(
+            r.conservation.is_none(),
+            "{}/{}: conservation broken: {}",
+            r.scenario,
+            r.protocol,
+            r.conservation.clone().unwrap_or_default()
+        );
+    }
+    check_flash_crowd_goodput(&timed);
+
+    let mut rows = Vec::new();
+    let mut totals_csv = Vec::new();
+    let mut phase_rows = Vec::new();
+    let mut phases_csv = Vec::new();
+    for (r, _) in &timed {
+        let t = &r.totals;
+        rows.push(vec![
+            r.scenario.clone(),
+            r.protocol.to_string(),
+            format!("{:.0}", t.offered_per_s()),
+            format!("{:.0}", t.goodput_per_s()),
+            fmt_ms(t.latency_p50_ms),
+            fmt_ms(t.latency_p99_ms),
+            fmt_ms(t.latency_p999_ms),
+            fmt_pct(100.0 * t.reject_fraction()),
+            fmt_pct(100.0 * t.shed_fraction()),
+        ]);
+        totals_csv.push(vec![
+            r.scenario.clone(),
+            r.protocol.to_string(),
+            r.population.to_string(),
+            format!("{:.1}", t.offered_per_s()),
+            format!("{:.1}", t.goodput_per_s()),
+            t.completed.to_string(),
+            t.rejected.to_string(),
+            t.shed.to_string(),
+            format!("{:.4}", t.latency_p50_ms),
+            format!("{:.4}", t.latency_p99_ms),
+            format!("{:.4}", t.latency_p999_ms),
+            format!("{:.6}", t.reject_fraction()),
+            format!("{:.6}", t.shed_fraction()),
+        ]);
+        for p in &r.phases {
+            phase_rows.push(vec![
+                r.scenario.clone(),
+                r.protocol.to_string(),
+                p.label.clone(),
+                format!("{:.0}", p.offered_per_s()),
+                format!("{:.0}", p.goodput_per_s()),
+                fmt_ms(p.latency_p99_ms),
+                fmt_pct(100.0 * p.reject_fraction()),
+                fmt_pct(100.0 * p.shed_fraction()),
+            ]);
+            phases_csv.push(vec![
+                r.scenario.clone(),
+                r.protocol.to_string(),
+                p.label.clone(),
+                format!("{:.3}", p.duration.as_secs_f64()),
+                format!("{:.1}", p.offered_per_s()),
+                format!("{:.1}", p.goodput_per_s()),
+                p.completed.to_string(),
+                p.rejected.to_string(),
+                p.shed.to_string(),
+                p.retransmits.to_string(),
+                format!("{:.4}", p.latency_p50_ms),
+                format!("{:.4}", p.latency_p99_ms),
+                format!("{:.4}", p.latency_p999_ms),
+                format!("{:.6}", p.reject_fraction()),
+                format!("{:.6}", p.shed_fraction()),
+            ]);
+        }
+    }
+
+    let mut body = render_table(
+        &[
+            "scenario",
+            "system",
+            "offered/s",
+            "goodput/s",
+            "p50",
+            "p99",
+            "p999",
+            "rej",
+            "shed",
+        ],
+        &rows,
+    );
+    body.push('\n');
+    body.push_str(&render_table(
+        &[
+            "scenario",
+            "system",
+            "phase",
+            "offered/s",
+            "goodput/s",
+            "p99",
+            "rej",
+            "shed",
+        ],
+        &phase_rows,
+    ));
+
+    let report = ExperimentReport {
+        title: format!(
+            "Load scenarios — open-loop arrival, {} logical clients per cell ({})",
+            effort.population, effort.label
+        ),
+        paper_claim: "under open-loop overload (flash crowd at 2.2x capacity), proactive \
+                      rejection sustains strictly higher goodput (completions within the SLA) \
+                      than accepting everything and letting queues grow"
+            .into(),
+        body,
+        csv: vec![
+            (
+                "load_totals.csv".into(),
+                render_csv(
+                    &[
+                        "scenario",
+                        "system",
+                        "population",
+                        "offered_per_s",
+                        "goodput_per_s",
+                        "completed",
+                        "rejected",
+                        "shed",
+                        "p50_ms",
+                        "p99_ms",
+                        "p999_ms",
+                        "reject_fraction",
+                        "shed_fraction",
+                    ],
+                    &totals_csv,
+                ),
+            ),
+            (
+                "load_phases.csv".into(),
+                render_csv(
+                    &[
+                        "scenario",
+                        "system",
+                        "phase",
+                        "duration_s",
+                        "offered_per_s",
+                        "goodput_per_s",
+                        "completed",
+                        "rejected",
+                        "shed",
+                        "retransmits",
+                        "p50_ms",
+                        "p99_ms",
+                        "p999_ms",
+                        "reject_fraction",
+                        "shed_fraction",
+                    ],
+                    &phases_csv,
+                ),
+            ),
+        ],
+    };
+
+    let bench_json = render_bench_json(&effort, runner.jobs(), &timed);
+    LoadFamilyRun {
+        report,
+        bench_json,
+        results: timed.into_iter().map(|(r, _)| r).collect(),
+    }
+}
+
+/// The acceptance gate: through the flash-crowd spike, IDEM's goodput must
+/// strictly beat every baseline that cannot reject (IDEM_noPR accepts
+/// everything; plain Paxos has no reject path at all).
+fn check_flash_crowd_goodput(timed: &[(LoadRunResult, Duration)]) {
+    let spike = |r: &LoadRunResult| {
+        r.phases
+            .iter()
+            .find(|p| p.label == "spike")
+            .map(crate::load::PhaseMetrics::goodput_per_s)
+    };
+    let mut idem = None;
+    let mut baselines = Vec::new();
+    for (r, _) in timed {
+        if r.scenario != "flash_crowd" {
+            continue;
+        }
+        match r.protocol {
+            "IDEM" => idem = spike(r),
+            _ => baselines.push((r.protocol, spike(r).unwrap_or(0.0))),
+        }
+    }
+    let idem = idem.expect("flash_crowd grid includes IDEM");
+    for (name, goodput) in baselines {
+        assert!(
+            idem > goodput,
+            "flash crowd spike: IDEM goodput {idem:.0}/s must strictly exceed {name} \
+             ({goodput:.0}/s)"
+        );
+    }
+}
+
+/// Renders `BENCH_load.json`: one flat line per cell so the regression
+/// script can grep named fields off a single line, plus a mode header.
+fn render_bench_json(
+    effort: &LoadEffort,
+    jobs: usize,
+    timed: &[(LoadRunResult, Duration)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", effort.label));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, (r, wall)) in timed.iter().enumerate() {
+        let t = &r.totals;
+        let events_per_sec = r.events_processed as f64 / wall.as_secs_f64().max(1e-9);
+        out.push_str(&format!(
+            "    {{\"name\": \"{}/{}\", \"population\": {}, \"offered_per_s\": {:.0}, \
+             \"goodput_per_s\": {:.0}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"p999_ms\": {:.3}, \"reject_fraction\": {:.4}, \"shed_fraction\": {:.4}, \
+             \"wall_s\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
+            r.scenario,
+            r.protocol,
+            r.population,
+            t.offered_per_s(),
+            t.goodput_per_s(),
+            t.latency_p50_ms,
+            t.latency_p99_ms,
+            t.latency_p999_ms,
+            t.reject_fraction(),
+            t.shed_fraction(),
+            wall.as_secs_f64(),
+            events_per_sec,
+            if i + 1 == timed.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_every_scenario() {
+        let cells = grid(&LoadEffort::smoke());
+        for name in SCENARIOS {
+            assert!(
+                cells.iter().any(|(_, sc)| sc.name == name),
+                "scenario {name} missing from grid"
+            );
+        }
+        // Flash crowd carries IDEM plus two no-rejection baselines.
+        let flash: Vec<&str> = cells
+            .iter()
+            .filter(|(_, sc)| sc.name == "flash_crowd")
+            .map(|(p, _)| p.name())
+            .collect();
+        assert_eq!(flash, vec!["IDEM", "IDEM_noPR", "Paxos"]);
+    }
+
+    #[test]
+    fn efforts_scale_population_and_length() {
+        let (smoke, full) = (LoadEffort::smoke(), LoadEffort::full());
+        assert!(
+            smoke.population >= 100_000,
+            "smoke must drive >= 1e5 clients"
+        );
+        assert!(full.population >= 1_000_000);
+        assert!(full.stretch > smoke.stretch);
+        let smoke_total = grid(&smoke)[0].1.total_duration();
+        let full_total = grid(&full)[0].1.total_duration();
+        assert!(full_total > smoke_total);
+    }
+
+    #[test]
+    fn bench_json_is_flat_per_cell() {
+        // Render from a tiny synthetic run so the schema stays covered
+        // without simulating: one cell, zeroed metrics.
+        let effort = LoadEffort::smoke();
+        let sc = &grid(&effort)[0];
+        let result = LoadRunResult {
+            scenario: sc.1.name.into(),
+            protocol: sc.0.name(),
+            population: effort.population,
+            measured: Duration::from_secs(1),
+            warmup: empty_metrics("warmup"),
+            phases: vec![empty_metrics("spike")],
+            totals: empty_metrics("total"),
+            order_violations: 0,
+            conservation: None,
+            counters: idem_common::LoadCounters::default(),
+            sampled: crate::load::SampledSummary {
+                sampled_clients: 0,
+                worst_mean_ms: 0.0,
+                worst_max_ms: 0.0,
+                straggler_mean_ms: 0.0,
+                normal_mean_ms: 0.0,
+            },
+            events_processed: 1000,
+            event_stats: idem_simnet::EventStats::default(),
+            total_messages: 0,
+        };
+        let json = render_bench_json(&effort, 2, &[(result, Duration::from_secs(2))]);
+        assert!(json.contains("\"name\": \"flash_crowd/IDEM\""));
+        assert!(json.contains("\"goodput_per_s\""));
+        assert!(json.contains("\"p999_ms\""));
+        let cell_line = json
+            .lines()
+            .find(|l| l.contains("\"name\""))
+            .expect("cell line");
+        for field in [
+            "offered_per_s",
+            "p50_ms",
+            "reject_fraction",
+            "events_per_sec",
+        ] {
+            assert!(
+                cell_line.contains(field),
+                "{field} must sit on the cell line"
+            );
+        }
+    }
+
+    fn empty_metrics(label: &str) -> crate::load::PhaseMetrics {
+        crate::load::PhaseMetrics {
+            label: label.into(),
+            duration: Duration::from_secs(1),
+            sla: Duration::from_millis(100),
+            offered: 0,
+            shed: 0,
+            issued: 0,
+            completed: 0,
+            within_sla: 0,
+            rejected: 0,
+            rejected_final: 0,
+            retransmits: 0,
+            latency_mean_ms: 0.0,
+            latency_p50_ms: 0.0,
+            latency_p99_ms: 0.0,
+            latency_p999_ms: 0.0,
+            latency_max_ms: 0.0,
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | Misconfiguration / extreme load | Fig. 9 | [`experiments::fig9`] |
 //! | Replica-crash timelines | Fig. 10a–c | [`experiments::fig10`] |
 //! | Reject latency across crashes | Fig. 10d | [`experiments::fig10d`] |
+//! | Open-loop load scenarios (10⁶ clients) | — | [`experiments::load`] |
 //!
 //! Run them all via the `repro` binary: `cargo run --release -p
 //! idem-harness --bin repro -- all`.
@@ -27,6 +28,7 @@ pub mod chaos;
 pub mod cluster;
 pub mod experiments;
 pub mod invariants;
+pub mod load;
 pub mod recorder;
 pub mod report;
 pub mod scenario;
@@ -35,6 +37,7 @@ pub mod sweep;
 pub use chaos::{run_campaign, ChaosConfig, ChaosReport, ChaosRun, Schedule};
 pub use cluster::{ClusterHandles, Protocol};
 pub use invariants::ViolationKind;
+pub use load::{run_load_scenario, LoadRunResult, LoadSource, PhaseMetrics};
 pub use recorder::{Recorder, RecorderHandle, RunMetrics};
-pub use scenario::{CrashPlan, RunResult, Scenario};
+pub use scenario::{CrashPlan, LoadScenario, RunResult, Scenario};
 pub use sweep::{Cell, RunMode, SweepRunner, SweepStats};

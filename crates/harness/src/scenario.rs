@@ -253,6 +253,127 @@ impl RunResult {
     }
 }
 
+/// A fully specified open-loop load run: a logical client population, an
+/// arrival process, and a piecewise rate schedule, executed by the
+/// aggregate engine in [`crate::load`].
+///
+/// Unlike [`Scenario`], load is *offered*, not implied by a client count:
+/// `base_rate` arrivals/s (scaled per phase) hit the cluster whether or
+/// not it keeps up. The population only bounds concurrency — an arrival
+/// targeting a busy logical client is shed at the source.
+#[derive(Debug, Clone)]
+pub struct LoadScenario {
+    /// Scenario name (appears in reports and bench output).
+    pub name: &'static str,
+    /// Logical client population size.
+    pub population: u32,
+    /// Base arrival rate in requests/second (phase multipliers scale it).
+    pub base_rate: f64,
+    /// Shape of the arrival process.
+    pub process: idem_common::ArrivalProcess,
+    /// The rate schedule; must be non-empty.
+    pub phases: Vec<idem_common::LoadPhase>,
+    /// Warmup prefix excluded from metrics, run at the first phase's rate.
+    pub warmup: Duration,
+    /// The YCSB workload arrivals draw commands from.
+    pub workload: WorkloadSpec,
+    /// Goodput deadline: completions slower than this don't count toward
+    /// goodput (they still count as completed).
+    pub sla: Duration,
+    /// Post-reject backoff range (min, max) before a logical client
+    /// accepts new arrivals again.
+    pub backoff: (Duration, Duration),
+    /// Retransmit interval for outstanding requests.
+    pub retransmit_every: Duration,
+    /// Retransmissions per operation before the source just keeps waiting
+    /// (links are lossless; this bounds duplicate traffic).
+    pub max_retransmits: u8,
+    /// Fraction of the population that are stragglers (slow clients).
+    pub straggler_fraction: f64,
+    /// Extra issue delay range (min, max) for straggler clients.
+    pub straggler_delay: (Duration, Duration),
+    /// RNG seed (fully determines the run).
+    pub seed: u64,
+}
+
+impl LoadScenario {
+    /// A load scenario with engine defaults: Poisson arrivals,
+    /// update-heavy YCSB, 100 ms SLA, 50–100 ms reject backoff, 1 s
+    /// retransmit interval, no stragglers, seed 1.
+    pub fn new(
+        name: &'static str,
+        population: u32,
+        base_rate: f64,
+        phases: Vec<idem_common::LoadPhase>,
+    ) -> LoadScenario {
+        LoadScenario {
+            name,
+            population,
+            base_rate,
+            process: idem_common::ArrivalProcess::Poisson,
+            phases,
+            warmup: Duration::from_secs(1),
+            workload: WorkloadSpec::update_heavy(),
+            sla: Duration::from_millis(100),
+            backoff: (Duration::from_millis(50), Duration::from_millis(100)),
+            retransmit_every: Duration::from_secs(1),
+            max_retransmits: 3,
+            straggler_fraction: 0.0,
+            straggler_delay: (Duration::from_millis(20), Duration::from_millis(50)),
+            seed: 1,
+        }
+    }
+
+    /// Returns a copy with a different arrival process.
+    #[must_use]
+    pub fn with_process(mut self, process: idem_common::ArrivalProcess) -> LoadScenario {
+        self.process = process;
+        self
+    }
+
+    /// Returns a copy with a different warmup.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: Duration) -> LoadScenario {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> LoadScenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different goodput deadline.
+    #[must_use]
+    pub fn with_sla(mut self, sla: Duration) -> LoadScenario {
+        self.sla = sla;
+        self
+    }
+
+    /// Returns a copy where `fraction` of the population are stragglers
+    /// issuing within the given extra delay range.
+    #[must_use]
+    pub fn with_stragglers(mut self, fraction: f64, delay: (Duration, Duration)) -> LoadScenario {
+        self.straggler_fraction = fraction;
+        self.straggler_delay = delay;
+        self
+    }
+
+    /// Returns a copy with a different workload.
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> LoadScenario {
+        self.workload = workload;
+        self
+    }
+
+    /// Total virtual run length (warmup plus every phase).
+    pub fn total_duration(&self) -> Duration {
+        self.warmup + self.phases.iter().map(|p| p.duration).sum::<Duration>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

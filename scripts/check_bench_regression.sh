@@ -1,21 +1,37 @@
 #!/usr/bin/env bash
-# Compares a fresh `repro` bench summary against the committed baseline
-# (BENCH_repro.json) and fails when any experiment's simulation throughput
-# (events_per_sec) dropped by more than the threshold.
+# Compares a fresh `repro` bench summary against a committed baseline and
+# fails when the run regressed past the threshold. Two schemas are
+# auto-detected from the file contents:
+#
+#   generic (BENCH_repro.json, written by `repro --bench-out`): one entry
+#     per experiment; the gate is simulation throughput (events_per_sec
+#     must not drop more than threshold_pct below baseline).
+#
+#   load (BENCH_load.json, written by `repro load`): one entry per
+#     scenario/system cell, named like "flash_crowd/IDEM"; the gates are
+#     goodput_per_s (floor: baseline minus threshold_pct) and p999_ms
+#     (ceiling: baseline plus threshold_pct, with 1 ms of absolute slack
+#     so sub-millisecond cells don't fail on noise-sized drift). wall_s
+#     and events_per_sec vary by machine and are ignored in this mode;
+#     the goodput/latency numbers come out of the deterministic
+#     simulator, so they only move when the code changes.
 #
 # usage: scripts/check_bench_regression.sh <baseline.json> <current.json> [threshold_pct]
 #
-# Only experiments present in BOTH files are compared, so a quick CI run of
-# a subset (e.g. `repro table1 fig3`) can be checked against the full
-# committed baseline. The JSON is the flat hand-rolled schema written by
-# `repro --bench-out`; no jq required.
+# Every entry of the CURRENT file must exist in the baseline; an unknown
+# name fails loudly (exit 2) with a diff of the two name sets, because a
+# silently-skipped entry is exactly how a renamed experiment escapes the
+# gate. The reverse is allowed: a quick CI run of a subset (e.g.
+# `repro table1 fig3`) checks fine against the full committed baseline.
+# The JSON is the flat hand-rolled schema; no jq required.
 #
-# Note on the `wakes` counter in the summaries: since the run-to-completion
-# scheduler landed, node backlogs drain inline against the event horizon,
-# so `wakes` is 0 by design in every experiment (the per-drain backlog
-# work is reported as `inline_wakes` instead). A nonzero `wakes` in a new
-# summary means the lazy scheduler stopped covering some path — worth
-# investigating even if events_per_sec is still within threshold.
+# Note on the `wakes` counter in the generic summaries: since the
+# run-to-completion scheduler landed, node backlogs drain inline against
+# the event horizon, so `wakes` is 0 by design in every experiment (the
+# per-drain backlog work is reported as `inline_wakes` instead). A nonzero
+# `wakes` in a new summary means the lazy scheduler stopped covering some
+# path — worth investigating even if events_per_sec is still within
+# threshold.
 #
 # Allocation baseline: the deliver hot path is allocation-free in steady
 # state (DESIGN.md §6c — slab message arena, batched multicast, dense
@@ -48,40 +64,90 @@ for f in "$baseline" "$current"; do
     fi
 done
 
-# Prints "name events_per_sec" per experiment line of a bench summary.
+mode_of() {
+    if grep -q '"goodput_per_s"' "$1"; then echo load; else echo generic; fi
+}
+base_mode=$(mode_of "$baseline")
+cur_mode=$(mode_of "$current")
+if [[ "$base_mode" != "$cur_mode" ]]; then
+    echo "error: schema mismatch: '$baseline' is $base_mode but '$current' is $cur_mode" >&2
+    exit 2
+fi
+mode=$cur_mode
+
+# Prints one "name field..." line per entry. Names may contain "/" and
+# "-" (load cells are "scenario/System", e.g. "bursty/BFT-SMaRt"), so
+# the character class admits both and the sed delimiter is "|".
 extract() {
-    sed -n 's/.*"name": "\([a-z0-9_]*\)".*"events_per_sec": \([0-9]*\).*/\1 \2/p' "$1"
+    if [[ "$mode" == load ]]; then
+        sed -n 's|.*"name": "\([A-Za-z0-9_/-]*\)".*"goodput_per_s": \([0-9]*\).*"p999_ms": \([0-9.]*\).*|\1 \2 \3|p' "$1"
+    else
+        sed -n 's|.*"name": "\([A-Za-z0-9_/-]*\)".*"events_per_sec": \([0-9]*\).*|\1 \2|p' "$1"
+    fi
 }
 
 extract "$baseline" | sort > /tmp/bench_baseline.$$
 extract "$current" | sort > /tmp/bench_current.$$
 trap 'rm -f /tmp/bench_baseline.$$ /tmp/bench_current.$$' EXIT
 
+# Every current entry must have a baseline entry; collect the strays and
+# fail with a name-set diff instead of silently skipping them.
+missing=$(awk 'NR == FNR { seen[$1] = 1; next } !($1 in seen) { print $1 }' \
+    /tmp/bench_baseline.$$ /tmp/bench_current.$$)
+if [[ -n "$missing" ]]; then
+    {
+        echo "error: entries in '$current' have no baseline entry in '$baseline':"
+        echo "$missing" | sed 's/^/  only in current:  /'
+        awk 'NR == FNR { seen[$1] = 1; next } !($1 in seen) { print "  only in baseline: " $1 }' \
+            /tmp/bench_current.$$ /tmp/bench_baseline.$$
+        echo "If the rename/addition is intentional, refresh and commit the baseline."
+    } >&2
+    exit 2
+fi
+
 fail=0
 compared=0
-while read -r name cur_eps; do
-    base_eps=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_baseline.$$)
-    [[ -z "$base_eps" ]] && continue
-    compared=$((compared + 1))
-    floor=$(awk -v b="$base_eps" -v t="$threshold" 'BEGIN { printf "%d", b * (100 - t) / 100 }')
-    if (( cur_eps < floor )); then
-        delta=$(awk -v b="$base_eps" -v c="$cur_eps" 'BEGIN { printf "%.1f", (b - c) * 100 / b }')
-        echo "REGRESSION: $name: $cur_eps events/s vs baseline $base_eps (-$delta%, threshold ${threshold}%)"
-        fail=1
-    else
-        echo "ok: $name: $cur_eps events/s vs baseline $base_eps"
-    fi
-done < /tmp/bench_current.$$
+if [[ "$mode" == load ]]; then
+    while read -r name cur_good cur_p999; do
+        read -r base_good base_p999 < <(awk -v n="$name" '$1 == n { print $2, $3 }' /tmp/bench_baseline.$$)
+        compared=$((compared + 1))
+        floor=$(awk -v b="$base_good" -v t="$threshold" 'BEGIN { printf "%d", b * (100 - t) / 100 }')
+        if (( cur_good < floor )); then
+            delta=$(awk -v b="$base_good" -v c="$cur_good" 'BEGIN { printf "%.1f", (b - c) * 100 / b }')
+            echo "REGRESSION: $name: goodput $cur_good/s vs baseline $base_good (-$delta%, threshold ${threshold}%)"
+            fail=1
+        elif [[ $(awk -v b="$base_p999" -v c="$cur_p999" -v t="$threshold" \
+                'BEGIN { print (c > b * (100 + t) / 100 + 1.0) ? 1 : 0 }') == 1 ]]; then
+            echo "REGRESSION: $name: p999 ${cur_p999}ms vs baseline ${base_p999}ms (ceiling +${threshold}% + 1ms)"
+            fail=1
+        else
+            echo "ok: $name: goodput $cur_good/s (baseline $base_good), p999 ${cur_p999}ms (baseline ${base_p999}ms)"
+        fi
+    done < /tmp/bench_current.$$
+else
+    while read -r name cur_eps; do
+        base_eps=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_baseline.$$)
+        compared=$((compared + 1))
+        floor=$(awk -v b="$base_eps" -v t="$threshold" 'BEGIN { printf "%d", b * (100 - t) / 100 }')
+        if (( cur_eps < floor )); then
+            delta=$(awk -v b="$base_eps" -v c="$cur_eps" 'BEGIN { printf "%.1f", (b - c) * 100 / b }')
+            echo "REGRESSION: $name: $cur_eps events/s vs baseline $base_eps (-$delta%, threshold ${threshold}%)"
+            fail=1
+        else
+            echo "ok: $name: $cur_eps events/s vs baseline $base_eps"
+        fi
+    done < /tmp/bench_current.$$
+fi
 
 if (( compared == 0 )); then
-    echo "error: no common experiments between '$baseline' and '$current'" >&2
+    echo "error: no entries extracted from '$current' (schema drift?)" >&2
     exit 2
 fi
 
 # Also compare the whole-run total when both files carry one (full
-# `repro all` summaries do; subset runs skip it).
+# `repro all` summaries do; subset runs and load summaries skip it).
 total_of() {
-    sed -n 's/.*"total": {.*"events_per_sec": \([0-9]*\).*/\1/p' "$1"
+    sed -n 's|.*"total": {.*"events_per_sec": \([0-9]*\).*|\1|p' "$1"
 }
 base_total=$(total_of "$baseline")
 cur_total=$(total_of "$current")
@@ -97,7 +163,23 @@ if [[ -n "$base_total" && -n "$cur_total" ]]; then
 fi
 
 if (( fail )); then
-    cat >&2 <<'EOF'
+    if [[ "$mode" == load ]]; then
+        cat >&2 <<'EOF'
+
+The load family's goodput or tail latency moved past what the committed
+baseline allows. The numbers come from the deterministic simulator, so
+this is a code-behavior change, not machine noise. If it is intentional
+(e.g. a scheduling-fidelity change that shifts the overload equilibrium),
+refresh the baseline and commit it:
+
+    cargo build --release
+    ./target/release/repro load --smoke --jobs 2
+    git add BENCH_load.json && git commit -m 'Refresh load bench baseline'
+
+Otherwise, find and fix the regression before merging.
+EOF
+    else
+        cat >&2 <<'EOF'
 
 The simulator got slower than the committed baseline allows. If the
 slowdown is intentional (e.g. a fidelity improvement that costs
@@ -109,6 +191,7 @@ throughput), refresh the baseline on a quiet machine and commit it:
 
 Otherwise, find and fix the regression before merging.
 EOF
+    fi
     exit 1
 fi
-echo "bench check passed: $compared experiment(s) within ${threshold}% of baseline"
+echo "bench check passed ($mode): $compared entries within ${threshold}% of baseline"

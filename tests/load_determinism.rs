@@ -1,0 +1,90 @@
+//! Determinism regression tests for the open-loop load engine: a load
+//! scenario's full result (per-phase metrics, conservation counters,
+//! simulator event count) must be identical whether the cells execute on
+//! one worker or four, and across repeated runs — the same guarantee the
+//! chaos campaign has in `chaos_determinism.rs`.
+
+use std::time::Duration;
+
+use idem_common::{ArrivalProcess, LoadPhase, MmppState};
+use idem_harness::load::run_load_scenario;
+use idem_harness::sweep::SweepRunner;
+use idem_harness::{LoadScenario, Protocol};
+
+/// A small cross-protocol grid exercising every engine feature (phase
+/// schedule, hotspot rotation, stragglers, MMPP arrivals) at populations
+/// and rates cheap enough to run twice per test.
+fn tiny_grid() -> Vec<(Protocol, LoadScenario)> {
+    let phases = || {
+        vec![
+            LoadPhase::new("base", Duration::from_millis(400), 1.0),
+            LoadPhase::rotating("spike", Duration::from_millis(400), 2.0),
+        ]
+    };
+    let base = |name| {
+        LoadScenario::new(name, 800, 3_000.0, phases()).with_warmup(Duration::from_millis(200))
+    };
+    vec![
+        (Protocol::idem(), base("det_idem")),
+        (Protocol::paxos(), base("det_paxos")),
+        (Protocol::smart(), base("det_smart")),
+        (
+            Protocol::idem(),
+            base("det_straggle")
+                .with_stragglers(0.2, (Duration::from_millis(10), Duration::from_millis(30))),
+        ),
+        (
+            Protocol::idem(),
+            base("det_mmpp").with_process(ArrivalProcess::Mmpp(vec![
+                MmppState {
+                    rate_mult: 0.5,
+                    mean_dwell: Duration::from_millis(20),
+                },
+                MmppState {
+                    rate_mult: 2.0,
+                    mean_dwell: Duration::from_millis(10),
+                },
+            ])),
+        ),
+    ]
+}
+
+/// Renders everything a run measured (no wall-clock anywhere) so byte
+/// comparison covers the full observable result.
+fn fingerprint(runner: &SweepRunner) -> String {
+    let results = runner.run_tasks(tiny_grid(), |(protocol, sc)| {
+        run_load_scenario(protocol, sc)
+    });
+    results
+        .iter()
+        .map(|r| {
+            format!(
+                "{}/{} totals={:?} phases={:?} warmup={:?} counters={:?} \
+                 violations={} conservation={:?} events={} messages={}\n",
+                r.scenario,
+                r.protocol,
+                r.totals,
+                r.phases,
+                r.warmup,
+                r.counters,
+                r.order_violations,
+                r.conservation,
+                r.events_processed,
+                r.total_messages,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn load_results_are_identical_across_job_counts() {
+    let jobs1 = fingerprint(&SweepRunner::new(1));
+    let jobs4 = fingerprint(&SweepRunner::new(4));
+    assert_eq!(jobs1, jobs4, "jobs=1 vs jobs=4 load results diverged");
+}
+
+#[test]
+fn load_results_are_identical_across_repeated_runs() {
+    let runner = SweepRunner::new(2);
+    assert_eq!(fingerprint(&runner), fingerprint(&runner));
+}
