@@ -1,0 +1,146 @@
+//! Wall-clock benchmarks of deterministic intra-cell parallel stepping:
+//! the serial reference scheduler against 2/4/8 speculative worker
+//! threads, on the two shapes the engine targets — a saturated
+//! 3-replica IDEM cell (few nodes, deep backlogs, short safe horizons)
+//! and a 27-node deterministic fan-out mesh (wide partitions, the
+//! engine's best case). Results are byte-identical across thread counts
+//! by construction (see the differential tests); these numbers answer
+//! only "was it worth the speculation overhead on this machine" — on a
+//! single-core runner the serial scheduler wins by design.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idem_harness::cluster::{build_cluster, ClusterOptions};
+use idem_harness::Protocol;
+use idem_simnet::{Context, LinkSpec, Network, Node, NodeId, Simulation, TimerId, Wire};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Saturated 3-replica IDEM cell: 50 closed-loop clients at the paper's
+/// saturation point, 300 ms of simulated time per iteration.
+fn idem_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_stepping/idem_3replica");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for threads in THREADS {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let protocol = Protocol::idem();
+                let opts = ClusterOptions {
+                    clients: 50,
+                    seed: 7,
+                    threads,
+                    ..ClusterOptions::default()
+                };
+                let mut cluster = build_cluster(&protocol, &opts);
+                cluster.run_for(Duration::from_millis(300));
+                black_box(cluster.event_stats().delivers)
+            })
+        });
+    }
+    group.finish();
+}
+
+#[derive(Clone, Debug)]
+struct Work {
+    cost_us: u32,
+    hops: u32,
+}
+
+impl Wire for Work {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// Deterministic mesh worker: charges, bounces by rotation — the widest
+/// conflict-free partition shape the planner can produce.
+struct Worker {
+    peers: Vec<NodeId>,
+    received: u64,
+}
+
+impl Node<Work> for Worker {
+    fn on_message(&mut self, ctx: &mut Context<'_, Work>, _: NodeId, msg: Work) {
+        self.received += 1;
+        ctx.charge(Duration::from_micros(u64::from(msg.cost_us)));
+        if msg.hops > 0 {
+            let pick = (self.received as usize) % self.peers.len();
+            ctx.send(
+                self.peers[pick],
+                Work {
+                    cost_us: msg.cost_us,
+                    hops: msg.hops - 1,
+                },
+            );
+        }
+    }
+    fn on_timer(&mut self, _: &mut Context<'_, Work>, _: TimerId, _: Work) {}
+}
+
+/// Seeds every worker with deep initial backlogs, then goes quiet.
+struct Seeder {
+    targets: Vec<NodeId>,
+    rounds: u32,
+}
+
+impl Node<Work> for Seeder {
+    fn on_start(&mut self, ctx: &mut Context<'_, Work>) {
+        for _ in 0..self.rounds {
+            for &t in &self.targets {
+                ctx.send(
+                    t,
+                    Work {
+                        cost_us: 25,
+                        hops: 6,
+                    },
+                );
+            }
+        }
+    }
+    fn on_message(&mut self, _: &mut Context<'_, Work>, _: NodeId, _: Work) {}
+}
+
+/// 27 deterministic workers in a full mesh, ~10 ms of simulated time.
+fn fanout_mesh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_stepping/fanout_27");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for threads in THREADS {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let link = LinkSpec::new(Duration::from_micros(100), Duration::from_micros(30));
+                let mut sim: Simulation<Work> = Simulation::with_network(11, Network::new(link));
+                if threads >= 2 {
+                    sim.set_parallel_stepping(threads);
+                }
+                let ids: Vec<NodeId> = (0..27).map(|_| sim.reserve_node()).collect();
+                for &id in &ids {
+                    let node = Box::new(Worker {
+                        peers: ids.clone(),
+                        received: 0,
+                    });
+                    if threads >= 2 {
+                        sim.install_det_node(id, node);
+                    } else {
+                        sim.install_node(id, node);
+                    }
+                }
+                sim.add_node(Box::new(Seeder {
+                    targets: ids.clone(),
+                    rounds: 40,
+                }));
+                sim.run_for(Duration::from_millis(10));
+                black_box(sim.events_processed())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, idem_cell, fanout_mesh);
+criterion_main!(benches);

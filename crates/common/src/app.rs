@@ -53,6 +53,20 @@ pub trait StateMachine {
     /// is sent back to the client in a `REPLY`.
     fn execute(&mut self, command: &[u8]) -> Vec<u8>;
 
+    /// Executes `command`, appending the result to `out` instead of
+    /// allocating a fresh `Vec`.
+    ///
+    /// Replicas drive execution through this entry point with a reused
+    /// scratch buffer, so a state machine that overrides it can keep the
+    /// execute path allocation-free. The default delegates to
+    /// [`execute`](Self::execute). `out` is cleared first; on return it
+    /// holds exactly the reply bytes.
+    fn execute_into(&mut self, command: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        let result = self.execute(command);
+        out.extend_from_slice(&result);
+    }
+
     /// The simulated CPU time that executing `command` occupies on a
     /// replica. The simulator charges this to the replica's processor, which
     /// is what bounds the service rate.

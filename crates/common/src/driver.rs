@@ -57,7 +57,7 @@ pub struct OperationOutcome {
     /// Virtual time of completion.
     pub completed_at: SimTime,
     /// The reply payload for successes.
-    pub result: Option<Vec<u8>>,
+    pub result: Option<crate::request::ResultBytes>,
 }
 
 /// The application driving a client: supplies commands, consumes outcomes.

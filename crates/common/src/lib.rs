@@ -33,6 +33,7 @@ pub mod driver;
 pub mod exec;
 pub mod ids;
 pub mod load;
+pub mod phaseprof;
 pub mod quorum;
 pub mod request;
 pub mod wal;
@@ -45,6 +46,6 @@ pub use exec::ExecRecord;
 pub use ids::{ClientId, OpNumber, ReplicaId, RequestId, SeqNumber, View};
 pub use load::{ArrivalProcess, ArrivalSampler, BackoffWheel, LoadCounters, LoadPhase, MmppState};
 pub use quorum::{QuorumSet, QuorumTracker};
-pub use request::{Reply, Request};
+pub use request::{Reply, Request, ResultBytes, INLINE_RESULT_CAP};
 pub use wal::{PersistMode, Wal, WalRecord};
 pub use window::SeqWindow;

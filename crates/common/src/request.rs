@@ -52,6 +52,153 @@ impl Request {
     }
 }
 
+/// Largest result stored inline in a [`ResultBytes`] without touching the
+/// heap. Sized so the enum stays at 24 bytes — the same footprint as the
+/// `Vec<u8>` it replaced — while covering every status-byte reply and all
+/// small GET values.
+pub const INLINE_RESULT_CAP: usize = 23;
+
+/// An application result, inline when small.
+///
+/// Replies on the replication hot path are overwhelmingly tiny — a status
+/// byte, or a status byte plus a small value. Storing them as `Vec<u8>`
+/// made every execution, every `last_executed` cache insert, and every
+/// duplicate-reply resend a heap allocation. `ResultBytes` keeps results up
+/// to [`INLINE_RESULT_CAP`] bytes in the enum itself and shares larger ones
+/// behind an `Arc`, so cloning a reply is at worst a refcount bump.
+///
+/// # Example
+/// ```
+/// use idem_common::ResultBytes;
+/// let small = ResultBytes::from_slice(b"ok");
+/// assert_eq!(&small[..], b"ok");
+/// let large = ResultBytes::from_slice(&[7u8; 100]);
+/// assert_eq!(large.len(), 100);
+/// assert_eq!(large.clone(), large); // refcount bump, not a copy
+/// ```
+#[derive(Clone)]
+pub enum ResultBytes {
+    /// Result stored inline; `len` bytes of `buf` are live.
+    Inline {
+        /// Number of live bytes in `buf`.
+        len: u8,
+        /// Inline storage; bytes past `len` are zero.
+        buf: [u8; INLINE_RESULT_CAP],
+    },
+    /// Result too large to inline, shared immutably.
+    Shared(Arc<[u8]>),
+}
+
+impl ResultBytes {
+    /// Builds a result from raw bytes, inlining when they fit.
+    pub fn from_slice(bytes: &[u8]) -> ResultBytes {
+        if bytes.len() <= INLINE_RESULT_CAP {
+            let mut buf = [0u8; INLINE_RESULT_CAP];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            ResultBytes::Inline {
+                len: bytes.len() as u8,
+                buf,
+            }
+        } else {
+            ResultBytes::Shared(Arc::from(bytes))
+        }
+    }
+
+    /// The result bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            ResultBytes::Inline { len, buf } => &buf[..usize::from(*len)],
+            ResultBytes::Shared(bytes) => bytes,
+        }
+    }
+}
+
+impl std::ops::Deref for ResultBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for ResultBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Default for ResultBytes {
+    fn default() -> ResultBytes {
+        ResultBytes::Inline {
+            len: 0,
+            buf: [0u8; INLINE_RESULT_CAP],
+        }
+    }
+}
+
+impl std::fmt::Debug for ResultBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+// Equality and hashing are content-based: an inlined result and a shared
+// result with the same bytes are the same result.
+impl PartialEq for ResultBytes {
+    fn eq(&self, other: &ResultBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ResultBytes {}
+
+impl std::hash::Hash for ResultBytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for ResultBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for ResultBytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for ResultBytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for ResultBytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for ResultBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<&[u8]> for ResultBytes {
+    fn from(bytes: &[u8]) -> ResultBytes {
+        ResultBytes::from_slice(bytes)
+    }
+}
+
+impl From<Vec<u8>> for ResultBytes {
+    fn from(bytes: Vec<u8>) -> ResultBytes {
+        ResultBytes::from_slice(&bytes)
+    }
+}
+
 /// A reply produced by executing a request on the application state machine.
 ///
 /// # Example
@@ -65,13 +212,16 @@ pub struct Reply {
     /// Id of the request this reply answers.
     pub id: RequestId,
     /// Opaque application result.
-    pub result: Vec<u8>,
+    pub result: ResultBytes,
 }
 
 impl Reply {
     /// Creates a reply for the given request id.
-    pub fn new(id: RequestId, result: Vec<u8>) -> Reply {
-        Reply { id, result }
+    pub fn new(id: RequestId, result: impl Into<ResultBytes>) -> Reply {
+        Reply {
+            id,
+            result: result.into(),
+        }
     }
 
     /// Estimated size of this reply on the wire, in bytes.

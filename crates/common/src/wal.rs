@@ -138,9 +138,33 @@ impl<'a> Cursor<'a> {
 }
 
 impl WalRecord {
+    /// The exact byte length [`encode`](Self::encode) produces, so the
+    /// output buffer is sized once instead of growing through repeated
+    /// doublings on every log append.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            WalRecord::View(_) => 1 + 8,
+            WalRecord::Accept { command, .. } => 1 + 8 + 8 + 4 + 8 + 4 + command.len(),
+            WalRecord::Exec { command, .. } => 1 + 8 + 4 + 8 + 1 + 4 + command.len(),
+            WalRecord::Checkpoint {
+                snapshot, clients, ..
+            } => {
+                1 + 8
+                    + 4
+                    + snapshot.len()
+                    + 4
+                    + clients
+                        .iter()
+                        .map(|(_, _, reply)| 4 + 8 + 4 + reply.len())
+                        .sum::<usize>()
+            }
+        }
+    }
+
     /// Serializes the record to its on-disk byte form.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let prof = crate::phaseprof::begin();
+        let mut out = Vec::with_capacity(self.encoded_len());
         match self {
             WalRecord::View(view) => {
                 out.push(TAG_VIEW);
@@ -188,6 +212,8 @@ impl WalRecord {
                 }
             }
         }
+        debug_assert_eq!(out.len(), self.encoded_len());
+        crate::phaseprof::end_encode(prof);
         out
     }
 

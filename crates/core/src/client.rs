@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use idem_common::{Directory, OpNumber, QuorumSet, QuorumTracker, Request, RequestId};
+use idem_common::{Directory, OpNumber, QuorumSet, QuorumTracker, Request, RequestId, ResultBytes};
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId};
 use rand::Rng;
 
@@ -218,7 +218,7 @@ impl IdemClient {
         &mut self,
         ctx: &mut Context<'_, IdemMessage>,
         kind: OutcomeKind,
-        result: Option<Vec<u8>>,
+        result: Option<ResultBytes>,
     ) {
         let flight = self.current.take().expect("operation in flight");
         ctx.cancel_timer(flight.retransmit_timer);
@@ -261,7 +261,12 @@ impl IdemClient {
         }
     }
 
-    fn handle_reply(&mut self, ctx: &mut Context<'_, IdemMessage>, id: RequestId, result: Vec<u8>) {
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Context<'_, IdemMessage>,
+        id: RequestId,
+        result: ResultBytes,
+    ) {
         let matches = self.current.as_ref().is_some_and(|f| f.id == id);
         if matches {
             self.finish(ctx, OutcomeKind::Success, Some(result));

@@ -7,7 +7,7 @@ use std::time::Duration;
 use idem_common::app::CostModel;
 use idem_common::{
     ClientId, Directory, ExecRecord, OpNumber, PersistMode, QuorumTracker, Reply, Request,
-    RequestId, SeqNumber, SeqWindow, StateMachine, View, Wal, WalRecord,
+    RequestId, ResultBytes, SeqNumber, SeqWindow, StateMachine, View, Wal, WalRecord,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -115,7 +115,7 @@ pub struct IdemReplica {
     cfg: IdemConfig,
     me: idem_common::ReplicaId,
     dir: Directory<NodeId>,
-    app: Box<dyn StateMachine>,
+    app: Box<dyn StateMachine + Send>,
     test: AcceptanceTest,
 
     view: View,
@@ -146,7 +146,11 @@ pub struct IdemReplica {
     pending_proposals: VecDeque<RequestId>,
 
     /// Highest executed op + cached reply per client (duplicate handling).
-    last_executed: BTreeMap<u32, (idem_common::OpNumber, Vec<u8>)>,
+    /// Replies are [`ResultBytes`]: small results live inline, so caching
+    /// and resending them never allocates.
+    last_executed: BTreeMap<u32, (idem_common::OpNumber, ResultBytes)>,
+    /// Reused buffer for state-machine execution results.
+    exec_scratch: Vec<u8>,
     checkpoint: Option<CheckpointData>,
 
     forward_timers: BTreeMap<RequestId, TimerId>,
@@ -189,7 +193,7 @@ impl IdemReplica {
         cfg: IdemConfig,
         me: idem_common::ReplicaId,
         dir: Directory<NodeId>,
-        app: Box<dyn StateMachine>,
+        app: Box<dyn StateMachine + Send>,
     ) -> IdemReplica {
         cfg.validate();
         let test = AcceptanceTest::new(
@@ -218,6 +222,7 @@ impl IdemReplica {
             proposed: BTreeMap::new(),
             pending_proposals: VecDeque::new(),
             last_executed: BTreeMap::new(),
+            exec_scratch: Vec::new(),
             checkpoint: None,
             forward_timers: BTreeMap::new(),
             progress_timer: None,
@@ -941,7 +946,8 @@ impl IdemReplica {
             self.persist_exec(ctx, self.next_exec, id, true, &req.command);
             let cost = self.app.execution_cost(&req.command);
             ctx.charge(cost);
-            let result = self.app.execute(&req.command);
+            self.app.execute_into(&req.command, &mut self.exec_scratch);
+            let result = ResultBytes::from_slice(&self.exec_scratch);
             self.stats.executed += 1;
             self.last_executed
                 .insert(id.client.0, (id.op, result.clone()));
@@ -1003,7 +1009,7 @@ impl IdemReplica {
                 .map(|(&cid, (op, reply))| ClientRecord {
                     client: ClientId(cid),
                     last_op: *op,
-                    reply: reply.clone(),
+                    reply: reply.to_vec(),
                 })
                 .collect();
             self.checkpoint = Some(CheckpointData {
@@ -1068,7 +1074,7 @@ impl IdemReplica {
         self.last_executed = data
             .clients
             .iter()
-            .map(|c| (c.client.0, (c.last_op, c.reply.clone())))
+            .map(|c| (c.client.0, (c.last_op, ResultBytes::from_slice(&c.reply))))
             .collect();
         self.next_exec = data.next_exec;
         let dropped = self.window.advance_to(data.next_exec);
@@ -1218,7 +1224,7 @@ impl IdemReplica {
             self.app.restore(snapshot);
             self.last_executed = clients
                 .iter()
-                .map(|(c, op, reply)| (*c, (OpNumber(*op), reply.clone())))
+                .map(|(c, op, reply)| (*c, (OpNumber(*op), ResultBytes::from_slice(reply))))
                 .collect();
             self.next_exec = SeqNumber(*next_exec);
             self.checkpoint = Some(CheckpointData {
@@ -1252,7 +1258,8 @@ impl IdemReplica {
             }
             if *fresh && id.client != NOOP_CLIENT && !self.executed_already(*id) {
                 ctx.charge(self.app.execution_cost(command));
-                let result = self.app.execute(command);
+                self.app.execute_into(command, &mut self.exec_scratch);
+                let result = ResultBytes::from_slice(&self.exec_scratch);
                 self.last_executed.insert(id.client.0, (id.op, result));
             }
             self.next_exec = SeqNumber(slot + 1);

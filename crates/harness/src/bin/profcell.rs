@@ -3,7 +3,9 @@
 //! whole experiment grid.
 //!
 //! Besides the one-line summary, prints the per-kind dispatch breakdown
-//! (wake/deliver ratio, inline drains) and per-node backlog drain-length
+//! (wake/deliver ratio, inline drains), a per-phase CPU attribution
+//! (wire/WAL encode vs store execution vs everything else — simulator
+//! dispatch, protocol logic), and per-node backlog drain-length
 //! histograms: replicas individually, clients merged into one profile.
 //!
 //! Usage: `profcell [clients] [protocol] [seconds]`
@@ -60,11 +62,14 @@ fn main() {
     let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let mut s = Scenario::new(protocol, clients, Duration::from_secs(secs));
     s.warmup = Duration::from_secs(1);
+    idem_common::phaseprof::enable();
+    idem_common::phaseprof::reset();
     let before = idem_harness::allocs::snapshot();
     let start = Instant::now();
     let r = s.run();
     let wall = start.elapsed();
     let alloc_delta = idem_harness::allocs::snapshot().since(before);
+    let phases = idem_common::phaseprof::snapshot();
     println!(
         "{} clients={} wall={:.2?} events={} ev/s={:.0} tput={:.0} rej/s={:.0}",
         r.name,
@@ -89,6 +94,22 @@ fn main() {
     println!(
         "arena: messages={} high_water={} batches={} batched_delivers={}",
         st.arena_messages, st.arena_high_water, st.multicast_batches, st.batched_deliveries,
+    );
+    // Subtraction attribution: the probes time encode and store-exec from
+    // the inside; whatever remains of the wall clock is simulator dispatch
+    // plus protocol logic (and the probes' own overhead).
+    let wall_s = wall.as_secs_f64();
+    let encode_s = phases.encode_ns as f64 / 1e9;
+    let exec_s = phases.exec_ns as f64 / 1e9;
+    let rest_s = (wall_s - encode_s - exec_s).max(0.0);
+    println!(
+        "phases: encode={encode_s:.3}s ({:.1}%, {} calls) store-exec={exec_s:.3}s \
+         ({:.1}%, {} calls) dispatch+protocol={rest_s:.3}s ({:.1}%)",
+        100.0 * encode_s / wall_s,
+        phases.encode_calls,
+        100.0 * exec_s / wall_s,
+        phases.exec_calls,
+        100.0 * rest_s / wall_s,
     );
     if idem_harness::allocs::ENABLED {
         println!(

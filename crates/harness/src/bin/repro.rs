@@ -2,9 +2,9 @@
 //!
 //! Usage:
 //! ```text
-//! repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--bench-out FILE]
-//! repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--wipes] [--jobs N]
-//! repro load [--smoke | --full] [--out DIR] [--jobs N]
+//! repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--threads N] [--bench-out FILE]
+//! repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--wipes] [--jobs N] [--threads N]
+//! repro load [--smoke | --full] [--out DIR] [--jobs N] [--threads N]
 //! repro --list
 //!
 //! experiments: fig2 fig3 fig6 fig7 table1 fig8 fig9a fig9b fig10 fig10d
@@ -15,6 +15,9 @@
 //! --jobs N          worker threads for the experiment sweep (default: the
 //!                   host's available parallelism); results are
 //!                   byte-identical for every N
+//! --threads N       worker threads *inside* each simulation cell
+//!                   (deterministic parallel stepping; default 1 = serial);
+//!                   results are byte-identical for every N
 //! --bench-out FILE  where to write the wall-time/events-per-second summary
 //!                   (default: BENCH_repro.json)
 //! --list            list every experiment and load scenario, one per line
@@ -70,6 +73,7 @@ struct Args {
     full: bool,
     out_dir: String,
     jobs: Option<usize>,
+    threads: usize,
     bench_out: String,
     wanted: Vec<String>,
     seeds: Option<u64>,
@@ -83,9 +87,9 @@ struct Args {
 
 fn usage() -> String {
     format!(
-        "usage: repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--bench-out FILE]\n\
-         \x20      repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--wipes] [--jobs N]\n\
-         \x20      repro load [--smoke | --full] [--out DIR] [--jobs N]\n\
+        "usage: repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--threads N] [--bench-out FILE]\n\
+         \x20      repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--wipes] [--jobs N] [--threads N]\n\
+         \x20      repro load [--smoke | --full] [--out DIR] [--jobs N] [--threads N]\n\
          \x20      repro --list\n\
          experiments: {} all calibrate chaos load\n\
          chaos flags: --seeds N      run seeds 1..=N (default 50, must be >= 1)\n\
@@ -108,6 +112,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         full: false,
         out_dir: "results".to_string(),
         jobs: None,
+        threads: 1,
         bench_out: "BENCH_repro.json".to_string(),
         wanted: Vec::new(),
         seeds: None,
@@ -151,6 +156,16 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     return Err("--jobs must be at least 1".to_string());
                 }
                 parsed.jobs = Some(jobs);
+            }
+            "--threads" => {
+                let value = take_value(&mut it)?;
+                let threads: usize = value.parse().map_err(|_| {
+                    format!("invalid --threads value '{value}' (expected a positive integer)")
+                })?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1 (1 = serial stepping)".to_string());
+                }
+                parsed.threads = threads;
             }
             "--seeds" => {
                 let value = take_value(&mut it)?;
@@ -274,6 +289,9 @@ fn main() {
         }
         return;
     }
+    // Intra-cell deterministic parallel stepping: every cell built after
+    // this point picks the value up through `ClusterOptions::default()`.
+    idem_harness::set_default_threads(args.threads);
     let runner = match args.jobs {
         Some(jobs) => SweepRunner::new(jobs),
         None => SweepRunner::from_available_parallelism(),
@@ -284,7 +302,7 @@ fn main() {
         Effort::quick()
     };
     eprintln!(
-        "running {} experiment(s), {} mode, {} worker(s), CSVs under {}/",
+        "running {} experiment(s), {} mode, {} worker(s), {} cell thread(s), CSVs under {}/",
         args.wanted.len(),
         if args.full {
             "full (paper-scale)"
@@ -292,6 +310,7 @@ fn main() {
             "quick"
         },
         runner.jobs(),
+        args.threads,
         args.out_dir
     );
     let mut bench_entries: Vec<BenchEntry> = Vec::new();
@@ -430,6 +449,7 @@ fn main() {
             &bench_entries,
             args.full,
             runner.jobs(),
+            args.threads,
             total_start.elapsed(),
         );
         match std::fs::write(&args.bench_out, &json) {
@@ -463,6 +483,7 @@ fn render_bench_json(
     entries: &[BenchEntry],
     full: bool,
     jobs: usize,
+    threads: usize,
     total_wall: Duration,
 ) -> String {
     let mut out = String::new();
@@ -472,6 +493,7 @@ fn render_bench_json(
         if full { "full" } else { "quick" }
     ));
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"experiments\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let events_per_sec = e.events as f64 / e.wall.as_secs_f64().max(1e-9);
@@ -489,7 +511,9 @@ fn render_bench_json(
             "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"cells\": {}, \"sim_events\": {}, \
              \"events_per_sec\": {:.0}, \"cell_cpu_s\": {:.3}, \
              \"delivers\": {}, \"timers\": {}, \"wakes\": {}, \"inline_wakes\": {}, \
-             \"crashes\": {}, \"queue_high_water\": {}{rejoin}}}{}\n",
+             \"crashes\": {}, \"queue_high_water\": {}, \
+             \"parallel_windows\": {}, \"serial_windows\": {}, \
+             \"parallel_node_windows\": {}, \"parallel_events\": {}{rejoin}}}{}\n",
             e.name,
             e.wall.as_secs_f64(),
             e.cells,
@@ -502,6 +526,10 @@ fn render_bench_json(
             e.kinds.inline_wakes,
             e.kinds.crashes,
             e.kinds.queue_high_water,
+            e.kinds.parallel_windows,
+            e.kinds.serial_windows,
+            e.kinds.parallel_node_windows,
+            e.kinds.parallel_events,
             if i + 1 == entries.len() { "" } else { "," },
         ));
     }

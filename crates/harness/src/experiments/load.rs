@@ -427,6 +427,10 @@ fn render_bench_json(
     out.push_str("{\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", effort.label));
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!(
+        "  \"threads\": {},\n",
+        crate::cluster::default_threads()
+    ));
     out.push_str("  \"cells\": [\n");
     for (i, (r, wall)) in timed.iter().enumerate() {
         let t = &r.totals;

@@ -1,0 +1,129 @@
+//! Harness-level differential tests for deterministic parallel stepping:
+//! a saturated IDEM cluster and a chaos campaign (crashes, slow CPUs,
+//! partitions, loss bursts, amnesia wipes) are each run serially and with
+//! intra-cell worker threads, and every observable output — run metrics,
+//! time series, rendered CSV bytes, replica application digests, traffic
+//! counts, and the rendered chaos report — must be byte-identical.
+
+use std::time::Duration;
+
+use idem_harness::cluster::{build_cluster, ClusterOptions};
+use idem_harness::report::render_csv;
+use idem_harness::{run_campaign, ChaosConfig, Protocol, RunMetrics, Schedule, SweepRunner};
+use idem_metrics::TimeBin;
+use idem_simnet::{EventStats, SimTime};
+
+const WARMUP: Duration = Duration::from_millis(250);
+const DURATION: Duration = Duration::from_secs(1);
+const CLIENTS: u32 = 50;
+
+struct Observation {
+    metrics: RunMetrics,
+    reply_series: Vec<(Duration, TimeBin)>,
+    reject_series: Vec<(Duration, TimeBin)>,
+    reply_csv: String,
+    digests: Vec<u64>,
+    client_traffic: u64,
+    replica_traffic: u64,
+    total_messages: u64,
+    stats: EventStats,
+}
+
+fn run_cluster(threads: usize) -> Observation {
+    let protocol = Protocol::idem();
+    let replicas = protocol.replica_count() as usize;
+    let opts = ClusterOptions {
+        clients: CLIENTS,
+        seed: 7,
+        warmup: WARMUP,
+        bin_width: Duration::from_millis(250),
+        expected_duration: Some(WARMUP + DURATION),
+        threads,
+        ..ClusterOptions::default()
+    };
+    let mut cluster = build_cluster(&protocol, &opts);
+    cluster.run_for(WARMUP + DURATION);
+    let measured = cluster.now().saturating_since(SimTime::ZERO + WARMUP);
+    let metrics = cluster.recorder.with(|r| r.metrics(measured));
+    let reply_series: Vec<(Duration, TimeBin)> =
+        cluster.recorder.with(|r| r.reply_series().iter().collect());
+    let reject_series: Vec<(Duration, TimeBin)> = cluster
+        .recorder
+        .with(|r| r.reject_series().iter().collect());
+    let rows: Vec<Vec<String>> = reply_series
+        .iter()
+        .map(|(t, bin)| {
+            vec![
+                format!("{:.3}", t.as_secs_f64()),
+                bin.count.to_string(),
+                bin.sum.to_string(),
+            ]
+        })
+        .collect();
+    let reply_csv = render_csv(&["bin_start_s", "count", "latency_sum_ns"], &rows);
+    Observation {
+        metrics,
+        reply_series,
+        reject_series,
+        reply_csv,
+        digests: (0..replicas).map(|i| cluster.app_digest(i)).collect(),
+        client_traffic: cluster.client_traffic_bytes(),
+        replica_traffic: cluster.replica_traffic_bytes(),
+        total_messages: cluster.total_messages(),
+        stats: cluster.event_stats(),
+    }
+}
+
+#[test]
+fn saturated_idem_run_is_identical_at_every_thread_count() {
+    let serial = run_cluster(1);
+    assert!(serial.metrics.successes > 1_000, "run not saturated");
+    assert_eq!(serial.stats.parallel_windows, 0);
+    for threads in [2, 4] {
+        let parallel = run_cluster(threads);
+        assert_eq!(serial.metrics, parallel.metrics);
+        assert_eq!(serial.reply_series, parallel.reply_series);
+        assert_eq!(serial.reject_series, parallel.reject_series);
+        assert_eq!(
+            serial.reply_csv, parallel.reply_csv,
+            "CSV bytes diverged at {threads} threads"
+        );
+        assert_eq!(serial.digests, parallel.digests);
+        assert_eq!(serial.client_traffic, parallel.client_traffic);
+        assert_eq!(serial.replica_traffic, parallel.replica_traffic);
+        assert_eq!(serial.total_messages, parallel.total_messages);
+        assert_eq!(serial.stats.delivers, parallel.stats.delivers);
+        assert_eq!(serial.stats.timers, parallel.stats.timers);
+        assert_eq!(serial.stats.crashes, parallel.stats.crashes);
+        assert!(
+            parallel.stats.parallel_windows > 0,
+            "saturated replicas must take the parallel path at {threads} threads"
+        );
+    }
+}
+
+/// One episode of every chaos fault kind, inside the campaign's 15 s run.
+const SCHEDULE: &str =
+    "crash(0,412,731);slow(2,4.0,350,600);part(0|1+2,900,1100);loss(0.080,1200,1350);wipe(1,2500)";
+
+fn run_chaos(threads: usize) -> String {
+    idem_harness::set_default_threads(threads);
+    let cfg = ChaosConfig {
+        start_seed: 11,
+        seeds: 2,
+        schedule: Some(Schedule::parse(SCHEDULE).expect("valid schedule")),
+        wipes: false,
+    };
+    let runner = SweepRunner::new(2);
+    let report = run_campaign(&cfg, &runner);
+    idem_harness::set_default_threads(1);
+    report.render()
+}
+
+#[test]
+fn chaos_campaign_report_is_identical_at_every_thread_count() {
+    let serial = run_chaos(1);
+    let parallel = run_chaos(2);
+    assert_eq!(serial, parallel);
+    assert!(serial.contains("seed"), "report must be non-trivial");
+}

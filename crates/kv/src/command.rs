@@ -15,10 +15,10 @@
 use std::error::Error;
 use std::fmt;
 
-const TAG_GET: u8 = 0x01;
-const TAG_UPDATE: u8 = 0x02;
-const TAG_DELETE: u8 = 0x03;
-const TAG_SCAN: u8 = 0x04;
+pub(crate) const TAG_GET: u8 = 0x01;
+pub(crate) const TAG_UPDATE: u8 = 0x02;
+pub(crate) const TAG_DELETE: u8 = 0x03;
+pub(crate) const TAG_SCAN: u8 = 0x04;
 
 /// A decoded key-value store command.
 ///
@@ -58,36 +58,53 @@ pub enum Command {
 }
 
 impl Command {
-    /// Encodes the command into its wire representation.
-    pub fn encode(&self) -> Vec<u8> {
+    /// The exact byte length [`encode`](Self::encode) produces.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Command::Get { .. } | Command::Delete { .. } => 9,
+            Command::Update { value, .. } => 9 + value.len(),
+            Command::Scan { .. } => 13,
+        }
+    }
+
+    /// Encodes the command into `out`, replacing its previous contents.
+    ///
+    /// Workload generators encode one command per issued request; routing
+    /// them through a reused scratch buffer keeps that path free of
+    /// per-request allocations.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let prof = idem_common::phaseprof::begin();
+        out.clear();
+        out.reserve(self.encoded_len());
         match self {
             Command::Get { key } => {
-                let mut out = Vec::with_capacity(9);
                 out.push(TAG_GET);
                 out.extend_from_slice(&key.to_le_bytes());
-                out
             }
             Command::Update { key, value } => {
-                let mut out = Vec::with_capacity(9 + value.len());
                 out.push(TAG_UPDATE);
                 out.extend_from_slice(&key.to_le_bytes());
                 out.extend_from_slice(value);
-                out
             }
             Command::Delete { key } => {
-                let mut out = Vec::with_capacity(9);
                 out.push(TAG_DELETE);
                 out.extend_from_slice(&key.to_le_bytes());
-                out
             }
             Command::Scan { start, count } => {
-                let mut out = Vec::with_capacity(13);
                 out.push(TAG_SCAN);
                 out.extend_from_slice(&start.to_le_bytes());
                 out.extend_from_slice(&count.to_le_bytes());
-                out
             }
         }
+        debug_assert_eq!(out.len(), self.encoded_len());
+        idem_common::phaseprof::end_encode(prof);
+    }
+
+    /// Encodes the command into its wire representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
     }
 
     /// Decodes a command from its wire representation.

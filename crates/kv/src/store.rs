@@ -1,11 +1,12 @@
 //! The replicated key-value store state machine.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 use idem_common::StateMachine;
 
-use crate::command::Command;
+use crate::command::{TAG_DELETE, TAG_GET, TAG_SCAN, TAG_UPDATE};
 
 /// Reply status byte: operation succeeded, value attached (if any).
 pub const STATUS_OK: u8 = 0x00;
@@ -115,50 +116,96 @@ impl KvStore {
     }
 }
 
-impl StateMachine for KvStore {
-    fn execute(&mut self, command: &[u8]) -> Vec<u8> {
-        match Command::decode(command) {
-            Ok(Command::Get { key }) => {
+impl KvStore {
+    /// The borrowed-parse execution core shared by both
+    /// [`StateMachine::execute`] entry points.
+    fn exec_inner(&mut self, command: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        // Borrowed parse, replies written straight into the caller's
+        // scratch: unlike `Command::decode`, the Update value stays a slice
+        // into `command` instead of round-tripping through an owned `Vec`,
+        // and no reply allocates. This is the replicas' execution hot path.
+        let Some((&tag, rest)) = command.split_first() else {
+            out.push(STATUS_BAD_COMMAND);
+            return;
+        };
+        let Some(raw_key) = rest.get(..8) else {
+            out.push(STATUS_BAD_COMMAND);
+            return;
+        };
+        let key = u64::from_le_bytes(raw_key.try_into().expect("8-byte slice"));
+        match tag {
+            TAG_GET => {
                 self.reads += 1;
                 match self.map.get(&key) {
                     Some(v) => {
-                        let mut out = Vec::with_capacity(1 + v.len());
+                        out.reserve(1 + v.len());
                         out.push(STATUS_OK);
                         out.extend_from_slice(v);
-                        out
                     }
-                    None => vec![STATUS_NOT_FOUND],
+                    None => out.push(STATUS_NOT_FOUND),
                 }
             }
-            Ok(Command::Update { key, value }) => {
+            TAG_UPDATE => {
+                let value = rest.get(8..).unwrap_or_default();
                 self.writes += 1;
-                self.value_bytes += value.len();
-                if let Some(old) = self.map.insert(key, value) {
-                    self.value_bytes -= old.len();
+                match self.map.entry(key) {
+                    Entry::Occupied(mut e) => {
+                        // In-place overwrite: reuse the stored Vec's
+                        // capacity instead of dropping it for a fresh
+                        // allocation on every hot-key update.
+                        let old = e.get_mut();
+                        self.value_bytes += value.len();
+                        self.value_bytes -= old.len();
+                        old.clear();
+                        old.extend_from_slice(value);
+                    }
+                    Entry::Vacant(e) => {
+                        self.value_bytes += value.len();
+                        e.insert(value.to_vec());
+                    }
                 }
-                vec![STATUS_OK]
+                out.push(STATUS_OK);
             }
-            Ok(Command::Delete { key }) => {
+            TAG_DELETE => {
                 self.writes += 1;
                 if let Some(old) = self.map.remove(&key) {
                     self.value_bytes -= old.len();
-                    vec![STATUS_OK]
+                    out.push(STATUS_OK);
                 } else {
-                    vec![STATUS_NOT_FOUND]
+                    out.push(STATUS_NOT_FOUND);
                 }
             }
-            Ok(Command::Scan { start, count }) => {
+            TAG_SCAN => {
+                let Some(raw_count) = rest.get(8..12) else {
+                    out.push(STATUS_BAD_COMMAND);
+                    return;
+                };
+                let count = u32::from_le_bytes(raw_count.try_into().expect("4-byte slice"));
                 self.reads += 1;
-                let mut out = vec![STATUS_OK];
-                for (k, v) in self.map.range(start..).take(count as usize) {
+                out.push(STATUS_OK);
+                for (k, v) in self.map.range(key..).take(count as usize) {
                     out.extend_from_slice(&k.to_le_bytes());
                     out.extend_from_slice(&(v.len() as u32).to_le_bytes());
                     out.extend_from_slice(v);
                 }
-                out
             }
-            Err(_) => vec![STATUS_BAD_COMMAND],
+            _ => out.push(STATUS_BAD_COMMAND),
         }
+    }
+}
+
+impl StateMachine for KvStore {
+    fn execute(&mut self, command: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.execute_into(command, &mut out);
+        out
+    }
+
+    fn execute_into(&mut self, command: &[u8], out: &mut Vec<u8>) {
+        let prof = idem_common::phaseprof::begin();
+        self.exec_inner(command, out);
+        idem_common::phaseprof::end_exec(prof);
     }
 
     fn execution_cost(&self, command: &[u8]) -> Duration {
@@ -204,6 +251,7 @@ impl StateMachine for KvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::command::Command;
 
     fn update(key: u64, value: &[u8]) -> Vec<u8> {
         Command::Update {

@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use idem_common::driver::{ClientApp, OperationOutcome, OutcomeKind};
-use idem_common::{Directory, OpNumber, QuorumSet, Request, RequestId};
+use idem_common::{Directory, OpNumber, QuorumSet, Request, RequestId, ResultBytes};
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId};
 use rand::Rng;
 
@@ -179,7 +179,7 @@ impl PaxosClient {
         &mut self,
         ctx: &mut Context<'_, PaxosMessage>,
         kind: OutcomeKind,
-        result: Option<Vec<u8>>,
+        result: Option<ResultBytes>,
     ) {
         let flight = self.current.take().expect("operation in flight");
         ctx.cancel_timer(flight.timeout_timer);

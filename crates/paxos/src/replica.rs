@@ -6,7 +6,7 @@ use std::time::Duration;
 use idem_common::app::CostModel;
 use idem_common::{
     ClientId, Directory, ExecRecord, OpNumber, PersistMode, QuorumTracker, Reply, Request,
-    RequestId, SeqNumber, SeqWindow, StateMachine, View, Wal, WalRecord,
+    RequestId, ResultBytes, SeqNumber, SeqWindow, StateMachine, View, Wal, WalRecord,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -71,7 +71,7 @@ pub struct PaxosReplica {
     cfg: PaxosConfig,
     me: idem_common::ReplicaId,
     dir: Directory<NodeId>,
-    app: Box<dyn StateMachine>,
+    app: Box<dyn StateMachine + Send>,
 
     view: View,
     vc_target: Option<View>,
@@ -88,7 +88,9 @@ pub struct PaxosReplica {
     /// Ids queued or in flight, for duplicate suppression.
     inflight: BTreeMap<RequestId, ()>,
 
-    last_executed: BTreeMap<u32, (idem_common::OpNumber, Vec<u8>)>,
+    last_executed: BTreeMap<u32, (idem_common::OpNumber, ResultBytes)>,
+    /// Reused buffer for state-machine execution results.
+    exec_scratch: Vec<u8>,
     checkpoint: Option<Checkpoint>,
 
     progress_timer: Option<TimerId>,
@@ -125,7 +127,7 @@ impl PaxosReplica {
         cfg: PaxosConfig,
         me: idem_common::ReplicaId,
         dir: Directory<NodeId>,
-        app: Box<dyn StateMachine>,
+        app: Box<dyn StateMachine + Send>,
     ) -> PaxosReplica {
         cfg.validate();
         PaxosReplica {
@@ -143,6 +145,7 @@ impl PaxosReplica {
             queue: VecDeque::new(),
             inflight: BTreeMap::new(),
             last_executed: BTreeMap::new(),
+            exec_scratch: Vec::new(),
             checkpoint: None,
             progress_timer: None,
             wal: Wal::default(),
@@ -573,7 +576,8 @@ impl PaxosReplica {
             if !already {
                 let cost = self.app.execution_cost(&req.command);
                 ctx.charge(cost);
-                let result = self.app.execute(&req.command);
+                self.app.execute_into(&req.command, &mut self.exec_scratch);
+                let result = ResultBytes::from_slice(&self.exec_scratch);
                 self.stats.executed += 1;
                 self.last_executed
                     .insert(req.id.client.0, (req.id.op, result.clone()));
@@ -662,7 +666,7 @@ impl PaxosReplica {
             let clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)> = self
                 .last_executed
                 .iter()
-                .map(|(&cid, (op, reply))| (cid, *op, reply.clone()))
+                .map(|(&cid, (op, reply))| (cid, *op, reply.to_vec()))
                 .collect();
             self.checkpoint = Some((self.next_exec, snapshot, clients));
             if self.wal.enabled() {
@@ -715,7 +719,7 @@ impl PaxosReplica {
         self.app.restore(&snapshot);
         self.last_executed = clients
             .iter()
-            .map(|(cid, op, reply)| (*cid, (*op, reply.clone())))
+            .map(|(cid, op, reply)| (*cid, (*op, ResultBytes::from_slice(reply))))
             .collect();
         self.next_exec = next_exec;
         self.window.advance_to(next_exec);
@@ -966,7 +970,7 @@ impl PaxosReplica {
             self.app.restore(&snapshot);
             self.last_executed = clients
                 .iter()
-                .map(|(cid, op, reply)| (*cid, (OpNumber(*op), reply.clone())))
+                .map(|(cid, op, reply)| (*cid, (OpNumber(*op), ResultBytes::from_slice(reply))))
                 .collect();
             self.next_exec = SeqNumber(next_exec);
             self.window.advance_to(self.next_exec);
@@ -1001,7 +1005,8 @@ impl PaxosReplica {
             if *fresh && id.client != NOOP_CLIENT && !self.executed_already(*id) {
                 let cost = self.app.execution_cost(command);
                 ctx.charge(cost);
-                let result = self.app.execute(command);
+                self.app.execute_into(command, &mut self.exec_scratch);
+                let result = ResultBytes::from_slice(&self.exec_scratch);
                 self.stats.executed += 1;
                 self.last_executed.insert(id.client.0, (id.op, result));
             }

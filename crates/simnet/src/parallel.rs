@@ -1,0 +1,837 @@
+//! Deterministic intra-cell parallel stepping: speculative worker-side
+//! pre-execution of conflict-free node work between safe horizons.
+//!
+//! # How a window runs
+//!
+//! [`Simulation::run_until`](crate::Simulation::run_until) under
+//! `set_parallel_stepping(threads ≥ 2)` proceeds in *windows*. Each window
+//! covers virtual times `[T0, T0 + L - 1ns]` where `T0` is the earliest
+//! pending event and `L` is the minimum cross-node link latency
+//! ([`Network::min_cross_latency`](crate::Network::min_cross_latency)):
+//! within the window, no message *generated* inside it can arrive anywhere,
+//! so each node's in-window schedule depends only on state and events known
+//! at `T0`. Nodes are therefore provably conflict-free for the duration of
+//! the window and can be stepped independently.
+//!
+//! The plan phase (in `sim.rs`) pops every event inside the window,
+//! pre-materializes message bodies destined for det-installed nodes, and
+//! hands each such node a [`NodeWork`] unit: its boxed node object, timer
+//! table, disk, deferred backlog, pending wake-ups, and the planned
+//! arrivals. [`run_workers`] steps every unit to the horizon on scoped
+//! worker threads; handlers run against a recording [`WorkerCtx`] that
+//! captures their *effects* (sends, multicasts, timer arms, CPU charges)
+//! instead of touching the shared core. The result is a per-node
+//! [`NodeScript`].
+//!
+//! The playback phase then runs the **unmodified serial event loop** over
+//! the same window. Handler invocations are replaced by script replay —
+//! the recorded effects are applied through the live core at the exact
+//! virtual times the serial scheduler dispatches them — so every sequence
+//! number allocation, RNG draw, trace entry, traffic counter, and
+//! busy-time update happens in byte-identical order to a serial run. The
+//! serial scheduler remains the differential oracle.
+//!
+//! # Why the worker's local order matches playback
+//!
+//! Within a window, the global `(time, seq)` order restricted to one node
+//! is exactly what the worker reproduces with its [`Token`] merge:
+//!
+//! * pre-window events carry their already-allocated seqs
+//!   ([`Token::Seq`]);
+//! * everything allocated *during* the window (self-send deliveries,
+//!   in-window timer arms, wake reservations) receives a playback seq
+//!   strictly larger than every pre-window seq, and the worker mirrors
+//!   each potential allocation point with a monotonically increasing
+//!   *rank* ([`Token::Rank`], ordered after every `Seq` at equal time).
+//!   Ranks are bumped even where a lossy link would make the serial path
+//!   skip its seq (drops only shift later allocations uniformly, which
+//!   preserves the relative order of the allocations that are used as
+//!   tie-breakers — and self-sends, the only in-window deliveries, never
+//!   traverse a lossy link).
+//!
+//! Run-to-completion wake-ups are modeled by the same merge: a deferred
+//! offer reserves a rank exactly where the serial `offer` reserves a wake
+//! seq, and the resulting drain is merged at `(wake_at, rank)` — covering
+//! both the inline-drain and the wake-lane materialization of
+//! `settle_wake`, which dispatch at that same `(time, seq)` position.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::mem;
+use std::time::Duration;
+
+use crate::disk::{Disk, DiskLatency};
+use crate::node::{Context, CtxInner, DetNode, NodeId, TimerId};
+use crate::time::SimTime;
+use crate::wheel::TimerTable;
+
+/// Fewest det nodes with in-window work for a window to go parallel;
+/// below this there is nothing to overlap.
+pub(crate) const MIN_PARALLEL_NODES: usize = 2;
+/// Fewest total in-window work items for a window to go parallel; below
+/// this the thread hand-off costs more than the work.
+pub(crate) const MIN_PARALLEL_ITEMS: usize = 4;
+
+/// Per-node tie-breaker merged as `(time, Token)`.
+///
+/// `Seq` carries a globally pre-allocated sequence number (events already
+/// in the queue or wake lane when the window was planned); `Rank` stands
+/// in for a seq the playback pass will allocate *during* the window.
+/// Playback seqs are strictly larger than every pre-window seq, hence the
+/// variant order: at equal time every `Seq` beats every `Rank`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Token {
+    /// Pre-window, already-allocated global seq.
+    Seq(u64),
+    /// In-window allocation: the n-th potential seq allocation the node's
+    /// worker observed.
+    Rank(u64),
+}
+
+/// How the playback pass must treat one in-window `Timer` queue event for
+/// a worker-owned node, recorded at the event's exact dispatch position.
+/// The worker owns the node's timer table for the window, so playback
+/// cannot probe liveness itself — the table's slots may already have been
+/// recycled by later in-window arms.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TimerDispatch {
+    /// Live timer: count it and offer it to the node.
+    Offer {
+        /// Dispatch time, asserted against the live event.
+        at: SimTime,
+    },
+    /// Cancelled before dispatch: drop the entry silently.
+    StaleSkip {
+        /// Dispatch time, asserted against the live event.
+        at: SimTime,
+    },
+    /// Armed by a wiped incarnation: drop the entry (the worker already
+    /// settled the table slot).
+    EpochStale {
+        /// Dispatch time, asserted against the live event.
+        at: SimTime,
+    },
+}
+
+/// One pre-executed handler invocation, replayed by the playback pass at
+/// the same virtual time the worker ran it.
+#[derive(Debug)]
+pub(crate) enum Invoke<M> {
+    /// `on_message` ran; replay its effects.
+    MsgExec {
+        /// Virtual time the handler ran at.
+        at: SimTime,
+        /// Recorded sends / multicasts / arms / charges, in call order.
+        effects: Vec<Effect<M>>,
+    },
+    /// `on_timer` ran; replay its effects.
+    TimerExec {
+        /// Virtual time the handler ran at.
+        at: SimTime,
+        /// Recorded sends / multicasts / arms / charges, in call order.
+        effects: Vec<Effect<M>>,
+    },
+    /// A backlogged timer whose slot was cancelled before its turn came:
+    /// serial `consume()` would return `None` and skip the handler.
+    TimerNoop {
+        /// Virtual time the (non-)invocation was reached at.
+        at: SimTime,
+    },
+}
+
+/// One side effect recorded by a worker, applied through the live core by
+/// [`Simulation::replay_effects`](crate::Simulation) in call order.
+pub(crate) enum Effect<M> {
+    /// `Context::send`.
+    Send {
+        /// Recipient.
+        to: NodeId,
+        /// The body (the worker kept only a clone for predicted self-sends).
+        msg: M,
+    },
+    /// `Context::multicast`, with the clone fn captured where `M: Clone`
+    /// was in scope (same trick as `Payload::Shared`).
+    Multicast {
+        /// Recipients, in call order.
+        targets: Vec<NodeId>,
+        /// The shared body.
+        msg: M,
+        /// Per-recipient materializer.
+        clone: fn(&M) -> M,
+    },
+    /// `Context::set_timer`: the payload is already parked in the node's
+    /// timer table under `id`; playback allocates the live seq and files
+    /// the queue event.
+    Arm {
+        /// Absolute fire time.
+        fire_at: SimTime,
+        /// Table slot the worker armed.
+        id: TimerId,
+    },
+    /// `Context::charge` (also carries disk append/fsync latency charges),
+    /// with the *raw* duration — playback re-applies the node's CPU
+    /// factor, exactly as the serial path does.
+    Charge(Duration),
+}
+
+impl<M> std::fmt::Debug for Effect<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Effect::Send { to, .. } => f.debug_struct("Send").field("to", to).finish(),
+            Effect::Multicast { targets, .. } => f
+                .debug_struct("Multicast")
+                .field("targets", targets)
+                .finish(),
+            Effect::Arm { fire_at, id } => f
+                .debug_struct("Arm")
+                .field("fire_at", fire_at)
+                .field("id", id)
+                .finish(),
+            Effect::Charge(d) => f.debug_tuple("Charge").field(d).finish(),
+        }
+    }
+}
+
+/// Everything one parallel window recorded for one node, consumed by that
+/// window's playback pass — plus `leftovers`, the only part that may
+/// outlive the window.
+#[derive(Debug)]
+pub(crate) struct NodeScript<M> {
+    /// Verdicts for the node's in-window `Timer` queue events, in dispatch
+    /// order.
+    pub dispatch: VecDeque<TimerDispatch>,
+    /// Pre-executed handler invocations, in execution order.
+    pub invoke: VecDeque<Invoke<M>>,
+    /// Pre-materialized message bodies whose delivery the worker's window
+    /// closed on: their queue/backlog entries carry `Payload::Scripted`
+    /// markers and pair with this queue FIFO, either in the next window's
+    /// plan phase or in serial fallback processing.
+    pub leftovers: VecDeque<M>,
+}
+
+impl<M> Default for NodeScript<M> {
+    fn default() -> NodeScript<M> {
+        NodeScript {
+            dispatch: VecDeque::new(),
+            invoke: VecDeque::new(),
+            leftovers: VecDeque::new(),
+        }
+    }
+}
+
+impl<M> NodeScript<M> {
+    /// Drops all script state (crash / recover / wipe: the backlog the
+    /// script pairs with is cleared at the same time).
+    pub fn clear(&mut self) {
+        self.dispatch.clear();
+        self.invoke.clear();
+        self.leftovers.clear();
+    }
+
+    /// Whether every queue is empty — the invariant between windows for
+    /// `dispatch`/`invoke` (only `leftovers` may carry over).
+    pub fn is_fully_drained(&self) -> bool {
+        self.dispatch.is_empty() && self.invoke.is_empty() && self.leftovers.is_empty()
+    }
+}
+
+/// A deferred work item lifted out of a node's live backlog by the plan
+/// phase. Message bodies are always pre-materialized here (the live
+/// backlog keeps `Payload::Scripted` markers in their place).
+#[derive(Debug)]
+pub(crate) enum BacklogItem<M> {
+    /// A deferred delivery.
+    Msg {
+        /// Sender.
+        from: NodeId,
+        /// Pre-materialized body.
+        body: M,
+    },
+    /// A deferred timer firing.
+    Timer {
+        /// Table slot to consume at execution time.
+        id: TimerId,
+    },
+}
+
+/// An in-window queue event planned for a worker-owned node.
+#[derive(Debug)]
+pub(crate) enum Planned<M> {
+    /// A `Deliver` whose body was pre-materialized (the queue entry now
+    /// carries `Payload::Scripted`).
+    Msg {
+        /// The event's pre-allocated global seq.
+        seq: u64,
+        /// Delivery time.
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Pre-materialized body.
+        body: M,
+    },
+    /// A `Timer` queue event (entry left in the queue unchanged).
+    Timer {
+        /// The event's pre-allocated global seq.
+        seq: u64,
+        /// Fire time.
+        at: SimTime,
+        /// Table slot.
+        id: TimerId,
+        /// Incarnation that armed it (stale-epoch check).
+        epoch: u64,
+    },
+}
+
+impl<M> Planned<M> {
+    fn key(&self) -> (u64, Token) {
+        match self {
+            Planned::Msg { seq, at, .. } => (at.as_nanos(), Token::Seq(*seq)),
+            Planned::Timer { seq, at, .. } => (at.as_nanos(), Token::Seq(*seq)),
+        }
+    }
+}
+
+/// The slice of simulator state one worker needs to step one node to the
+/// window horizon. Owned outright — nothing in here borrows the
+/// simulation, which is what lets units cross thread boundaries.
+pub(crate) struct NodeWork<M> {
+    /// The node this unit steps.
+    pub nid: NodeId,
+    /// The node object, lent out of its slot.
+    pub node: Box<dyn DetNode<M>>,
+    /// The node's timer table, lent out of the core.
+    pub table: TimerTable<M>,
+    /// The node's disk, lent out of the core.
+    pub disk: Disk,
+    /// Simulation-wide disk latency model.
+    pub disk_latency: DiskLatency,
+    /// Self-send delivery delay.
+    pub loopback: Duration,
+    /// Virtual time at plan (window start).
+    pub now: SimTime,
+    /// The node's processor availability at plan.
+    pub busy_until: SimTime,
+    /// CPU slowdown factor.
+    pub cpu_factor: f64,
+    /// Current incarnation (stale-epoch timer check).
+    pub epoch: u64,
+    /// Inclusive window horizon.
+    pub limit: SimTime,
+    /// The node's deferred backlog at plan, oldest first, bodies
+    /// pre-materialized.
+    pub backlog: Vec<BacklogItem<M>>,
+    /// Whether no wake-up is currently reserved or pending for the node
+    /// (mirrors `WakeState::Idle`).
+    pub wake_idle: bool,
+    /// Pending wake-lane entries for this node at or before the horizon,
+    /// `(at, seq)` ascending. Stale entries included — a stale lane wake
+    /// still drains the backlog when it fires, exactly as in serial.
+    pub lane: Vec<(SimTime, u64)>,
+    /// In-window queue events for this node, `(time, seq)` ascending.
+    pub planned: Vec<Planned<M>>,
+    /// `M`'s clone fn, captured where the bound is in scope; used to give
+    /// the worker a private copy of predicted self-send bodies.
+    pub clone_fn: fn(&M) -> M,
+}
+
+/// What a worker hands back: the lent state plus the window's script.
+pub(crate) struct NodeOutcome<M> {
+    /// The node this outcome belongs to.
+    pub nid: NodeId,
+    /// The node object, to be restored to its slot.
+    pub node: Box<dyn DetNode<M>>,
+    /// The timer table, to be restored to the core.
+    pub table: TimerTable<M>,
+    /// The disk, to be restored to the core.
+    pub disk: Disk,
+    /// The recorded replay script for the playback pass.
+    pub script: NodeScript<M>,
+    /// Handler invocations the worker pre-executed (for
+    /// [`EventStats::parallel_events`](crate::EventStats::parallel_events)).
+    pub executed: u64,
+}
+
+/// The recording backing of [`Context`] handed to handlers running on a
+/// worker: mirrors the core's busy-time arithmetic locally and captures
+/// every externally visible action as an [`Effect`].
+pub(crate) struct WorkerCtx<M> {
+    /// Virtual time of the currently executing handler (read by
+    /// `Context::now`).
+    pub(crate) now: SimTime,
+    /// The node's disk (read by `Context::disk_records`).
+    pub(crate) disk: Disk,
+    busy: SimTime,
+    cpu_factor: f64,
+    loopback: Duration,
+    limit: SimTime,
+    table: TimerTable<M>,
+    disk_latency: DiskLatency,
+    effects: Vec<Effect<M>>,
+    /// Monotone counter mirroring the playback pass's in-window seq
+    /// allocations; see [`Token::Rank`].
+    rank: u64,
+    /// Predicted in-window self-send deliveries `(arrival, rank, body)`,
+    /// pushed in allocation order. Arrival times are non-decreasing
+    /// (departure = `busy.max(now)` never moves backwards), so the front
+    /// is always the minimum.
+    self_msgs: VecDeque<(SimTime, u64, M)>,
+    /// In-window firings of timers armed during the window:
+    /// `(fire_ns, rank, raw TimerId)`.
+    gen_timers: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    clone_fn: fn(&M) -> M,
+}
+
+impl<M> WorkerCtx<M> {
+    /// Records a send. Cross-node sends only produce an effect (their
+    /// delivery falls beyond the horizon by construction); a self-send is
+    /// additionally predicted as an in-window local delivery when it fits.
+    pub(crate) fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.rank += 1;
+        if to == from {
+            // Loopback: fixed delay, no loss, no RNG draw — the arrival is
+            // exactly predictable.
+            let arrival = self.busy.max(self.now) + self.loopback;
+            if arrival <= self.limit {
+                self.self_msgs
+                    .push_back((arrival, self.rank, (self.clone_fn)(&msg)));
+            }
+        }
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Records a multicast. Ranks are reserved per member in target order,
+    /// mirroring the per-member seq reservations of the live path.
+    pub(crate) fn multicast(
+        &mut self,
+        from: NodeId,
+        targets: impl IntoIterator<Item = NodeId>,
+        msg: M,
+    ) where
+        M: Clone,
+    {
+        let targets: Vec<NodeId> = targets.into_iter().collect();
+        for &to in &targets {
+            self.rank += 1;
+            if to == from {
+                let arrival = self.busy.max(self.now) + self.loopback;
+                if arrival <= self.limit {
+                    self.self_msgs.push_back((arrival, self.rank, msg.clone()));
+                }
+            }
+        }
+        self.effects.push(Effect::Multicast {
+            targets,
+            msg,
+            clone: <M as Clone>::clone,
+        });
+    }
+
+    /// Arms a timer in the worker-owned table and records the arm.
+    pub(crate) fn set_timer(&mut self, delay: Duration, msg: M) -> TimerId {
+        let id = self.table.arm(msg);
+        self.rank += 1;
+        let fire_at = self.now + delay;
+        if fire_at <= self.limit {
+            self.gen_timers
+                .push(Reverse((fire_at.as_nanos(), self.rank, id.0)));
+        }
+        self.effects.push(Effect::Arm { fire_at, id });
+        id
+    }
+
+    /// Cancels a timer in the worker-owned table. No effect is recorded:
+    /// cancellation allocates no seq and leaves no queue footprint, and
+    /// the table itself is restored to the core after the window.
+    pub(crate) fn cancel_timer(&mut self, id: TimerId) {
+        self.table.cancel(id);
+    }
+
+    /// Mirrors `Core::charge` against the local busy shadow and records
+    /// the raw duration for playback.
+    pub(crate) fn charge(&mut self, cpu: Duration) {
+        self.shadow_charge(cpu);
+        self.effects.push(Effect::Charge(cpu));
+    }
+
+    fn shadow_charge(&mut self, cpu: Duration) {
+        let cpu = if self.cpu_factor == 1.0 {
+            cpu
+        } else {
+            cpu.mul_f64(self.cpu_factor)
+        };
+        self.busy = self.busy.max(self.now) + cpu;
+    }
+
+    /// Appends to the worker-owned disk, charging the configured append
+    /// latency exactly as the live path does.
+    pub(crate) fn disk_append(&mut self, record: Vec<u8>) {
+        let latency = self.disk_latency.append;
+        if !latency.is_zero() {
+            self.charge(latency);
+        }
+        self.disk.append(record);
+    }
+
+    /// Fsyncs the worker-owned disk, charging the configured fsync
+    /// latency exactly as the live path does.
+    pub(crate) fn disk_fsync(&mut self) {
+        let latency = self.disk_latency.fsync;
+        if !latency.is_zero() {
+            self.charge(latency);
+        }
+        self.disk.fsync();
+    }
+}
+
+/// One unit of node-local work queued in the worker's FIFO (the mirror of
+/// the live backlog).
+enum Work<M> {
+    Msg {
+        from: NodeId,
+        body: M,
+        /// Whether the live entry for this delivery carries a
+        /// `Payload::Scripted` marker — true for everything the plan phase
+        /// pre-materialized, false for worker-predicted self-sends (whose
+        /// live entry is the real arena event the replayed send files).
+        /// Decides the body's fate if the window closes before execution:
+        /// scripted bodies go to `leftovers`, self-send copies are
+        /// dropped.
+        scripted: bool,
+    },
+    Timer {
+        id: TimerId,
+    },
+}
+
+/// Steps one node from the window start to the horizon, mirroring the
+/// serial scheduler's offer / drain / wake decisions against local state
+/// and recording the [`NodeScript`] the playback pass will consume.
+pub(crate) fn run_node_window<M>(u: NodeWork<M>) -> NodeOutcome<M> {
+    let NodeWork {
+        nid,
+        mut node,
+        table,
+        disk,
+        disk_latency,
+        loopback,
+        now,
+        busy_until,
+        cpu_factor,
+        epoch,
+        limit,
+        backlog,
+        wake_idle,
+        lane,
+        planned,
+        clone_fn,
+    } = u;
+
+    let mut ctx = WorkerCtx {
+        now,
+        disk,
+        busy: busy_until,
+        cpu_factor,
+        loopback,
+        limit,
+        table,
+        disk_latency,
+        effects: Vec::new(),
+        rank: 0,
+        self_msgs: VecDeque::new(),
+        gen_timers: BinaryHeap::new(),
+        clone_fn,
+    };
+    let mut script = NodeScript::default();
+    let mut executed: u64 = 0;
+
+    // The node's deferred FIFO, mirroring the live backlog. Plan
+    // pre-materialized every body, so all seeds are scripted.
+    let mut fifo: VecDeque<Work<M>> = backlog
+        .into_iter()
+        .map(|item| match item {
+            BacklogItem::Msg { from, body } => Work::Msg {
+                from,
+                body,
+                scripted: true,
+            },
+            BacklogItem::Timer { id } => Work::Timer { id },
+        })
+        .collect();
+
+    // Pending drains, merged by `(time, Token)`: seeded with the node's
+    // in-window wake-lane entries (pre-allocated seqs), extended with
+    // rank-tokened reservations as deferrals arm new wake-ups.
+    let mut drains: BinaryHeap<Reverse<(u64, Token)>> = lane
+        .iter()
+        .map(|&(at, seq)| Reverse((at.as_nanos(), Token::Seq(seq))))
+        .collect();
+    let mut wake_idle = wake_idle;
+
+    let limit_ns = limit.as_nanos();
+    let mut planned = planned.into_iter().peekable();
+
+    /// Runs one handler at `at`, appending the invocation to the script.
+    fn exec<M>(
+        node: &mut dyn DetNode<M>,
+        ctx: &mut WorkerCtx<M>,
+        script: &mut NodeScript<M>,
+        executed: &mut u64,
+        nid: NodeId,
+        at: SimTime,
+        work: Work<M>,
+    ) {
+        ctx.now = at;
+        debug_assert!(ctx.effects.is_empty());
+        match work {
+            Work::Msg { from, body, .. } => {
+                let mut c = Context {
+                    inner: CtxInner::Record(ctx),
+                    id: nid,
+                };
+                node.as_node_mut().on_message(&mut c, from, body);
+                script.invoke.push_back(Invoke::MsgExec {
+                    at,
+                    effects: mem::take(&mut ctx.effects),
+                });
+            }
+            Work::Timer { id } => match ctx.table.consume(id) {
+                Some(msg) => {
+                    let mut c = Context {
+                        inner: CtxInner::Record(ctx),
+                        id: nid,
+                    };
+                    node.as_node_mut().on_timer(&mut c, id, msg);
+                    script.invoke.push_back(Invoke::TimerExec {
+                        at,
+                        effects: mem::take(&mut ctx.effects),
+                    });
+                }
+                // Cancelled while it sat in the FIFO: the serial path's
+                // consume() would come up empty at this same position.
+                None => script.invoke.push_back(Invoke::TimerNoop { at }),
+            },
+        }
+        *executed += 1;
+    }
+
+    // Mirrors `Simulation::offer`: run now if the processor is free and
+    // nothing is queued ahead, else defer and reserve a wake-up.
+    macro_rules! offer {
+        ($at:expr, $work:expr) => {{
+            let at: SimTime = $at;
+            let work: Work<M> = $work;
+            if ctx.busy > at || !fifo.is_empty() {
+                fifo.push_back(work);
+                if wake_idle {
+                    let wake_at = ctx.busy.max(at);
+                    ctx.rank += 1;
+                    drains.push(Reverse((wake_at.as_nanos(), Token::Rank(ctx.rank))));
+                    wake_idle = false;
+                }
+            } else {
+                exec(
+                    &mut *node,
+                    &mut ctx,
+                    &mut script,
+                    &mut executed,
+                    nid,
+                    at,
+                    work,
+                );
+            }
+        }};
+    }
+
+    loop {
+        // Select the earliest pending item across the four per-node
+        // sources; ties cannot happen (seqs and ranks are each unique and
+        // Seq/Rank never compare equal).
+        #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+        enum Src {
+            Planned,
+            SelfMsg,
+            GenTimer,
+            Drain,
+        }
+        let mut best: Option<((u64, Token), Src)> = None;
+        let mut consider = |key: (u64, Token), src: Src| match best {
+            Some((bk, _)) if bk <= key => {}
+            _ => best = Some((key, src)),
+        };
+        if let Some(p) = planned.peek() {
+            consider(p.key(), Src::Planned);
+        }
+        if let Some(&(at, rank, _)) = ctx.self_msgs.front() {
+            consider((at.as_nanos(), Token::Rank(rank)), Src::SelfMsg);
+        }
+        if let Some(&Reverse((t, rank, _))) = ctx.gen_timers.peek() {
+            consider((t, Token::Rank(rank)), Src::GenTimer);
+        }
+        if let Some(&Reverse(key)) = drains.peek() {
+            consider(key, Src::Drain);
+        }
+        let Some(((t, _), src)) = best else { break };
+        if t > limit_ns {
+            // Only a reservation beyond the horizon remains (playback's
+            // wake lane carries its live twin into the next window).
+            break;
+        }
+        match src {
+            Src::Planned => match planned.next().expect("peeked") {
+                Planned::Msg { at, from, body, .. } => {
+                    offer!(
+                        at,
+                        Work::Msg {
+                            from,
+                            body,
+                            scripted: true,
+                        }
+                    );
+                }
+                Planned::Timer {
+                    at,
+                    id,
+                    epoch: armed_epoch,
+                    ..
+                } => {
+                    if !ctx.table.is_live(id) {
+                        script.dispatch.push_back(TimerDispatch::StaleSkip { at });
+                    } else if armed_epoch != epoch {
+                        ctx.table.cancel(id);
+                        script.dispatch.push_back(TimerDispatch::EpochStale { at });
+                    } else {
+                        script.dispatch.push_back(TimerDispatch::Offer { at });
+                        offer!(at, Work::Timer { id });
+                    }
+                }
+            },
+            Src::SelfMsg => {
+                let (at, _, body) = ctx.self_msgs.pop_front().expect("peeked");
+                offer!(
+                    at,
+                    Work::Msg {
+                        from: nid,
+                        body,
+                        scripted: false,
+                    }
+                );
+            }
+            Src::GenTimer => {
+                let Reverse((t, _, raw)) = ctx.gen_timers.pop().expect("peeked");
+                let at = SimTime::from_nanos(t);
+                let id = TimerId(raw);
+                if !ctx.table.is_live(id) {
+                    script.dispatch.push_back(TimerDispatch::StaleSkip { at });
+                } else {
+                    // In-window arms always carry the current epoch.
+                    script.dispatch.push_back(TimerDispatch::Offer { at });
+                    offer!(at, Work::Timer { id });
+                }
+            }
+            Src::Drain => {
+                // Mirrors `Simulation::drain_backlog` (+ the re-arm the
+                // serial path does when work remains).
+                let Reverse((t, _)) = drains.pop().expect("peeked");
+                let at = SimTime::from_nanos(t);
+                wake_idle = true;
+                loop {
+                    if ctx.busy > at {
+                        break;
+                    }
+                    let Some(work) = fifo.pop_front() else { break };
+                    exec(
+                        &mut *node,
+                        &mut ctx,
+                        &mut script,
+                        &mut executed,
+                        nid,
+                        at,
+                        work,
+                    );
+                }
+                if !fifo.is_empty() && wake_idle {
+                    ctx.rank += 1;
+                    drains.push(Reverse((ctx.busy.as_nanos(), Token::Rank(ctx.rank))));
+                    wake_idle = false;
+                }
+            }
+        }
+    }
+
+    // Window closed with work still deferred: scripted bodies outlive the
+    // window in the leftover queue (their live entries keep their
+    // `Payload::Scripted` markers); self-send copies are dropped — their
+    // live entries are the real arena events the replayed sends file.
+    for work in fifo {
+        if let Work::Msg {
+            body,
+            scripted: true,
+            ..
+        } = work
+        {
+            script.leftovers.push_back(body);
+        }
+    }
+
+    NodeOutcome {
+        nid,
+        node,
+        table: ctx.table,
+        disk: ctx.disk,
+        script,
+        executed,
+    }
+}
+
+/// Steps every unit to the horizon, spreading units round-robin over at
+/// most `threads` scoped worker threads. Outcome order is unspecified;
+/// units are independent, so thread scheduling cannot affect any result.
+pub(crate) fn run_workers<M: Send>(
+    mut units: Vec<NodeWork<M>>,
+    threads: usize,
+) -> Vec<NodeOutcome<M>> {
+    let buckets = threads.min(units.len()).max(1);
+    if buckets <= 1 {
+        return units.into_iter().map(run_node_window).collect();
+    }
+    let mut groups: Vec<Vec<NodeWork<M>>> = (0..buckets).map(|_| Vec::new()).collect();
+    for (i, u) in units.drain(..).enumerate() {
+        groups[i % buckets].push(u);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                s.spawn(move || group.into_iter().map(run_node_window).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel stepping worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_order_seq_beats_rank() {
+        // At equal time a pre-window seq must beat every in-window rank,
+        // regardless of magnitudes.
+        assert!(Token::Seq(u64::MAX) < Token::Rank(0));
+        assert!(Token::Seq(3) < Token::Seq(4));
+        assert!(Token::Rank(3) < Token::Rank(4));
+    }
+
+    #[test]
+    fn node_script_drain_invariant() {
+        let mut s: NodeScript<u8> = NodeScript::default();
+        assert!(s.is_fully_drained());
+        s.leftovers.push_back(1);
+        assert!(!s.is_fully_drained());
+        s.clear();
+        assert!(s.is_fully_drained());
+    }
+}

@@ -1,0 +1,280 @@
+//! Differential test of deterministic parallel stepping against the
+//! serial reference scheduler.
+//!
+//! `set_parallel_stepping(n)` speculatively pre-executes det-node
+//! handlers on `n` scoped worker threads between safe horizons, then
+//! replays the recorded effects through the unmodified serial loop.
+//! A stress scenario exercising every engine edge — deep backlogs,
+//! self-sends, timers armed and cancelled from inside the window,
+//! multicast fan-out, lossy jittered links, crashes, recoveries, and
+//! amnesia wipes — must produce byte-identical traces and identical
+//! observable state for every thread count, with only the batching and
+//! parallel-bookkeeping counters allowed to differ.
+
+use std::time::Duration;
+
+use idem_simnet::{
+    Context, EventStats, LinkSpec, Network, Node, NodeId, SimTime, Simulation, TimerId, Wire,
+};
+
+#[derive(Clone, Debug)]
+enum Msg {
+    /// A unit of work costing `cost_us` µs, bounced `hops` more times.
+    Work {
+        cost_us: u32,
+        hops: u32,
+    },
+    /// Multicast burst marker.
+    Burst(u32),
+    Tick,
+}
+
+impl Wire for Msg {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// A deterministic worker: charges per message, bounces work onward by a
+/// rotation over its peers (including itself, so the self-send fast path
+/// is covered), arms and cancels timers, and accumulates an
+/// order-sensitive digest of everything it observed. Unlike the
+/// eager-wakes differential worker it draws nothing from `ctx.rng()`, so
+/// it is eligible for det-node speculation; link loss and jitter still
+/// exercise the network RNG on every send it makes.
+struct Worker {
+    peers: Vec<NodeId>,
+    digest: u64,
+    pending_timer: Option<TimerId>,
+    received: u64,
+}
+
+impl Worker {
+    fn observe(&mut self, tag: u64, at: SimTime) {
+        self.digest = self
+            .digest
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(tag ^ at.as_nanos());
+    }
+}
+
+impl Node<Msg> for Worker {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        self.received += 1;
+        match msg {
+            Msg::Work { cost_us, hops } => {
+                self.observe(u64::from(cost_us) << 8 | u64::from(from.0), ctx.now());
+                ctx.charge(Duration::from_micros(u64::from(cost_us)));
+                if hops > 0 {
+                    // Deterministic rotation instead of an RNG draw; every
+                    // fifth bounce goes to the worker itself.
+                    let pick = (self.received as usize) % self.peers.len();
+                    ctx.send(
+                        self.peers[pick],
+                        Msg::Work {
+                            cost_us,
+                            hops: hops - 1,
+                        },
+                    );
+                }
+                if self.received.is_multiple_of(3) {
+                    match self.pending_timer.take() {
+                        Some(t) => ctx.cancel_timer(t),
+                        None => {
+                            self.pending_timer =
+                                Some(ctx.set_timer(Duration::from_micros(50), Msg::Tick));
+                        }
+                    }
+                }
+            }
+            Msg::Burst(n) => {
+                self.observe(u64::from(n), ctx.now());
+                ctx.charge(Duration::from_micros(20));
+            }
+            Msg::Tick => unreachable!("Tick only arrives via timers"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _id: TimerId, _msg: Msg) {
+        self.pending_timer = None;
+        self.observe(0x71C, ctx.now());
+        ctx.charge(Duration::from_micros(5));
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.observe(0x4EC, ctx.now());
+    }
+}
+
+/// Floods the workers with enough simultaneous work to keep them deeply
+/// backlogged, plus periodic multicast bursts. Stays a plain (non-det)
+/// node: windows containing its events fall back to serial execution,
+/// covering the mixed det/non-det partition path.
+struct Driver {
+    workers: Vec<NodeId>,
+    rounds: u32,
+}
+
+impl Node<Msg> for Driver {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        for round in 0..self.rounds {
+            for &w in &self.workers {
+                ctx.send(
+                    w,
+                    Msg::Work {
+                        cost_us: 30 + (round % 7),
+                        hops: 3,
+                    },
+                );
+            }
+        }
+        ctx.set_timer(Duration::from_millis(2), Msg::Tick);
+    }
+
+    fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _id: TimerId, _msg: Msg) {
+        ctx.multicast(self.workers.iter().copied(), Msg::Burst(7));
+        ctx.set_timer(Duration::from_millis(2), Msg::Tick);
+    }
+}
+
+struct Observation {
+    trace: String,
+    digests: Vec<u64>,
+    received: Vec<u64>,
+    events_processed: u64,
+    pending_events: usize,
+    pending_timers: usize,
+    total_bytes: u64,
+    total_messages: u64,
+    now: SimTime,
+    stats: EventStats,
+}
+
+fn worker(peers: Vec<NodeId>) -> Box<Worker> {
+    Box::new(Worker {
+        peers,
+        digest: 0,
+        pending_timer: None,
+        received: 0,
+    })
+}
+
+fn run(threads: usize) -> Observation {
+    // Jitter makes link delays RNG-dependent and loss drops a deterministic
+    // subset of sends — both would diverge if speculation perturbed the
+    // commit-time sampling order.
+    let link =
+        LinkSpec::new(Duration::from_micros(100), Duration::from_micros(40)).with_drop_prob(0.01);
+    let mut sim: Simulation<Msg> = Simulation::with_network(0xD1FF, Network::new(link));
+    if threads >= 2 {
+        // Mirror the harness: parallel cells run with batching off (batch
+        // entries force serial windows); traces are byte-identical either
+        // way per the multicast differential test.
+        sim.set_multicast_batching(false);
+        sim.set_parallel_stepping(threads);
+    }
+    sim.set_trace(1 << 16);
+
+    let workers: Vec<NodeId> = (0..4).map(|_| sim.reserve_node()).collect();
+    for &w in &workers {
+        if threads >= 2 {
+            sim.install_det_node(w, worker(workers.clone()));
+            sim.set_det_node_factory(
+                w,
+                Box::new({
+                    let peers = workers.clone();
+                    move || worker(peers.clone())
+                }),
+            );
+        } else {
+            sim.install_node(w, worker(workers.clone()));
+            sim.set_node_factory(
+                w,
+                Box::new({
+                    let peers = workers.clone();
+                    move || worker(peers.clone())
+                }),
+            );
+        }
+    }
+    sim.add_node(Box::new(Driver {
+        workers: workers.clone(),
+        rounds: 400,
+    }));
+
+    // Crash one worker mid-backlog, recover it, and wipe another — the
+    // transitions that force serial windows and rebuild det nodes.
+    sim.schedule_crash(workers[1], SimTime::from_nanos(3_000_000));
+    sim.schedule_recovery(workers[1], SimTime::from_nanos(9_000_000));
+    sim.run_until(SimTime::from_nanos(15_000_000));
+    sim.wipe_now(workers[2], true);
+    sim.run_for(Duration::from_millis(30));
+
+    Observation {
+        trace: sim.trace().expect("tracing enabled").dump(),
+        digests: workers
+            .iter()
+            .map(|&w| sim.node_as::<Worker>(w).unwrap().digest)
+            .collect(),
+        received: workers
+            .iter()
+            .map(|&w| sim.node_as::<Worker>(w).unwrap().received)
+            .collect(),
+        events_processed: sim.events_processed(),
+        pending_events: sim.pending_events(),
+        pending_timers: sim.pending_timers(),
+        total_bytes: sim.traffic().total_bytes(),
+        total_messages: sim.traffic().total_messages(),
+        now: sim.now(),
+        stats: sim.event_stats(),
+    }
+}
+
+fn assert_identical(serial: &Observation, parallel: &Observation, threads: usize) {
+    // Byte-identical execution trace: every send (with its sampled loss),
+    // delivery, timer fire, crash, recovery, and wipe at the same time in
+    // the same order.
+    assert_eq!(
+        serial.trace, parallel.trace,
+        "trace diverged at {threads} threads"
+    );
+
+    assert_eq!(serial.digests, parallel.digests);
+    assert_eq!(serial.received, parallel.received);
+    assert_eq!(serial.events_processed, parallel.events_processed);
+    assert_eq!(serial.pending_events, parallel.pending_events);
+    assert_eq!(serial.pending_timers, parallel.pending_timers);
+    assert_eq!(serial.total_bytes, parallel.total_bytes);
+    assert_eq!(serial.total_messages, parallel.total_messages);
+    assert_eq!(serial.now, parallel.now);
+
+    // Committed dispatch mix: identical except the batching split (the
+    // parallel run turns batching off) and the parallel bookkeeping.
+    assert_eq!(serial.stats.delivers, parallel.stats.delivers);
+    assert_eq!(serial.stats.timers, parallel.stats.timers);
+    assert_eq!(serial.stats.wakes, parallel.stats.wakes);
+    assert_eq!(serial.stats.inline_wakes, parallel.stats.inline_wakes);
+    assert_eq!(serial.stats.crashes, parallel.stats.crashes);
+
+    assert!(
+        parallel.stats.parallel_windows > 0,
+        "the stress scenario must actually take the parallel path at {threads} threads"
+    );
+    assert!(
+        parallel.stats.serial_windows > 0,
+        "crashes/recoveries/non-det events must force some serial windows"
+    );
+    assert!(parallel.stats.parallel_events > 0);
+}
+
+#[test]
+fn parallel_stepping_is_observationally_identical_to_serial() {
+    let serial = run(1);
+    assert_eq!(serial.stats.parallel_windows, 0);
+    for threads in [2, 4] {
+        let parallel = run(threads);
+        assert_identical(&serial, &parallel, threads);
+    }
+}

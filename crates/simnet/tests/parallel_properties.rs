@@ -1,0 +1,209 @@
+//! Property-based tests of deterministic parallel stepping: for randomly
+//! generated workloads — fan-out shape, per-message cost, bounce depth,
+//! link loss, optional crash/recovery — and random worker-thread counts,
+//! the parallel engine must be observationally identical to the serial
+//! reference scheduler, and its window accounting must stay conserved.
+//!
+//! This drives the safe-horizon and partition computation across the
+//! input space instead of a single adversarial scenario: horizons that
+//! reached too far, partitions that split a node's work, or speculation
+//! that leaked across the window would all surface as trace divergence
+//! or event-count leaks for some generated case.
+
+use std::time::Duration;
+
+use idem_simnet::{Context, LinkSpec, Network, Node, NodeId, SimTime, Simulation, TimerId, Wire};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Msg {
+    Work { cost_us: u32, hops: u32 },
+    Tick,
+}
+
+impl Wire for Msg {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// Seeds the initial load, then goes quiet (non-det, so its window runs
+/// serially — covering the mixed det/non-det path on every case).
+struct Seeder {
+    targets: Vec<NodeId>,
+    rounds: u32,
+    cost_us: u32,
+    hops: u32,
+}
+
+impl Node<Msg> for Seeder {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        for _ in 0..self.rounds {
+            for &t in &self.targets {
+                ctx.send(
+                    t,
+                    Msg::Work {
+                        cost_us: self.cost_us,
+                        hops: self.hops,
+                    },
+                );
+            }
+        }
+    }
+    fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+}
+
+/// Deterministic bouncing worker (no `ctx.rng()` use — det-eligible).
+struct Worker {
+    peers: Vec<NodeId>,
+    digest: u64,
+    pending_timer: Option<TimerId>,
+    received: u64,
+}
+
+impl Node<Msg> for Worker {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        self.received += 1;
+        if let Msg::Work { cost_us, hops } = msg {
+            self.digest = self.digest.wrapping_mul(0x100000001b3).wrapping_add(
+                u64::from(cost_us) ^ (u64::from(from.0) << 32) ^ ctx.now().as_nanos(),
+            );
+            ctx.charge(Duration::from_micros(u64::from(cost_us)));
+            if hops > 0 {
+                let pick = (self.received as usize) % self.peers.len();
+                ctx.send(
+                    self.peers[pick],
+                    Msg::Work {
+                        cost_us,
+                        hops: hops - 1,
+                    },
+                );
+            }
+            if self.received.is_multiple_of(4) {
+                match self.pending_timer.take() {
+                    Some(t) => ctx.cancel_timer(t),
+                    None => {
+                        self.pending_timer =
+                            Some(ctx.set_timer(Duration::from_micros(70), Msg::Tick))
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _id: TimerId, _msg: Msg) {
+        self.pending_timer = None;
+        self.digest = self
+            .digest
+            .wrapping_mul(31)
+            .wrapping_add(ctx.now().as_nanos());
+        ctx.charge(Duration::from_micros(3));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Params {
+    seed: u64,
+    nodes: usize,
+    rounds: u32,
+    cost_us: u32,
+    hops: u32,
+    drop_pct: u32,
+    crash: bool,
+}
+
+fn worker(peers: Vec<NodeId>) -> Box<Worker> {
+    Box::new(Worker {
+        peers,
+        digest: 0,
+        pending_timer: None,
+        received: 0,
+    })
+}
+
+/// Runs one generated workload; returns `(trace, digests, events, stats)`.
+fn run(p: &Params, threads: usize) -> (String, Vec<u64>, u64, idem_simnet::EventStats) {
+    let link = LinkSpec::new(Duration::from_micros(80), Duration::from_micros(25))
+        .with_drop_prob(f64::from(p.drop_pct) / 100.0);
+    let mut sim: Simulation<Msg> = Simulation::with_network(p.seed, Network::new(link));
+    if threads >= 2 {
+        sim.set_multicast_batching(false);
+        sim.set_parallel_stepping(threads);
+    }
+    sim.set_trace(1 << 15);
+
+    let ids: Vec<NodeId> = (0..p.nodes).map(|_| sim.reserve_node()).collect();
+    for &id in &ids {
+        if threads >= 2 {
+            sim.install_det_node(id, worker(ids.clone()));
+            sim.set_det_node_factory(
+                id,
+                Box::new({
+                    let peers = ids.clone();
+                    move || worker(peers.clone())
+                }),
+            );
+        } else {
+            sim.install_node(id, worker(ids.clone()));
+            sim.set_node_factory(
+                id,
+                Box::new({
+                    let peers = ids.clone();
+                    move || worker(peers.clone())
+                }),
+            );
+        }
+    }
+
+    sim.add_node(Box::new(Seeder {
+        targets: ids.clone(),
+        rounds: p.rounds,
+        cost_us: p.cost_us,
+        hops: p.hops,
+    }));
+    if p.crash {
+        sim.schedule_crash(ids[0], SimTime::from_nanos(400_000));
+        sim.schedule_recovery(ids[0], SimTime::from_nanos(1_100_000));
+    }
+    sim.run_for(Duration::from_millis(6));
+
+    let digests = ids
+        .iter()
+        .map(|&id| sim.node_as::<Worker>(id).unwrap().digest)
+        .collect();
+    (
+        sim.trace().expect("tracing enabled").dump(),
+        digests,
+        sim.events_processed(),
+        sim.event_stats(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn parallel_equals_serial_for_random_workloads(
+        seed in any::<u64>(),
+        nodes in 2usize..6,
+        (rounds, cost_us, hops) in (1u32..40, 1u32..60, 0u32..5),
+        (drop_pct, crash) in (0u32..5, any::<bool>()),
+        threads in 2usize..5,
+    ) {
+        let p = Params { seed, nodes, rounds, cost_us, hops, drop_pct, crash };
+        let (s_trace, s_digests, s_events, _) = run(&p, 1);
+        let (p_trace, p_digests, p_events, p_stats) = run(&p, threads);
+        prop_assert_eq!(s_trace, p_trace);
+        prop_assert_eq!(s_digests, p_digests);
+        prop_assert_eq!(s_events, p_events);
+
+        // Window accounting conservation: speculative events never exceed
+        // the committed total, and every window is counted exactly once.
+        prop_assert!(p_stats.parallel_events <= p_events);
+        prop_assert!(
+            p_stats.parallel_node_windows >= p_stats.parallel_windows,
+            "each parallel window spans at least one node"
+        );
+        if p_stats.parallel_windows == 0 {
+            prop_assert_eq!(p_stats.parallel_events, 0);
+        }
+    }
+}

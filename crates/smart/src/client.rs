@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use idem_common::driver::{ClientApp, OperationOutcome, OutcomeKind};
-use idem_common::{Directory, OpNumber, QuorumSet, Request, RequestId};
+use idem_common::{Directory, OpNumber, QuorumSet, Request, RequestId, ResultBytes};
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId};
 use rand::Rng;
 
@@ -147,7 +147,7 @@ impl SmartClient {
         &mut self,
         ctx: &mut Context<'_, SmartMessage>,
         id: RequestId,
-        result: Vec<u8>,
+        result: ResultBytes,
     ) {
         let matches = self.current.as_ref().is_some_and(|f| f.id == id);
         if !matches {

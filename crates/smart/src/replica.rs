@@ -6,7 +6,7 @@ use std::time::Duration;
 use idem_common::app::CostModel;
 use idem_common::{
     Directory, ExecRecord, OpNumber, PersistMode, QuorumTracker, Reply, Request, RequestId,
-    SeqNumber, StateMachine, View, Wal, WalRecord,
+    ResultBytes, SeqNumber, StateMachine, View, Wal, WalRecord,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -63,7 +63,7 @@ pub struct SmartReplica {
     cfg: SmartConfig,
     me: idem_common::ReplicaId,
     dir: Directory<NodeId>,
-    app: Box<dyn StateMachine>,
+    app: Box<dyn StateMachine + Send>,
 
     view: View,
     vc_target: Option<View>,
@@ -91,7 +91,9 @@ pub struct SmartReplica {
     /// contents.
     vc_resume: Option<(SeqNumber, Vec<Request>)>,
 
-    last_executed: BTreeMap<u32, (idem_common::OpNumber, Vec<u8>)>,
+    last_executed: BTreeMap<u32, (idem_common::OpNumber, ResultBytes)>,
+    /// Reused buffer for state-machine execution results.
+    exec_scratch: Vec<u8>,
     checkpoint: Option<Checkpoint>,
 
     progress_timer: Option<TimerId>,
@@ -126,7 +128,7 @@ impl SmartReplica {
         cfg: SmartConfig,
         me: idem_common::ReplicaId,
         dir: Directory<NodeId>,
-        app: Box<dyn StateMachine>,
+        app: Box<dyn StateMachine + Send>,
     ) -> SmartReplica {
         SmartReplica {
             cfg,
@@ -143,6 +145,7 @@ impl SmartReplica {
             sync_target: None,
             vc_resume: None,
             last_executed: BTreeMap::new(),
+            exec_scratch: Vec::new(),
             checkpoint: None,
             progress_timer: None,
             wal: Wal::default(),
@@ -481,7 +484,8 @@ impl SmartReplica {
             }
             let cost = self.app.execution_cost(&req.command);
             ctx.charge(cost);
-            let result = self.app.execute(&req.command);
+            self.app.execute_into(&req.command, &mut self.exec_scratch);
+            let result = ResultBytes::from_slice(&self.exec_scratch);
             self.stats.executed += 1;
             self.last_executed
                 .insert(req.id.client.0, (req.id.op, result.clone()));
@@ -514,7 +518,7 @@ impl SmartReplica {
             let clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)> = self
                 .last_executed
                 .iter()
-                .map(|(&cid, (op, reply))| (cid, *op, reply.clone()))
+                .map(|(&cid, (op, reply))| (cid, *op, reply.to_vec()))
                 .collect();
             self.checkpoint = Some((self.next_sqn, snapshot, clients));
             if self.wal.enabled() {
@@ -564,7 +568,7 @@ impl SmartReplica {
         self.app.restore(&snapshot);
         self.last_executed = clients
             .iter()
-            .map(|(cid, op, reply)| (*cid, (*op, reply.clone())))
+            .map(|(cid, op, reply)| (*cid, (*op, ResultBytes::from_slice(reply))))
             .collect();
         self.next_sqn = next_sqn;
         self.open = None;
@@ -851,7 +855,7 @@ impl SmartReplica {
             self.app.restore(&snapshot);
             self.last_executed = clients
                 .iter()
-                .map(|(cid, op, reply)| (*cid, (OpNumber(*op), reply.clone())))
+                .map(|(cid, op, reply)| (*cid, (OpNumber(*op), ResultBytes::from_slice(reply))))
                 .collect();
             self.next_sqn = SeqNumber(next_sqn);
             self.checkpoint = Some((
@@ -892,7 +896,8 @@ impl SmartReplica {
             if *fresh && !self.executed_already(*id) {
                 let cost = self.app.execution_cost(command);
                 ctx.charge(cost);
-                let result = self.app.execute(command);
+                self.app.execute_into(command, &mut self.exec_scratch);
+                let result = ResultBytes::from_slice(&self.exec_scratch);
                 self.stats.executed += 1;
                 self.last_executed.insert(id.client.0, (id.op, result));
             }

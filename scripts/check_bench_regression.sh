@@ -75,6 +75,24 @@ if [[ "$base_mode" != "$cur_mode" ]]; then
 fi
 mode=$cur_mode
 
+# Intra-cell worker threads (`repro --threads N`). Summaries written
+# before the field existed mean threads=1 (there was only the serial
+# stepper), so a missing header defaults to 1 and old baselines keep
+# working. Differing counts are legal — results are byte-identical by
+# construction — but wall-clock throughput is not like-for-like, so say
+# so rather than silently gating across the difference.
+threads_of() {
+    local t
+    t=$(sed -n 's|.*"threads": \([0-9]*\).*|\1|p' "$1" | head -n1)
+    echo "${t:-1}"
+}
+base_threads=$(threads_of "$baseline")
+cur_threads=$(threads_of "$current")
+if [[ "$base_threads" != "$cur_threads" ]]; then
+    echo "note: intra-cell threads differ (baseline $base_threads, current $cur_threads);" \
+         "throughput gates compare across different parallelism"
+fi
+
 # Prints one "name field..." line per entry. Names may contain "/" and
 # "-" (load cells are "scenario/System", e.g. "bursty/BFT-SMaRt"), so
 # the character class admits both and the sed delimiter is "|".
