@@ -26,11 +26,30 @@ pub struct ExecRecord {
     /// (`false`). Exactly-once checking counts only fresh applies;
     /// agreement checking uses every record.
     pub fresh: bool,
+    /// The membership epoch the replica was in when it executed the slot.
+    /// The membership-safety invariant checks that no two replicas execute
+    /// the same slot in different epochs.
+    pub epoch: u64,
 }
 
 impl ExecRecord {
-    /// Convenience constructor.
+    /// Convenience constructor (epoch 0 — the bootstrap membership).
     pub fn new(slot: u64, id: RequestId, fresh: bool) -> ExecRecord {
-        ExecRecord { slot, id, fresh }
+        ExecRecord {
+            slot,
+            id,
+            fresh,
+            epoch: 0,
+        }
+    }
+
+    /// Constructor carrying the executing replica's membership epoch.
+    pub fn at_epoch(slot: u64, id: RequestId, fresh: bool, epoch: u64) -> ExecRecord {
+        ExecRecord {
+            slot,
+            id,
+            fresh,
+            epoch,
+        }
     }
 }

@@ -33,6 +33,7 @@ pub mod driver;
 pub mod exec;
 pub mod ids;
 pub mod load;
+pub mod membership;
 pub mod phaseprof;
 pub mod quorum;
 pub mod request;
@@ -45,6 +46,7 @@ pub use driver::{ClientApp, OperationOutcome, OutcomeKind};
 pub use exec::ExecRecord;
 pub use ids::{ClientId, OpNumber, ReplicaId, RequestId, SeqNumber, View};
 pub use load::{ArrivalProcess, ArrivalSampler, BackoffWheel, LoadCounters, LoadPhase, MmppState};
+pub use membership::{Epoch, Membership, ReconfigCommand, RECONFIG_CLIENT};
 pub use quorum::{QuorumSet, QuorumTracker};
 pub use request::{Reply, Request, ResultBytes, INLINE_RESULT_CAP};
 pub use wal::{PersistMode, Wal, WalRecord};

@@ -1,0 +1,414 @@
+//! Epoch-numbered dynamic membership.
+//!
+//! A [`Membership`] is the authoritative replica set of a replication
+//! group at one point in its reconfiguration history. Every change —
+//! [`ReconfigCommand::Join`], [`ReconfigCommand::Leave`],
+//! [`ReconfigCommand::Replace`] — bumps the epoch by one, so two replicas
+//! holding the same epoch hold the same member list by construction.
+//!
+//! Reconfiguration commands travel *through the protocol itself*: they are
+//! ordered like client commands (under the reserved [`RECONFIG_CLIENT`]
+//! identity) and applied at execution time, which pins the epoch switch to
+//! one agreed slot on every replica. All quorum arithmetic that used to
+//! come from the static [`QuorumSet`](crate::quorum::QuorumSet) config —
+//! majority size, the client's `n − f` reject quorum, the peer list — is
+//! derived from the current membership instead, so it moves with the
+//! epoch.
+//!
+//! At epoch 0 the membership is exactly the bootstrap configuration and
+//! every derived quantity equals its fixed-`n` predecessor; the bootstrap
+//! membership also costs zero wire bytes wherever it is embedded
+//! (checkpoints, redirects), which keeps the whole layer inert — to the
+//! byte — for runs that never reconfigure.
+
+use crate::ids::{ClientId, ReplicaId, View};
+
+/// Reserved client identity for reconfiguration commands ordered through
+/// the protocol. One below the no-op filler id (`u32::MAX`), so neither
+/// collides with real clients (directory client ids are small integers).
+pub const RECONFIG_CLIENT: ClientId = ClientId(u32::MAX - 1);
+
+/// A reconfiguration epoch: the number of membership changes executed
+/// since bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch(pub u64);
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One membership change, ordered through the protocol as a command under
+/// [`RECONFIG_CLIENT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigCommand {
+    /// Add a replica to the group.
+    Join(ReplicaId),
+    /// Remove a replica from the group.
+    Leave(ReplicaId),
+    /// Atomically swap `old` out for `new` (one epoch, not two).
+    Replace {
+        /// The member being removed.
+        old: ReplicaId,
+        /// The replica taking its place.
+        new: ReplicaId,
+    },
+}
+
+/// Command-byte prefix marking a reconfiguration command. `0xFF` cannot
+/// start any KV workload op (those are printable ASCII verbs), so
+/// [`ReconfigCommand::is_reconfig`] is a cheap, unambiguous test.
+const RECONFIG_MAGIC: [u8; 5] = [0xFF, b'R', b'C', b'F', b'G'];
+
+const TAG_JOIN: u8 = 1;
+const TAG_LEAVE: u8 = 2;
+const TAG_REPLACE: u8 = 3;
+
+impl ReconfigCommand {
+    /// Serializes the command to its on-the-wire body form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(RECONFIG_MAGIC.len() + 9);
+        out.extend_from_slice(&RECONFIG_MAGIC);
+        match self {
+            ReconfigCommand::Join(r) => {
+                out.push(TAG_JOIN);
+                out.extend_from_slice(&r.0.to_le_bytes());
+            }
+            ReconfigCommand::Leave(r) => {
+                out.push(TAG_LEAVE);
+                out.extend_from_slice(&r.0.to_le_bytes());
+            }
+            ReconfigCommand::Replace { old, new } => {
+                out.push(TAG_REPLACE);
+                out.extend_from_slice(&old.0.to_le_bytes());
+                out.extend_from_slice(&new.0.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Whether a command body is a reconfiguration command (by magic
+    /// prefix). Replicas test this before the app-execution path.
+    pub fn is_reconfig(body: &[u8]) -> bool {
+        body.starts_with(&RECONFIG_MAGIC)
+    }
+
+    /// The replica this command adds to the group, if any. Members push
+    /// their epoch-boundary checkpoint to this replica so a joiner
+    /// bootstraps without having to discover the group on its own.
+    pub fn added(&self) -> Option<ReplicaId> {
+        match self {
+            ReconfigCommand::Join(r) => Some(*r),
+            ReconfigCommand::Leave(_) => None,
+            ReconfigCommand::Replace { new, .. } => Some(*new),
+        }
+    }
+
+    /// Decodes a command body. `None` if the body is not a well-formed
+    /// reconfiguration command.
+    pub fn decode(body: &[u8]) -> Option<ReconfigCommand> {
+        let rest = body.strip_prefix(RECONFIG_MAGIC.as_slice())?;
+        let (&tag, rest) = rest.split_first()?;
+        let u32_at = |bytes: &[u8], at: usize| -> Option<u32> {
+            Some(u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?))
+        };
+        let cmd = match tag {
+            TAG_JOIN if rest.len() == 4 => ReconfigCommand::Join(ReplicaId(u32_at(rest, 0)?)),
+            TAG_LEAVE if rest.len() == 4 => ReconfigCommand::Leave(ReplicaId(u32_at(rest, 0)?)),
+            TAG_REPLACE if rest.len() == 8 => ReconfigCommand::Replace {
+                old: ReplicaId(u32_at(rest, 0)?),
+                new: ReplicaId(u32_at(rest, 4)?),
+            },
+            _ => return None,
+        };
+        Some(cmd)
+    }
+}
+
+impl std::fmt::Display for ReconfigCommand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigCommand::Join(r) => write!(f, "join({})", r.0),
+            ReconfigCommand::Leave(r) => write!(f, "leave({})", r.0),
+            ReconfigCommand::Replace { old, new } => write!(f, "replace({},{})", old.0, new.0),
+        }
+    }
+}
+
+/// The replica set of one epoch, plus every piece of quorum arithmetic
+/// derived from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    epoch: u64,
+    /// Sorted, duplicate-free member list.
+    members: Vec<ReplicaId>,
+}
+
+impl Membership {
+    /// The bootstrap membership: epoch 0, replicas `0..n`.
+    pub fn bootstrap(n: u32) -> Membership {
+        Membership {
+            epoch: 0,
+            members: (0..n).map(ReplicaId).collect(),
+        }
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> Epoch {
+        Epoch(self.epoch)
+    }
+
+    /// Number of members.
+    pub fn n(&self) -> u32 {
+        self.members.len() as u32
+    }
+
+    /// Tolerated crash faults: `(n − 1) / 2`, as for the static
+    /// [`QuorumSet`](crate::quorum::QuorumSet).
+    pub fn f(&self) -> u32 {
+        (self.n().saturating_sub(1)) / 2
+    }
+
+    /// Strict majority, `n / 2 + 1`. Equals the static `f + 1` for every
+    /// odd `n` (so epoch 0 is arithmetic-identical to the old config); for
+    /// the even group sizes that transiently exist mid-churn it stays a
+    /// true majority, where `f + 1` would allow split-brain.
+    pub fn majority(&self) -> u32 {
+        self.n() / 2 + 1
+    }
+
+    /// The client-side final-rejection quorum `n − f`.
+    pub fn ambivalence(&self) -> u32 {
+        self.n() - self.f()
+    }
+
+    /// Whether `replica` is a member of this epoch.
+    pub fn contains(&self, replica: ReplicaId) -> bool {
+        self.members.binary_search(&replica).is_ok()
+    }
+
+    /// The sorted member list.
+    pub fn members(&self) -> &[ReplicaId] {
+        &self.members
+    }
+
+    /// The leader of `view` under this membership: views rotate over the
+    /// member list in sorted order. At epoch 0 (members `0..n`) this is
+    /// exactly the classic `v mod n`.
+    pub fn leader_of(&self, view: View) -> ReplicaId {
+        assert!(!self.members.is_empty(), "leader of empty membership");
+        self.members[(view.0 % self.members.len() as u64) as usize]
+    }
+
+    /// Applies one reconfiguration command, bumping the epoch. A `Leave`
+    /// (or `Replace` of a non-member) that would empty the group is
+    /// refused — the epoch still advances, so every replica stays in
+    /// lock-step even on the degenerate input.
+    pub fn apply(&mut self, cmd: &ReconfigCommand) {
+        match cmd {
+            ReconfigCommand::Join(r) => self.insert(*r),
+            ReconfigCommand::Leave(r) => {
+                if self.members.len() > 1 {
+                    self.members.retain(|m| m != r);
+                }
+            }
+            ReconfigCommand::Replace { old, new } => {
+                self.members.retain(|m| m != old);
+                self.insert(*new);
+            }
+        }
+        self.epoch += 1;
+    }
+
+    fn insert(&mut self, r: ReplicaId) {
+        if let Err(at) = self.members.binary_search(&r) {
+            self.members.insert(at, r);
+        }
+    }
+
+    /// Wire footprint when embedded in a message. The bootstrap membership
+    /// (epoch 0) is the configuration every party already knows, so it
+    /// costs nothing; any later epoch is real payload: epoch (8) + count
+    /// (4) + 4 bytes per member.
+    pub fn wire_size(&self) -> usize {
+        if self.epoch == 0 {
+            0
+        } else {
+            8 + 4 + 4 * self.members.len()
+        }
+    }
+
+    /// Serializes the membership (for WAL checkpoint records).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + 4 * self.members.len());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.members.len() as u32).to_le_bytes());
+        for m in &self.members {
+            out.extend_from_slice(&m.0.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a membership previously produced by
+    /// [`encode`](Self::encode). `None` on underrun, trailing bytes, an
+    /// empty member list, or an unsorted/duplicated one.
+    pub fn decode(bytes: &[u8]) -> Option<Membership> {
+        let epoch = u64::from_le_bytes(bytes.get(0..8)?.try_into().ok()?);
+        let count = u32::from_le_bytes(bytes.get(8..12)?.try_into().ok()?) as usize;
+        let rest = &bytes[12..];
+        if count == 0 || rest.len() != count * 4 {
+            return None;
+        }
+        let members: Vec<ReplicaId> = rest
+            .chunks_exact(4)
+            .map(|c| ReplicaId(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        if !members.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        Some(Membership { epoch, members })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quorum::QuorumSet;
+
+    #[test]
+    fn bootstrap_matches_static_quorum_arithmetic() {
+        for n in [1u32, 3, 5, 7] {
+            let m = Membership::bootstrap(n);
+            let q = QuorumSet::for_replicas(n);
+            assert_eq!(m.n(), q.n());
+            assert_eq!(m.f(), q.f());
+            assert_eq!(m.majority(), q.majority(), "n={n}");
+            assert_eq!(m.ambivalence(), q.ambivalence(), "n={n}");
+            for v in 0..3 * n as u64 {
+                assert_eq!(m.leader_of(View(v)), View(v).leader(n));
+            }
+        }
+    }
+
+    #[test]
+    fn even_sizes_keep_a_true_majority() {
+        let mut m = Membership::bootstrap(3);
+        m.apply(&ReconfigCommand::Join(ReplicaId(3)));
+        assert_eq!(m.n(), 4);
+        assert_eq!(m.majority(), 3); // 2 of 4 would split-brain
+        m.apply(&ReconfigCommand::Leave(ReplicaId(3)));
+        m.apply(&ReconfigCommand::Leave(ReplicaId(0)));
+        assert_eq!(m.n(), 2);
+        assert_eq!(m.majority(), 2);
+    }
+
+    #[test]
+    fn apply_sequences_stay_sorted_and_bump_epochs() {
+        let mut m = Membership::bootstrap(3);
+        m.apply(&ReconfigCommand::Join(ReplicaId(5)));
+        assert_eq!(m.epoch(), Epoch(1));
+        assert_eq!(
+            m.members(),
+            &[ReplicaId(0), ReplicaId(1), ReplicaId(2), ReplicaId(5)]
+        );
+        m.apply(&ReconfigCommand::Replace {
+            old: ReplicaId(1),
+            new: ReplicaId(4),
+        });
+        assert_eq!(m.epoch(), Epoch(2));
+        assert_eq!(
+            m.members(),
+            &[ReplicaId(0), ReplicaId(2), ReplicaId(4), ReplicaId(5)]
+        );
+        assert!(!m.contains(ReplicaId(1)));
+        assert!(m.contains(ReplicaId(4)));
+        // Duplicate join: epoch advances, set unchanged.
+        m.apply(&ReconfigCommand::Join(ReplicaId(4)));
+        assert_eq!(m.epoch(), Epoch(3));
+        assert_eq!(m.n(), 4);
+    }
+
+    #[test]
+    fn leave_refuses_to_empty_the_group() {
+        let mut m = Membership::bootstrap(1);
+        m.apply(&ReconfigCommand::Leave(ReplicaId(0)));
+        assert_eq!(m.members(), &[ReplicaId(0)]);
+        assert_eq!(m.epoch(), Epoch(1)); // epoch still moves
+    }
+
+    #[test]
+    fn leader_rotation_skips_departed_members() {
+        let mut m = Membership::bootstrap(3);
+        m.apply(&ReconfigCommand::Leave(ReplicaId(1)));
+        let leaders: Vec<_> = (0..4).map(|v| m.leader_of(View(v))).collect();
+        assert_eq!(
+            leaders,
+            [ReplicaId(0), ReplicaId(2), ReplicaId(0), ReplicaId(2)]
+        );
+    }
+
+    #[test]
+    fn membership_roundtrips_through_bytes() {
+        let mut m = Membership::bootstrap(3);
+        m.apply(&ReconfigCommand::Join(ReplicaId(7)));
+        let bytes = m.encode();
+        assert_eq!(Membership::decode(&bytes), Some(m.clone()));
+        // Trailing garbage and truncation are rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(Membership::decode(&long), None);
+        assert_eq!(Membership::decode(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(Membership::decode(&[]), None);
+    }
+
+    #[test]
+    fn bootstrap_is_wire_free_later_epochs_are_not() {
+        let mut m = Membership::bootstrap(3);
+        assert_eq!(m.wire_size(), 0);
+        m.apply(&ReconfigCommand::Join(ReplicaId(3)));
+        assert_eq!(m.wire_size(), 8 + 4 + 4 * 4);
+    }
+
+    #[test]
+    fn reconfig_commands_roundtrip_and_are_recognizable() {
+        let cmds = [
+            ReconfigCommand::Join(ReplicaId(3)),
+            ReconfigCommand::Leave(ReplicaId(0)),
+            ReconfigCommand::Replace {
+                old: ReplicaId(2),
+                new: ReplicaId(9),
+            },
+        ];
+        for cmd in cmds {
+            let body = cmd.encode();
+            assert!(ReconfigCommand::is_reconfig(&body));
+            assert_eq!(ReconfigCommand::decode(&body), Some(cmd));
+        }
+        assert!(!ReconfigCommand::is_reconfig(b"SET k v"));
+        assert_eq!(ReconfigCommand::decode(b"SET k v"), None);
+        // Truncated / oversized bodies fail decode.
+        let body = ReconfigCommand::Join(ReplicaId(1)).encode();
+        assert_eq!(ReconfigCommand::decode(&body[..body.len() - 1]), None);
+        let mut long = body.clone();
+        long.push(0);
+        assert_eq!(ReconfigCommand::decode(&long), None);
+    }
+
+    #[test]
+    fn added_names_the_joiner() {
+        assert_eq!(
+            ReconfigCommand::Join(ReplicaId(4)).added(),
+            Some(ReplicaId(4))
+        );
+        assert_eq!(ReconfigCommand::Leave(ReplicaId(1)).added(), None);
+        assert_eq!(
+            ReconfigCommand::Replace {
+                old: ReplicaId(0),
+                new: ReplicaId(5),
+            }
+            .added(),
+            Some(ReplicaId(5))
+        );
+    }
+}

@@ -27,6 +27,7 @@
 use idem_simnet::Context;
 
 use crate::ids::{ClientId, OpNumber, RequestId};
+use crate::membership::Membership;
 
 /// Whether (and how honestly) a replica persists to its simulated disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +71,11 @@ pub enum WalRecord {
         fresh: bool,
         /// The command body, replayed against the app on recovery.
         command: Vec<u8>,
+        /// Membership epoch the replica was in at execution time. Encoded
+        /// as an optional record tail only when nonzero, so
+        /// pre-reconfiguration logs are byte-identical and decode
+        /// unchanged.
+        epoch: u64,
     },
     /// Application snapshot at `next_exec` plus the client reply table.
     Checkpoint {
@@ -79,6 +85,11 @@ pub enum WalRecord {
         snapshot: Vec<u8>,
         /// Per-client `(client, last_op, reply)` dedup records.
         clients: Vec<(u32, u64, Vec<u8>)>,
+        /// The membership the replica held at `next_exec`, written only
+        /// once the group has reconfigured (`None` = still the bootstrap
+        /// configuration). Encoded as an optional record tail so
+        /// pre-reconfiguration logs decode unchanged.
+        membership: Option<Membership>,
     },
 }
 
@@ -145,9 +156,14 @@ impl WalRecord {
         match self {
             WalRecord::View(_) => 1 + 8,
             WalRecord::Accept { command, .. } => 1 + 8 + 8 + 4 + 8 + 4 + command.len(),
-            WalRecord::Exec { command, .. } => 1 + 8 + 4 + 8 + 1 + 4 + command.len(),
+            WalRecord::Exec { command, epoch, .. } => {
+                1 + 8 + 4 + 8 + 1 + 4 + command.len() + if *epoch > 0 { 8 } else { 0 }
+            }
             WalRecord::Checkpoint {
-                snapshot, clients, ..
+                snapshot,
+                clients,
+                membership,
+                ..
             } => {
                 1 + 8
                     + 4
@@ -157,6 +173,9 @@ impl WalRecord {
                         .iter()
                         .map(|(_, _, reply)| 4 + 8 + 4 + reply.len())
                         .sum::<usize>()
+                    + membership
+                        .as_ref()
+                        .map_or(0, |m| 12 + 4 * m.members().len())
             }
         }
     }
@@ -188,6 +207,7 @@ impl WalRecord {
                 id,
                 fresh,
                 command,
+                epoch,
             } => {
                 out.push(TAG_EXEC);
                 put_u64(&mut out, *slot);
@@ -195,11 +215,15 @@ impl WalRecord {
                 put_u64(&mut out, id.op.0);
                 out.push(u8::from(*fresh));
                 put_bytes(&mut out, command);
+                if *epoch > 0 {
+                    put_u64(&mut out, *epoch);
+                }
             }
             WalRecord::Checkpoint {
                 next_exec,
                 snapshot,
                 clients,
+                membership,
             } => {
                 out.push(TAG_CHECKPOINT);
                 put_u64(&mut out, *next_exec);
@@ -209,6 +233,9 @@ impl WalRecord {
                     put_u32(&mut out, *client);
                     put_u64(&mut out, *last_op);
                     put_bytes(&mut out, reply);
+                }
+                if let Some(m) = membership {
+                    out.extend_from_slice(&m.encode());
                 }
             }
         }
@@ -229,12 +256,21 @@ impl WalRecord {
                 id: cur.id()?,
                 command: cur.bytes()?,
             },
-            TAG_EXEC => WalRecord::Exec {
-                slot: cur.u64()?,
-                id: cur.id()?,
-                fresh: cur.u8()? != 0,
-                command: cur.bytes()?,
-            },
+            TAG_EXEC => {
+                let slot = cur.u64()?;
+                let id = cur.id()?;
+                let fresh = cur.u8()? != 0;
+                let command = cur.bytes()?;
+                // Optional epoch tail; absent means epoch 0.
+                let epoch = if cur.0.is_empty() { 0 } else { cur.u64()? };
+                WalRecord::Exec {
+                    slot,
+                    id,
+                    fresh,
+                    command,
+                    epoch,
+                }
+            }
             TAG_CHECKPOINT => {
                 let next_exec = cur.u64()?;
                 let snapshot = cur.bytes()?;
@@ -243,10 +279,21 @@ impl WalRecord {
                 for _ in 0..n {
                     clients.push((cur.u32()?, cur.u64()?, cur.bytes()?));
                 }
+                // Optional membership tail: records written before the
+                // group ever reconfigured (and all pre-membership logs)
+                // simply end here.
+                let membership = if cur.0.is_empty() {
+                    None
+                } else {
+                    let m = Membership::decode(cur.0)?;
+                    cur.0 = &[];
+                    Some(m)
+                };
                 WalRecord::Checkpoint {
                     next_exec,
                     snapshot,
                     clients,
+                    membership,
                 }
             }
             _ => return None,
@@ -326,23 +373,45 @@ mod tests {
                 id: rid(0, 1),
                 fresh: true,
                 command: Vec::new(),
+                epoch: 0,
             },
             WalRecord::Exec {
                 slot: 10,
                 id: rid(1, 5),
                 fresh: false,
                 command: vec![0xFF; 100],
+                epoch: 3,
             },
             WalRecord::Checkpoint {
                 next_exec: 50,
                 snapshot: vec![9, 9, 9],
                 clients: vec![(0, 12, vec![1]), (1, 3, Vec::new())],
+                membership: None,
             },
         ];
         for rec in records {
             let bytes = rec.encode();
             assert_eq!(WalRecord::decode(&bytes), Some(rec.clone()), "{rec:?}");
         }
+    }
+
+    #[test]
+    fn checkpoint_membership_tail_roundtrips() {
+        use crate::ids::ReplicaId;
+        use crate::membership::{Membership, ReconfigCommand};
+        let mut m = Membership::bootstrap(3);
+        m.apply(&ReconfigCommand::Join(ReplicaId(3)));
+        let rec = WalRecord::Checkpoint {
+            next_exec: 50,
+            snapshot: vec![9, 9],
+            clients: vec![(0, 12, vec![1])],
+            membership: Some(m),
+        };
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), rec.encoded_len());
+        assert_eq!(WalRecord::decode(&bytes), Some(rec.clone()));
+        // A truncated tail is a malformed record, not a silent None.
+        assert_eq!(WalRecord::decode(&bytes[..bytes.len() - 1]), None);
     }
 
     #[test]

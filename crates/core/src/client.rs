@@ -3,7 +3,9 @@
 
 use std::time::Duration;
 
-use idem_common::{Directory, OpNumber, QuorumSet, QuorumTracker, Request, RequestId, ResultBytes};
+use idem_common::{
+    Directory, Membership, OpNumber, QuorumSet, QuorumTracker, Request, RequestId, ResultBytes,
+};
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId};
 use rand::Rng;
 
@@ -142,6 +144,10 @@ pub struct IdemClient {
     current: Option<InFlight>,
     stats: ClientStats,
     stopped: bool,
+    /// The client's view of the replica group. Starts at the bootstrap
+    /// membership and advances on `MembershipUpdate` redirects; requests
+    /// go to (and reject thresholds count over) the current members.
+    membership: Membership,
 }
 
 impl IdemClient {
@@ -153,6 +159,7 @@ impl IdemClient {
         app: Box<dyn ClientApp>,
     ) -> IdemClient {
         IdemClient {
+            membership: Membership::bootstrap(cfg.quorum.n()),
             cfg,
             id,
             dir,
@@ -185,6 +192,15 @@ impl IdemClient {
         &*self.app
     }
 
+    /// Addresses of the current members, in sorted member order —
+    /// identical to the directory's replica slice at epoch 0.
+    fn member_addrs(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.membership
+            .members()
+            .iter()
+            .map(|&r| self.dir.replica(r))
+    }
+
     fn issue_next(&mut self, ctx: &mut Context<'_, IdemMessage>) {
         debug_assert!(self.current.is_none(), "one pending request at a time");
         let Some(command) = self.app.next_command(ctx.rng()) else {
@@ -196,10 +212,7 @@ impl IdemClient {
         self.next_op = self.next_op.next();
         self.stats.issued += 1;
         let req = Request::new(id, command.clone());
-        ctx.multicast(
-            self.dir.replica_addrs().iter().copied(),
-            IdemMessage::Request(req),
-        );
+        ctx.multicast(self.member_addrs(), IdemMessage::Request(req));
         let retransmit_timer = ctx.set_timer(
             self.cfg.retransmit_interval,
             IdemMessage::RetransmitTimer(id.op),
@@ -208,7 +221,7 @@ impl IdemClient {
             id,
             command,
             issued_at: ctx.now(),
-            rejects: QuorumTracker::new(self.cfg.quorum.n()),
+            rejects: QuorumTracker::new(self.membership.n()),
             optimistic_timer: None,
             retransmit_timer,
         });
@@ -277,6 +290,9 @@ impl IdemClient {
         let Some(replica) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(replica) {
+            return;
+        }
         let Some(flight) = self.current.as_mut() else {
             return;
         };
@@ -285,8 +301,8 @@ impl IdemClient {
         }
         flight.rejects.record(replica);
         let count = flight.rejects.count();
-        let n = self.cfg.quorum.n();
-        let ambivalence = self.cfg.quorum.ambivalence();
+        let n = self.membership.n();
+        let ambivalence = self.membership.ambivalence();
         if count >= n {
             // Failure state: conclusively rejected by every replica.
             self.finish(ctx, OutcomeKind::RejectedFinal, None);
@@ -326,10 +342,29 @@ impl IdemClient {
             IdemMessage::RetransmitTimer(op),
         );
         self.current.as_mut().expect("in flight").retransmit_timer = timer;
-        ctx.multicast(
-            self.dir.replica_addrs().iter().copied(),
-            IdemMessage::Request(req),
-        );
+        ctx.multicast(self.member_addrs(), IdemMessage::Request(req));
+    }
+
+    /// A replica announced a newer membership: adopt it and re-target any
+    /// in-flight operation at the new group. Rejects collected under the
+    /// old epoch no longer count — the thresholds changed.
+    fn handle_membership_update(&mut self, ctx: &mut Context<'_, IdemMessage>, m: Membership) {
+        if m.epoch() <= self.membership.epoch() {
+            return;
+        }
+        self.membership = m;
+        let n = self.membership.n();
+        let mut resend = None;
+        if let Some(flight) = self.current.as_mut() {
+            flight.rejects = QuorumTracker::new(n);
+            if let Some(t) = flight.optimistic_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            resend = Some(Request::new(flight.id, flight.command.clone()));
+        }
+        if let Some(req) = resend {
+            ctx.multicast(self.member_addrs(), IdemMessage::Request(req));
+        }
     }
 }
 
@@ -353,6 +388,7 @@ impl Node<IdemMessage> for IdemClient {
         match msg {
             IdemMessage::Reply(reply) => self.handle_reply(ctx, reply.id, reply.result),
             IdemMessage::Reject(id) => self.handle_reject(ctx, from, id),
+            IdemMessage::MembershipUpdate(m) => self.handle_membership_update(ctx, m),
             _ => {}
         }
     }

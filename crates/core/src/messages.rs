@@ -1,6 +1,6 @@
 //! IDEM wire messages and internal timer payloads.
 
-use idem_common::{ClientId, OpNumber, Reply, Request, RequestId, SeqNumber, View};
+use idem_common::{ClientId, Membership, OpNumber, Reply, Request, RequestId, SeqNumber, View};
 use idem_simnet::Wire;
 
 /// One entry of a view-change window summary: the binding of a sequence
@@ -42,6 +42,10 @@ pub struct CheckpointData {
     pub snapshot: Vec<u8>,
     /// Per-client duplicate-suppression / reply-cache table.
     pub clients: Vec<ClientRecord>,
+    /// The membership in force at `next_exec`. State transfer is
+    /// epoch-aware: a joiner installs this before serving. Costs zero
+    /// wire bytes while the group is still in its bootstrap epoch.
+    pub membership: Membership,
 }
 
 impl CheckpointData {
@@ -53,6 +57,7 @@ impl CheckpointData {
                 .iter()
                 .map(|c| 12 + c.reply.len())
                 .sum::<usize>()
+            + self.membership.wire_size()
     }
 }
 
@@ -109,6 +114,11 @@ pub enum IdemMessage {
     CheckpointRequest,
     /// A checkpoint transfer.
     Checkpoint(CheckpointData),
+    /// Replica → client: the group reconfigured; re-resolve against this
+    /// membership instead of timing out against departed replicas. Sent
+    /// to all clients at each epoch switch, and to any client that talks
+    /// to a non-member.
+    MembershipUpdate(Membership),
 
     // ----- timer payloads (never on the wire) -----
     /// Delayed-forwarding timer for an accepted request.
@@ -141,6 +151,7 @@ impl Wire for IdemMessage {
             IdemMessage::ViewChange { window, .. } => 8 + window.len() * WindowEntry::WIRE_SIZE,
             IdemMessage::CheckpointRequest => 4,
             IdemMessage::Checkpoint(data) => data.wire_size(),
+            IdemMessage::MembershipUpdate(m) => m.wire_size(),
             IdemMessage::ForwardTimer(_)
             | IdemMessage::ProgressTimer
             | IdemMessage::OptimisticTimer(_)
@@ -215,11 +226,24 @@ mod tests {
                 last_op: OpNumber(5),
                 reply: vec![0; 8],
             }],
+            membership: Membership::bootstrap(3),
         };
+        // The bootstrap membership is wire-free: checkpoint sizes are
+        // unchanged from the fixed-membership protocol.
         assert_eq!(data.wire_size(), 8 + 100 + 12 + 8);
         assert_eq!(
             IdemMessage::Checkpoint(data.clone()).wire_size(),
             data.wire_size()
         );
+    }
+
+    #[test]
+    fn membership_updates_are_free_only_at_bootstrap() {
+        use idem_common::membership::ReconfigCommand;
+        use idem_common::ReplicaId;
+        let mut m = Membership::bootstrap(3);
+        assert_eq!(IdemMessage::MembershipUpdate(m.clone()).wire_size(), 0);
+        m.apply(&ReconfigCommand::Join(ReplicaId(3)));
+        assert!(IdemMessage::MembershipUpdate(m).wire_size() > 0);
     }
 }

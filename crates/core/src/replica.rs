@@ -6,8 +6,9 @@ use std::time::Duration;
 
 use idem_common::app::CostModel;
 use idem_common::{
-    ClientId, Directory, ExecRecord, OpNumber, PersistMode, QuorumTracker, Reply, Request,
-    RequestId, ResultBytes, SeqNumber, SeqWindow, StateMachine, View, Wal, WalRecord,
+    ClientId, Directory, ExecRecord, Membership, OpNumber, PersistMode, QuorumTracker,
+    ReconfigCommand, Reply, Request, RequestId, ResultBytes, SeqNumber, SeqWindow, StateMachine,
+    View, Wal, WalRecord, RECONFIG_CLIENT,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -118,6 +119,15 @@ pub struct IdemReplica {
     app: Box<dyn StateMachine + Send>,
     test: AcceptanceTest,
 
+    /// The epoch-numbered replica set. All quorum arithmetic, the peer
+    /// list, and leader derivation come from here; reconfiguration
+    /// commands ordered through the protocol advance it at execution time.
+    membership: Membership,
+    /// Leader only: slot of an in-flight reconfiguration command. No new
+    /// slots are bound past it until it executes, so the epoch switch
+    /// point is the last slot of the old epoch.
+    reconfig_barrier: Option<SeqNumber>,
+
     view: View,
     /// Pending view-change target (`Some` while between views).
     vc_target: Option<View>,
@@ -205,6 +215,8 @@ impl IdemReplica {
             window: SeqWindow::new(cfg.window_size),
             gc_scratch: Vec::new(),
             rejected_cache: RejectedCache::new(cfg.rejected_cache_capacity),
+            membership: Membership::bootstrap(cfg.quorum.n()),
+            reconfig_barrier: None,
             cfg,
             me,
             dir,
@@ -267,7 +279,12 @@ impl IdemReplica {
 
     fn record_exec(&mut self, slot: SeqNumber, id: RequestId, fresh: bool) {
         if self.exec_log_enabled {
-            self.exec_log.push(ExecRecord::new(slot.0, id, fresh));
+            self.exec_log.push(ExecRecord::at_epoch(
+                slot.0,
+                id,
+                fresh,
+                self.membership.epoch().0,
+            ));
         }
     }
 
@@ -291,6 +308,7 @@ impl IdemReplica {
                     id,
                     fresh,
                     command: command.to_vec(),
+                    epoch: self.membership.epoch().0,
                 },
             );
         }
@@ -339,14 +357,21 @@ impl IdemReplica {
         self.last_executed.get(&client.0).map(|(op, _)| *op)
     }
 
-    // ---------------------------------------------------------------- roles
-
-    fn n(&self) -> u32 {
-        self.cfg.quorum.n()
+    /// The replica set this replica currently operates under.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
     }
 
+    /// Whether this replica belongs to its own current membership. False
+    /// for a spare that has not joined yet and for a departed member.
+    pub fn is_member(&self) -> bool {
+        self.membership.contains(self.me)
+    }
+
+    // ---------------------------------------------------------------- roles
+
     fn majority(&self) -> u32 {
-        self.cfg.quorum.majority()
+        self.membership.majority()
     }
 
     /// The view whose leader currently receives REQUIREs: the pending
@@ -356,7 +381,7 @@ impl IdemReplica {
     }
 
     fn leader_of(&self, v: View) -> idem_common::ReplicaId {
-        v.leader(self.n())
+        self.membership.leader_of(v)
     }
 
     fn is_leader(&self) -> bool {
@@ -367,15 +392,16 @@ impl IdemReplica {
         self.dir.replica(self.leader_of(self.effective_view()))
     }
 
-    /// Every replica but this one, straight off the directory slice —
-    /// no per-multicast allocation.
+    /// Every *member* but this one, in sorted member order — identical to
+    /// the directory slice at epoch 0, and no per-multicast allocation.
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
-        let me = self.dir.replica(self.me);
-        self.dir
-            .replica_addrs()
+        let me = self.me;
+        self.membership
+            .members()
             .iter()
             .copied()
-            .filter(move |&n| n != me)
+            .filter(move |&r| r != me)
+            .map(|r| self.dir.replica(r))
     }
 
     fn executed_already(&self, id: RequestId) -> bool {
@@ -393,6 +419,10 @@ impl IdemReplica {
 
         if self.executed_already(id) {
             self.stats.duplicates += 1;
+            if id.client == RECONFIG_CLIENT {
+                // Reconfig commands have no client node to answer.
+                return;
+            }
             // Retransmission of a completed operation. In the normal case
             // only the leader replies, but a retransmission means the
             // client never saw that reply (lost message or crashed leader),
@@ -416,6 +446,16 @@ impl IdemReplica {
             self.store.entry(id).or_insert(req);
             let leader = self.leader_node();
             ctx.send(leader, IdemMessage::Require(id));
+            return;
+        }
+
+        if id.client == RECONFIG_CLIENT {
+            // Reconfiguration commands are control-plane traffic: they
+            // bypass the acceptance test (rejecting a membership change
+            // under load would make churn recovery impossible exactly when
+            // it matters) and are ordered like any other command.
+            self.stats.accepted_client += 1;
+            self.accept(ctx, req);
             return;
         }
 
@@ -509,6 +549,9 @@ impl IdemReplica {
 
     fn handle_forward_timer(&mut self, ctx: &mut Context<'_, IdemMessage>, id: RequestId) {
         self.forward_timers.remove(&id);
+        if !self.is_member() {
+            return;
+        }
         if !self.active.contains(&id) || self.executed_already(id) {
             return;
         }
@@ -531,6 +574,12 @@ impl IdemReplica {
         let Some(from_replica) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(from_replica) {
+            // Endorsements from outside the membership (a departed node,
+            // or a joiner we have not switched to yet) must not count
+            // toward quorums.
+            return;
+        }
         if self.executed_already(id) {
             return;
         }
@@ -564,7 +613,7 @@ impl IdemReplica {
             self.require_votes.remove(&id);
             return;
         }
-        if self.next_propose >= self.window.high() {
+        if self.barrier_active() || self.next_propose >= self.window.high() {
             self.pending_proposals.push_back(id);
             return;
         }
@@ -573,6 +622,20 @@ impl IdemReplica {
         self.bind_and_propose(ctx, id, sqn);
         self.maybe_advance_window(ctx, sqn);
         self.try_execute(ctx);
+    }
+
+    /// Whether an in-flight reconfiguration blocks new slot bindings.
+    /// Self-clearing: once execution passes the barrier slot the epoch has
+    /// switched and proposing may resume.
+    fn barrier_active(&mut self) -> bool {
+        match self.reconfig_barrier {
+            Some(b) if self.next_exec > b => {
+                self.reconfig_barrier = None;
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
     }
 
     /// Installs an instance at `sqn` led by this replica in the current
@@ -615,6 +678,9 @@ impl IdemReplica {
             source: self.me,
         };
         self.window.insert(sqn, inst);
+        if id.client == RECONFIG_CLIENT {
+            self.reconfig_barrier = Some(sqn);
+        }
         self.proposed.insert(id, sqn);
         self.require_votes.remove(&id);
         self.stats.proposals_sent += 1;
@@ -702,6 +768,9 @@ impl IdemReplica {
         let Some(sender) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(sender) {
+            return;
+        }
         if !self.view_acceptable(view) {
             if self.leader_of(view) == sender {
                 self.observe_live_view(ctx, view, sender);
@@ -808,6 +877,9 @@ impl IdemReplica {
         let Some(sender) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(sender) {
+            return;
+        }
         if !self.view_acceptable(view) {
             self.observe_live_view(ctx, view, sender);
             return;
@@ -938,6 +1010,27 @@ impl IdemReplica {
                 }
                 break;
             };
+            if id.client == RECONFIG_CLIENT {
+                // Membership change: the epoch switches exactly here, at
+                // the agreed slot, on every replica. Applied to the
+                // membership instead of the app; no client reply.
+                self.persist_exec(ctx, self.next_exec, id, true, &req.command);
+                self.stats.executed += 1;
+                self.last_executed
+                    .insert(id.client.0, (id.op, ResultBytes::from_slice(&[])));
+                self.window
+                    .get_mut(self.next_exec)
+                    .expect("present")
+                    .executed = true;
+                self.finish_request(ctx, id);
+                self.next_exec = self.next_exec.next();
+                if let Some(cmd) = ReconfigCommand::decode(&req.command) {
+                    self.apply_reconfig(ctx, &cmd);
+                }
+                self.after_execute(ctx);
+                progressed = true;
+                continue;
+            }
             if self.rejected_cache.get(&id).is_some() && !self.store.contains_key(&id) {
                 self.stats.rejected_cache_hits += 1;
             }
@@ -980,6 +1073,91 @@ impl IdemReplica {
         }
     }
 
+    /// Switches to the next epoch after executing a reconfiguration
+    /// command: applies the change, re-anchors leadership under the new
+    /// member list, announces the membership to clients, and takes a
+    /// checkpoint at the epoch boundary so joiners bootstrap from state
+    /// that already carries the new member list.
+    fn apply_reconfig(&mut self, ctx: &mut Context<'_, IdemMessage>, cmd: &ReconfigCommand) {
+        self.membership.apply(cmd);
+        self.reconfig_barrier = None;
+        if !self.membership.contains(self.me) {
+            // Voted out: stop participating. The on_message gate redirects
+            // clients and ignores protocol traffic from here on.
+            if let Some(t) = self.progress_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            if let Some(t) = self.recovery_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            return;
+        }
+        // Epoch boundary = checkpoint boundary: the state-transfer path
+        // hands a joiner a checkpoint whose membership already includes it,
+        // which is what bounds joiner convergence.
+        self.take_checkpoint(ctx, true);
+        // Push the boundary checkpoint straight at a joiner. It is not yet
+        // participating, so waiting for its own CheckpointRequest would put
+        // a retry interval on the convergence path; one unsolicited
+        // transfer makes it transfer-latency instead.
+        if let Some(joiner) = cmd.added().filter(|&r| r != self.me) {
+            if let Some(cp) = self.checkpoint.clone() {
+                ctx.send(self.dir.replica(joiner), IdemMessage::Checkpoint(cp));
+            }
+        }
+        // Tell the clients where the group now lives; a stale client would
+        // otherwise keep talking to the old epoch's replica set.
+        ctx.multicast(
+            self.dir.client_addrs().iter().copied(),
+            IdemMessage::MembershipUpdate(self.membership.clone()),
+        );
+        // Leadership derives from the member list, so it may have moved at
+        // the switch. Converge like a view change: a leader drains formed
+        // endorsement quorums, followers re-endorse live requests.
+        if self.is_leader() {
+            // A follower promoted by the switch has a stale proposal
+            // cursor; binding below the execution frontier would target
+            // slots whose bindings are already decided and be refused.
+            self.next_propose = self.next_propose.max(self.window.low()).max(self.next_exec);
+            // As a follower this node endorsed its accepted requests with
+            // the *old* leader; count its own endorsement now so live
+            // requests do not wait out a client retransmission interval.
+            let live: Vec<RequestId> = self
+                .active
+                .iter()
+                .copied()
+                .filter(|id| !self.executed_already(*id))
+                .collect();
+            let majority = self.majority();
+            for id in live {
+                self.require_votes
+                    .entry(id)
+                    .or_insert_with(|| QuorumTracker::new(majority))
+                    .record(self.me);
+            }
+            let ready: Vec<RequestId> = self
+                .require_votes
+                .iter()
+                .filter(|(_, votes)| votes.reached())
+                .map(|(&id, _)| id)
+                .collect();
+            for id in ready {
+                self.try_propose(ctx, id);
+            }
+        } else {
+            let leader = self.dir.replica(self.leader_of(self.effective_view()));
+            let live: Vec<RequestId> = self
+                .active
+                .iter()
+                .copied()
+                .filter(|id| !self.executed_already(*id))
+                .collect();
+            for id in live {
+                ctx.send(leader, IdemMessage::Require(id));
+            }
+        }
+    }
+
     /// Post-execution bookkeeping: periodic checkpointing.
     fn after_execute(&mut self, ctx: &mut Context<'_, IdemMessage>) {
         if self
@@ -1016,6 +1194,7 @@ impl IdemReplica {
                 next_exec: self.next_exec,
                 snapshot,
                 clients,
+                membership: self.membership.clone(),
             });
             if self.wal.enabled() {
                 let cp = self.checkpoint.clone().expect("just taken");
@@ -1044,6 +1223,7 @@ impl IdemReplica {
                     .iter()
                     .map(|c| (c.client.0, c.last_op.0, c.reply.clone()))
                     .collect(),
+                membership: (cp.membership.epoch().0 > 0).then(|| cp.membership.clone()),
             },
         );
     }
@@ -1070,6 +1250,16 @@ impl IdemReplica {
             return;
         }
         ctx.charge(self.cfg.message_cost.message_cost(data.snapshot.len()));
+        if data.membership.epoch() > self.membership.epoch() {
+            // Epoch-aware state transfer: the checkpoint's membership is
+            // the one in force at its frontier. A joiner installs it here,
+            // before serving — this is the moment it becomes a member.
+            self.membership = data.membership.clone();
+            self.reconfig_barrier = None;
+            if self.membership.contains(self.me) {
+                self.ensure_progress_timer(ctx);
+            }
+        }
         self.app.restore(&data.snapshot);
         self.last_executed = data
             .clients
@@ -1158,6 +1348,7 @@ impl IdemReplica {
         while self.is_leader()
             && !self.pending_proposals.is_empty()
             && self.next_propose < self.window.high()
+            && !self.barrier_active()
         {
             let id = self.pending_proposals.pop_front().expect("non-empty");
             if self.proposed.contains_key(&id) || self.executed_already(id) {
@@ -1175,15 +1366,20 @@ impl IdemReplica {
     const RECOVERY_RETRY_BASE: Duration = Duration::from_millis(100);
 
     /// Asks one replica for a checkpoint and arms the retry timer. The
-    /// target rotates with each attempt, starting at the current leader
-    /// guess, so catch-up succeeds even when that leader is itself down.
+    /// target rotates with each attempt over the *current members* —
+    /// departed or never-joined nodes are skipped, so retries are never
+    /// burned on a node that cannot answer — starting at the current
+    /// leader guess, so catch-up succeeds even when that leader is down.
     fn send_recovery_request(&mut self, ctx: &mut Context<'_, IdemMessage>) {
-        let n = self.n();
+        let members = self.membership.members();
+        let n = members.len() as u32;
         let leader = self.leader_of(self.effective_view());
-        let mut target = idem_common::ReplicaId((leader.0 + self.recovery_attempts) % n);
-        if target == self.me {
-            target = idem_common::ReplicaId((target.0 + 1) % n);
+        let lead_idx = members.iter().position(|&r| r == leader).unwrap_or(0) as u32;
+        let mut idx = (lead_idx + self.recovery_attempts) % n;
+        if members[idx as usize] == self.me {
+            idx = (idx + 1) % n;
         }
+        let target = members[idx as usize];
         ctx.send(self.dir.replica(target), IdemMessage::CheckpointRequest);
         let delay = Self::RECOVERY_RETRY_BASE * (1 << self.recovery_attempts.min(3));
         if let Some(old) = self.recovery_timer.take() {
@@ -1219,6 +1415,7 @@ impl IdemReplica {
             next_exec,
             snapshot,
             clients,
+            membership,
         }) = newest_cp
         {
             self.app.restore(snapshot);
@@ -1227,6 +1424,10 @@ impl IdemReplica {
                 .map(|(c, op, reply)| (*c, (OpNumber(*op), ResultBytes::from_slice(reply))))
                 .collect();
             self.next_exec = SeqNumber(*next_exec);
+            if let Some(m) = membership {
+                // The membership in force at the checkpoint's frontier.
+                self.membership = m.clone();
+            }
             self.checkpoint = Some(CheckpointData {
                 next_exec: SeqNumber(*next_exec),
                 snapshot: snapshot.clone(),
@@ -1238,6 +1439,7 @@ impl IdemReplica {
                         reply: reply.clone(),
                     })
                     .collect(),
+                membership: self.membership.clone(),
             });
         }
         for rec in &records {
@@ -1246,17 +1448,30 @@ impl IdemReplica {
                 id,
                 fresh,
                 command,
+                epoch,
             } = rec
             else {
                 continue;
             };
             // The audit log keeps the whole history: the chaos campaign's
             // durability invariant compares it against the pre-wipe log.
-            self.record_exec(SeqNumber(*slot), *id, *fresh);
+            // Epochs come from the records, not the current membership —
+            // replayed entries must agree with what peers logged live.
+            if self.exec_log_enabled {
+                self.exec_log
+                    .push(ExecRecord::at_epoch(*slot, *id, *fresh, *epoch));
+            }
             if SeqNumber(*slot) < self.next_exec {
                 continue; // covered by the restored checkpoint
             }
-            if *fresh && id.client != NOOP_CLIENT && !self.executed_already(*id) {
+            if *fresh && id.client == RECONFIG_CLIENT && !self.executed_already(*id) {
+                // Re-apply the epoch switch at the same execution point.
+                if let Some(cmd) = ReconfigCommand::decode(command) {
+                    self.membership.apply(&cmd);
+                }
+                self.last_executed
+                    .insert(id.client.0, (id.op, ResultBytes::from_slice(&[])));
+            } else if *fresh && id.client != NOOP_CLIENT && !self.executed_already(*id) {
                 ctx.charge(self.app.execution_cost(command));
                 self.app.execute_into(command, &mut self.exec_scratch);
                 let result = ResultBytes::from_slice(&self.exec_scratch);
@@ -1363,7 +1578,7 @@ impl IdemReplica {
 
     fn handle_progress_timer(&mut self, ctx: &mut Context<'_, IdemMessage>) {
         self.progress_timer = None;
-        if !self.has_pending_work() {
+        if !self.is_member() || !self.has_pending_work() {
             return;
         }
         // No execution progress while work is pending: assume the leader of
@@ -1420,6 +1635,9 @@ impl IdemReplica {
         let Some(sender) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(sender) {
+            return;
+        }
         if target <= self.view {
             return;
         }
@@ -1529,6 +1747,11 @@ impl IdemReplica {
                         source: self.me,
                     },
                 );
+                if id.client == RECONFIG_CLIENT && !executed {
+                    // An in-flight reconfiguration survives the view
+                    // change; the new leader inherits its barrier.
+                    self.reconfig_barrier = Some(sqn);
+                }
                 self.proposed.insert(id, sqn);
                 self.stats.proposals_sent += 1;
                 ctx.multicast(
@@ -1562,6 +1785,29 @@ impl IdemReplica {
 impl Node<IdemMessage> for IdemReplica {
     fn on_message(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId, msg: IdemMessage) {
         ctx.charge(self.cfg.message_cost.message_cost(msg.wire_size()));
+        if !self.is_member() {
+            // A spare that has not joined yet, or a departed member: no
+            // protocol participation. Checkpoints are still installed
+            // (that is how a joiner becomes a member), bodies are still
+            // served (a member may need one this node sourced), and client
+            // requests are answered with a redirect once there is a newer
+            // membership to redirect to.
+            match msg {
+                IdemMessage::Checkpoint(data) => self.handle_checkpoint(ctx, data),
+                IdemMessage::Fetch(id) => self.handle_fetch(ctx, from, id),
+                IdemMessage::CheckpointRequest => self.handle_checkpoint_request(ctx, from),
+                IdemMessage::Request(req)
+                    if req.id.client != RECONFIG_CLIENT && self.membership.epoch().0 > 0 =>
+                {
+                    ctx.send(
+                        self.dir.client(req.id.client),
+                        IdemMessage::MembershipUpdate(self.membership.clone()),
+                    );
+                }
+                _ => {}
+            }
+            return;
+        }
         match msg {
             IdemMessage::Request(req) => self.handle_request(ctx, req),
             IdemMessage::Require(id) => self.handle_require(ctx, from, id),
@@ -1576,7 +1822,8 @@ impl Node<IdemMessage> for IdemReplica {
             IdemMessage::Checkpoint(data) => self.handle_checkpoint(ctx, data),
             // Client-side messages and timer payloads are never addressed
             // to replicas.
-            IdemMessage::Reject(_)
+            IdemMessage::MembershipUpdate(_)
+            | IdemMessage::Reject(_)
             | IdemMessage::Reply(_)
             | IdemMessage::ForwardTimer(_)
             | IdemMessage::ProgressTimer

@@ -4,11 +4,12 @@
 //! ```text
 //! repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--threads N] [--bench-out FILE]
 //! repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--wipes] [--jobs N] [--threads N]
+//! repro churn [--seeds N] [--seed X] [--schedule 'EPISODES'] [--jobs N] [--threads N]
 //! repro load [--smoke | --full] [--out DIR] [--jobs N] [--threads N]
 //! repro --list
 //!
 //! experiments: fig2 fig3 fig6 fig7 table1 fig8 fig9a fig9b fig10 fig10d
-//!              strategies all calibrate chaos load
+//!              strategies all calibrate chaos churn load
 //! --full            paper-scale run lengths and repetitions (default: quick);
 //!                   for load: 10^6 logical clients, stretched phases
 //! --out DIR         also write the CSV series under DIR (default: results/)
@@ -33,6 +34,16 @@
 //!
 //! `chaos` exits 1 if any invariant was violated, printing a replayable
 //! `--seed X --schedule '...'` line per violation.
+//!
+//! `churn` is the membership-reconfiguration campaign: per seed it runs
+//! one generated schedule per churn family (join, leave, replace, rolling
+//! restart) against all three protocols, checks the membership-safety,
+//! quorum-availability and joiner-convergence invariants on top of the
+//! standard ones, and reports per-run `reconfig_ms` (time from injection
+//! to every member adopting the final epoch). Same exit/repro behaviour
+//! as `chaos`; `--schedule` may mix churn motions (`join(R,AT)`,
+//! `leave(R,AT)`, `replace(OLD,NEW,AT)`, `rolling(AT,GAP)`) with fault
+//! episodes.
 //!
 //! `load` runs the open-loop scenario family (flash crowd, diurnal ramp,
 //! hotspot migration, stragglers, bursty MMPP) and writes its
@@ -66,7 +77,7 @@ const ALL: [&str; 11] = [
 ];
 
 /// Subcommands that are valid experiment names but not part of `all`.
-const EXTRA: [&str; 3] = ["calibrate", "chaos", "load"];
+const EXTRA: [&str; 4] = ["calibrate", "chaos", "churn", "load"];
 
 /// Parsed command line.
 struct Args {
@@ -89,14 +100,18 @@ fn usage() -> String {
     format!(
         "usage: repro [<experiment>...] [--full] [--out DIR] [--jobs N] [--threads N] [--bench-out FILE]\n\
          \x20      repro chaos [--seeds N] [--seed X] [--schedule 'EPISODES'] [--wipes] [--jobs N] [--threads N]\n\
+         \x20      repro churn [--seeds N] [--seed X] [--schedule 'EPISODES'] [--jobs N] [--threads N]\n\
          \x20      repro load [--smoke | --full] [--out DIR] [--jobs N] [--threads N]\n\
          \x20      repro --list\n\
-         experiments: {} all calibrate chaos load\n\
-         chaos flags: --seeds N      run seeds 1..=N (default 50, must be >= 1)\n\
+         experiments: {} all calibrate chaos churn load\n\
+         chaos/churn flags:\n\
+         \x20            --seeds N      run seeds 1..=N (default 50, must be >= 1)\n\
          \x20            --seed X       run only seed X (reproduce a CI failure)\n\
          \x20            --schedule S   replay a fixed fault schedule, e.g.\n\
-         \x20                           'crash(0,400,800);loss(0.050,900,1100)'\n\
-         \x20            --wipes        generated schedules include amnesia wipes\n\
+         \x20                           'crash(0,400,800);loss(0.050,900,1100)' or\n\
+         \x20                           'join(3,500);leave(0,900)' (churn motions)\n\
+         \x20            --wipes        chaos only: generated schedules include\n\
+         \x20                           amnesia wipes\n\
          load flags:  --smoke        CI preset: 100k logical clients, short phases\n\
          \x20            --full         nightly preset: 10^6 clients, long phases",
         ALL.join(" ")
@@ -224,15 +239,20 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         return Ok(parsed); // --list exits before anything below matters
     }
     let is_chaos = parsed.wanted.iter().any(|w| w == "chaos");
-    if !is_chaos
+    let is_churn = parsed.wanted.iter().any(|w| w == "churn");
+    if !(is_chaos || is_churn)
         && (parsed.seeds.is_some()
             || parsed.seed.is_some()
             || parsed.schedule.is_some()
             || parsed.wipes)
     {
         return Err(
-            "--seeds/--seed/--schedule/--wipes apply only to the chaos experiment".to_string(),
+            "--seeds/--seed/--schedule/--wipes apply only to the chaos/churn experiments"
+                .to_string(),
         );
+    }
+    if parsed.wipes && !is_chaos {
+        return Err("--wipes applies only to the chaos experiment".to_string());
     }
     if parsed.wipes && parsed.schedule.is_some() {
         return Err(
@@ -253,10 +273,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     if parsed.wanted.is_empty() || parsed.wanted.iter().any(|w| w == "all") {
         parsed.wanted = ALL.iter().map(|s| s.to_string()).collect();
     }
-    // A chaos-only run must not clobber BENCH_repro.json: that file is the
-    // committed baseline the bench-regression gate compares against, and its
-    // entries come from the experiment sweep, not the fault campaign.
-    if !parsed.bench_out_explicit && parsed.wanted.iter().all(|w| w == "chaos") {
+    // A chaos/churn-only run must not clobber BENCH_repro.json: that file
+    // is the committed baseline the bench-regression gate compares against,
+    // and its entries come from the experiment sweep, not fault campaigns.
+    if !parsed.bench_out_explicit && parsed.wanted.iter().all(|w| w == "chaos" || w == "churn") {
         parsed.bench_out = "BENCH_chaos.json".to_string();
     }
     Ok(parsed)
@@ -334,7 +354,7 @@ fn main() {
                 calibrate();
                 continue;
             }
-            "chaos" => {
+            "chaos" | "churn" => {
                 let cfg = ChaosConfig {
                     start_seed: args.seed.unwrap_or(1),
                     seeds: if args.seed.is_some() {
@@ -348,19 +368,26 @@ fn main() {
                         .map(|s| Schedule::parse(s).expect("schedule validated at parse time")),
                     wipes: args.wipes,
                 };
-                let report = chaos::run_campaign(&cfg, &runner);
+                let report = if name == "churn" {
+                    chaos::run_churn_campaign(&cfg, &runner)
+                } else {
+                    chaos::run_campaign(&cfg, &runner)
+                };
                 let wall = start.elapsed();
                 let stats = runner.take_stats();
                 let text = report.render();
                 print!("{text}");
                 if std::fs::create_dir_all(&args.out_dir).is_ok() {
-                    let path = format!("{}/chaos_report.txt", args.out_dir);
+                    let path = format!("{}/{name}_report.txt", args.out_dir);
                     if let Err(e) = std::fs::write(&path, &text) {
                         eprintln!("warning: could not write {path}: {e}");
                     }
                 }
                 chaos_violations += report.total_violations();
                 let rejoins: Vec<u64> = report.runs.iter().filter_map(|r| r.rejoin_ms).collect();
+                let reconfigs: Vec<u64> =
+                    report.runs.iter().filter_map(|r| r.reconfig_ms).collect();
+                let epochs = report.runs.iter().map(|r| r.epochs_applied).max();
                 bench_entries.push(BenchEntry {
                     name: name.clone(),
                     wall,
@@ -370,9 +397,16 @@ fn main() {
                     kinds: stats.events_by_kind,
                     rejoin: (!rejoins.is_empty())
                         .then(|| (rejoins.len() as u64, rejoins.iter().sum::<u64>())),
+                    reconfig: (!reconfigs.is_empty()).then(|| {
+                        (
+                            reconfigs.len() as u64,
+                            reconfigs.iter().sum::<u64>(),
+                            epochs.unwrap_or(0),
+                        )
+                    }),
                 });
                 eprintln!(
-                    "[chaos done in {:.1?}: {} run(s), {} sim events, {:.0} events/s, {} violation(s)]\n",
+                    "[{name} done in {:.1?}: {} run(s), {} sim events, {:.0} events/s, {} violation(s)]\n",
                     wall,
                     stats.cells,
                     stats.events,
@@ -435,6 +469,7 @@ fn main() {
             cell_cpu: stats.busy,
             kinds: stats.events_by_kind,
             rejoin: None,
+            reconfig: None,
         });
         eprintln!(
             "[{name} done in {:.1?}: {} cell(s), {} sim events, {:.0} events/s]\n",
@@ -475,6 +510,11 @@ struct BenchEntry {
     /// rendered as a count and a mean so BENCH_chaos.json tracks
     /// time-to-rejoin across the campaign.
     rejoin: Option<(u64, u64)>,
+    /// Churn campaigns only: `(runs that reconfigured, summed reconfig ms,
+    /// max epochs applied in any run)` — rendered as a count, a mean and
+    /// the epoch high-water so BENCH_chaos.json tracks reconfiguration
+    /// latency across the campaign.
+    reconfig: Option<(u64, u64, u64)>,
 }
 
 /// Renders the bench summary as JSON (hand-rolled: the workspace has no
@@ -507,13 +547,21 @@ fn render_bench_json(
             ),
             None => String::new(),
         };
+        let reconfig = match e.reconfig {
+            Some((runs, total_ms, epochs)) => format!(
+                ", \"reconfig_runs\": {runs}, \"reconfig_ms_mean\": {:.0}, \
+                 \"epochs_applied\": {epochs}",
+                total_ms as f64 / runs as f64
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"cells\": {}, \"sim_events\": {}, \
              \"events_per_sec\": {:.0}, \"cell_cpu_s\": {:.3}, \
              \"delivers\": {}, \"timers\": {}, \"wakes\": {}, \"inline_wakes\": {}, \
              \"crashes\": {}, \"queue_high_water\": {}, \
              \"parallel_windows\": {}, \"serial_windows\": {}, \
-             \"parallel_node_windows\": {}, \"parallel_events\": {}{rejoin}}}{}\n",
+             \"parallel_node_windows\": {}, \"parallel_events\": {}{rejoin}{reconfig}}}{}\n",
             e.name,
             e.wall.as_secs_f64(),
             e.cells,

@@ -44,7 +44,8 @@ use idem_simnet::DiskLatency;
 use crate::cluster::{build_cluster, ClusterOptions, Protocol};
 use crate::invariants::{
     check_agreement, check_client_progress, check_durability, check_exactly_once,
-    check_post_heal_liveness, check_rejoin_liveness, check_session_order, ViolationKind,
+    check_joiner_convergence, check_membership_safety, check_post_heal_liveness,
+    check_quorum_availability, check_rejoin_liveness, check_session_order, ViolationKind,
 };
 use crate::recorder::Recorder;
 use crate::sweep::SweepRunner;
@@ -125,6 +126,41 @@ pub enum Fault {
         /// semantics) before rebooting.
         trunc: bool,
     },
+    /// Churn motion: add replica `replica` to the group at `at_ms` (ordered
+    /// through the protocol; the epoch switches when the command executes).
+    Join {
+        /// Replica index (a spare, i.e. at or past the base cluster size).
+        replica: usize,
+        /// Injection time (ms).
+        at_ms: u64,
+    },
+    /// Churn motion: remove replica `replica` from the group at `at_ms`.
+    Leave {
+        /// Replica index.
+        replica: usize,
+        /// Injection time (ms).
+        at_ms: u64,
+    },
+    /// Churn motion: atomically swap `old` out for `new` at `at_ms` (one
+    /// epoch, not two).
+    Replace {
+        /// The member being removed.
+        old: usize,
+        /// The spare taking its place.
+        new: usize,
+        /// Injection time (ms).
+        at_ms: u64,
+    },
+    /// Churn motion: rolling restart of the base members under load.
+    /// Expands into one crash per base member: member `i` crashes at
+    /// `at_ms + i * gap_ms` and recovers `gap_ms / 2` later, so each
+    /// member is back up well before the next one goes down.
+    Rolling {
+        /// First crash time (ms).
+        at_ms: u64,
+        /// Spacing between consecutive member restarts (ms).
+        gap_ms: u64,
+    },
 }
 
 impl Fault {
@@ -134,7 +170,11 @@ impl Fault {
             | Fault::Slow { start_ms, .. }
             | Fault::Partition { start_ms, .. }
             | Fault::Loss { start_ms, .. } => *start_ms,
-            Fault::Wipe { at_ms, .. } => *at_ms,
+            Fault::Wipe { at_ms, .. }
+            | Fault::Join { at_ms, .. }
+            | Fault::Leave { at_ms, .. }
+            | Fault::Replace { at_ms, .. }
+            | Fault::Rolling { at_ms, .. } => *at_ms,
         }
     }
 
@@ -144,7 +184,31 @@ impl Fault {
             | Fault::Slow { end_ms, .. }
             | Fault::Partition { end_ms, .. }
             | Fault::Loss { end_ms, .. } => *end_ms,
-            Fault::Wipe { at_ms, .. } => *at_ms,
+            // Point events; `Rolling` never reaches the edge list (it is
+            // expanded into crashes first).
+            Fault::Wipe { at_ms, .. }
+            | Fault::Join { at_ms, .. }
+            | Fault::Leave { at_ms, .. }
+            | Fault::Replace { at_ms, .. }
+            | Fault::Rolling { at_ms, .. } => *at_ms,
+        }
+    }
+
+    /// The reconfiguration command a churn motion injects, if this is one.
+    /// `Rolling` is churn but not a reconfiguration: it restarts members
+    /// without changing the epoch.
+    fn reconfig_command(&self) -> Option<idem_common::ReconfigCommand> {
+        use idem_common::{ReconfigCommand, ReplicaId};
+        match self {
+            Fault::Join { replica, .. } => Some(ReconfigCommand::Join(ReplicaId(*replica as u32))),
+            Fault::Leave { replica, .. } => {
+                Some(ReconfigCommand::Leave(ReplicaId(*replica as u32)))
+            }
+            Fault::Replace { old, new, .. } => Some(ReconfigCommand::Replace {
+                old: ReplicaId(*old as u32),
+                new: ReplicaId(*new as u32),
+            }),
+            _ => None,
         }
     }
 }
@@ -197,8 +261,35 @@ impl fmt::Display for Fault {
                 let suffix = if *trunc { ",trunc" } else { "" };
                 write!(f, "wipe({replica},{at_ms}{suffix})")
             }
+            Fault::Join { replica, at_ms } => write!(f, "join({replica},{at_ms})"),
+            Fault::Leave { replica, at_ms } => write!(f, "leave({replica},{at_ms})"),
+            Fault::Replace { old, new, at_ms } => write!(f, "replace({old},{new},{at_ms})"),
+            Fault::Rolling { at_ms, gap_ms } => write!(f, "rolling({at_ms},{gap_ms})"),
         }
     }
+}
+
+/// The four churn motion families a churn campaign exercises per seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnFamily {
+    /// One or two spares join the group.
+    Join,
+    /// A member leaves the group.
+    Leave,
+    /// A member is atomically swapped for a spare.
+    Replace,
+    /// Rolling restart of every base member under load (no epoch change).
+    Rolling,
+}
+
+impl ChurnFamily {
+    /// All families, in campaign order.
+    pub const ALL: [ChurnFamily; 4] = [
+        ChurnFamily::Join,
+        ChurnFamily::Leave,
+        ChurnFamily::Replace,
+        ChurnFamily::Rolling,
+    ];
 }
 
 /// A complete fault schedule for one chaos run.
@@ -443,9 +534,42 @@ impl Schedule {
                     trunc: true,
                 })
             }
+            ("join", [r, at]) => Ok(Fault::Join {
+                replica: int(r)? as usize,
+                at_ms: int(at)?,
+            }),
+            ("leave", [r, at]) => Ok(Fault::Leave {
+                replica: int(r)? as usize,
+                at_ms: int(at)?,
+            }),
+            ("replace", [old, new, at]) => {
+                let (old, new) = (int(old)? as usize, int(new)? as usize);
+                if old == new {
+                    return Err(format!("replace needs two distinct replicas in '{text}'"));
+                }
+                Ok(Fault::Replace {
+                    old,
+                    new,
+                    at_ms: int(at)?,
+                })
+            }
+            ("rolling", [at, gap]) => {
+                let gap_ms = int(gap)?;
+                if gap_ms < 100 {
+                    return Err(format!(
+                        "rolling gap must be at least 100 ms in '{text}': each member \
+                         is down for half a gap and must recover before the next restart"
+                    ));
+                }
+                Ok(Fault::Rolling {
+                    at_ms: int(at)?,
+                    gap_ms,
+                })
+            }
             _ => Err(format!(
                 "unknown episode '{text}': expected crash(R,S,E), slow(R,F,S,E), \
-                 part(G|G,S,E), loss(P,S,E), or wipe(R,AT[,trunc])"
+                 part(G|G,S,E), loss(P,S,E), wipe(R,AT[,trunc]), join(R,AT), \
+                 leave(R,AT), replace(A,B,AT), or rolling(AT,GAP)"
             )),
         }
     }
@@ -465,16 +589,131 @@ impl Schedule {
             match fault {
                 Fault::Crash { replica, .. }
                 | Fault::Slow { replica, .. }
-                | Fault::Wipe { replica, .. } => check(*replica)?,
+                | Fault::Wipe { replica, .. }
+                | Fault::Join { replica, .. }
+                | Fault::Leave { replica, .. } => check(*replica)?,
+                Fault::Replace { old, new, .. } => {
+                    check(*old)?;
+                    check(*new)?;
+                    if old == new {
+                        return Err(format!("replace({old},{new}): replicas must differ"));
+                    }
+                }
                 Fault::Partition { left, right, .. } => {
                     for &i in left.iter().chain(right) {
                         check(i)?;
                     }
                 }
-                Fault::Loss { .. } => {}
+                Fault::Loss { .. } | Fault::Rolling { .. } => {}
             }
         }
         Ok(())
+    }
+
+    /// Whether the schedule contains any churn motion (join / leave /
+    /// replace / rolling). Without one, the whole membership layer stays
+    /// inert and the run is byte-identical to a fixed-membership run.
+    pub fn has_churn(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f,
+                Fault::Join { .. }
+                    | Fault::Leave { .. }
+                    | Fault::Replace { .. }
+                    | Fault::Rolling { .. }
+            )
+        })
+    }
+
+    /// How many replica nodes (members plus spares) the schedule needs: the
+    /// base cluster size, extended past any replica index a churn motion
+    /// references — a `join(4,...)` on a 3-replica cluster needs nodes 3
+    /// and 4 reserved as spares.
+    pub fn required_replicas(&self, base: usize) -> usize {
+        let mut need = base;
+        for fault in &self.faults {
+            match fault {
+                Fault::Join { replica, .. } | Fault::Leave { replica, .. } => {
+                    need = need.max(replica + 1);
+                }
+                Fault::Replace { old, new, .. } => {
+                    need = need.max(old.max(new) + 1);
+                }
+                _ => {}
+            }
+        }
+        need
+    }
+
+    /// Replaces every [`Fault::Rolling`] with its expansion: one crash per
+    /// base member, `gap_ms` apart, each down for half a gap. Everything
+    /// else passes through unchanged, so a rolling-free schedule comes back
+    /// identical.
+    fn expand_rolling(&self, base: usize) -> Schedule {
+        let mut faults = Vec::with_capacity(self.faults.len());
+        for fault in &self.faults {
+            match fault {
+                Fault::Rolling { at_ms, gap_ms } => {
+                    for i in 0..base {
+                        let start_ms = at_ms + i as u64 * gap_ms;
+                        faults.push(Fault::Crash {
+                            replica: i,
+                            start_ms,
+                            end_ms: start_ms + gap_ms / 2,
+                        });
+                    }
+                }
+                other => faults.push(other.clone()),
+            }
+        }
+        Schedule { faults }
+    }
+
+    /// Generates a churn schedule for `seed` from one of the four motion
+    /// families. Deterministic, like [`generate`](Schedule::generate), but
+    /// drawn from an independent RNG stream keyed on the family so the
+    /// four schedules of one seed are independent draws.
+    pub fn generate_churn(seed: u64, base: usize, family: ChurnFamily) -> Schedule {
+        assert!(base >= 2, "need at least two replicas to reconfigure");
+        let mut rng = SmallRng::seed_from_u64(
+            seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                .wrapping_add(23 + family as u64),
+        );
+        let mut faults = Vec::new();
+        match family {
+            ChurnFamily::Join => {
+                faults.push(Fault::Join {
+                    replica: base,
+                    at_ms: rng.gen_range(400..=700),
+                });
+                if rng.gen_bool(0.5) {
+                    faults.push(Fault::Join {
+                        replica: base + 1,
+                        at_ms: rng.gen_range(900..=1200),
+                    });
+                }
+            }
+            ChurnFamily::Leave => {
+                faults.push(Fault::Leave {
+                    replica: rng.gen_range(0..base),
+                    at_ms: rng.gen_range(400..=700),
+                });
+            }
+            ChurnFamily::Replace => {
+                faults.push(Fault::Replace {
+                    old: rng.gen_range(0..base),
+                    new: base,
+                    at_ms: rng.gen_range(400..=700),
+                });
+            }
+            ChurnFamily::Rolling => {
+                faults.push(Fault::Rolling {
+                    at_ms: rng.gen_range(FAULT_WINDOW_START_MS..=450),
+                    gap_ms: rng.gen_range(300..=500),
+                });
+            }
+        }
+        Schedule { faults }
     }
 
     /// The virtual time at which everything is force-healed: the end of
@@ -494,6 +733,105 @@ impl Schedule {
 enum Edge {
     End,
     Start,
+}
+
+/// Harness-side mirror of the group's reconfiguration history. The runner
+/// replays every injected command through its own [`Membership`] copy, so
+/// it can predict the epoch and member list each motion must produce —
+/// that is what convergence polling waits for and what the
+/// quorum-availability check compares executed epochs against.
+///
+/// [`Membership`]: idem_common::Membership
+struct ChurnState {
+    shadow: idem_common::Membership,
+    /// Op number of the next reconfiguration command; they share the
+    /// [`RECONFIG_CLIENT`](idem_common::RECONFIG_CLIENT) session, so each
+    /// motion needs a distinct op to survive deduplication.
+    next_op: u64,
+    /// Injected motions not yet adopted by every expected member:
+    /// `(inject_ms, expected epoch, expected member indexes)`.
+    pending: Vec<(u64, u64, Vec<usize>)>,
+    /// Member indexes per epoch, indexed by epoch number.
+    epoch_members: Vec<Vec<usize>>,
+    /// Replicas added by some motion (join targets and replace-ins).
+    joiners: std::collections::BTreeSet<usize>,
+    /// Worst injection-to-adoption time over all motions (ms), once every
+    /// motion has converged.
+    reconfig_ms: Option<u64>,
+}
+
+impl ChurnState {
+    fn new(base: usize) -> ChurnState {
+        ChurnState {
+            shadow: idem_common::Membership::bootstrap(base as u32),
+            next_op: 1,
+            pending: Vec::new(),
+            epoch_members: vec![(0..base).collect()],
+            joiners: std::collections::BTreeSet::new(),
+            reconfig_ms: None,
+        }
+    }
+
+    fn inject(
+        &mut self,
+        cluster: &mut crate::cluster::ClusterHandles,
+        now_ms: u64,
+        cmd: &idem_common::ReconfigCommand,
+    ) {
+        cluster.inject_reconfig(self.next_op, cmd);
+        self.next_op += 1;
+        if let Some(j) = cmd.added() {
+            self.joiners.insert(j.0 as usize);
+        }
+        self.shadow.apply(cmd);
+        let members: Vec<usize> = self.shadow.members().iter().map(|r| r.0 as usize).collect();
+        self.epoch_members.push(members.clone());
+        self.pending.push((now_ms, self.shadow.epoch().0, members));
+    }
+
+    /// Retires every pending motion whose expected members have all
+    /// reached (at least) its epoch, folding the elapsed time into
+    /// `reconfig_ms`.
+    fn poll(&mut self, cluster: &crate::cluster::ClusterHandles, now_ms: u64) {
+        let reconfig_ms = &mut self.reconfig_ms;
+        self.pending.retain(|(inject_ms, epoch, members)| {
+            let adopted = members.iter().all(|&r| cluster.epoch(r) >= *epoch);
+            if adopted {
+                let ms = now_ms - inject_ms;
+                *reconfig_ms = Some(reconfig_ms.map_or(ms, |m| m.max(ms)));
+            }
+            !adopted
+        });
+    }
+
+    fn final_members(&self) -> &[usize] {
+        self.epoch_members.last().expect("epoch 0 always present")
+    }
+}
+
+/// Advances the cluster to `to_ms`. While reconfiguration motions are
+/// pending adoption, virtual time moves in 10 ms steps with a convergence
+/// poll after each, so `reconfig_ms` has 10 ms resolution; otherwise one
+/// jump, which keeps churn-free runs event-for-event identical to the
+/// pre-churn runner.
+fn advance_to(
+    cluster: &mut crate::cluster::ClusterHandles,
+    now_ms: &mut u64,
+    to_ms: u64,
+    churn: &mut ChurnState,
+) {
+    while *now_ms < to_ms {
+        let step = if churn.pending.is_empty() {
+            to_ms - *now_ms
+        } else {
+            (to_ms - *now_ms).min(10)
+        };
+        cluster.run_for(Duration::from_millis(step));
+        *now_ms += step;
+        if !churn.pending.is_empty() {
+            churn.poll(cluster, *now_ms);
+        }
+    }
 }
 
 /// The verdict of one (protocol, seed) chaos run.
@@ -520,6 +858,14 @@ pub struct ChaosRun {
     /// frontier (measured in 50 ms steps). `None` when the schedule has
     /// no wipes, or when a wiped replica never caught up.
     pub rejoin_ms: Option<u64>,
+    /// For reconfiguring schedules: worst virtual ms from injecting a
+    /// motion until every member of the new epoch had adopted it (measured
+    /// in 10 ms steps). `None` when the schedule reconfigures nothing, or
+    /// when a motion never converged.
+    pub reconfig_ms: Option<u64>,
+    /// Highest epoch any replica reached by the end of the run. Zero for
+    /// reconfiguration-free runs.
+    pub epochs_applied: u64,
 }
 
 impl ChaosRun {
@@ -553,13 +899,20 @@ fn run_chaos_impl(
     schedule: &Schedule,
     persist_override: Option<PersistMode>,
 ) -> ChaosRun {
-    let replicas = protocol.replica_count() as usize;
+    let base = protocol.replica_count() as usize;
+    // Churn motions referencing indexes past the base size need those
+    // nodes reserved as spares; without churn, total == base and the
+    // cluster is byte-identical to the fixed-membership build.
+    let total = schedule.required_replicas(base);
     schedule
-        .validate(replicas)
+        .validate(total)
         .unwrap_or_else(|e| panic!("invalid schedule for {}: {e}", protocol.name()));
+    // Rolling restarts become per-member crash sequences before anything
+    // else looks at the schedule; the report keeps the original text.
+    let effective = schedule.expand_rolling(base);
     // Persistence and disk latency engage only for wipe schedules, so
     // wipe-free campaigns stay byte-identical to the pre-durability runs.
-    let has_wipes = schedule
+    let has_wipes = effective
         .faults
         .iter()
         .any(|f| matches!(f, Fault::Wipe { .. }));
@@ -584,6 +937,7 @@ fn run_chaos_impl(
         record_exec_log: true,
         persist,
         disk_latency,
+        spares: (total - base) as u32,
         ..ClusterOptions::default()
     };
     let mut cluster = build_cluster(protocol, &opts);
@@ -592,19 +946,14 @@ fn run_chaos_impl(
     // starts at equal times so back-to-back episodes on one replica do
     // not overlap; fault index breaks remaining ties deterministically.
     let mut edges: Vec<(u64, Edge, usize)> = Vec::new();
-    for (i, fault) in schedule.faults.iter().enumerate() {
+    for (i, fault) in effective.faults.iter().enumerate() {
         edges.push((fault.start_ms(), Edge::Start, i));
         edges.push((fault.end_ms(), Edge::End, i));
     }
     edges.sort();
 
     let mut now_ms = 0u64;
-    let mut advance = |cluster: &mut crate::cluster::ClusterHandles, to_ms: u64| {
-        if to_ms > now_ms {
-            cluster.run_for(Duration::from_millis(to_ms - now_ms));
-            now_ms = to_ms;
-        }
-    };
+    let mut churn = ChurnState::new(base);
 
     // Active network faults, tracked so healing one partition can
     // re-apply any that should still hold (the generator never overlaps
@@ -619,8 +968,8 @@ fn run_chaos_impl(
     let mut wiped: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
 
     for (t, edge, i) in edges {
-        advance(&mut cluster, t);
-        match (&schedule.faults[i], edge) {
+        advance_to(&mut cluster, &mut now_ms, t, &mut churn);
+        match (&effective.faults[i], edge) {
             (Fault::Crash { replica, .. }, Edge::Start) => cluster.crash_replica(*replica),
             (Fault::Crash { replica, .. }, Edge::End) => cluster.recover_replica(*replica),
             (
@@ -642,7 +991,7 @@ fn run_chaos_impl(
                 active_partitions.retain(|&j| j != i);
                 cluster.heal_partitions();
                 for &j in &active_partitions {
-                    if let Fault::Partition { left, right, .. } = &schedule.faults[j] {
+                    if let Fault::Partition { left, right, .. } = &effective.faults[j] {
                         cluster.partition_replicas(left, right);
                     }
                 }
@@ -655,7 +1004,7 @@ fn run_chaos_impl(
                 active_loss.retain(|&j| j != i);
                 let p = active_loss
                     .last()
-                    .and_then(|&j| match &schedule.faults[j] {
+                    .and_then(|&j| match &effective.faults[j] {
                         Fault::Loss { p, .. } => Some(*p),
                         _ => None,
                     })
@@ -669,14 +1018,35 @@ fn run_chaos_impl(
             }
             // A wipe is instantaneous; its end edge carries no action.
             (Fault::Wipe { .. }, Edge::End) => {}
+            // Churn motions are point events too: inject the command like
+            // a client would and let the protocol order it.
+            (Fault::Join { .. }, Edge::Start)
+            | (Fault::Leave { .. }, Edge::Start)
+            | (Fault::Replace { .. }, Edge::Start) => {
+                let cmd = effective.faults[i]
+                    .reconfig_command()
+                    .expect("churn motion has a command");
+                churn.inject(&mut cluster, now_ms, &cmd);
+            }
+            (Fault::Join { .. }, Edge::End)
+            | (Fault::Leave { .. }, Edge::End)
+            | (Fault::Replace { .. }, Edge::End) => {}
+            (Fault::Rolling { .. }, _) => {
+                unreachable!("rolling motions are expanded before execution")
+            }
         }
     }
 
     // Force-heal everything at the end of the fault window — a safety net
     // so even a hand-written schedule without recoveries yields a run
     // whose post-heal phase is meaningful.
-    advance(&mut cluster, schedule.heal_at_ms());
-    for r in 0..replicas {
+    advance_to(
+        &mut cluster,
+        &mut now_ms,
+        effective.heal_at_ms(),
+        &mut churn,
+    );
+    for r in 0..total {
         cluster.recover_replica(r);
         cluster.set_replica_cpu_factor(r, 1.0);
     }
@@ -686,50 +1056,70 @@ fn run_chaos_impl(
     let successes_at_heal = cluster.recorder.with(Recorder::successes);
     let last_ops_at_heal = cluster.recorder.with(|r| r.last_ops().clone());
 
-    let heal_ms = schedule.heal_at_ms();
+    let heal_ms = effective.heal_at_ms();
     let deadline_ms = heal_ms + COOLDOWN_MS;
-    let mut rejoin_ms = None;
-    let mut rejoin_goal = 0_u64;
-    if wiped.is_empty() {
-        advance(&mut cluster, deadline_ms);
+    // Post-heal catch-up set: wiped replicas must regain the survivors'
+    // frontier, and joiners must reach the group's frontier — both within
+    // the cooldown. A wiped replica that also departed is excluded; it is
+    // out of the group and only serves checkpoints from here on.
+    let final_members: std::collections::BTreeSet<usize> =
+        churn.final_members().iter().copied().collect();
+    let rejoin_set: std::collections::BTreeSet<usize> =
+        wiped.intersection(&final_members).copied().collect();
+    let join_set: std::collections::BTreeSet<usize> = churn
+        .joiners
+        .intersection(&final_members)
+        .copied()
+        .collect();
+    let stragglers: std::collections::BTreeSet<usize> =
+        rejoin_set.union(&join_set).copied().collect();
+    let mut straggler_ms = None;
+    let mut catchup_goal = 0_u64;
+    if stragglers.is_empty() {
+        advance_to(&mut cluster, &mut now_ms, deadline_ms, &mut churn);
     } else {
-        // Rejoin liveness: every wiped replica must catch up to the
-        // frontier the untouched replicas had already reached at heal
-        // time, within the cooldown. Polled in 50 ms steps so the report
-        // can show a per-seed time-to-rejoin.
-        rejoin_goal = (0..replicas)
-            .filter(|r| !wiped.contains(r))
-            .map(|r| cluster.exec_frontier(r))
+        // Every straggler must catch up to the frontier the untouched
+        // members had already reached at heal time, within the cooldown.
+        // Polled in 50 ms steps so the report can show a per-seed
+        // time-to-rejoin.
+        catchup_goal = final_members
+            .iter()
+            .filter(|r| !stragglers.contains(r))
+            .map(|&r| cluster.exec_frontier(r))
             .max()
             .unwrap_or(0);
         let mut t = heal_ms;
         loop {
-            if wiped
+            if stragglers
                 .iter()
-                .all(|&r| cluster.exec_frontier(r) >= rejoin_goal)
+                .all(|&r| cluster.exec_frontier(r) >= catchup_goal)
             {
-                rejoin_ms = Some(t - heal_ms);
+                straggler_ms = Some(t - heal_ms);
                 break;
             }
             if t >= deadline_ms {
                 break;
             }
             t = (t + 50).min(deadline_ms);
-            advance(&mut cluster, t);
+            advance_to(&mut cluster, &mut now_ms, t, &mut churn);
         }
-        advance(&mut cluster, deadline_ms);
+        advance_to(&mut cluster, &mut now_ms, deadline_ms, &mut churn);
     }
+    // `rejoin_ms` keeps its pre-churn meaning: reported for wipe schedules
+    // only, so wipe-free chaos reports render unchanged.
+    let rejoin_ms = if wiped.is_empty() { None } else { straggler_ms };
+    churn.poll(&cluster, now_ms);
 
     let successes = cluster.recorder.with(Recorder::successes);
     let rejections = cluster.recorder.with(Recorder::rejections);
     let last_ops = cluster.recorder.with(|r| r.last_ops().clone());
     let order_violations = cluster.recorder.with(Recorder::order_violations);
-    let logs: Vec<Vec<idem_common::ExecRecord>> =
-        (0..replicas).map(|i| cluster.exec_log(i)).collect();
+    let logs: Vec<Vec<idem_common::ExecRecord>> = (0..total).map(|i| cluster.exec_log(i)).collect();
 
     let mut violations = Vec::new();
     violations.extend(check_agreement(&logs));
     violations.extend(check_exactly_once(&logs));
+    violations.extend(check_membership_safety(&logs));
     for (replica, pre) in &pre_wipe {
         violations.extend(check_durability(*replica, pre, &logs[*replica]));
     }
@@ -739,18 +1129,38 @@ fn run_chaos_impl(
         &last_ops,
     ));
     violations.extend(check_post_heal_liveness(successes_at_heal, successes));
-    for &r in &wiped {
+    for &r in &rejoin_set {
         let frontier = cluster.exec_frontier(r);
         violations.extend(check_rejoin_liveness(
             r,
-            frontier >= rejoin_goal,
+            frontier >= catchup_goal,
             frontier,
-            rejoin_goal,
+            catchup_goal,
             COOLDOWN_MS,
         ));
     }
+    for &r in &join_set {
+        let frontier = cluster.exec_frontier(r);
+        violations.extend(check_joiner_convergence(
+            r,
+            frontier >= catchup_goal,
+            frontier,
+            catchup_goal,
+            COOLDOWN_MS,
+        ));
+    }
+    if churn.shadow.epoch().0 > 0 {
+        violations.extend(check_quorum_availability(&logs, &churn.epoch_members));
+        for (inject_ms, epoch, _) in &churn.pending {
+            violations.push(ViolationKind::ReconfigStall {
+                epoch: *epoch,
+                waited_ms: now_ms - inject_ms,
+            });
+        }
+    }
     violations.extend(check_session_order(order_violations));
 
+    let epochs_applied = (0..total).map(|r| cluster.epoch(r)).max().unwrap_or(0);
     ChaosRun {
         protocol: protocol.name(),
         seed,
@@ -761,6 +1171,8 @@ fn run_chaos_impl(
         events: cluster.events_processed(),
         event_stats: cluster.event_stats(),
         rejoin_ms,
+        reconfig_ms: churn.reconfig_ms,
+        epochs_applied,
     }
 }
 
@@ -817,10 +1229,12 @@ impl ChaosReport {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let seeds = self.runs.len() / self.protocols.max(1);
+        // One group per schedule: a seed in a plain campaign, a
+        // (seed, churn family) pair in a churn campaign.
+        let groups = self.runs.len() / self.protocols.max(1);
         let _ = writeln!(
             out,
-            "# chaos campaign: {seeds} seed(s) x {} protocol(s), {} run(s)",
+            "# chaos campaign: {groups} group(s) x {} protocol(s), {} run(s)",
             self.protocols,
             self.runs.len()
         );
@@ -833,9 +1247,20 @@ impl ChaosReport {
                     Some(ms) => format!(" rejoin_ms={ms}"),
                     None => String::new(),
                 };
+                // Churn-only fields, absent for churn-free runs so those
+                // reports render byte-identically to the pre-churn layout.
+                let reconfig = match run.reconfig_ms {
+                    Some(ms) => format!(" reconfig_ms={ms}"),
+                    None => String::new(),
+                };
+                let epochs = if run.epochs_applied > 0 {
+                    format!(" epochs={}", run.epochs_applied)
+                } else {
+                    String::new()
+                };
                 let _ = writeln!(
                     out,
-                    "  {:<10} {verdict} successes={} rejections={}{rejoin}",
+                    "  {:<10} {verdict} successes={} rejections={}{rejoin}{reconfig}{epochs}",
                     run.protocol, run.successes, run.rejections
                 );
                 for v in &run.violations {
@@ -876,6 +1301,42 @@ pub fn run_campaign(cfg: &ChaosConfig, runner: &SweepRunner) -> ChaosReport {
         };
         for protocol in &protocols {
             tasks.push((protocol.clone(), seed, schedule.clone()));
+        }
+    }
+    let runs = runner.run_tasks(tasks, |(protocol, seed, schedule)| {
+        let run = run_chaos(protocol, *seed, schedule);
+        runner.note_events(run.events);
+        runner.note_event_stats(&run.event_stats);
+        run
+    });
+    ChaosReport {
+        runs,
+        protocols: protocols.len(),
+    }
+}
+
+/// Runs the churn campaign: per seed, one schedule per
+/// [`ChurnFamily`] — joins, a leave, a replace, and a rolling restart —
+/// each against every protocol. With a fixed `cfg.schedule` (the repro
+/// path) that schedule replaces the four generated ones. Declaration
+/// order is (seed, family)-major, so the report is byte-identical for any
+/// `--jobs`.
+pub fn run_churn_campaign(cfg: &ChaosConfig, runner: &SweepRunner) -> ChaosReport {
+    let protocols = campaign_protocols();
+    let base = protocols[0].replica_count() as usize;
+    let mut tasks: Vec<(Protocol, u64, Schedule)> = Vec::new();
+    for seed in cfg.start_seed..cfg.start_seed.saturating_add(cfg.seeds) {
+        let schedules: Vec<Schedule> = match &cfg.schedule {
+            Some(s) => vec![s.clone()],
+            None => ChurnFamily::ALL
+                .iter()
+                .map(|&family| Schedule::generate_churn(seed, base, family))
+                .collect(),
+        };
+        for schedule in schedules {
+            for protocol in &protocols {
+                tasks.push((protocol.clone(), seed, schedule.clone()));
+            }
         }
     }
     let runs = runner.run_tasks(tasks, |(protocol, seed, schedule)| {
@@ -1037,5 +1498,171 @@ mod tests {
         assert!(run.ok(), "violations: {:?}", run.violations);
         assert!(run.successes > 0);
         assert!(run.rejoin_ms.is_some(), "wiped replica never rejoined");
+        assert_eq!(run.reconfig_ms, None, "churn-free runs report no reconfig");
+        assert_eq!(run.epochs_applied, 0);
+    }
+
+    #[test]
+    fn churn_motions_roundtrip_through_text() {
+        let text = "join(3,500);leave(0,700);replace(1,4,900);rolling(400,350)";
+        let schedule = Schedule::parse(text).unwrap();
+        assert_eq!(schedule.to_string(), text);
+        assert_eq!(
+            schedule.faults,
+            vec![
+                Fault::Join {
+                    replica: 3,
+                    at_ms: 500,
+                },
+                Fault::Leave {
+                    replica: 0,
+                    at_ms: 700,
+                },
+                Fault::Replace {
+                    old: 1,
+                    new: 4,
+                    at_ms: 900,
+                },
+                Fault::Rolling {
+                    at_ms: 400,
+                    gap_ms: 350,
+                },
+            ]
+        );
+        assert!(schedule.has_churn());
+        assert_eq!(schedule.required_replicas(3), 5);
+        assert!(!Schedule::parse("crash(0,400,800)").unwrap().has_churn());
+    }
+
+    #[test]
+    fn malformed_churn_motions_are_rejected() {
+        for bad in [
+            "join(3)",            // missing time
+            "join(3,500,9)",      // too many fields
+            "leave(x,500)",       // bad integer
+            "replace(1,1,500)",   // old == new
+            "replace(1,500)",     // missing field
+            "rolling(400)",       // missing gap
+            "rolling(400,50)",    // gap too small
+            "rolling(400,350,1)", // too many fields
+        ] {
+            assert!(Schedule::parse(bad).is_err(), "'{bad}' should be rejected");
+        }
+        // Out-of-range churn indexes fail validation, and replace's
+        // distinctness is re-checked there for hand-built schedules.
+        assert!(Schedule::parse("join(9,500)").unwrap().validate(4).is_err());
+        let twin = Schedule {
+            faults: vec![Fault::Replace {
+                old: 2,
+                new: 2,
+                at_ms: 500,
+            }],
+        };
+        assert!(twin.validate(4).is_err());
+    }
+
+    #[test]
+    fn churn_schedules_are_deterministic_and_valid() {
+        for seed in 1..=30 {
+            for family in ChurnFamily::ALL {
+                let a = Schedule::generate_churn(seed, 3, family);
+                let b = Schedule::generate_churn(seed, 3, family);
+                assert_eq!(a, b, "seed {seed} family {family:?} not deterministic");
+                assert!(!a.faults.is_empty());
+                assert!(a.has_churn());
+                let total = a.required_replicas(3);
+                a.validate(total).unwrap();
+                // Round-trip through the textual form.
+                assert_eq!(Schedule::parse(&a.to_string()).unwrap(), a);
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_expands_into_one_crash_per_member() {
+        let schedule = Schedule::parse("rolling(400,300)").unwrap();
+        let expanded = schedule.expand_rolling(3);
+        assert_eq!(
+            expanded.faults,
+            vec![
+                Fault::Crash {
+                    replica: 0,
+                    start_ms: 400,
+                    end_ms: 550,
+                },
+                Fault::Crash {
+                    replica: 1,
+                    start_ms: 700,
+                    end_ms: 850,
+                },
+                Fault::Crash {
+                    replica: 2,
+                    start_ms: 1000,
+                    end_ms: 1150,
+                },
+            ]
+        );
+        // Rolling-free schedules come back identical.
+        let plain = Schedule::parse("crash(0,400,800);loss(0.050,900,1100)").unwrap();
+        assert_eq!(plain.expand_rolling(3), plain);
+    }
+
+    #[test]
+    fn single_join_run_switches_epoch_and_converges() {
+        let schedule = Schedule::parse("join(3,500)").unwrap();
+        let run = run_chaos(&Protocol::idem(), 42, &schedule);
+        assert!(run.ok(), "violations: {:?}", run.violations);
+        assert!(run.successes > 0);
+        assert_eq!(run.epochs_applied, 1);
+        assert!(run.reconfig_ms.is_some(), "join never adopted");
+        assert_eq!(run.rejoin_ms, None, "wipe-free runs report no rejoin");
+    }
+
+    #[test]
+    fn single_replace_run_swaps_the_leader_out() {
+        // Replacing replica 0 moves leadership mid-run on the
+        // leader-based protocols — the spiciest single motion.
+        let schedule = Schedule::parse("replace(0,3,500)").unwrap();
+        for protocol in campaign_protocols() {
+            let run = run_chaos(&protocol, 7, &schedule);
+            assert!(
+                run.ok(),
+                "{}: violations: {:?}",
+                protocol.name(),
+                run.violations
+            );
+            assert_eq!(run.epochs_applied, 1, "{}", protocol.name());
+            assert!(run.reconfig_ms.is_some(), "{}", protocol.name());
+        }
+    }
+
+    #[test]
+    fn single_leave_of_leader_keeps_progress() {
+        // Removing replica 0 moves leadership at the epoch switch on every
+        // protocol; the promoted follower must re-anchor its proposal
+        // cursor past the execution frontier or all later bindings target
+        // decided slots and are refused (campaign-found regression).
+        let schedule = Schedule::parse("leave(0,489)").unwrap();
+        for protocol in campaign_protocols() {
+            let run = run_chaos(&protocol, 1, &schedule);
+            assert!(
+                run.ok(),
+                "{}: violations: {:?}",
+                protocol.name(),
+                run.violations
+            );
+            assert_eq!(run.epochs_applied, 1, "{}", protocol.name());
+        }
+    }
+
+    #[test]
+    fn single_rolling_run_restarts_every_member() {
+        let schedule = Schedule::parse("rolling(400,400)").unwrap();
+        let run = run_chaos(&Protocol::idem(), 42, &schedule);
+        assert!(run.ok(), "violations: {:?}", run.violations);
+        assert!(run.successes > 0);
+        // Rolling is churn without reconfiguration.
+        assert_eq!(run.epochs_applied, 0);
+        assert_eq!(run.reconfig_ms, None);
     }
 }

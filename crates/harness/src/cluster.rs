@@ -2,7 +2,10 @@
 
 use std::time::Duration;
 
-use idem_common::{ClientId, Directory, PersistMode, ReplicaId};
+use idem_common::{
+    ClientId, Directory, OpNumber, PersistMode, ReconfigCommand, ReplicaId, Request, RequestId,
+    RECONFIG_CLIENT,
+};
 use idem_core::{IdemClient, IdemMessage, IdemReplica};
 use idem_kv::{KvStore, Workload, WorkloadSpec};
 use idem_paxos::{PaxosClient, PaxosMessage, PaxosReplica};
@@ -214,6 +217,12 @@ pub struct ClusterOptions {
     /// byte-identical to the serial run. Defaults to the process-wide value
     /// set by [`set_default_threads`].
     pub threads: usize,
+    /// Spare replica slots beyond the protocol's base group. Spares are
+    /// installed and addressable (the directory covers them) but start
+    /// outside the membership: they serve no protocol role until a `Join`
+    /// reconfiguration admits them. Zero keeps the cluster byte-identical
+    /// to the fixed-membership build.
+    pub spares: u32,
 }
 
 impl Default for ClusterOptions {
@@ -231,6 +240,7 @@ impl Default for ClusterOptions {
             eager_wakes: false,
             expected_duration: None,
             threads: default_threads(),
+            spares: 0,
         }
     }
 }
@@ -258,7 +268,9 @@ pub fn build_cluster(protocol: &Protocol, opts: &ClusterOptions) -> ClusterHandl
         recorder = recorder.with_expected_duration(expected);
     }
     let recorder = RecorderHandle::new(recorder);
-    let n = protocol.replica_count();
+    // Base members plus passive spares: all get directory slots so a later
+    // Join can address them, but only the first `n` start as members.
+    let n = protocol.replica_count() + opts.spares;
     let make_app = |i: u32, recorder: &RecorderHandle| {
         let app = RecordingApp::new(
             Workload::new(opts.workload, u64::from(i)),
@@ -534,6 +546,88 @@ impl ClusterHandles {
                     .expect("replica type")
                     .next_sqn()
                     .0
+            }
+        }
+    }
+
+    /// The membership epoch the replica at `index` currently operates in.
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    pub fn epoch(&self, index: usize) -> u64 {
+        match &self.sim {
+            ClusterSim::Idem(sim) => {
+                sim.node_as::<IdemReplica>(self.replicas[index])
+                    .expect("replica type")
+                    .membership()
+                    .epoch()
+                    .0
+            }
+            ClusterSim::Paxos(sim) => {
+                sim.node_as::<PaxosReplica>(self.replicas[index])
+                    .expect("replica type")
+                    .membership()
+                    .epoch()
+                    .0
+            }
+            ClusterSim::Smart(sim) => {
+                sim.node_as::<SmartReplica>(self.replicas[index])
+                    .expect("replica type")
+                    .membership()
+                    .epoch()
+                    .0
+            }
+        }
+    }
+
+    /// Whether the replica at `index` is a member of its own current
+    /// membership (spares and departed replicas are not).
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    pub fn is_member(&self, index: usize) -> bool {
+        match &self.sim {
+            ClusterSim::Idem(sim) => sim
+                .node_as::<IdemReplica>(self.replicas[index])
+                .expect("replica type")
+                .is_member(),
+            ClusterSim::Paxos(sim) => sim
+                .node_as::<PaxosReplica>(self.replicas[index])
+                .expect("replica type")
+                .is_member(),
+            ClusterSim::Smart(sim) => sim
+                .node_as::<SmartReplica>(self.replicas[index])
+                .expect("replica type")
+                .is_member(),
+        }
+    }
+
+    /// Injects a reconfiguration command into the cluster, exactly like a
+    /// client multicast: the request (identity `RECONFIG_CLIENT`, operation
+    /// number `op`) is posted to every replica node at the current virtual
+    /// time. Members order it through the protocol; non-members ignore it.
+    /// `op` must be unique per command within a run — it is the dedup key.
+    pub fn inject_reconfig(&mut self, op: u64, cmd: &ReconfigCommand) {
+        let id = RequestId::new(RECONFIG_CLIENT, OpNumber(op));
+        let command = cmd.encode();
+        match &mut self.sim {
+            ClusterSim::Idem(sim) => {
+                for &node in &self.replicas {
+                    let req = Request::new(id, command.clone());
+                    sim.post(node, IdemMessage::Request(req));
+                }
+            }
+            ClusterSim::Paxos(sim) => {
+                for &node in &self.replicas {
+                    let req = Request::new(id, command.clone());
+                    sim.post(node, PaxosMessage::Request(req));
+                }
+            }
+            ClusterSim::Smart(sim) => {
+                for &node in &self.replicas {
+                    let req = Request::new(id, command.clone());
+                    sim.post(node, SmartMessage::Request(req));
+                }
             }
         }
     }

@@ -17,6 +17,14 @@
 //!   vanished without a success or rejection stalls permanently.
 //! - **Post-heal liveness**: once every fault is healed, commits resume
 //!   within a bounded virtual-time window.
+//! - **Membership safety**: no two replicas execute the same slot in
+//!   different epochs — the epoch switch is pinned to one agreed
+//!   execution point.
+//! - **Quorum availability**: no replica executes operations in an epoch
+//!   it is not a member of, so committed operations never depended on
+//!   acks from departed nodes.
+//! - **Joiner convergence**: a replica added to the group reaches the
+//!   group's execution frontier within a bounded window.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -89,6 +97,62 @@ pub enum ViolationKind {
         /// The allowed catch-up window (ms after heal).
         bound_ms: u64,
     },
+    /// Two replicas executed the same slot in different epochs — the
+    /// epoch switch was not pinned to one agreed execution point.
+    MembershipSafety {
+        /// The disputed slot.
+        slot: u64,
+        /// The two replicas (by index) that disagree.
+        replicas: (usize, usize),
+        /// The epoch each of the two executed the slot in.
+        epochs: (u64, u64),
+    },
+    /// A replica executed an operation in an epoch it was not a member
+    /// of — a commit in that epoch may have counted an ack from a node
+    /// outside the epoch's quorum arithmetic.
+    QuorumAvailability {
+        /// The offending replica (by index).
+        replica: usize,
+        /// The slot it executed.
+        slot: u64,
+        /// The epoch it executed the slot in.
+        epoch: u64,
+    },
+    /// A joined replica failed to reach the group's execution frontier
+    /// within the post-heal bound.
+    JoinerConvergence {
+        /// The joined replica (by index).
+        replica: usize,
+        /// Its execution frontier at the end of the bound.
+        frontier: u64,
+        /// The frontier it had to reach (the established members', at
+        /// heal time).
+        target: u64,
+        /// The allowed convergence window (ms after heal).
+        bound_ms: u64,
+    },
+    /// One client request was freshly executed at two different slots
+    /// (possibly on different replicas) — the operation was applied twice
+    /// to the replicated state even though each single replica's log looks
+    /// clean. Keyed on the client identity, so it holds even when the
+    /// replica set changes mid-run.
+    DivergentSlot {
+        /// The request that landed at two slots.
+        id: RequestId,
+        /// A replica holding each of the two slots.
+        replicas: (usize, usize),
+        /// The two slots.
+        slots: (u64, u64),
+    },
+    /// An injected reconfiguration command was never adopted by the
+    /// members of the epoch it creates.
+    ReconfigStall {
+        /// The epoch that never materialized.
+        epoch: u64,
+        /// How long the run waited (ms from injection to the end of the
+        /// run).
+        waited_ms: u64,
+    },
 }
 
 impl ViolationKind {
@@ -102,6 +166,11 @@ impl ViolationKind {
             ViolationKind::SessionOrder { .. } => "session-order",
             ViolationKind::Durability { .. } => "durability",
             ViolationKind::RejoinLiveness { .. } => "rejoin-liveness",
+            ViolationKind::MembershipSafety { .. } => "membership-safety",
+            ViolationKind::QuorumAvailability { .. } => "quorum-availability",
+            ViolationKind::JoinerConvergence { .. } => "joiner-convergence",
+            ViolationKind::DivergentSlot { .. } => "divergent-slot",
+            ViolationKind::ReconfigStall { .. } => "reconfig-stall",
         }
     }
 }
@@ -164,6 +233,50 @@ impl fmt::Display for ViolationKind {
                 "rejoin-liveness: wiped replica {replica} stuck at frontier {frontier} \
                  (target {target}) {bound_ms} ms after heal"
             ),
+            ViolationKind::MembershipSafety {
+                slot,
+                replicas,
+                epochs,
+            } => write!(
+                f,
+                "membership-safety: slot {slot}: replica {} executed in epoch {}, \
+                 replica {} in epoch {}",
+                replicas.0, epochs.0, replicas.1, epochs.1
+            ),
+            ViolationKind::QuorumAvailability {
+                replica,
+                slot,
+                epoch,
+            } => write!(
+                f,
+                "quorum-availability: replica {replica} executed slot {slot} in \
+                 epoch {epoch} without being one of its members"
+            ),
+            ViolationKind::JoinerConvergence {
+                replica,
+                frontier,
+                target,
+                bound_ms,
+            } => write!(
+                f,
+                "joiner-convergence: joined replica {replica} stuck at frontier \
+                 {frontier} (target {target}) {bound_ms} ms after heal"
+            ),
+            ViolationKind::DivergentSlot {
+                id,
+                replicas,
+                slots,
+            } => write!(
+                f,
+                "divergent-slot: c{}#{} freshly executed at slot {} (replica {}) \
+                 and slot {} (replica {})",
+                id.client.0, id.op.0, slots.0, replicas.0, slots.1, replicas.1
+            ),
+            ViolationKind::ReconfigStall { epoch, waited_ms } => write!(
+                f,
+                "reconfig-stall: epoch {epoch} never adopted by its members \
+                 ({waited_ms} ms after injection)"
+            ),
         }
     }
 }
@@ -213,10 +326,18 @@ pub fn check_agreement(logs: &[Vec<ExecRecord>]) -> Vec<ViolationKind> {
     violations
 }
 
-/// Checks exactly-once execution: within each replica's log, at most one
-/// record per request id may be `fresh` (an actual state-machine
-/// application — re-deliveries and forwarded duplicates must be recorded
-/// as stale).
+/// Checks exactly-once execution, keyed on client identity so it holds
+/// across membership changes:
+///
+/// - within each replica's log, at most one record per request id may be
+///   `fresh` (an actual state-machine application — re-deliveries and
+///   forwarded duplicates must be recorded as stale);
+/// - across all logs, every fresh application of one request id must sit
+///   at the same slot. With a fixed replica set this is implied by
+///   agreement plus the per-replica rule, but once replicas come and go a
+///   request could be re-ordered at a second slot after its first
+///   executor departed — no single log would show the duplicate, yet the
+///   client's operation hit the replicated state twice.
 pub fn check_exactly_once(logs: &[Vec<ExecRecord>]) -> Vec<ViolationKind> {
     let mut violations = Vec::new();
     for (replica, log) in logs.iter().enumerate() {
@@ -232,7 +353,112 @@ pub fn check_exactly_once(logs: &[Vec<ExecRecord>]) -> Vec<ViolationKind> {
             }
         }
     }
+    // Cross-replica pass: first fresh sighting per request id, then every
+    // later fresh sighting must agree on the slot. One violation per id;
+    // same-replica divergence is already reported as DuplicateExecution
+    // above, so only cross-replica pairs are flagged here.
+    let mut first_fresh: BTreeMap<RequestId, (usize, u64)> = BTreeMap::new();
+    let mut flagged: std::collections::BTreeSet<RequestId> = std::collections::BTreeSet::new();
+    for (replica, log) in logs.iter().enumerate() {
+        for rec in log.iter().filter(|rec| rec.fresh) {
+            match first_fresh.get(&rec.id) {
+                None => {
+                    first_fresh.insert(rec.id, (replica, rec.slot));
+                }
+                Some(&(first_replica, first_slot)) => {
+                    if first_slot != rec.slot && first_replica != replica && flagged.insert(rec.id)
+                    {
+                        violations.push(ViolationKind::DivergentSlot {
+                            id: rec.id,
+                            replicas: (first_replica, replica),
+                            slots: (first_slot, rec.slot),
+                        });
+                    }
+                }
+            }
+        }
+    }
     violations
+}
+
+/// Checks membership safety: every replica that executed a given slot must
+/// have executed it in the same epoch. The epoch switch travels through
+/// the protocol as an ordered command, so two replicas disagreeing on a
+/// slot's epoch means one of them switched at the wrong execution point.
+pub fn check_membership_safety(logs: &[Vec<ExecRecord>]) -> Vec<ViolationKind> {
+    let mut violations = Vec::new();
+    let mut first_seen: BTreeMap<u64, (usize, u64)> = BTreeMap::new();
+    let mut flagged: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for (replica, log) in logs.iter().enumerate() {
+        for rec in log.iter().filter(|rec| rec.fresh) {
+            match first_seen.get(&rec.slot) {
+                None => {
+                    first_seen.insert(rec.slot, (replica, rec.epoch));
+                }
+                Some(&(first_replica, first_epoch)) => {
+                    if first_epoch != rec.epoch && flagged.insert(rec.slot) {
+                        violations.push(ViolationKind::MembershipSafety {
+                            slot: rec.slot,
+                            replicas: (first_replica, replica),
+                            epochs: (first_epoch, rec.epoch),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Checks quorum availability: a replica may only execute operations in
+/// epochs it is a member of. `epoch_members` maps each epoch number to its
+/// member indexes (epoch 0 = the bootstrap set). A departed replica still
+/// executing means commits in that epoch could have relied on an ack from
+/// outside the epoch's quorum arithmetic. One violation per (replica,
+/// epoch), anchored at the first offending slot.
+pub fn check_quorum_availability(
+    logs: &[Vec<ExecRecord>],
+    epoch_members: &[Vec<usize>],
+) -> Vec<ViolationKind> {
+    let mut violations = Vec::new();
+    for (replica, log) in logs.iter().enumerate() {
+        let mut flagged: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for rec in log.iter().filter(|rec| rec.fresh) {
+            let Some(members) = epoch_members.get(rec.epoch as usize) else {
+                continue; // epoch outside the schedule's history
+            };
+            if !members.contains(&replica) && flagged.insert(rec.epoch) {
+                violations.push(ViolationKind::QuorumAvailability {
+                    replica,
+                    slot: rec.slot,
+                    epoch: rec.epoch,
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Checks that a joined replica converged: its execution frontier must
+/// reach `target` (the established members' frontier at heal time) within
+/// the post-heal bound. `converged` is whether it did.
+pub fn check_joiner_convergence(
+    replica: usize,
+    converged: bool,
+    frontier: u64,
+    target: u64,
+    bound_ms: u64,
+) -> Vec<ViolationKind> {
+    if converged {
+        Vec::new()
+    } else {
+        vec![ViolationKind::JoinerConvergence {
+            replica,
+            frontier,
+            target,
+            bound_ms,
+        }]
+    }
 }
 
 /// Checks that every client made progress during the post-heal window:
@@ -484,6 +710,89 @@ mod tests {
             }
             other => panic!("wrong kind: {other}"),
         }
+    }
+
+    #[test]
+    fn exactly_once_flags_cross_replica_slot_divergence() {
+        // Replica 0 executed the request at slot 2, then departed; the
+        // remaining group re-ordered it at slot 5. Each log alone is
+        // clean, only the client-identity keyed pass can see it.
+        let a = vec![ExecRecord::new(2, rid(1, 1), true)];
+        let b = vec![ExecRecord::new(5, rid(1, 1), true)];
+        let violations = check_exactly_once(&[a, b]);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            ViolationKind::DivergentSlot {
+                replicas: (0, 1),
+                slots: (2, 5),
+                ..
+            }
+        ));
+        // Same slot on both replicas is the normal replicated case.
+        let a = vec![ExecRecord::new(2, rid(1, 1), true)];
+        let b = vec![ExecRecord::new(2, rid(1, 1), true)];
+        assert!(check_exactly_once(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn membership_safety_flags_epoch_divergence_at_one_slot() {
+        let a = vec![ExecRecord::at_epoch(7, rid(1, 1), true, 0)];
+        let b = vec![ExecRecord::at_epoch(7, rid(1, 1), true, 1)];
+        let violations = check_membership_safety(&[a.clone(), b]);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            ViolationKind::MembershipSafety {
+                slot: 7,
+                replicas: (0, 1),
+                epochs: (0, 1),
+            }
+        ));
+        // Agreeing epochs pass, as do disjoint slots.
+        let c = vec![ExecRecord::at_epoch(7, rid(1, 1), true, 0)];
+        assert!(check_membership_safety(&[a, c]).is_empty());
+    }
+
+    #[test]
+    fn quorum_availability_flags_departed_executor() {
+        // Epoch history: {0,1,2} at epoch 0, {1,2} after replica 0 left.
+        let epoch_members = vec![vec![0, 1, 2], vec![1, 2]];
+        // Replica 0 keeps executing past the switch.
+        let log0 = vec![
+            ExecRecord::at_epoch(0, rid(1, 1), true, 0),
+            ExecRecord::at_epoch(1, rid(1, 2), true, 1),
+        ];
+        let log1 = vec![
+            ExecRecord::at_epoch(0, rid(1, 1), true, 0),
+            ExecRecord::at_epoch(1, rid(1, 2), true, 1),
+        ];
+        let violations = check_quorum_availability(&[log0, log1], &epoch_members);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            ViolationKind::QuorumAvailability {
+                replica: 0,
+                slot: 1,
+                epoch: 1,
+            }
+        ));
+    }
+
+    #[test]
+    fn joiner_convergence_flags_stragglers_only() {
+        assert!(check_joiner_convergence(3, true, 100, 100, 4000).is_empty());
+        let violations = check_joiner_convergence(3, false, 40, 100, 4000);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            ViolationKind::JoinerConvergence {
+                replica: 3,
+                frontier: 40,
+                target: 100,
+                bound_ms: 4000,
+            }
+        ));
     }
 
     #[test]

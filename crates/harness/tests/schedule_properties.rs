@@ -1,0 +1,104 @@
+//! Property-based test of the chaos schedule grammar: `parse ∘ print`
+//! is the identity over schedules mixing every episode form — crash,
+//! slow, partition, loss, wipe, and the churn motions (join, leave,
+//! replace, rolling). A grammar extension that breaks the round trip
+//! would silently corrupt the `repro chaos --seed X --schedule '...'`
+//! replay lines CI prints for violations.
+
+use idem_harness::chaos::{ChurnFamily, Fault, Schedule};
+use proptest::prelude::*;
+
+/// Decodes one drawn `(kind, payload)` pair into an arbitrary valid
+/// episode. Printed floats carry fixed precision (slow `%.1`, loss
+/// `%.3`), so the factors are drawn on matching grids — anything finer
+/// would be lost to formatting, not to the parser.
+fn fault_from(kind: u64, payload: u64) -> Fault {
+    let replica = (payload % 10) as usize;
+    let other = ((payload / 10) % 10) as usize;
+    let start_ms = (payload / 100) % 5_000;
+    let end_ms = start_ms + 1 + (payload / 7) % 2_000;
+    let at_ms = (payload / 3) % 5_000;
+    match kind {
+        0 => Fault::Crash {
+            replica,
+            start_ms,
+            end_ms,
+        },
+        1 => Fault::Slow {
+            replica,
+            factor: (11 + payload % 69) as f64 / 10.0,
+            start_ms,
+            end_ms,
+        },
+        2 => {
+            let mut left = vec![replica];
+            let mut right = vec![other];
+            if payload & 1 == 1 {
+                left.push((replica + 3) % 10);
+            }
+            if payload & 2 == 2 {
+                right.push((other + 7) % 10);
+            }
+            Fault::Partition {
+                left,
+                right,
+                start_ms,
+                end_ms,
+            }
+        }
+        3 => Fault::Loss {
+            p: (payload % 1_001) as f64 / 1000.0,
+            start_ms,
+            end_ms,
+        },
+        4 => Fault::Wipe {
+            replica,
+            at_ms,
+            trunc: payload & 1 == 1,
+        },
+        5 => Fault::Join { replica, at_ms },
+        6 => Fault::Leave { replica, at_ms },
+        7 => Fault::Replace {
+            old: replica,
+            new: if other == replica {
+                (replica + 1) % 10
+            } else {
+                other
+            },
+            at_ms,
+        },
+        _ => Fault::Rolling {
+            at_ms,
+            gap_ms: 100 + payload % 1_900,
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn parse_print_roundtrip(raw in prop::collection::vec((0u64..9, any::<u64>()), 0..8)) {
+        let schedule = Schedule {
+            faults: raw.iter().map(|&(kind, payload)| fault_from(kind, payload)).collect(),
+        };
+        let text = schedule.to_string();
+        let reparsed = Schedule::parse(&text)
+            .unwrap_or_else(|e| panic!("printed schedule '{text}' failed to parse: {e}"));
+        prop_assert_eq!(reparsed, schedule);
+    }
+
+    #[test]
+    fn generated_campaign_schedules_roundtrip(seed in 1u64..500) {
+        for schedule in [
+            Schedule::generate(seed, 3),
+            Schedule::generate_with_wipes(seed, 3),
+        ]
+        .into_iter()
+        .chain(ChurnFamily::ALL.iter().map(|&f| Schedule::generate_churn(seed, 3, f)))
+        {
+            let text = schedule.to_string();
+            let reparsed = Schedule::parse(&text)
+                .unwrap_or_else(|e| panic!("generated schedule '{text}' failed to parse: {e}"));
+            prop_assert_eq!(reparsed, schedule);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use idem_common::driver::{ClientApp, OperationOutcome, OutcomeKind};
-use idem_common::{Directory, OpNumber, QuorumSet, Request, RequestId, ResultBytes};
+use idem_common::{Directory, Membership, OpNumber, QuorumSet, Request, RequestId, ResultBytes};
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId};
 use rand::Rng;
 
@@ -104,9 +104,13 @@ pub struct PaxosClient {
     app: Box<dyn ClientApp>,
     next_op: OpNumber,
     current: Option<InFlight>,
-    /// Index into the replica list of the replica currently presumed to
-    /// lead.
+    /// Index into the *member list* of the replica currently presumed to
+    /// lead. An index (not a replica id) so round-robin failover walks
+    /// exactly the current members, never departed ones.
     presumed_leader: u32,
+    /// The client's view of the replica group, advanced on
+    /// `MembershipUpdate` redirects.
+    membership: Membership,
     stats: PaxosClientStats,
     stopped: bool,
 }
@@ -120,6 +124,7 @@ impl PaxosClient {
         app: Box<dyn ClientApp>,
     ) -> PaxosClient {
         PaxosClient {
+            membership: Membership::bootstrap(cfg.quorum.n()),
             cfg,
             id,
             dir,
@@ -139,7 +144,7 @@ impl PaxosClient {
 
     /// Which replica this client currently believes to be the leader.
     pub fn presumed_leader(&self) -> idem_common::ReplicaId {
-        idem_common::ReplicaId(self.presumed_leader)
+        self.membership.members()[self.presumed_leader as usize]
     }
 
     /// Whether the client has stopped issuing operations.
@@ -148,8 +153,41 @@ impl PaxosClient {
     }
 
     fn leader_node(&self) -> NodeId {
-        self.dir
-            .replica(idem_common::ReplicaId(self.presumed_leader))
+        self.dir.replica(self.presumed_leader())
+    }
+
+    /// A replica announced a newer membership: adopt it, keep pointing at
+    /// the same presumed leader if it survived the change, and re-target
+    /// any in-flight operation so it is not stuck timing out against a
+    /// departed replica.
+    fn handle_membership_update(&mut self, ctx: &mut Context<'_, PaxosMessage>, m: Membership) {
+        if m.epoch() <= self.membership.epoch() {
+            return;
+        }
+        let presumed = self.presumed_leader();
+        self.membership = m;
+        self.presumed_leader = self
+            .membership
+            .members()
+            .iter()
+            .position(|&r| r == presumed)
+            .unwrap_or(0) as u32;
+        if let Some(flight) = self.current.as_ref() {
+            let req = Request::new(flight.id, flight.command.clone());
+            let leader = self.leader_node();
+            ctx.send(leader, PaxosMessage::Request(req));
+        }
+    }
+
+    /// Points `presumed_leader` at the member that just answered us (a
+    /// non-member answer is ignored — it is stale by definition).
+    fn note_leader(&mut self, from: NodeId) {
+        let Some(r) = self.dir.replica_of(from) else {
+            return;
+        };
+        if let Some(idx) = self.membership.members().iter().position(|&m| m == r) {
+            self.presumed_leader = idx as u32;
+        }
     }
 
     fn issue_next(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
@@ -227,7 +265,7 @@ impl PaxosClient {
         // (round-robin failover) and retransmit.
         self.stats.timeouts += 1;
         self.stats.failovers += 1;
-        self.presumed_leader = (self.presumed_leader + 1) % self.cfg.quorum.n();
+        self.presumed_leader = (self.presumed_leader + 1) % self.membership.n();
         let flight = self.current.as_mut().expect("in flight");
         let req = Request::new(flight.id, flight.command.clone());
         let timer = ctx.set_timer(self.cfg.request_timeout, PaxosMessage::ClientTimeout(op));
@@ -254,21 +292,18 @@ impl Node<PaxosMessage> for PaxosClient {
                 let matches = self.current.as_ref().is_some_and(|f| f.id == reply.id);
                 if matches {
                     // Remember who answered: that replica leads.
-                    if let Some(r) = self.dir.replica_of(from) {
-                        self.presumed_leader = r.0;
-                    }
+                    self.note_leader(from);
                     self.finish(ctx, OutcomeKind::Success, Some(reply.result));
                 }
             }
             PaxosMessage::Reject(id) => {
                 let matches = self.current.as_ref().is_some_and(|f| f.id == id);
                 if matches {
-                    if let Some(r) = self.dir.replica_of(from) {
-                        self.presumed_leader = r.0;
-                    }
+                    self.note_leader(from);
                     self.finish(ctx, OutcomeKind::RejectedFinal, None);
                 }
             }
+            PaxosMessage::MembershipUpdate(m) => self.handle_membership_update(ctx, m),
             _ => {}
         }
     }

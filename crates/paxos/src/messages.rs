@@ -1,6 +1,6 @@
 //! Paxos baseline wire messages and timer payloads.
 
-use idem_common::{OpNumber, Reply, Request, RequestId, SeqNumber, View};
+use idem_common::{Membership, OpNumber, Reply, Request, RequestId, SeqNumber, View};
 use idem_simnet::Wire;
 
 /// One entry of a view-change window summary. Unlike IDEM, the entry must
@@ -77,7 +77,15 @@ pub enum PaxosMessage {
         snapshot: Vec<u8>,
         /// `(client id, last executed op, cached reply)` per client.
         clients: Vec<(u32, OpNumber, Vec<u8>)>,
+        /// The membership in force at `next_exec`. State transfer is
+        /// epoch-aware: a joiner installs this before serving. Wire-free
+        /// while the group is still in its bootstrap epoch.
+        membership: Membership,
     },
+    /// Replica → client: the group reconfigured; re-resolve the presumed
+    /// leader against this membership instead of timing out against
+    /// departed replicas.
+    MembershipUpdate(Membership),
 
     // ----- timer payloads (never on the wire) -----
     /// Replica progress (view-change) timer.
@@ -107,8 +115,16 @@ impl Wire for PaxosMessage {
             }
             PaxosMessage::CheckpointRequest => 4,
             PaxosMessage::Checkpoint {
-                snapshot, clients, ..
-            } => 8 + snapshot.len() + clients.iter().map(|(_, _, r)| 12 + r.len()).sum::<usize>(),
+                snapshot,
+                clients,
+                membership,
+                ..
+            } => {
+                8 + snapshot.len()
+                    + clients.iter().map(|(_, _, r)| 12 + r.len()).sum::<usize>()
+                    + membership.wire_size()
+            }
+            PaxosMessage::MembershipUpdate(m) => m.wire_size(),
             PaxosMessage::ProgressTimer
             | PaxosMessage::ClientTimeout(_)
             | PaxosMessage::BackoffTimer
@@ -161,6 +177,22 @@ mod tests {
             window: vec![entry; 3],
         };
         assert_eq!(msg.wire_size(), 16 + 3 * (16 + 12 + 100));
+    }
+
+    #[test]
+    fn checkpoint_membership_is_wire_free_at_bootstrap() {
+        let msg = PaxosMessage::Checkpoint {
+            next_exec: SeqNumber(4),
+            snapshot: vec![0; 50],
+            clients: vec![(1, OpNumber(2), vec![0; 8])],
+            membership: Membership::bootstrap(3),
+        };
+        // Unchanged from the fixed-membership protocol.
+        assert_eq!(msg.wire_size(), 8 + 50 + 12 + 8);
+        assert_eq!(
+            PaxosMessage::MembershipUpdate(Membership::bootstrap(3)).wire_size(),
+            0
+        );
     }
 
     #[test]

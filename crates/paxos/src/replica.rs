@@ -5,8 +5,9 @@ use std::time::Duration;
 
 use idem_common::app::CostModel;
 use idem_common::{
-    ClientId, Directory, ExecRecord, OpNumber, PersistMode, QuorumTracker, Reply, Request,
-    RequestId, ResultBytes, SeqNumber, SeqWindow, StateMachine, View, Wal, WalRecord,
+    ClientId, Directory, ExecRecord, Membership, OpNumber, PersistMode, QuorumTracker,
+    ReconfigCommand, Reply, Request, RequestId, ResultBytes, SeqNumber, SeqWindow, StateMachine,
+    View, Wal, WalRecord, RECONFIG_CLIENT,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -73,6 +74,14 @@ pub struct PaxosReplica {
     dir: Directory<NodeId>,
     app: Box<dyn StateMachine + Send>,
 
+    /// The current member list; all quorum arithmetic, leader rotation,
+    /// and multicast targets derive from it. Advances when a reconfig
+    /// command executes at its agreed slot.
+    membership: Membership,
+    /// Slot of an in-flight reconfiguration: new proposals wait until it
+    /// executes, so no slot is bound under a membership it outlives.
+    reconfig_barrier: Option<SeqNumber>,
+
     view: View,
     vc_target: Option<View>,
     vc_store: BTreeMap<u64, BTreeMap<u32, (SeqNumber, Vec<PaxosWindowEntry>)>>,
@@ -132,6 +141,8 @@ impl PaxosReplica {
         cfg.validate();
         PaxosReplica {
             window: SeqWindow::new(cfg.window_size),
+            membership: Membership::bootstrap(cfg.quorum.n()),
+            reconfig_barrier: None,
             cfg,
             me,
             dir,
@@ -209,12 +220,19 @@ impl PaxosReplica {
         &*self.app
     }
 
-    fn n(&self) -> u32 {
-        self.cfg.quorum.n()
+    /// The member list this replica currently operates under.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Whether this replica is part of the current membership (false for
+    /// a spare that has not joined yet and for a departed member).
+    pub fn is_member(&self) -> bool {
+        self.membership.contains(self.me)
     }
 
     fn majority(&self) -> u32 {
-        self.cfg.quorum.majority()
+        self.membership.majority()
     }
 
     fn effective_view(&self) -> View {
@@ -222,22 +240,23 @@ impl PaxosReplica {
     }
 
     fn leader_of(&self, v: View) -> idem_common::ReplicaId {
-        v.leader(self.n())
+        self.membership.leader_of(v)
     }
 
     fn is_leader(&self) -> bool {
         self.vc_target.is_none() && self.leader_of(self.view) == self.me
     }
 
-    /// Every replica but this one, straight off the directory slice —
-    /// no per-multicast allocation.
+    /// Every *member* but this one, in sorted member order — identical to
+    /// the directory slice at epoch 0, and no per-multicast allocation.
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
-        let me = self.dir.replica(self.me);
-        self.dir
-            .replica_addrs()
+        let me = self.me;
+        self.membership
+            .members()
             .iter()
             .copied()
-            .filter(move |&n| n != me)
+            .filter(move |&r| r != me)
+            .map(|r| self.dir.replica(r))
     }
 
     fn executed_already(&self, id: RequestId) -> bool {
@@ -259,6 +278,10 @@ impl PaxosReplica {
         let id = req.id;
         if self.executed_already(id) {
             self.stats.duplicates += 1;
+            if id.client == RECONFIG_CLIENT {
+                // Reconfig commands have no client node to answer.
+                return;
+            }
             if let Some((op, reply)) = self.last_executed.get(&id.client.0) {
                 if *op == id.op {
                     self.stats.replies_sent += 1;
@@ -290,12 +313,17 @@ impl PaxosReplica {
             self.stats.duplicates += 1;
             return;
         }
-        if let RejectPolicy::LeaderBased { threshold } = self.cfg.reject_policy {
-            if self.leader_load() >= u64::from(threshold) {
-                self.stats.rejected += 1;
-                let client = self.dir.client(id.client);
-                ctx.send(client, PaxosMessage::Reject(id));
-                return;
+        // Reconfiguration commands are control-plane traffic: rejecting a
+        // membership change under load would make churn recovery
+        // impossible exactly when it matters.
+        if id.client != RECONFIG_CLIENT {
+            if let RejectPolicy::LeaderBased { threshold } = self.cfg.reject_policy {
+                if self.leader_load() >= u64::from(threshold) {
+                    self.stats.rejected += 1;
+                    let client = self.dir.client(id.client);
+                    ctx.send(client, PaxosMessage::Reject(id));
+                    return;
+                }
             }
         }
         self.inflight.insert(id, ());
@@ -305,8 +333,27 @@ impl PaxosReplica {
         self.drain_queue(ctx);
     }
 
+    /// Whether an in-flight reconfiguration still blocks new proposals.
+    /// Self-clearing: the barrier lifts once execution passes the
+    /// reconfig slot (however the slot got executed — locally, via
+    /// checkpoint install, or after a view change).
+    fn barrier_active(&mut self) -> bool {
+        match self.reconfig_barrier {
+            Some(slot) if self.next_exec > slot => {
+                self.reconfig_barrier = None;
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
     fn drain_queue(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
-        while self.is_leader() && !self.queue.is_empty() && self.next_propose < self.window.high() {
+        while self.is_leader()
+            && !self.queue.is_empty()
+            && self.next_propose < self.window.high()
+            && !self.barrier_active()
+        {
             let req = self.queue.pop_front().expect("non-empty");
             let sqn = self.next_propose.max(self.window.low());
             self.next_propose = sqn.next();
@@ -342,6 +389,9 @@ impl PaxosReplica {
                 executed,
             },
         );
+        if req.id.client == RECONFIG_CLIENT && !executed {
+            self.reconfig_barrier = Some(sqn);
+        }
         self.stats.proposals_sent += 1;
         let view = self.view;
         ctx.multicast(
@@ -425,6 +475,11 @@ impl PaxosReplica {
         let Some(sender) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(sender) {
+            // Departed (or not-yet-joined) replicas have no say in the
+            // current epoch.
+            return;
+        }
         if !self.view_acceptable(view) {
             if self.leader_of(view) == sender {
                 self.observe_live_view(ctx, view, sender);
@@ -523,6 +578,9 @@ impl PaxosReplica {
         let Some(sender) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(sender) {
+            return;
+        }
         if !self.view_acceptable(view) {
             self.observe_live_view(ctx, view, sender);
             return;
@@ -566,6 +624,7 @@ impl PaxosReplica {
             let req = inst.request.clone();
             let already =
                 inst.executed || req.id.client == NOOP_CLIENT || self.executed_already(req.id);
+            let reconfig = !already && req.id.client == RECONFIG_CLIENT;
             self.persist_exec(
                 ctx,
                 self.next_exec,
@@ -573,7 +632,14 @@ impl PaxosReplica {
                 !already,
                 if already { &[] } else { &req.command[..] },
             );
-            if !already {
+            if reconfig {
+                // Membership change: the epoch switches exactly here, at
+                // the agreed slot, on every replica. Applied to the
+                // membership instead of the app; no client reply.
+                self.stats.executed += 1;
+                self.last_executed
+                    .insert(req.id.client.0, (req.id.op, ResultBytes::from_slice(&[])));
+            } else if !already {
                 let cost = self.app.execution_cost(&req.command);
                 ctx.charge(cost);
                 self.app.execute_into(&req.command, &mut self.exec_scratch);
@@ -593,7 +659,11 @@ impl PaxosReplica {
                 .expect("present")
                 .executed = true;
             self.next_exec = self.next_exec.next();
-            if self
+            if reconfig {
+                if let Some(cmd) = ReconfigCommand::decode(&req.command) {
+                    self.apply_reconfig(ctx, &cmd);
+                }
+            } else if self
                 .next_exec
                 .0
                 .is_multiple_of(self.cfg.checkpoint_interval)
@@ -627,11 +697,95 @@ impl PaxosReplica {
                     id,
                     fresh,
                     command: command.to_vec(),
+                    epoch: self.membership.epoch().0,
                 },
             );
         }
         if self.exec_log_enabled {
-            self.exec_log.push(ExecRecord::new(slot.0, id, fresh));
+            self.exec_log.push(ExecRecord::at_epoch(
+                slot.0,
+                id,
+                fresh,
+                self.membership.epoch().0,
+            ));
+        }
+    }
+
+    /// Switches to the next epoch after executing a reconfiguration
+    /// command: applies the change, announces the membership to clients,
+    /// and takes a checkpoint at the epoch boundary so joiners bootstrap
+    /// from state that already carries the new member list.
+    fn apply_reconfig(&mut self, ctx: &mut Context<'_, PaxosMessage>, cmd: &ReconfigCommand) {
+        self.membership.apply(cmd);
+        self.reconfig_barrier = None;
+        if !self.membership.contains(self.me) {
+            // Voted out: stop participating. The on_message gate redirects
+            // clients and ignores protocol traffic from here on.
+            if let Some(t) = self.progress_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            if let Some(t) = self.recovery_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            // Requests this node queued as leader would be lost with it;
+            // hand them to the new epoch's leader before going dark (the
+            // client retransmission path still covers a lost handoff).
+            let target = self.leader_of(self.effective_view());
+            if target != self.me {
+                let leader = self.dir.replica(target);
+                while let Some(req) = self.queue.pop_front() {
+                    self.stats.requests_forwarded_to_leader += 1;
+                    ctx.send(leader, PaxosMessage::Request(req));
+                }
+            }
+            self.queue.clear();
+            self.inflight.clear();
+            return;
+        }
+        // Epoch boundary = checkpoint boundary: the state-transfer path
+        // hands a joiner a checkpoint whose membership already includes it.
+        self.take_checkpoint(ctx, true);
+        // Push the boundary checkpoint straight at a joiner. It is not yet
+        // participating, so waiting for its own CheckpointRequest would put
+        // a retry interval on the convergence path; one unsolicited
+        // transfer makes it transfer-latency instead.
+        if let Some(joiner) = cmd.added().filter(|&r| r != self.me) {
+            if let Some((next_exec, snapshot, clients)) = self.checkpoint.clone() {
+                ctx.send(
+                    self.dir.replica(joiner),
+                    PaxosMessage::Checkpoint {
+                        next_exec,
+                        snapshot,
+                        clients,
+                        membership: self.membership.clone(),
+                    },
+                );
+            }
+        }
+        // Tell the clients where the group now lives; a stale client would
+        // otherwise keep talking to the old epoch's replica set.
+        ctx.multicast(
+            self.dir.client_addrs().iter().copied(),
+            PaxosMessage::MembershipUpdate(self.membership.clone()),
+        );
+        // Leadership derives from the member list, so it may have moved at
+        // the switch: hand queued work to the new leader, and a promoted
+        // follower must re-anchor its stale proposal cursor first —
+        // binding below the execution frontier would target slots whose
+        // bindings are already decided and be refused.
+        if self.is_leader() {
+            self.next_propose = self.next_propose.max(self.window.low()).max(self.next_exec);
+            self.drain_queue(ctx);
+        } else if !self.queue.is_empty() {
+            let target = self.leader_of(self.effective_view());
+            if target != self.me {
+                let leader = self.dir.replica(target);
+                while let Some(req) = self.queue.pop_front() {
+                    self.stats.requests_forwarded_to_leader += 1;
+                    ctx.send(leader, PaxosMessage::Request(req));
+                }
+                self.inflight.clear();
+            }
         }
     }
 
@@ -649,6 +803,7 @@ impl PaxosReplica {
                     .iter()
                     .map(|(c, op, r)| (*c, op.0, r.clone()))
                     .collect(),
+                membership: (self.membership.epoch().0 > 0).then(|| self.membership.clone()),
             },
         );
     }
@@ -688,12 +843,15 @@ impl PaxosReplica {
         // permanently unable to catch up.
         self.take_checkpoint(ctx, true);
         if let Some((next_exec, snapshot, clients)) = self.checkpoint.clone() {
+            // The checkpoint was just re-taken at the current frontier, so
+            // the current membership is exactly the one in force there.
             ctx.send(
                 from,
                 PaxosMessage::Checkpoint {
                     next_exec,
                     snapshot,
                     clients,
+                    membership: self.membership.clone(),
                 },
             );
         }
@@ -705,6 +863,7 @@ impl PaxosReplica {
         next_exec: SeqNumber,
         snapshot: Vec<u8>,
         clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)>,
+        membership: Membership,
     ) {
         // Any checkpoint answer ends the post-reboot retry loop, even a
         // stale one: the cluster is reachable again.
@@ -716,6 +875,16 @@ impl PaxosReplica {
             return;
         }
         ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
+        if membership.epoch() > self.membership.epoch() {
+            // Epoch-aware state transfer: the snapshot's frontier is past
+            // the reconfig slots it covers, so its membership is installed
+            // with it. This is how a joining spare becomes a member.
+            self.membership = membership;
+            self.reconfig_barrier = None;
+            if self.is_member() {
+                self.ensure_progress_timer(ctx);
+            }
+        }
         self.app.restore(&snapshot);
         self.last_executed = clients
             .iter()
@@ -759,6 +928,9 @@ impl PaxosReplica {
 
     fn handle_progress_timer(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
         self.progress_timer = None;
+        if !self.is_member() {
+            return;
+        }
         let suspicious = self.has_pending_work()
             || self.forwarded_since_progress > 0
             || self.vc_target.is_some();
@@ -819,6 +991,9 @@ impl PaxosReplica {
         let Some(sender) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(sender) {
+            return;
+        }
         if target <= self.view {
             return;
         }
@@ -919,12 +1094,18 @@ impl PaxosReplica {
     /// rotates with the attempt counter so a dead leader (or any single
     /// dead peer) cannot strand a rebooting replica.
     fn send_recovery_request(&mut self, ctx: &mut Context<'_, PaxosMessage>) {
-        let n = self.n();
+        // Rotate over the *members*: asking a departed (or never-joined)
+        // node for a checkpoint would burn retry rounds on nodes that may
+        // not answer or hold no state.
+        let members = self.membership.members();
+        let n = members.len() as u32;
         let leader = self.leader_of(self.effective_view());
-        let mut target = idem_common::ReplicaId((leader.0 + self.recovery_attempts) % n);
-        if target == self.me {
-            target = idem_common::ReplicaId((target.0 + 1) % n);
+        let lead_idx = members.iter().position(|&r| r == leader).unwrap_or(0) as u32;
+        let mut idx = (lead_idx + self.recovery_attempts) % n;
+        if members[idx as usize] == self.me {
+            idx = (idx + 1) % n;
         }
+        let target = members[idx as usize];
         ctx.send(self.dir.replica(target), PaxosMessage::CheckpointRequest);
         let delay = Self::RECOVERY_RETRY_BASE * (1 << self.recovery_attempts.min(3));
         if let Some(old) = self.recovery_timer.take() {
@@ -947,6 +1128,7 @@ impl PaxosReplica {
         let records = Wal::replay(ctx);
         let mut max_view = 0u64;
         let mut newest_cp: Option<RawCheckpoint> = None;
+        let mut newest_cp_membership: Option<Membership> = None;
         for rec in &records {
             match rec {
                 WalRecord::View(v) => max_view = max_view.max(*v),
@@ -955,16 +1137,21 @@ impl PaxosReplica {
                     next_exec,
                     snapshot,
                     clients,
+                    membership,
                 } => {
                     if newest_cp
                         .as_ref()
                         .is_none_or(|(ne, _, _)| *next_exec >= *ne)
                     {
                         newest_cp = Some((*next_exec, snapshot.clone(), clients.clone()));
+                        newest_cp_membership = membership.clone();
                     }
                 }
                 WalRecord::Exec { .. } => {}
             }
+        }
+        if let Some(m) = newest_cp_membership {
+            self.membership = m;
         }
         if let Some((next_exec, snapshot, clients)) = newest_cp {
             self.app.restore(&snapshot);
@@ -992,17 +1179,30 @@ impl PaxosReplica {
                 id,
                 fresh,
                 command,
+                epoch,
             } = rec
             else {
                 continue;
             };
             if self.exec_log_enabled {
-                self.exec_log.push(ExecRecord::new(*slot, *id, *fresh));
+                // Historical epochs, not the current one: a pre-reconfig
+                // slot replayed under today's membership must still audit
+                // as executed in the epoch it actually ran in.
+                self.exec_log
+                    .push(ExecRecord::at_epoch(*slot, *id, *fresh, *epoch));
             }
             if *slot < self.next_exec.0 {
                 continue;
             }
-            if *fresh && id.client != NOOP_CLIENT && !self.executed_already(*id) {
+            if *fresh && id.client == RECONFIG_CLIENT && !self.executed_already(*id) {
+                // Reconfigs past the checkpoint frontier re-apply to the
+                // membership, not the app.
+                if let Some(cmd) = ReconfigCommand::decode(command) {
+                    self.membership.apply(&cmd);
+                }
+                self.last_executed
+                    .insert(id.client.0, (id.op, ResultBytes::from_slice(&[])));
+            } else if *fresh && id.client != NOOP_CLIENT && !self.executed_already(*id) {
                 let cost = self.app.execution_cost(command);
                 ctx.charge(cost);
                 self.app.execute_into(command, &mut self.exec_scratch);
@@ -1064,6 +1264,32 @@ impl PaxosReplica {
 impl Node<PaxosMessage> for PaxosReplica {
     fn on_message(&mut self, ctx: &mut Context<'_, PaxosMessage>, from: NodeId, msg: PaxosMessage) {
         ctx.charge(self.cfg.message_cost.message_cost(msg.wire_size()));
+        if !self.is_member() {
+            // A spare that has not joined yet, or a departed member: no
+            // protocol participation. Checkpoints are still installed
+            // (that is how a joiner becomes a member), checkpoint requests
+            // are still served, and client requests are answered with a
+            // redirect once there is a newer membership to redirect to.
+            match msg {
+                PaxosMessage::Checkpoint {
+                    next_exec,
+                    snapshot,
+                    clients,
+                    membership,
+                } => self.handle_checkpoint(ctx, next_exec, snapshot, clients, membership),
+                PaxosMessage::CheckpointRequest => self.handle_checkpoint_request(ctx, from),
+                PaxosMessage::Request(req)
+                    if req.id.client != RECONFIG_CLIENT && self.membership.epoch().0 > 0 =>
+                {
+                    ctx.send(
+                        self.dir.client(req.id.client),
+                        PaxosMessage::MembershipUpdate(self.membership.clone()),
+                    );
+                }
+                _ => {}
+            }
+            return;
+        }
         match msg {
             PaxosMessage::Request(req) => self.handle_request(ctx, req),
             PaxosMessage::Propose { sqn, view, request } => {
@@ -1080,9 +1306,11 @@ impl Node<PaxosMessage> for PaxosReplica {
                 next_exec,
                 snapshot,
                 clients,
-            } => self.handle_checkpoint(ctx, next_exec, snapshot, clients),
+                membership,
+            } => self.handle_checkpoint(ctx, next_exec, snapshot, clients, membership),
             PaxosMessage::Reply(_)
             | PaxosMessage::Reject(_)
+            | PaxosMessage::MembershipUpdate(_)
             | PaxosMessage::ProgressTimer
             | PaxosMessage::ClientTimeout(_)
             | PaxosMessage::BackoffTimer

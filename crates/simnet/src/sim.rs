@@ -1172,6 +1172,29 @@ impl<M: Wire + 'static> Simulation<M> {
         self.nodes[nid.index()] = Some(node);
     }
 
+    /// Injects `msg` for delivery to `node` at the current virtual time,
+    /// bypassing the network entirely: no traffic accounting, no loss or
+    /// partition sampling, no link delay. This is the external-driver
+    /// hook — fault campaigns use it to feed control commands (e.g.
+    /// membership reconfiguration) into a cluster at exact virtual times
+    /// between `run_until` windows, without modelling an extra client
+    /// node. Delivery is an ordinary queued event, so it respects the
+    /// target's crash state and processor backlog like any real message.
+    pub fn post(&mut self, node: NodeId, msg: M) {
+        let seq = self.core.next_seq();
+        self.core.stats.arena_messages += 1;
+        let msg = Payload::Unique(self.core.arena.insert(msg, 1));
+        self.core.queue.push(Event {
+            time: self.core.now,
+            seq,
+            kind: EventKind::Deliver {
+                to: node,
+                from: node,
+                msg,
+            },
+        });
+    }
+
     /// Schedules a crash of `node` at absolute virtual time `at`. Crashed
     /// nodes stop receiving events; messages sent to them vanish.
     pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {

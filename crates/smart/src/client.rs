@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use idem_common::driver::{ClientApp, OperationOutcome, OutcomeKind};
-use idem_common::{Directory, OpNumber, QuorumSet, Request, RequestId, ResultBytes};
+use idem_common::{Directory, Membership, OpNumber, QuorumSet, Request, RequestId, ResultBytes};
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId};
 use rand::Rng;
 
@@ -82,6 +82,10 @@ pub struct SmartClient {
     app: Box<dyn ClientApp>,
     next_op: OpNumber,
     current: Option<InFlight>,
+    /// The client's view of the replica group, advanced on
+    /// `MembershipUpdate` redirects. Requests are multicast to exactly its
+    /// members.
+    membership: Membership,
     stats: SmartClientStats,
     stopped: bool,
 }
@@ -95,6 +99,7 @@ impl SmartClient {
         app: Box<dyn ClientApp>,
     ) -> SmartClient {
         SmartClient {
+            membership: Membership::bootstrap(cfg.quorum.n()),
             cfg,
             id,
             dir,
@@ -116,6 +121,27 @@ impl SmartClient {
         self.stopped
     }
 
+    fn member_addrs(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.membership
+            .members()
+            .iter()
+            .map(|&r| self.dir.replica(r))
+    }
+
+    /// A replica announced a newer membership: adopt it and re-multicast
+    /// any in-flight operation to the new member set — its original
+    /// multicast may have reached only departed replicas.
+    fn handle_membership_update(&mut self, ctx: &mut Context<'_, SmartMessage>, m: Membership) {
+        if m.epoch() <= self.membership.epoch() {
+            return;
+        }
+        self.membership = m;
+        if let Some(flight) = self.current.as_ref() {
+            let req = Request::new(flight.id, flight.command.clone());
+            ctx.multicast(self.member_addrs(), SmartMessage::Request(req));
+        }
+    }
+
     fn issue_next(&mut self, ctx: &mut Context<'_, SmartMessage>) {
         debug_assert!(self.current.is_none(), "one pending request at a time");
         let Some(command) = self.app.next_command(ctx.rng()) else {
@@ -127,10 +153,7 @@ impl SmartClient {
         self.next_op = self.next_op.next();
         self.stats.issued += 1;
         let req = Request::new(id, command.clone());
-        ctx.multicast(
-            self.dir.replica_addrs().iter().copied(),
-            SmartMessage::Request(req),
-        );
+        ctx.multicast(self.member_addrs(), SmartMessage::Request(req));
         let retransmit_timer = ctx.set_timer(
             self.cfg.retransmit_interval,
             SmartMessage::ClientTimeout(id.op),
@@ -185,10 +208,7 @@ impl SmartClient {
             SmartMessage::ClientTimeout(op),
         );
         self.current.as_mut().expect("in flight").retransmit_timer = timer;
-        ctx.multicast(
-            self.dir.replica_addrs().iter().copied(),
-            SmartMessage::Request(req),
-        );
+        ctx.multicast(self.member_addrs(), SmartMessage::Request(req));
     }
 }
 
@@ -209,8 +229,10 @@ impl Node<SmartMessage> for SmartClient {
         _from: NodeId,
         msg: SmartMessage,
     ) {
-        if let SmartMessage::Reply(reply) = msg {
-            self.handle_reply(ctx, reply.id, reply.result);
+        match msg {
+            SmartMessage::Reply(reply) => self.handle_reply(ctx, reply.id, reply.result),
+            SmartMessage::MembershipUpdate(m) => self.handle_membership_update(ctx, m),
+            _ => {}
         }
     }
 

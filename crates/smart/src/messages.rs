@@ -1,6 +1,6 @@
 //! SMaRt baseline wire messages and timer payloads.
 
-use idem_common::{OpNumber, Reply, Request, RequestId, SeqNumber, View};
+use idem_common::{Membership, OpNumber, Reply, Request, RequestId, SeqNumber, View};
 use idem_simnet::Wire;
 
 /// All messages of the SMaRt baseline.
@@ -50,7 +50,14 @@ pub enum SmartMessage {
         snapshot: Vec<u8>,
         /// `(client id, last executed op, cached reply)` per client.
         clients: Vec<(u32, OpNumber, Vec<u8>)>,
+        /// The membership in force at `next_sqn`. State transfer is
+        /// epoch-aware: a joiner installs this before serving. Wire-free
+        /// while the group is still in its bootstrap epoch.
+        membership: Membership,
     },
+    /// Replica → client: the group reconfigured; re-resolve the multicast
+    /// target set against this membership.
+    MembershipUpdate(Membership),
 
     // ----- timer payloads (never on the wire) -----
     /// Replica progress (view-change) timer.
@@ -82,8 +89,16 @@ impl Wire for SmartMessage {
             }
             SmartMessage::CheckpointRequest => 4,
             SmartMessage::Checkpoint {
-                snapshot, clients, ..
-            } => 8 + snapshot.len() + clients.iter().map(|(_, _, r)| 12 + r.len()).sum::<usize>(),
+                snapshot,
+                clients,
+                membership,
+                ..
+            } => {
+                8 + snapshot.len()
+                    + clients.iter().map(|(_, _, r)| 12 + r.len()).sum::<usize>()
+                    + membership.wire_size()
+            }
+            SmartMessage::MembershipUpdate(m) => m.wire_size(),
             SmartMessage::ProgressTimer
             | SmartMessage::ClientTimeout(_)
             | SmartMessage::BackoffTimer
@@ -139,6 +154,22 @@ mod tests {
         let ids = batch_ids(&batch);
         assert_eq!(ids[0].op, OpNumber(1));
         assert_eq!(ids[1].op, OpNumber(2));
+    }
+
+    #[test]
+    fn checkpoint_membership_is_wire_free_at_bootstrap() {
+        let msg = SmartMessage::Checkpoint {
+            next_sqn: SeqNumber(4),
+            snapshot: vec![0; 50],
+            clients: vec![(1, OpNumber(2), vec![0; 8])],
+            membership: Membership::bootstrap(3),
+        };
+        // Unchanged from the fixed-membership protocol.
+        assert_eq!(msg.wire_size(), 8 + 50 + 12 + 8);
+        assert_eq!(
+            SmartMessage::MembershipUpdate(Membership::bootstrap(3)).wire_size(),
+            0
+        );
     }
 
     #[test]

@@ -5,8 +5,9 @@ use std::time::Duration;
 
 use idem_common::app::CostModel;
 use idem_common::{
-    Directory, ExecRecord, OpNumber, PersistMode, QuorumTracker, Reply, Request, RequestId,
-    ResultBytes, SeqNumber, StateMachine, View, Wal, WalRecord,
+    Directory, ExecRecord, Membership, OpNumber, PersistMode, QuorumTracker, ReconfigCommand,
+    Reply, Request, RequestId, ResultBytes, SeqNumber, StateMachine, View, Wal, WalRecord,
+    RECONFIG_CLIENT,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -64,6 +65,11 @@ pub struct SmartReplica {
     me: idem_common::ReplicaId,
     dir: Directory<NodeId>,
     app: Box<dyn StateMachine + Send>,
+
+    /// The current member list; all quorum arithmetic, leader rotation,
+    /// and multicast targets derive from it. Advances when a reconfig
+    /// command executes inside its (singleton) batch.
+    membership: Membership,
 
     view: View,
     vc_target: Option<View>,
@@ -131,6 +137,7 @@ impl SmartReplica {
         app: Box<dyn StateMachine + Send>,
     ) -> SmartReplica {
         SmartReplica {
+            membership: Membership::bootstrap(cfg.quorum.n()),
             cfg,
             me,
             dir,
@@ -210,12 +217,19 @@ impl SmartReplica {
         &*self.app
     }
 
-    fn n(&self) -> u32 {
-        self.cfg.quorum.n()
+    /// The member list this replica currently operates under.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Whether this replica is part of the current membership (false for
+    /// a spare that has not joined yet and for a departed member).
+    pub fn is_member(&self) -> bool {
+        self.membership.contains(self.me)
     }
 
     fn majority(&self) -> u32 {
-        self.cfg.quorum.majority()
+        self.membership.majority()
     }
 
     fn effective_view(&self) -> View {
@@ -223,22 +237,23 @@ impl SmartReplica {
     }
 
     fn leader_of(&self, v: View) -> idem_common::ReplicaId {
-        v.leader(self.n())
+        self.membership.leader_of(v)
     }
 
     fn is_leader(&self) -> bool {
         self.vc_target.is_none() && self.leader_of(self.view) == self.me
     }
 
-    /// Every replica but this one, straight off the directory slice —
-    /// no per-multicast allocation.
+    /// Every *member* but this one, in sorted member order — identical to
+    /// the directory slice at epoch 0, and no per-multicast allocation.
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
-        let me = self.dir.replica(self.me);
-        self.dir
-            .replica_addrs()
+        let me = self.me;
+        self.membership
+            .members()
             .iter()
             .copied()
-            .filter(move |&n| n != me)
+            .filter(move |&r| r != me)
+            .map(|r| self.dir.replica(r))
     }
 
     fn executed_already(&self, id: RequestId) -> bool {
@@ -254,6 +269,10 @@ impl SmartReplica {
         let id = req.id;
         if self.executed_already(id) {
             self.stats.duplicates += 1;
+            if id.client == RECONFIG_CLIENT {
+                // Reconfig commands have no client node to answer.
+                return;
+            }
             if let Some((op, reply)) = self.last_executed.get(&id.client.0) {
                 if *op == id.op {
                     self.stats.replies_sent += 1;
@@ -291,7 +310,25 @@ impl SmartReplica {
                 if self.pending.is_empty() {
                     return;
                 }
-                let take = self.pending.len().min(self.cfg.max_batch);
+                // Reconfiguration commands travel in singleton batches:
+                // the epoch then switches exactly at a batch boundary, so
+                // the instance deciding the reconfig is the last one under
+                // the old membership and the next instance's quorum is
+                // drawn from the new one.
+                let limit = self.pending.len().min(self.cfg.max_batch);
+                let take = if self
+                    .pending
+                    .front()
+                    .is_some_and(|r| r.id.client == RECONFIG_CLIENT)
+                {
+                    1
+                } else {
+                    self.pending
+                        .iter()
+                        .take(limit)
+                        .position(|r| r.id.client == RECONFIG_CLIENT)
+                        .unwrap_or(limit)
+                };
                 self.pending.drain(..take).collect()
             }
         };
@@ -381,6 +418,11 @@ impl SmartReplica {
         let Some(sender) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(sender) {
+            // Departed (or not-yet-joined) replicas have no say in the
+            // current epoch.
+            return;
+        }
         if !self.view_acceptable(view) {
             if self.leader_of(view) == sender {
                 self.observe_live_view(ctx, view, sender);
@@ -440,6 +482,9 @@ impl SmartReplica {
         let Some(sender) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(sender) {
+            return;
+        }
         if !self.view_acceptable(view) {
             self.observe_live_view(ctx, view, sender);
             return;
@@ -465,6 +510,7 @@ impl SmartReplica {
         let open = self.open.take().expect("checked above");
         self.stats.batches_decided += 1;
         self.stats.max_batch_decided = self.stats.max_batch_decided.max(open.batch.len() as u64);
+        let mut reconfig: Option<ReconfigCommand> = None;
         for (offset, req) in open.batch.iter().enumerate() {
             // Remove from our own pool regardless of who batched it.
             if self.pending_ids.remove(&req.id).is_some() {
@@ -480,6 +526,17 @@ impl SmartReplica {
                 if already { &[] } else { &req.command[..] },
             );
             if already {
+                continue;
+            }
+            if req.id.client == RECONFIG_CLIENT {
+                // Membership change: applied to the membership instead of
+                // the app, after the batch frontier advances (so the epoch
+                // boundary checkpoint covers this instance); no client
+                // reply.
+                self.stats.executed += 1;
+                self.last_executed
+                    .insert(req.id.client.0, (req.id.op, ResultBytes::from_slice(&[])));
+                reconfig = ReconfigCommand::decode(&req.command);
                 continue;
             }
             let cost = self.app.execution_cost(&req.command);
@@ -498,10 +555,68 @@ impl SmartReplica {
         if self.sync_target.is_some_and(|t| self.next_sqn >= t) {
             self.sync_target = None;
         }
-        if self.next_sqn.0.is_multiple_of(self.cfg.checkpoint_interval) {
+        if let Some(cmd) = reconfig {
+            self.apply_reconfig(ctx, &cmd);
+            if !self.is_member() {
+                return;
+            }
+        } else if self.next_sqn.0.is_multiple_of(self.cfg.checkpoint_interval) {
             self.take_checkpoint(ctx, false);
         }
         self.reset_progress_timer(ctx);
+        self.maybe_propose(ctx);
+    }
+
+    /// Switches to the next epoch after executing a reconfiguration
+    /// command: applies the change, announces the membership to clients,
+    /// and takes a checkpoint at the epoch boundary so joiners bootstrap
+    /// from state that already carries the new member list.
+    fn apply_reconfig(&mut self, ctx: &mut Context<'_, SmartMessage>, cmd: &ReconfigCommand) {
+        self.membership.apply(cmd);
+        if !self.membership.contains(self.me) {
+            // Voted out: stop participating. The on_message gate redirects
+            // clients and ignores protocol traffic from here on.
+            if let Some(t) = self.progress_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            if let Some(t) = self.recovery_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            self.pending.clear();
+            self.pending_ids.clear();
+            self.open = None;
+            return;
+        }
+        // Epoch boundary = checkpoint boundary: the state-transfer path
+        // hands a joiner a checkpoint whose membership already includes it.
+        self.take_checkpoint(ctx, true);
+        // Push the boundary checkpoint straight at a joiner. It is not yet
+        // participating, so waiting for its own CheckpointRequest would put
+        // a retry interval on the convergence path; one unsolicited
+        // transfer makes it transfer-latency instead.
+        if let Some(joiner) = cmd.added().filter(|&r| r != self.me) {
+            if let Some((next_sqn, snapshot, clients)) = self.checkpoint.clone() {
+                ctx.send(
+                    self.dir.replica(joiner),
+                    SmartMessage::Checkpoint {
+                        next_sqn,
+                        snapshot,
+                        clients,
+                        membership: self.membership.clone(),
+                    },
+                );
+            }
+        }
+        // Tell the clients where the group now lives; a stale client would
+        // otherwise keep multicasting to the old epoch's replica set.
+        ctx.multicast(
+            self.dir.client_addrs().iter().copied(),
+            SmartMessage::MembershipUpdate(self.membership.clone()),
+        );
+        // Leadership may have moved with the member list; the pending pool
+        // is replicated at every member (clients multicast), so a promoted
+        // leader proposes straight from its own copy — kick it now rather
+        // than waiting for the next client arrival to trigger it.
         self.maybe_propose(ctx);
     }
 
@@ -537,12 +652,15 @@ impl SmartReplica {
         // permanently unable to catch up.
         self.take_checkpoint(ctx, true);
         if let Some((next_sqn, snapshot, clients)) = self.checkpoint.clone() {
+            // The checkpoint was just re-taken at the current frontier, so
+            // the current membership is exactly the one in force there.
             ctx.send(
                 from,
                 SmartMessage::Checkpoint {
                     next_sqn,
                     snapshot,
                     clients,
+                    membership: self.membership.clone(),
                 },
             );
         }
@@ -554,6 +672,7 @@ impl SmartReplica {
         next_sqn: SeqNumber,
         snapshot: Vec<u8>,
         clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)>,
+        membership: Membership,
     ) {
         // Any checkpoint answer ends the post-reboot retry loop, even a
         // stale one: the cluster is reachable again.
@@ -565,6 +684,16 @@ impl SmartReplica {
             return;
         }
         ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
+        if membership.epoch() > self.membership.epoch() {
+            // Epoch-aware state transfer: the snapshot's frontier is past
+            // the reconfig instances it covers, so its membership is
+            // installed with it. This is how a joining spare becomes a
+            // member.
+            self.membership = membership;
+            if self.is_member() {
+                self.ensure_progress_timer(ctx);
+            }
+        }
         self.app.restore(&snapshot);
         self.last_executed = clients
             .iter()
@@ -613,6 +742,9 @@ impl SmartReplica {
 
     fn handle_progress_timer(&mut self, ctx: &mut Context<'_, SmartMessage>) {
         self.progress_timer = None;
+        if !self.is_member() {
+            return;
+        }
         if self.sync_target.is_some() {
             // Still catching up after a view change: the checkpoint
             // request or its reply may have been lost — ask again.
@@ -663,6 +795,9 @@ impl SmartReplica {
         let Some(sender) = self.dir.replica_of(from) else {
             return;
         };
+        if !self.membership.contains(sender) {
+            return;
+        }
         if target <= self.view {
             return;
         }
@@ -781,11 +916,17 @@ impl SmartReplica {
                     id,
                     fresh,
                     command: command.to_vec(),
+                    epoch: self.membership.epoch().0,
                 },
             );
         }
         if self.exec_log_enabled {
-            self.exec_log.push(ExecRecord::new(slot, id, fresh));
+            self.exec_log.push(ExecRecord::at_epoch(
+                slot,
+                id,
+                fresh,
+                self.membership.epoch().0,
+            ));
         }
     }
 
@@ -803,6 +944,7 @@ impl SmartReplica {
                     .iter()
                     .map(|(c, op, r)| (*c, op.0, r.clone()))
                     .collect(),
+                membership: (self.membership.epoch().0 > 0).then(|| self.membership.clone()),
             },
         );
     }
@@ -832,6 +974,7 @@ impl SmartReplica {
         let records = Wal::replay(ctx);
         let mut max_view = 0u64;
         let mut newest_cp: Option<RawCheckpoint> = None;
+        let mut newest_cp_membership: Option<Membership> = None;
         for rec in &records {
             match rec {
                 WalRecord::View(v) => max_view = max_view.max(*v),
@@ -840,16 +983,21 @@ impl SmartReplica {
                     next_exec,
                     snapshot,
                     clients,
+                    membership,
                 } => {
                     if newest_cp
                         .as_ref()
                         .is_none_or(|(ne, _, _)| *next_exec >= *ne)
                     {
                         newest_cp = Some((*next_exec, snapshot.clone(), clients.clone()));
+                        newest_cp_membership = membership.clone();
                     }
                 }
                 WalRecord::Exec { .. } => {}
             }
+        }
+        if let Some(m) = newest_cp_membership {
+            self.membership = m;
         }
         if let Some((next_sqn, snapshot, clients)) = newest_cp {
             self.app.restore(&snapshot);
@@ -882,18 +1030,31 @@ impl SmartReplica {
                 id,
                 fresh,
                 command,
+                epoch,
             } = rec
             else {
                 continue;
             };
             if self.exec_log_enabled {
-                self.exec_log.push(ExecRecord::new(*slot, *id, *fresh));
+                // Historical epochs, not the current one: a pre-reconfig
+                // slot replayed under today's membership must still audit
+                // as executed in the epoch it actually ran in.
+                self.exec_log
+                    .push(ExecRecord::at_epoch(*slot, *id, *fresh, *epoch));
             }
             let batch_sqn = slot >> SLOT_BATCH_SHIFT;
             if batch_sqn < covered {
                 continue;
             }
-            if *fresh && !self.executed_already(*id) {
+            if *fresh && id.client == RECONFIG_CLIENT && !self.executed_already(*id) {
+                // Reconfigs past the checkpoint frontier re-apply to the
+                // membership, not the app.
+                if let Some(cmd) = ReconfigCommand::decode(command) {
+                    self.membership.apply(&cmd);
+                }
+                self.last_executed
+                    .insert(id.client.0, (id.op, ResultBytes::from_slice(&[])));
+            } else if *fresh && !self.executed_already(*id) {
                 let cost = self.app.execution_cost(command);
                 ctx.charge(cost);
                 self.app.execute_into(command, &mut self.exec_scratch);
@@ -951,6 +1112,32 @@ impl SmartReplica {
 impl Node<SmartMessage> for SmartReplica {
     fn on_message(&mut self, ctx: &mut Context<'_, SmartMessage>, from: NodeId, msg: SmartMessage) {
         ctx.charge(self.cfg.message_cost.message_cost(msg.wire_size()));
+        if !self.is_member() {
+            // A spare that has not joined yet, or a departed member: no
+            // protocol participation. Checkpoints are still installed
+            // (that is how a joiner becomes a member), checkpoint requests
+            // are still served, and client requests are answered with a
+            // redirect once there is a newer membership to redirect to.
+            match msg {
+                SmartMessage::Checkpoint {
+                    next_sqn,
+                    snapshot,
+                    clients,
+                    membership,
+                } => self.handle_checkpoint(ctx, next_sqn, snapshot, clients, membership),
+                SmartMessage::CheckpointRequest => self.handle_checkpoint_request(ctx, from),
+                SmartMessage::Request(req)
+                    if req.id.client != RECONFIG_CLIENT && self.membership.epoch().0 > 0 =>
+                {
+                    ctx.send(
+                        self.dir.client(req.id.client),
+                        SmartMessage::MembershipUpdate(self.membership.clone()),
+                    );
+                }
+                _ => {}
+            }
+            return;
+        }
         match msg {
             SmartMessage::Request(req) => self.handle_request(ctx, req),
             SmartMessage::Propose { sqn, view, batch } => {
@@ -967,8 +1154,10 @@ impl Node<SmartMessage> for SmartReplica {
                 next_sqn,
                 snapshot,
                 clients,
-            } => self.handle_checkpoint(ctx, next_sqn, snapshot, clients),
+                membership,
+            } => self.handle_checkpoint(ctx, next_sqn, snapshot, clients, membership),
             SmartMessage::Reply(_)
+            | SmartMessage::MembershipUpdate(_)
             | SmartMessage::ProgressTimer
             | SmartMessage::ClientTimeout(_)
             | SmartMessage::BackoffTimer
