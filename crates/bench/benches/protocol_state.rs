@@ -1,0 +1,189 @@
+//! Microbenchmarks of the dense protocol-state structures against the
+//! map-based representation they replaced, at steady-state populations of
+//! 1k / 100k / 1M tracked requests.
+//!
+//! Three operations, one per hot-path shape in the replicas:
+//!
+//! - `lookup`: resolve a request id to its tracking record — the probe
+//!   every Request/Endorse/Decide message pays first. Dense: session-table
+//!   head plus chain walk (chains are length ~1 per client in steady
+//!   state). Map: `BTreeMap<RequestId, _>` search.
+//! - `vote`: lookup plus a quorum-bit update — the endorsement path.
+//! - `gc`: retire one request and admit another at fixed population — the
+//!   decide-path churn. Dense: chain unlink + slab remove + reinsert.
+//!   Map: remove + insert.
+//!
+//! The map variants are the comparison baseline: the dense win is the
+//! single cache-line probe, which shows up as flat per-op cost across the
+//! three sizes where the tree's O(log K) pointer chase grows.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idem_common::dense::{Chained, ReqHandle, ReqSlab, SessionTable};
+use idem_common::{ClientId, OpNumber, RequestId};
+
+const SIZES: [(u32, &str); 3] = [(1_000, "1k"), (100_000, "100k"), (1_000_000, "1M")];
+
+/// Tracking record shaped like the replicas' inflight entries: request id,
+/// intrusive chain pointer, endorsement bitmask.
+struct Entry {
+    id: RequestId,
+    next: ReqHandle,
+    votes: u64,
+}
+
+impl Chained for Entry {
+    fn request_id(&self) -> RequestId {
+        self.id
+    }
+    fn next(&self) -> ReqHandle {
+        self.next
+    }
+    fn set_next(&mut self, next: ReqHandle) {
+        self.next = next;
+    }
+}
+
+fn rid(client: u32) -> RequestId {
+    RequestId::new(ClientId(client), OpNumber(u64::from(client) + 1))
+}
+
+/// One tracked request per client, the steady-state shape of a saturated
+/// closed-loop cell.
+fn dense_state(n: u32) -> (ReqSlab<Entry>, SessionTable) {
+    let mut slab = ReqSlab::new();
+    let mut sessions = SessionTable::new();
+    sessions.reserve(n as usize);
+    for c in 0..n {
+        let h = slab.insert(Entry {
+            id: rid(c),
+            next: ReqHandle::NULL,
+            votes: 0,
+        });
+        let mut head = sessions.head(ClientId(c));
+        slab.chain_push(&mut head, h);
+        sessions.set_head(ClientId(c), head);
+    }
+    (slab, sessions)
+}
+
+fn map_state(n: u32) -> BTreeMap<RequestId, u64> {
+    (0..n).map(|c| (rid(c), 0u64)).collect()
+}
+
+/// Deterministic client-id sequence spread over the full population.
+fn next_client(state: &mut u64, n: u32) -> u32 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 33) % u64::from(n)) as u32
+}
+
+fn lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_state/lookup");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    for (n, label) in SIZES {
+        let (slab, sessions) = dense_state(n);
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        group.bench_function(format!("dense_{label}"), |b| {
+            b.iter(|| {
+                let client = next_client(&mut rng, n);
+                let h = slab.chain_find(sessions.head(ClientId(client)), rid(client));
+                black_box(h.is_null())
+            });
+        });
+        let map = map_state(n);
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        group.bench_function(format!("map_{label}"), |b| {
+            b.iter(|| {
+                let client = next_client(&mut rng, n);
+                black_box(map.contains_key(&rid(client)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn vote(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_state/vote");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    for (n, label) in SIZES {
+        let (mut slab, sessions) = dense_state(n);
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut replica = 0u32;
+        group.bench_function(format!("dense_{label}"), |b| {
+            b.iter(|| {
+                let client = next_client(&mut rng, n);
+                replica = (replica + 1) % 5;
+                let h = slab.chain_find(sessions.head(ClientId(client)), rid(client));
+                let e = slab.get_mut(h).unwrap();
+                e.votes |= 1u64 << replica;
+                black_box(e.votes.count_ones())
+            });
+        });
+        let mut map = map_state(n);
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut replica = 0u32;
+        group.bench_function(format!("map_{label}"), |b| {
+            b.iter(|| {
+                let client = next_client(&mut rng, n);
+                replica = (replica + 1) % 5;
+                let votes = map.get_mut(&rid(client)).unwrap();
+                *votes |= 1u64 << replica;
+                black_box(votes.count_ones())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_state/gc");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    for (n, label) in SIZES {
+        let (mut slab, mut sessions) = dense_state(n);
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        group.bench_function(format!("dense_{label}"), |b| {
+            b.iter(|| {
+                let client = next_client(&mut rng, n);
+                let id = rid(client);
+                let mut head = sessions.head(ClientId(client));
+                let h = slab.chain_find(head, id);
+                slab.chain_unlink(&mut head, h);
+                slab.remove(h);
+                let h = slab.insert(Entry {
+                    id,
+                    next: ReqHandle::NULL,
+                    votes: 0,
+                });
+                slab.chain_push(&mut head, h);
+                sessions.set_head(ClientId(client), head);
+                black_box(slab.len())
+            });
+        });
+        let mut map = map_state(n);
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        group.bench_function(format!("map_{label}"), |b| {
+            b.iter(|| {
+                let client = next_client(&mut rng, n);
+                let id = rid(client);
+                map.remove(&id);
+                map.insert(id, 0);
+                black_box(map.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lookup, vote, gc);
+criterion_main!(benches);

@@ -1,0 +1,591 @@
+//! Dense, handle-indexed protocol state (DESIGN.md §6e).
+//!
+//! The replication hot path used to resolve every incoming message
+//! against a fistful of `BTreeMap<RequestId, …>`s — one tree probe per
+//! concern (body store, endorsement votes, propose cursor, forward
+//! timer, duplicate suppression). This module replaces those with two
+//! flat structures, mirroring the message-arena design of the simnet
+//! layer:
+//!
+//! * [`ReqSlab`] — a generation-stamped slab of per-request records.
+//!   A record is addressed by a small copyable [`ReqHandle`]; a freed
+//!   slot bumps its generation so stale handles read as absent instead
+//!   of aliasing a recycled record. Protocols cache handles in window
+//!   instances and queues, so every later stage of a request's life
+//!   costs an O(1) slot load instead of a fresh tree descent.
+//!
+//! * [`SessionTable`] — the per-client session state (highest executed
+//!   op, cached reply, and the head of that client's chain of live
+//!   request records), indexed directly by the contiguous client ids
+//!   the harness assigns. Reserved ids near `u32::MAX` (the reconfig
+//!   and no-op pseudo-clients) and any pathologically large id fall
+//!   back to a tree so the dense part never over-allocates.
+//!
+//! Request records for one client are threaded into a singly-linked
+//! chain (the [`Chained`] trait) rooted at the client's session slot:
+//! resolving a message's request context is one session-slot load plus
+//! a walk over that client's handful of live records — in the common
+//! case a chain of length 0 or 1.
+//!
+//! Iteration over a slab visits slots in index order and the session
+//! table in ascending client id, so cold paths that must re-derive a
+//! sorted view (view change, checkpointing, reconfiguration) stay
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{ClientId, OpNumber, RequestId};
+use crate::request::ResultBytes;
+
+/// Client ids at or above this value are stored in the session table's
+/// fallback tree rather than the dense vector. Covers the reserved
+/// pseudo-clients (`RECONFIG_CLIENT`, the no-op client) and shields the
+/// dense vector from ever sizing itself to a wild id.
+pub const DENSE_CLIENT_LIMIT: u32 = 1 << 26;
+
+/// Compact, copyable key of a record in a [`ReqSlab`].
+///
+/// The null handle ([`ReqHandle::NULL`]) never resolves. A handle to a
+/// freed slot stops resolving the moment the slot is reused or freed
+/// (generation stamp mismatch), so protocols may cache handles without
+/// use-after-free hazards: a stale handle simply reads as absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReqHandle {
+    index: u32,
+    generation: u32,
+}
+
+impl ReqHandle {
+    /// The handle that never resolves.
+    pub const NULL: ReqHandle = ReqHandle {
+        index: 0,
+        generation: 0,
+    };
+
+    /// Whether this is the null handle. A non-null handle may still
+    /// fail to resolve if its record was freed.
+    pub fn is_null(self) -> bool {
+        self.generation == 0
+    }
+}
+
+impl Default for ReqHandle {
+    fn default() -> ReqHandle {
+        ReqHandle::NULL
+    }
+}
+
+struct Slot<T> {
+    /// Even = vacant, odd = occupied; incremented on every transition,
+    /// so a handle (which always carries an odd generation) resolves
+    /// only against the exact occupancy it was issued for.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A generation-stamped slab of per-request protocol records.
+///
+/// # Example
+/// ```
+/// use idem_common::dense::ReqSlab;
+/// let mut slab: ReqSlab<u64> = ReqSlab::new();
+/// let h = slab.insert(7);
+/// assert_eq!(slab.get(h), Some(&7));
+/// assert_eq!(slab.remove(h), Some(7));
+/// assert_eq!(slab.get(h), None); // stale handle reads as absent
+/// ```
+pub struct ReqSlab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for ReqSlab<T> {
+    fn default() -> ReqSlab<T> {
+        ReqSlab::new()
+    }
+}
+
+impl<T> ReqSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> ReqSlab<T> {
+        ReqSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a record and returns its handle. Freed slots are reused
+    /// LIFO, so steady-state traffic stops growing the slab.
+    pub fn insert(&mut self, value: T) -> ReqHandle {
+        self.live += 1;
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                slot.generation = slot.generation.wrapping_add(1);
+                slot.value = Some(value);
+                ReqHandle {
+                    index,
+                    generation: slot.generation,
+                }
+            }
+            None => {
+                let index = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+                self.slots.push(Slot {
+                    generation: 1,
+                    value: Some(value),
+                });
+                ReqHandle {
+                    index,
+                    generation: 1,
+                }
+            }
+        }
+    }
+
+    fn slot(&self, h: ReqHandle) -> Option<&Slot<T>> {
+        self.slots
+            .get(h.index as usize)
+            .filter(|s| s.generation == h.generation && s.value.is_some())
+    }
+
+    /// Resolves a handle; `None` for null, stale, or freed handles.
+    pub fn get(&self, h: ReqHandle) -> Option<&T> {
+        self.slot(h).and_then(|s| s.value.as_ref())
+    }
+
+    /// Mutable [`get`](Self::get).
+    pub fn get_mut(&mut self, h: ReqHandle) -> Option<&mut T> {
+        match self.slots.get_mut(h.index as usize) {
+            Some(s) if s.generation == h.generation && s.value.is_some() => s.value.as_mut(),
+            _ => None,
+        }
+    }
+
+    /// Whether the handle currently resolves.
+    pub fn contains(&self, h: ReqHandle) -> bool {
+        self.slot(h).is_some()
+    }
+
+    /// Frees a record, invalidating every copy of its handle.
+    pub fn remove(&mut self, h: ReqHandle) -> Option<T> {
+        match self.slots.get_mut(h.index as usize) {
+            Some(s) if s.generation == h.generation && s.value.is_some() => {
+                s.generation = s.generation.wrapping_add(1);
+                self.free.push(h.index);
+                self.live -= 1;
+                s.value.take()
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates live records in slot-index order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (ReqHandle, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value.as_ref().map(|v| {
+                (
+                    ReqHandle {
+                        index: i as u32,
+                        generation: s.generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Drops every record. Generations keep advancing, so handles from
+    /// before the clear still read as absent.
+    pub fn clear(&mut self) {
+        self.free.clear();
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if s.value.is_some() {
+                s.generation = s.generation.wrapping_add(1);
+                s.value = None;
+            }
+            self.free.push(i as u32);
+        }
+        // LIFO reuse from low indices first, matching a fresh slab's
+        // allocation order as closely as possible.
+        self.free.reverse();
+        self.live = 0;
+    }
+}
+
+/// A record that can be threaded into a per-client chain.
+pub trait Chained {
+    /// The request this record tracks.
+    fn request_id(&self) -> RequestId;
+    /// Next record in the owning client's chain.
+    fn next(&self) -> ReqHandle;
+    /// Re-links the record.
+    fn set_next(&mut self, next: ReqHandle);
+}
+
+impl<T: Chained> ReqSlab<T> {
+    /// Finds the record for `id` in the chain rooted at `head`.
+    /// Chains hold one client's live records, so this walk is O(1) in
+    /// the common case.
+    pub fn chain_find(&self, head: ReqHandle, id: RequestId) -> ReqHandle {
+        let mut cur = head;
+        while let Some(rec) = self.get(cur) {
+            if rec.request_id() == id {
+                return cur;
+            }
+            cur = rec.next();
+        }
+        ReqHandle::NULL
+    }
+
+    /// Pushes a record at the front of a chain.
+    pub fn chain_push(&mut self, head: &mut ReqHandle, h: ReqHandle) {
+        let old = *head;
+        if let Some(rec) = self.get_mut(h) {
+            rec.set_next(old);
+            *head = h;
+        }
+    }
+
+    /// Unlinks a record from a chain (the record itself stays live).
+    /// Returns whether it was found.
+    pub fn chain_unlink(&mut self, head: &mut ReqHandle, h: ReqHandle) -> bool {
+        if *head == h {
+            if let Some(rec) = self.get(h) {
+                *head = rec.next();
+                return true;
+            }
+            return false;
+        }
+        let mut prev = *head;
+        loop {
+            let Some(rec) = self.get(prev) else {
+                return false;
+            };
+            let next = rec.next();
+            if next == h {
+                let skip = self.get(h).map(|r| r.next()).unwrap_or(ReqHandle::NULL);
+                if let Some(prev_rec) = self.get_mut(prev) {
+                    prev_rec.set_next(skip);
+                }
+                return true;
+            }
+            prev = next;
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Session {
+    /// Highest executed op for this client; `NO_OP` when none.
+    last_op: u64,
+    reply: ResultBytes,
+    /// Head of the client's chain of live request records.
+    head: ReqHandle,
+}
+
+const NO_OP: u64 = u64::MAX;
+
+impl Session {
+    const EMPTY: Session = Session {
+        last_op: NO_OP,
+        reply: ResultBytes::Inline {
+            len: 0,
+            buf: [0; crate::request::INLINE_RESULT_CAP],
+        },
+        head: ReqHandle::NULL,
+    };
+}
+
+/// Dense per-client session state: the `last_executed` reply cache plus
+/// the root of each client's live-request chain.
+///
+/// Client ids below [`DENSE_CLIENT_LIMIT`] index a vector that grows on
+/// first touch and never shrinks — membership reconfiguration can only
+/// widen the client population, so an epoch change keeps every slot and
+/// later epochs reuse them (the membership-epoch resize rule of
+/// DESIGN.md §6e). Reserved pseudo-client ids near `u32::MAX` live in a
+/// small fallback tree.
+///
+/// # Example
+/// ```
+/// use idem_common::dense::SessionTable;
+/// use idem_common::{ClientId, OpNumber, ResultBytes};
+/// let mut t = SessionTable::new();
+/// t.record(ClientId(3), OpNumber(1), ResultBytes::from_slice(b"ok"));
+/// assert_eq!(t.last_op(ClientId(3)), Some(OpNumber(1)));
+/// assert_eq!(t.last_op(ClientId(4)), None);
+/// ```
+#[derive(Clone, Default)]
+pub struct SessionTable {
+    dense: Vec<Session>,
+    special: BTreeMap<u32, Session>,
+}
+
+impl SessionTable {
+    /// Creates an empty table.
+    pub fn new() -> SessionTable {
+        SessionTable::default()
+    }
+
+    fn slot(&self, client: ClientId) -> Option<&Session> {
+        if client.0 < DENSE_CLIENT_LIMIT {
+            self.dense.get(client.0 as usize)
+        } else {
+            self.special.get(&client.0)
+        }
+    }
+
+    fn slot_mut(&mut self, client: ClientId) -> &mut Session {
+        if client.0 < DENSE_CLIENT_LIMIT {
+            let idx = client.0 as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, Session::EMPTY);
+            }
+            &mut self.dense[idx]
+        } else {
+            self.special.entry(client.0).or_insert(Session::EMPTY)
+        }
+    }
+
+    /// Pre-sizes the dense vector for `clients` contiguous ids, so the
+    /// steady state never grows it again.
+    pub fn reserve(&mut self, clients: usize) {
+        let clients = clients.min(DENSE_CLIENT_LIMIT as usize);
+        if clients > self.dense.len() {
+            self.dense.resize(clients, Session::EMPTY);
+        }
+    }
+
+    /// Highest executed op and cached reply, if any.
+    pub fn get(&self, client: ClientId) -> Option<(OpNumber, &ResultBytes)> {
+        self.slot(client)
+            .filter(|s| s.last_op != NO_OP)
+            .map(|s| (OpNumber(s.last_op), &s.reply))
+    }
+
+    /// Highest executed op, if any (skips touching the reply bytes).
+    pub fn last_op(&self, client: ClientId) -> Option<OpNumber> {
+        self.slot(client)
+            .filter(|s| s.last_op != NO_OP)
+            .map(|s| OpNumber(s.last_op))
+    }
+
+    /// Whether `id` is at or below the client's highest executed op —
+    /// the duplicate-suppression test every message pays first.
+    pub fn executed_already(&self, id: RequestId) -> bool {
+        self.slot(id.client)
+            .is_some_and(|s| s.last_op != NO_OP && OpNumber(s.last_op) >= id.op)
+    }
+
+    /// Records an execution: overwrites the client's op and reply.
+    pub fn record(&mut self, client: ClientId, op: OpNumber, reply: ResultBytes) {
+        let slot = self.slot_mut(client);
+        slot.last_op = op.0;
+        slot.reply = reply;
+    }
+
+    /// Head of the client's live-request chain.
+    pub fn head(&self, client: ClientId) -> ReqHandle {
+        self.slot(client).map(|s| s.head).unwrap_or(ReqHandle::NULL)
+    }
+
+    /// Re-roots the client's live-request chain.
+    pub fn set_head(&mut self, client: ClientId, head: ReqHandle) {
+        self.slot_mut(client).head = head;
+    }
+
+    /// Forgets every execution record (checkpoint install replaces the
+    /// table wholesale) while keeping the live-request chains rooted.
+    pub fn clear_executed(&mut self) {
+        for s in &mut self.dense {
+            s.last_op = NO_OP;
+            s.reply = ResultBytes::from_slice(&[]);
+        }
+        self.special.retain(|_, s| {
+            s.last_op = NO_OP;
+            s.reply = ResultBytes::from_slice(&[]);
+            !s.head.is_null()
+        });
+    }
+
+    /// Iterates executed clients in ascending id order (dense ids first,
+    /// then the reserved high ids — numerically ascending overall, which
+    /// matches the `BTreeMap` order checkpoints were built with).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, OpNumber, &ResultBytes)> {
+        self.dense
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s))
+            .chain(self.special.iter().map(|(&c, s)| (c, s)))
+            .filter(|(_, s)| s.last_op != NO_OP)
+            .map(|(c, s)| (c, OpNumber(s.last_op), &s.reply))
+    }
+
+    /// Number of clients with a recorded execution.
+    pub fn executed_clients(&self) -> usize {
+        self.dense
+            .iter()
+            .chain(self.special.values())
+            .filter(|s| s.last_op != NO_OP)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_insert_get_remove_roundtrip() {
+        let mut slab: ReqSlab<u32> = ReqSlab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&1));
+        assert_eq!(slab.get(b), Some(&2));
+        assert_eq!(slab.remove(a), Some(1));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn slab_reuses_slots_with_fresh_generations() {
+        let mut slab: ReqSlab<u32> = ReqSlab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        let b = slab.insert(2);
+        // Same slot, different generation: the stale handle is dead.
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.get(b), Some(&2));
+        assert!(!slab.contains(a));
+        assert!(slab.contains(b));
+    }
+
+    #[test]
+    fn null_handle_never_resolves() {
+        let mut slab: ReqSlab<u32> = ReqSlab::new();
+        assert!(ReqHandle::NULL.is_null());
+        assert_eq!(slab.get(ReqHandle::NULL), None);
+        assert_eq!(slab.remove(ReqHandle::NULL), None);
+        let _ = slab.insert(9);
+        assert_eq!(slab.get(ReqHandle::NULL), None);
+    }
+
+    #[test]
+    fn slab_clear_invalidates_all() {
+        let mut slab: ReqSlab<u32> = ReqSlab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        slab.clear();
+        assert!(slab.is_empty());
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.get(b), None);
+        let c = slab.insert(3);
+        assert_eq!(slab.get(c), Some(&3));
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Rec {
+        id: RequestId,
+        next: ReqHandle,
+    }
+
+    impl Chained for Rec {
+        fn request_id(&self) -> RequestId {
+            self.id
+        }
+        fn next(&self) -> ReqHandle {
+            self.next
+        }
+        fn set_next(&mut self, next: ReqHandle) {
+            self.next = next;
+        }
+    }
+
+    fn rid(client: u32, op: u64) -> RequestId {
+        RequestId::new(ClientId(client), OpNumber(op))
+    }
+
+    #[test]
+    fn chain_push_find_unlink() {
+        let mut slab: ReqSlab<Rec> = ReqSlab::new();
+        let mut head = ReqHandle::NULL;
+        let hs: Vec<ReqHandle> = (0..4)
+            .map(|op| {
+                let h = slab.insert(Rec {
+                    id: rid(1, op),
+                    next: ReqHandle::NULL,
+                });
+                slab.chain_push(&mut head, h);
+                h
+            })
+            .collect();
+        for op in 0..4 {
+            assert_eq!(slab.chain_find(head, rid(1, op)), hs[op as usize]);
+        }
+        assert!(slab.chain_find(head, rid(1, 9)).is_null());
+        assert!(slab.chain_find(head, rid(2, 0)).is_null());
+
+        // Unlink middle, head, tail; chain stays consistent throughout.
+        assert!(slab.chain_unlink(&mut head, hs[2]));
+        assert!(slab.chain_find(head, rid(1, 2)).is_null());
+        assert_eq!(slab.chain_find(head, rid(1, 3)), hs[3]);
+        assert!(slab.chain_unlink(&mut head, hs[3])); // head
+        assert_eq!(head, hs[1]);
+        assert!(slab.chain_unlink(&mut head, hs[0])); // tail
+        assert_eq!(slab.chain_find(head, rid(1, 1)), hs[1]);
+        assert!(!slab.chain_unlink(&mut head, hs[0])); // already gone
+    }
+
+    #[test]
+    fn session_table_records_and_iterates_sorted() {
+        let mut t = SessionTable::new();
+        t.record(ClientId(5), OpNumber(2), ResultBytes::from_slice(b"b"));
+        t.record(ClientId(1), OpNumber(7), ResultBytes::from_slice(b"a"));
+        t.record(
+            ClientId(u32::MAX - 1),
+            OpNumber(1),
+            ResultBytes::from_slice(&[]),
+        );
+        let ids: Vec<u32> = t.iter().map(|(c, _, _)| c).collect();
+        assert_eq!(ids, vec![1, 5, u32::MAX - 1]);
+        assert!(t.executed_already(rid(1, 7)));
+        assert!(t.executed_already(rid(1, 3)));
+        assert!(!t.executed_already(rid(1, 8)));
+        assert!(!t.executed_already(rid(2, 0)));
+        assert_eq!(t.executed_clients(), 3);
+    }
+
+    #[test]
+    fn session_table_clear_keeps_chain_heads() {
+        let mut t = SessionTable::new();
+        let head = ReqHandle {
+            index: 3,
+            generation: 5,
+        };
+        t.set_head(ClientId(2), head);
+        t.record(ClientId(2), OpNumber(1), ResultBytes::from_slice(b"x"));
+        t.record(
+            ClientId(u32::MAX),
+            OpNumber(4),
+            ResultBytes::from_slice(b""),
+        );
+        t.clear_executed();
+        assert_eq!(t.last_op(ClientId(2)), None);
+        assert_eq!(t.last_op(ClientId(u32::MAX)), None);
+        assert_eq!(t.head(ClientId(2)), head);
+    }
+}

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod app;
+pub mod dense;
 pub mod directory;
 pub mod driver;
 pub mod exec;
@@ -41,6 +42,7 @@ pub mod wal;
 pub mod window;
 
 pub use app::{CostModel, FixedCost, StateMachine};
+pub use dense::{Chained, ReqHandle, ReqSlab, SessionTable};
 pub use directory::Directory;
 pub use driver::{ClientApp, OperationOutcome, OutcomeKind};
 pub use exec::ExecRecord;

@@ -1,8 +1,9 @@
 //! Opt-in phase attribution for hot-path profiling.
 //!
 //! Splits a cell's CPU time into coarse phases — wire/WAL *encode*,
-//! state-machine *execute*, and (by subtraction) simulator dispatch —
-//! so `profcell` can report where a run actually spends its cycles.
+//! state-machine *execute*, *protocol* handler logic, and (by
+//! subtraction) simulator dispatch — so `profcell` can report where a
+//! run actually spends its cycles.
 //!
 //! Disabled by default: every probe is a single relaxed load and a
 //! branch, so the instrumented hot paths stay allocation- and
@@ -20,9 +21,26 @@ static ENCODE_CALLS: AtomicU64 = AtomicU64::new(0);
 static EXEC_NS: AtomicU64 = AtomicU64::new(0);
 static EXEC_CALLS: AtomicU64 = AtomicU64::new(0);
 
-/// Turns probing on for the rest of the process.
+/// Turns encode/exec probing on for the rest of the process.
 pub fn enable() {
     ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns protocol-handler probing on, timing every handler invocation.
+///
+/// The probe itself lives at the simulator's dispatch point
+/// (`idem_simnet::prof`) — the only place that sees the handler
+/// boundary; this façade controls it and folds its totals into
+/// [`snapshot`].
+pub fn enable_protocol() {
+    idem_simnet::prof::enable(0);
+}
+
+/// Turns protocol-handler probing on in sampled mode: one in
+/// `2^shift` invocations is timed and the total scaled back up, so the
+/// per-event overhead on a benchmark run stays a counter increment.
+pub fn enable_protocol_sampled(shift: u32) {
+    idem_simnet::prof::enable(shift);
 }
 
 /// Clears the accumulated counters (e.g. after warmup).
@@ -31,6 +49,7 @@ pub fn reset() {
     ENCODE_CALLS.store(0, Ordering::Relaxed);
     EXEC_NS.store(0, Ordering::Relaxed);
     EXEC_CALLS.store(0, Ordering::Relaxed);
+    idem_simnet::prof::reset();
 }
 
 /// Starts a phase timer; `None` (and near-zero cost) while disabled.
@@ -72,15 +91,23 @@ pub struct PhaseSnapshot {
     pub exec_ns: u64,
     /// Number of execute probes.
     pub exec_calls: u64,
+    /// Nanoseconds spent inside protocol handlers (estimated when
+    /// sampling is on).
+    pub protocol_ns: u64,
+    /// Number of handler invocations attributed (scaled when sampled).
+    pub protocol_calls: u64,
 }
 
 /// Reads the current totals.
 pub fn snapshot() -> PhaseSnapshot {
+    let (protocol_ns, protocol_calls) = idem_simnet::prof::totals();
     PhaseSnapshot {
         encode_ns: ENCODE_NS.load(Ordering::Relaxed),
         encode_calls: ENCODE_CALLS.load(Ordering::Relaxed),
         exec_ns: EXEC_NS.load(Ordering::Relaxed),
         exec_calls: EXEC_CALLS.load(Ordering::Relaxed),
+        protocol_ns,
+        protocol_calls,
     }
 }
 

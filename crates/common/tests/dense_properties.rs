@@ -1,0 +1,234 @@
+//! Differential property tests for the dense protocol-state structures:
+//! the generation-stamped request slab, the per-client chain index, the
+//! dense session table, and the bitmask quorum tracker are each driven
+//! op-for-op against the map/set reference models they replaced on the
+//! replica hot paths (`BTreeMap`, `BTreeSet`). Randomized schedules mix
+//! inserts, lookups, unlinks, wholesale GC (the `clear()` used at
+//! view-change and membership-epoch boundaries), and stale-handle pokes;
+//! every observable — presence, payloads, iteration order, population
+//! counts — must agree with the model at every step.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use idem_common::dense::{Chained, ReqHandle, ReqSlab, SessionTable, DENSE_CLIENT_LIMIT};
+use idem_common::{ClientId, OpNumber, QuorumTracker, ReplicaId, RequestId, ResultBytes};
+use proptest::prelude::*;
+
+fn rid(client: u32, op: u64) -> RequestId {
+    RequestId::new(ClientId(client), OpNumber(op))
+}
+
+/// Minimal chained record, shaped like the inflight/pending entries the
+/// replicas store: a request id plus the intrusive next pointer.
+struct Entry {
+    id: RequestId,
+    next: ReqHandle,
+}
+
+impl Chained for Entry {
+    fn request_id(&self) -> RequestId {
+        self.id
+    }
+    fn next(&self) -> ReqHandle {
+        self.next
+    }
+    fn set_next(&mut self, next: ReqHandle) {
+        self.next = next;
+    }
+}
+
+proptest! {
+    /// Plain slab vs a `(handle, payload)` vector model: handles resolve to
+    /// exactly the payload they were issued for, removal returns it exactly
+    /// once, and dead handles (removed or invalidated by `clear()`) stay
+    /// inert forever even while their slots are recycled underneath.
+    #[test]
+    fn slab_matches_reference_model(ops in prop::collection::vec((any::<u8>(), any::<u64>()), 1..400)) {
+        let mut slab: ReqSlab<u64> = ReqSlab::new();
+        let mut live: Vec<(ReqHandle, u64)> = Vec::new();
+        let mut dead: Vec<ReqHandle> = Vec::new();
+        let mut next_payload = 0u64;
+
+        for (sel, raw) in ops {
+            match sel % 8 {
+                0..=2 => {
+                    let payload = next_payload;
+                    next_payload += 1;
+                    let h = slab.insert(payload);
+                    prop_assert!(!h.is_null());
+                    live.push((h, payload));
+                }
+                3 | 4 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let i = (raw as usize) % live.len();
+                    let (h, payload) = live.swap_remove(i);
+                    prop_assert_eq!(slab.remove(h), Some(payload));
+                    dead.push(h);
+                }
+                5 | 6 => {
+                    if !live.is_empty() {
+                        let (h, payload) = live[(raw as usize) % live.len()];
+                        prop_assert!(slab.contains(h));
+                        prop_assert_eq!(slab.get(h), Some(&payload));
+                    }
+                    if !dead.is_empty() {
+                        let h = dead[(raw as usize) % dead.len()];
+                        prop_assert!(!slab.contains(h));
+                        prop_assert_eq!(slab.get(h), None);
+                        prop_assert_eq!(slab.remove(h), None);
+                    }
+                }
+                _ => {
+                    // Wholesale GC: every outstanding handle dies at once.
+                    slab.clear();
+                    dead.extend(live.drain(..).map(|(h, _)| h));
+                    prop_assert!(slab.is_empty());
+                }
+            }
+            prop_assert_eq!(slab.len(), live.len());
+            let mut seen: Vec<u64> = slab.iter().map(|(_, &v)| v).collect();
+            let mut expect: Vec<u64> = live.iter().map(|&(_, v)| v).collect();
+            seen.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(seen, expect);
+        }
+    }
+
+    /// Per-client chains vs a `BTreeMap<RequestId, ()>` presence model with
+    /// a side map of chain heads: `chain_find` agrees with map membership,
+    /// unlink removes exactly the target, and after a wholesale `clear()`
+    /// the *stale heads are left in place* — generation stamps must make
+    /// them resolve as empty chains, which is exactly how the replicas get
+    /// O(live) view-change wipes without touching the session table.
+    #[test]
+    fn chains_match_reference_model(ops in prop::collection::vec((any::<u8>(), 0u32..6, 0u64..24), 1..400)) {
+        let mut slab: ReqSlab<Entry> = ReqSlab::new();
+        let mut heads: Vec<ReqHandle> = vec![ReqHandle::NULL; 6];
+        let mut model: BTreeMap<RequestId, ()> = BTreeMap::new();
+
+        for (sel, client, op) in ops {
+            let id = rid(client, op);
+            match sel % 4 {
+                0 | 1 => {
+                    // Insert if absent, exactly like the replica dup check.
+                    if slab.chain_find(heads[client as usize], id).is_null() {
+                        let h = slab.insert(Entry { id, next: ReqHandle::NULL });
+                        slab.chain_push(&mut heads[client as usize], h);
+                        model.insert(id, ());
+                    }
+                }
+                2 => {
+                    let h = slab.chain_find(heads[client as usize], id);
+                    prop_assert_eq!(!h.is_null(), model.contains_key(&id));
+                    if !h.is_null() {
+                        prop_assert!(slab.chain_unlink(&mut heads[client as usize], h));
+                        slab.remove(h);
+                        model.remove(&id);
+                    }
+                }
+                _ => {
+                    // Epoch wipe: clear the slab but deliberately keep the
+                    // stale heads, as the paxos view-change path does.
+                    slab.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(slab.len(), model.len());
+            for c in 0..heads.len() as u32 {
+                for o in 0..24u64 {
+                    let probe = rid(c, o);
+                    prop_assert_eq!(
+                        !slab.chain_find(heads[c as usize], probe).is_null(),
+                        model.contains_key(&probe),
+                        "client {} op {}", c, o
+                    );
+                }
+            }
+        }
+    }
+
+    /// Session table vs `BTreeMap<u32, (u64, Vec<u8>)>`: lookups, the
+    /// executed-already predicate, monotonic re-records, the executed-state
+    /// wipe used by checkpoint installs, and — critically — `iter()`
+    /// yielding clients in ascending id order across the dense/special
+    /// boundary, which is what keeps checkpoint payloads byte-identical to
+    /// the BTreeMap era. Special ids above `DENSE_CLIENT_LIMIT` (the noop
+    /// and reconfig pseudo-clients) are always in the mix.
+    #[test]
+    fn session_table_matches_reference_model(
+        ops in prop::collection::vec((any::<u8>(), 0u32..8, 1u64..32, any::<u8>()), 1..300)
+    ) {
+        let mut table = SessionTable::new();
+        let mut model: BTreeMap<u32, (u64, Vec<u8>)> = BTreeMap::new();
+        // Map small indices onto a spread of dense and special ids. Dense
+        // ids stay small (the dense vector grows to the highest id seen);
+        // ids at and above DENSE_CLIENT_LIMIT land in the special tree.
+        let clients: [u32; 8] = [
+            0, 1, 7, 911, 4095,
+            DENSE_CLIENT_LIMIT, u32::MAX - 1, u32::MAX,
+        ];
+
+        for (sel, ci, op, byte) in ops {
+            let client = clients[ci as usize];
+            match sel % 4 {
+                0..=2 => {
+                    let reply = ResultBytes::from_slice(&[byte]);
+                    table.record(ClientId(client), OpNumber(op), reply);
+                    model.insert(client, (op, vec![byte]));
+                }
+                _ => {
+                    table.clear_executed();
+                    model.clear();
+                }
+            }
+            for &c in &clients {
+                let got = table.get(ClientId(c));
+                let want = model.get(&c);
+                prop_assert_eq!(
+                    got.map(|(o, r)| (o.0, r.as_slice().to_vec())),
+                    want.map(|(o, r)| (*o, r.clone()))
+                );
+                prop_assert_eq!(table.last_op(ClientId(c)).map(|o| o.0), want.map(|(o, _)| *o));
+                for probe_op in [1u64, 15, 31] {
+                    prop_assert_eq!(
+                        table.executed_already(rid(c, probe_op)),
+                        want.is_some_and(|(o, _)| *o >= probe_op)
+                    );
+                }
+            }
+            let seen: Vec<(u32, u64, Vec<u8>)> = table
+                .iter()
+                .map(|(c, o, r)| (c, o.0, r.as_slice().to_vec()))
+                .collect();
+            let expect: Vec<(u32, u64, Vec<u8>)> = model
+                .iter()
+                .map(|(&c, (o, r))| (c, *o, r.clone()))
+                .collect();
+            prop_assert_eq!(&seen, &expect, "iter() must ascend across the dense/special boundary");
+            prop_assert_eq!(table.executed_clients(), model.len());
+        }
+    }
+
+    /// Bitmask quorum vs a `BTreeSet<u32>` of voters: `record` fires exactly
+    /// when the distinct-voter count first reaches the threshold, duplicate
+    /// votes never fire or change the count, and `reached`/`count` track the
+    /// set at every step.
+    #[test]
+    fn quorum_matches_reference_model(
+        threshold in 0u32..6,
+        votes in prop::collection::vec(0u32..8, 1..64)
+    ) {
+        let mut tracker = QuorumTracker::new(threshold);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+
+        for v in votes {
+            let fresh = model.insert(v);
+            let crossed = fresh && model.len() as u32 == threshold;
+            prop_assert_eq!(tracker.record(ReplicaId(v)), crossed);
+            prop_assert_eq!(tracker.count(), model.len() as u32);
+            prop_assert_eq!(tracker.reached(), model.len() as u32 >= threshold);
+        }
+    }
+}

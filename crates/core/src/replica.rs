@@ -1,14 +1,14 @@
 //! The IDEM replica: acceptance test, agreement, forwarding, implicit
 //! garbage collection, checkpointing, and view changes (paper Sections 4–5).
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 use idem_common::app::CostModel;
 use idem_common::{
-    ClientId, Directory, ExecRecord, Membership, OpNumber, PersistMode, QuorumTracker,
-    ReconfigCommand, Reply, Request, RequestId, ResultBytes, SeqNumber, SeqWindow, StateMachine,
-    View, Wal, WalRecord, RECONFIG_CLIENT,
+    Chained, ClientId, Directory, ExecRecord, Membership, OpNumber, PersistMode, QuorumTracker,
+    ReconfigCommand, Reply, ReqHandle, ReqSlab, Request, RequestId, ResultBytes, SeqNumber,
+    SeqWindow, SessionTable, StateMachine, View, Wal, WalRecord, RECONFIG_CLIENT,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -55,14 +55,82 @@ pub struct ReplicaStats {
     pub stalls: u64,
 }
 
+/// Everything the protocol tracks about one in-flight request, resolved
+/// with a single chain probe per incoming message (DESIGN.md §6e).
+///
+/// The record is freed — and its handle invalidated — only once every
+/// concern below is clear, so a cached handle or a chain hit always
+/// reflects the full protocol context of the id.
+#[derive(Debug)]
+struct ReqEntry {
+    id: RequestId,
+    /// Next record in the owning client's chain.
+    next: ReqHandle,
+    /// Request body, present while stored and/or rejected.
+    body: Option<Request>,
+    /// Accepted, not yet executed (`r_now` counts these).
+    active: bool,
+    /// Body held for fetches until a checkpoint prunes it.
+    stored: bool,
+    /// Present in the bounded FIFO rejected-request cache.
+    rejected: bool,
+    /// Leader: REQUIRE endorsements collected so far.
+    votes: Option<QuorumTracker>,
+    /// Leader: slot this id is bound to.
+    proposed: Option<SeqNumber>,
+    /// Delayed-forwarding timer, armed while the request is accepted.
+    forward_timer: Option<TimerId>,
+}
+
+impl ReqEntry {
+    fn new(id: RequestId) -> ReqEntry {
+        ReqEntry {
+            id,
+            next: ReqHandle::NULL,
+            body: None,
+            active: false,
+            stored: false,
+            rejected: false,
+            votes: None,
+            proposed: None,
+            forward_timer: None,
+        }
+    }
+
+    /// Whether any protocol concern still references this record.
+    fn in_use(&self) -> bool {
+        self.active
+            || self.stored
+            || self.rejected
+            || self.votes.is_some()
+            || self.proposed.is_some()
+            || self.forward_timer.is_some()
+    }
+}
+
+impl Chained for ReqEntry {
+    fn request_id(&self) -> RequestId {
+        self.id
+    }
+    fn next(&self) -> ReqHandle {
+        self.next
+    }
+    fn set_next(&mut self, next: ReqHandle) {
+        self.next = next;
+    }
+}
+
 /// Bounded FIFO cache of recently rejected requests (Section 5.2): a
 /// rejected request might still be accepted elsewhere and get committed, in
 /// which case having the body cached avoids a forward.
+///
+/// Membership and bodies live in the shared request slab (the `rejected`
+/// flag on [`ReqEntry`]); this struct owns only the eviction order.
 #[derive(Debug, Default)]
 struct RejectedCache {
     capacity: usize,
     order: VecDeque<RequestId>,
-    map: BTreeMap<RequestId, Request>,
+    len: usize,
 }
 
 impl RejectedCache {
@@ -70,29 +138,65 @@ impl RejectedCache {
         RejectedCache {
             capacity,
             order: VecDeque::new(),
-            map: BTreeMap::new(),
+            len: 0,
         }
     }
 
-    fn insert(&mut self, req: Request) {
-        if self.capacity == 0 || self.map.contains_key(&req.id) {
+    /// Marks `req` rejected, caching its body. `h` is the request's
+    /// already-resolved slab handle (null if untracked so far).
+    fn insert(
+        &mut self,
+        reqs: &mut ReqSlab<ReqEntry>,
+        sessions: &mut SessionTable,
+        req: Request,
+        h: ReqHandle,
+    ) {
+        if self.capacity == 0 {
             return;
         }
-        self.order.push_back(req.id);
-        self.map.insert(req.id, req);
-        while self.map.len() > self.capacity {
-            if let Some(old) = self.order.pop_front() {
-                self.map.remove(&old);
-            }
+        let id = req.id;
+        let h = if reqs.contains(h) {
+            h
+        } else {
+            let mut head = sessions.head(id.client);
+            let h = reqs.insert(ReqEntry::new(id));
+            reqs.chain_push(&mut head, h);
+            sessions.set_head(id.client, head);
+            h
+        };
+        let e = reqs.get_mut(h).expect("live");
+        if e.rejected {
+            return;
         }
-    }
-
-    fn get(&self, id: &RequestId) -> Option<&Request> {
-        self.map.get(id)
+        e.rejected = true;
+        if e.body.is_none() {
+            e.body = Some(req);
+        }
+        self.order.push_back(id);
+        self.len += 1;
+        while self.len > self.capacity {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            let mut head = sessions.head(old.client);
+            let oh = reqs.chain_find(head, old);
+            if let Some(oe) = reqs.get_mut(oh) {
+                oe.rejected = false;
+                if !oe.stored {
+                    oe.body = None;
+                }
+                if !oe.in_use() {
+                    reqs.chain_unlink(&mut head, oh);
+                    sessions.set_head(old.client, head);
+                    reqs.remove(oh);
+                }
+            }
+            self.len -= 1;
+        }
     }
 
     fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 }
 
@@ -143,28 +247,34 @@ pub struct IdemReplica {
     /// Set when GC overtook local execution; cleared by checkpoint install.
     stalled: bool,
 
-    /// Accepted, not-yet-executed request ids (`r_now = active.len()`).
-    active: BTreeSet<RequestId>,
-    /// Bodies of accepted requests not yet pruned by a checkpoint.
-    store: BTreeMap<RequestId, Request>,
+    /// Per-request protocol state (body, acceptance, endorsements,
+    /// binding, forward timer, rejection), one record per tracked id,
+    /// chained per client. Replaces the former per-concern trees; a
+    /// message resolves its whole request context with one chain probe.
+    reqs: ReqSlab<ReqEntry>,
+    /// Per-client sessions: duplicate suppression, the reply cache
+    /// (small replies inline, so caching and resending never
+    /// allocates), and the chain heads into [`Self::reqs`].
+    sessions: SessionTable,
+    /// Count of accepted-not-executed requests — the `r_now` of the
+    /// acceptance test, maintained incrementally.
+    active_count: usize,
+    /// Bodies of *executed* requests awaiting checkpoint prune, moved
+    /// out of the slab at execution so client chains hold only live
+    /// records. Only fetches and WAL re-proposals look here.
+    cold_store: BTreeMap<RequestId, Request>,
     rejected_cache: RejectedCache,
-    /// Leader: REQUIRE endorsements per request id.
-    require_votes: BTreeMap<RequestId, QuorumTracker>,
-    /// Leader: ids already bound to a sequence number.
-    proposed: BTreeMap<RequestId, SeqNumber>,
     /// Require-quorum reached while the window was full.
     pending_proposals: VecDeque<RequestId>,
 
-    /// Highest executed op + cached reply per client (duplicate handling).
-    /// Replies are [`ResultBytes`]: small results live inline, so caching
-    /// and resending them never allocates.
-    last_executed: BTreeMap<u32, (idem_common::OpNumber, ResultBytes)>,
     /// Reused buffer for state-machine execution results.
     exec_scratch: Vec<u8>,
     checkpoint: Option<CheckpointData>,
 
-    forward_timers: BTreeMap<RequestId, TimerId>,
     progress_timer: Option<TimerId>,
+    /// Reused window-sized merge scratch for view changes, so
+    /// [`Self::enter_new_view`] never rebuilds a per-call tree.
+    vc_merge: Vec<Option<WindowEntry>>,
     /// Durable logging layer (disabled unless the harness opts in).
     wal: Wal,
     /// Set by the rebuild factory after an amnesia wipe: the next
@@ -228,16 +338,15 @@ impl IdemReplica {
             next_propose: SeqNumber(0),
             next_exec: SeqNumber(0),
             stalled: false,
-            active: BTreeSet::new(),
-            store: BTreeMap::new(),
-            require_votes: BTreeMap::new(),
-            proposed: BTreeMap::new(),
+            reqs: ReqSlab::new(),
+            sessions: SessionTable::new(),
+            active_count: 0,
+            cold_store: BTreeMap::new(),
             pending_proposals: VecDeque::new(),
-            last_executed: BTreeMap::new(),
             exec_scratch: Vec::new(),
             checkpoint: None,
-            forward_timers: BTreeMap::new(),
             progress_timer: None,
+            vc_merge: Vec::new(),
             wal: Wal::default(),
             wipe_recovering: false,
             recovery_timer: None,
@@ -333,7 +442,7 @@ impl IdemReplica {
     /// Number of currently active (accepted, unexecuted) requests: the
     /// `r_now` of the acceptance test.
     pub fn active_requests(&self) -> usize {
-        self.active.len()
+        self.active_count
     }
 
     /// Next sequence number to execute.
@@ -354,7 +463,7 @@ impl IdemReplica {
 
     /// Highest executed operation number for `client`, if any.
     pub fn last_executed_op(&self, client: ClientId) -> Option<idem_common::OpNumber> {
-        self.last_executed.get(&client.0).map(|(op, _)| *op)
+        self.sessions.last_op(client)
     }
 
     /// The replica set this replica currently operates under.
@@ -405,9 +514,64 @@ impl IdemReplica {
     }
 
     fn executed_already(&self, id: RequestId) -> bool {
-        self.last_executed
-            .get(&id.client.0)
-            .is_some_and(|(op, _)| *op >= id.op)
+        self.sessions.executed_already(id)
+    }
+
+    // ----------------------------------------------- dense request records
+
+    /// Resolves the slab record tracking `id` (null handle if none).
+    /// This single probe replaces the per-concern tree descents of the
+    /// former representation.
+    fn find(&self, id: RequestId) -> ReqHandle {
+        self.reqs.chain_find(self.sessions.head(id.client), id)
+    }
+
+    /// Resolves or creates the record tracking `id`.
+    fn find_or_create(&mut self, id: RequestId) -> ReqHandle {
+        let mut head = self.sessions.head(id.client);
+        let h = self.reqs.chain_find(head, id);
+        if !h.is_null() {
+            return h;
+        }
+        let h = self.reqs.insert(ReqEntry::new(id));
+        self.reqs.chain_push(&mut head, h);
+        self.sessions.set_head(id.client, head);
+        h
+    }
+
+    /// Frees the record behind `h` if no protocol concern references it
+    /// anymore, unlinking it from its client's chain.
+    fn release_if_unused(&mut self, h: ReqHandle) {
+        let Some(e) = self.reqs.get(h) else {
+            return;
+        };
+        if e.in_use() {
+            return;
+        }
+        let client = e.id.client;
+        let mut head = self.sessions.head(client);
+        self.reqs.chain_unlink(&mut head, h);
+        self.sessions.set_head(client, head);
+        self.reqs.remove(h);
+    }
+
+    /// Body lookup with the former `store` semantics: accepted bodies
+    /// not yet pruned by a checkpoint (live in the slab, executed in
+    /// the cold store).
+    fn store_get(&self, id: RequestId) -> Option<&Request> {
+        match self.reqs.get(self.find(id)) {
+            Some(e) if e.stored => e.body.as_ref(),
+            _ => self.cold_store.get(&id),
+        }
+    }
+
+    /// Body lookup across both the store and the rejected cache (the
+    /// fetch/execution path).
+    fn body_of(&self, id: RequestId) -> Option<&Request> {
+        match self.reqs.get(self.find(id)).and_then(|e| e.body.as_ref()) {
+            Some(body) => Some(body),
+            None => self.cold_store.get(&id),
+        }
     }
 
     // ------------------------------------------------------- request intake
@@ -428,8 +592,8 @@ impl IdemReplica {
             // client never saw that reply (lost message or crashed leader),
             // so *any* replica may answer from its reply cache — execution
             // is deterministic, all caches agree.
-            if let Some((op, reply)) = self.last_executed.get(&id.client.0) {
-                if *op == id.op {
+            if let Some((op, reply)) = self.sessions.get(id.client) {
+                if op == id.op {
                     let msg = IdemMessage::Reply(Reply::new(id, reply.clone()));
                     self.stats.replies_sent += 1;
                     ctx.send(self.dir.client(id.client), msg);
@@ -438,15 +602,24 @@ impl IdemReplica {
             return;
         }
 
-        if self.active.contains(&id) || self.proposed.contains_key(&id) {
-            // Retransmission of an in-flight request (e.g. across a view
-            // change): make sure the body is stored and the current leader
-            // knows we vouch for it.
-            self.stats.duplicates += 1;
-            self.store.entry(id).or_insert(req);
-            let leader = self.leader_node();
-            ctx.send(leader, IdemMessage::Require(id));
-            return;
+        // One probe resolves the whole protocol context of this id.
+        let h = self.find(id);
+        if let Some(e) = self.reqs.get_mut(h) {
+            if e.active || e.proposed.is_some() {
+                // Retransmission of an in-flight request (e.g. across a view
+                // change): make sure the body is stored and the current
+                // leader knows we vouch for it.
+                self.stats.duplicates += 1;
+                if !e.stored {
+                    e.stored = true;
+                    if e.body.is_none() {
+                        e.body = Some(req);
+                    }
+                }
+                let leader = self.leader_node();
+                ctx.send(leader, IdemMessage::Require(id));
+                return;
+            }
         }
 
         if id.client == RECONFIG_CLIENT {
@@ -455,12 +628,12 @@ impl IdemReplica {
             // under load would make churn recovery impossible exactly when
             // it matters) and are ordered like any other command.
             self.stats.accepted_client += 1;
-            self.accept(ctx, req);
+            self.accept(ctx, req, h);
             return;
         }
 
         // The acceptance test (Section 5.1).
-        let r_now = self.active.len() as u32;
+        let r_now = self.active_count as u32;
         let estimate = self.update_load_estimate(ctx.now(), r_now);
         if !self.test.accepts_request(
             id,
@@ -472,17 +645,19 @@ impl IdemReplica {
         ) {
             self.stats.rejected += 1;
             let client = self.dir.client(id.client);
-            self.rejected_cache.insert(req);
+            self.rejected_cache
+                .insert(&mut self.reqs, &mut self.sessions, req, h);
             ctx.send(client, IdemMessage::Reject(id));
             return;
         }
 
         self.stats.accepted_client += 1;
-        self.accept(ctx, req);
+        self.accept(ctx, req, h);
     }
 
     /// Common accept path for client-received and forwarded requests.
-    fn accept(&mut self, ctx: &mut Context<'_, IdemMessage>, req: Request) {
+    /// `h` is the request's already-resolved record (null if untracked).
+    fn accept(&mut self, ctx: &mut Context<'_, IdemMessage>, req: Request, h: ReqHandle) {
         let id = req.id;
         if self.wal.enabled() {
             // Durable before the REQUIRE leaves: an accepted body must
@@ -497,12 +672,28 @@ impl IdemReplica {
                 },
             );
         }
-        self.active.insert(id);
-        self.store.insert(id, req);
+        let h = if self.reqs.contains(h) {
+            h
+        } else {
+            self.find_or_create(id)
+        };
+        let e = self.reqs.get_mut(h).expect("live");
+        if !e.active {
+            e.active = true;
+            self.active_count += 1;
+        }
+        e.stored = true;
+        e.body = Some(req);
         let leader = self.leader_node();
         ctx.send(leader, IdemMessage::Require(id));
         let timer = ctx.set_timer(self.cfg.forward_timeout, IdemMessage::ForwardTimer(id));
-        if let Some(old) = self.forward_timers.insert(id, timer) {
+        if let Some(old) = self
+            .reqs
+            .get_mut(h)
+            .expect("live")
+            .forward_timer
+            .replace(timer)
+        {
             ctx.cancel_timer(old);
         }
         self.ensure_progress_timer(ctx);
@@ -524,23 +715,27 @@ impl IdemReplica {
         if self.executed_already(id) {
             return;
         }
-        if self.active.contains(&id) {
-            self.store.entry(id).or_insert(req);
-            return;
+        let h = self.find(id);
+        if let Some(e) = self.reqs.get_mut(h) {
+            if e.active {
+                if !e.stored {
+                    e.stored = true;
+                    if e.body.is_none() {
+                        e.body = Some(req);
+                    }
+                }
+                return;
+            }
         }
         // Forwarded requests are accepted regardless of load (Section 4.3).
         self.stats.accepted_forward += 1;
-        self.accept(ctx, req);
+        self.accept(ctx, req, h);
         // A forward may answer an outstanding fetch: retry execution.
         self.try_execute(ctx);
     }
 
     fn handle_fetch(&mut self, ctx: &mut Context<'_, IdemMessage>, from: NodeId, id: RequestId) {
-        let body = self
-            .store
-            .get(&id)
-            .or_else(|| self.rejected_cache.get(&id))
-            .cloned();
+        let body = self.body_of(id).cloned();
         if let Some(req) = body {
             self.stats.fetches_served += 1;
             ctx.send(from, IdemMessage::Forward(req));
@@ -548,23 +743,32 @@ impl IdemReplica {
     }
 
     fn handle_forward_timer(&mut self, ctx: &mut Context<'_, IdemMessage>, id: RequestId) {
-        self.forward_timers.remove(&id);
-        if !self.is_member() {
+        let h = self.find(id);
+        let Some(e) = self.reqs.get_mut(h) else {
             return;
-        }
-        if !self.active.contains(&id) || self.executed_already(id) {
+        };
+        e.forward_timer = None;
+        let active = e.active;
+        if !self.is_member() || !active || self.executed_already(id) {
+            self.release_if_unused(h);
             return;
         }
         // Delayed forwarding (Section 5.2): the request is still live after
         // the timeout, so relay it to everyone and re-endorse it with the
         // current leader, then re-arm.
-        if let Some(req) = self.store.get(&id).cloned() {
+        let body = match self.reqs.get(h) {
+            Some(e) if e.stored => e.body.clone(),
+            _ => None,
+        };
+        if let Some(req) = body {
             self.stats.forwards_sent += 1;
             ctx.multicast(self.peers(), IdemMessage::Forward(req));
             let leader = self.leader_node();
             ctx.send(leader, IdemMessage::Require(id));
             let timer = ctx.set_timer(self.cfg.forward_timeout, IdemMessage::ForwardTimer(id));
-            self.forward_timers.insert(id, timer);
+            if let Some(e) = self.reqs.get_mut(h) {
+                e.forward_timer = Some(timer);
+            }
         }
     }
 
@@ -583,7 +787,8 @@ impl IdemReplica {
         if self.executed_already(id) {
             return;
         }
-        if let Some(&sqn) = self.proposed.get(&id) {
+        let h = self.find(id);
+        if let Some(sqn) = self.reqs.get(h).and_then(|e| e.proposed) {
             // Already bound: retransmit the proposal to the endorser, which
             // may have missed it.
             if let Some(inst) = self.window.get(sqn) {
@@ -595,10 +800,13 @@ impl IdemReplica {
             return;
         }
         let majority = self.majority();
-        let votes = self
-            .require_votes
-            .entry(id)
-            .or_insert_with(|| QuorumTracker::new(majority));
+        let h = if self.reqs.contains(h) {
+            h
+        } else {
+            self.find_or_create(id)
+        };
+        let e = self.reqs.get_mut(h).expect("live");
+        let votes = e.votes.get_or_insert_with(|| QuorumTracker::new(majority));
         if votes.record(from_replica) {
             self.try_propose(ctx, id);
         }
@@ -609,8 +817,13 @@ impl IdemReplica {
             // Keep the endorsements; they are drained if we become leader.
             return;
         }
-        if self.proposed.contains_key(&id) || self.executed_already(id) {
-            self.require_votes.remove(&id);
+        let h = self.find(id);
+        let bound = self.reqs.get(h).is_some_and(|e| e.proposed.is_some());
+        if bound || self.executed_already(id) {
+            if let Some(e) = self.reqs.get_mut(h) {
+                e.votes = None;
+            }
+            self.release_if_unused(h);
             return;
         }
         if self.barrier_active() || self.next_propose >= self.window.high() {
@@ -651,8 +864,7 @@ impl IdemReplica {
             // after amnesia we must never bind a different request to a
             // slot we already proposed (equivocation).
             let command = self
-                .store
-                .get(&id)
+                .store_get(id)
                 .map(|r| r.command.to_vec())
                 .unwrap_or_default();
             self.wal.log(
@@ -681,8 +893,10 @@ impl IdemReplica {
         if id.client == RECONFIG_CLIENT {
             self.reconfig_barrier = Some(sqn);
         }
-        self.proposed.insert(id, sqn);
-        self.require_votes.remove(&id);
+        let h = self.find_or_create(id);
+        let e = self.reqs.get_mut(h).expect("live");
+        e.proposed = Some(sqn);
+        e.votes = None;
         self.stats.proposals_sent += 1;
         let view = self.view;
         ctx.multicast(self.peers(), IdemMessage::Propose { id, sqn, view });
@@ -744,13 +958,16 @@ impl IdemReplica {
             self.vc_store.retain(|&t, _| t > v.0);
             // Re-endorse everything still live so the new leader can
             // propose requests whose REQUIREs died with the old leader.
+            // Sorted by id to reproduce the former tree-iteration order.
             let leader = self.dir.replica(self.leader_of(v));
-            let live: Vec<RequestId> = self
-                .active
+            let mut live: Vec<RequestId> = self
+                .reqs
                 .iter()
-                .copied()
-                .filter(|id| !self.executed_already(*id))
+                .filter(|(_, e)| e.active)
+                .map(|(_, e)| e.id)
+                .filter(|&id| !self.executed_already(id))
                 .collect();
+            live.sort_unstable();
             for id in live {
                 ctx.send(leader, IdemMessage::Require(id));
             }
@@ -809,8 +1026,7 @@ impl IdemReplica {
                 // Our endorsement of this binding may complete its quorum;
                 // it must survive amnesia.
                 let command = self
-                    .store
-                    .get(&id)
+                    .store_get(id)
                     .map(|r| r.command.to_vec())
                     .unwrap_or_default();
                 self.wal.log(
@@ -983,17 +1199,7 @@ impl IdemReplica {
                 progressed = true;
                 continue;
             }
-            let body = self
-                .store
-                .get(&id)
-                .or_else(|| {
-                    if self.rejected_cache.get(&id).is_some() {
-                        self.rejected_cache.get(&id)
-                    } else {
-                        None
-                    }
-                })
-                .cloned();
+            let body = self.body_of(id).cloned();
             let Some(req) = body else {
                 // Committed id whose body we never saw: fetch it
                 // (Section 5.2, request fetching).
@@ -1016,8 +1222,8 @@ impl IdemReplica {
                 // membership instead of the app; no client reply.
                 self.persist_exec(ctx, self.next_exec, id, true, &req.command);
                 self.stats.executed += 1;
-                self.last_executed
-                    .insert(id.client.0, (id.op, ResultBytes::from_slice(&[])));
+                self.sessions
+                    .record(id.client, id.op, ResultBytes::from_slice(&[]));
                 self.window
                     .get_mut(self.next_exec)
                     .expect("present")
@@ -1031,7 +1237,12 @@ impl IdemReplica {
                 progressed = true;
                 continue;
             }
-            if self.rejected_cache.get(&id).is_some() && !self.store.contains_key(&id) {
+            let (rejected, stored) = self
+                .reqs
+                .get(self.find(id))
+                .map(|e| (e.rejected, e.stored))
+                .unwrap_or((false, false));
+            if rejected && !stored && !self.cold_store.contains_key(&id) {
                 self.stats.rejected_cache_hits += 1;
             }
             // Execute (durably logged first, so the op survives a wipe
@@ -1042,8 +1253,7 @@ impl IdemReplica {
             self.app.execute_into(&req.command, &mut self.exec_scratch);
             let result = ResultBytes::from_slice(&self.exec_scratch);
             self.stats.executed += 1;
-            self.last_executed
-                .insert(id.client.0, (id.op, result.clone()));
+            self.sessions.record(id.client, id.op, result.clone());
             if self.is_leader() {
                 self.stats.replies_sent += 1;
                 let client = self.dir.client(id.client);
@@ -1064,13 +1274,36 @@ impl IdemReplica {
         }
     }
 
-    /// Releases the active slot and leader bookkeeping of a finished request.
+    /// Releases the active slot and leader bookkeeping of a finished
+    /// request, and retires its record from the client's chain: a stored
+    /// body moves to the cold store (fetches must find it until a
+    /// checkpoint prunes it), a rejected body stays behind for the
+    /// rejected cache's FIFO eviction.
     fn finish_request(&mut self, ctx: &mut Context<'_, IdemMessage>, id: RequestId) {
-        self.active.remove(&id);
-        self.require_votes.remove(&id);
-        if let Some(timer) = self.forward_timers.remove(&id) {
+        let h = self.find(id);
+        let Some(e) = self.reqs.get_mut(h) else {
+            return;
+        };
+        if e.active {
+            e.active = false;
+            self.active_count -= 1;
+        }
+        e.votes = None;
+        if let Some(timer) = e.forward_timer.take() {
             ctx.cancel_timer(timer);
         }
+        if e.stored {
+            e.stored = false;
+            let body = if e.rejected {
+                e.body.clone()
+            } else {
+                e.body.take()
+            };
+            if let Some(body) = body {
+                self.cold_store.insert(id, body);
+            }
+        }
+        self.release_if_unused(h);
     }
 
     /// Switches to the next epoch after executing a reconfiguration
@@ -1122,36 +1355,42 @@ impl IdemReplica {
             // As a follower this node endorsed its accepted requests with
             // the *old* leader; count its own endorsement now so live
             // requests do not wait out a client retransmission interval.
-            let live: Vec<RequestId> = self
-                .active
+            let mut live: Vec<(RequestId, ReqHandle)> = self
+                .reqs
                 .iter()
-                .copied()
-                .filter(|id| !self.executed_already(*id))
+                .filter(|(_, e)| e.active)
+                .map(|(h, e)| (e.id, h))
+                .filter(|&(id, _)| !self.executed_already(id))
                 .collect();
+            live.sort_unstable_by_key(|&(id, _)| id);
             let majority = self.majority();
-            for id in live {
-                self.require_votes
-                    .entry(id)
-                    .or_insert_with(|| QuorumTracker::new(majority))
-                    .record(self.me);
+            for (_, h) in live {
+                if let Some(e) = self.reqs.get_mut(h) {
+                    e.votes
+                        .get_or_insert_with(|| QuorumTracker::new(majority))
+                        .record(self.me);
+                }
             }
-            let ready: Vec<RequestId> = self
-                .require_votes
+            let mut ready: Vec<RequestId> = self
+                .reqs
                 .iter()
-                .filter(|(_, votes)| votes.reached())
-                .map(|(&id, _)| id)
+                .filter(|(_, e)| e.votes.as_ref().is_some_and(|v| v.reached()))
+                .map(|(_, e)| e.id)
                 .collect();
+            ready.sort_unstable();
             for id in ready {
                 self.try_propose(ctx, id);
             }
         } else {
             let leader = self.dir.replica(self.leader_of(self.effective_view()));
-            let live: Vec<RequestId> = self
-                .active
+            let mut live: Vec<RequestId> = self
+                .reqs
                 .iter()
-                .copied()
-                .filter(|id| !self.executed_already(*id))
+                .filter(|(_, e)| e.active)
+                .map(|(_, e)| e.id)
+                .filter(|&id| !self.executed_already(id))
                 .collect();
+            live.sort_unstable();
             for id in live {
                 ctx.send(leader, IdemMessage::Require(id));
             }
@@ -1182,11 +1421,11 @@ impl IdemReplica {
             let snapshot = self.app.snapshot();
             ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
             let clients = self
-                .last_executed
+                .sessions
                 .iter()
-                .map(|(&cid, (op, reply))| ClientRecord {
+                .map(|(cid, op, reply)| ClientRecord {
                     client: ClientId(cid),
-                    last_op: *op,
+                    last_op: op,
                     reply: reply.to_vec(),
                 })
                 .collect();
@@ -1205,10 +1444,12 @@ impl IdemReplica {
         }
         self.stats.checkpoints_taken += 1;
         // Bodies of requests covered by a stable checkpoint can be pruned
-        // (the proof of Theorem 6.2 relies on exactly this rule).
-        let last = &self.last_executed;
-        self.store
-            .retain(|id, _| last.get(&id.client.0).is_none_or(|(op, _)| *op < id.op));
+        // (the proof of Theorem 6.2 relies on exactly this rule). Executed
+        // bodies all sit in the cold store — live slab records only ever
+        // hold unexecuted ones.
+        let last = &self.sessions;
+        self.cold_store
+            .retain(|id, _| last.last_op(id.client).is_none_or(|op| op < id.op));
     }
 
     /// Logs a checkpoint durably; bounds WAL replay length after a wipe.
@@ -1261,24 +1502,25 @@ impl IdemReplica {
             }
         }
         self.app.restore(&data.snapshot);
-        self.last_executed = data
-            .clients
-            .iter()
-            .map(|c| (c.client.0, (c.last_op, ResultBytes::from_slice(&c.reply))))
-            .collect();
+        self.sessions.clear_executed();
+        for c in &data.clients {
+            self.sessions
+                .record(c.client, c.last_op, ResultBytes::from_slice(&c.reply));
+        }
         self.next_exec = data.next_exec;
         let dropped = self.window.advance_to(data.next_exec);
         for (_, inst) in dropped {
-            self.proposed.remove(&inst.id);
+            self.clear_proposed(inst.id);
         }
         // Release active slots of requests the checkpoint proves executed.
-        let last = &self.last_executed;
-        let done: Vec<RequestId> = self
-            .active
+        let mut done: Vec<RequestId> = self
+            .reqs
             .iter()
-            .copied()
-            .filter(|id| last.get(&id.client.0).is_some_and(|(op, _)| *op >= id.op))
+            .filter(|(_, e)| e.active)
+            .map(|(_, e)| e.id)
+            .filter(|&id| self.executed_already(id))
             .collect();
+        done.sort_unstable();
         for id in done {
             self.finish_request(ctx, id);
         }
@@ -1327,8 +1569,7 @@ impl IdemReplica {
             self.stats.gc_advances += 1;
         }
         for &(s, ref inst) in &dropped {
-            self.proposed.remove(&inst.id);
-            self.require_votes.remove(&inst.id);
+            self.clear_binding(inst.id);
             if !inst.executed && s >= self.next_exec {
                 // We discarded instances we had not executed: state transfer
                 // is now required.
@@ -1344,6 +1585,30 @@ impl IdemReplica {
         self.drain_pending_proposals(ctx);
     }
 
+    /// Drops a GC'd instance's slot binding (and any residual
+    /// endorsement votes), freeing the record if nothing else holds it.
+    fn clear_binding(&mut self, id: RequestId) {
+        let h = self.find(id);
+        if let Some(e) = self.reqs.get_mut(h) {
+            e.proposed = None;
+            e.votes = None;
+        } else {
+            return;
+        }
+        self.release_if_unused(h);
+    }
+
+    /// Drops only the slot binding (checkpoint install path).
+    fn clear_proposed(&mut self, id: RequestId) {
+        let h = self.find(id);
+        if let Some(e) = self.reqs.get_mut(h) {
+            e.proposed = None;
+        } else {
+            return;
+        }
+        self.release_if_unused(h);
+    }
+
     fn drain_pending_proposals(&mut self, ctx: &mut Context<'_, IdemMessage>) {
         while self.is_leader()
             && !self.pending_proposals.is_empty()
@@ -1351,7 +1616,11 @@ impl IdemReplica {
             && !self.barrier_active()
         {
             let id = self.pending_proposals.pop_front().expect("non-empty");
-            if self.proposed.contains_key(&id) || self.executed_already(id) {
+            let bound = self
+                .reqs
+                .get(self.find(id))
+                .is_some_and(|e| e.proposed.is_some());
+            if bound || self.executed_already(id) {
                 continue;
             }
             let sqn = self.next_propose.max(self.window.low());
@@ -1419,10 +1688,11 @@ impl IdemReplica {
         }) = newest_cp
         {
             self.app.restore(snapshot);
-            self.last_executed = clients
-                .iter()
-                .map(|(c, op, reply)| (*c, (OpNumber(*op), ResultBytes::from_slice(reply))))
-                .collect();
+            self.sessions.clear_executed();
+            for (c, op, reply) in clients {
+                self.sessions
+                    .record(ClientId(*c), OpNumber(*op), ResultBytes::from_slice(reply));
+            }
             self.next_exec = SeqNumber(*next_exec);
             if let Some(m) = membership {
                 // The membership in force at the checkpoint's frontier.
@@ -1469,13 +1739,13 @@ impl IdemReplica {
                 if let Some(cmd) = ReconfigCommand::decode(command) {
                     self.membership.apply(&cmd);
                 }
-                self.last_executed
-                    .insert(id.client.0, (id.op, ResultBytes::from_slice(&[])));
+                self.sessions
+                    .record(id.client, id.op, ResultBytes::from_slice(&[]));
             } else if *fresh && id.client != NOOP_CLIENT && !self.executed_already(*id) {
                 ctx.charge(self.app.execution_cost(command));
                 self.app.execute_into(command, &mut self.exec_scratch);
                 let result = ResultBytes::from_slice(&self.exec_scratch);
-                self.last_executed.insert(id.client.0, (id.op, result));
+                self.sessions.record(id.client, id.op, result);
             }
             self.next_exec = SeqNumber(slot + 1);
         }
@@ -1494,17 +1764,22 @@ impl IdemReplica {
             let WalRecord::Accept { id, command, .. } = rec else {
                 continue;
             };
-            if command.is_empty()
-                || id.client == NOOP_CLIENT
-                || self.executed_already(*id)
-                || self.active.contains(id)
-            {
+            if command.is_empty() || id.client == NOOP_CLIENT || self.executed_already(*id) {
                 continue;
             }
-            self.active.insert(*id);
-            self.store.insert(*id, Request::new(*id, command.clone()));
+            let h = self.find_or_create(*id);
+            if self.reqs.get(h).expect("live").active {
+                continue;
+            }
             let timer = ctx.set_timer(self.cfg.forward_timeout, IdemMessage::ForwardTimer(*id));
-            self.forward_timers.insert(*id, timer);
+            let e = self.reqs.get_mut(h).expect("live");
+            e.active = true;
+            self.active_count += 1;
+            e.stored = true;
+            e.body = Some(Request::new(*id, command.clone()));
+            if let Some(old) = e.forward_timer.replace(timer) {
+                ctx.cancel_timer(old);
+            }
         }
         if max_view > self.view.0 {
             self.view = View(max_view);
@@ -1545,7 +1820,8 @@ impl IdemReplica {
                     source: self.leader_of(v),
                 },
             );
-            self.proposed.insert(*id, sqn);
+            let h = self.find_or_create(*id);
+            self.reqs.get_mut(h).expect("live").proposed = Some(sqn);
         }
         self.next_propose = self.next_propose.max(propose_past).max(self.window.low());
     }
@@ -1560,7 +1836,7 @@ impl IdemReplica {
     }
 
     fn has_pending_work(&self) -> bool {
-        !self.active.is_empty()
+        self.active_count > 0
             || self
                 .window
                 .get(self.next_exec)
@@ -1676,34 +1952,47 @@ impl IdemReplica {
         self.stats.view_changes_completed += 1;
 
         // Merge the f+1 window summaries: per sequence number, the binding
-        // from the highest view wins (Paxos-style).
+        // from the highest view wins (Paxos-style). The merge runs over a
+        // replica-owned, window-sized scratch vector indexed by slot
+        // offset, so repeated view changes under churn never rebuild a
+        // per-call tree (a view change used to cost one fresh `BTreeMap`
+        // plus a node allocation per merged entry).
         let msgs = self.vc_store.remove(&target.0).unwrap_or_default();
         self.vc_store.retain(|&t, _| t > target.0);
-        let mut merged: BTreeMap<u64, WindowEntry> = BTreeMap::new();
+        let low = self.window.low();
+        let size = self.window.size() as usize;
+        self.vc_merge.clear();
+        self.vc_merge.resize(size, None);
+        let mut max_sqn: Option<u64> = None;
         for window in msgs.values() {
             for &entry in window {
                 if self.window.is_stale(entry.sqn) {
                     continue;
                 }
-                match merged.get(&entry.sqn.0) {
+                // Far-ahead entries still raise the merge horizon (the
+                // re-propose loop stops at the window edge either way)
+                // but have no slot to merge into.
+                max_sqn = Some(max_sqn.map_or(entry.sqn.0, |m| m.max(entry.sqn.0)));
+                let idx = (entry.sqn.0 - low.0) as usize;
+                let Some(slot) = self.vc_merge.get_mut(idx) else {
+                    continue;
+                };
+                match slot {
                     Some(existing) if existing.view >= entry.view => {}
-                    _ => {
-                        merged.insert(entry.sqn.0, entry);
-                    }
+                    _ => *slot = Some(entry),
                 }
             }
         }
 
-        let max_sqn = merged.keys().next_back().copied();
         if let Some(max) = max_sqn {
             // Re-propose every merged binding and plug the gaps with no-ops
             // so execution cannot stall on a hole.
-            for s in self.window.low().0..=max {
+            for s in low.0..=max {
                 let sqn = SeqNumber(s);
                 if self.window.is_ahead(sqn) {
                     break; // far-ahead entries: rely on checkpoint catch-up
                 }
-                let entry = merged.get(&s).copied();
+                let entry = self.vc_merge[(s - low.0) as usize];
                 let id = match entry {
                     Some(e) => e.id,
                     None => {
@@ -1719,8 +2008,7 @@ impl IdemReplica {
                     // New-view bindings are proposals too: they must survive
                     // amnesia or a rebooted leader could re-bind the slot.
                     let command = self
-                        .store
-                        .get(&id)
+                        .store_get(id)
                         .map(|r| r.command.to_vec())
                         .unwrap_or_default();
                     self.wal.log(
@@ -1752,7 +2040,8 @@ impl IdemReplica {
                     // change; the new leader inherits its barrier.
                     self.reconfig_barrier = Some(sqn);
                 }
-                self.proposed.insert(id, sqn);
+                let h = self.find_or_create(id);
+                self.reqs.get_mut(h).expect("live").proposed = Some(sqn);
                 self.stats.proposals_sent += 1;
                 ctx.multicast(
                     self.peers(),
@@ -1768,12 +2057,13 @@ impl IdemReplica {
         self.next_propose = self.next_propose.max(self.window.low()).max(self.next_exec);
 
         // Propose requests whose REQUIRE quorum formed during the change.
-        let ready: Vec<RequestId> = self
-            .require_votes
+        let mut ready: Vec<RequestId> = self
+            .reqs
             .iter()
-            .filter(|(_, votes)| votes.reached())
-            .map(|(&id, _)| id)
+            .filter(|(_, e)| e.votes.as_ref().is_some_and(|v| v.reached()))
+            .map(|(_, e)| e.id)
             .collect();
+        ready.sort_unstable();
         for id in ready {
             self.try_propose(ctx, id);
         }
@@ -1858,13 +2148,21 @@ impl Node<IdemMessage> for IdemReplica {
             ctx.cancel_timer(timer);
         }
         self.ensure_progress_timer(ctx);
-        let pending: Vec<RequestId> = self.forward_timers.keys().copied().collect();
-        for id in pending {
-            if let Some(old) = self.forward_timers.remove(&id) {
+        let mut pending: Vec<(RequestId, ReqHandle)> = self
+            .reqs
+            .iter()
+            .filter(|(_, e)| e.forward_timer.is_some())
+            .map(|(h, e)| (e.id, h))
+            .collect();
+        pending.sort_unstable_by_key(|&(id, _)| id);
+        for (id, h) in pending {
+            if let Some(old) = self.reqs.get_mut(h).and_then(|e| e.forward_timer.take()) {
                 ctx.cancel_timer(old);
             }
             let timer = ctx.set_timer(self.cfg.forward_timeout, IdemMessage::ForwardTimer(id));
-            self.forward_timers.insert(id, timer);
+            if let Some(e) = self.reqs.get_mut(h) {
+                e.forward_timer = Some(timer);
+            }
         }
         // The cluster may have moved on (GC, view changes) while we were
         // down; ask for a checkpoint to catch up quickly, rotating through
@@ -1883,32 +2181,78 @@ mod tests {
         RequestId::new(ClientId(c), OpNumber(op))
     }
 
+    /// Whether `id` is currently marked rejected in the slab.
+    fn is_rejected(reqs: &ReqSlab<ReqEntry>, sessions: &SessionTable, id: RequestId) -> bool {
+        reqs.get(reqs.chain_find(sessions.head(id.client), id))
+            .is_some_and(|e| e.rejected)
+    }
+
+    fn cache_insert(
+        cache: &mut RejectedCache,
+        reqs: &mut ReqSlab<ReqEntry>,
+        sessions: &mut SessionTable,
+        req: Request,
+    ) {
+        let h = reqs.chain_find(sessions.head(req.id.client), req.id);
+        cache.insert(reqs, sessions, req, h);
+    }
+
     #[test]
     fn rejected_cache_is_bounded_fifo() {
         let mut cache = RejectedCache::new(3);
+        let mut reqs = ReqSlab::new();
+        let mut sessions = SessionTable::new();
         for i in 0..5 {
-            cache.insert(Request::new(rid(0, i), vec![i as u8]));
+            cache_insert(
+                &mut cache,
+                &mut reqs,
+                &mut sessions,
+                Request::new(rid(0, i), vec![i as u8]),
+            );
         }
         assert_eq!(cache.len(), 3);
-        assert!(cache.get(&rid(0, 0)).is_none());
-        assert!(cache.get(&rid(0, 1)).is_none());
-        assert!(cache.get(&rid(0, 2)).is_some());
-        assert!(cache.get(&rid(0, 4)).is_some());
+        assert!(!is_rejected(&reqs, &sessions, rid(0, 0)));
+        assert!(!is_rejected(&reqs, &sessions, rid(0, 1)));
+        assert!(is_rejected(&reqs, &sessions, rid(0, 2)));
+        assert!(is_rejected(&reqs, &sessions, rid(0, 4)));
+        // Evicted entries with no other role are freed outright.
+        assert_eq!(reqs.len(), 3);
     }
 
     #[test]
     fn rejected_cache_deduplicates() {
         let mut cache = RejectedCache::new(2);
-        cache.insert(Request::new(rid(0, 1), vec![1]));
-        cache.insert(Request::new(rid(0, 1), vec![1]));
+        let mut reqs = ReqSlab::new();
+        let mut sessions = SessionTable::new();
+        cache_insert(
+            &mut cache,
+            &mut reqs,
+            &mut sessions,
+            Request::new(rid(0, 1), vec![1]),
+        );
+        cache_insert(
+            &mut cache,
+            &mut reqs,
+            &mut sessions,
+            Request::new(rid(0, 1), vec![1]),
+        );
         assert_eq!(cache.len(), 1);
+        assert_eq!(reqs.len(), 1);
     }
 
     #[test]
     fn rejected_cache_zero_capacity_stores_nothing() {
         let mut cache = RejectedCache::new(0);
-        cache.insert(Request::new(rid(0, 1), vec![1]));
+        let mut reqs = ReqSlab::new();
+        let mut sessions = SessionTable::new();
+        cache_insert(
+            &mut cache,
+            &mut reqs,
+            &mut sessions,
+            Request::new(rid(0, 1), vec![1]),
+        );
         assert_eq!(cache.len(), 0);
+        assert!(reqs.is_empty());
     }
 
     #[test]

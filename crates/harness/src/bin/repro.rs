@@ -312,6 +312,11 @@ fn main() {
     // Intra-cell deterministic parallel stepping: every cell built after
     // this point picks the value up through `ClusterOptions::default()`.
     idem_harness::set_default_threads(args.threads);
+    // Sampled protocol-handler attribution: one in 2^6 handler calls is
+    // timed and scaled back up, so the per-event cost stays a counter
+    // increment while BENCH entries still split cell CPU into protocol
+    // vs dispatch time.
+    idem_common::phaseprof::enable_protocol_sampled(6);
     let runner = match args.jobs {
         Some(jobs) => SweepRunner::new(jobs),
         None => SweepRunner::from_available_parallelism(),
@@ -335,6 +340,7 @@ fn main() {
     );
     let mut bench_entries: Vec<BenchEntry> = Vec::new();
     let mut chaos_violations = 0usize;
+    let mut prof_mark = 0u64;
     let total_start = Instant::now();
     for name in &args.wanted {
         let start = Instant::now();
@@ -352,6 +358,7 @@ fn main() {
             "strategies" => experiments::strategies::run(effort, &runner),
             "calibrate" => {
                 calibrate();
+                protocol_ns_since(&mut prof_mark);
                 continue;
             }
             "chaos" | "churn" => {
@@ -404,6 +411,7 @@ fn main() {
                             epochs.unwrap_or(0),
                         )
                     }),
+                    protocol_ns: protocol_ns_since(&mut prof_mark),
                 });
                 eprintln!(
                     "[{name} done in {:.1?}: {} run(s), {} sim events, {:.0} events/s, {} violation(s)]\n",
@@ -454,6 +462,9 @@ fn main() {
                     stats.events,
                     stats.events_per_sec(wall),
                 );
+                // Load reports into its own schema; still advance the
+                // protocol-time mark so the next entry's delta is clean.
+                protocol_ns_since(&mut prof_mark);
                 continue;
             }
             other => unreachable!("parser admitted unknown experiment '{other}'"),
@@ -470,6 +481,7 @@ fn main() {
             kinds: stats.events_by_kind,
             rejoin: None,
             reconfig: None,
+            protocol_ns: protocol_ns_since(&mut prof_mark),
         });
         eprintln!(
             "[{name} done in {:.1?}: {} cell(s), {} sim events, {:.0} events/s]\n",
@@ -515,6 +527,18 @@ struct BenchEntry {
     /// the epoch high-water so BENCH_chaos.json tracks reconfiguration
     /// latency across the campaign.
     reconfig: Option<(u64, u64, u64)>,
+    /// Sampled estimate of CPU time spent inside protocol handlers; the
+    /// rest of `cell_cpu` is simulator dispatch.
+    protocol_ns: u64,
+}
+
+/// Delta of the global protocol-handler time counter since `mark`,
+/// advancing the mark.
+fn protocol_ns_since(mark: &mut u64) -> u64 {
+    let now = idem_common::phaseprof::snapshot().protocol_ns;
+    let delta = now.saturating_sub(*mark);
+    *mark = now;
+    delta
 }
 
 /// Renders the bench summary as JSON (hand-rolled: the workspace has no
@@ -561,7 +585,8 @@ fn render_bench_json(
              \"delivers\": {}, \"timers\": {}, \"wakes\": {}, \"inline_wakes\": {}, \
              \"crashes\": {}, \"queue_high_water\": {}, \
              \"parallel_windows\": {}, \"serial_windows\": {}, \
-             \"parallel_node_windows\": {}, \"parallel_events\": {}{rejoin}{reconfig}}}{}\n",
+             \"parallel_node_windows\": {}, \"parallel_events\": {}, \
+             \"protocol_ns\": {}, \"dispatch_ns\": {}{rejoin}{reconfig}}}{}\n",
             e.name,
             e.wall.as_secs_f64(),
             e.cells,
@@ -578,6 +603,8 @@ fn render_bench_json(
             e.kinds.serial_windows,
             e.kinds.parallel_node_windows,
             e.kinds.parallel_events,
+            e.protocol_ns,
+            (e.cell_cpu.as_nanos() as u64).saturating_sub(e.protocol_ns),
             if i + 1 == entries.len() { "" } else { "," },
         ));
     }

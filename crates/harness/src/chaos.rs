@@ -866,6 +866,9 @@ pub struct ChaosRun {
     /// Highest epoch any replica reached by the end of the run. Zero for
     /// reconfiguration-free runs.
     pub epochs_applied: u64,
+    /// View changes completed, summed across replicas (whichever protocol
+    /// is running). Zero when no leader was ever displaced.
+    pub view_changes: u64,
 }
 
 impl ChaosRun {
@@ -1161,6 +1164,16 @@ fn run_chaos_impl(
     violations.extend(check_session_order(order_violations));
 
     let epochs_applied = (0..total).map(|r| cluster.epoch(r)).max().unwrap_or(0);
+    let view_changes = (0..total)
+        .map(|r| {
+            cluster
+                .idem_stats(r)
+                .map(|s| s.view_changes_completed)
+                .or_else(|| cluster.paxos_stats(r).map(|s| s.view_changes_completed))
+                .or_else(|| cluster.smart_stats(r).map(|s| s.view_changes_completed))
+                .unwrap_or(0)
+        })
+        .sum();
     ChaosRun {
         protocol: protocol.name(),
         seed,
@@ -1173,6 +1186,7 @@ fn run_chaos_impl(
         rejoin_ms,
         reconfig_ms: churn.reconfig_ms,
         epochs_applied,
+        view_changes,
     }
 }
 

@@ -128,11 +128,14 @@ fn saturated_idem_run_allocates_less_than_once_per_event() {
         "run too small to be meaningful: {} events",
         r.events_processed
     );
-    // Integer allocs/event == 0: the whole run — including setup and
-    // result assembly — allocates strictly less than once per event.
+    // The whole run — including setup and result assembly — must stay
+    // under one allocation per four events. Measured 0.80 when the slab
+    // arena landed (§6c), 0.19 after the dense protocol state (§6e)
+    // removed the per-request tree-node churn; the bound leaves room for
+    // noise but fails if either regression returns.
     assert!(
-        delta.allocs < r.events_processed,
-        "allocs/event >= 1: {} allocs over {} events",
+        delta.allocs * 4 < r.events_processed,
+        "allocs/event >= 0.25: {} allocs over {} events",
         delta.allocs,
         r.events_processed
     );

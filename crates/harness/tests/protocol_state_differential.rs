@@ -1,0 +1,139 @@
+//! Full-cell differential for the dense protocol-state refactor.
+//!
+//! The dense slab/session-table rewrite of the three replicas is a pure
+//! representation change: it must not move a single message, reply,
+//! rejection, or simulator event. These tests pin a digest of everything
+//! a saturated 3-replica cell of each protocol observably produces —
+//! captured from the tree/hash-map implementation — and assert the
+//! current build reproduces it bit for bit.
+//!
+//! If a digest here changes, the change is behavioral, not just
+//! representational: either a genuine (intended, rare) semantic change
+//! that must be called out in the commit, or a determinism bug in the
+//! dense rewiring.
+
+use std::time::Duration;
+
+use idem_harness::{CrashPlan, Protocol, RunResult, Scenario};
+
+/// SplitMix64 folding — same mixer the request-id hash uses; good
+/// avalanche, no dependencies.
+fn mix(state: &mut u64, value: u64) {
+    *state = state
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(value);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    *state = z ^ (z >> 31);
+}
+
+/// Digests every deterministic observable of a run: aggregate metrics,
+/// the full reply/reject time series, traffic and event totals, and the
+/// per-replica protocol counters.
+fn digest(r: &RunResult) -> u64 {
+    let mut h = 0u64;
+    mix(&mut h, r.metrics.successes);
+    mix(&mut h, r.metrics.rejections);
+    mix(&mut h, r.metrics.rejections_final);
+    mix(&mut h, r.metrics.latency_mean_ms.to_bits());
+    mix(&mut h, r.metrics.latency_p50_ms.to_bits());
+    mix(&mut h, r.metrics.latency_p99_ms.to_bits());
+    mix(&mut h, r.metrics.reject_latency_mean_ms.to_bits());
+    for (t, bin) in &r.reply_series {
+        mix(&mut h, t.as_nanos() as u64);
+        mix(&mut h, bin.count);
+        mix(&mut h, bin.sum);
+    }
+    for (t, bin) in &r.reject_series {
+        mix(&mut h, t.as_nanos() as u64);
+        mix(&mut h, bin.count);
+        mix(&mut h, bin.sum);
+    }
+    mix(&mut h, r.client_traffic_bytes);
+    mix(&mut h, r.replica_traffic_bytes);
+    mix(&mut h, r.total_messages);
+    mix(&mut h, r.events_processed);
+    mix(&mut h, r.event_stats.delivers);
+    mix(&mut h, r.event_stats.timers);
+    mix(&mut h, r.order_violations);
+    for s in &r.idem_stats {
+        mix(&mut h, s.requests_received);
+        mix(&mut h, s.duplicates);
+        mix(&mut h, s.rejected);
+        mix(&mut h, s.accepted_client);
+        mix(&mut h, s.accepted_forward);
+        mix(&mut h, s.proposals_sent);
+        mix(&mut h, s.commits_sent);
+        mix(&mut h, s.executed);
+        mix(&mut h, s.replies_sent);
+        mix(&mut h, s.forwards_sent);
+        mix(&mut h, s.fetches_sent);
+        mix(&mut h, s.fetches_served);
+        mix(&mut h, s.rejected_cache_hits);
+        mix(&mut h, s.checkpoints_taken);
+        mix(&mut h, s.view_changes_completed);
+        mix(&mut h, s.noops_proposed);
+        mix(&mut h, s.gc_advances);
+        mix(&mut h, s.stalls);
+    }
+    h
+}
+
+/// Goldens captured from the map-based implementation (the commit that
+/// introduced this test ran both representations against each other).
+/// Any divergence means observable behavior moved.
+const GOLDEN_IDEM_SATURATED: u64 = 0xb2dde4d4e7df5a7b;
+const GOLDEN_IDEM_CRASH: u64 = 0x5c56f77699e4ad9f;
+const GOLDEN_PAXOS_SATURATED: u64 = 0x114dce38387c507d;
+const GOLDEN_SMART_SATURATED: u64 = 0x64688745a282781c;
+
+fn run_digest(protocol: Protocol, clients: u32, crash: Option<CrashPlan>) -> u64 {
+    let mut scenario = Scenario::new(protocol, clients, Duration::from_secs(2));
+    if let Some(c) = crash {
+        scenario = scenario.with_crash(c);
+    }
+    digest(&scenario.run())
+}
+
+#[test]
+fn idem_saturated_cell_matches_map_based_golden() {
+    assert_eq!(
+        run_digest(Protocol::idem(), 400, None),
+        GOLDEN_IDEM_SATURATED,
+        "IDEM saturated-cell digest diverged from the map-based baseline"
+    );
+}
+
+#[test]
+fn idem_crash_cell_matches_map_based_golden() {
+    // A mid-run leader crash exercises the cold paths too: view change,
+    // re-endorsement, forward timers, fetches, checkpoint catch-up.
+    let crash = CrashPlan {
+        replica: 0,
+        at: Duration::from_millis(900),
+    };
+    assert_eq!(
+        run_digest(Protocol::idem(), 300, Some(crash)),
+        GOLDEN_IDEM_CRASH,
+        "IDEM crash-cell digest diverged from the map-based baseline"
+    );
+}
+
+#[test]
+fn paxos_saturated_cell_matches_map_based_golden() {
+    assert_eq!(
+        run_digest(Protocol::paxos(), 400, None),
+        GOLDEN_PAXOS_SATURATED,
+        "Paxos saturated-cell digest diverged from the map-based baseline"
+    );
+}
+
+#[test]
+fn smart_saturated_cell_matches_map_based_golden() {
+    assert_eq!(
+        run_digest(Protocol::smart(), 400, None),
+        GOLDEN_SMART_SATURATED,
+        "SMaRt saturated-cell digest diverged from the map-based baseline"
+    );
+}

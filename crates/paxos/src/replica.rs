@@ -5,9 +5,9 @@ use std::time::Duration;
 
 use idem_common::app::CostModel;
 use idem_common::{
-    ClientId, Directory, ExecRecord, Membership, OpNumber, PersistMode, QuorumTracker,
-    ReconfigCommand, Reply, Request, RequestId, ResultBytes, SeqNumber, SeqWindow, StateMachine,
-    View, Wal, WalRecord, RECONFIG_CLIENT,
+    Chained, ClientId, Directory, ExecRecord, Membership, OpNumber, PersistMode, QuorumTracker,
+    ReconfigCommand, Reply, ReqHandle, ReqSlab, Request, RequestId, ResultBytes, SeqNumber,
+    SeqWindow, SessionTable, StateMachine, View, Wal, WalRecord, RECONFIG_CLIENT,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -55,6 +55,28 @@ struct Instance {
     executed: bool,
 }
 
+/// Presence marker for a queued or proposed-but-unexecuted request,
+/// chained per client off the session table for single-probe duplicate
+/// suppression. The wholesale resets (view change, reconfig) just clear
+/// the slab: the generation bump makes every chain head stale, and a
+/// stale head reads as an empty chain.
+struct InflightEntry {
+    id: RequestId,
+    next: ReqHandle,
+}
+
+impl Chained for InflightEntry {
+    fn request_id(&self) -> RequestId {
+        self.id
+    }
+    fn next(&self) -> ReqHandle {
+        self.next
+    }
+    fn set_next(&mut self, next: ReqHandle) {
+        self.next = next;
+    }
+}
+
 /// A stable checkpoint: sequence number, serialized application state,
 /// and the per-client reply cache `(client, op, reply bytes)`.
 type Checkpoint = (
@@ -94,10 +116,12 @@ pub struct PaxosReplica {
     /// Leader: requests awaiting a window slot. Unbounded by design in
     /// plain Paxos.
     queue: VecDeque<Request>,
-    /// Ids queued or in flight, for duplicate suppression.
-    inflight: BTreeMap<RequestId, ()>,
+    /// Records for ids queued or in flight, for duplicate suppression.
+    inflight: ReqSlab<InflightEntry>,
 
-    last_executed: BTreeMap<u32, (idem_common::OpNumber, ResultBytes)>,
+    /// Per-client sessions: the `last_executed` reply cache plus the
+    /// heads of the in-flight chains.
+    sessions: SessionTable,
     /// Reused buffer for state-machine execution results.
     exec_scratch: Vec<u8>,
     checkpoint: Option<Checkpoint>,
@@ -154,8 +178,8 @@ impl PaxosReplica {
             next_exec: SeqNumber(0),
             stalled: false,
             queue: VecDeque::new(),
-            inflight: BTreeMap::new(),
-            last_executed: BTreeMap::new(),
+            inflight: ReqSlab::new(),
+            sessions: SessionTable::new(),
             exec_scratch: Vec::new(),
             checkpoint: None,
             progress_timer: None,
@@ -260,9 +284,7 @@ impl PaxosReplica {
     }
 
     fn executed_already(&self, id: RequestId) -> bool {
-        self.last_executed
-            .get(&id.client.0)
-            .is_some_and(|(op, _)| *op >= id.op)
+        self.sessions.executed_already(id)
     }
 
     /// The leader's current load: queued plus proposed-but-unexecuted
@@ -282,11 +304,12 @@ impl PaxosReplica {
                 // Reconfig commands have no client node to answer.
                 return;
             }
-            if let Some((op, reply)) = self.last_executed.get(&id.client.0) {
-                if *op == id.op {
+            if let Some((op, reply)) = self.sessions.get(id.client) {
+                if op == id.op {
+                    let reply = reply.clone();
                     self.stats.replies_sent += 1;
                     let client = self.dir.client(id.client);
-                    ctx.send(client, PaxosMessage::Reply(Reply::new(id, reply.clone())));
+                    ctx.send(client, PaxosMessage::Reply(Reply::new(id, reply)));
                 }
             }
             return;
@@ -309,7 +332,11 @@ impl PaxosReplica {
             self.ensure_progress_timer(ctx);
             return;
         }
-        if self.inflight.contains_key(&id) {
+        if !self
+            .inflight
+            .chain_find(self.sessions.head(id.client), id)
+            .is_null()
+        {
             self.stats.duplicates += 1;
             return;
         }
@@ -326,7 +353,13 @@ impl PaxosReplica {
                 }
             }
         }
-        self.inflight.insert(id, ());
+        let mut head = self.sessions.head(id.client);
+        let h = self.inflight.insert(InflightEntry {
+            id,
+            next: ReqHandle::NULL,
+        });
+        self.inflight.chain_push(&mut head, h);
+        self.sessions.set_head(id.client, head);
         self.queue.push_back(req);
         self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len() as u64);
         self.ensure_progress_timer(ctx);
@@ -637,23 +670,29 @@ impl PaxosReplica {
                 // the agreed slot, on every replica. Applied to the
                 // membership instead of the app; no client reply.
                 self.stats.executed += 1;
-                self.last_executed
-                    .insert(req.id.client.0, (req.id.op, ResultBytes::from_slice(&[])));
+                self.sessions
+                    .record(req.id.client, req.id.op, ResultBytes::from_slice(&[]));
             } else if !already {
                 let cost = self.app.execution_cost(&req.command);
                 ctx.charge(cost);
                 self.app.execute_into(&req.command, &mut self.exec_scratch);
                 let result = ResultBytes::from_slice(&self.exec_scratch);
                 self.stats.executed += 1;
-                self.last_executed
-                    .insert(req.id.client.0, (req.id.op, result.clone()));
+                self.sessions
+                    .record(req.id.client, req.id.op, result.clone());
                 if self.is_leader() {
                     self.stats.replies_sent += 1;
                     let client = self.dir.client(req.id.client);
                     ctx.send(client, PaxosMessage::Reply(Reply::new(req.id, result)));
                 }
             }
-            self.inflight.remove(&req.id);
+            let mut head = self.sessions.head(req.id.client);
+            let h = self.inflight.chain_find(head, req.id);
+            if !h.is_null() {
+                self.inflight.chain_unlink(&mut head, h);
+                self.sessions.set_head(req.id.client, head);
+                self.inflight.remove(h);
+            }
             self.window
                 .get_mut(self.next_exec)
                 .expect("present")
@@ -819,9 +858,9 @@ impl PaxosReplica {
             let snapshot = self.app.snapshot();
             ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
             let clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)> = self
-                .last_executed
+                .sessions
                 .iter()
-                .map(|(&cid, (op, reply))| (cid, *op, reply.to_vec()))
+                .map(|(cid, op, reply)| (cid, op, reply.to_vec()))
                 .collect();
             self.checkpoint = Some((self.next_exec, snapshot, clients));
             if self.wal.enabled() {
@@ -886,10 +925,11 @@ impl PaxosReplica {
             }
         }
         self.app.restore(&snapshot);
-        self.last_executed = clients
-            .iter()
-            .map(|(cid, op, reply)| (*cid, (*op, ResultBytes::from_slice(reply))))
-            .collect();
+        self.sessions.clear_executed();
+        for (cid, op, reply) in &clients {
+            self.sessions
+                .record(ClientId(*cid), *op, ResultBytes::from_slice(reply));
+        }
         self.next_exec = next_exec;
         self.window.advance_to(next_exec);
         self.next_propose = self.next_propose.max(self.window.low());
@@ -1155,10 +1195,14 @@ impl PaxosReplica {
         }
         if let Some((next_exec, snapshot, clients)) = newest_cp {
             self.app.restore(&snapshot);
-            self.last_executed = clients
-                .iter()
-                .map(|(cid, op, reply)| (*cid, (OpNumber(*op), ResultBytes::from_slice(reply))))
-                .collect();
+            self.sessions.clear_executed();
+            for (cid, op, reply) in &clients {
+                self.sessions.record(
+                    ClientId(*cid),
+                    OpNumber(*op),
+                    ResultBytes::from_slice(reply),
+                );
+            }
             self.next_exec = SeqNumber(next_exec);
             self.window.advance_to(self.next_exec);
             self.checkpoint = Some((
@@ -1200,15 +1244,15 @@ impl PaxosReplica {
                 if let Some(cmd) = ReconfigCommand::decode(command) {
                     self.membership.apply(&cmd);
                 }
-                self.last_executed
-                    .insert(id.client.0, (id.op, ResultBytes::from_slice(&[])));
+                self.sessions
+                    .record(id.client, id.op, ResultBytes::from_slice(&[]));
             } else if *fresh && id.client != NOOP_CLIENT && !self.executed_already(*id) {
                 let cost = self.app.execution_cost(command);
                 ctx.charge(cost);
                 self.app.execute_into(command, &mut self.exec_scratch);
                 let result = ResultBytes::from_slice(&self.exec_scratch);
                 self.stats.executed += 1;
-                self.last_executed.insert(id.client.0, (id.op, result));
+                self.sessions.record(id.client, id.op, result);
             }
             self.next_exec = SeqNumber(slot + 1);
         }

@@ -76,6 +76,7 @@ pub mod event;
 pub mod net;
 pub mod node;
 pub(crate) mod parallel;
+pub mod prof;
 pub mod sim;
 pub mod time;
 pub mod trace;

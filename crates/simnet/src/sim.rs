@@ -572,6 +572,9 @@ pub struct Simulation<M> {
     /// inline — the pre-run-to-completion reference scheduler. See
     /// [`set_eager_wakes`](Self::set_eager_wakes).
     eager_wakes: bool,
+    /// Private handler-invocation counter for the sampled protocol-time
+    /// probe (see [`crate::prof`]); purely observational.
+    prof_ticks: u64,
 }
 
 impl<M: Wire + 'static> Simulation<M> {
@@ -614,6 +617,7 @@ impl<M: Wire + 'static> Simulation<M> {
             wake_lane: BinaryHeap::new(),
             wake_high_water: 0,
             eager_wakes: false,
+            prof_ticks: 0,
         }
     }
 
@@ -812,7 +816,9 @@ impl<M: Wire + 'static> Simulation<M> {
                 }
                 let mut node = self.nodes[nid.index()].take().expect("node present");
                 let mut ctx = Context::live(&mut self.core, nid);
+                let prof = crate::prof::begin(&mut self.prof_ticks);
                 node.as_node_mut().on_message(&mut ctx, from, msg);
+                crate::prof::end(prof);
                 self.nodes[nid.index()] = Some(node);
             }
             Deferred::Timer { id } => {
@@ -827,7 +833,9 @@ impl<M: Wire + 'static> Simulation<M> {
                 }
                 let mut node = self.nodes[nid.index()].take().expect("node present");
                 let mut ctx = Context::live(&mut self.core, nid);
+                let prof = crate::prof::begin(&mut self.prof_ticks);
                 node.as_node_mut().on_timer(&mut ctx, id, msg);
+                crate::prof::end(prof);
                 self.nodes[nid.index()] = Some(node);
             }
         }

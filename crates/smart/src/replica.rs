@@ -5,9 +5,9 @@ use std::time::Duration;
 
 use idem_common::app::CostModel;
 use idem_common::{
-    Directory, ExecRecord, Membership, OpNumber, PersistMode, QuorumTracker, ReconfigCommand,
-    Reply, Request, RequestId, ResultBytes, SeqNumber, StateMachine, View, Wal, WalRecord,
-    RECONFIG_CLIENT,
+    Chained, ClientId, Directory, ExecRecord, Membership, OpNumber, PersistMode, QuorumTracker,
+    ReconfigCommand, Reply, ReqHandle, ReqSlab, Request, RequestId, ResultBytes, SeqNumber,
+    SessionTable, StateMachine, View, Wal, WalRecord, RECONFIG_CLIENT,
 };
 use idem_simnet::{Context, Node, NodeId, SimTime, TimerId, Wire};
 
@@ -43,6 +43,32 @@ struct OpenInstance {
     votes: QuorumTracker,
 }
 
+/// Record for a request queued in (or carved from) the pending pool,
+/// chained per client off the session table for single-probe duplicate
+/// suppression. Freed when the request's batch decides; the matching
+/// deque entry (if any) then reads as dead via its stale handle and is
+/// dropped lazily — no O(pool) `retain` per decided request.
+struct PendingEntry {
+    id: RequestId,
+    next: ReqHandle,
+    /// Still in the `pending` deque. False once the leader carved the
+    /// request into a proposed batch: the record then only suppresses
+    /// client retransmissions until the batch decides.
+    queued: bool,
+}
+
+impl Chained for PendingEntry {
+    fn request_id(&self) -> RequestId {
+        self.id
+    }
+    fn next(&self) -> ReqHandle {
+        self.next
+    }
+    fn set_next(&mut self, next: ReqHandle) {
+        self.next = next;
+    }
+}
+
 /// A stable checkpoint: sequence number, serialized application state,
 /// and the per-client reply cache `(client, op, reply bytes)`.
 type Checkpoint = (
@@ -75,9 +101,14 @@ pub struct SmartReplica {
     vc_target: Option<View>,
     vc_store: BTreeMap<u64, BTreeMap<u32, VcVote>>,
 
-    /// Unbounded pool of client requests awaiting ordering.
-    pending: VecDeque<Request>,
-    pending_ids: BTreeMap<RequestId, ()>,
+    /// Unbounded pool of client requests awaiting ordering. An entry
+    /// whose handle no longer resolves was decided out of another
+    /// replica's batch; it is skipped (and dropped) lazily.
+    pending: VecDeque<(Request, ReqHandle)>,
+    /// Records for queued or carved-but-undecided requests.
+    pending_ids: ReqSlab<PendingEntry>,
+    /// Live (queued, undecided) entries in `pending`.
+    pending_live: usize,
 
     /// Next consensus instance to decide.
     next_sqn: SeqNumber,
@@ -97,7 +128,9 @@ pub struct SmartReplica {
     /// contents.
     vc_resume: Option<(SeqNumber, Vec<Request>)>,
 
-    last_executed: BTreeMap<u32, (idem_common::OpNumber, ResultBytes)>,
+    /// Per-client sessions: the `last_executed` reply cache plus the
+    /// heads of the pending-request chains.
+    sessions: SessionTable,
     /// Reused buffer for state-machine execution results.
     exec_scratch: Vec<u8>,
     checkpoint: Option<Checkpoint>,
@@ -146,12 +179,13 @@ impl SmartReplica {
             vc_target: None,
             vc_store: BTreeMap::new(),
             pending: VecDeque::new(),
-            pending_ids: BTreeMap::new(),
+            pending_ids: ReqSlab::new(),
+            pending_live: 0,
             next_sqn: SeqNumber(0),
             open: None,
             sync_target: None,
             vc_resume: None,
-            last_executed: BTreeMap::new(),
+            sessions: SessionTable::new(),
             exec_scratch: Vec::new(),
             checkpoint: None,
             progress_timer: None,
@@ -202,9 +236,9 @@ impl SmartReplica {
         self.view
     }
 
-    /// Length of the pending request pool.
+    /// Length of the pending request pool (live entries only).
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending_live
     }
 
     /// Next consensus instance to decide (the batch-level frontier).
@@ -257,9 +291,39 @@ impl SmartReplica {
     }
 
     fn executed_already(&self, id: RequestId) -> bool {
-        self.last_executed
-            .get(&id.client.0)
-            .is_some_and(|(op, _)| *op >= id.op)
+        self.sessions.executed_already(id)
+    }
+
+    /// Tracks a fresh request: a slab record chained off the client's
+    /// session slot plus a live deque entry.
+    fn track_pending(&mut self, req: Request) {
+        let id = req.id;
+        let mut head = self.sessions.head(id.client);
+        let h = self.pending_ids.insert(PendingEntry {
+            id,
+            next: ReqHandle::NULL,
+            queued: true,
+        });
+        self.pending_ids.chain_push(&mut head, h);
+        self.sessions.set_head(id.client, head);
+        self.pending.push_back((req, h));
+        self.pending_live += 1;
+    }
+
+    /// Frees the record for a decided request, if we track one. Its
+    /// deque entry (when still queued) goes stale with the handle.
+    fn untrack_pending(&mut self, id: RequestId) {
+        let mut head = self.sessions.head(id.client);
+        let h = self.pending_ids.chain_find(head, id);
+        if h.is_null() {
+            return;
+        }
+        if self.pending_ids.get(h).is_some_and(|e| e.queued) {
+            self.pending_live -= 1;
+        }
+        self.pending_ids.chain_unlink(&mut head, h);
+        self.sessions.set_head(id.client, head);
+        self.pending_ids.remove(h);
     }
 
     // ------------------------------------------------------------ requests
@@ -273,22 +337,26 @@ impl SmartReplica {
                 // Reconfig commands have no client node to answer.
                 return;
             }
-            if let Some((op, reply)) = self.last_executed.get(&id.client.0) {
-                if *op == id.op {
+            if let Some((op, reply)) = self.sessions.get(id.client) {
+                if op == id.op {
+                    let reply = reply.clone();
                     self.stats.replies_sent += 1;
                     let client = self.dir.client(id.client);
-                    ctx.send(client, SmartMessage::Reply(Reply::new(id, reply.clone())));
+                    ctx.send(client, SmartMessage::Reply(Reply::new(id, reply)));
                 }
             }
             return;
         }
-        if self.pending_ids.contains_key(&id) {
+        if !self
+            .pending_ids
+            .chain_find(self.sessions.head(id.client), id)
+            .is_null()
+        {
             self.stats.duplicates += 1;
             return;
         }
-        self.pending_ids.insert(id, ());
-        self.pending.push_back(req);
-        self.stats.max_pending_len = self.stats.max_pending_len.max(self.pending.len() as u64);
+        self.track_pending(req);
+        self.stats.max_pending_len = self.stats.max_pending_len.max(self.pending_live as u64);
         self.ensure_progress_timer(ctx);
         self.maybe_propose(ctx);
     }
@@ -307,7 +375,7 @@ impl SmartReplica {
             // Anything else is stale: a checkpoint moved us past the slot,
             // which proves its decided contents are reflected in our state.
             _ => {
-                if self.pending.is_empty() {
+                if self.pending_live == 0 {
                     return;
                 }
                 // Reconfiguration commands travel in singleton batches:
@@ -315,21 +383,30 @@ impl SmartReplica {
                 // the instance deciding the reconfig is the last one under
                 // the old membership and the next instance's quorum is
                 // drawn from the new one.
-                let limit = self.pending.len().min(self.cfg.max_batch);
-                let take = if self
-                    .pending
-                    .front()
-                    .is_some_and(|r| r.id.client == RECONFIG_CLIENT)
-                {
-                    1
-                } else {
-                    self.pending
-                        .iter()
-                        .take(limit)
-                        .position(|r| r.id.client == RECONFIG_CLIENT)
-                        .unwrap_or(limit)
-                };
-                self.pending.drain(..take).collect()
+                let limit = self.pending_live.min(self.cfg.max_batch);
+                let mut batch: Vec<Request> = Vec::new();
+                while batch.len() < limit {
+                    let Some(&(ref req, h)) = self.pending.front() else {
+                        break;
+                    };
+                    if !self.pending_ids.contains(h) {
+                        // Decided out of another replica's batch.
+                        self.pending.pop_front();
+                        continue;
+                    }
+                    if req.id.client == RECONFIG_CLIENT && !batch.is_empty() {
+                        break;
+                    }
+                    let singleton = req.id.client == RECONFIG_CLIENT;
+                    let (req, h) = self.pending.pop_front().expect("non-empty");
+                    self.pending_ids.get_mut(h).expect("live").queued = false;
+                    self.pending_live -= 1;
+                    batch.push(req);
+                    if singleton {
+                        break;
+                    }
+                }
+                batch
             }
         };
         let sqn = self.next_sqn;
@@ -513,9 +590,7 @@ impl SmartReplica {
         let mut reconfig: Option<ReconfigCommand> = None;
         for (offset, req) in open.batch.iter().enumerate() {
             // Remove from our own pool regardless of who batched it.
-            if self.pending_ids.remove(&req.id).is_some() {
-                self.pending.retain(|r| r.id != req.id);
-            }
+            self.untrack_pending(req.id);
             let already = self.executed_already(req.id);
             let slot = (open.sqn.0 << SLOT_BATCH_SHIFT) | offset as u64;
             self.persist_exec(
@@ -534,8 +609,8 @@ impl SmartReplica {
                 // boundary checkpoint covers this instance); no client
                 // reply.
                 self.stats.executed += 1;
-                self.last_executed
-                    .insert(req.id.client.0, (req.id.op, ResultBytes::from_slice(&[])));
+                self.sessions
+                    .record(req.id.client, req.id.op, ResultBytes::from_slice(&[]));
                 reconfig = ReconfigCommand::decode(&req.command);
                 continue;
             }
@@ -544,8 +619,8 @@ impl SmartReplica {
             self.app.execute_into(&req.command, &mut self.exec_scratch);
             let result = ResultBytes::from_slice(&self.exec_scratch);
             self.stats.executed += 1;
-            self.last_executed
-                .insert(req.id.client.0, (req.id.op, result.clone()));
+            self.sessions
+                .record(req.id.client, req.id.op, result.clone());
             // Every replica replies (CFT mode of BFT-SMaRt).
             self.stats.replies_sent += 1;
             let client = self.dir.client(req.id.client);
@@ -584,6 +659,7 @@ impl SmartReplica {
             }
             self.pending.clear();
             self.pending_ids.clear();
+            self.pending_live = 0;
             self.open = None;
             return;
         }
@@ -631,9 +707,9 @@ impl SmartReplica {
             let snapshot = self.app.snapshot();
             ctx.charge(self.cfg.message_cost.message_cost(snapshot.len()));
             let clients: Vec<(u32, idem_common::OpNumber, Vec<u8>)> = self
-                .last_executed
+                .sessions
                 .iter()
-                .map(|(&cid, (op, reply))| (cid, *op, reply.to_vec()))
+                .map(|(cid, op, reply)| (cid, op, reply.to_vec()))
                 .collect();
             self.checkpoint = Some((self.next_sqn, snapshot, clients));
             if self.wal.enabled() {
@@ -695,10 +771,11 @@ impl SmartReplica {
             }
         }
         self.app.restore(&snapshot);
-        self.last_executed = clients
-            .iter()
-            .map(|(cid, op, reply)| (*cid, (*op, ResultBytes::from_slice(reply))))
-            .collect();
+        self.sessions.clear_executed();
+        for (cid, op, reply) in &clients {
+            self.sessions
+                .record(ClientId(*cid), *op, ResultBytes::from_slice(reply));
+        }
         self.next_sqn = next_sqn;
         self.open = None;
         if self.sync_target.is_some_and(|t| self.next_sqn >= t) {
@@ -710,11 +787,27 @@ impl SmartReplica {
             let cp = self.checkpoint.clone().expect("just installed");
             self.persist_checkpoint(ctx, &cp);
         }
-        // Drop pending requests the checkpoint proves executed.
-        let last = self.last_executed.clone();
-        self.pending
-            .retain(|r| last.get(&r.id.client.0).is_none_or(|(op, _)| *op < r.id.op));
-        self.pending_ids = self.pending.iter().map(|r| (r.id, ())).collect();
+        // Drop pending requests the checkpoint proves executed, and
+        // rebuild the tracking slab from what survives. Carved-but-
+        // undecided records are dropped with it — exactly the old
+        // semantics of rebuilding `pending_ids` from the queue.
+        let old = std::mem::take(&mut self.pending);
+        let keep: Vec<Request> = old
+            .into_iter()
+            .filter(|&(ref r, h)| {
+                self.pending_ids.contains(h)
+                    && self
+                        .sessions
+                        .last_op(r.id.client)
+                        .is_none_or(|op| op < r.id.op)
+            })
+            .map(|(r, _)| r)
+            .collect();
+        self.pending_ids.clear();
+        self.pending_live = 0;
+        for req in keep {
+            self.track_pending(req);
+        }
         self.maybe_propose(ctx);
     }
 
@@ -728,7 +821,7 @@ impl SmartReplica {
     }
 
     fn has_pending_work(&self) -> bool {
-        !self.pending.is_empty() || self.open.is_some() || self.sync_target.is_some()
+        self.pending_live > 0 || self.open.is_some() || self.sync_target.is_some()
     }
 
     fn reset_progress_timer(&mut self, ctx: &mut Context<'_, SmartMessage>) {
@@ -1001,10 +1094,14 @@ impl SmartReplica {
         }
         if let Some((next_sqn, snapshot, clients)) = newest_cp {
             self.app.restore(&snapshot);
-            self.last_executed = clients
-                .iter()
-                .map(|(cid, op, reply)| (*cid, (OpNumber(*op), ResultBytes::from_slice(reply))))
-                .collect();
+            self.sessions.clear_executed();
+            for (cid, op, reply) in &clients {
+                self.sessions.record(
+                    ClientId(*cid),
+                    OpNumber(*op),
+                    ResultBytes::from_slice(reply),
+                );
+            }
             self.next_sqn = SeqNumber(next_sqn);
             self.checkpoint = Some((
                 self.next_sqn,
@@ -1052,15 +1149,15 @@ impl SmartReplica {
                 if let Some(cmd) = ReconfigCommand::decode(command) {
                     self.membership.apply(&cmd);
                 }
-                self.last_executed
-                    .insert(id.client.0, (id.op, ResultBytes::from_slice(&[])));
+                self.sessions
+                    .record(id.client, id.op, ResultBytes::from_slice(&[]));
             } else if *fresh && !self.executed_already(*id) {
                 let cost = self.app.execution_cost(command);
                 ctx.charge(cost);
                 self.app.execute_into(command, &mut self.exec_scratch);
                 let result = ResultBytes::from_slice(&self.exec_scratch);
                 self.stats.executed += 1;
-                self.last_executed.insert(id.client.0, (id.op, result));
+                self.sessions.record(id.client, id.op, result);
             }
             self.next_sqn = SeqNumber(batch_sqn + 1);
         }
